@@ -1,0 +1,53 @@
+//! Crawl-pipeline benchmarks: end-to-end site visits per second and the
+//! worker-count sweep called out in DESIGN.md §4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use canvassing_crawler::{crawl, CrawlConfig};
+use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
+
+fn bench_crawl_throughput(c: &mut Criterion) {
+    let web = SyntheticWeb::generate(WebConfig { seed: 9, scale: 0.01 });
+    let frontier = web.frontier(Cohort::Popular);
+    let mut group = c.benchmark_group("pipeline/crawl_workers");
+    group.throughput(Throughput::Elements(frontier.len() as u64));
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            let mut config = CrawlConfig::control();
+            config.workers = w;
+            b.iter(|| black_box(crawl(&web.network, &frontier, &config).success_count()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_detection_and_clustering(c: &mut Criterion) {
+    let web = SyntheticWeb::generate(WebConfig { seed: 9, scale: 0.02 });
+    let frontier = web.frontier(Cohort::Popular);
+    let dataset = crawl(&web.network, &frontier, &CrawlConfig::control());
+    c.bench_function("pipeline/detect_per_cohort", |b| {
+        b.iter(|| {
+            let detections: Vec<_> = dataset
+                .successful()
+                .map(|(_, v)| canvassing::detect(v))
+                .collect();
+            black_box(detections.len())
+        })
+    });
+    let detections: Vec<_> = dataset
+        .successful()
+        .map(|(_, v)| canvassing::detect(v))
+        .collect();
+    c.bench_function("pipeline/cluster_per_cohort", |b| {
+        b.iter(|| black_box(canvassing::Clustering::build(detections.iter()).unique_canvases()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_crawl_throughput, bench_detection_and_clustering
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Rasterizer benchmarks: the cost of the drawing operations canvas
+//! fingerprinting scripts perform, plus the device-profile AA ablation
+//! called out in DESIGN.md §4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use canvassing_raster::fill::FillRule;
+use canvassing_raster::{Canvas2D, DeviceProfile};
+
+fn fpjs_text_canvas(device: DeviceProfile) -> Canvas2D {
+    let mut c = Canvas2D::new(240, 60, device);
+    c.set_fill_style("#f60");
+    c.fill_rect(100.0, 1.0, 62.0, 20.0);
+    c.set_fill_style("#069");
+    c.set_font("11pt no-real-font-123");
+    c.fill_text("Cwm fjordbank gly \u{1F603}", 2.0, 15.0);
+    c.set_fill_style("rgba(102, 204, 0, 0.2)");
+    c.set_font("18pt Arial");
+    c.fill_text("Cwm fjordbank gly \u{1F603}", 4.0, 45.0);
+    c
+}
+
+fn bench_fill_rect(c: &mut Criterion) {
+    c.bench_function("raster/fill_rect_300x150", |b| {
+        b.iter(|| {
+            let mut canvas = Canvas2D::new(300, 150, DeviceProfile::intel_ubuntu());
+            canvas.set_fill_style("#336699");
+            canvas.fill_rect(black_box(10.0), 10.0, 280.0, 130.0);
+            black_box(canvas.surface().data()[0])
+        })
+    });
+}
+
+fn bench_text(c: &mut Criterion) {
+    c.bench_function("raster/fpjs_text_canvas", |b| {
+        b.iter(|| black_box(fpjs_text_canvas(DeviceProfile::intel_ubuntu())))
+    });
+}
+
+fn bench_winding(c: &mut Criterion) {
+    c.bench_function("raster/fpjs_winding_canvas", |b| {
+        b.iter(|| {
+            let mut canvas = Canvas2D::new(122, 110, DeviceProfile::intel_ubuntu());
+            canvas.set_composite_op("multiply");
+            for (color, x, y) in [("#f2f", 40.0, 40.0), ("#2ff", 80.0, 40.0), ("#ff2", 60.0, 80.0)]
+            {
+                canvas.set_fill_style(color);
+                canvas.begin_path();
+                canvas.arc(x, y, 40.0, 0.0, std::f64::consts::TAU, true);
+                canvas.fill(FillRule::NonZero);
+            }
+            canvas.set_fill_style("#f9c");
+            canvas.begin_path();
+            canvas.arc(60.0, 60.0, 60.0, 0.0, std::f64::consts::TAU, true);
+            canvas.arc(60.0, 60.0, 20.0, 0.0, std::f64::consts::TAU, true);
+            canvas.fill(FillRule::EvenOdd);
+            black_box(canvas.surface().data()[0])
+        })
+    });
+}
+
+fn bench_to_data_url(c: &mut Criterion) {
+    let canvas = fpjs_text_canvas(DeviceProfile::intel_ubuntu());
+    c.bench_function("raster/to_data_url_png", |b| {
+        b.iter(|| black_box(canvas.to_data_url("image/png", None)))
+    });
+    c.bench_function("raster/to_data_url_jpeg", |b| {
+        b.iter(|| black_box(canvas.to_data_url("image/jpeg", Some(0.8))))
+    });
+}
+
+/// Ablation: per-device AA phase/gamma/jitter cost. The profiles differ
+/// only in perturbation parameters; the bench shows the rendering-cost
+/// delta of device emulation is negligible.
+fn bench_device_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raster/device_ablation");
+    for device in [
+        DeviceProfile::intel_ubuntu(),
+        DeviceProfile::apple_m1(),
+        DeviceProfile::windows_nvidia(),
+    ] {
+        group.bench_function(device.id.clone(), |b| {
+            b.iter(|| black_box(fpjs_text_canvas(device.clone()).to_data_url("image/png", None)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fill_rect, bench_text, bench_winding, bench_to_data_url, bench_device_ablation
+}
+criterion_main!(benches);

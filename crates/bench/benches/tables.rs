@@ -1,0 +1,127 @@
+//! One benchmark per paper artifact: each measures the cost of
+//! regenerating that table/figure from a crawled dataset (the repro
+//! binary runs the same code at full scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use canvassing::attribution::{attribute, gather_ground_truth, AttributionSources};
+use canvassing::blocklist_coverage::coverage;
+use canvassing::cluster::{Clustering, OverlapStats};
+use canvassing::detect::{detect, SiteDetection};
+use canvassing::evasion::EvasionStats;
+use canvassing::figures::Figure1;
+use canvassing::prevalence::Prevalence;
+use canvassing_blocklist::{DisconnectList, FilterList};
+use canvassing_crawler::{crawl, CrawlConfig};
+use canvassing_raster::DeviceProfile;
+use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
+
+struct Fixture {
+    web: SyntheticWeb,
+    popular: Vec<SiteDetection>,
+    tail: Vec<SiteDetection>,
+    popular_clusters: Clustering,
+    tail_clusters: Clustering,
+}
+
+fn fixture() -> Fixture {
+    let web = SyntheticWeb::generate(WebConfig { seed: 21, scale: 0.05 });
+    let config = CrawlConfig::control();
+    let collect = |cohort| -> Vec<SiteDetection> {
+        let frontier = web.frontier(cohort);
+        crawl(&web.network, &frontier, &config)
+            .successful()
+            .map(|(_, v)| detect(v))
+            .collect()
+    };
+    let popular = collect(Cohort::Popular);
+    let tail = collect(Cohort::Tail);
+    let popular_clusters = Clustering::build(popular.iter());
+    let tail_clusters = Clustering::build(tail.iter());
+    Fixture {
+        web,
+        popular,
+        tail,
+        popular_clusters,
+        tail_clusters,
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    let f = fixture();
+
+    // E1: prevalence (§4.1).
+    c.bench_function("tables/e1_prevalence", |b| {
+        b.iter(|| black_box(Prevalence::compute(&f.popular, f.popular.len()).fingerprinting_rate()))
+    });
+
+    // E2: Figure 1.
+    c.bench_function("tables/fig1", |b| {
+        b.iter(|| black_box(Figure1::build(&f.popular_clusters, &f.tail_clusters, 50).bars.len()))
+    });
+
+    // E3: reach / overlap (§4.2).
+    c.bench_function("tables/e3_overlap", |b| {
+        b.iter(|| {
+            black_box(
+                OverlapStats::compute(&f.popular_clusters, &f.tail_clusters).sharing_fraction(),
+            )
+        })
+    });
+
+    // E4: Table 1 attribution (includes demo/customer ground-truth crawls).
+    let sources = AttributionSources {
+        demos: f.web.demo_pages(),
+        customers: f.web.known_customers(),
+    };
+    c.bench_function("tables/table1_attribution", |b| {
+        b.iter(|| {
+            let truth =
+                gather_ground_truth(&f.web.network, &sources, &DeviceProfile::intel_ubuntu());
+            black_box(
+                attribute(
+                    &f.web.network,
+                    &truth,
+                    &f.popular,
+                    &f.tail,
+                    &f.popular_clusters,
+                    &f.tail_clusters,
+                )
+                .attributed_sites,
+            )
+        })
+    });
+
+    // E5: Table 2 — one ad-blocker re-crawl of the popular cohort.
+    let frontier = f.web.frontier(Cohort::Popular);
+    c.bench_function("tables/table2_adblock_crawl", |b| {
+        b.iter(|| {
+            let config = CrawlConfig::with_adblocker(
+                canvassing_browser::AdBlockerKind::AdblockPlus,
+                &f.web.lists.easylist,
+            );
+            black_box(crawl(&f.web.network, &frontier, &config).extraction_count())
+        })
+    });
+
+    // E6: Table 4 — static list coverage.
+    let el = FilterList::parse("EasyList", &f.web.lists.easylist);
+    let ep = FilterList::parse("EasyPrivacy", &f.web.lists.easyprivacy);
+    let dc = DisconnectList::parse(&f.web.lists.disconnect);
+    c.bench_function("tables/table4_coverage", |b| {
+        b.iter(|| black_box(coverage(&f.popular, &el, &ep, &dc).any))
+    });
+
+    // E7/E8: evasion + randomization-check stats (§5.2/§5.3).
+    c.bench_function("tables/e7_e8_evasion", |b| {
+        b.iter(|| black_box(EvasionStats::compute(&f.popular).double_render_sites))
+    });
+}
+
+criterion_group! {
+    name = table_benches;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(table_benches);

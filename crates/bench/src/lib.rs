@@ -1,0 +1,10 @@
+//! # canvassing-bench
+//!
+//! Benchmarks and the `repro` binary that regenerates every table and
+//! figure of the paper. See `src/bin/repro.rs` and the Criterion benches
+//! under `benches/`.
+
+#![warn(missing_docs)]
+
+/// Re-exported study entry points used by the benches.
+pub use canvassing::study::{run_study, StudyOptions};

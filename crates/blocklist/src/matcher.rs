@@ -1,0 +1,303 @@
+//! Rule-against-request matching.
+
+use canvassing_net::{ResourceType, Url};
+
+use crate::rule::{Anchor, FilterRule, PartyOption, PatternToken, TypeOption};
+
+/// The request context a rule is evaluated against.
+#[derive(Debug, Clone)]
+pub struct RequestContext {
+    /// The resource URL being requested.
+    pub url: Url,
+    /// What kind of resource it is.
+    pub resource_type: ResourceType,
+    /// Whether the request is first-party relative to the page
+    /// (same registrable domain).
+    pub first_party: bool,
+    /// Registrable domain of the page making the request (for `domain=`).
+    pub page_domain: String,
+}
+
+impl RequestContext {
+    /// Convenience constructor used throughout the pipeline.
+    pub fn new(url: Url, resource_type: ResourceType, first_party: bool, page_domain: &str) -> Self {
+        RequestContext {
+            url,
+            resource_type,
+            first_party,
+            page_domain: page_domain.to_ascii_lowercase(),
+        }
+    }
+}
+
+fn type_matches(rule: &FilterRule, ty: ResourceType) -> bool {
+    let as_opt = match ty {
+        ResourceType::Script => TypeOption::Script,
+        ResourceType::Image => TypeOption::Image,
+        ResourceType::Document => TypeOption::Document,
+        ResourceType::Other => TypeOption::Other,
+    };
+    if rule.exclude_types.contains(&as_opt) {
+        return false;
+    }
+    if rule.include_types.is_empty() {
+        return true;
+    }
+    rule.include_types.contains(&as_opt)
+}
+
+fn party_matches(rule: &FilterRule, first_party: bool) -> bool {
+    match rule.party {
+        PartyOption::Any => true,
+        PartyOption::ThirdOnly => !first_party,
+        PartyOption::FirstOnly => first_party,
+    }
+}
+
+fn domain_matches(rule: &FilterRule, page_domain: &str) -> bool {
+    let covered = |d: &String| {
+        page_domain == d.as_str() || page_domain.ends_with(&format!(".{d}"))
+    };
+    if rule.exclude_domains.iter().any(covered) {
+        return false;
+    }
+    if rule.include_domains.is_empty() {
+        return true;
+    }
+    rule.include_domains.iter().any(covered)
+}
+
+/// Whether `c` is an ABP "separator" character for `^`.
+fn is_separator(c: char) -> bool {
+    !(c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' || c == '%')
+}
+
+/// Matches the compiled tokens against `text` starting exactly at
+/// byte offset `pos`. Returns the end offset on success.
+fn match_tokens_at(tokens: &[PatternToken], text: &str, pos: usize, end_anchor: bool) -> bool {
+    match tokens.split_first() {
+        None => !end_anchor || pos == text.len(),
+        Some((PatternToken::Literal(lit), rest)) => {
+            if text[pos..].starts_with(lit.as_str()) {
+                match_tokens_at(rest, text, pos + lit.len(), end_anchor)
+            } else {
+                false
+            }
+        }
+        Some((PatternToken::Separator, rest)) => {
+            // `^` matches a separator char, or — consuming nothing — the
+            // end of the URL.
+            if pos == text.len() {
+                return match_tokens_at(rest, text, pos, end_anchor);
+            }
+            let c = text[pos..].chars().next().unwrap();
+            if is_separator(c) {
+                match_tokens_at(rest, text, pos + c.len_utf8(), end_anchor)
+            } else {
+                false
+            }
+        }
+        Some((PatternToken::Wildcard, rest)) => {
+            if rest.is_empty() {
+                return true; // `*` can always extend to the end of the URL
+            }
+            let mut p = pos;
+            loop {
+                if match_tokens_at(rest, text, p, end_anchor) {
+                    return true;
+                }
+                match text[p..].chars().next() {
+                    Some(c) => p += c.len_utf8(),
+                    None => return false,
+                }
+            }
+        }
+    }
+}
+
+/// Whether the rule's pattern (ignoring options) matches the URL.
+pub fn pattern_matches(rule: &FilterRule, url: &Url) -> bool {
+    let full = url.to_string().to_ascii_lowercase();
+    match rule.anchor {
+        Anchor::Start => match_tokens_at(&rule.tokens, &full, 0, rule.end_anchor),
+        Anchor::Domain => {
+            // `||` anchors at the start of the host or any label boundary
+            // within it.
+            let host_start = full.find("://").map(|i| i + 3).unwrap_or(0);
+            let host_end = full[host_start..]
+                .find(['/', '?', ':'])
+                .map(|i| host_start + i)
+                .unwrap_or(full.len());
+            let mut starts = vec![host_start];
+            for (i, c) in full[host_start..host_end].char_indices() {
+                if c == '.' {
+                    starts.push(host_start + i + 1);
+                }
+            }
+            starts
+                .into_iter()
+                .any(|s| match_tokens_at(&rule.tokens, &full, s, rule.end_anchor))
+        }
+        Anchor::None => {
+            if rule.tokens.is_empty() {
+                return true;
+            }
+            let mut pos = 0;
+            loop {
+                if match_tokens_at(&rule.tokens, &full, pos, rule.end_anchor) {
+                    return true;
+                }
+                match full[pos..].chars().next() {
+                    Some(c) => pos += c.len_utf8(),
+                    None => return false,
+                }
+            }
+        }
+    }
+}
+
+/// Full rule evaluation: pattern + type + party + domain options.
+pub fn rule_matches(rule: &FilterRule, ctx: &RequestContext) -> bool {
+    type_matches(rule, ctx.resource_type)
+        && party_matches(rule, ctx.first_party)
+        && domain_matches(rule, &ctx.page_domain)
+        && pattern_matches(rule, &ctx.url)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::parse_line;
+
+    fn ctx(url: &str, ty: ResourceType, first: bool, page: &str) -> RequestContext {
+        RequestContext::new(Url::parse(url).unwrap(), ty, first, page)
+    }
+
+    fn rule(s: &str) -> FilterRule {
+        parse_line(s).unwrap()
+    }
+
+    #[test]
+    fn substring_rule_matches_anywhere() {
+        let r = rule("/fingerprint.js");
+        assert!(rule_matches(
+            &r,
+            &ctx("https://cdn.x.com/lib/fingerprint.js", ResourceType::Script, false, "x.com")
+        ));
+        assert!(!rule_matches(
+            &r,
+            &ctx("https://cdn.x.com/lib/fp.js", ResourceType::Script, false, "x.com")
+        ));
+    }
+
+    #[test]
+    fn domain_anchor_matches_host_and_subdomains() {
+        let r = rule("||tracker.net^");
+        for u in [
+            "https://tracker.net/a.js",
+            "https://cdn.tracker.net/a.js",
+            "http://tracker.net/",
+        ] {
+            assert!(rule_matches(&r, &ctx(u, ResourceType::Script, false, "x.com")), "{u}");
+        }
+        assert!(!rule_matches(
+            &r,
+            &ctx("https://nottracker.net/a.js", ResourceType::Script, false, "x.com")
+        ));
+        assert!(!rule_matches(
+            &r,
+            &ctx("https://tracker.net.evil.com/a.js", ResourceType::Script, false, "x.com")
+        ));
+    }
+
+    #[test]
+    fn document_rule_does_not_block_scripts() {
+        // The Appendix A.6 failure: ||mgid.com^$document has a rule but it
+        // never applies to script resources.
+        let r = rule("||mgid.com^$document");
+        assert!(!rule_matches(
+            &r,
+            &ctx("https://mgid.com/fp.js", ResourceType::Script, false, "news.com")
+        ));
+        assert!(rule_matches(
+            &r,
+            &ctx("https://mgid.com/", ResourceType::Document, false, "news.com")
+        ));
+    }
+
+    #[test]
+    fn third_party_option() {
+        let r = rule("||fp.example.net^$script,third-party");
+        assert!(rule_matches(
+            &r,
+            &ctx("https://fp.example.net/x.js", ResourceType::Script, false, "shop.com")
+        ));
+        assert!(!rule_matches(
+            &r,
+            &ctx("https://fp.example.net/x.js", ResourceType::Script, true, "example.net")
+        ));
+    }
+
+    #[test]
+    fn domain_option_scopes_rule() {
+        let r = rule("/ads.js$domain=news.com");
+        assert!(rule_matches(
+            &r,
+            &ctx("https://cdn.net/ads.js", ResourceType::Script, false, "news.com")
+        ));
+        assert!(rule_matches(
+            &r,
+            &ctx("https://cdn.net/ads.js", ResourceType::Script, false, "sub.news.com")
+        ));
+        assert!(!rule_matches(
+            &r,
+            &ctx("https://cdn.net/ads.js", ResourceType::Script, false, "blog.org")
+        ));
+    }
+
+    #[test]
+    fn separator_semantics() {
+        let r = rule("||example.com^path");
+        assert!(pattern_matches(&r, &Url::parse("https://example.com/path").unwrap()));
+        assert!(!pattern_matches(&r, &Url::parse("https://example.compath.com/x").unwrap()));
+        // '^' also matches end-of-URL.
+        let r2 = rule("||example.com^");
+        assert!(pattern_matches(&r2, &Url::parse("https://example.com/").unwrap()));
+    }
+
+    #[test]
+    fn wildcard_spans_segments() {
+        let r = rule("||cdn.net/*/fp-*.js");
+        assert!(pattern_matches(
+            &r,
+            &Url::parse("https://cdn.net/v2/fp-3.1.js").unwrap()
+        ));
+        assert!(!pattern_matches(
+            &r,
+            &Url::parse("https://cdn.net/fp.js").unwrap()
+        ));
+    }
+
+    #[test]
+    fn start_and_end_anchor() {
+        let r = rule("|https://exact.com/app.js|");
+        assert!(pattern_matches(&r, &Url::parse("https://exact.com/app.js").unwrap()));
+        assert!(!pattern_matches(
+            &r,
+            &Url::parse("https://exact.com/app.js?v=1").unwrap()
+        ));
+        assert!(!pattern_matches(
+            &r,
+            &Url::parse("https://pre.exact.com/app.js").unwrap()
+        ));
+    }
+
+    #[test]
+    fn matching_is_case_insensitive() {
+        let r = rule("/FingerPrint/a.js");
+        assert!(pattern_matches(
+            &r,
+            &Url::parse("https://x.com/fingerprint/A.JS").unwrap()
+        ));
+    }
+}

@@ -1,0 +1,173 @@
+//! Anti-fingerprinting defenses (§2, §5.3).
+//!
+//! Three deployed defense families are modeled:
+//!
+//! * **blocking** — all canvas reads return a constant (Tor-style);
+//! * **per-render randomization** — fresh noise on every extraction
+//!   (Brave-style, and the "Canvas Fingerprint Defender" extension the
+//!   paper cites). Detectable by the double-render check.
+//! * **per-session randomization** — one persistent noise pattern for the
+//!   whole browsing session (Firefox-style; footnote 7 notes the
+//!   double-render check cannot detect this variant).
+
+use canvassing_dom::{PixelFilter, ReadbackDefense};
+use canvassing_raster::Surface;
+
+/// Which defense the browser applies to canvas read-backs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DefenseMode {
+    /// No defense (default Chrome-like configuration; the paper's crawls).
+    #[default]
+    None,
+    /// Block all canvas extraction.
+    Block,
+    /// Fresh random noise per extraction, seeded per session.
+    RandomizePerRender {
+        /// Session seed.
+        seed: u64,
+    },
+    /// One persistent noise pattern per session (same noise for every
+    /// extraction of the same canvas).
+    RandomizePerSession {
+        /// Session seed.
+        seed: u64,
+    },
+}
+
+impl DefenseMode {
+    /// Builds the DOM-layer defense hook.
+    pub fn build(self) -> ReadbackDefense {
+        match self {
+            DefenseMode::None => ReadbackDefense::None,
+            DefenseMode::Block => ReadbackDefense::Block,
+            DefenseMode::RandomizePerRender { seed } => {
+                ReadbackDefense::Filter(Box::new(NoiseFilter {
+                    seed,
+                    per_render: true,
+                }))
+            }
+            DefenseMode::RandomizePerSession { seed } => {
+                ReadbackDefense::Filter(Box::new(NoiseFilter {
+                    seed,
+                    per_render: false,
+                }))
+            }
+        }
+    }
+}
+
+/// ±1 LSB noise applied to a sparse subset of pixels, the way deployed
+/// canvas randomizers perturb read-backs without visibly corrupting the
+/// image.
+struct NoiseFilter {
+    seed: u64,
+    per_render: bool,
+}
+
+impl PixelFilter for NoiseFilter {
+    fn filter(&mut self, canvas_index: usize, surface: &mut Surface, invocation: u64) {
+        // Per-render noise is salted by the extraction counter (and the
+        // canvas), so every read-back differs. Per-session noise depends
+        // only on the session seed: the same pattern for every read-back,
+        // across canvases — which is why the double-render check cannot
+        // see it (two fresh canvas elements still compare equal).
+        let salt = if self.per_render {
+            invocation
+                .wrapping_mul(0xd1b54a32d192ed03)
+                .wrapping_add(canvas_index as u64)
+        } else {
+            0
+        };
+        let mut state = self
+            .seed
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(salt)
+            | 1;
+        let data = surface.data_mut();
+        let mut i = 0usize;
+        while i < data.len() {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545f4914f6cdd1d);
+            // Perturb roughly 1 in 16 bytes by ±1, skipping alpha bytes.
+            if r & 0xf == 0 && i % 4 != 3 {
+                data[i] = if r & 0x10 == 0 {
+                    data[i].saturating_add(1)
+                } else {
+                    data[i].saturating_sub(1)
+                };
+            }
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn surface_with_content() -> Surface {
+        let mut s = Surface::new(16, 16);
+        for b in s.data_mut().iter_mut() {
+            *b = 128;
+        }
+        s
+    }
+
+    fn run_filter(mode: DefenseMode, invocation: u64) -> Vec<u8> {
+        let ReadbackDefense::Filter(mut f) = mode.build() else {
+            panic!("expected filter")
+        };
+        let mut s = surface_with_content();
+        f.filter(0, &mut s, invocation);
+        s.data().to_vec()
+    }
+
+    #[test]
+    fn per_render_noise_differs_across_invocations() {
+        let mode = DefenseMode::RandomizePerRender { seed: 7 };
+        assert_ne!(run_filter(mode, 1), run_filter(mode, 2));
+        // But is deterministic for the same invocation.
+        assert_eq!(run_filter(mode, 1), run_filter(mode, 1));
+    }
+
+    #[test]
+    fn per_session_noise_is_stable_across_invocations() {
+        let mode = DefenseMode::RandomizePerSession { seed: 7 };
+        assert_eq!(run_filter(mode, 1), run_filter(mode, 2));
+        // Different sessions (seeds) produce different noise.
+        assert_ne!(
+            run_filter(DefenseMode::RandomizePerSession { seed: 7 }, 1),
+            run_filter(DefenseMode::RandomizePerSession { seed: 8 }, 1)
+        );
+    }
+
+    #[test]
+    fn noise_actually_changes_pixels_but_sparsely() {
+        let noisy = run_filter(DefenseMode::RandomizePerRender { seed: 3 }, 1);
+        let clean = surface_with_content();
+        let changed = noisy
+            .iter()
+            .zip(clean.data())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(changed > 0, "noise must perturb something");
+        assert!(
+            changed < noisy.len() / 4,
+            "noise must be sparse, changed {changed}/{}",
+            noisy.len()
+        );
+        // Alpha channel untouched.
+        for i in (3..noisy.len()).step_by(4) {
+            assert_eq!(noisy[i], clean.data()[i]);
+        }
+    }
+
+    #[test]
+    fn none_and_block_modes_build() {
+        assert!(matches!(DefenseMode::None.build(), ReadbackDefense::None));
+        assert!(matches!(DefenseMode::Block.build(), ReadbackDefense::Block));
+    }
+}

@@ -1,0 +1,433 @@
+//! The page-visit pipeline: fetch → consent → scripts → user simulation.
+
+use canvassing_dom::{ApiCall, Document, Extraction};
+use canvassing_net::{
+    FetchError, Network, Resource, ScriptRef, Url,
+};
+use canvassing_raster::DeviceProfile;
+use canvassing_script::eval;
+use serde::{Deserialize, Serialize};
+
+use crate::defenses::DefenseMode;
+use crate::extension::Extension;
+
+/// Why a whole page visit failed (maps to the paper's "crawled
+/// unsuccessfully" sites).
+#[derive(Debug, Clone, PartialEq)]
+pub enum VisitError {
+    /// Network-level failure fetching the top-level document.
+    Fetch(FetchError),
+    /// The URL resolved to something that is not a page.
+    NotAPage(Url),
+    /// The site's bot gate rejected the client.
+    BotBlocked(Url),
+}
+
+impl std::fmt::Display for VisitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VisitError::Fetch(e) => write!(f, "fetch failed: {e}"),
+            VisitError::NotAPage(u) => write!(f, "not a page: {u}"),
+            VisitError::BotBlocked(u) => write!(f, "bot gate rejected crawler at {u}"),
+        }
+    }
+}
+
+impl std::error::Error for VisitError {}
+
+/// A script request the extension blocked.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockedScript {
+    /// The URL the page referenced.
+    pub url: Url,
+    /// The filter rule that fired.
+    pub rule: String,
+}
+
+/// A script that executed during the visit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadedScript {
+    /// The URL the instrumentation attributes calls to (page URL for
+    /// inline/bundled code).
+    pub url: Url,
+    /// Whether the code was inline in the page (first-party bundle).
+    pub inline: bool,
+    /// Canonical host after DNS resolution (differs from `url.host`
+    /// under CNAME cloaking); the page URL's host for inline code.
+    pub canonical_host: String,
+    /// Whether DNS revealed a cross-site CNAME (cloaking).
+    pub cname_cloaked: bool,
+    /// Runtime error message if the script crashed (execution continues
+    /// with the next script, as in a real browser).
+    pub error: Option<String>,
+}
+
+/// Everything recorded about one page visit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PageVisit {
+    /// The visited page.
+    pub page: Url,
+    /// Instrumented Canvas API activity.
+    pub api_calls: Vec<ApiCall>,
+    /// Canvas extractions (`toDataURL` results).
+    pub extractions: Vec<Extraction>,
+    /// Scripts that ran.
+    pub scripts: Vec<LoadedScript>,
+    /// Scripts the extension blocked.
+    pub blocked: Vec<BlockedScript>,
+    /// Whether a consent banner was shown (and auto-accepted).
+    pub consent_banner: bool,
+}
+
+/// A headless browser: device profile + optional extension + defense.
+pub struct Browser {
+    /// Rendering device.
+    pub device: DeviceProfile,
+    /// Installed ad blocker, if any.
+    pub extension: Option<Extension>,
+    /// Canvas read-back defense.
+    pub defense: DefenseMode,
+    /// Auto-accept consent banners (the crawler's autoconsent library).
+    pub autoconsent: bool,
+    /// Whether this client passes site bot gates (the paper's crawler
+    /// "handles common anti-bot detection mechanisms"). Disable to inject
+    /// bot-wall faults.
+    pub passes_bot_checks: bool,
+}
+
+impl Browser {
+    /// A default browser on the given device: no extension, no defense.
+    pub fn new(device: DeviceProfile) -> Browser {
+        Browser {
+            device,
+            extension: None,
+            defense: DefenseMode::None,
+            autoconsent: true,
+            passes_bot_checks: true,
+        }
+    }
+
+    /// Visits a page and records all canvas activity.
+    pub fn visit(&self, network: &Network, page_url: &Url) -> Result<PageVisit, VisitError> {
+        let response = network.fetch(page_url).map_err(VisitError::Fetch)?;
+        let page = match response.resource {
+            Resource::Page(p) => p,
+            Resource::Script(_) => return Err(VisitError::NotAPage(page_url.clone())),
+        };
+        if page.bot_check && !self.passes_bot_checks {
+            return Err(VisitError::BotBlocked(page_url.clone()));
+        }
+
+        let mut doc = Document::new(self.device.clone());
+        // Randomization defenses key their noise per browsing session and
+        // origin (a fresh headless visit = a fresh session), so the
+        // configured seed is mixed with the page host: the same defended
+        // browser produces different noise on different sites — which is
+        // what breaks cross-site canvas clustering.
+        let mut defense = self.defense;
+        match &mut defense {
+            DefenseMode::RandomizePerRender { seed }
+            | DefenseMode::RandomizePerSession { seed } => {
+                let mut h: u64 = 0xcbf29ce484222325;
+                for b in page_url.host.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100000001b3);
+                }
+                *seed ^= h;
+            }
+            DefenseMode::None | DefenseMode::Block => {}
+        }
+        doc.set_defense(defense.build());
+        doc.advance_clock(response.latency_ms);
+
+        let mut visit = PageVisit {
+            page: page_url.clone(),
+            api_calls: Vec::new(),
+            extractions: Vec::new(),
+            scripts: Vec::new(),
+            blocked: Vec::new(),
+            consent_banner: page.consent_banner,
+        };
+
+        // Consent banner: autoconsent opts in (small interaction delay);
+        // without it, consent-gated scripts do not run.
+        if page.consent_banner {
+            if self.autoconsent {
+                doc.advance_clock(350);
+            } else {
+                return Ok(visit);
+            }
+        }
+
+        for script_ref in &page.scripts {
+            match script_ref {
+                ScriptRef::Inline { source, .. } => {
+                    doc.set_current_script(&page_url.to_string());
+                    let error = eval(source, &mut doc).err().map(|e| e.message);
+                    visit.scripts.push(LoadedScript {
+                        url: page_url.clone(),
+                        inline: true,
+                        canonical_host: page_url.host.clone(),
+                        cname_cloaked: false,
+                        error,
+                    });
+                }
+                ScriptRef::External(url) => {
+                    if let Some(ext) = &self.extension {
+                        if let Some(decision) = ext.check_script(page_url, url, &network.dns) {
+                            visit.blocked.push(BlockedScript {
+                                url: url.clone(),
+                                rule: decision.rule,
+                            });
+                            continue;
+                        }
+                    }
+                    match network.fetch(url) {
+                        Ok(resp) => {
+                            let source = match resp.resource {
+                                Resource::Script(s) => s.source,
+                                Resource::Page(_) => continue,
+                            };
+                            doc.advance_clock(resp.latency_ms);
+                            doc.set_current_script(&url.to_string());
+                            let error = eval(&source, &mut doc).err().map(|e| e.message);
+                            visit.scripts.push(LoadedScript {
+                                url: url.clone(),
+                                inline: false,
+                                canonical_host: resp.resolution.canonical.clone(),
+                                cname_cloaked: resp.resolution.is_cloaked(),
+                                error,
+                            });
+                        }
+                        Err(_) => {
+                            // Broken script reference: pages survive it.
+                            visit.scripts.push(LoadedScript {
+                                url: url.clone(),
+                                inline: false,
+                                canonical_host: url.host.clone(),
+                                cname_cloaked: false,
+                                error: Some("fetch failed".into()),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Simulated user behavior: scroll down and up, then wait five
+        // seconds (§3.1) — matters only for timestamps here.
+        doc.advance_clock(5_000);
+
+        let (calls, extractions) = doc.into_records();
+        visit.api_calls = calls;
+        visit.extractions = extractions;
+        Ok(visit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extension::AdBlockerKind;
+    use canvassing_net::{PageResource, Resource, ScriptResource};
+
+    fn simple_network() -> Network {
+        let mut network = Network::new();
+        let script = r##"
+            let c = document.createElement("canvas");
+            c.width = 50; c.height = 20;
+            let x = c.getContext("2d");
+            x.fillStyle = "#069";
+            x.fillText("probe", 2, 12);
+            c.toDataURL();
+        "##;
+        network.host(
+            &Url::https("fp.example.net", "/fp.js"),
+            Resource::Script(ScriptResource {
+                source: script.to_string(),
+                label: "test".into(),
+            }),
+        );
+        network.host(
+            &Url::https("site.com", "/"),
+            Resource::Page(PageResource {
+                scripts: vec![ScriptRef::External(Url::https("fp.example.net", "/fp.js"))],
+                consent_banner: false,
+                bot_check: false,
+            }),
+        );
+        network
+    }
+
+    fn intel_browser() -> Browser {
+        Browser::new(DeviceProfile::intel_ubuntu())
+    }
+
+    #[test]
+    fn visit_records_extraction_with_script_url() {
+        let network = simple_network();
+        let visit = intel_browser()
+            .visit(&network, &Url::https("site.com", "/"))
+            .unwrap();
+        assert_eq!(visit.extractions.len(), 1);
+        assert_eq!(
+            visit.extractions[0].script_url,
+            "https://fp.example.net/fp.js"
+        );
+        assert!(!visit.api_calls.is_empty());
+        assert!(visit.blocked.is_empty());
+    }
+
+    #[test]
+    fn extension_blocks_matching_script() {
+        let network = simple_network();
+        let mut browser = intel_browser();
+        browser.extension = Some(Extension::new(
+            AdBlockerKind::AdblockPlus,
+            "||fp.example.net^$script\n",
+        ));
+        let visit = browser
+            .visit(&network, &Url::https("site.com", "/"))
+            .unwrap();
+        assert!(visit.extractions.is_empty());
+        assert_eq!(visit.blocked.len(), 1);
+    }
+
+    #[test]
+    fn down_site_is_visit_error() {
+        let mut network = simple_network();
+        network.faults.take_down("site.com");
+        let err = intel_browser()
+            .visit(&network, &Url::https("site.com", "/"))
+            .unwrap_err();
+        assert!(matches!(err, VisitError::Fetch(_)));
+    }
+
+    #[test]
+    fn bot_gate_rejects_non_stealth_client() {
+        let mut network = Network::new();
+        network.host(
+            &Url::https("guarded.com", "/"),
+            Resource::Page(PageResource {
+                scripts: vec![],
+                consent_banner: false,
+                bot_check: true,
+            }),
+        );
+        let mut browser = intel_browser();
+        browser.passes_bot_checks = false;
+        let err = browser
+            .visit(&network, &Url::https("guarded.com", "/"))
+            .unwrap_err();
+        assert!(matches!(err, VisitError::BotBlocked(_)));
+        // The default crawler passes.
+        assert!(intel_browser()
+            .visit(&network, &Url::https("guarded.com", "/"))
+            .is_ok());
+    }
+
+    #[test]
+    fn consent_banner_without_autoconsent_runs_nothing() {
+        let mut network = simple_network();
+        network.host(
+            &Url::https("consent.com", "/"),
+            Resource::Page(PageResource {
+                scripts: vec![ScriptRef::External(Url::https("fp.example.net", "/fp.js"))],
+                consent_banner: true,
+                bot_check: false,
+            }),
+        );
+        let mut browser = intel_browser();
+        browser.autoconsent = false;
+        let visit = browser
+            .visit(&network, &Url::https("consent.com", "/"))
+            .unwrap();
+        assert!(visit.extractions.is_empty());
+        browser.autoconsent = true;
+        let visit = browser
+            .visit(&network, &Url::https("consent.com", "/"))
+            .unwrap();
+        assert_eq!(visit.extractions.len(), 1);
+    }
+
+    #[test]
+    fn broken_script_reference_does_not_fail_visit() {
+        let mut network = Network::new();
+        network.host(
+            &Url::https("site.com", "/"),
+            Resource::Page(PageResource {
+                scripts: vec![ScriptRef::External(Url::https("gone.example", "/x.js"))],
+                consent_banner: false,
+                bot_check: false,
+            }),
+        );
+        let visit = intel_browser()
+            .visit(&network, &Url::https("site.com", "/"))
+            .unwrap();
+        assert_eq!(visit.scripts.len(), 1);
+        assert!(visit.scripts[0].error.is_some());
+    }
+
+    #[test]
+    fn block_defense_yields_constant_extraction() {
+        let network = simple_network();
+        let mut browser = intel_browser();
+        browser.defense = DefenseMode::Block;
+        let visit = browser
+            .visit(&network, &Url::https("site.com", "/"))
+            .unwrap();
+        assert_eq!(visit.extractions[0].data_url, canvassing_dom::BLOCKED_DATA_URL);
+    }
+
+    #[test]
+    fn randomize_per_render_defeats_clustering_but_is_detectable() {
+        let mut network = simple_network();
+        // A script doing the §5.3 stability check.
+        let checker = r##"
+            fn render() {
+                let c = document.createElement("canvas");
+                c.width = 40; c.height = 20;
+                let x = c.getContext("2d");
+                x.fillStyle = "tomato";
+                x.fillRect(0, 0, 40, 20);
+                return c.toDataURL();
+            }
+            let a = render();
+            let b = render();
+            a == b;
+        "##;
+        network.host(
+            &Url::https("checker.net", "/check.js"),
+            Resource::Script(ScriptResource {
+                source: checker.to_string(),
+                label: "checker".into(),
+            }),
+        );
+        network.host(
+            &Url::https("checksite.com", "/"),
+            Resource::Page(PageResource {
+                scripts: vec![ScriptRef::External(Url::https("checker.net", "/check.js"))],
+                consent_banner: false,
+                bot_check: false,
+            }),
+        );
+        let page = Url::https("checksite.com", "/");
+
+        // Without defense: both renders identical.
+        let visit = intel_browser().visit(&network, &page).unwrap();
+        assert_eq!(visit.extractions[0].data_url, visit.extractions[1].data_url);
+
+        // Per-render noise: renders differ (check detects randomization).
+        let mut browser = intel_browser();
+        browser.defense = DefenseMode::RandomizePerRender { seed: 1 };
+        let visit = browser.visit(&network, &page).unwrap();
+        assert_ne!(visit.extractions[0].data_url, visit.extractions[1].data_url);
+
+        // Per-session noise: renders match (footnote 7 — undetectable by
+        // the double-render check).
+        let mut browser = intel_browser();
+        browser.defense = DefenseMode::RandomizePerSession { seed: 1 };
+        let visit = browser.visit(&network, &page).unwrap();
+        assert_eq!(visit.extractions[0].data_url, visit.extractions[1].data_url);
+    }
+}

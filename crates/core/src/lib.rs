@@ -1,0 +1,51 @@
+//! # canvassing
+//!
+//! The measurement pipeline of *Canvassing the Fingerprinters:
+//! Characterizing Canvas Fingerprinting Use Across the Web* (IMC 2025),
+//! reproduced end to end over a simulated Web.
+//!
+//! The pipeline mirrors the paper's methodology section by section:
+//!
+//! * [`mod@detect`] — §3.2's three heuristics turn raw `toDataURL`
+//!   extractions into *fingerprintable test canvases*;
+//! * [`cluster`] — §4.2's grouping of sites by byte-identical canvases;
+//! * [`prevalence`] — §4.1's rates and per-site canvas distribution;
+//! * [`attribution`] — §4.3 / Appendix A.3's demo, known-customer, and
+//!   script-pattern attribution (including the Imperva per-site regex and
+//!   the FingerprintJS open-source/commercial split);
+//! * [`blocklist_coverage`] — §5.1 / Table 4's adblockparser-style static
+//!   list coverage;
+//! * [`evasion`] — §5.2's first-party / subdomain / CDN / CNAME serving
+//!   analysis and §5.3's double-render randomization-check detection;
+//! * [`figures`] — Figure 1 regeneration;
+//! * [`study`] — the orchestrator that runs every crawl and produces all
+//!   tables and figures ([`study::run_study`]).
+//!
+//! ```no_run
+//! use canvassing::study::{run_study, StudyOptions};
+//! use canvassing_webgen::{SyntheticWeb, WebConfig};
+//!
+//! let web = SyntheticWeb::generate(WebConfig::paper_scale(2025));
+//! let results = run_study(&web, &StudyOptions::default());
+//! println!("{}", results.render_report());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod attribution;
+pub mod blocklist_coverage;
+pub mod cluster;
+pub mod detect;
+pub mod evasion;
+pub mod figures;
+pub mod prevalence;
+pub mod study;
+#[cfg(test)]
+mod proptests;
+
+pub use cluster::{Cluster, Clustering, OverlapStats};
+pub use detect::{detect, ExclusionReason, FpCanvas, SiteDetection};
+pub use evasion::EvasionStats;
+pub use figures::Figure1;
+pub use prevalence::Prevalence;
+pub use study::{run_study, CohortAnalysis, StudyOptions, StudyResults};

@@ -1,0 +1,194 @@
+//! Prevalence statistics (§4.1 and Appendix A.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::detect::{ExclusionReason, SiteDetection};
+
+/// Cohort-level prevalence numbers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Prevalence {
+    /// Sites attempted.
+    pub sites_crawled: usize,
+    /// Sites crawled successfully.
+    pub successes: usize,
+    /// Sites with at least one fingerprintable canvas.
+    pub fingerprinting_sites: usize,
+    /// Sites with only excluded canvas activity (Appendix A.2).
+    pub fully_excluded_sites: usize,
+    /// All extractions observed (fingerprintable + excluded).
+    pub total_extractions: usize,
+    /// Fingerprintable extraction count.
+    pub fingerprintable_extractions: usize,
+    /// Excluded extraction counts per reason:
+    /// (lossy, too-small, animation).
+    pub excluded_by_reason: (usize, usize, usize),
+    /// Sites with at least one lossy-format (WebP/JPEG) exclusion —
+    /// superset of the paper's WebP-probe population.
+    pub lossy_probe_sites: usize,
+    /// Sites with at least one small-canvas exclusion.
+    pub small_canvas_sites: usize,
+    /// Mean fingerprintable canvases per fingerprinting site.
+    pub mean_canvases: f64,
+    /// Median fingerprintable canvases per fingerprinting site.
+    pub median_canvases: usize,
+    /// Maximum fingerprintable canvases on a single site.
+    pub max_canvases: usize,
+}
+
+impl Prevalence {
+    /// Fraction of successfully crawled sites that fingerprint
+    /// (the paper's 12.7% / 9.9%).
+    pub fn fingerprinting_rate(&self) -> f64 {
+        if self.successes == 0 {
+            return 0.0;
+        }
+        self.fingerprinting_sites as f64 / self.successes as f64
+    }
+
+    /// Fraction of all extractions that are fingerprintable (the paper's
+    /// 83% across both cohorts).
+    pub fn fingerprintable_fraction(&self) -> f64 {
+        if self.total_extractions == 0 {
+            return 0.0;
+        }
+        self.fingerprintable_extractions as f64 / self.total_extractions as f64
+    }
+
+    /// Computes prevalence from successful-site detections plus the
+    /// attempted-site total.
+    pub fn compute(detections: &[SiteDetection], sites_crawled: usize) -> Prevalence {
+        let successes = detections.len();
+        let mut p = Prevalence {
+            sites_crawled,
+            successes,
+            fingerprinting_sites: 0,
+            fully_excluded_sites: 0,
+            total_extractions: 0,
+            fingerprintable_extractions: 0,
+            excluded_by_reason: (0, 0, 0),
+            lossy_probe_sites: 0,
+            small_canvas_sites: 0,
+            mean_canvases: 0.0,
+            median_canvases: 0,
+            max_canvases: 0,
+        };
+        let mut per_site: Vec<usize> = Vec::new();
+        for d in detections {
+            p.total_extractions += d.canvases.len() + d.excluded.len();
+            p.fingerprintable_extractions += d.canvases.len();
+            if d.is_fingerprinting() {
+                p.fingerprinting_sites += 1;
+                per_site.push(d.canvases.len());
+            } else if d.is_fully_excluded() {
+                p.fully_excluded_sites += 1;
+            }
+            let mut lossy_here = false;
+            let mut small_here = false;
+            for (reason, _) in &d.excluded {
+                match reason {
+                    ExclusionReason::LossyFormat => {
+                        p.excluded_by_reason.0 += 1;
+                        lossy_here = true;
+                    }
+                    ExclusionReason::TooSmall => {
+                        p.excluded_by_reason.1 += 1;
+                        small_here = true;
+                    }
+                    ExclusionReason::AnimationScript => p.excluded_by_reason.2 += 1,
+                }
+            }
+            if lossy_here {
+                p.lossy_probe_sites += 1;
+            }
+            if small_here {
+                p.small_canvas_sites += 1;
+            }
+        }
+        if !per_site.is_empty() {
+            per_site.sort_unstable();
+            p.mean_canvases =
+                per_site.iter().sum::<usize>() as f64 / per_site.len() as f64;
+            p.median_canvases = per_site[per_site.len() / 2];
+            p.max_canvases = *per_site.last().unwrap();
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::FpCanvas;
+    use canvassing_net::{Party, Url};
+
+    fn fp_site(host: &str, n: usize) -> SiteDetection {
+        SiteDetection {
+            site: host.into(),
+            canvases: (0..n)
+                .map(|i| FpCanvas {
+                    site: host.into(),
+                    data_url: format!("data:{i}"),
+                    hash: i as u64,
+                    script_url: Url::https("s.net", "/f.js"),
+                    inline: false,
+                    party: Party::ThirdParty,
+                    cname_cloaked: false,
+                    cdn: false,
+                    width: 100,
+                    height: 100,
+                })
+                .collect(),
+            excluded: vec![],
+            double_render_check: false,
+        }
+    }
+
+    fn excluded_site(host: &str, reason: ExclusionReason) -> SiteDetection {
+        SiteDetection {
+            site: host.into(),
+            canvases: vec![],
+            excluded: vec![(reason, "https://x.com/s.js".into())],
+            double_render_check: false,
+        }
+    }
+
+    #[test]
+    fn rates_and_central_tendency() {
+        let detections = vec![
+            fp_site("a.com", 1),
+            fp_site("b.com", 2),
+            fp_site("c.com", 9),
+            excluded_site("d.com", ExclusionReason::LossyFormat),
+            SiteDetection::default(),
+        ];
+        let p = Prevalence::compute(&detections, 10);
+        assert_eq!(p.sites_crawled, 10);
+        assert_eq!(p.successes, 5);
+        assert_eq!(p.fingerprinting_sites, 3);
+        assert_eq!(p.fully_excluded_sites, 1);
+        assert!((p.fingerprinting_rate() - 0.6).abs() < 1e-9);
+        assert!((p.mean_canvases - 4.0).abs() < 1e-9);
+        assert_eq!(p.median_canvases, 2);
+        assert_eq!(p.max_canvases, 9);
+        assert_eq!(p.excluded_by_reason.0, 1);
+        assert_eq!(p.lossy_probe_sites, 1);
+    }
+
+    #[test]
+    fn fingerprintable_fraction() {
+        let detections = vec![
+            fp_site("a.com", 4),
+            excluded_site("d.com", ExclusionReason::TooSmall),
+        ];
+        let p = Prevalence::compute(&detections, 2);
+        assert!((p.fingerprintable_fraction() - 0.8).abs() < 1e-9);
+        assert_eq!(p.small_canvas_sites, 1);
+    }
+
+    #[test]
+    fn empty_cohort_is_all_zeroes() {
+        let p = Prevalence::compute(&[], 0);
+        assert_eq!(p.fingerprinting_rate(), 0.0);
+        assert_eq!(p.fingerprintable_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests on the analysis invariants.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use canvassing_net::{Party, Url};
+
+use crate::cluster::{Clustering, OverlapStats};
+use crate::detect::{FpCanvas, SiteDetection};
+use crate::prevalence::Prevalence;
+
+/// Random site detections: site index → list of canvas ids.
+fn detections_strategy() -> impl Strategy<Value = Vec<SiteDetection>> {
+    proptest::collection::vec(proptest::collection::vec(0u8..24, 0..5), 0..30).prop_map(
+        |sites| {
+            sites
+                .into_iter()
+                .enumerate()
+                .map(|(i, canvases)| SiteDetection {
+                    site: format!("site{i}.example"),
+                    canvases: canvases
+                        .into_iter()
+                        .map(|cid| FpCanvas {
+                            site: format!("site{i}.example"),
+                            data_url: format!("data:canvas-{cid}"),
+                            hash: cid as u64,
+                            script_url: Url::https("s.example", "/f.js"),
+                            inline: false,
+                            party: Party::ThirdParty,
+                            cname_cloaked: false,
+                            cdn: false,
+                            width: 100,
+                            height: 100,
+                        })
+                        .collect(),
+                    excluded: vec![],
+                    double_render_check: false,
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Clustering conservation laws: every observation lands in exactly
+    /// one cluster; distinct canvases = distinct clusters; cluster order
+    /// is non-increasing by site count.
+    #[test]
+    fn clustering_invariants(detections in detections_strategy()) {
+        let clustering = Clustering::build(detections.iter());
+        let total_obs: usize = detections.iter().map(|d| d.canvases.len()).sum();
+        let clustered_obs: usize = clustering.clusters.iter().map(|c| c.extractions).sum();
+        prop_assert_eq!(total_obs, clustered_obs);
+
+        let distinct: std::collections::BTreeSet<&str> = detections
+            .iter()
+            .flat_map(|d| d.canvases.iter().map(|c| c.data_url.as_str()))
+            .collect();
+        prop_assert_eq!(clustering.unique_canvases(), distinct.len());
+
+        for pair in clustering.clusters.windows(2) {
+            prop_assert!(pair[0].site_count() >= pair[1].site_count());
+        }
+
+        // Top-k coverage is monotone in k and bounded by the site total.
+        let all = clustering.all_sites().len();
+        let mut prev = 0;
+        for k in 0..=clustering.unique_canvases() {
+            let covered = clustering.sites_covered_by_top(k);
+            prop_assert!(covered >= prev);
+            prop_assert!(covered <= all);
+            prev = covered;
+        }
+        prop_assert_eq!(prev, all);
+    }
+
+    /// Overlap stats: sharing fraction is a probability and tail-only
+    /// cluster sizes sum to at most the tail site-observation count.
+    #[test]
+    fn overlap_invariants(
+        popular in detections_strategy(),
+        tail in detections_strategy(),
+    ) {
+        let pc = Clustering::build(popular.iter());
+        let tc = Clustering::build(tail.iter());
+        let o = OverlapStats::compute(&pc, &tc);
+        let f = o.sharing_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!(o.tail_sites_sharing <= o.tail_sites_total);
+        for pair in o.tail_only_cluster_sizes.windows(2) {
+            prop_assert!(pair[0] >= pair[1]);
+        }
+    }
+
+    /// Prevalence bookkeeping: sites partition into fingerprinting,
+    /// fully-excluded, and silent; extraction counts add up.
+    #[test]
+    fn prevalence_invariants(detections in detections_strategy()) {
+        let attempted = detections.len() + 5;
+        let p = Prevalence::compute(&detections, attempted);
+        prop_assert_eq!(p.successes, detections.len());
+        prop_assert!(p.fingerprinting_sites + p.fully_excluded_sites <= p.successes);
+        prop_assert_eq!(
+            p.total_extractions,
+            p.fingerprintable_extractions
+                + p.excluded_by_reason.0
+                + p.excluded_by_reason.1
+                + p.excluded_by_reason.2
+        );
+        let rate = p.fingerprinting_rate();
+        prop_assert!((0.0..=1.0).contains(&rate));
+        if p.fingerprinting_sites > 0 {
+            prop_assert!(p.mean_canvases >= 1.0);
+            prop_assert!(p.max_canvases >= p.median_canvases);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Crawl datasets: per-site records with JSON (de)serialization.
+
+use canvassing_browser::PageVisit;
+use canvassing_net::Url;
+use serde::{Deserialize, Serialize};
+
+/// Result of visiting one site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SiteOutcome {
+    /// The visit completed; canvas activity recorded.
+    Success(Box<PageVisit>),
+    /// The visit failed (site down, DNS error, bot wall).
+    Failure(String),
+}
+
+/// One frontier entry's record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteRecord {
+    /// The homepage URL visited.
+    pub url: Url,
+    /// What happened.
+    pub outcome: SiteOutcome,
+}
+
+/// A complete crawl of one frontier under one configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrawlDataset {
+    /// Configuration label (`"control"`, `"adblock-plus"`, …).
+    pub label: String,
+    /// Device profile id the crawl rendered with.
+    pub device_id: String,
+    /// Per-site records, in frontier order.
+    pub records: Vec<SiteRecord>,
+}
+
+impl CrawlDataset {
+    /// Iterates over successfully crawled sites.
+    pub fn successful(&self) -> impl Iterator<Item = (&Url, &PageVisit)> {
+        self.records.iter().filter_map(|r| match &r.outcome {
+            SiteOutcome::Success(v) => Some((&r.url, v.as_ref())),
+            SiteOutcome::Failure(_) => None,
+        })
+    }
+
+    /// Iterates over failed sites with their error strings.
+    pub fn failed(&self) -> impl Iterator<Item = (&Url, &str)> {
+        self.records.iter().filter_map(|r| match &r.outcome {
+            SiteOutcome::Success(_) => None,
+            SiteOutcome::Failure(e) => Some((&r.url, e.as_str())),
+        })
+    }
+
+    /// Number of successfully crawled sites.
+    pub fn success_count(&self) -> usize {
+        self.successful().count()
+    }
+
+    /// Total extractions across all successful visits.
+    pub fn extraction_count(&self) -> usize {
+        self.successful().map(|(_, v)| v.extractions.len()).sum()
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(json: &str) -> serde_json::Result<CrawlDataset> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_dataset_counts() {
+        let ds = CrawlDataset {
+            label: "x".into(),
+            device_id: "d".into(),
+            records: vec![],
+        };
+        assert_eq!(ds.success_count(), 0);
+        assert_eq!(ds.extraction_count(), 0);
+        assert_eq!(ds.failed().count(), 0);
+    }
+
+    #[test]
+    fn failure_records_roundtrip() {
+        let ds = CrawlDataset {
+            label: "x".into(),
+            device_id: "d".into(),
+            records: vec![SiteRecord {
+                url: Url::https("down.com", "/"),
+                outcome: SiteOutcome::Failure("unreachable host: down.com".into()),
+            }],
+        };
+        let back = CrawlDataset::from_json(&ds.to_json().unwrap()).unwrap();
+        assert_eq!(back.failed().count(), 1);
+        assert_eq!(back.failed().next().unwrap().1, "unreachable host: down.com");
+    }
+}

@@ -1,0 +1,236 @@
+//! # canvassing-crawler
+//!
+//! The crawl harness: drives a fleet of [`Browser`] workers across a site
+//! frontier and collects per-site records, mirroring the paper's crawls
+//! (§3.1): one configuration per crawl (device profile, optional ad-block
+//! extension, optional canvas defense), every site visited once, failures
+//! recorded rather than retried away.
+//!
+//! Work distribution uses a crossbeam channel as the job queue; results
+//! are reassembled in frontier order so datasets are deterministic
+//! regardless of scheduling.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+
+use canvassing_browser::{AdBlockerKind, Browser, DefenseMode, Extension, PageVisit};
+use canvassing_net::{Network, Url};
+use canvassing_raster::DeviceProfile;
+
+pub use dataset::{CrawlDataset, SiteOutcome, SiteRecord};
+
+/// Configuration for one crawl run.
+pub struct CrawlConfig {
+    /// Human-readable label, e.g. `"control"`, `"adblock-plus"`.
+    pub label: String,
+    /// Worker threads.
+    pub workers: usize,
+    /// Rendering device for every worker (a crawl uses one machine, §3.1).
+    pub device: DeviceProfile,
+    /// Installed ad blocker, with the EasyList text it loads.
+    pub adblocker: Option<(AdBlockerKind, String)>,
+    /// Canvas read-back defense.
+    pub defense: DefenseMode,
+    /// Whether workers pass bot gates (true for the paper's crawler).
+    pub passes_bot_checks: bool,
+}
+
+impl CrawlConfig {
+    /// The paper's control configuration on the Intel/Ubuntu machine.
+    pub fn control() -> CrawlConfig {
+        CrawlConfig {
+            label: "control".into(),
+            workers: 8,
+            device: DeviceProfile::intel_ubuntu(),
+            adblocker: None,
+            defense: DefenseMode::None,
+            passes_bot_checks: true,
+        }
+    }
+
+    /// Control configuration with a different device (the M1 validation
+    /// crawl).
+    pub fn with_device(device: DeviceProfile) -> CrawlConfig {
+        CrawlConfig {
+            label: format!("control-{}", device.id),
+            device,
+            ..CrawlConfig::control()
+        }
+    }
+
+    /// Configuration with an ad blocker installed (Table 2 re-crawls).
+    pub fn with_adblocker(kind: AdBlockerKind, easylist: &str) -> CrawlConfig {
+        CrawlConfig {
+            label: kind.name().to_ascii_lowercase().replace(' ', "-"),
+            adblocker: Some((kind, easylist.to_string())),
+            ..CrawlConfig::control()
+        }
+    }
+
+    fn build_browser(&self) -> Browser {
+        let mut browser = Browser::new(self.device.clone());
+        browser.defense = self.defense;
+        browser.passes_bot_checks = self.passes_bot_checks;
+        if let Some((kind, list)) = &self.adblocker {
+            browser.extension = Some(Extension::new(*kind, list));
+        }
+        browser
+    }
+}
+
+/// Crawls the frontier, returning one record per frontier URL (in order).
+pub fn crawl(network: &Network, frontier: &[Url], config: &CrawlConfig) -> CrawlDataset {
+    let workers = config.workers.max(1);
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<usize>();
+    for i in 0..frontier.len() {
+        job_tx.send(i).expect("queue open");
+    }
+    drop(job_tx);
+
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, SiteRecord)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                let browser = config.build_browser();
+                while let Ok(i) = job_rx.recv() {
+                    let url = &frontier[i];
+                    let outcome = match browser.visit(network, url) {
+                        Ok(visit) => SiteOutcome::Success(Box::new(visit)),
+                        Err(e) => SiteOutcome::Failure(e.to_string()),
+                    };
+                    let record = SiteRecord {
+                        url: url.clone(),
+                        outcome,
+                    };
+                    if res_tx.send((i, record)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+    });
+
+    let mut slots: Vec<Option<SiteRecord>> = (0..frontier.len()).map(|_| None).collect();
+    for (i, record) in res_rx.iter() {
+        slots[i] = Some(record);
+    }
+    CrawlDataset {
+        label: config.label.clone(),
+        device_id: config.device.id.clone(),
+        records: slots
+            .into_iter()
+            .map(|s| s.expect("every job produced a record"))
+            .collect(),
+    }
+}
+
+/// Convenience: visits a single page with a one-off browser (used by the
+/// attribution engine's demo/customer crawls).
+pub fn visit_once(
+    network: &Network,
+    url: &Url,
+    device: DeviceProfile,
+) -> Result<PageVisit, canvassing_browser::VisitError> {
+    Browser::new(device).visit(network, url)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvassing_net::{PageResource, Resource, ScriptRef, ScriptResource};
+
+    fn network_with_sites(n: usize) -> (Network, Vec<Url>) {
+        let mut network = Network::new();
+        let mut frontier = Vec::new();
+        let script_url = Url::https("fp.example.net", "/fp.js");
+        network.host(
+            &script_url,
+            Resource::Script(ScriptResource {
+                source: r##"
+                    let c = document.createElement("canvas");
+                    c.width = 30; c.height = 20;
+                    let x = c.getContext("2d");
+                    x.fillStyle = "#069";
+                    x.fillRect(1, 1, 20, 10);
+                    c.toDataURL();
+                "##
+                .to_string(),
+                label: "fp".into(),
+            }),
+        );
+        for i in 0..n {
+            let url = Url::https(&format!("site{i}.com"), "/");
+            network.host(
+                &url,
+                Resource::Page(PageResource {
+                    scripts: if i % 2 == 0 {
+                        vec![ScriptRef::External(script_url.clone())]
+                    } else {
+                        vec![]
+                    },
+                    consent_banner: false,
+                    bot_check: false,
+                }),
+            );
+            frontier.push(url);
+        }
+        // One down site.
+        network.faults.take_down("site1.com");
+        (network, frontier)
+    }
+
+    #[test]
+    fn crawl_visits_every_site_in_order() {
+        let (network, frontier) = network_with_sites(20);
+        let ds = crawl(&network, &frontier, &CrawlConfig::control());
+        assert_eq!(ds.records.len(), 20);
+        for (r, u) in ds.records.iter().zip(&frontier) {
+            assert_eq!(&r.url, u);
+        }
+        assert_eq!(ds.failed().count(), 1);
+        assert_eq!(ds.successful().count(), 19);
+    }
+
+    #[test]
+    fn crawl_is_deterministic_across_worker_counts() {
+        let (network, frontier) = network_with_sites(30);
+        let mut one = CrawlConfig::control();
+        one.workers = 1;
+        let mut many = CrawlConfig::control();
+        many.workers = 7;
+        let a = crawl(&network, &frontier, &one);
+        let b = crawl(&network, &frontier, &many);
+        let urls = |d: &CrawlDataset| -> Vec<String> {
+            d.successful()
+                .flat_map(|(_, v)| v.extractions.iter().map(|e| e.data_url.clone()))
+                .collect()
+        };
+        assert_eq!(urls(&a), urls(&b));
+    }
+
+    #[test]
+    fn identical_sites_share_canvas_bytes() {
+        let (network, frontier) = network_with_sites(10);
+        let ds = crawl(&network, &frontier, &CrawlConfig::control());
+        let urls: Vec<&str> = ds
+            .successful()
+            .flat_map(|(_, v)| v.extractions.iter().map(|e| e.data_url.as_str()))
+            .collect();
+        assert!(urls.len() >= 4);
+        assert!(urls.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn dataset_roundtrips_through_json() {
+        let (network, frontier) = network_with_sites(4);
+        let ds = crawl(&network, &frontier, &CrawlConfig::control());
+        let json = ds.to_json().unwrap();
+        let back = CrawlDataset::from_json(&json).unwrap();
+        assert_eq!(back.records.len(), ds.records.len());
+        assert_eq!(back.label, ds.label);
+    }
+}

@@ -1,0 +1,20 @@
+//! # canvassing-dom
+//!
+//! A minimal DOM exposing instrumented `HTMLCanvasElement` and
+//! `CanvasRenderingContext2D` objects to canvascript, mirroring the
+//! paper's modified Tracker Radar Collector (§3.1): every method call and
+//! property access on the two canvas interfaces is recorded with its
+//! arguments, return value, script source URL, and timestamp.
+//!
+//! The crate also hosts the read-back defense hook
+//! ([`document::ReadbackDefense`]) that browser anti-fingerprinting modes
+//! plug into: canvas blocking (Tor-style) and pixel-noise filters
+//! (per-render or per-session randomization, §5.3).
+
+#![warn(missing_docs)]
+
+pub mod document;
+pub mod record;
+
+pub use document::{Document, PixelFilter, ReadbackDefense, BLOCKED_DATA_URL};
+pub use record::{ApiCall, ApiInterface, CallKind, Extraction};

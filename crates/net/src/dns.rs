@@ -1,0 +1,246 @@
+//! Simulated DNS with CNAME chains.
+//!
+//! CNAME cloaking (§5.2) works by pointing a first-party subdomain
+//! (`metrics.example.com`) at a tracker's host (`collect.tracker.net`)
+//! via a CNAME record: URL-based blocklists see the first-party name while
+//! traffic actually flows to the tracker. Detecting it requires resolving
+//! names and comparing the registrable domains of the query name and the
+//! canonical (post-CNAME) name — which is what this module makes possible.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::domain::registrable_domain;
+
+/// A minimal IPv4 address newtype (we don't route packets; addresses only
+/// need to be comparable and printable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ipv4(pub [u8; 4]);
+
+impl std::fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+/// One DNS record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DnsRecord {
+    /// Terminal address record.
+    A(Ipv4),
+    /// Alias to another name.
+    Cname(String),
+}
+
+/// Result of a successful resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolution {
+    /// The name originally queried.
+    pub query: String,
+    /// The final canonical name (after following CNAMEs).
+    pub canonical: String,
+    /// The resolved address.
+    pub address: Ipv4,
+    /// The CNAME chain followed, excluding the query name itself.
+    pub chain: Vec<String>,
+}
+
+impl Resolution {
+    /// Whether the canonical name lives under a different registrable
+    /// domain than the query name — the CNAME-cloaking signal.
+    pub fn is_cloaked(&self) -> bool {
+        match (
+            registrable_domain(&self.query),
+            registrable_domain(&self.canonical),
+        ) {
+            (Some(a), Some(b)) => !a.eq_ignore_ascii_case(b),
+            _ => false,
+        }
+    }
+}
+
+/// Resolution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnsError {
+    /// No record for the name.
+    NxDomain(String),
+    /// CNAME chain exceeded the depth limit or looped.
+    ChainTooLong(String),
+}
+
+impl std::fmt::Display for DnsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DnsError::NxDomain(n) => write!(f, "NXDOMAIN: {n}"),
+            DnsError::ChainTooLong(n) => write!(f, "CNAME chain too long resolving {n}"),
+        }
+    }
+}
+
+impl std::error::Error for DnsError {}
+
+/// Maximum CNAME chain length, matching common resolver limits.
+const MAX_CHAIN: usize = 8;
+
+/// An authoritative zone for the whole simulated Internet.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DnsZone {
+    records: BTreeMap<String, DnsRecord>,
+}
+
+impl DnsZone {
+    /// An empty zone.
+    pub fn new() -> DnsZone {
+        DnsZone::default()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the zone has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Inserts an A record (replacing any existing record for the name).
+    pub fn insert_a(&mut self, name: &str, addr: Ipv4) {
+        self.records
+            .insert(name.to_ascii_lowercase(), DnsRecord::A(addr));
+    }
+
+    /// Inserts a CNAME record.
+    pub fn insert_cname(&mut self, name: &str, target: &str) {
+        self.records.insert(
+            name.to_ascii_lowercase(),
+            DnsRecord::Cname(target.to_ascii_lowercase()),
+        );
+    }
+
+    /// Derives a deterministic address for a name and registers it —
+    /// convenient for bulk site generation.
+    pub fn insert_auto(&mut self, name: &str) -> Ipv4 {
+        let addr = auto_address(name);
+        self.insert_a(name, addr);
+        addr
+    }
+
+    /// Looks up a single record without following CNAMEs.
+    pub fn lookup(&self, name: &str) -> Option<&DnsRecord> {
+        self.records.get(&name.to_ascii_lowercase())
+    }
+
+    /// Resolves a name, following CNAME chains.
+    pub fn resolve(&self, name: &str) -> Result<Resolution, DnsError> {
+        let query = name.to_ascii_lowercase();
+        let mut current = query.clone();
+        let mut chain = Vec::new();
+        loop {
+            match self.records.get(&current) {
+                None => return Err(DnsError::NxDomain(current)),
+                Some(DnsRecord::A(addr)) => {
+                    return Ok(Resolution {
+                        canonical: current,
+                        address: *addr,
+                        query,
+                        chain,
+                    })
+                }
+                Some(DnsRecord::Cname(target)) => {
+                    if chain.len() >= MAX_CHAIN || target == &query || chain.contains(target) {
+                        return Err(DnsError::ChainTooLong(query));
+                    }
+                    chain.push(target.clone());
+                    current = target.clone();
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic pseudo-address derived from the name (stable across
+/// runs, distinct across names with high probability).
+pub fn auto_address(name: &str) -> Ipv4 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.to_ascii_lowercase().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    // Avoid reserved first octets 0 and 127 for verisimilitude.
+    let o1 = 1 + (h % 126) as u8 + if (h % 126) as u8 + 1 == 127 { 1 } else { 0 };
+    Ipv4([o1, (h >> 8) as u8, (h >> 16) as u8, (h >> 24) as u8])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_a_record() {
+        let mut z = DnsZone::new();
+        z.insert_a("example.com", Ipv4([1, 2, 3, 4]));
+        let r = z.resolve("EXAMPLE.com").unwrap();
+        assert_eq!(r.address, Ipv4([1, 2, 3, 4]));
+        assert_eq!(r.canonical, "example.com");
+        assert!(r.chain.is_empty());
+        assert!(!r.is_cloaked());
+    }
+
+    #[test]
+    fn follows_cname_chain() {
+        let mut z = DnsZone::new();
+        z.insert_cname("metrics.example.com", "collect.tracker.net");
+        z.insert_cname("collect.tracker.net", "edge.tracker.net");
+        z.insert_a("edge.tracker.net", Ipv4([9, 9, 9, 9]));
+        let r = z.resolve("metrics.example.com").unwrap();
+        assert_eq!(r.canonical, "edge.tracker.net");
+        assert_eq!(r.chain.len(), 2);
+        assert!(r.is_cloaked(), "cross-site CNAME must be flagged");
+    }
+
+    #[test]
+    fn same_site_cname_is_not_cloaked() {
+        let mut z = DnsZone::new();
+        z.insert_cname("www.example.com", "lb.example.com");
+        z.insert_a("lb.example.com", Ipv4([4, 4, 4, 4]));
+        assert!(!z.resolve("www.example.com").unwrap().is_cloaked());
+    }
+
+    #[test]
+    fn nxdomain() {
+        let z = DnsZone::new();
+        assert_eq!(
+            z.resolve("missing.example.com"),
+            Err(DnsError::NxDomain("missing.example.com".into()))
+        );
+    }
+
+    #[test]
+    fn cname_loop_is_detected() {
+        let mut z = DnsZone::new();
+        z.insert_cname("a.example.com", "b.example.com");
+        z.insert_cname("b.example.com", "a.example.com");
+        assert!(matches!(
+            z.resolve("a.example.com"),
+            Err(DnsError::ChainTooLong(_))
+        ));
+    }
+
+    #[test]
+    fn auto_addresses_are_stable_and_mostly_distinct() {
+        assert_eq!(auto_address("example.com"), auto_address("example.com"));
+        assert_ne!(auto_address("example.com"), auto_address("example.org"));
+        let a = auto_address("example.com");
+        assert_ne!(a.0[0], 0);
+        assert_ne!(a.0[0], 127);
+    }
+
+    #[test]
+    fn insert_auto_registers() {
+        let mut z = DnsZone::new();
+        let addr = z.insert_auto("site.example");
+        assert_eq!(z.resolve("site.example").unwrap().address, addr);
+    }
+}

@@ -1,0 +1,145 @@
+//! Registrable-domain (eTLD+1) logic.
+//!
+//! First-party vs. third-party classification — which drives ad blockers'
+//! first-party exceptions (§5.2) — is defined on *registrable domains*,
+//! not hostnames: `shop.example.co.uk` and `cdn.example.co.uk` are the
+//! same party. We implement a compact public-suffix list covering the
+//! suffixes that occur in the synthetic web (a full PSL would add nothing
+//! to the reproduction).
+
+/// Multi-label public suffixes known to this implementation. Single-label
+/// TLDs (`com`, `ru`, `io`, …) are implicitly public suffixes.
+const MULTI_LABEL_SUFFIXES: &[&str] = &[
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "com.au", "net.au", "org.au", "com.br", "com.cn",
+    "com.mx", "com.tr", "com.pa", "co.jp", "or.jp", "ne.jp", "co.kr", "co.in", "co.nz", "com.sg",
+    "com.ar", "msk.ru", "spb.ru",
+];
+
+/// Returns the public suffix of `host` (e.g. `co.uk` for
+/// `shop.example.co.uk`, `com` for `example.com`). A bare TLD is its own
+/// suffix.
+pub fn public_suffix(host: &str) -> &str {
+    let host = host.trim_end_matches('.');
+    for suffix in MULTI_LABEL_SUFFIXES {
+        if host == *suffix {
+            return suffix;
+        }
+        if let Some(prefix) = host.strip_suffix(suffix) {
+            if prefix.ends_with('.') {
+                return &host[host.len() - suffix.len()..];
+            }
+        }
+    }
+    match host.rfind('.') {
+        Some(i) => &host[i + 1..],
+        None => host,
+    }
+}
+
+/// Returns the registrable domain (eTLD+1) of `host`, or `None` when the
+/// host *is* a public suffix (or empty).
+pub fn registrable_domain(host: &str) -> Option<&str> {
+    let host = host.trim_end_matches('.');
+    if host.is_empty() {
+        return None;
+    }
+    let suffix = public_suffix(host);
+    if suffix.len() == host.len() {
+        return None; // the host is itself a public suffix
+    }
+    let prefix = &host[..host.len() - suffix.len() - 1]; // strip ".suffix"
+    let label = match prefix.rfind('.') {
+        Some(i) => &prefix[i + 1..],
+        None => prefix,
+    };
+    if label.is_empty() {
+        return None;
+    }
+    Some(&host[host.len() - suffix.len() - label.len() - 1..])
+}
+
+/// Whether two hosts belong to the same site (same registrable domain).
+pub fn same_site(a: &str, b: &str) -> bool {
+    match (registrable_domain(a), registrable_domain(b)) {
+        (Some(x), Some(y)) => x.eq_ignore_ascii_case(y),
+        _ => a.eq_ignore_ascii_case(b),
+    }
+}
+
+/// Whether `host` is a (proper or improper) subdomain of `parent`:
+/// `a.example.com` is a subdomain of `example.com`; a host is a subdomain
+/// of itself.
+pub fn is_subdomain_of(host: &str, parent: &str) -> bool {
+    let host = host.to_ascii_lowercase();
+    let parent = parent.to_ascii_lowercase();
+    host == parent || host.ends_with(&format!(".{parent}"))
+}
+
+/// Whether the host ends in the given TLD label (e.g. `"ru"`).
+pub fn has_tld(host: &str, tld: &str) -> bool {
+    public_suffix(host) == tld || public_suffix(host).ends_with(&format!(".{tld}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_tlds() {
+        assert_eq!(registrable_domain("example.com"), Some("example.com"));
+        assert_eq!(registrable_domain("www.example.com"), Some("example.com"));
+        assert_eq!(registrable_domain("a.b.c.example.com"), Some("example.com"));
+    }
+
+    #[test]
+    fn multi_label_suffixes() {
+        assert_eq!(public_suffix("shop.example.co.uk"), "co.uk");
+        assert_eq!(registrable_domain("shop.example.co.uk"), Some("example.co.uk"));
+        assert_eq!(registrable_domain("betus.com.pa"), Some("betus.com.pa"));
+        assert_eq!(registrable_domain("www.betus.com.pa"), Some("betus.com.pa"));
+    }
+
+    #[test]
+    fn bare_suffix_has_no_registrable_domain() {
+        assert_eq!(registrable_domain("com"), None);
+        assert_eq!(registrable_domain("co.uk"), None);
+        assert_eq!(registrable_domain(""), None);
+    }
+
+    #[test]
+    fn single_label_host() {
+        assert_eq!(registrable_domain("localhost"), None);
+        assert_eq!(public_suffix("localhost"), "localhost");
+    }
+
+    #[test]
+    fn same_site_classification() {
+        assert!(same_site("a.example.com", "b.example.com"));
+        assert!(same_site("example.com", "www.example.com"));
+        assert!(!same_site("example.com", "example.org"));
+        assert!(!same_site("a.example.co.uk", "a.other.co.uk"));
+        // Single-label hosts fall back to exact comparison.
+        assert!(same_site("localhost", "localhost"));
+        assert!(!same_site("localhost", "otherhost"));
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        assert!(is_subdomain_of("cdn.example.com", "example.com"));
+        assert!(is_subdomain_of("example.com", "example.com"));
+        assert!(!is_subdomain_of("badexample.com", "example.com"));
+        assert!(!is_subdomain_of("example.com", "cdn.example.com"));
+    }
+
+    #[test]
+    fn tld_check() {
+        assert!(has_tld("mail.ru", "ru"));
+        assert!(has_tld("site.msk.ru", "ru"));
+        assert!(!has_tld("example.com", "ru"));
+    }
+
+    #[test]
+    fn trailing_dot_is_ignored() {
+        assert_eq!(registrable_domain("example.com."), Some("example.com"));
+    }
+}

@@ -1,0 +1,410 @@
+//! The HTTP fetch model: hosted resources, requests, responses, party
+//! classification, CDN detection, and fault injection.
+//!
+//! This is not a packet-level stack — the study needs request/response
+//! semantics (who serves which script from which origin), not TCP. Pages
+//! and scripts are resources registered against `(host, path)` keys;
+//! fetching resolves the host through [`crate::dns::DnsZone`], applies the
+//! fault plan, and returns the resource together with the DNS resolution
+//! (so callers can detect CNAME cloaking).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::dns::{DnsError, DnsZone, Resolution};
+use crate::domain::{is_subdomain_of, same_site};
+use crate::url::Url;
+
+/// Resource types, mirroring the blocklist `$` option vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResourceType {
+    /// Top-level HTML document.
+    Document,
+    /// JavaScript (canvascript) resource.
+    Script,
+    /// Image resource.
+    Image,
+    /// Anything else.
+    Other,
+}
+
+impl ResourceType {
+    /// Canonical lowercase name (as used in filter options).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ResourceType::Document => "document",
+            ResourceType::Script => "script",
+            ResourceType::Image => "image",
+            ResourceType::Other => "other",
+        }
+    }
+}
+
+/// How a page references one script.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScriptRef {
+    /// External script loaded from a URL (`<script src=...>`).
+    External(Url),
+    /// Script bundled inline into the page's own first-party JavaScript.
+    /// Carries the source directly; its "URL" for instrumentation purposes
+    /// is the page URL itself (this is the first-party bundling evasion).
+    Inline {
+        /// The bundled source text.
+        source: String,
+        /// Label for provenance bookkeeping (e.g. vendor name); opaque to
+        /// the network layer.
+        label: String,
+    },
+}
+
+/// A hosted page (HTML document).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PageResource {
+    /// Scripts the page loads, in order.
+    pub scripts: Vec<ScriptRef>,
+    /// Whether a consent banner gates script execution until accepted.
+    pub consent_banner: bool,
+    /// Whether the site blocks clients that fail bot detection.
+    pub bot_check: bool,
+}
+
+/// A hosted script.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScriptResource {
+    /// canvascript source text.
+    pub source: String,
+    /// Provenance label (vendor name or `"benign:*"`), opaque here.
+    pub label: String,
+}
+
+/// Any hosted resource.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Resource {
+    /// An HTML document.
+    Page(PageResource),
+    /// A script.
+    Script(ScriptResource),
+}
+
+/// A fetch response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The resource served.
+    pub resource: Resource,
+    /// DNS resolution used to reach the server.
+    pub resolution: Resolution,
+    /// Deterministic latency estimate in milliseconds (used for
+    /// instrumentation timestamps).
+    pub latency_ms: u64,
+}
+
+/// Fetch failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FetchError {
+    /// DNS failed.
+    Dns(DnsError),
+    /// Host resolved but nothing is registered at the path.
+    NotFound(Url),
+    /// The host is marked unreachable by the fault plan.
+    Unreachable(String),
+    /// The request was blocked by a client-side extension (set by the
+    /// browser layer, surfaced through the same error type for uniform
+    /// handling).
+    Blocked(Url),
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::Dns(e) => write!(f, "dns error: {e}"),
+            FetchError::NotFound(u) => write!(f, "404: {u}"),
+            FetchError::Unreachable(h) => write!(f, "unreachable host: {h}"),
+            FetchError::Blocked(u) => write!(f, "blocked by extension: {u}"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// Deterministic fault injection, in the spirit of the smoltcp examples'
+/// `--drop-chance`: failures are planned, not random, so crawls are
+/// reproducible.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Hosts that refuse every connection (site down / timeout).
+    pub unreachable_hosts: BTreeSet<String>,
+}
+
+impl FaultPlan {
+    /// Marks a host unreachable.
+    pub fn take_down(&mut self, host: &str) {
+        self.unreachable_hosts.insert(host.to_ascii_lowercase());
+    }
+
+    /// Whether a host is down.
+    pub fn is_down(&self, host: &str) -> bool {
+        self.unreachable_hosts.contains(&host.to_ascii_lowercase())
+    }
+}
+
+/// The simulated network: DNS zone plus hosted resources.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Network {
+    /// The global DNS zone.
+    pub dns: DnsZone,
+    /// Hosted resources keyed by `(host, path)`.
+    resources: BTreeMap<(String, String), Resource>,
+    /// Planned faults.
+    pub faults: FaultPlan,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Network {
+        Network::default()
+    }
+
+    /// Number of hosted resources.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Hosts a resource, auto-registering an A record for the host if the
+    /// DNS zone doesn't know it yet.
+    pub fn host(&mut self, url: &Url, resource: Resource) {
+        if self.dns.lookup(&url.host).is_none() {
+            self.dns.insert_auto(&url.host);
+        }
+        self.resources
+            .insert((url.host.clone(), url.path.clone()), resource);
+    }
+
+    /// Looks up a hosted resource without going through fetch semantics.
+    pub fn peek(&self, url: &Url) -> Option<&Resource> {
+        // The canonical host may differ from the URL host under CNAME
+        // cloaking: content is registered under the canonical name.
+        if let Some(r) = self.resources.get(&(url.host.clone(), url.path.clone())) {
+            return Some(r);
+        }
+        let resolution = self.dns.resolve(&url.host).ok()?;
+        self.resources
+            .get(&(resolution.canonical, url.path.clone()))
+    }
+
+    /// Fetches a URL: resolves DNS, applies the fault plan, and returns
+    /// the resource. Content registered under a CNAME target is reachable
+    /// through the aliasing name (that's the point of cloaking).
+    pub fn fetch(&self, url: &Url) -> Result<Response, FetchError> {
+        if self.faults.is_down(&url.host) {
+            return Err(FetchError::Unreachable(url.host.clone()));
+        }
+        let resolution = self.dns.resolve(&url.host).map_err(FetchError::Dns)?;
+        if self.faults.is_down(&resolution.canonical) {
+            return Err(FetchError::Unreachable(resolution.canonical.clone()));
+        }
+        let resource = self
+            .resources
+            .get(&(url.host.clone(), url.path.clone()))
+            .or_else(|| {
+                self.resources
+                    .get(&(resolution.canonical.clone(), url.path.clone()))
+            })
+            .ok_or_else(|| FetchError::NotFound(url.clone()))?;
+        Ok(Response {
+            resource: resource.clone(),
+            latency_ms: latency_ms(&url.host),
+            resolution,
+        })
+    }
+
+    /// Iterates over all hosted `(host, path)` keys (deterministic order).
+    pub fn resource_keys(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.resources
+            .iter()
+            .map(|((h, p), _)| (h.as_str(), p.as_str()))
+    }
+}
+
+/// Party classification of a resource URL relative to a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Party {
+    /// Same registrable domain as the page.
+    FirstParty,
+    /// Same registrable domain, but served from a subdomain of the page
+    /// host (the "subdomain routing" evasion is a special case of
+    /// first-party serving that the paper reports separately).
+    FirstPartySubdomain,
+    /// Different registrable domain.
+    ThirdParty,
+}
+
+/// Classifies `resource` relative to a page at `page`.
+pub fn classify_party(page: &Url, resource: &Url) -> Party {
+    if same_site(&page.host, &resource.host) {
+        if resource.host != page.host && is_subdomain_of(&resource.host, &page.host) {
+            Party::FirstPartySubdomain
+        } else {
+            Party::FirstParty
+        }
+    } else {
+        Party::ThirdParty
+    }
+}
+
+/// The popular-CDN domains from Appendix A.5 of the paper. Scripts served
+/// from these are rarely blocked because the domains host vast amounts of
+/// legitimate content.
+pub const POPULAR_CDNS: &[&str] = &[
+    "cloudflare.com",
+    "cloudfront.net",
+    "fastly.net",
+    "gstatic.com",
+    "googleusercontent.com",
+    "googleapis.com",
+    "akamai.net",
+    "azureedge.net",
+    "b-cdn.net",
+    "bootstrapcdn.com",
+    "cdn.jsdelivr.net",
+    "cdnjs.cloudflare.com",
+];
+
+/// Whether a host is (a subdomain of) a popular CDN from Appendix A.5.
+pub fn is_popular_cdn(host: &str) -> bool {
+    POPULAR_CDNS
+        .iter()
+        .any(|cdn| is_subdomain_of(host, cdn))
+}
+
+/// Deterministic per-host latency in milliseconds (5–80 ms), derived from
+/// a hash of the host name. Gives instrumentation realistic-looking,
+/// reproducible timestamps.
+pub fn latency_ms(host: &str) -> u64 {
+    let mut h: u64 = 0x9e3779b97f4a7c15;
+    for b in host.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    5 + h % 76
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_at(host: &str) -> Url {
+        Url::https(host, "/")
+    }
+
+    #[test]
+    fn host_and_fetch_roundtrip() {
+        let mut net = Network::new();
+        let url = Url::https("example.com", "/app.js");
+        net.host(
+            &url,
+            Resource::Script(ScriptResource {
+                source: "let x = 1;".into(),
+                label: "test".into(),
+            }),
+        );
+        let resp = net.fetch(&url).unwrap();
+        match resp.resource {
+            Resource::Script(s) => assert_eq!(s.label, "test"),
+            _ => panic!("wrong resource type"),
+        }
+        assert!(resp.latency_ms >= 5);
+    }
+
+    #[test]
+    fn fetch_missing_path_is_404() {
+        let mut net = Network::new();
+        net.host(
+            &Url::https("example.com", "/"),
+            Resource::Page(PageResource::default()),
+        );
+        let err = net.fetch(&Url::https("example.com", "/nope.js")).unwrap_err();
+        assert!(matches!(err, FetchError::NotFound(_)));
+    }
+
+    #[test]
+    fn fetch_unknown_host_is_dns_error() {
+        let net = Network::new();
+        let err = net.fetch(&Url::https("ghost.example", "/")).unwrap_err();
+        assert!(matches!(err, FetchError::Dns(DnsError::NxDomain(_))));
+    }
+
+    #[test]
+    fn fault_plan_takes_host_down() {
+        let mut net = Network::new();
+        let url = Url::https("example.com", "/");
+        net.host(&url, Resource::Page(PageResource::default()));
+        net.faults.take_down("example.com");
+        assert!(matches!(
+            net.fetch(&url).unwrap_err(),
+            FetchError::Unreachable(_)
+        ));
+    }
+
+    #[test]
+    fn cname_cloaked_content_is_reachable_via_alias() {
+        let mut net = Network::new();
+        // Tracker hosts the script under its canonical name.
+        let canonical = Url::https("edge.tracker.net", "/fp.js");
+        net.host(
+            &canonical,
+            Resource::Script(ScriptResource {
+                source: "fp()".into(),
+                label: "tracker".into(),
+            }),
+        );
+        // Site aliases metrics.example.com -> edge.tracker.net.
+        net.dns
+            .insert_cname("metrics.example.com", "edge.tracker.net");
+        let via_alias = Url::https("metrics.example.com", "/fp.js");
+        let resp = net.fetch(&via_alias).unwrap();
+        assert!(resp.resolution.is_cloaked());
+        assert!(matches!(resp.resource, Resource::Script(_)));
+    }
+
+    #[test]
+    fn party_classification() {
+        let page = page_at("www.example.com");
+        assert_eq!(
+            classify_party(&page, &Url::https("www.example.com", "/a.js")),
+            Party::FirstParty
+        );
+        assert_eq!(
+            classify_party(&page, &Url::https("fp.www.example.com", "/a.js")),
+            Party::FirstPartySubdomain
+        );
+        // Same registrable domain but not a subdomain of the page host:
+        // still first-party for blocklist purposes.
+        assert_eq!(
+            classify_party(&page, &Url::https("cdn.example.com", "/a.js")),
+            Party::FirstParty
+        );
+        assert_eq!(
+            classify_party(&page, &Url::https("tracker.net", "/a.js")),
+            Party::ThirdParty
+        );
+    }
+
+    #[test]
+    fn cdn_detection() {
+        assert!(is_popular_cdn("d123.cloudfront.net"));
+        assert!(is_popular_cdn("fonts.googleapis.com"));
+        assert!(is_popular_cdn("cloudflare.com"));
+        assert!(!is_popular_cdn("example.com"));
+        assert!(!is_popular_cdn("notcloudfront.net"));
+    }
+
+    #[test]
+    fn latency_is_deterministic_and_bounded() {
+        assert_eq!(latency_ms("example.com"), latency_ms("example.com"));
+        for host in ["a.com", "b.com", "c.org"] {
+            let l = latency_ms(host);
+            assert!((5..=80).contains(&l));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # canvassing-net
+//!
+//! The simulated network substrate for the *Canvassing the Fingerprinters*
+//! reproduction: URLs, registrable domains, DNS with CNAME chains, and an
+//! HTTP fetch model with deterministic fault injection.
+//!
+//! The paper's evasion analysis (§5.2) is fundamentally about *where
+//! scripts are served from*: first-party bundling, subdomain routing,
+//! CNAME cloaking, and CDN fronting all change the relationship between a
+//! script's URL and the organization that operates it. This crate
+//! implements the naming and fetching machinery those analyses run on:
+//!
+//! * [`url::Url`] — absolute http(s) URL parsing;
+//! * [`domain`] — public-suffix / registrable-domain logic (eTLD+1);
+//! * [`dns::DnsZone`] — CNAME-chain resolution with cloaking detection;
+//! * [`http::Network`] — hosted resources, fetch semantics, party
+//!   classification, the Appendix A.5 CDN list, and fault injection.
+
+#![warn(missing_docs)]
+
+pub mod dns;
+pub mod domain;
+pub mod http;
+pub mod url;
+#[cfg(test)]
+mod proptests;
+
+pub use dns::{DnsError, DnsRecord, DnsZone, Ipv4, Resolution};
+pub use http::{
+    classify_party, is_popular_cdn, latency_ms, FaultPlan, FetchError, Network, PageResource,
+    Party, Resource, ResourceType, Response, ScriptRef, ScriptResource, POPULAR_CDNS,
+};
+pub use url::{Url, UrlParseError};

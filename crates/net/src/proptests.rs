@@ -1,0 +1,85 @@
+//! Property tests for the network substrate.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::dns::{auto_address, DnsZone};
+use crate::domain::{is_subdomain_of, public_suffix, registrable_domain, same_site};
+use crate::url::Url;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// URL parsing never panics on arbitrary printable input.
+    #[test]
+    fn url_parse_is_total(s in "[ -~]{0,80}") {
+        let _ = Url::parse(&s);
+    }
+
+    /// The registrable domain, when present, is a suffix of the host and
+    /// contains the public suffix.
+    #[test]
+    fn registrable_domain_is_a_suffix(host in "([a-z]{1,8}\\.){0,3}[a-z]{2,6}") {
+        if let Some(rd) = registrable_domain(&host) {
+            prop_assert!(host.ends_with(rd));
+            let ps = public_suffix(&host);
+            prop_assert!(rd.ends_with(ps));
+            prop_assert!(rd.len() > ps.len());
+        }
+    }
+
+    /// registrable_domain is idempotent: applying it to its own output is
+    /// the identity.
+    #[test]
+    fn registrable_domain_idempotent(host in "([a-z]{1,8}\\.){0,3}[a-z]{2,6}") {
+        if let Some(rd) = registrable_domain(&host) {
+            prop_assert_eq!(registrable_domain(rd), Some(rd));
+        }
+    }
+
+    /// same_site is reflexive and symmetric.
+    #[test]
+    fn same_site_is_an_equivalence_fragment(
+        a in "([a-z]{1,6}\\.){1,2}[a-z]{2,4}",
+        b in "([a-z]{1,6}\\.){1,2}[a-z]{2,4}",
+    ) {
+        prop_assert!(same_site(&a, &a));
+        prop_assert_eq!(same_site(&a, &b), same_site(&b, &a));
+    }
+
+    /// A label prepended to any host is a subdomain of it and same-site
+    /// with it (when the host has a registrable domain).
+    #[test]
+    fn prepended_label_is_subdomain(
+        label in "[a-z]{1,6}",
+        host in "[a-z]{1,8}\\.(com|org|net|ru|co\\.uk)",
+    ) {
+        let sub = format!("{label}.{host}");
+        prop_assert!(is_subdomain_of(&sub, &host));
+        prop_assert!(!is_subdomain_of(&host, &sub));
+        prop_assert!(same_site(&sub, &host));
+    }
+
+    /// Auto addresses are deterministic and avoid reserved first octets.
+    #[test]
+    fn auto_addresses_are_stable(name in "[a-z0-9.-]{1,24}") {
+        let a = auto_address(&name);
+        prop_assert_eq!(a, auto_address(&name));
+        prop_assert!(a.0[0] != 0 && a.0[0] != 127);
+    }
+
+    /// Any acyclic CNAME chain up to the depth limit resolves to the
+    /// terminal A record.
+    #[test]
+    fn cname_chains_resolve(depth in 0usize..8) {
+        let mut zone = DnsZone::new();
+        for i in 0..depth {
+            zone.insert_cname(&format!("n{i}.example"), &format!("n{}.example", i + 1));
+        }
+        let addr = zone.insert_auto(&format!("n{depth}.example"));
+        let res = zone.resolve("n0.example").unwrap();
+        prop_assert_eq!(res.address, addr);
+        prop_assert_eq!(res.chain.len(), depth);
+    }
+}

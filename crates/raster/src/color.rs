@@ -1,0 +1,329 @@
+//! Colors and CSS `<color>` parsing.
+//!
+//! The parser supports the subset of CSS color syntax that real-world
+//! fingerprinting scripts use: hex colors (`#rgb`, `#rgba`, `#rrggbb`,
+//! `#rrggbbaa`), `rgb()` / `rgba()` with integer or percentage channels,
+//! `hsl()` / `hsla()`, and the CSS Level 1 named colors plus the handful of
+//! extended names that appear in fingerprinting scripts in the wild
+//! (e.g. FingerprintJS fills with `"orange"` over `"#069"`).
+
+/// An 8-bit-per-channel straight-alpha RGBA color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Color {
+    /// Red channel, 0..=255.
+    pub r: u8,
+    /// Green channel, 0..=255.
+    pub g: u8,
+    /// Blue channel, 0..=255.
+    pub b: u8,
+    /// Alpha channel, 0 = transparent, 255 = opaque.
+    pub a: u8,
+}
+
+impl Color {
+    /// Opaque black, the Canvas default fill style.
+    pub const BLACK: Color = Color::rgb(0, 0, 0);
+    /// Opaque white.
+    pub const WHITE: Color = Color::rgb(255, 255, 255);
+    /// Fully transparent black, the canvas backing-store initial value.
+    pub const TRANSPARENT: Color = Color::rgba(0, 0, 0, 0);
+
+    /// An opaque color from RGB channels.
+    pub const fn rgb(r: u8, g: u8, b: u8) -> Color {
+        Color { r, g, b, a: 255 }
+    }
+
+    /// A color from RGBA channels (straight alpha).
+    pub const fn rgba(r: u8, g: u8, b: u8, a: u8) -> Color {
+        Color { r, g, b, a }
+    }
+
+    /// Returns the color with its alpha scaled by `alpha` in `[0, 1]`
+    /// (used for `globalAlpha`).
+    pub fn with_alpha_scaled(self, alpha: f64) -> Color {
+        let a = (self.a as f64 * alpha.clamp(0.0, 1.0)).round() as u8;
+        Color { a, ..self }
+    }
+
+    /// Component-wise linear interpolation toward `other` (used by
+    /// gradient stops). `t` is clamped to `[0, 1]`.
+    pub fn lerp(self, other: Color, t: f64) -> Color {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |x: u8, y: u8| -> u8 { (x as f64 + (y as f64 - x as f64) * t).round() as u8 };
+        Color {
+            r: mix(self.r, other.r),
+            g: mix(self.g, other.g),
+            b: mix(self.b, other.b),
+            a: mix(self.a, other.a),
+        }
+    }
+}
+
+/// Error produced when a CSS color string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColorParseError {
+    /// The offending input, for diagnostics.
+    pub input: String,
+}
+
+impl std::fmt::Display for ColorParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid CSS color: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ColorParseError {}
+
+/// Named colors used by canvas fingerprinting scripts in the wild, plus the
+/// CSS Level 1 basic palette. Kept sorted for binary search.
+const NAMED: &[(&str, Color)] = &[
+    ("aqua", Color::rgb(0, 255, 255)),
+    ("black", Color::BLACK),
+    ("blue", Color::rgb(0, 0, 255)),
+    ("coral", Color::rgb(255, 127, 80)),
+    ("crimson", Color::rgb(220, 20, 60)),
+    ("fuchsia", Color::rgb(255, 0, 255)),
+    ("gold", Color::rgb(255, 215, 0)),
+    ("gray", Color::rgb(128, 128, 128)),
+    ("green", Color::rgb(0, 128, 0)),
+    ("grey", Color::rgb(128, 128, 128)),
+    ("lime", Color::rgb(0, 255, 0)),
+    ("maroon", Color::rgb(128, 0, 0)),
+    ("navy", Color::rgb(0, 0, 128)),
+    ("olive", Color::rgb(128, 128, 0)),
+    ("orange", Color::rgb(255, 165, 0)),
+    ("pink", Color::rgb(255, 192, 203)),
+    ("purple", Color::rgb(128, 0, 128)),
+    ("red", Color::rgb(255, 0, 0)),
+    ("silver", Color::rgb(192, 192, 192)),
+    ("teal", Color::rgb(0, 128, 128)),
+    ("tomato", Color::rgb(255, 99, 71)),
+    ("transparent", Color::TRANSPARENT),
+    ("white", Color::WHITE),
+    ("yellow", Color::rgb(255, 255, 0)),
+];
+
+/// Parses a CSS color string. Whitespace around the value is ignored and
+/// matching is ASCII case-insensitive, per CSS.
+pub fn parse_css_color(input: &str) -> Result<Color, ColorParseError> {
+    let s = input.trim();
+    let err = || ColorParseError {
+        input: input.to_string(),
+    };
+    if let Some(hex) = s.strip_prefix('#') {
+        return parse_hex(hex).ok_or_else(err);
+    }
+    let lower = s.to_ascii_lowercase();
+    if let Ok(idx) = NAMED.binary_search_by(|(name, _)| name.cmp(&&lower[..])) {
+        return Ok(NAMED[idx].1);
+    }
+    if let Some(body) = func_body(&lower, "rgba").or_else(|| func_body(&lower, "rgb")) {
+        return parse_rgb_body(body).ok_or_else(err);
+    }
+    if let Some(body) = func_body(&lower, "hsla").or_else(|| func_body(&lower, "hsl")) {
+        return parse_hsl_body(body).ok_or_else(err);
+    }
+    Err(err())
+}
+
+fn func_body<'a>(s: &'a str, name: &str) -> Option<&'a str> {
+    let rest = s.strip_prefix(name)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    rest.strip_suffix(')')
+}
+
+fn parse_hex(hex: &str) -> Option<Color> {
+    let v: Vec<u8> = hex
+        .chars()
+        .map(|c| c.to_digit(16).map(|d| d as u8))
+        .collect::<Option<_>>()?;
+    match v.len() {
+        3 => Some(Color::rgb(v[0] * 17, v[1] * 17, v[2] * 17)),
+        4 => Some(Color::rgba(v[0] * 17, v[1] * 17, v[2] * 17, v[3] * 17)),
+        6 => Some(Color::rgb(
+            v[0] * 16 + v[1],
+            v[2] * 16 + v[3],
+            v[4] * 16 + v[5],
+        )),
+        8 => Some(Color::rgba(
+            v[0] * 16 + v[1],
+            v[2] * 16 + v[3],
+            v[4] * 16 + v[5],
+            v[6] * 16 + v[7],
+        )),
+        _ => None,
+    }
+}
+
+fn parse_channel(s: &str) -> Option<u8> {
+    let s = s.trim();
+    if let Some(pct) = s.strip_suffix('%') {
+        let v: f64 = pct.trim().parse().ok()?;
+        return Some((v.clamp(0.0, 100.0) * 255.0 / 100.0).round() as u8);
+    }
+    let v: f64 = s.parse().ok()?;
+    Some(v.clamp(0.0, 255.0).round() as u8)
+}
+
+fn parse_alpha(s: &str) -> Option<u8> {
+    let s = s.trim();
+    if let Some(pct) = s.strip_suffix('%') {
+        let v: f64 = pct.trim().parse().ok()?;
+        return Some((v.clamp(0.0, 100.0) * 255.0 / 100.0).round() as u8);
+    }
+    let v: f64 = s.parse().ok()?;
+    Some((v.clamp(0.0, 1.0) * 255.0).round() as u8)
+}
+
+fn parse_rgb_body(body: &str) -> Option<Color> {
+    let parts: Vec<&str> = body.split(',').collect();
+    match parts.len() {
+        3 => Some(Color::rgb(
+            parse_channel(parts[0])?,
+            parse_channel(parts[1])?,
+            parse_channel(parts[2])?,
+        )),
+        4 => Some(Color::rgba(
+            parse_channel(parts[0])?,
+            parse_channel(parts[1])?,
+            parse_channel(parts[2])?,
+            parse_alpha(parts[3])?,
+        )),
+        _ => None,
+    }
+}
+
+fn parse_hsl_body(body: &str) -> Option<Color> {
+    let parts: Vec<&str> = body.split(',').collect();
+    if parts.len() != 3 && parts.len() != 4 {
+        return None;
+    }
+    let h: f64 = parts[0].trim().trim_end_matches("deg").parse().ok()?;
+    let s: f64 = parts[1].trim().strip_suffix('%')?.parse().ok()?;
+    let l: f64 = parts[2].trim().strip_suffix('%')?.parse().ok()?;
+    let a = if parts.len() == 4 {
+        parse_alpha(parts[3])?
+    } else {
+        255
+    };
+    let (r, g, b) = hsl_to_rgb(h, s / 100.0, l / 100.0);
+    Some(Color::rgba(r, g, b, a))
+}
+
+fn hsl_to_rgb(h: f64, s: f64, l: f64) -> (u8, u8, u8) {
+    let h = h.rem_euclid(360.0) / 360.0;
+    let s = s.clamp(0.0, 1.0);
+    let l = l.clamp(0.0, 1.0);
+    if s == 0.0 {
+        let v = (l * 255.0).round() as u8;
+        return (v, v, v);
+    }
+    let q = if l < 0.5 { l * (1.0 + s) } else { l + s - l * s };
+    let p = 2.0 * l - q;
+    let hue = |mut t: f64| -> f64 {
+        if t < 0.0 {
+            t += 1.0;
+        }
+        if t > 1.0 {
+            t -= 1.0;
+        }
+        if t < 1.0 / 6.0 {
+            p + (q - p) * 6.0 * t
+        } else if t < 0.5 {
+            q
+        } else if t < 2.0 / 3.0 {
+            p + (q - p) * (2.0 / 3.0 - t) * 6.0
+        } else {
+            p
+        }
+    };
+    (
+        (hue(h + 1.0 / 3.0) * 255.0).round() as u8,
+        (hue(h) * 255.0).round() as u8,
+        (hue(h - 1.0 / 3.0) * 255.0).round() as u8,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_table_is_sorted() {
+        for w in NAMED.windows(2) {
+            assert!(w[0].0 < w[1].0, "{} >= {}", w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn parses_short_hex() {
+        assert_eq!(parse_css_color("#069").unwrap(), Color::rgb(0, 0x66, 0x99));
+        assert_eq!(parse_css_color("#f00").unwrap(), Color::rgb(255, 0, 0));
+    }
+
+    #[test]
+    fn parses_long_hex_with_alpha() {
+        assert_eq!(
+            parse_css_color("#11223344").unwrap(),
+            Color::rgba(0x11, 0x22, 0x33, 0x44)
+        );
+    }
+
+    #[test]
+    fn parses_named_colors_case_insensitively() {
+        assert_eq!(parse_css_color("Orange").unwrap(), Color::rgb(255, 165, 0));
+        assert_eq!(parse_css_color("  tomato ").unwrap(), Color::rgb(255, 99, 71));
+        assert_eq!(parse_css_color("transparent").unwrap().a, 0);
+    }
+
+    #[test]
+    fn parses_rgb_functions() {
+        assert_eq!(
+            parse_css_color("rgb(102, 204, 0)").unwrap(),
+            Color::rgb(102, 204, 0)
+        );
+        assert_eq!(
+            parse_css_color("rgba(255, 0, 255, 0.5)").unwrap(),
+            Color::rgba(255, 0, 255, 128)
+        );
+        assert_eq!(
+            parse_css_color("rgb(100%, 0%, 50%)").unwrap(),
+            Color::rgb(255, 0, 128)
+        );
+    }
+
+    #[test]
+    fn parses_hsl() {
+        assert_eq!(parse_css_color("hsl(0, 100%, 50%)").unwrap(), Color::rgb(255, 0, 0));
+        assert_eq!(
+            parse_css_color("hsl(120, 100%, 50%)").unwrap(),
+            Color::rgb(0, 255, 0)
+        );
+        let c = parse_css_color("hsla(240, 100%, 50%, 0.25)").unwrap();
+        assert_eq!((c.b, c.a), (255, 64));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "#12", "#12345", "rgb(1,2)", "hsl(0,0,0)", "blurple"] {
+            assert!(parse_css_color(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Color::rgb(0, 0, 0);
+        let b = Color::rgb(200, 100, 50);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Color::rgb(100, 50, 25));
+    }
+
+    #[test]
+    fn alpha_scaling_clamps() {
+        let c = Color::rgba(10, 20, 30, 200);
+        assert_eq!(c.with_alpha_scaled(0.5).a, 100);
+        assert_eq!(c.with_alpha_scaled(2.0).a, 200);
+        assert_eq!(c.with_alpha_scaled(-1.0).a, 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Planar geometry primitives used by the rasterizer.
+//!
+//! All math is `f64` and fully deterministic: the same inputs produce the
+//! same outputs on every platform we target (we avoid `sin`/`cos` table
+//! differences by relying only on libm-backed `f64` intrinsics, which are
+//! IEEE-754 correctly rounded for the operations we use).
+
+/// A point (or vector) in canvas user space.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate, increasing to the right.
+    pub x: f64,
+    /// Vertical coordinate, increasing downward (canvas convention).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Linear interpolation between `self` and `other` at parameter `t`.
+    pub fn lerp(&self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+}
+
+/// An axis-aligned rectangle, used for canvas clipping and dirty regions.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    /// Left edge.
+    pub x: f64,
+    /// Top edge.
+    pub y: f64,
+    /// Width; may be zero but never negative in a normalized rect.
+    pub w: f64,
+    /// Height; may be zero but never negative in a normalized rect.
+    pub h: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle; negative sizes are normalized so `w`/`h` end up
+    /// non-negative, matching Canvas `fillRect` semantics.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        let (x, w) = if w < 0.0 { (x + w, -w) } else { (x, w) };
+        let (y, h) = if h < 0.0 { (y + h, -h) } else { (y, h) };
+        Rect { x, y, w, h }
+    }
+
+    /// Right edge.
+    pub fn right(&self) -> f64 {
+        self.x + self.w
+    }
+
+    /// Bottom edge.
+    pub fn bottom(&self) -> f64 {
+        self.y + self.h
+    }
+
+    /// Whether the rectangle contains the point (left/top inclusive,
+    /// right/bottom exclusive, pixel-grid convention).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.x && p.x < self.right() && p.y >= self.y && p.y < self.bottom()
+    }
+
+    /// Intersection of two rectangles, or `None` when disjoint.
+    pub fn intersect(&self, other: &Rect) -> Option<Rect> {
+        let x = self.x.max(other.x);
+        let y = self.y.max(other.y);
+        let r = self.right().min(other.right());
+        let b = self.bottom().min(other.bottom());
+        if r > x && b > y {
+            Some(Rect::new(x, y, r - x, b - y))
+        } else {
+            None
+        }
+    }
+}
+
+/// A 2-D affine transform in the canvas convention:
+///
+/// ```text
+/// | a c e |   | x |
+/// | b d f | * | y |
+/// | 0 0 1 |   | 1 |
+/// ```
+///
+/// matching the argument order of `CanvasRenderingContext2D.transform`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transform {
+    /// Horizontal scale.
+    pub a: f64,
+    /// Vertical shear.
+    pub b: f64,
+    /// Horizontal shear.
+    pub c: f64,
+    /// Vertical scale.
+    pub d: f64,
+    /// Horizontal translation.
+    pub e: f64,
+    /// Vertical translation.
+    pub f: f64,
+}
+
+impl Default for Transform {
+    fn default() -> Self {
+        Transform::identity()
+    }
+}
+
+impl Transform {
+    /// The identity transform.
+    pub const fn identity() -> Self {
+        Transform {
+            a: 1.0,
+            b: 0.0,
+            c: 0.0,
+            d: 1.0,
+            e: 0.0,
+            f: 0.0,
+        }
+    }
+
+    /// A pure translation.
+    pub const fn translate(tx: f64, ty: f64) -> Self {
+        Transform {
+            a: 1.0,
+            b: 0.0,
+            c: 0.0,
+            d: 1.0,
+            e: tx,
+            f: ty,
+        }
+    }
+
+    /// A pure (possibly anisotropic) scale.
+    pub const fn scale(sx: f64, sy: f64) -> Self {
+        Transform {
+            a: sx,
+            b: 0.0,
+            c: 0.0,
+            d: sy,
+            e: 0.0,
+            f: 0.0,
+        }
+    }
+
+    /// A rotation by `theta` radians (clockwise in canvas space).
+    pub fn rotate(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Transform {
+            a: c,
+            b: s,
+            c: -s,
+            d: c,
+            e: 0.0,
+            f: 0.0,
+        }
+    }
+
+    /// Applies the transform to a point.
+    pub fn apply(&self, p: Point) -> Point {
+        Point::new(
+            self.a * p.x + self.c * p.y + self.e,
+            self.b * p.x + self.d * p.y + self.f,
+        )
+    }
+
+    /// Composes `self * other` (i.e. `other` is applied first).
+    pub fn then(&self, other: &Transform) -> Transform {
+        Transform {
+            a: self.a * other.a + self.c * other.b,
+            b: self.b * other.a + self.d * other.b,
+            c: self.a * other.c + self.c * other.d,
+            d: self.b * other.c + self.d * other.d,
+            e: self.a * other.e + self.c * other.f + self.e,
+            f: self.b * other.e + self.d * other.f + self.f,
+        }
+    }
+
+    /// Determinant of the linear part; zero means the transform is singular.
+    pub fn det(&self) -> f64 {
+        self.a * self.d - self.b * self.c
+    }
+
+    /// Inverse transform, or `None` when singular.
+    pub fn invert(&self) -> Option<Transform> {
+        let det = self.det();
+        if det.abs() < 1e-12 {
+            return None;
+        }
+        let inv = 1.0 / det;
+        Some(Transform {
+            a: self.d * inv,
+            b: -self.b * inv,
+            c: -self.c * inv,
+            d: self.a * inv,
+            e: (self.c * self.f - self.d * self.e) * inv,
+            f: (self.b * self.e - self.a * self.f) * inv,
+        })
+    }
+
+    /// Whether the transform is exactly the identity.
+    pub fn is_identity(&self) -> bool {
+        *self == Transform::identity()
+    }
+
+    /// An upper bound on the scale factor applied to any unit vector,
+    /// used to pick flattening tolerances for curves.
+    pub fn max_scale(&self) -> f64 {
+        let sx = (self.a * self.a + self.b * self.b).sqrt();
+        let sy = (self.c * self.c + self.d * self.d).sqrt();
+        sx.max(sy).max(1e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_normalizes_negative_sizes() {
+        let r = Rect::new(10.0, 10.0, -4.0, -6.0);
+        assert_eq!(r, Rect::new(6.0, 4.0, 4.0, 6.0));
+        assert!(r.w >= 0.0 && r.h >= 0.0);
+    }
+
+    #[test]
+    fn rect_contains_edges() {
+        let r = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(!r.contains(Point::new(2.0, 0.0)));
+        assert!(!r.contains(Point::new(0.0, 2.0)));
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(5.0, 5.0, 10.0, 10.0);
+        assert_eq!(a.intersect(&b), Some(Rect::new(5.0, 5.0, 5.0, 5.0)));
+        let c = Rect::new(20.0, 20.0, 1.0, 1.0);
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn transform_identity_roundtrip() {
+        let t = Transform::identity();
+        let p = Point::new(3.5, -2.25);
+        assert_eq!(t.apply(p), p);
+        assert!(t.is_identity());
+    }
+
+    #[test]
+    fn transform_translate_then_scale() {
+        let t = Transform::scale(2.0, 3.0).then(&Transform::translate(1.0, 1.0));
+        // translate applied first: (0,0) -> (1,1) -> (2,3)
+        assert_eq!(t.apply(Point::new(0.0, 0.0)), Point::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn transform_inverse_roundtrips() {
+        let t = Transform::rotate(0.7)
+            .then(&Transform::scale(2.0, 0.5))
+            .then(&Transform::translate(5.0, -3.0));
+        let inv = t.invert().expect("invertible");
+        let p = Point::new(13.0, 42.0);
+        let q = inv.apply(t.apply(p));
+        assert!((q.x - p.x).abs() < 1e-9 && (q.y - p.y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_transform_has_no_inverse() {
+        let t = Transform::scale(0.0, 1.0);
+        assert!(t.invert().is_none());
+    }
+
+    #[test]
+    fn point_lerp_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.5), Point::new(1.0, 2.0));
+    }
+}

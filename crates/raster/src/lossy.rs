@@ -1,0 +1,152 @@
+//! Lossy image format stand-ins (JPEG and WebP).
+//!
+//! The paper's detection heuristics *exclude* canvases extracted in lossy
+//! formats, because compression destroys the sub-pixel differences
+//! fingerprinting needs (§3.2). What matters for the reproduction is that
+//! (a) `toDataURL("image/jpeg")` / `("image/webp")` return a deterministic
+//! byte stream tagged with the right MIME type, and (b) the encoding is
+//! genuinely lossy — two nearby-but-different surfaces can map to the same
+//! bytes. We implement that contract with a simple quantize-and-downsample
+//! codec wrapped in format-appropriate magic bytes; we do not implement
+//! real DCT entropy coding, which no part of the study depends on.
+
+use crate::surface::Surface;
+
+/// Quantization applied per channel (higher quality keeps more bits).
+fn quant_shift(quality: f64) -> u32 {
+    // quality 1.0 -> keep 6 bits, 0.0 -> keep 3 bits.
+    let q = quality.clamp(0.0, 1.0);
+    (5.0 - q * 3.0).round() as u32
+}
+
+/// Encodes the surface in our JPEG stand-in format. The output begins with
+/// the real JPEG SOI/JFIF marker bytes so content sniffers classify it
+/// correctly.
+pub fn encode_jpeg(surface: &Surface, quality: f64) -> Vec<u8> {
+    let mut out = vec![0xFF, 0xD8, 0xFF, 0xE0, 0x00, 0x10];
+    out.extend_from_slice(b"JFIF\0");
+    encode_lossy_body(surface, quality, &mut out);
+    out.extend_from_slice(&[0xFF, 0xD9]); // EOI
+    out
+}
+
+/// Encodes the surface in our WebP stand-in format, with a RIFF/WEBP
+/// container header.
+pub fn encode_webp(surface: &Surface, quality: f64) -> Vec<u8> {
+    let mut body = Vec::new();
+    encode_lossy_body(surface, quality, &mut body);
+    let mut out = Vec::with_capacity(body.len() + 12);
+    out.extend_from_slice(b"RIFF");
+    out.extend_from_slice(&((body.len() + 4) as u32).to_le_bytes());
+    out.extend_from_slice(b"WEBP");
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Shared lossy body: dimensions, then 2×2-downsampled, quantized RGB
+/// (alpha is composited onto white first, like real JPEG encoding).
+fn encode_lossy_body(surface: &Surface, quality: f64, out: &mut Vec<u8>) {
+    let shift = quant_shift(quality);
+    let w = surface.width();
+    let h = surface.height();
+    out.extend_from_slice(&w.to_be_bytes());
+    out.extend_from_slice(&h.to_be_bytes());
+    out.push(shift as u8);
+    let mut y = 0;
+    while y < h.max(1) {
+        let mut x = 0;
+        while x < w.max(1) {
+            // Average a 2x2 block, compositing onto white.
+            let mut acc = [0u32; 3];
+            let mut n = 0u32;
+            for dy in 0..2i64 {
+                for dx in 0..2i64 {
+                    let px = x as i64 + dx;
+                    let py = y as i64 + dy;
+                    if px < w as i64 && py < h as i64 {
+                        let c = surface.get(px, py);
+                        let a = c.a as u32;
+                        acc[0] += (c.r as u32 * a + 255 * (255 - a)) / 255;
+                        acc[1] += (c.g as u32 * a + 255 * (255 - a)) / 255;
+                        acc[2] += (c.b as u32 * a + 255 * (255 - a)) / 255;
+                        n += 1;
+                    }
+                }
+            }
+            for ch in acc {
+                let avg = ch.checked_div(n).unwrap_or(0) as u8;
+                out.push((avg >> shift) << shift);
+            }
+            x += 2;
+        }
+        y += 2;
+        if w == 0 || h == 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Color;
+
+    #[test]
+    fn jpeg_has_jfif_magic() {
+        let s = Surface::new(4, 4);
+        let j = encode_jpeg(&s, 0.92);
+        assert_eq!(&j[..2], &[0xFF, 0xD8]);
+        assert_eq!(&j[6..10], b"JFIF");
+        assert_eq!(&j[j.len() - 2..], &[0xFF, 0xD9]);
+    }
+
+    #[test]
+    fn webp_has_riff_magic() {
+        let s = Surface::new(4, 4);
+        let w = encode_webp(&s, 0.8);
+        assert_eq!(&w[..4], b"RIFF");
+        assert_eq!(&w[8..12], b"WEBP");
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let mut s = Surface::new(8, 8);
+        s.set(1, 1, Color::rgb(123, 45, 67));
+        assert_eq!(encode_jpeg(&s, 0.5), encode_jpeg(&s, 0.5));
+        assert_eq!(encode_webp(&s, 0.5), encode_webp(&s, 0.5));
+    }
+
+    #[test]
+    fn encoding_is_lossy() {
+        // Two surfaces differing by one LSB collapse to identical bytes —
+        // the property that makes lossy formats useless for fingerprinting.
+        let mut a = Surface::new(8, 8);
+        let mut b = Surface::new(8, 8);
+        for y in 0..8 {
+            for x in 0..8 {
+                a.set(x, y, Color::rgb(100, 100, 100));
+                b.set(x, y, Color::rgb(101, 100, 100));
+            }
+        }
+        assert_ne!(a.data(), b.data());
+        assert_eq!(encode_jpeg(&a, 0.9), encode_jpeg(&b, 0.9));
+    }
+
+    #[test]
+    fn quality_changes_output() {
+        let mut s = Surface::new(8, 8);
+        for y in 0..8 {
+            for x in 0..8 {
+                s.set(x, y, Color::rgb((x * 30) as u8, (y * 30) as u8, 77));
+            }
+        }
+        assert_ne!(encode_jpeg(&s, 1.0), encode_jpeg(&s, 0.0));
+    }
+
+    #[test]
+    fn zero_sized_surface_does_not_panic() {
+        let s = Surface::new(0, 0);
+        let _ = encode_jpeg(&s, 0.5);
+        let _ = encode_webp(&s, 0.5);
+    }
+}

@@ -1,0 +1,435 @@
+//! Path construction and flattening.
+//!
+//! A [`Path`] records the verbs issued through the Canvas path API
+//! (`moveTo`, `lineTo`, `quadraticCurveTo`, `bezierCurveTo`, `arc`,
+//! `ellipse`, `rect`, `closePath`). Before rasterization the path is
+//! *flattened* into polygons: curves are subdivided into line segments at a
+//! fixed, deterministic tolerance so that identical scripts always produce
+//! identical geometry.
+
+use crate::geom::{Point, Transform};
+
+/// One path verb, in canvas user-space coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathVerb {
+    /// Begin a new subpath at the point.
+    MoveTo(Point),
+    /// Straight segment to the point.
+    LineTo(Point),
+    /// Quadratic Bézier via one control point.
+    QuadTo(Point, Point),
+    /// Cubic Bézier via two control points.
+    CubicTo(Point, Point, Point),
+    /// Circular/elliptical arc: center, radii, rotation, start/end angle,
+    /// and direction flag (`true` = counter-clockwise).
+    Arc {
+        /// Center of the ellipse.
+        center: Point,
+        /// Horizontal radius.
+        rx: f64,
+        /// Vertical radius.
+        ry: f64,
+        /// Rotation of the ellipse's x-axis, radians.
+        rotation: f64,
+        /// Start angle, radians.
+        start: f64,
+        /// End angle, radians.
+        end: f64,
+        /// Sweep counter-clockwise when true.
+        ccw: bool,
+    },
+    /// Close the current subpath back to its starting point.
+    Close,
+}
+
+/// A recorded sequence of path verbs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Path {
+    verbs: Vec<PathVerb>,
+    /// Current pen position (used by `arcTo`-style helpers and flattening).
+    cursor: Option<Point>,
+    /// Start of the current subpath.
+    subpath_start: Option<Point>,
+}
+
+impl Path {
+    /// An empty path.
+    pub fn new() -> Self {
+        Path::default()
+    }
+
+    /// Whether no verbs have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.verbs.is_empty()
+    }
+
+    /// The recorded verbs.
+    pub fn verbs(&self) -> &[PathVerb] {
+        &self.verbs
+    }
+
+    /// `moveTo`: starts a new subpath.
+    pub fn move_to(&mut self, x: f64, y: f64) {
+        let p = Point::new(x, y);
+        self.verbs.push(PathVerb::MoveTo(p));
+        self.cursor = Some(p);
+        self.subpath_start = Some(p);
+    }
+
+    /// `lineTo`. If there is no current point this behaves like `moveTo`,
+    /// matching the HTML spec's "ensure there is a subpath" step.
+    pub fn line_to(&mut self, x: f64, y: f64) {
+        if self.cursor.is_none() {
+            self.move_to(x, y);
+            return;
+        }
+        let p = Point::new(x, y);
+        self.verbs.push(PathVerb::LineTo(p));
+        self.cursor = Some(p);
+    }
+
+    /// `quadraticCurveTo`.
+    pub fn quad_to(&mut self, cx: f64, cy: f64, x: f64, y: f64) {
+        if self.cursor.is_none() {
+            self.move_to(cx, cy);
+        }
+        let p = Point::new(x, y);
+        self.verbs.push(PathVerb::QuadTo(Point::new(cx, cy), p));
+        self.cursor = Some(p);
+    }
+
+    /// `bezierCurveTo`.
+    pub fn cubic_to(&mut self, c1x: f64, c1y: f64, c2x: f64, c2y: f64, x: f64, y: f64) {
+        if self.cursor.is_none() {
+            self.move_to(c1x, c1y);
+        }
+        let p = Point::new(x, y);
+        self.verbs.push(PathVerb::CubicTo(
+            Point::new(c1x, c1y),
+            Point::new(c2x, c2y),
+            p,
+        ));
+        self.cursor = Some(p);
+    }
+
+    /// `arc` — a circular arc. `ccw` selects the counter-clockwise sweep.
+    pub fn arc(&mut self, x: f64, y: f64, r: f64, start: f64, end: f64, ccw: bool) {
+        self.ellipse(x, y, r, r, 0.0, start, end, ccw);
+    }
+
+    /// `ellipse` — an elliptical arc with axis rotation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ellipse(
+        &mut self,
+        x: f64,
+        y: f64,
+        rx: f64,
+        ry: f64,
+        rotation: f64,
+        start: f64,
+        end: f64,
+        ccw: bool,
+    ) {
+        let center = Point::new(x, y);
+        let first = ellipse_point(center, rx.abs(), ry.abs(), rotation, start);
+        // Canvas spec: a straight line connects the current point to the
+        // start of the arc.
+        if self.cursor.is_some() {
+            self.verbs.push(PathVerb::LineTo(first));
+        } else {
+            self.verbs.push(PathVerb::MoveTo(first));
+            self.subpath_start = Some(first);
+        }
+        self.verbs.push(PathVerb::Arc {
+            center,
+            rx: rx.abs(),
+            ry: ry.abs(),
+            rotation,
+            start,
+            end,
+            ccw,
+        });
+        self.cursor = Some(ellipse_point(center, rx.abs(), ry.abs(), rotation, end));
+    }
+
+    /// `rect` — adds an axis-aligned rectangle as a closed subpath.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64) {
+        self.move_to(x, y);
+        self.line_to(x + w, y);
+        self.line_to(x + w, y + h);
+        self.line_to(x, y + h);
+        self.close();
+    }
+
+    /// `closePath`.
+    pub fn close(&mut self) {
+        self.verbs.push(PathVerb::Close);
+        self.cursor = self.subpath_start;
+    }
+
+    /// Flattens the path into polygons (one polyline per subpath), applying
+    /// `transform` to every generated point. The flattening tolerance is
+    /// fixed at 0.1 device pixels scaled by the transform so output geometry
+    /// is deterministic.
+    pub fn flatten(&self, transform: &Transform) -> Vec<Polygon> {
+        let tol_steps = |approx_len: f64| -> usize {
+            // One segment per ~2 device pixels, clamped to a deterministic
+            // range: enough for smooth curves without unbounded work.
+            ((approx_len * transform.max_scale() / 2.0).ceil() as usize).clamp(4, 128)
+        };
+        let mut polys: Vec<Polygon> = Vec::new();
+        let mut cur: Vec<Point> = Vec::new();
+        let mut start: Option<Point> = None;
+        let flush = |cur: &mut Vec<Point>, closed: bool, polys: &mut Vec<Polygon>| {
+            if cur.len() >= 2 {
+                polys.push(Polygon {
+                    points: std::mem::take(cur),
+                    closed,
+                });
+            } else {
+                cur.clear();
+            }
+        };
+        for verb in &self.verbs {
+            match verb {
+                PathVerb::MoveTo(p) => {
+                    flush(&mut cur, false, &mut polys);
+                    let tp = transform.apply(*p);
+                    cur.push(tp);
+                    start = Some(tp);
+                }
+                PathVerb::LineTo(p) => {
+                    let tp = transform.apply(*p);
+                    if cur.is_empty() {
+                        start = Some(tp);
+                    }
+                    cur.push(tp);
+                }
+                PathVerb::QuadTo(c, p) => {
+                    let from = *cur.last().unwrap_or(&transform.apply(*c));
+                    let c_t = transform.apply(*c);
+                    let p_t = transform.apply(*p);
+                    let approx = from.distance(c_t) + c_t.distance(p_t);
+                    let n = tol_steps(approx / transform.max_scale());
+                    for i in 1..=n {
+                        let t = i as f64 / n as f64;
+                        let a = from.lerp(c_t, t);
+                        let b = c_t.lerp(p_t, t);
+                        cur.push(a.lerp(b, t));
+                    }
+                }
+                PathVerb::CubicTo(c1, c2, p) => {
+                    let from = *cur.last().unwrap_or(&transform.apply(*c1));
+                    let c1t = transform.apply(*c1);
+                    let c2t = transform.apply(*c2);
+                    let pt = transform.apply(*p);
+                    let approx = from.distance(c1t) + c1t.distance(c2t) + c2t.distance(pt);
+                    let n = tol_steps(approx / transform.max_scale());
+                    for i in 1..=n {
+                        let t = i as f64 / n as f64;
+                        let ab = from.lerp(c1t, t);
+                        let bc = c1t.lerp(c2t, t);
+                        let cd = c2t.lerp(pt, t);
+                        let abc = ab.lerp(bc, t);
+                        let bcd = bc.lerp(cd, t);
+                        cur.push(abc.lerp(bcd, t));
+                    }
+                }
+                PathVerb::Arc {
+                    center,
+                    rx,
+                    ry,
+                    rotation,
+                    start: a0,
+                    end: a1,
+                    ccw,
+                } => {
+                    let sweep = arc_sweep(*a0, *a1, *ccw);
+                    let approx = sweep.abs() * rx.max(*ry);
+                    let n = tol_steps(approx);
+                    for i in 1..=n {
+                        let t = i as f64 / n as f64;
+                        let ang = a0 + sweep * t;
+                        let p = ellipse_point(*center, *rx, *ry, *rotation, ang);
+                        let tp = transform.apply(p);
+                        if cur.is_empty() {
+                            start = Some(tp);
+                        }
+                        cur.push(tp);
+                    }
+                }
+                PathVerb::Close => {
+                    if let Some(s) = start {
+                        if cur.last() != Some(&s) {
+                            cur.push(s);
+                        }
+                    }
+                    flush(&mut cur, true, &mut polys);
+                    if let Some(s) = start {
+                        cur.push(s);
+                    }
+                }
+            }
+        }
+        flush(&mut cur, false, &mut polys);
+        polys
+    }
+}
+
+/// A flattened subpath: a polyline, possibly closed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    /// Vertices in device space.
+    pub points: Vec<Point>,
+    /// Whether the subpath was explicitly closed.
+    pub closed: bool,
+}
+
+impl Polygon {
+    /// Bounding box as `(min_x, min_y, max_x, max_y)`, or `None` if empty.
+    pub fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        let first = self.points.first()?;
+        let mut b = (first.x, first.y, first.x, first.y);
+        for p in &self.points {
+            b.0 = b.0.min(p.x);
+            b.1 = b.1.min(p.y);
+            b.2 = b.2.max(p.x);
+            b.3 = b.3.max(p.y);
+        }
+        Some(b)
+    }
+}
+
+/// Point on a rotated ellipse at parameter angle `ang`.
+fn ellipse_point(center: Point, rx: f64, ry: f64, rotation: f64, ang: f64) -> Point {
+    let (sa, ca) = ang.sin_cos();
+    let (sr, cr) = rotation.sin_cos();
+    let x = rx * ca;
+    let y = ry * sa;
+    Point::new(center.x + x * cr - y * sr, center.y + x * sr + y * cr)
+}
+
+/// Signed sweep from `start` to `end` following the Canvas `arc` rules:
+/// sweeps of 2π or more draw the full ellipse.
+fn arc_sweep(start: f64, end: f64, ccw: bool) -> f64 {
+    const TAU: f64 = std::f64::consts::TAU;
+    let raw = end - start;
+    if !ccw {
+        if raw >= TAU {
+            TAU
+        } else {
+            raw.rem_euclid(TAU)
+        }
+    } else if -raw >= TAU {
+        -TAU
+    } else {
+        -((-raw).rem_euclid(TAU))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ident() -> Transform {
+        Transform::identity()
+    }
+
+    #[test]
+    fn empty_path_flattens_to_nothing() {
+        assert!(Path::new().flatten(&ident()).is_empty());
+    }
+
+    #[test]
+    fn rect_is_one_closed_polygon() {
+        let mut p = Path::new();
+        p.rect(1.0, 2.0, 3.0, 4.0);
+        let polys = p.flatten(&ident());
+        assert_eq!(polys.len(), 1);
+        assert!(polys[0].closed);
+        assert_eq!(polys[0].points.first(), polys[0].points.last());
+        assert_eq!(polys[0].bounds(), Some((1.0, 2.0, 4.0, 6.0)));
+    }
+
+    #[test]
+    fn line_without_move_starts_subpath() {
+        let mut p = Path::new();
+        p.line_to(5.0, 5.0);
+        p.line_to(6.0, 6.0);
+        let polys = p.flatten(&ident());
+        assert_eq!(polys.len(), 1);
+        assert_eq!(polys[0].points.len(), 2);
+    }
+
+    #[test]
+    fn full_circle_arc_is_closed_loop() {
+        let mut p = Path::new();
+        p.arc(10.0, 10.0, 5.0, 0.0, std::f64::consts::TAU, false);
+        let polys = p.flatten(&ident());
+        assert_eq!(polys.len(), 1);
+        let pts = &polys[0].points;
+        let first = pts.first().unwrap();
+        let last = pts.last().unwrap();
+        assert!(first.distance(*last) < 1e-6, "arc should wrap around");
+        // All points lie on the circle.
+        for pt in pts {
+            let d = pt.distance(Point::new(10.0, 10.0));
+            assert!((d - 5.0).abs() < 0.05, "point off circle: {d}");
+        }
+    }
+
+    #[test]
+    fn ccw_arc_sweeps_negative() {
+        assert!(arc_sweep(0.0, std::f64::consts::PI, true) < 0.0);
+        assert!(arc_sweep(0.0, std::f64::consts::PI, false) > 0.0);
+        assert_eq!(arc_sweep(0.0, 10.0, false), std::f64::consts::TAU);
+    }
+
+    #[test]
+    fn quad_curve_hits_endpoints() {
+        let mut p = Path::new();
+        p.move_to(0.0, 0.0);
+        p.quad_to(5.0, 10.0, 10.0, 0.0);
+        let polys = p.flatten(&ident());
+        let pts = &polys[0].points;
+        assert_eq!(pts[0], Point::new(0.0, 0.0));
+        let last = pts.last().unwrap();
+        assert!(last.distance(Point::new(10.0, 0.0)) < 1e-9);
+        // Curve apex is at y = 5 (midpoint of quadratic with control y=10).
+        let apex = pts.iter().map(|p| p.y).fold(0.0f64, f64::max);
+        assert!((apex - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn cubic_curve_is_deterministic() {
+        let build = || {
+            let mut p = Path::new();
+            p.move_to(0.0, 0.0);
+            p.cubic_to(0.0, 10.0, 10.0, 10.0, 10.0, 0.0);
+            p.flatten(&ident())
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn transform_applies_to_flattened_points() {
+        let mut p = Path::new();
+        p.move_to(1.0, 1.0);
+        p.line_to(2.0, 2.0);
+        let polys = p.flatten(&Transform::scale(2.0, 2.0));
+        assert_eq!(polys[0].points[0], Point::new(2.0, 2.0));
+        assert_eq!(polys[0].points[1], Point::new(4.0, 4.0));
+    }
+
+    #[test]
+    fn arc_connects_from_current_point() {
+        let mut p = Path::new();
+        p.move_to(0.0, 0.0);
+        p.arc(10.0, 0.0, 2.0, 0.0, 1.0, false);
+        let polys = p.flatten(&ident());
+        // Single polyline: line from (0,0) to arc start (12,0), then the arc.
+        assert_eq!(polys.len(), 1);
+        assert_eq!(polys[0].points[0], Point::new(0.0, 0.0));
+        assert!(polys[0].points[1].distance(Point::new(12.0, 0.0)) < 1e-9);
+    }
+}

@@ -1,0 +1,261 @@
+//! Cross-module property tests for the rasterizer: determinism, coverage
+//! bounds, and encoder safety under randomized drawing programs.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::canvas::Canvas2D;
+use crate::device::DeviceProfile;
+use crate::fill::{rasterize, FillRule};
+use crate::geom::Transform;
+use crate::path::Path;
+
+/// A randomized drawing op, interpreted against a canvas.
+#[derive(Debug, Clone)]
+enum Op {
+    FillRect(f64, f64, f64, f64),
+    StrokeRect(f64, f64, f64, f64),
+    ClearRect(f64, f64, f64, f64),
+    Arc(f64, f64, f64),
+    Text(String, f64, f64),
+    SetFill(u8, u8, u8),
+    SetAlpha(f64),
+    Translate(f64, f64),
+    Rotate(f64),
+    Save,
+    Restore,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let coord = -20.0..120.0f64;
+    let size = 0.0..80.0f64;
+    prop_oneof![
+        (coord.clone(), coord.clone(), size.clone(), size.clone())
+            .prop_map(|(x, y, w, h)| Op::FillRect(x, y, w, h)),
+        (coord.clone(), coord.clone(), size.clone(), size.clone())
+            .prop_map(|(x, y, w, h)| Op::StrokeRect(x, y, w, h)),
+        (coord.clone(), coord.clone(), size.clone(), size.clone())
+            .prop_map(|(x, y, w, h)| Op::ClearRect(x, y, w, h)),
+        (coord.clone(), coord.clone(), 0.5..40.0f64).prop_map(|(x, y, r)| Op::Arc(x, y, r)),
+        ("[ -~]{0,12}", coord.clone(), coord.clone())
+            .prop_map(|(s, x, y)| Op::Text(s, x, y)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(r, g, b)| Op::SetFill(r, g, b)),
+        (0.0..1.0f64).prop_map(Op::SetAlpha),
+        (coord.clone(), coord.clone()).prop_map(|(x, y)| Op::Translate(x, y)),
+        (-3.2..3.2f64).prop_map(Op::Rotate),
+        Just(Op::Save),
+        Just(Op::Restore),
+    ]
+}
+
+fn run_ops(ops: &[Op], device: DeviceProfile) -> Canvas2D {
+    let mut c = Canvas2D::new(100, 60, device);
+    for op in ops {
+        match op {
+            Op::FillRect(x, y, w, h) => c.fill_rect(*x, *y, *w, *h),
+            Op::StrokeRect(x, y, w, h) => c.stroke_rect(*x, *y, *w, *h),
+            Op::ClearRect(x, y, w, h) => c.clear_rect(*x, *y, *w, *h),
+            Op::Arc(x, y, r) => {
+                c.begin_path();
+                c.arc(*x, *y, *r, 0.0, std::f64::consts::TAU, false);
+                c.fill(FillRule::NonZero);
+            }
+            Op::Text(s, x, y) => c.fill_text(s, *x, *y),
+            Op::SetFill(r, g, b) => c.set_fill_style(&format!("rgb({r},{g},{b})")),
+            Op::SetAlpha(a) => c.set_global_alpha(*a),
+            Op::Translate(x, y) => c.translate(*x, *y),
+            Op::Rotate(t) => c.rotate(*t),
+            Op::Save => c.save(),
+            Op::Restore => c.restore(),
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any drawing program is deterministic: running it twice produces
+    /// byte-identical data URLs — the invariant the whole study rests on.
+    #[test]
+    fn random_programs_are_deterministic(ops in proptest::collection::vec(op_strategy(), 0..24)) {
+        let a = run_ops(&ops, DeviceProfile::intel_ubuntu()).to_data_url("image/png", None);
+        let b = run_ops(&ops, DeviceProfile::intel_ubuntu()).to_data_url("image/png", None);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every program encodes to a decodable PNG with the right dimensions.
+    #[test]
+    fn random_programs_encode_valid_png(ops in proptest::collection::vec(op_strategy(), 0..16)) {
+        let c = run_ops(&ops, DeviceProfile::apple_m1());
+        let bytes = c.encode(crate::canvas::ImageFormat::Png, 0.92);
+        let decoded = crate::png::decode(&bytes).expect("own PNG decodes");
+        prop_assert_eq!(decoded.width(), 100);
+        prop_assert_eq!(decoded.height(), 60);
+    }
+
+    /// Coverage masks stay within [0, 1] for arbitrary triangles on every
+    /// device profile.
+    #[test]
+    fn coverage_is_bounded(
+        pts in proptest::collection::vec((-30.0..130.0f64, -30.0..90.0f64), 3..7),
+    ) {
+        let mut path = Path::new();
+        path.move_to(pts[0].0, pts[0].1);
+        for (x, y) in &pts[1..] {
+            path.line_to(*x, *y);
+        }
+        path.close();
+        let polys = path.flatten(&Transform::identity());
+        for device in [
+            DeviceProfile::intel_ubuntu(),
+            DeviceProfile::apple_m1(),
+            DeviceProfile::windows_nvidia(),
+        ] {
+            let mask = rasterize(&polys, FillRule::NonZero, 100, 60, &device);
+            for &cov in &mask.cov {
+                prop_assert!((0.0..=1.0 + 1e-6).contains(&(cov as f64)), "coverage {cov}");
+            }
+        }
+    }
+
+    /// CSS color parsing never panics on arbitrary short strings.
+    #[test]
+    fn color_parse_total(s in "[ -~]{0,24}") {
+        let _ = crate::color::parse_css_color(&s);
+    }
+
+    /// Font parsing never panics and, when it succeeds, yields a positive
+    /// pixel size.
+    #[test]
+    fn font_parse_total(s in "[ -~]{0,32}") {
+        if let Some(spec) = crate::text::parse_font(&s) {
+            prop_assert!(spec.size_px.is_finite());
+        }
+    }
+
+    /// measureText is monotone under string extension (appending a
+    /// character never shrinks the width) for the neutral device.
+    #[test]
+    fn measure_text_is_monotone(s in "[a-zA-Z0-9 ]{0,16}", c in proptest::char::range('a', 'z')) {
+        let spec = crate::text::FontSpec::default();
+        let device = DeviceProfile::intel_ubuntu();
+        let w1 = crate::text::measure_text(&s, &spec, &device);
+        let longer = format!("{s}{c}");
+        let w2 = crate::text::measure_text(&longer, &spec, &device);
+        prop_assert!(w2 >= w1);
+    }
+}
+
+
+mod compositing {
+    use proptest::prelude::*;
+
+    use crate::color::Color;
+    use crate::surface::{CompositeOp, Surface};
+
+    fn any_color() -> impl Strategy<Value = Color> {
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(r, g, b, a)| Color::rgba(r, g, b, a))
+    }
+
+    fn any_op() -> impl Strategy<Value = CompositeOp> {
+        prop_oneof![
+            Just(CompositeOp::SourceOver),
+            Just(CompositeOp::DestinationOver),
+            Just(CompositeOp::Multiply),
+            Just(CompositeOp::Screen),
+            Just(CompositeOp::Lighter),
+            Just(CompositeOp::Copy),
+            Just(CompositeOp::Xor),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Blending any color with any op and any coverage never panics
+        /// and always produces an in-range pixel (u8 by construction, but
+        /// the blend must also be deterministic).
+        #[test]
+        fn blend_is_total_and_deterministic(
+            dst in any_color(),
+            src in any_color(),
+            cov in 0.0..=1.0f64,
+            op in any_op(),
+        ) {
+            let run = || {
+                let mut s = Surface::new(1, 1);
+                s.set(0, 0, dst);
+                s.blend(0, 0, src, cov, op);
+                s.get(0, 0)
+            };
+            prop_assert_eq!(run(), run());
+        }
+
+        /// Zero coverage is the identity for every operator.
+        #[test]
+        fn zero_coverage_is_identity(dst in any_color(), src in any_color(), op in any_op()) {
+            let mut s = Surface::new(1, 1);
+            s.set(0, 0, dst);
+            s.blend(0, 0, src, 0.0, op);
+            prop_assert_eq!(s.get(0, 0), dst);
+        }
+
+        /// Source-over with a fully opaque source at full coverage replaces
+        /// the destination color exactly.
+        #[test]
+        fn opaque_source_over_replaces(dst in any_color(), r in any::<u8>(), g in any::<u8>(), b in any::<u8>()) {
+            let mut s = Surface::new(1, 1);
+            s.set(0, 0, dst);
+            let src = Color::rgb(r, g, b);
+            s.blend(0, 0, src, 1.0, CompositeOp::SourceOver);
+            prop_assert_eq!(s.get(0, 0), src);
+        }
+
+        /// Source-over with a fully transparent source never changes an
+        /// opaque destination.
+        #[test]
+        fn transparent_source_over_opaque_is_identity(
+            r in any::<u8>(), g in any::<u8>(), b in any::<u8>(),
+            cov in 0.0..=1.0f64,
+        ) {
+            let dst = Color::rgb(r, g, b);
+            let mut s = Surface::new(1, 1);
+            s.set(0, 0, dst);
+            s.blend(0, 0, Color::TRANSPARENT, cov, CompositeOp::SourceOver);
+            prop_assert_eq!(s.get(0, 0), dst);
+        }
+
+        /// Out-of-bounds blends are ignored, never panic.
+        #[test]
+        fn out_of_bounds_blend_is_ignored(
+            x in -8i64..16, y in -8i64..16,
+            src in any_color(), op in any_op(),
+        ) {
+            let mut s = Surface::new(4, 4);
+            s.blend(x, y, src, 1.0, op);
+            // In-bounds pixels may change; out-of-bounds must not corrupt.
+            prop_assert_eq!(s.data().len(), 64);
+        }
+
+        /// `lighter` is commutative in its operands when starting from a
+        /// transparent surface (additive blending).
+        #[test]
+        fn lighter_is_commutative_from_transparent(a in any_color(), b in any_color()) {
+            let run = |first: Color, second: Color| {
+                let mut s = Surface::new(1, 1);
+                s.blend(0, 0, first, 1.0, CompositeOp::Lighter);
+                s.blend(0, 0, second, 1.0, CompositeOp::Lighter);
+                s.get(0, 0)
+            };
+            let ab = run(a, b);
+            let ba = run(b, a);
+            // Allow 1-LSB rounding asymmetry per channel.
+            for (x, y) in [(ab.r, ba.r), (ab.g, ba.g), (ab.b, ba.b), (ab.a, ba.a)] {
+                prop_assert!((x as i16 - y as i16).abs() <= 1, "{ab:?} vs {ba:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Stroke geometry generation.
+//!
+//! Strokes are rendered by expanding each flattened segment into a quad of
+//! `lineWidth` thickness, adding cap/join disks, and rasterizing the pieces
+//! with coverage-union so overlaps do not double-blend. Joins are always
+//! round (miter joins are approximated by round ones — a documented
+//! simplification; the scripts we model do not set `lineJoin`).
+
+use crate::geom::Point;
+use crate::path::Polygon;
+
+/// `lineCap` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LineCap {
+    /// Flat edge at the endpoint (canvas default).
+    #[default]
+    Butt,
+    /// Semicircular cap.
+    Round,
+    /// Square cap extending half the line width.
+    Square,
+}
+
+impl LineCap {
+    /// Parses the canvas `lineCap` string.
+    pub fn parse(s: &str) -> Option<LineCap> {
+        match s {
+            "butt" => Some(LineCap::Butt),
+            "round" => Some(LineCap::Round),
+            "square" => Some(LineCap::Square),
+            _ => None,
+        }
+    }
+}
+
+/// Number of vertices used to approximate cap/join disks. Chosen odd-ish
+/// and fixed so stroke geometry is deterministic.
+const DISK_SEGMENTS: usize = 12;
+
+/// Expands flattened polylines into independently rasterizable polygon
+/// groups forming the stroke outline.
+pub fn stroke_polygons(polys: &[Polygon], width: f64, cap: LineCap) -> Vec<Vec<Polygon>> {
+    let hw = (width / 2.0).max(0.01);
+    let mut groups: Vec<Vec<Polygon>> = Vec::new();
+    for poly in polys {
+        let pts = &poly.points;
+        if pts.len() < 2 {
+            // Degenerate subpath: round/square caps still paint a dot.
+            if let (Some(p), true) = (pts.first(), cap != LineCap::Butt) {
+                groups.push(vec![disk(*p, hw)]);
+            }
+            continue;
+        }
+        for w in pts.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if let Some(quad) = segment_quad(a, b, hw) {
+                groups.push(vec![quad]);
+            }
+        }
+        // Round joins at interior vertices (and the wrap vertex if closed).
+        let interior: Box<dyn Iterator<Item = usize>> = if poly.closed {
+            Box::new(0..pts.len())
+        } else {
+            Box::new(1..pts.len() - 1)
+        };
+        for i in interior {
+            groups.push(vec![disk(pts[i], hw)]);
+        }
+        if !poly.closed {
+            match cap {
+                LineCap::Butt => {}
+                LineCap::Round => {
+                    groups.push(vec![disk(pts[0], hw)]);
+                    groups.push(vec![disk(*pts.last().unwrap(), hw)]);
+                }
+                LineCap::Square => {
+                    if let Some(q) = square_cap(pts[1], pts[0], hw) {
+                        groups.push(vec![q]);
+                    }
+                    if let Some(q) = square_cap(pts[pts.len() - 2], pts[pts.len() - 1], hw) {
+                        groups.push(vec![q]);
+                    }
+                }
+            }
+        }
+    }
+    groups
+}
+
+/// A rectangle of half-width `hw` around segment `a -> b`, or `None` for a
+/// zero-length segment.
+fn segment_quad(a: Point, b: Point, hw: f64) -> Option<Polygon> {
+    let dx = b.x - a.x;
+    let dy = b.y - a.y;
+    let len = (dx * dx + dy * dy).sqrt();
+    if len < 1e-12 {
+        return None;
+    }
+    let nx = -dy / len * hw;
+    let ny = dx / len * hw;
+    Some(Polygon {
+        points: vec![
+            Point::new(a.x + nx, a.y + ny),
+            Point::new(b.x + nx, b.y + ny),
+            Point::new(b.x - nx, b.y - ny),
+            Point::new(a.x - nx, a.y - ny),
+        ],
+        closed: true,
+    })
+}
+
+/// A square cap extending beyond endpoint `end` away from `from`.
+fn square_cap(from: Point, end: Point, hw: f64) -> Option<Polygon> {
+    let dx = end.x - from.x;
+    let dy = end.y - from.y;
+    let len = (dx * dx + dy * dy).sqrt();
+    if len < 1e-12 {
+        return None;
+    }
+    let ux = dx / len;
+    let uy = dy / len;
+    let ext = Point::new(end.x + ux * hw, end.y + uy * hw);
+    segment_quad(end, ext, hw)
+}
+
+/// A regular polygon approximating a disk of radius `r` at `c`.
+fn disk(c: Point, r: f64) -> Polygon {
+    let mut points = Vec::with_capacity(DISK_SEGMENTS);
+    for i in 0..DISK_SEGMENTS {
+        let ang = std::f64::consts::TAU * i as f64 / DISK_SEGMENTS as f64;
+        let (s, co) = ang.sin_cos();
+        points.push(Point::new(c.x + r * co, c.y + r * s));
+    }
+    Polygon {
+        points,
+        closed: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceProfile;
+    use crate::fill::rasterize_union;
+    use crate::geom::Transform;
+    use crate::path::Path;
+
+    fn flatten(p: &Path) -> Vec<Polygon> {
+        p.flatten(&Transform::identity())
+    }
+
+    #[test]
+    fn horizontal_line_stroke_covers_band() {
+        let mut p = Path::new();
+        p.move_to(2.0, 5.0);
+        p.line_to(10.0, 5.0);
+        let groups = stroke_polygons(&flatten(&p), 2.0, LineCap::Butt);
+        let m = rasterize_union(&groups, 16, 16, &DeviceProfile::intel_ubuntu());
+        // Band is rows y=4..6 between x=2..10.
+        assert!(m.coverage(5, 4) > 0.9);
+        assert!(m.coverage(5, 5) > 0.9);
+        assert!(m.coverage(5, 2) < 0.1);
+        assert!(m.coverage(0, 5) < 0.1, "butt cap must not extend left");
+    }
+
+    #[test]
+    fn square_cap_extends() {
+        let mut p = Path::new();
+        p.move_to(4.0, 5.0);
+        p.line_to(10.0, 5.0);
+        let butt = stroke_polygons(&flatten(&p), 2.0, LineCap::Butt);
+        let square = stroke_polygons(&flatten(&p), 2.0, LineCap::Square);
+        let mb = rasterize_union(&butt, 16, 16, &DeviceProfile::intel_ubuntu());
+        let ms = rasterize_union(&square, 16, 16, &DeviceProfile::intel_ubuntu());
+        assert!(ms.coverage(3, 5) > 0.5, "square cap should cover x=3");
+        assert!(mb.coverage(3, 5) < 0.2);
+    }
+
+    #[test]
+    fn round_cap_paints_dot_for_degenerate_path() {
+        let poly = Polygon {
+            points: vec![Point::new(5.0, 5.0)],
+            closed: false,
+        };
+        let groups = stroke_polygons(&[poly], 4.0, LineCap::Round);
+        assert_eq!(groups.len(), 1);
+        let m = rasterize_union(&groups, 10, 10, &DeviceProfile::intel_ubuntu());
+        assert!(m.coverage(5, 5) > 0.9);
+    }
+
+    #[test]
+    fn overlapping_segments_do_not_double_cover() {
+        let mut p = Path::new();
+        p.move_to(2.0, 2.0);
+        p.line_to(10.0, 2.0);
+        p.line_to(2.0, 2.1); // folds back over itself
+        let groups = stroke_polygons(&flatten(&p), 2.0, LineCap::Butt);
+        let m = rasterize_union(&groups, 16, 16, &DeviceProfile::intel_ubuntu());
+        assert!(m.coverage(5, 2) <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn zero_length_segments_are_skipped() {
+        assert!(segment_quad(Point::new(1.0, 1.0), Point::new(1.0, 1.0), 1.0).is_none());
+    }
+
+    #[test]
+    fn line_cap_parse() {
+        assert_eq!(LineCap::parse("round"), Some(LineCap::Round));
+        assert_eq!(LineCap::parse("bevel"), None);
+    }
+}

@@ -1,0 +1,267 @@
+//! # canvassing-regexlite
+//!
+//! A small backtracking regular-expression engine, implemented from
+//! scratch for script-URL pattern attribution.
+//!
+//! The paper (Appendix A.3/A.4) attributes fingerprinting scripts to
+//! vendors by matching their URLs against patterns — e.g. Imperva's
+//! customers are identified with
+//! `https?://(?:www\.)?[^/]+/([A-Za-z\-]+)`. This crate implements the
+//! regex subset those patterns need:
+//!
+//! * literals, `.`, escapes (`\.`, `\/`, `\d`, `\w`, `\s`, `\D`, `\W`, `\S`)
+//! * character classes `[a-z0-9\-]` and negated classes `[^/]`
+//! * quantifiers `*`, `+`, `?` and bounded `{n}`, `{n,}`, `{n,m}` (greedy)
+//! * grouping `(...)`, non-capturing `(?:...)`, alternation `|`
+//! * anchors `^` and `$`
+//!
+//! Omitted (documented, per the project guide idiom): lazy quantifiers,
+//! lookaround, backreferences, named groups, and Unicode classes. None of
+//! the attribution patterns in the paper use them.
+//!
+//! Matching is plain recursive backtracking over `char`s with a global
+//! step budget so pathological patterns cannot hang the pipeline.
+
+#![warn(missing_docs)]
+
+mod matcher;
+mod parser;
+
+pub use matcher::Captures;
+use parser::Ast;
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    ast: Ast,
+    pattern: String,
+    n_groups: usize,
+}
+
+/// Error produced when a pattern fails to compile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the pattern where the error was detected.
+    pub position: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "regex parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Regex {
+    /// Compiles a pattern.
+    pub fn new(pattern: &str) -> Result<Regex, ParseError> {
+        let (ast, n_groups) = parser::parse(pattern)?;
+        Ok(Regex {
+            ast,
+            pattern: pattern.to_string(),
+            n_groups,
+        })
+    }
+
+    /// The source pattern.
+    pub fn as_str(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Number of capturing groups.
+    pub fn capture_count(&self) -> usize {
+        self.n_groups
+    }
+
+    /// Whether the pattern matches anywhere in `text`.
+    pub fn is_match(&self, text: &str) -> bool {
+        self.captures(text).is_some()
+    }
+
+    /// Returns the leftmost match as `(start, end)` byte offsets.
+    pub fn find(&self, text: &str) -> Option<(usize, usize)> {
+        self.captures(text).map(|c| c.full_range())
+    }
+
+    /// Returns the leftmost match with capture groups.
+    pub fn captures<'t>(&self, text: &'t str) -> Option<Captures<'t>> {
+        matcher::search(&self.ast, self.n_groups, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(p: &str) -> Regex {
+        Regex::new(p).unwrap_or_else(|e| panic!("pattern {p:?}: {e}"))
+    }
+
+    #[test]
+    fn literal_match() {
+        assert!(re("abc").is_match("xxabcxx"));
+        assert!(!re("abc").is_match("ab"));
+    }
+
+    #[test]
+    fn dot_matches_any_but_newline() {
+        assert!(re("a.c").is_match("axc"));
+        assert!(!re("a.c").is_match("a\nc"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(re("^abc$").is_match("abc"));
+        assert!(!re("^abc$").is_match("xabc"));
+        assert!(!re("^abc$").is_match("abcx"));
+        assert!(re("^ab").is_match("abc"));
+        assert!(re("bc$").is_match("abc"));
+    }
+
+    #[test]
+    fn star_backtracks() {
+        assert!(re("a*ab").is_match("aaab"));
+        assert_eq!(re("a*").find("aaab"), Some((0, 3)));
+        assert_eq!(re("a*").find("bbb"), Some((0, 0)));
+    }
+
+    #[test]
+    fn plus_and_question() {
+        assert!(re("ab+c").is_match("abbbc"));
+        assert!(!re("ab+c").is_match("ac"));
+        assert!(re("ab?c").is_match("ac"));
+        assert!(re("ab?c").is_match("abc"));
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        assert!(re("a{3}").is_match("aaa"));
+        assert!(!re("^a{3}$").is_match("aa"));
+        assert!(re("^a{2,3}$").is_match("aa"));
+        assert!(re("^a{2,3}$").is_match("aaa"));
+        assert!(!re("^a{2,3}$").is_match("aaaa"));
+        assert!(re("^a{2,}$").is_match("aaaaa"));
+    }
+
+    #[test]
+    fn classes() {
+        assert!(re("[abc]+").is_match("cab"));
+        assert!(re("[a-z]+").is_match("hello"));
+        assert!(!re("^[a-z]+$").is_match("Hello"));
+        assert!(re("[^/]+").is_match("abc"));
+        assert!(!re("^[^/]+$").is_match("a/b"));
+        assert!(re(r"[A-Za-z\-]+").is_match("foo-Bar"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(re(r"\d+").is_match("x42"));
+        assert!(!re(r"^\d+$").is_match("4a2"));
+        assert!(re(r"\w+").is_match("ab_9"));
+        assert!(re(r"\s").is_match("a b"));
+        assert!(re(r"a\.b").is_match("a.b"));
+        assert!(!re(r"a\.b").is_match("axb"));
+        assert!(re(r"\D").is_match("a"));
+        assert!(!re(r"\D").is_match("5"));
+    }
+
+    #[test]
+    fn alternation() {
+        assert!(re("cat|dog").is_match("hotdog"));
+        assert!(re("^(cat|dog)$").is_match("cat"));
+        assert!(!re("^(cat|dog)$").is_match("cow"));
+    }
+
+    #[test]
+    fn groups_capture() {
+        let r = re(r"(\w+)@(\w+)\.com");
+        let c = r.captures("mail me: alice@example.com please").unwrap();
+        assert_eq!(c.get(1), Some("alice"));
+        assert_eq!(c.get(2), Some("example"));
+        assert_eq!(c.get(0), Some("alice@example.com"));
+    }
+
+    #[test]
+    fn non_capturing_groups() {
+        let r = re(r"(?:ab)+(c)");
+        let c = r.captures("ababc").unwrap();
+        assert_eq!(c.get(1), Some("c"));
+        assert_eq!(r.capture_count(), 1);
+    }
+
+    #[test]
+    fn imperva_pattern_from_the_paper() {
+        // Appendix A.3: https?://(?:www\.)?[^/]+/([A-Za-z\-]+)
+        let r = re(r"https?://(?:www\.)?[^/]+/([A-Za-z\-]+)");
+        let c = r
+            .captures("https://www.example-shop.com/SomePath-Here/x.js")
+            .unwrap();
+        assert_eq!(c.get(1), Some("SomePath-Here"));
+        let c = r.captures("http://cdn.example.org/assets/app.js").unwrap();
+        assert_eq!(c.get(1), Some("assets"));
+        assert!(!r.is_match("ftp://example.org/path"));
+    }
+
+    #[test]
+    fn leftmost_match_wins() {
+        assert_eq!(re("a+").find("bbaaab"), Some((2, 5)));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty() {
+        assert!(re("").is_match(""));
+        assert!(re("").is_match("anything"));
+    }
+
+    #[test]
+    fn invalid_patterns_error() {
+        for bad in ["(", ")", "[", "a{2,1}", "*a", "(?"] {
+            assert!(Regex::new(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn unicode_text_is_handled() {
+        assert!(re("é+").is_match("ééé"));
+        assert!(re(".").is_match("日"));
+        let c = re("(.)").captures("日本").unwrap();
+        assert_eq!(c.get(1), Some("日"));
+    }
+
+    #[test]
+    fn pathological_pattern_terminates() {
+        // (a+)+$ against a long non-matching string: the step budget must
+        // cut the search off rather than hanging.
+        let r = re("(a+)+$");
+        let text = "a".repeat(40) + "b";
+        assert!(!r.is_match(&text));
+    }
+
+    #[cfg(test)]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn literal_patterns_match_themselves(s in "[a-z0-9]{1,20}") {
+                let r = Regex::new(&s).unwrap();
+                prop_assert!(r.is_match(&s));
+                prop_assert_eq!(r.find(&s), Some((0, s.len())));
+            }
+
+            #[test]
+            fn find_range_is_valid(pat in "[a-z.*+?]{1,8}", text in "[a-z]{0,24}") {
+                if let Ok(r) = Regex::new(&pat) {
+                    if let Some((s, e)) = r.find(&text) {
+                        prop_assert!(s <= e && e <= text.len());
+                        prop_assert!(text.is_char_boundary(s) && text.is_char_boundary(e));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Backtracking matcher over the parsed AST.
+
+use crate::parser::Ast;
+
+/// Maximum number of matcher steps per search before giving up. Keeps
+/// pathological patterns (catastrophic backtracking) from hanging the
+/// measurement pipeline; the attribution patterns used in practice stay
+/// far below this.
+const STEP_BUDGET: u64 = 1_000_000;
+
+/// Capture results for one match.
+#[derive(Debug, Clone)]
+pub struct Captures<'t> {
+    text: &'t str,
+    /// Byte-offset slots: index 0 is the whole match.
+    slots: Vec<Option<(usize, usize)>>,
+}
+
+impl<'t> Captures<'t> {
+    /// The matched text of group `i` (0 = whole match).
+    pub fn get(&self, i: usize) -> Option<&'t str> {
+        let (s, e) = (*self.slots.get(i)?)?;
+        self.text.get(s..e)
+    }
+
+    /// The byte range of the whole match.
+    pub fn full_range(&self) -> (usize, usize) {
+        self.slots[0].expect("full match always present")
+    }
+}
+
+struct State<'a> {
+    text: &'a [char],
+    /// Byte offset of each char index (length = chars + 1).
+    byte_offsets: Vec<usize>,
+    slots: Vec<Option<(usize, usize)>>,
+    steps: u64,
+}
+
+/// Searches for the leftmost match of `ast` in `text`.
+pub fn search<'t>(ast: &Ast, n_groups: usize, text: &'t str) -> Option<Captures<'t>> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut byte_offsets = Vec::with_capacity(chars.len() + 1);
+    let mut off = 0;
+    for c in &chars {
+        byte_offsets.push(off);
+        off += c.len_utf8();
+    }
+    byte_offsets.push(off);
+
+    for start in 0..=chars.len() {
+        let mut state = State {
+            text: &chars,
+            byte_offsets,
+            slots: vec![None; n_groups + 1],
+            steps: 0,
+        };
+        let matched = match_ast(ast, start, &mut state, &mut |_state, _pos| true);
+        if let Some(end) = matched {
+            let mut slots = state.slots;
+            slots[0] = Some((state.byte_offsets[start], state.byte_offsets[end]));
+            return Some(Captures { text, slots });
+        }
+        byte_offsets = state.byte_offsets;
+    }
+    None
+}
+
+/// Continuation-passing matcher: tries to match `ast` at char position
+/// `pos`; on success calls `k` with the end position. Returns the final
+/// end position of the overall match when the continuation chain
+/// succeeds.
+fn match_ast(
+    ast: &Ast,
+    pos: usize,
+    state: &mut State<'_>,
+    k: &mut dyn FnMut(&mut State<'_>, usize) -> bool,
+) -> Option<usize> {
+    state.steps += 1;
+    if state.steps > STEP_BUDGET {
+        return None;
+    }
+    match ast {
+        Ast::Empty => {
+            if k(state, pos) {
+                Some(pos)
+            } else {
+                None
+            }
+        }
+        Ast::AnchorStart => {
+            if pos == 0 && k(state, pos) {
+                Some(pos)
+            } else {
+                None
+            }
+        }
+        Ast::AnchorEnd => {
+            if pos == state.text.len() && k(state, pos) {
+                Some(pos)
+            } else {
+                None
+            }
+        }
+        Ast::Char(m) => {
+            if pos < state.text.len() && m.matches(state.text[pos]) && k(state, pos + 1) {
+                Some(pos + 1)
+            } else {
+                None
+            }
+        }
+        Ast::Concat(items) => match_seq(items, pos, state, k),
+        Ast::Alt(branches) => {
+            for b in branches {
+                let saved = state.slots.clone();
+                if let Some(end) = match_ast(b, pos, state, k) {
+                    return Some(end);
+                }
+                state.slots = saved;
+            }
+            None
+        }
+        Ast::Group(idx, inner) => {
+            let idx = *idx;
+            let start_byte = state.byte_offsets[pos];
+            let saved = state.slots.clone();
+            let result = match_ast(inner, pos, state, &mut |st, end| {
+                let prev = st.slots[idx];
+                st.slots[idx] = Some((start_byte, st.byte_offsets[end]));
+                if k(st, end) {
+                    true
+                } else {
+                    st.slots[idx] = prev;
+                    false
+                }
+            });
+            if result.is_none() {
+                state.slots = saved;
+            }
+            result
+        }
+        Ast::Repeat { inner, min, max } => match_repeat(inner, *min, *max, 0, pos, state, k),
+    }
+}
+
+fn match_seq(
+    items: &[Ast],
+    pos: usize,
+    state: &mut State<'_>,
+    k: &mut dyn FnMut(&mut State<'_>, usize) -> bool,
+) -> Option<usize> {
+    match items.split_first() {
+        None => {
+            if k(state, pos) {
+                Some(pos)
+            } else {
+                None
+            }
+        }
+        Some((head, rest)) => {
+            // Match head, then the rest, then the outer continuation.
+            // We need the *final* end position, so track it via a cell.
+            let mut final_end: Option<usize> = None;
+            let ok = match_ast(head, pos, state, &mut |st, mid| {
+                if let Some(end) = match_seq(rest, mid, st, k) {
+                    final_end = Some(end);
+                    true
+                } else {
+                    false
+                }
+            });
+            if ok.is_some() {
+                final_end
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn match_repeat(
+    inner: &Ast,
+    min: u32,
+    max: Option<u32>,
+    count: u32,
+    pos: usize,
+    state: &mut State<'_>,
+    k: &mut dyn FnMut(&mut State<'_>, usize) -> bool,
+) -> Option<usize> {
+    state.steps += 1;
+    if state.steps > STEP_BUDGET {
+        return None;
+    }
+    let can_more = max.is_none_or(|m| count < m);
+    // Greedy: try one more iteration first.
+    if can_more {
+        let mut final_end: Option<usize> = None;
+        let saved = state.slots.clone();
+        let ok = match_ast(inner, pos, state, &mut |st, mid| {
+            // Zero-width progress guard: an empty iteration must not recurse
+            // forever.
+            if mid == pos {
+                return false;
+            }
+            if let Some(end) = match_repeat(inner, min, max, count + 1, mid, st, k) {
+                final_end = Some(end);
+                true
+            } else {
+                false
+            }
+        });
+        if ok.is_some() {
+            return final_end;
+        }
+        state.slots = saved;
+    }
+    // Then fall back to stopping here (if the minimum is satisfied).
+    if count >= min {
+        if k(state, pos) {
+            return Some(pos);
+        }
+        return None;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run(pattern: &str, text: &str) -> Option<(usize, usize)> {
+        let (ast, n) = parse(pattern).unwrap();
+        search(&ast, n, text).map(|c| c.full_range())
+    }
+
+    #[test]
+    fn greedy_star_takes_longest() {
+        assert_eq!(run("a*", "aaa"), Some((0, 3)));
+    }
+
+    #[test]
+    fn backtracks_to_satisfy_suffix() {
+        assert_eq!(run("a*a", "aaa"), Some((0, 3)));
+        assert_eq!(run(r"(a*)(a)", "aa"), Some((0, 2)));
+    }
+
+    #[test]
+    fn captures_report_last_iteration() {
+        let (ast, n) = parse(r"(ab)+").unwrap();
+        let c = search(&ast, n, "ababab").unwrap();
+        assert_eq!(c.get(0), Some("ababab"));
+        assert_eq!(c.get(1), Some("ab"));
+    }
+
+    #[test]
+    fn unmatched_group_is_none() {
+        let (ast, n) = parse(r"a(b)?c").unwrap();
+        let c = search(&ast, n, "ac").unwrap();
+        assert_eq!(c.get(1), None);
+    }
+
+    #[test]
+    fn zero_width_star_does_not_hang() {
+        assert_eq!(run("(?:a?)*b", "b"), Some((0, 1)));
+    }
+
+    #[test]
+    fn byte_offsets_are_char_boundaries() {
+        let (ast, n) = parse("本").unwrap();
+        let c = search(&ast, n, "日本語").unwrap();
+        assert_eq!(c.get(0), Some("本"));
+        assert_eq!(c.full_range(), (3, 6));
+    }
+}

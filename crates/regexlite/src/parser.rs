@@ -1,0 +1,379 @@
+//! Pattern parser: builds the [`Ast`] consumed by the matcher.
+
+use crate::ParseError;
+
+/// A single-character matcher.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CharMatcher {
+    /// Exact character.
+    Literal(char),
+    /// Any character except `\n`.
+    Any,
+    /// A class: ranges plus perl shorthands, possibly negated.
+    Class {
+        /// Inclusive character ranges.
+        ranges: Vec<(char, char)>,
+        /// Whether the class is negated (`[^...]`).
+        negated: bool,
+    },
+}
+
+impl CharMatcher {
+    /// Whether the matcher accepts `c`.
+    pub fn matches(&self, c: char) -> bool {
+        match self {
+            CharMatcher::Literal(l) => *l == c,
+            CharMatcher::Any => c != '\n',
+            CharMatcher::Class { ranges, negated } => {
+                let inside = ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi);
+                inside != *negated
+            }
+        }
+    }
+}
+
+/// Parsed regex AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ast {
+    /// Empty expression (matches the empty string).
+    Empty,
+    /// Single character matcher.
+    Char(CharMatcher),
+    /// Sequence.
+    Concat(Vec<Ast>),
+    /// Alternation.
+    Alt(Vec<Ast>),
+    /// Greedy repetition of the inner expression.
+    Repeat {
+        /// Repeated expression.
+        inner: Box<Ast>,
+        /// Minimum count.
+        min: u32,
+        /// Maximum count (`None` = unbounded).
+        max: Option<u32>,
+    },
+    /// Capturing group with 1-based index.
+    Group(usize, Box<Ast>),
+    /// `^` anchor.
+    AnchorStart,
+    /// `$` anchor.
+    AnchorEnd,
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    groups: usize,
+}
+
+/// Parses `pattern` into `(ast, number_of_capture_groups)`.
+pub fn parse(pattern: &str) -> Result<(Ast, usize), ParseError> {
+    let mut p = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+        groups: 0,
+    };
+    let ast = p.parse_alt()?;
+    if p.pos != p.chars.len() {
+        return Err(p.err("unexpected character (unbalanced ')'?)"));
+    }
+    Ok((ast, p.groups))
+}
+
+impl Parser {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            position: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_alt(&mut self) -> Result<Ast, ParseError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.eat('|') {
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Ast::Alt(branches)
+        })
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, ParseError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().unwrap(),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast, ParseError> {
+        let atom = self.parse_atom()?;
+        let quantifiable = !matches!(atom, Ast::AnchorStart | Ast::AnchorEnd);
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.pos += 1;
+                (0, None)
+            }
+            Some('+') => {
+                self.pos += 1;
+                (1, None)
+            }
+            Some('?') => {
+                self.pos += 1;
+                (0, Some(1))
+            }
+            Some('{') => {
+                self.pos += 1;
+                let (min, max) = self.parse_bounds()?;
+                (min, max)
+            }
+            _ => return Ok(atom),
+        };
+        if !quantifiable {
+            return Err(self.err("quantifier applied to anchor"));
+        }
+        Ok(Ast::Repeat {
+            inner: Box::new(atom),
+            min,
+            max,
+        })
+    }
+
+    fn parse_bounds(&mut self) -> Result<(u32, Option<u32>), ParseError> {
+        let min = self.parse_number()?;
+        if self.eat('}') {
+            return Ok((min, Some(min)));
+        }
+        if !self.eat(',') {
+            return Err(self.err("expected ',' or '}' in bounds"));
+        }
+        if self.eat('}') {
+            return Ok((min, None));
+        }
+        let max = self.parse_number()?;
+        if !self.eat('}') {
+            return Err(self.err("expected '}' after bounds"));
+        }
+        if max < min {
+            return Err(self.err("bounds out of order"));
+        }
+        Ok((min, Some(max)))
+    }
+
+    fn parse_number(&mut self) -> Result<u32, ParseError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected number"));
+        }
+        let s: String = self.chars[start..self.pos].iter().collect();
+        s.parse().map_err(|_| self.err("number too large"))
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, ParseError> {
+        match self.bump() {
+            None => Err(self.err("unexpected end of pattern")),
+            Some('^') => Ok(Ast::AnchorStart),
+            Some('$') => Ok(Ast::AnchorEnd),
+            Some('.') => Ok(Ast::Char(CharMatcher::Any)),
+            Some('(') => {
+                let capturing = if self.peek() == Some('?') {
+                    self.pos += 1;
+                    if !self.eat(':') {
+                        return Err(self.err("only (?: groups are supported"));
+                    }
+                    false
+                } else {
+                    true
+                };
+                let idx = if capturing {
+                    self.groups += 1;
+                    self.groups
+                } else {
+                    0
+                };
+                let inner = self.parse_alt()?;
+                if !self.eat(')') {
+                    return Err(self.err("missing ')'"));
+                }
+                Ok(if capturing {
+                    Ast::Group(idx, Box::new(inner))
+                } else {
+                    inner
+                })
+            }
+            Some('[') => self.parse_class(),
+            Some('\\') => self.parse_escape(),
+            Some(c) if c == '*' || c == '+' || c == '?' => {
+                Err(self.err("quantifier with nothing to repeat"))
+            }
+            Some(')') => {
+                self.pos -= 1;
+                Err(self.err("unbalanced ')'"))
+            }
+            Some(c) => Ok(Ast::Char(CharMatcher::Literal(c))),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<Ast, ParseError> {
+        let Some(c) = self.bump() else {
+            return Err(self.err("dangling escape"));
+        };
+        let m = match c {
+            'd' => perl_class(false, &[('0', '9')]),
+            'D' => perl_class(true, &[('0', '9')]),
+            'w' => perl_class(false, &[('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+            'W' => perl_class(true, &[('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+            's' => perl_class(false, &[(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')]),
+            'S' => perl_class(true, &[(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')]),
+            'n' => CharMatcher::Literal('\n'),
+            't' => CharMatcher::Literal('\t'),
+            'r' => CharMatcher::Literal('\r'),
+            other => CharMatcher::Literal(other),
+        };
+        Ok(Ast::Char(m))
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, ParseError> {
+        let negated = self.eat('^');
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        loop {
+            let Some(c) = self.bump() else {
+                return Err(self.err("unterminated class"));
+            };
+            if c == ']' {
+                if ranges.is_empty() {
+                    // First ']' is a literal, per tradition.
+                    ranges.push((']', ']'));
+                    continue;
+                }
+                break;
+            }
+            let lo = if c == '\\' {
+                match self.bump() {
+                    Some('d') => {
+                        ranges.push(('0', '9'));
+                        continue;
+                    }
+                    Some('w') => {
+                        ranges.extend_from_slice(&[('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]);
+                        continue;
+                    }
+                    Some('s') => {
+                        ranges.extend_from_slice(&[(' ', ' '), ('\t', '\t'), ('\n', '\n')]);
+                        continue;
+                    }
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some(other) => other,
+                    None => return Err(self.err("dangling escape in class")),
+                }
+            } else {
+                c
+            };
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.pos += 1; // consume '-'
+                let Some(mut hi) = self.bump() else {
+                    return Err(self.err("unterminated range"));
+                };
+                if hi == '\\' {
+                    hi = self.bump().ok_or_else(|| self.err("dangling escape"))?;
+                }
+                if hi < lo {
+                    return Err(self.err("range out of order"));
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        Ok(Ast::Char(CharMatcher::Class { ranges, negated }))
+    }
+}
+
+fn perl_class(negated: bool, ranges: &[(char, char)]) -> CharMatcher {
+    CharMatcher::Class {
+        ranges: ranges.to_vec(),
+        negated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_groups() {
+        let (_, n) = parse(r"(a)(?:b)(c(d))").unwrap();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn class_with_leading_bracket() {
+        let (ast, _) = parse(r"[]]").unwrap();
+        match ast {
+            Ast::Char(m) => {
+                assert!(m.matches(']'));
+                assert!(!m.matches('a'));
+            }
+            other => panic!("unexpected ast {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dash_at_class_end_is_literal() {
+        let (ast, _) = parse(r"[a-]").unwrap();
+        match ast {
+            Ast::Char(m) => {
+                assert!(m.matches('a'));
+                assert!(m.matches('-'));
+                assert!(!m.matches('b'));
+            }
+            other => panic!("unexpected ast {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unbalanced() {
+        assert!(parse("(a").is_err());
+        assert!(parse("a)").is_err());
+        assert!(parse("[a").is_err());
+    }
+
+    #[test]
+    fn rejects_quantified_anchor() {
+        assert!(parse("^*").is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Abstract syntax tree for canvascript.
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (numeric addition or string concatenation).
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+    /// `%`.
+    Rem,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `&&` (short-circuit).
+    And,
+    /// `||` (short-circuit).
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`.
+    Neg,
+    /// `!`.
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Number(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// Variable reference.
+    Ident(String),
+    /// Array literal.
+    Array(Vec<Expr>),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Property read: `obj.name`.
+    Member {
+        /// Receiver.
+        object: Box<Expr>,
+        /// Property name.
+        name: String,
+    },
+    /// Index read: `arr[i]`.
+    Index {
+        /// Receiver.
+        object: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Free function call: `f(a, b)`.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Method call: `obj.m(a, b)`.
+    MethodCall {
+        /// Receiver.
+        object: Box<Expr>,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Assignment to a variable, property, or index slot. Evaluates to the
+    /// assigned value.
+    Assign {
+        /// Assignment target.
+        target: Box<AssignTarget>,
+        /// Value expression.
+        value: Box<Expr>,
+    },
+}
+
+/// Valid assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AssignTarget {
+    /// `x = ...`.
+    Ident(String),
+    /// `obj.prop = ...`.
+    Member {
+        /// Receiver.
+        object: Expr,
+        /// Property name.
+        name: String,
+    },
+    /// `arr[i] = ...`.
+    Index {
+        /// Receiver.
+        object: Expr,
+        /// Index expression.
+        index: Expr,
+    },
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let x = expr;`.
+    Let {
+        /// Variable name.
+        name: String,
+        /// Initializer (`null` if omitted).
+        value: Expr,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if (cond) { .. } else { .. }`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Optional else branch.
+        else_branch: Vec<Stmt>,
+    },
+    /// `while (cond) { .. }`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) { .. }`.
+    For {
+        /// Initializer statement (Let or Expr).
+        init: Option<Box<Stmt>>,
+        /// Condition (true if omitted).
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr;`.
+    Return(Option<Expr>),
+    /// `break;`.
+    Break,
+    /// `continue;`.
+    Continue,
+    /// Function declaration.
+    FnDecl(FnDecl),
+}
+
+/// A function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Top-level statements (function declarations are hoisted by the
+    /// interpreter before execution).
+    pub stmts: Vec<Stmt>,
+}

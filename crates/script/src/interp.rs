@@ -1,0 +1,775 @@
+//! Tree-walking interpreter for canvascript.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::value::{Host, RuntimeError, Value};
+
+/// Maximum interpreter steps per script. Fingerprinting scripts run a few
+/// thousand operations; the budget exists so a buggy generated script can
+/// never hang a crawl worker.
+const STEP_BUDGET: u64 = 5_000_000;
+
+/// Control flow signal.
+enum Flow {
+    Normal(Value),
+    Break,
+    Continue,
+    Return(Value),
+}
+
+/// Interpreter state for one script execution.
+struct Interp<'h> {
+    host: &'h mut dyn Host,
+    scopes: Vec<HashMap<String, Value>>,
+    functions: HashMap<String, FnDecl>,
+    steps: u64,
+    call_depth: usize,
+}
+
+/// Runs a parsed program against a host. Returns the value of the last
+/// top-level expression statement (or `Null`).
+pub fn run(program: &Program, host: &mut dyn Host) -> Result<Value, RuntimeError> {
+    let mut interp = Interp {
+        host,
+        scopes: vec![HashMap::new()],
+        functions: HashMap::new(),
+        steps: 0,
+        call_depth: 0,
+    };
+    // Hoist function declarations (including nested-in-top-level order
+    // independence, which vendor scripts rely on).
+    for stmt in &program.stmts {
+        if let Stmt::FnDecl(f) = stmt {
+            interp.functions.insert(f.name.clone(), f.clone());
+        }
+    }
+    let mut last = Value::Null;
+    for stmt in &program.stmts {
+        match interp.exec(stmt)? {
+            Flow::Normal(v) => last = v,
+            Flow::Return(v) => return Ok(v),
+            Flow::Break | Flow::Continue => {
+                return Err(RuntimeError::new("break/continue outside loop"))
+            }
+        }
+    }
+    Ok(last)
+}
+
+/// Parses and runs source text in one call.
+pub fn eval(src: &str, host: &mut dyn Host) -> Result<Value, RuntimeError> {
+    let program = crate::parser::parse(src)
+        .map_err(|e| RuntimeError::new(format!("script parse failed: {e}")))?;
+    run(&program, host)
+}
+
+impl<'h> Interp<'h> {
+    fn tick(&mut self) -> Result<(), RuntimeError> {
+        self.steps += 1;
+        if self.steps > STEP_BUDGET {
+            Err(RuntimeError::new("script exceeded step budget"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<Value> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Some(v.clone());
+            }
+        }
+        None
+    }
+
+    fn assign_var(&mut self, name: &str, value: Value) -> Result<(), RuntimeError> {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                *slot = value;
+                return Ok(());
+            }
+        }
+        // Implicit global creation, like sloppy-mode JS (vendor scripts
+        // assign to undeclared names).
+        self.scopes[0].insert(name.to_string(), value);
+        Ok(())
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt]) -> Result<Flow, RuntimeError> {
+        self.scopes.push(HashMap::new());
+        let mut out = Flow::Normal(Value::Null);
+        for stmt in stmts {
+            match self.exec(stmt)? {
+                Flow::Normal(v) => out = Flow::Normal(v),
+                other => {
+                    self.scopes.pop();
+                    return Ok(other);
+                }
+            }
+        }
+        self.scopes.pop();
+        Ok(out)
+    }
+
+    fn exec(&mut self, stmt: &Stmt) -> Result<Flow, RuntimeError> {
+        self.tick()?;
+        match stmt {
+            Stmt::Let { name, value } => {
+                let v = self.eval_expr(value)?;
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack never empty")
+                    .insert(name.clone(), v);
+                Ok(Flow::Normal(Value::Null))
+            }
+            Stmt::Expr(e) => Ok(Flow::Normal(self.eval_expr(e)?)),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                if self.eval_expr(cond)?.truthy() {
+                    self.exec_block(then_branch)
+                } else {
+                    self.exec_block(else_branch)
+                }
+            }
+            Stmt::While { cond, body } => {
+                while self.eval_expr(cond)?.truthy() {
+                    self.tick()?;
+                    match self.exec_block(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal(_) | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal(Value::Null))
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    if let Flow::Return(v) = self.exec(init)? {
+                        self.scopes.pop();
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                loop {
+                    self.tick()?;
+                    let keep_going = match cond {
+                        Some(c) => self.eval_expr(c)?.truthy(),
+                        None => true,
+                    };
+                    if !keep_going {
+                        break;
+                    }
+                    match self.exec_block(body) {
+                        Ok(Flow::Break) => break,
+                        Ok(Flow::Return(v)) => {
+                            self.scopes.pop();
+                            return Ok(Flow::Return(v));
+                        }
+                        Ok(Flow::Normal(_) | Flow::Continue) => {}
+                        Err(e) => {
+                            self.scopes.pop();
+                            return Err(e);
+                        }
+                    }
+                    if let Some(step) = step {
+                        self.eval_expr(step)?;
+                    }
+                }
+                self.scopes.pop();
+                Ok(Flow::Normal(Value::Null))
+            }
+            Stmt::Return(value) => {
+                let v = match value {
+                    Some(e) => self.eval_expr(e)?,
+                    None => Value::Null,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+            Stmt::FnDecl(f) => {
+                self.functions.insert(f.name.clone(), f.clone());
+                Ok(Flow::Normal(Value::Null))
+            }
+        }
+    }
+
+    fn eval_expr(&mut self, expr: &Expr) -> Result<Value, RuntimeError> {
+        self.tick()?;
+        match expr {
+            Expr::Number(n) => Ok(Value::Num(*n)),
+            Expr::Str(s) => Ok(Value::Str(s.clone())),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Null => Ok(Value::Null),
+            Expr::Ident(name) => {
+                if let Some(v) = self.lookup(name) {
+                    return Ok(v);
+                }
+                if let Some(v) = self.host.global(name) {
+                    return Ok(v);
+                }
+                Err(RuntimeError::new(format!("undefined variable {name}")))
+            }
+            Expr::Array(items) => {
+                let vals: Result<Vec<Value>, _> =
+                    items.iter().map(|e| self.eval_expr(e)).collect();
+                Ok(Value::array(vals?))
+            }
+            Expr::Unary { op, expr } => {
+                let v = self.eval_expr(expr)?;
+                match op {
+                    UnOp::Not => Ok(Value::Bool(!v.truthy())),
+                    UnOp::Neg => {
+                        let n = v
+                            .as_num()
+                            .ok_or_else(|| RuntimeError::new("cannot negate non-number"))?;
+                        Ok(Value::Num(-n))
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs),
+            Expr::Member { object, name } => {
+                let obj = self.eval_expr(object)?;
+                self.get_member(obj, name)
+            }
+            Expr::Index { object, index } => {
+                let obj = self.eval_expr(object)?;
+                let idx = self.eval_expr(index)?;
+                match (obj, idx) {
+                    (Value::Array(items), Value::Num(i)) => {
+                        let items = items.borrow();
+                        let i = i as usize;
+                        Ok(items.get(i).cloned().unwrap_or(Value::Null))
+                    }
+                    (Value::Str(s), Value::Num(i)) => Ok(s
+                        .chars()
+                        .nth(i as usize)
+                        .map(|c| Value::Str(c.to_string()))
+                        .unwrap_or(Value::Null)),
+                    _ => Err(RuntimeError::new("invalid index operation")),
+                }
+            }
+            Expr::Call { name, args } => {
+                let arg_vals: Result<Vec<Value>, _> =
+                    args.iter().map(|e| self.eval_expr(e)).collect();
+                self.call_function(name, arg_vals?)
+            }
+            Expr::MethodCall {
+                object,
+                method,
+                args,
+            } => {
+                let obj = self.eval_expr(object)?;
+                let arg_vals: Result<Vec<Value>, _> =
+                    args.iter().map(|e| self.eval_expr(e)).collect();
+                let arg_vals = arg_vals?;
+                match obj {
+                    Value::Host(h) => self.host.call_method(h, method, arg_vals),
+                    Value::Str(s) => string_method(&s, method, &arg_vals),
+                    Value::Array(items) => array_method(&items, method, arg_vals),
+                    other => Err(RuntimeError::new(format!(
+                        "cannot call method {method} on {}",
+                        other.to_display_string()
+                    ))),
+                }
+            }
+            Expr::Assign { target, value } => {
+                let v = self.eval_expr(value)?;
+                match &**target {
+                    AssignTarget::Ident(name) => {
+                        self.assign_var(name, v.clone())?;
+                    }
+                    AssignTarget::Member { object, name } => {
+                        let obj = self.eval_expr(object)?;
+                        match obj {
+                            Value::Host(h) => self.host.set_prop(h, name, v.clone())?,
+                            _ => {
+                                return Err(RuntimeError::new(format!(
+                                    "cannot set property {name} on non-host value"
+                                )))
+                            }
+                        }
+                    }
+                    AssignTarget::Index { object, index } => {
+                        let obj = self.eval_expr(object)?;
+                        let idx = self.eval_expr(index)?;
+                        match (obj, idx) {
+                            (Value::Array(items), Value::Num(i)) => {
+                                let mut items = items.borrow_mut();
+                                let i = i as usize;
+                                if i >= items.len() {
+                                    items.resize(i + 1, Value::Null);
+                                }
+                                items[i] = v.clone();
+                            }
+                            _ => return Err(RuntimeError::new("invalid index assignment")),
+                        }
+                    }
+                }
+                Ok(v)
+            }
+        }
+    }
+
+    fn get_member(&mut self, obj: Value, name: &str) -> Result<Value, RuntimeError> {
+        match obj {
+            Value::Host(h) => self.host.get_prop(h, name),
+            Value::Str(s) if name == "length" => Ok(Value::Num(s.chars().count() as f64)),
+            Value::Array(items) if name == "length" => {
+                Ok(Value::Num(items.borrow().len() as f64))
+            }
+            other => Err(RuntimeError::new(format!(
+                "no property {name} on {}",
+                other.to_display_string()
+            ))),
+        }
+    }
+
+    fn eval_binary(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> Result<Value, RuntimeError> {
+        // Short-circuit ops first.
+        match op {
+            BinOp::And => {
+                let l = self.eval_expr(lhs)?;
+                return if !l.truthy() { Ok(l) } else { self.eval_expr(rhs) };
+            }
+            BinOp::Or => {
+                let l = self.eval_expr(lhs)?;
+                return if l.truthy() { Ok(l) } else { self.eval_expr(rhs) };
+            }
+            _ => {}
+        }
+        let l = self.eval_expr(lhs)?;
+        let r = self.eval_expr(rhs)?;
+        let num_op = |f: fn(f64, f64) -> f64| -> Result<Value, RuntimeError> {
+            match (l.as_num(), r.as_num()) {
+                (Some(a), Some(b)) => Ok(Value::Num(f(a, b))),
+                _ => Err(RuntimeError::new("arithmetic on non-numbers")),
+            }
+        };
+        match op {
+            BinOp::Add => {
+                // String concatenation when either side is a string.
+                if matches!(l, Value::Str(_)) || matches!(r, Value::Str(_)) {
+                    Ok(Value::Str(format!(
+                        "{}{}",
+                        l.to_display_string(),
+                        r.to_display_string()
+                    )))
+                } else {
+                    num_op(|a, b| a + b)
+                }
+            }
+            BinOp::Sub => num_op(|a, b| a - b),
+            BinOp::Mul => num_op(|a, b| a * b),
+            BinOp::Div => num_op(|a, b| a / b),
+            BinOp::Rem => num_op(|a, b| a % b),
+            BinOp::Eq => Ok(Value::Bool(l.loose_eq(&r))),
+            BinOp::Ne => Ok(Value::Bool(!l.loose_eq(&r))),
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let ord = match (&l, &r) {
+                    (Value::Str(a), Value::Str(b)) => a.cmp(b),
+                    _ => {
+                        let (a, b) = (l.as_num(), r.as_num());
+                        match (a, b) {
+                            (Some(a), Some(b)) => a
+                                .partial_cmp(&b)
+                                .ok_or_else(|| RuntimeError::new("NaN comparison"))?,
+                            _ => return Err(RuntimeError::new("comparison on non-numbers")),
+                        }
+                    }
+                };
+                let result = match op {
+                    BinOp::Lt => ord.is_lt(),
+                    BinOp::Le => ord.is_le(),
+                    BinOp::Gt => ord.is_gt(),
+                    BinOp::Ge => ord.is_ge(),
+                    _ => unreachable!(),
+                };
+                Ok(Value::Bool(result))
+            }
+            BinOp::And | BinOp::Or => unreachable!("handled above"),
+        }
+    }
+
+    fn call_function(&mut self, name: &str, args: Vec<Value>) -> Result<Value, RuntimeError> {
+        if let Some(v) = builtin(name, &args)? {
+            return Ok(v);
+        }
+        let Some(decl) = self.functions.get(name).cloned() else {
+            return Err(RuntimeError::new(format!("undefined function {name}")));
+        };
+        if self.call_depth >= 64 {
+            return Err(RuntimeError::new("call stack exceeded"));
+        }
+        self.call_depth += 1;
+        // Functions see globals (scope 0) plus their own frame — no
+        // closures, which the modeled scripts don't need.
+        let globals = self.scopes[0].clone();
+        let saved = std::mem::replace(&mut self.scopes, vec![globals]);
+        let mut frame = HashMap::new();
+        for (i, p) in decl.params.iter().enumerate() {
+            frame.insert(p.clone(), args.get(i).cloned().unwrap_or(Value::Null));
+        }
+        self.scopes.push(frame);
+        let mut result = Value::Null;
+        let mut error = None;
+        for stmt in &decl.body {
+            match self.exec(stmt) {
+                Ok(Flow::Return(v)) => {
+                    result = v;
+                    break;
+                }
+                Ok(Flow::Break | Flow::Continue) => {
+                    error = Some(RuntimeError::new("break/continue outside loop"));
+                    break;
+                }
+                Ok(Flow::Normal(_)) => {}
+                Err(e) => {
+                    error = Some(e);
+                    break;
+                }
+            }
+        }
+        // Propagate global mutations back, then restore locals.
+        let new_globals = self.scopes[0].clone();
+        self.scopes = saved;
+        self.scopes[0] = new_globals;
+        self.call_depth -= 1;
+        match error {
+            Some(e) => Err(e),
+            None => Ok(result),
+        }
+    }
+}
+
+/// Free builtin functions available to every script.
+fn builtin(name: &str, args: &[Value]) -> Result<Option<Value>, RuntimeError> {
+    let num = |i: usize| -> Result<f64, RuntimeError> {
+        args.get(i)
+            .and_then(Value::as_num)
+            .ok_or_else(|| RuntimeError::new(format!("{name}: expected number arg {i}")))
+    };
+    let out = match name {
+        "len" => {
+            let v = args.first().ok_or_else(|| RuntimeError::new("len: missing arg"))?;
+            match v {
+                Value::Str(s) => Value::Num(s.chars().count() as f64),
+                Value::Array(a) => Value::Num(a.borrow().len() as f64),
+                _ => return Err(RuntimeError::new("len: not a string or array")),
+            }
+        }
+        "str" => Value::Str(
+            args.first()
+                .map(Value::to_display_string)
+                .unwrap_or_default(),
+        ),
+        "num" => Value::Num(num(0)?),
+        "floor" => Value::Num(num(0)?.floor()),
+        "ceil" => Value::Num(num(0)?.ceil()),
+        "round" => Value::Num(num(0)?.round()),
+        "abs" => Value::Num(num(0)?.abs()),
+        "sqrt" => Value::Num(num(0)?.sqrt()),
+        "pow" => Value::Num(num(0)?.powf(num(1)?)),
+        "min" => Value::Num(num(0)?.min(num(1)?)),
+        "max" => Value::Num(num(0)?.max(num(1)?)),
+        "sin" => Value::Num(num(0)?.sin()),
+        "cos" => Value::Num(num(0)?.cos()),
+        "pi" => Value::Num(std::f64::consts::PI),
+        "fromCharCode" => {
+            let c = char::from_u32(num(0)? as u32)
+                .ok_or_else(|| RuntimeError::new("fromCharCode: invalid code point"))?;
+            Value::Str(c.to_string())
+        }
+        _ => return Ok(None),
+    };
+    Ok(Some(out))
+}
+
+/// String methods (the JS-ish subset vendor scripts use).
+fn string_method(s: &str, method: &str, args: &[Value]) -> Result<Value, RuntimeError> {
+    match method {
+        "charCodeAt" => {
+            let i = args.first().and_then(Value::as_num).unwrap_or(0.0) as usize;
+            Ok(s
+                .chars()
+                .nth(i)
+                .map(|c| Value::Num(c as u32 as f64))
+                .unwrap_or(Value::Null))
+        }
+        "indexOf" => {
+            let needle = match args.first() {
+                Some(Value::Str(n)) => n.clone(),
+                _ => return Err(RuntimeError::new("indexOf: expected string")),
+            };
+            Ok(Value::Num(match s.find(&needle) {
+                // Report a char index, consistent with charCodeAt.
+                Some(byte_idx) => s[..byte_idx].chars().count() as f64,
+                None => -1.0,
+            }))
+        }
+        "substring" | "slice" => {
+            let chars: Vec<char> = s.chars().collect();
+            let a = args.first().and_then(Value::as_num).unwrap_or(0.0).max(0.0) as usize;
+            let b = args
+                .get(1)
+                .and_then(Value::as_num)
+                .map(|n| n.max(0.0) as usize)
+                .unwrap_or(chars.len())
+                .min(chars.len());
+            let a = a.min(b);
+            Ok(Value::Str(chars[a..b].iter().collect()))
+        }
+        "toLowerCase" => Ok(Value::Str(s.to_lowercase())),
+        "toUpperCase" => Ok(Value::Str(s.to_uppercase())),
+        "startsWith" => match args.first() {
+            Some(Value::Str(p)) => Ok(Value::Bool(s.starts_with(p.as_str()))),
+            _ => Err(RuntimeError::new("startsWith: expected string")),
+        },
+        "includes" => match args.first() {
+            Some(Value::Str(p)) => Ok(Value::Bool(s.contains(p.as_str()))),
+            _ => Err(RuntimeError::new("includes: expected string")),
+        },
+        "toString" => Ok(Value::Str(s.to_string())),
+        other => Err(RuntimeError::new(format!("unknown string method {other}"))),
+    }
+}
+
+/// Array methods.
+fn array_method(
+    items: &std::rc::Rc<std::cell::RefCell<Vec<Value>>>,
+    method: &str,
+    args: Vec<Value>,
+) -> Result<Value, RuntimeError> {
+    match method {
+        "push" => {
+            let mut v = items.borrow_mut();
+            for a in args {
+                v.push(a);
+            }
+            Ok(Value::Num(v.len() as f64))
+        }
+        "pop" => Ok(items.borrow_mut().pop().unwrap_or(Value::Null)),
+        "join" => {
+            let sep = match args.first() {
+                Some(Value::Str(s)) => s.clone(),
+                _ => ",".to_string(),
+            };
+            let parts: Vec<String> = items
+                .borrow()
+                .iter()
+                .map(Value::to_display_string)
+                .collect();
+            Ok(Value::Str(parts.join(&sep)))
+        }
+        "indexOf" => {
+            let needle = args
+                .first()
+                .ok_or_else(|| RuntimeError::new("indexOf: missing arg"))?;
+            let v = items.borrow();
+            Ok(Value::Num(
+                v.iter()
+                    .position(|x| x.loose_eq(needle))
+                    .map(|i| i as f64)
+                    .unwrap_or(-1.0),
+            ))
+        }
+        other => Err(RuntimeError::new(format!("unknown array method {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::NullHost;
+
+    fn eval_ok(src: &str) -> Value {
+        eval(src, &mut NullHost).unwrap_or_else(|e| panic!("{src}: {e}"))
+    }
+
+    fn eval_num(src: &str) -> f64 {
+        match eval_ok(src) {
+            Value::Num(n) => n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(eval_num("1 + 2 * 3;"), 7.0);
+        assert_eq!(eval_num("(1 + 2) * 3;"), 9.0);
+        assert_eq!(eval_num("10 % 3;"), 1.0);
+        assert_eq!(eval_num("-4 + 1;"), -3.0);
+    }
+
+    #[test]
+    fn string_concat() {
+        assert_eq!(
+            eval_ok("\"a\" + 1 + true;").to_display_string(),
+            "a1true"
+        );
+    }
+
+    #[test]
+    fn variables_and_scopes() {
+        assert_eq!(eval_num("let x = 2; let y = 3; x * y;"), 6.0);
+        // Inner blocks shadow; outer survives.
+        assert_eq!(eval_num("let x = 1; if (true) { let x = 9; } x;"), 1.0);
+        // Assignment reaches outer scope.
+        assert_eq!(eval_num("let x = 1; if (true) { x = 9; } x;"), 9.0);
+    }
+
+    #[test]
+    fn while_loop_with_break_continue() {
+        let src = "
+            let total = 0;
+            let i = 0;
+            while (true) {
+                i = i + 1;
+                if (i > 10) { break; }
+                if (i % 2 == 0) { continue; }
+                total = total + i;
+            }
+            total;
+        ";
+        assert_eq!(eval_num(src), 25.0); // 1+3+5+7+9
+    }
+
+    #[test]
+    fn for_loop() {
+        assert_eq!(
+            eval_num("let s = 0; for (let i = 0; i < 5; i = i + 1) { s = s + i; } s;"),
+            10.0
+        );
+    }
+
+    #[test]
+    fn functions_and_returns() {
+        let src = "
+            fn fib(n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            fib(10);
+        ";
+        assert_eq!(eval_num(src), 55.0);
+    }
+
+    #[test]
+    fn functions_see_globals() {
+        let src = "
+            let base = 100;
+            fn add(n) { return base + n; }
+            add(5);
+        ";
+        assert_eq!(eval_num(src), 105.0);
+    }
+
+    #[test]
+    fn function_can_mutate_globals() {
+        let src = "
+            let count = 0;
+            fn bump() { count = count + 1; }
+            bump(); bump(); bump();
+            count;
+        ";
+        assert_eq!(eval_num(src), 3.0);
+    }
+
+    #[test]
+    fn arrays() {
+        assert_eq!(eval_num("let a = [1, 2, 3]; a[1];"), 2.0);
+        assert_eq!(eval_num("let a = []; a.push(7); a.push(8); len(a);"), 2.0);
+        assert_eq!(
+            eval_ok("let a = [1,2]; a.join(\"-\");").to_display_string(),
+            "1-2"
+        );
+        assert_eq!(eval_num("let a = [5]; a[3] = 9; len(a);"), 4.0);
+    }
+
+    #[test]
+    fn string_methods() {
+        assert_eq!(eval_num("\"abc\".charCodeAt(1);"), 98.0);
+        assert_eq!(eval_num("\"hello\".indexOf(\"ll\");"), 2.0);
+        assert_eq!(
+            eval_ok("\"hello\".substring(1, 3);").to_display_string(),
+            "el"
+        );
+        assert_eq!(eval_ok("\"AbC\".toLowerCase();").to_display_string(), "abc");
+        assert!(eval_ok("\"data:image/png\".startsWith(\"data:\");").truthy());
+    }
+
+    #[test]
+    fn builtins() {
+        assert_eq!(eval_num("floor(3.7);"), 3.0);
+        assert_eq!(eval_num("max(2, 9);"), 9.0);
+        assert_eq!(eval_num("len(\"abcd\");"), 4.0);
+        assert_eq!(eval_ok("fromCharCode(65);").to_display_string(), "A");
+        assert_eq!(eval_num("len(\"😃\");"), 1.0, "emoji is one char");
+    }
+
+    #[test]
+    fn short_circuit() {
+        // RHS would error if evaluated.
+        assert!(!eval_ok("false && boom();").truthy());
+        assert!(eval_ok("true || boom();").truthy());
+    }
+
+    #[test]
+    fn comparison_chain() {
+        assert!(eval_ok("1 < 2;").truthy());
+        assert!(eval_ok("\"a\" < \"b\";").truthy());
+        assert!(eval_ok("\"url1\" == \"url1\";").truthy());
+        assert!(eval_ok("\"url1\" != \"url2\";").truthy());
+    }
+
+    #[test]
+    fn undefined_variable_errors() {
+        assert!(eval("nope;", &mut NullHost).is_err());
+        assert!(eval("nope();", &mut NullHost).is_err());
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_budget() {
+        assert!(eval("while (true) { }", &mut NullHost).is_err());
+    }
+
+    #[test]
+    fn deep_recursion_errors_cleanly() {
+        assert!(eval("fn f(n) { return f(n + 1); } f(0);", &mut NullHost).is_err());
+    }
+
+    #[test]
+    fn host_globals_resolve() {
+        struct OneGlobal;
+        impl Host for OneGlobal {
+            fn global(&mut self, name: &str) -> Option<Value> {
+                (name == "answer").then_some(Value::Num(42.0))
+            }
+            fn get_prop(&mut self, _: u64, _: &str) -> Result<Value, RuntimeError> {
+                unreachable!()
+            }
+            fn set_prop(&mut self, _: u64, _: &str, _: Value) -> Result<(), RuntimeError> {
+                unreachable!()
+            }
+            fn call_method(&mut self, _: u64, _: &str, _: Vec<Value>) -> Result<Value, RuntimeError> {
+                unreachable!()
+            }
+        }
+        assert_eq!(eval("answer + 1;", &mut OneGlobal).unwrap().as_num(), Some(43.0));
+    }
+
+    #[test]
+    fn string_indexing() {
+        assert_eq!(eval_ok("\"abc\"[1];").to_display_string(), "b");
+        assert!(matches!(eval_ok("\"abc\"[9];"), Value::Null));
+    }
+}

@@ -1,0 +1,410 @@
+//! Tokenizer for canvascript.
+//!
+//! The language is a small, deterministic JavaScript subset; source text of
+//! vendor fingerprinting scripts is written in it. String literals support
+//! the full Unicode range (fingerprinting scripts draw emoji and
+//! pangrams), `\u{...}` escapes, and the usual `\n`/`\t`/`\"` escapes.
+
+/// A token with its source position (byte offset of its start).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset into the source where the token starts.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Numeric literal (always f64).
+    Number(f64),
+    /// String literal (already unescaped).
+    Str(String),
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+    // keywords
+    /// `let`.
+    Let,
+    /// `fn` / `function`.
+    Fn,
+    /// `if`.
+    If,
+    /// `else`.
+    Else,
+    /// `while`.
+    While,
+    /// `for`.
+    For,
+    /// `return`.
+    Return,
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    // punctuation
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semi,
+    /// `.`.
+    Dot,
+    // operators
+    /// `=`.
+    Assign,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `==` (also accepts `===` in source).
+    Eq,
+    /// `!=` (also accepts `!==`).
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `&&`.
+    And,
+    /// `||`.
+    Or,
+    /// `!`.
+    Not,
+    /// End of input.
+    Eof,
+}
+
+/// Lexical error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Description.
+    pub message: String,
+    /// Byte offset.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src` into a vector ending with [`TokenKind::Eof`].
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes: Vec<char> = src.chars().collect();
+    // Track byte offsets alongside char indices.
+    let mut offsets = Vec::with_capacity(bytes.len() + 1);
+    let mut off = 0;
+    for c in &bytes {
+        offsets.push(off);
+        off += c.len_utf8();
+    }
+    offsets.push(off);
+
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let err = |msg: &str, at: usize| LexError {
+        message: msg.to_string(),
+        offset: at,
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let at = offsets[i];
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(err("unterminated block comment", at));
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    let Some(&ch) = bytes.get(i) else {
+                        return Err(err("unterminated string", at));
+                    };
+                    i += 1;
+                    if ch == quote {
+                        break;
+                    }
+                    if ch == '\\' {
+                        let Some(&esc) = bytes.get(i) else {
+                            return Err(err("dangling escape", at));
+                        };
+                        i += 1;
+                        match esc {
+                            'n' => s.push('\n'),
+                            't' => s.push('\t'),
+                            'r' => s.push('\r'),
+                            '\\' => s.push('\\'),
+                            '\'' => s.push('\''),
+                            '"' => s.push('"'),
+                            'u' => {
+                                if bytes.get(i) != Some(&'{') {
+                                    return Err(err("expected { after \\u", at));
+                                }
+                                i += 1;
+                                let mut hex = String::new();
+                                while let Some(&h) = bytes.get(i) {
+                                    if h == '}' {
+                                        break;
+                                    }
+                                    hex.push(h);
+                                    i += 1;
+                                }
+                                if bytes.get(i) != Some(&'}') {
+                                    return Err(err("unterminated \\u{...}", at));
+                                }
+                                i += 1;
+                                let cp = u32::from_str_radix(&hex, 16)
+                                    .map_err(|_| err("bad \\u escape", at))?;
+                                s.push(
+                                    char::from_u32(cp).ok_or_else(|| err("invalid code point", at))?,
+                                );
+                            }
+                            other => {
+                                return Err(err(&format!("unknown escape \\{other}"), at));
+                            }
+                        }
+                    } else {
+                        s.push(ch);
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: at,
+                });
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    // Don't consume a dot followed by a non-digit (member access
+                    // on a number is not supported anyway, but be safe).
+                    if bytes[i] == '.'
+                        && !bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let n: f64 = text.parse().map_err(|_| err("bad number", at))?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(n),
+                    offset: at,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '$')
+                {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                let kind = match word.as_str() {
+                    "let" | "var" | "const" => TokenKind::Let,
+                    "fn" | "function" => TokenKind::Fn,
+                    "if" => TokenKind::If,
+                    "else" => TokenKind::Else,
+                    "while" => TokenKind::While,
+                    "for" => TokenKind::For,
+                    "return" => TokenKind::Return,
+                    "break" => TokenKind::Break,
+                    "continue" => TokenKind::Continue,
+                    "true" => TokenKind::Bool(true),
+                    "false" => TokenKind::Bool(false),
+                    "null" | "undefined" => TokenKind::Null,
+                    _ => TokenKind::Ident(word),
+                };
+                tokens.push(Token { kind, offset: at });
+            }
+            _ => {
+                let two: Option<char> = bytes.get(i + 1).copied();
+                let three: Option<char> = bytes.get(i + 2).copied();
+                let (kind, advance) = match (c, two) {
+                    ('=', Some('=')) => {
+                        if three == Some('=') {
+                            (TokenKind::Eq, 3)
+                        } else {
+                            (TokenKind::Eq, 2)
+                        }
+                    }
+                    ('!', Some('=')) => {
+                        if three == Some('=') {
+                            (TokenKind::Ne, 3)
+                        } else {
+                            (TokenKind::Ne, 2)
+                        }
+                    }
+                    ('<', Some('=')) => (TokenKind::Le, 2),
+                    ('>', Some('=')) => (TokenKind::Ge, 2),
+                    ('&', Some('&')) => (TokenKind::And, 2),
+                    ('|', Some('|')) => (TokenKind::Or, 2),
+                    ('=', _) => (TokenKind::Assign, 1),
+                    ('<', _) => (TokenKind::Lt, 1),
+                    ('>', _) => (TokenKind::Gt, 1),
+                    ('!', _) => (TokenKind::Not, 1),
+                    ('+', _) => (TokenKind::Plus, 1),
+                    ('-', _) => (TokenKind::Minus, 1),
+                    ('*', _) => (TokenKind::Star, 1),
+                    ('/', _) => (TokenKind::Slash, 1),
+                    ('%', _) => (TokenKind::Percent, 1),
+                    ('(', _) => (TokenKind::LParen, 1),
+                    (')', _) => (TokenKind::RParen, 1),
+                    ('{', _) => (TokenKind::LBrace, 1),
+                    ('}', _) => (TokenKind::RBrace, 1),
+                    ('[', _) => (TokenKind::LBracket, 1),
+                    (']', _) => (TokenKind::RBracket, 1),
+                    (',', _) => (TokenKind::Comma, 1),
+                    (';', _) => (TokenKind::Semi, 1),
+                    ('.', _) => (TokenKind::Dot, 1),
+                    _ => return Err(err(&format!("unexpected character {c:?}"), at)),
+                };
+                tokens.push(Token { kind, offset: at });
+                i += advance;
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: offsets[bytes.len()],
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_statement() {
+        let k = kinds("let x = 1.5;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Let,
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Number(1.5),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes_and_unicode() {
+        let k = kinds(r#""a\n\"b" '\u{1F603}'"#);
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Str("a\n\"b".into()),
+                TokenKind::Str("\u{1F603}".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_emoji_in_string() {
+        let k = kinds("\"Cwm 😃 fjord\"");
+        assert_eq!(k[0], TokenKind::Str("Cwm 😃 fjord".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("1 // line\n/* block\nmore */ 2");
+        assert_eq!(
+            k,
+            vec![TokenKind::Number(1.0), TokenKind::Number(2.0), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn double_and_triple_equals() {
+        assert_eq!(kinds("a == b")[1], TokenKind::Eq);
+        assert_eq!(kinds("a === b")[1], TokenKind::Eq);
+        assert_eq!(kinds("a !== b")[1], TokenKind::Ne);
+    }
+
+    #[test]
+    fn js_keyword_aliases() {
+        assert_eq!(kinds("var x")[0], TokenKind::Let);
+        assert_eq!(kinds("const x")[0], TokenKind::Let);
+        assert_eq!(kinds("function f")[0], TokenKind::Fn);
+        assert_eq!(kinds("undefined")[0], TokenKind::Null);
+    }
+
+    #[test]
+    fn number_then_method_call_dot() {
+        // `2.toString` style: the dot must not be eaten by the number.
+        let k = kinds("2.5.x");
+        assert_eq!(k[0], TokenKind::Number(2.5));
+        assert_eq!(k[1], TokenKind::Dot);
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(tokenize("let x = @;").is_err());
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn offsets_point_into_source() {
+        let toks = tokenize("let  xyz = 1").unwrap();
+        assert_eq!(toks[1].offset, 5);
+        assert_eq!(&"let  xyz = 1"[toks[1].offset..toks[1].offset + 3], "xyz");
+    }
+}

@@ -1,0 +1,41 @@
+//! # canvassing-script
+//!
+//! *canvascript*: a small, deterministic scripting language in which this
+//! reproduction's fingerprinting and benign scripts are written.
+//!
+//! The paper studies *scripts* — artifacts with source text, URLs, and
+//! observable API behavior. Modeling vendor fingerprinting code as data
+//! (source strings served over the simulated network and executed by the
+//! simulated browser) rather than hard-coded Rust keeps the whole
+//! measurement pipeline honest: script-pattern attribution inspects real
+//! URLs, blocklists match real requests, first-party bundling really
+//! inlines source text, and the instrumentation records real call
+//! arguments.
+//!
+//! The language is a JavaScript-flavored subset: `let`/`var`/`const`,
+//! functions, `if`/`while`/`for`, arrays, strings (full Unicode, emoji
+//! included), arithmetic/logic, property access and method calls. All
+//! DOM/canvas behavior lives behind the [`Host`] trait, implemented by
+//! `canvassing-dom`. Execution is bounded by a step budget so generated
+//! scripts can never hang a crawl worker.
+//!
+//! ```
+//! use canvassing_script::{eval, NullHost};
+//!
+//! let v = eval("let x = 6; x * 7;", &mut NullHost).unwrap();
+//! assert_eq!(v.as_num(), Some(42.0));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+#[cfg(test)]
+mod proptests;
+pub mod value;
+
+pub use interp::{eval, run};
+pub use parser::{parse, ParseError};
+pub use value::{Host, HostRef, NullHost, RuntimeError, Value};

@@ -1,0 +1,519 @@
+//! Recursive-descent / Pratt parser for canvascript.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parse error with source offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// Byte offset into the source.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a full program.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(src).map_err(|e| ParseError {
+        message: e.message,
+        offset: e.offset,
+    })?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    while !p.at(TokenKind::Eof) {
+        stmts.push(p.statement()?);
+    }
+    Ok(Program { stmts })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn at(&self, kind: TokenKind) -> bool {
+        *self.peek() == kind
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset: self.tokens[self.pos].offset,
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.at(kind) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // ----- statements -----
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            TokenKind::Let => {
+                self.bump();
+                let name = self.ident()?;
+                let value = if self.at(TokenKind::Assign) {
+                    self.bump();
+                    self.expression()?
+                } else {
+                    Expr::Null
+                };
+                self.eat_semi();
+                Ok(Stmt::Let { name, value })
+            }
+            TokenKind::Fn => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(TokenKind::LParen, "(")?;
+                let mut params = Vec::new();
+                while !self.at(TokenKind::RParen) {
+                    params.push(self.ident()?);
+                    if !self.at(TokenKind::RParen) {
+                        self.expect(TokenKind::Comma, ",")?;
+                    }
+                }
+                self.bump(); // )
+                let body = self.block()?;
+                Ok(Stmt::FnDecl(FnDecl { name, params, body }))
+            }
+            TokenKind::If => {
+                self.bump();
+                self.expect(TokenKind::LParen, "(")?;
+                let cond = self.expression()?;
+                self.expect(TokenKind::RParen, ")")?;
+                let then_branch = self.block_or_single()?;
+                let else_branch = if self.at(TokenKind::Else) {
+                    self.bump();
+                    if self.at(TokenKind::If) {
+                        vec![self.statement()?]
+                    } else {
+                        self.block_or_single()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                })
+            }
+            TokenKind::While => {
+                self.bump();
+                self.expect(TokenKind::LParen, "(")?;
+                let cond = self.expression()?;
+                self.expect(TokenKind::RParen, ")")?;
+                let body = self.block_or_single()?;
+                Ok(Stmt::While { cond, body })
+            }
+            TokenKind::For => {
+                self.bump();
+                self.expect(TokenKind::LParen, "(")?;
+                let init = if self.at(TokenKind::Semi) {
+                    self.bump();
+                    None
+                } else {
+                    let s = self.statement()?; // consumes its semicolon
+                    Some(Box::new(s))
+                };
+                let cond = if self.at(TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                self.expect(TokenKind::Semi, ";")?;
+                let step = if self.at(TokenKind::RParen) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                self.expect(TokenKind::RParen, ")")?;
+                let body = self.block_or_single()?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value = if self.at(TokenKind::Semi)
+                    || self.at(TokenKind::RBrace)
+                    || self.at(TokenKind::Eof)
+                {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                self.eat_semi();
+                Ok(Stmt::Return(value))
+            }
+            TokenKind::Break => {
+                self.bump();
+                self.eat_semi();
+                Ok(Stmt::Break)
+            }
+            TokenKind::Continue => {
+                self.bump();
+                self.eat_semi();
+                Ok(Stmt::Continue)
+            }
+            _ => {
+                let e = self.expression()?;
+                self.eat_semi();
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn eat_semi(&mut self) {
+        while self.at(TokenKind::Semi) {
+            self.bump();
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(TokenKind::LBrace, "{")?;
+        let mut stmts = Vec::new();
+        while !self.at(TokenKind::RBrace) {
+            if self.at(TokenKind::Eof) {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.statement()?);
+        }
+        self.bump(); // }
+        Ok(stmts)
+    }
+
+    fn block_or_single(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.at(TokenKind::LBrace) {
+            self.block()
+        } else {
+            Ok(vec![self.statement()?])
+        }
+    }
+
+    // ----- expressions (Pratt) -----
+
+    fn expression(&mut self) -> Result<Expr, ParseError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.binary(0)?;
+        if self.at(TokenKind::Assign) {
+            self.bump();
+            let value = self.assignment()?;
+            let target = match lhs {
+                Expr::Ident(name) => AssignTarget::Ident(name),
+                Expr::Member { object, name } => AssignTarget::Member {
+                    object: *object,
+                    name,
+                },
+                Expr::Index { object, index } => AssignTarget::Index {
+                    object: *object,
+                    index: *index,
+                },
+                _ => return Err(self.err("invalid assignment target")),
+            };
+            return Ok(Expr::Assign {
+                target: Box::new(target),
+                value: Box::new(value),
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn binding_power(op: &TokenKind) -> Option<(BinOp, u8)> {
+        Some(match op {
+            TokenKind::Or => (BinOp::Or, 1),
+            TokenKind::And => (BinOp::And, 2),
+            TokenKind::Eq => (BinOp::Eq, 3),
+            TokenKind::Ne => (BinOp::Ne, 3),
+            TokenKind::Lt => (BinOp::Lt, 4),
+            TokenKind::Le => (BinOp::Le, 4),
+            TokenKind::Gt => (BinOp::Gt, 4),
+            TokenKind::Ge => (BinOp::Ge, 4),
+            TokenKind::Plus => (BinOp::Add, 5),
+            TokenKind::Minus => (BinOp::Sub, 5),
+            TokenKind::Star => (BinOp::Mul, 6),
+            TokenKind::Slash => (BinOp::Div, 6),
+            TokenKind::Percent => (BinOp::Rem, 6),
+            _ => return None,
+        })
+    }
+
+    fn binary(&mut self, min_bp: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        while let Some((op, bp)) = Self::binding_power(self.peek()) {
+            if bp < min_bp {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(bp + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(self.unary()?),
+                })
+            }
+            TokenKind::Not => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(self.unary()?),
+                })
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = self.primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::Dot => {
+                    self.bump();
+                    let name = self.ident()?;
+                    if self.at(TokenKind::LParen) {
+                        let args = self.call_args()?;
+                        expr = Expr::MethodCall {
+                            object: Box::new(expr),
+                            method: name,
+                            args,
+                        };
+                    } else {
+                        expr = Expr::Member {
+                            object: Box::new(expr),
+                            name,
+                        };
+                    }
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let index = self.expression()?;
+                    self.expect(TokenKind::RBracket, "]")?;
+                    expr = Expr::Index {
+                        object: Box::new(expr),
+                        index: Box::new(index),
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect(TokenKind::LParen, "(")?;
+        let mut args = Vec::new();
+        while !self.at(TokenKind::RParen) {
+            args.push(self.expression()?);
+            if !self.at(TokenKind::RParen) {
+                self.expect(TokenKind::Comma, ",")?;
+            }
+        }
+        self.bump(); // )
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(Expr::Number(n))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            TokenKind::Bool(b) => {
+                self.bump();
+                Ok(Expr::Bool(b))
+            }
+            TokenKind::Null => {
+                self.bump();
+                Ok(Expr::Null)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.at(TokenKind::LParen) {
+                    let args = self.call_args()?;
+                    Ok(Expr::Call { name, args })
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expression()?;
+                self.expect(TokenKind::RParen, ")")?;
+                Ok(e)
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                while !self.at(TokenKind::RBracket) {
+                    items.push(self.expression()?);
+                    if !self.at(TokenKind::RBracket) {
+                        self.expect(TokenKind::Comma, ",")?;
+                    }
+                }
+                self.bump();
+                Ok(Expr::Array(items))
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_let_and_call_chain() {
+        let p = parse(r#"let c = document.createElement("canvas");"#).unwrap();
+        assert_eq!(p.stmts.len(), 1);
+        match &p.stmts[0] {
+            Stmt::Let { name, value } => {
+                assert_eq!(name, "c");
+                assert!(matches!(value, Expr::MethodCall { method, .. } if method == "createElement"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_member_assignment() {
+        let p = parse("ctx.fillStyle = \"#f60\";").unwrap();
+        match &p.stmts[0] {
+            Stmt::Expr(Expr::Assign { target, .. }) => {
+                assert!(matches!(**target, AssignTarget::Member { ref name, .. } if name == "fillStyle"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("1 + 2 * 3;").unwrap();
+        match &p.stmts[0] {
+            Stmt::Expr(Expr::Binary { op: BinOp::Add, rhs, .. }) => {
+                assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_for_loop() {
+        let p = parse("for (let i = 0; i < 4; i = i + 1) { draw(i); }").unwrap();
+        match &p.stmts[0] {
+            Stmt::For { init, cond, step, body } => {
+                assert!(init.is_some());
+                assert!(cond.is_some());
+                assert!(step.is_some());
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_function_declaration() {
+        let p = parse("fn draw(ctx, n) { return n * 2; }").unwrap();
+        match &p.stmts[0] {
+            Stmt::FnDecl(f) => {
+                assert_eq!(f.name, "draw");
+                assert_eq!(f.params, vec!["ctx", "n"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let p = parse("if (a) { x(); } else if (b) { y(); } else { z(); }").unwrap();
+        match &p.stmts[0] {
+            Stmt::If { else_branch, .. } => {
+                assert_eq!(else_branch.len(), 1);
+                assert!(matches!(else_branch[0], Stmt::If { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_index_and_array() {
+        let p = parse("let a = [1, 2, 3]; a[0] = a[1];").unwrap();
+        assert_eq!(p.stmts.len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_assignment_target() {
+        assert!(parse("1 = 2;").is_err());
+        assert!(parse("f() = 2;").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_block() {
+        assert!(parse("if (a) { x();").is_err());
+    }
+
+    #[test]
+    fn semicolons_are_optional_between_statements() {
+        let p = parse("let a = 1\nlet b = 2\n").unwrap();
+        assert_eq!(p.stmts.len(), 2);
+    }
+}

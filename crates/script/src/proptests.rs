@@ -1,0 +1,128 @@
+//! Property tests for canvascript: a randomized expression generator with
+//! a Rust reference evaluator, plus totality checks on the front end.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::interp::eval;
+use crate::value::{NullHost, Value};
+
+/// A random arithmetic expression together with its expected value,
+/// generated structurally so the Rust reference and the canvascript
+/// source agree by construction.
+#[derive(Debug, Clone)]
+struct ArithExpr {
+    source: String,
+    expected: f64,
+}
+
+fn leaf() -> impl Strategy<Value = ArithExpr> {
+    // Small integers keep f64 arithmetic exact.
+    (-50i32..50).prop_map(|n| ArithExpr {
+        source: if n < 0 {
+            format!("(0 - {})", -n)
+        } else {
+            n.to_string()
+        },
+        expected: n as f64,
+    })
+}
+
+fn arith() -> impl Strategy<Value = ArithExpr> {
+    leaf().prop_recursive(4, 32, 2, |inner| {
+        (inner.clone(), inner, 0..3u8).prop_map(|(a, b, op)| match op {
+            0 => ArithExpr {
+                source: format!("({} + {})", a.source, b.source),
+                expected: a.expected + b.expected,
+            },
+            1 => ArithExpr {
+                source: format!("({} - {})", a.source, b.source),
+                expected: a.expected - b.expected,
+            },
+            _ => ArithExpr {
+                source: format!("({} * {})", a.source, b.source),
+                expected: a.expected * b.expected,
+            },
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The interpreter agrees with a structurally generated reference on
+    /// integer arithmetic.
+    #[test]
+    fn arithmetic_matches_reference(expr in arith()) {
+        let v = eval(&format!("{};", expr.source), &mut NullHost).unwrap();
+        prop_assert_eq!(v.as_num(), Some(expr.expected));
+    }
+
+    /// The same expression stored through a variable round-trips.
+    #[test]
+    fn variables_round_trip(expr in arith()) {
+        let src = format!("let tmp = {}; tmp;", expr.source);
+        let v = eval(&src, &mut NullHost).unwrap();
+        prop_assert_eq!(v.as_num(), Some(expr.expected));
+    }
+
+    /// Comparison operators agree with Rust on integer pairs.
+    #[test]
+    fn comparisons_match(a in -100i64..100, b in -100i64..100) {
+        let check = |op: &str, expected: bool| {
+            let v = eval(&format!("{a} {op} {b};"), &mut NullHost).unwrap();
+            assert_eq!(v.truthy(), expected, "{a} {op} {b}");
+        };
+        check("<", a < b);
+        check("<=", a <= b);
+        check(">", a > b);
+        check(">=", a >= b);
+        check("==", a == b);
+        check("!=", a != b);
+    }
+
+    /// The lexer+parser never panic on arbitrary printable input.
+    #[test]
+    fn parser_is_total(src in "[ -~\\n]{0,200}") {
+        let _ = crate::parser::parse(&src);
+    }
+
+    /// Loops that count to n actually count to n.
+    #[test]
+    fn counting_loops(n in 0u32..200) {
+        let src = format!(
+            "let total = 0; for (let i = 0; i < {n}; i = i + 1) {{ total = total + 1; }} total;"
+        );
+        let v = eval(&src, &mut NullHost).unwrap();
+        prop_assert_eq!(v.as_num(), Some(n as f64));
+    }
+
+    /// String concatenation through the interpreter matches Rust.
+    #[test]
+    fn string_concat_matches(a in "[a-z]{0,10}", b in "[0-9]{0,10}") {
+        let src = format!("\"{a}\" + \"{b}\";");
+        let v = eval(&src, &mut NullHost).unwrap();
+        match v {
+            Value::Str(s) => prop_assert_eq!(s, format!("{a}{b}")),
+            other => prop_assert!(false, "expected string, got {other:?}"),
+        }
+    }
+
+    /// Array push/index round-trips arbitrary integer sequences.
+    #[test]
+    fn array_roundtrip(items in proptest::collection::vec(-1000i64..1000, 0..12)) {
+        let mut src = String::from("let a = [];");
+        for item in &items {
+            src.push_str(&format!(" a.push({item});"));
+        }
+        src.push_str(" a.join(\",\");");
+        let v = eval(&src, &mut NullHost).unwrap();
+        let expected = items
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        prop_assert_eq!(v.to_display_string(), expected);
+    }
+}

@@ -1,0 +1,204 @@
+//! Runtime values and the host-object interface.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// An opaque reference to an object owned by the host (e.g. a DOM
+/// document, a canvas element, a 2D context, a gradient).
+pub type HostRef = u64;
+
+/// A canvascript runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// `null` / `undefined`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Number (always f64, like JavaScript).
+    Num(f64),
+    /// Immutable string.
+    Str(String),
+    /// Mutable shared array.
+    Array(Rc<RefCell<Vec<Value>>>),
+    /// Host object handle.
+    Host(HostRef),
+}
+
+impl Value {
+    /// Builds an array value.
+    pub fn array(items: Vec<Value>) -> Value {
+        Value::Array(Rc::new(RefCell::new(items)))
+    }
+
+    /// JavaScript-style truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Num(n) => *n != 0.0 && !n.is_nan(),
+            Value::Str(s) => !s.is_empty(),
+            Value::Array(_) | Value::Host(_) => true,
+        }
+    }
+
+    /// Loose equality (sufficient for the scripts we model: same-type
+    /// comparison plus null checks; arrays/hosts compare by identity).
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Num(a), Value::Num(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => Rc::ptr_eq(a, b),
+            (Value::Host(a), Value::Host(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Stringification (for `str()` and `+` concatenation).
+    pub fn to_display_string(&self) -> String {
+        match self {
+            Value::Null => "null".into(),
+            Value::Bool(b) => b.to_string(),
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            Value::Str(s) => s.clone(),
+            Value::Array(items) => {
+                let inner: Vec<String> =
+                    items.borrow().iter().map(|v| v.to_display_string()).collect();
+                inner.join(",")
+            }
+            Value::Host(h) => format!("[object #{h}]"),
+        }
+    }
+
+    /// Numeric coercion; `None` when not a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Str(s) => s.trim().parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Error raised during execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeError {
+    /// Description.
+    pub message: String,
+}
+
+impl RuntimeError {
+    /// Convenience constructor.
+    pub fn new(message: impl Into<String>) -> Self {
+        RuntimeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "runtime error: {}", self.message)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// The environment a script runs against. The DOM crate implements this
+/// over its document/canvas objects; tests implement stubs.
+pub trait Host {
+    /// Resolves a global identifier (e.g. `document`, `window`,
+    /// `navigator`). Returning `None` makes the identifier an
+    /// interpreter-level unknown-variable error.
+    fn global(&mut self, name: &str) -> Option<Value>;
+
+    /// Reads a property of a host object.
+    fn get_prop(&mut self, obj: HostRef, name: &str) -> Result<Value, RuntimeError>;
+
+    /// Writes a property of a host object.
+    fn set_prop(&mut self, obj: HostRef, name: &str, value: Value) -> Result<(), RuntimeError>;
+
+    /// Invokes a method on a host object.
+    fn call_method(
+        &mut self,
+        obj: HostRef,
+        method: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, RuntimeError>;
+}
+
+/// A host with no objects at all; scripts that touch the DOM fail.
+/// Useful for pure-computation tests.
+#[derive(Debug, Default)]
+pub struct NullHost;
+
+impl Host for NullHost {
+    fn global(&mut self, _name: &str) -> Option<Value> {
+        None
+    }
+
+    fn get_prop(&mut self, _obj: HostRef, name: &str) -> Result<Value, RuntimeError> {
+        Err(RuntimeError::new(format!("no host property {name}")))
+    }
+
+    fn set_prop(&mut self, _obj: HostRef, name: &str, _value: Value) -> Result<(), RuntimeError> {
+        Err(RuntimeError::new(format!("no host property {name}")))
+    }
+
+    fn call_method(
+        &mut self,
+        _obj: HostRef,
+        method: &str,
+        _args: Vec<Value>,
+    ) -> Result<Value, RuntimeError> {
+        Err(RuntimeError::new(format!("no host method {method}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Num(0.0).truthy());
+        assert!(!Value::Str(String::new()).truthy());
+        assert!(Value::Num(-1.0).truthy());
+        assert!(Value::Str("x".into()).truthy());
+        assert!(Value::array(vec![]).truthy());
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(Value::Num(3.0).to_display_string(), "3");
+        assert_eq!(Value::Num(3.5).to_display_string(), "3.5");
+        assert_eq!(
+            Value::array(vec![Value::Num(1.0), Value::Str("a".into())]).to_display_string(),
+            "1,a"
+        );
+    }
+
+    #[test]
+    fn loose_eq_arrays_by_identity() {
+        let a = Value::array(vec![Value::Num(1.0)]);
+        let b = Value::array(vec![Value::Num(1.0)]);
+        assert!(!a.loose_eq(&b));
+        assert!(a.loose_eq(&a.clone()));
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(Value::Str(" 42 ".into()).as_num(), Some(42.0));
+        assert_eq!(Value::Bool(true).as_num(), Some(1.0));
+        assert_eq!(Value::Null.as_num(), None);
+    }
+}

@@ -1,0 +1,162 @@
+//! Benign canvas users (Appendix A.2) — the scripts the paper's
+//! heuristics must *exclude* from the fingerprintable set.
+
+use serde::{Deserialize, Serialize};
+
+/// Kinds of benign canvas usage observed in the wild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenignKind {
+    /// WebP support probe: extract a default-size blank canvas as
+    /// `image/webp` (excluded by the lossy-format heuristic; 306 top-20k
+    /// sites in the paper).
+    WebpProbe,
+    /// Emoji rendering support probe on a tiny canvas (excluded by the
+    /// <16×16 size heuristic).
+    EmojiProbe,
+    /// Small uniform-color canvas extraction, e.g. the 12×12 canvas on
+    /// lacounty.gov (excluded by the size heuristic).
+    SmallBadge,
+    /// Image-editor style preview exported as JPEG (excluded by the lossy
+    /// heuristic).
+    EditorPreview,
+    /// Animation loop that also extracts a frame; its script calls
+    /// `save`/`restore`/`translate`, tripping the animation heuristic.
+    AnimationFrame,
+}
+
+impl BenignKind {
+    /// All kinds, for iteration in generators and tests.
+    pub fn all() -> &'static [BenignKind] {
+        &[
+            BenignKind::WebpProbe,
+            BenignKind::EmojiProbe,
+            BenignKind::SmallBadge,
+            BenignKind::EditorPreview,
+            BenignKind::AnimationFrame,
+        ]
+    }
+
+    /// A short label used in script provenance tags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BenignKind::WebpProbe => "benign:webp-probe",
+            BenignKind::EmojiProbe => "benign:emoji-probe",
+            BenignKind::SmallBadge => "benign:small-badge",
+            BenignKind::EditorPreview => "benign:editor-preview",
+            BenignKind::AnimationFrame => "benign:animation",
+        }
+    }
+}
+
+/// Returns canvascript source for a benign canvas user. `variant` makes
+/// inconsequential differences between sites (badge colors etc.) so the
+/// benign population isn't one giant identical cluster.
+pub fn source(kind: BenignKind, variant: u64) -> String {
+    match kind {
+        BenignKind::WebpProbe => r#"// feature-detect: webp (lossy + lossless-quality probe)
+let c = document.createElement("canvas");
+let probe = c.toDataURL("image/webp");
+let probeLow = c.toDataURL("image/webp", 0.2);
+probe.indexOf("data:image/webp") == 0;
+"#
+        .to_string(),
+        BenignKind::EmojiProbe => r#"// feature-detect: emoji rendering
+let c = document.createElement("canvas");
+c.width = 10; c.height = 10;
+let x = c.getContext("2d");
+x.textBaseline = "top";
+x.font = "8px Arial";
+x.fillText("\u{1F600}", 0, 0);
+let probe = c.toDataURL();
+len(probe) > 30;
+"#
+        .to_string(),
+        BenignKind::SmallBadge => {
+            let shade = 40 + variant.wrapping_mul(37) % 180;
+            format!(
+                r#"// ui badge snapshot
+let c = document.createElement("canvas");
+c.width = 12; c.height = 12;
+let x = c.getContext("2d");
+x.fillStyle = "rgb({shade}, {g}, {b})";
+x.fillRect(0, 0, 12, 12);
+let png = c.toDataURL();
+"#,
+                g = (shade + 30) % 255,
+                b = (shade + 90) % 255,
+            )
+        }
+        BenignKind::EditorPreview => {
+            let hue = variant.wrapping_mul(59) % 360;
+            format!(
+                r##"// editor export preview
+let c = document.createElement("canvas");
+c.width = 300; c.height = 200;
+let x = c.getContext("2d");
+x.fillStyle = "hsl({hue}, 60%, 70%)";
+x.fillRect(0, 0, 300, 200);
+x.fillStyle = "#fff";
+x.font = "24px Arial";
+x.fillText("Preview", 90, 100);
+let jpg = c.toDataURL("image/jpeg", 0.8);
+let jpgSmall = c.toDataURL("image/jpeg", 0.4);
+"##
+            )
+        }
+        BenignKind::AnimationFrame => r#"// sparkline animation (one frame)
+let c = document.createElement("canvas");
+c.width = 300; c.height = 150;
+let x = c.getContext("2d");
+for (let i = 0; i < 6; i = i + 1) {
+    x.save();
+    x.translate(i * 40 + 10, 75);
+    x.rotate(i * 0.5);
+    x.fillStyle = "rgba(30, 144, 255, 0.6)";
+    x.fillRect(-8, -8, 16, 16);
+    x.restore();
+}
+let frame = c.toDataURL();
+x.save();
+x.rotate(0.1);
+x.fillRect(120, 60, 30, 30);
+x.restore();
+let frame2 = c.toDataURL();
+"#
+        .to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_have_source() {
+        for k in BenignKind::all() {
+            assert!(!source(*k, 0).is_empty());
+        }
+    }
+
+    #[test]
+    fn variants_differ_where_expected() {
+        assert_ne!(
+            source(BenignKind::SmallBadge, 1),
+            source(BenignKind::SmallBadge, 2)
+        );
+        assert_eq!(
+            source(BenignKind::WebpProbe, 1),
+            source(BenignKind::WebpProbe, 2)
+        );
+    }
+
+    #[test]
+    fn webp_probe_uses_lossy_mime() {
+        assert!(source(BenignKind::WebpProbe, 0).contains("image/webp"));
+    }
+
+    #[test]
+    fn animation_uses_save_restore() {
+        let s = source(BenignKind::AnimationFrame, 0);
+        assert!(s.contains("save") && s.contains("restore"));
+    }
+}

@@ -1,0 +1,160 @@
+//! # canvassing-webgen
+//!
+//! The synthetic Web: a deterministic stand-in for the paper's crawl
+//! targets (Tranco top-20k "popular" sites plus a 20k "tail" sample of
+//! ranks 20k+1..1M).
+//!
+//! Generation proceeds in four stages, each its own module:
+//!
+//! 1. [`population`] — ranks, host names, TLD structure (including the
+//!    calibrated `.ru` share and Shopify storefront density), and
+//!    crawl-failure flags;
+//! 2. [`deployment`] — which sites run which fingerprinting scripts
+//!    (exact Table 1 vendor counts, the generic long tail sized to the
+//!    unique-canvas totals, serving-strategy mixtures for §5.2);
+//! 3. [`materialize`] — DNS records, hosted pages and scripts, CNAME
+//!    cloaks, CDN paths;
+//! 4. [`listgen`] — EasyList / EasyPrivacy / Disconnect content grown
+//!    around the deployments.
+//!
+//! Everything is a pure function of [`config::WebConfig`] (seed + scale):
+//! the same config generates the identical web, byte for byte, which is
+//! what makes the paper's re-crawl experiments (Table 2, the Intel/M1
+//! validation) meaningful in this reproduction.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod deployment;
+pub mod listgen;
+pub mod materialize;
+pub mod population;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use config::{Cohort, GenericCategory, Serving, WebConfig};
+pub use deployment::{Deployment, GenericCluster, ScriptKind, SitePlan, WebPlan};
+pub use listgen::GeneratedLists;
+
+use canvassing_net::Network;
+
+/// A fully generated synthetic web: the site plan (crawl frontier and
+/// ground truth), the network serving it, and the blocklists that grew
+/// around it.
+pub struct SyntheticWeb {
+    /// Generation parameters.
+    pub config: WebConfig,
+    /// Ground-truth site plans (the crawler only uses `seed.host`;
+    /// analyses never look at the plan).
+    pub plan: WebPlan,
+    /// The network: DNS + hosted resources + fault plan.
+    pub network: Network,
+    /// Generated blocklists.
+    pub lists: GeneratedLists,
+}
+
+impl SyntheticWeb {
+    /// Generates the web for a config. Deterministic in `config`.
+    pub fn generate(config: WebConfig) -> SyntheticWeb {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let popular = population::generate_cohort(&config, Cohort::Popular, &mut rng);
+        let tail = population::generate_cohort(&config, Cohort::Tail, &mut rng);
+        let plan = deployment::plan_web(&config, popular, tail, &mut rng);
+        let network = materialize::materialize(&plan);
+        let lists = listgen::generate_lists(&plan);
+        SyntheticWeb {
+            config,
+            plan,
+            network,
+            lists,
+        }
+    }
+
+    /// Publicly known customers per vendor (the paper gathered these from
+    /// vendor marketing pages): the lowest-ranked live site running each
+    /// vendor that advertises customers, preferring externally-served
+    /// deployments so the Script Pattern confirmation step has a URL to
+    /// check.
+    pub fn known_customers(&self) -> Vec<(canvassing_vendors::VendorId, canvassing_net::Url)> {
+        let mut out = Vec::new();
+        for v in canvassing_vendors::all_vendors() {
+            if !v.attribution.known_customer {
+                continue;
+            }
+            let uses_vendor = |s: &&SitePlan, serving: Option<Serving>| {
+                s.deployments.iter().any(|d| {
+                    matches!(d.kind, ScriptKind::Vendor { id, .. } if id == v.id)
+                        && serving.map_or(d.serving != Serving::Bundled, |want| d.serving == want)
+                })
+            };
+            let live = || self.plan.sites.iter().filter(|s| !s.seed.down);
+            // Prefer a classic third-party embed (its URL carries the
+            // vendor's Script Pattern), then first-party paths (Akamai),
+            // then anything externally served.
+            let candidate = live()
+                .find(|s| uses_vendor(s, Some(Serving::ThirdParty)))
+                .or_else(|| live().find(|s| uses_vendor(s, Some(Serving::FirstPartyPath))))
+                .or_else(|| live().find(|s| uses_vendor(s, None)));
+            if let Some(site) = candidate {
+                out.push((v.id, canvassing_net::Url::https(&site.seed.host, "/")));
+            }
+        }
+        out
+    }
+
+    /// Demo-page URLs for vendors that operate a public demo.
+    pub fn demo_pages(&self) -> Vec<(canvassing_vendors::VendorId, canvassing_net::Url)> {
+        canvassing_vendors::all_vendors()
+            .iter()
+            .filter_map(|v| {
+                v.demo_host
+                    .map(|h| (v.id, canvassing_net::Url::https(h, "/")))
+            })
+            .collect()
+    }
+
+    /// The crawl frontier for a cohort: homepage URLs in rank order
+    /// (including sites that will fail — the crawler discovers that).
+    pub fn frontier(&self, cohort: Cohort) -> Vec<canvassing_net::Url> {
+        self.plan
+            .sites
+            .iter()
+            .filter(|s| s.seed.cohort == cohort)
+            .map(|s| canvassing_net::Url::https(&s.seed.host, "/"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = SyntheticWeb::generate(WebConfig::test_scale(42));
+        let b = SyntheticWeb::generate(WebConfig::test_scale(42));
+        assert_eq!(a.network.resource_count(), b.network.resource_count());
+        assert_eq!(a.lists.easylist, b.lists.easylist);
+        assert_eq!(a.plan.sites.len(), b.plan.sites.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticWeb::generate(WebConfig::test_scale(1));
+        let b = SyntheticWeb::generate(WebConfig::test_scale(2));
+        let hosts_a: Vec<&str> = a.plan.sites.iter().map(|s| s.seed.host.as_str()).collect();
+        let hosts_b: Vec<&str> = b.plan.sites.iter().map(|s| s.seed.host.as_str()).collect();
+        assert_ne!(hosts_a, hosts_b);
+    }
+
+    #[test]
+    fn frontier_sizes() {
+        let web = SyntheticWeb::generate(WebConfig::test_scale(42));
+        assert_eq!(
+            web.frontier(Cohort::Popular).len(),
+            web.config.cohort_size()
+        );
+        assert_eq!(web.frontier(Cohort::Tail).len(), web.config.cohort_size());
+    }
+}

@@ -1,0 +1,391 @@
+//! Materialization: turn a [`crate::deployment::WebPlan`] into a
+//! populated [`Network`] — DNS records, hosted pages, hosted scripts, and
+//! the serving-strategy plumbing (first-party paths, bundling, subdomain
+//! routing, CNAME cloaking, CDN fronting).
+
+use canvassing_net::{Network, PageResource, Resource, ScriptRef, ScriptResource, Url, POPULAR_CDNS};
+use canvassing_vendors::{scripts, vendor, VendorId};
+
+use crate::config::{GenericCategory, Serving};
+use crate::deployment::{Deployment, ScriptKind, SitePlan, WebPlan};
+
+/// Stable small hash used for deterministic name generation.
+fn hash(data: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in data.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Serving host for a generic cluster, shaped by its blocklist category so
+/// generated blocklists can target it.
+pub fn generic_host(cluster: u32, category: GenericCategory) -> String {
+    match category {
+        GenericCategory::Ad => format!("ads{cluster}-delivery.com"),
+        GenericCategory::Tracker => format!("metrics{cluster}-analytics.com"),
+        GenericCategory::AllLists => format!("track{cluster}-pixel.net"),
+        GenericCategory::Unlisted => format!("sdk{cluster}-web.io"),
+    }
+}
+
+/// Third-party path + file for a vendor script.
+fn vendor_path(id: VendorId, commercial: bool) -> &'static str {
+    match id {
+        VendorId::Akamai => "/akam/13/sensor.js", // only used for cloak targets
+        VendorId::FingerprintJs => {
+            if commercial {
+                "/v3/agent.js"
+            } else {
+                "/v4/fp.min.js"
+            }
+        }
+        VendorId::MailRu => "/counter/top.js",
+        VendorId::FingerprintJsLegacy => "/npm/fingerprintjs2/fp2.min.js",
+        VendorId::Imperva => "/init.js",
+        VendorId::AwsWaf => "/challenge.js",
+        VendorId::InsurAds => "/attention.js",
+        VendorId::Signifyd => "/device.js",
+        VendorId::PerimeterX => "/PXa1b2c3/main.min.js",
+        VendorId::SiftScience => "/s.js",
+        VendorId::Shopify => "/perf/shopify-perf-kit.js",
+        VendorId::Adscore => "/verify.js",
+        VendorId::GeeTest => "/static/js/gt.js",
+    }
+}
+
+/// Canonical third-party host for a script kind.
+fn canonical_host(kind: &ScriptKind) -> String {
+    match kind {
+        ScriptKind::Vendor { id, commercial } => match id {
+            // OSS FingerprintJS loads from the project's own CDN when not
+            // bundled; the paid build uses fpnpmcdn.net.
+            VendorId::FingerprintJs if !commercial => "openfpcdn.io".to_string(),
+            VendorId::FingerprintJsLegacy => "fp2-archive.net".to_string(),
+            _ => vendor(*id)
+                .serving_host
+                .unwrap_or("selfhosted.invalid")
+                .to_string(),
+        },
+        ScriptKind::Generic { cluster, category } => generic_host(*cluster, *category),
+    }
+}
+
+/// The script source text for a deployment on `site_host`.
+pub fn script_source_for(kind: &ScriptKind, site_host: &str) -> String {
+    match kind {
+        ScriptKind::Vendor { id, commercial } => {
+            scripts::source(*id, &scripts::site_token(site_host), *commercial)
+        }
+        ScriptKind::Generic { cluster, .. } => scripts::generic_fingerprinter(*cluster as u64),
+    }
+}
+
+/// Provenance label (ground truth for tests and debugging only — the
+/// measurement pipeline never reads labels).
+pub fn label_for(kind: &ScriptKind) -> String {
+    match kind {
+        ScriptKind::Vendor { id, commercial } => {
+            if *commercial {
+                format!("vendor:{id:?}:commercial")
+            } else {
+                format!("vendor:{id:?}")
+            }
+        }
+        ScriptKind::Generic { cluster, .. } => format!("generic:{cluster}"),
+    }
+}
+
+/// Computes the script URL a page references for a deployment, without
+/// touching the network (pure function; used by tests and the
+/// materializer).
+pub fn script_url_for(site_host: &str, deployment: &Deployment) -> Option<Url> {
+    let kind = &deployment.kind;
+    match deployment.serving {
+        Serving::Bundled => None,
+        Serving::ThirdParty => {
+            let host = canonical_host(kind);
+            Some(Url::https(&host, &vendor_or_generic_path(kind)))
+        }
+        Serving::FirstPartyPath => match kind {
+            ScriptKind::Vendor { id: VendorId::Akamai, .. } => Some(Url::https(
+                site_host,
+                &format!("/akam/13/{:x}.js", hash(site_host) & 0xffff_ffff),
+            )),
+            ScriptKind::Vendor { id: VendorId::Imperva, .. } => Some(Url::https(
+                site_host,
+                &format!("/{}/init.js", scripts::site_token(site_host)),
+            )),
+            _ => Some(Url::https(
+                site_host,
+                &format!("/vendor/{}.js", hash(&label_for(kind)) & 0xffff),
+            )),
+        },
+        Serving::Subdomain => Some(Url::https(
+            &format!("fp.{site_host}"),
+            &format!("/sdk-{:x}.js", hash(&label_for(kind)) & 0xffff),
+        )),
+        Serving::CnameCloak => Some(Url::https(
+            &format!("metrics.{site_host}"),
+            &format!("/collect-{:x}.js", hash(&label_for(kind)) & 0xffff),
+        )),
+        Serving::Cdn => {
+            let cdn = POPULAR_CDNS[(hash(&label_for(kind)) % POPULAR_CDNS.len() as u64) as usize];
+            // Use the registrable CDN domain with a per-package subpath.
+            Some(Url::https(
+                cdn,
+                &format!("/pkg/{:x}/fp.js", hash(&label_for(kind)) & 0xfffff),
+            ))
+        }
+    }
+}
+
+fn vendor_or_generic_path(kind: &ScriptKind) -> String {
+    match kind {
+        ScriptKind::Vendor { id, commercial } => vendor_path(*id, *commercial).to_string(),
+        ScriptKind::Generic { .. } => "/fp.js".to_string(),
+    }
+}
+
+/// Materializes the plan into a network. Returns the network; the plan
+/// itself (site list) remains the crawl frontier.
+pub fn materialize(plan: &WebPlan) -> Network {
+    let mut network = Network::new();
+    for site in &plan.sites {
+        materialize_site(site, &mut network);
+    }
+    host_demo_pages(&mut network);
+    network
+}
+
+/// Hosts the public demo pages of vendors that have one (Table 3's
+/// "Demo" column): a page on the vendor's demo host that loads the
+/// vendor's script third-party. The attribution engine crawls these to
+/// collect ground-truth canvases.
+fn host_demo_pages(network: &mut Network) {
+    for v in canvassing_vendors::all_vendors() {
+        let Some(demo_host) = v.demo_host else { continue };
+        let kind = ScriptKind::Vendor {
+            id: v.id,
+            commercial: false,
+        };
+        let script_url = Url::https(&canonical_host(&kind), &vendor_or_generic_path(&kind));
+        // The script may already be hosted by a customer deployment;
+        // hosting is idempotent for identical content.
+        network.host(
+            &script_url,
+            Resource::Script(ScriptResource {
+                source: script_source_for(&kind, demo_host),
+                label: label_for(&kind),
+            }),
+        );
+        network.host(
+            &Url::https(demo_host, "/"),
+            Resource::Page(PageResource {
+                scripts: vec![ScriptRef::External(script_url)],
+                consent_banner: false,
+                bot_check: false,
+            }),
+        );
+    }
+}
+
+fn materialize_site(site: &SitePlan, network: &mut Network) {
+    let host = &site.seed.host;
+    let page_url = Url::https(host, "/");
+    let mut refs: Vec<ScriptRef> = Vec::new();
+
+    for deployment in &site.deployments {
+        let source = script_source_for(&deployment.kind, host);
+        let label = label_for(&deployment.kind);
+        match script_url_for(host, deployment) {
+            None => refs.push(ScriptRef::Inline {
+                source,
+                label: label.clone(),
+            }),
+            Some(url) => {
+                match deployment.serving {
+                    Serving::CnameCloak => {
+                        // Content lives on the vendor's canonical host;
+                        // the site's subdomain aliases to it.
+                        let canonical = canonical_host(&deployment.kind);
+                        let canonical_url = Url::https(&canonical, &url.path);
+                        network.host(
+                            &canonical_url,
+                            Resource::Script(ScriptResource {
+                                source,
+                                label: label.clone(),
+                            }),
+                        );
+                        network.dns.insert_cname(&url.host, &canonical);
+                    }
+                    _ => {
+                        network.host(
+                            &url,
+                            Resource::Script(ScriptResource {
+                                source,
+                                label: label.clone(),
+                            }),
+                        );
+                    }
+                }
+                refs.push(ScriptRef::External(url));
+            }
+        }
+    }
+
+    // Benign scripts are served from the site's own assets path so their
+    // script URLs are distinct from any bundled fingerprinting code.
+    for (i, kind) in site.benign.iter().enumerate() {
+        let url = Url::https(host, &format!("/assets/{}-{i}.js", kind.label().replace(':', "-")));
+        network.host(
+            &url,
+            Resource::Script(ScriptResource {
+                source: canvassing_vendors::benign::source(*kind, hash(host) ^ i as u64),
+                label: kind.label().to_string(),
+            }),
+        );
+        refs.push(ScriptRef::External(url));
+    }
+
+    network.host(
+        &page_url,
+        Resource::Page(PageResource {
+            scripts: refs,
+            consent_banner: site.consent_banner,
+            bot_check: site.bot_gate,
+        }),
+    );
+    if site.seed.down {
+        network.faults.take_down(host);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Cohort, WebConfig};
+    use crate::deployment::plan_web;
+    use crate::population::generate_cohort;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build() -> (WebPlan, Network) {
+        let config = WebConfig::test_scale(3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let popular = generate_cohort(&config, Cohort::Popular, &mut rng);
+        let tail = generate_cohort(&config, Cohort::Tail, &mut rng);
+        let plan = plan_web(&config, popular, tail, &mut rng);
+        let network = materialize(&plan);
+        (plan, network)
+    }
+
+    #[test]
+    fn every_site_page_is_hosted() {
+        let (plan, network) = build();
+        for site in &plan.sites {
+            let url = Url::https(&site.seed.host, "/");
+            if site.seed.down {
+                assert!(network.fetch(&url).is_err(), "{} should be down", site.seed.host);
+            } else {
+                let resp = network.fetch(&url).expect("page fetch");
+                assert!(matches!(resp.resource, Resource::Page(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn external_scripts_resolve() {
+        let (plan, network) = build();
+        let mut checked = 0;
+        for site in plan.sites.iter().filter(|s| !s.seed.down) {
+            let page = network.fetch(&Url::https(&site.seed.host, "/")).unwrap();
+            let Resource::Page(page) = page.resource else { panic!() };
+            for r in &page.scripts {
+                if let ScriptRef::External(url) = r {
+                    let resp = network
+                        .fetch(url)
+                        .unwrap_or_else(|e| panic!("script {url} failed: {e}"));
+                    assert!(matches!(resp.resource, Resource::Script(_)));
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 50, "expected plenty of external scripts, got {checked}");
+    }
+
+    #[test]
+    fn cname_cloaks_are_wired() {
+        let (plan, network) = build();
+        let mut found = 0;
+        for site in &plan.sites {
+            for d in &site.deployments {
+                if d.serving == Serving::CnameCloak {
+                    let url = script_url_for(&site.seed.host, d).unwrap();
+                    let resp = network.fetch(&url).expect("cloaked fetch");
+                    assert!(resp.resolution.is_cloaked(), "{url}");
+                    found += 1;
+                }
+            }
+        }
+        assert!(found > 0, "plan should include some CNAME cloaking");
+    }
+
+    #[test]
+    fn imperva_urls_have_wordlike_first_segment() {
+        let (plan, _) = build();
+        for site in &plan.sites {
+            for d in &site.deployments {
+                if matches!(d.kind, ScriptKind::Vendor { id: VendorId::Imperva, .. }) {
+                    let url = script_url_for(&site.seed.host, d).unwrap();
+                    let seg = url.path.trim_start_matches('/').split('/').next().unwrap();
+                    assert!(seg.chars().all(|c| c.is_ascii_alphabetic() || c == '-'));
+                    assert_eq!(url.host, site.seed.host, "Imperva serves first-party");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bundled_deployments_have_no_url() {
+        let (plan, _) = build();
+        let mut bundled = 0;
+        for site in &plan.sites {
+            for d in &site.deployments {
+                if d.serving == Serving::Bundled {
+                    assert!(script_url_for(&site.seed.host, d).is_none());
+                    bundled += 1;
+                }
+            }
+        }
+        assert!(bundled > 0);
+    }
+
+    #[test]
+    fn cdn_urls_use_appendix_a5_domains() {
+        let (plan, _) = build();
+        for site in &plan.sites {
+            for d in &site.deployments {
+                if d.serving == Serving::Cdn {
+                    let url = script_url_for(&site.seed.host, d).unwrap();
+                    assert!(canvassing_net::is_popular_cdn(&url.host), "{url}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_generic_cluster_same_third_party_url() {
+        let d = Deployment {
+            kind: ScriptKind::Generic {
+                cluster: 5,
+                category: GenericCategory::Ad,
+            },
+            serving: Serving::ThirdParty,
+        };
+        let a = script_url_for("a.com", &d).unwrap();
+        let b = script_url_for("b.org", &d).unwrap();
+        assert_eq!(a, b, "third-party generic URL is site-independent");
+    }
+}

@@ -1,0 +1,209 @@
+//! Site population: Tranco-like ranking, host names, TLD distribution,
+//! crawl-failure flags.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{Cohort, WebConfig};
+
+/// One site in the synthetic ranking (before deployment planning).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteSeed {
+    /// Tranco-like rank (1-based; tail ranks start above the popular
+    /// cohort and are sparse, like the paper's random tail sample).
+    pub rank: u32,
+    /// Cohort the site belongs to.
+    pub cohort: Cohort,
+    /// Homepage host (no `www.` — the crawler normalizes).
+    pub host: String,
+    /// Whether the site fails to crawl (down, timeout, hard bot wall).
+    pub down: bool,
+    /// Whether the homepage is a Shopify storefront.
+    pub shopify: bool,
+}
+
+/// Second-level-domain word stock for generated host names.
+const WORDS: &[&str] = &[
+    "news", "shop", "cloud", "media", "game", "tech", "bank", "travel", "health", "data", "home",
+    "auto", "food", "sport", "music", "video", "mail", "blog", "store", "market", "play", "learn",
+    "social", "stream", "crypto", "design", "photo", "forum", "wiki", "jobs",
+];
+
+/// Weighted TLD stock (weight, tld). `.ru` is handled separately because
+/// its share is a calibrated input (mail.ru reach, §4.3.1).
+const TLDS: &[(u32, &str)] = &[
+    (52, "com"),
+    (10, "org"),
+    (8, "net"),
+    (6, "de"),
+    (5, "co.uk"),
+    (4, "io"),
+    (4, "fr"),
+    (3, "com.br"),
+    (3, "jp"),
+    (2, "it"),
+    (2, "nl"),
+    (1, "com.pa"),
+];
+
+fn pick_tld<R: Rng>(rng: &mut R) -> &'static str {
+    let total: u32 = TLDS.iter().map(|(w, _)| w).sum();
+    let mut roll = rng.gen_range(0..total);
+    for (w, tld) in TLDS {
+        if roll < *w {
+            return tld;
+        }
+        roll -= w;
+    }
+    "com"
+}
+
+/// Generates the full site population for one cohort. `rng` must be the
+/// config-seeded generator so populations are reproducible.
+pub fn generate_cohort<R: Rng>(config: &WebConfig, cohort: Cohort, rng: &mut R) -> Vec<SiteSeed> {
+    let n = config.cohort_size();
+    let ru_target = config.ru_sites(cohort);
+    let shopify_target = config.shopify_storefronts(cohort);
+    let successes = config.crawl_successes(cohort);
+
+    // Ranks: popular 1..=n; tail is a sparse random sample of the range
+    // (20k, 1M] like the paper's (scaled by config).
+    let popular_span = config.scaled(20_000) as u32;
+    let mut ranks: Vec<u32> = match cohort {
+        Cohort::Popular => (1..=n as u32).collect(),
+        Cohort::Tail => {
+            let lo = popular_span + 1;
+            let hi = config.scaled(1_000_000) as u32;
+            let mut set = std::collections::BTreeSet::new();
+            while set.len() < n {
+                set.insert(rng.gen_range(lo..=hi.max(lo + n as u32 * 2)));
+            }
+            set.into_iter().collect()
+        }
+    };
+    ranks.sort_unstable();
+
+    // Which positions are .ru, which are Shopify storefronts, which fail.
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(rng);
+    let ru_set: std::collections::BTreeSet<usize> =
+        indices.iter().take(ru_target).copied().collect();
+    // Storefronts are drawn from non-.ru positions (Shopify has no
+    // meaningful .ru presence).
+    let shopify_set: std::collections::BTreeSet<usize> = indices
+        .iter()
+        .filter(|i| !ru_set.contains(i))
+        .take(shopify_target)
+        .copied()
+        .collect();
+    // Crawl failures: never a storefront (we need exact Table 1 Shopify
+    // counts among successes), otherwise uniform.
+    let mut failure_candidates: Vec<usize> = (0..n).filter(|i| !shopify_set.contains(i)).collect();
+    failure_candidates.shuffle(rng);
+    let down_set: std::collections::BTreeSet<usize> = failure_candidates
+        .into_iter()
+        .take(n.saturating_sub(successes))
+        .collect();
+
+    (0..n)
+        .map(|i| {
+            let rank = ranks[i];
+            let shopify = shopify_set.contains(&i);
+            let word1 = WORDS[rng.gen_range(0..WORDS.len())];
+            let word2 = WORDS[rng.gen_range(0..WORDS.len())];
+            let host = if ru_set.contains(&i) {
+                format!("{word1}-{word2}{rank}.ru")
+            } else if shopify {
+                format!("{word1}-boutique{rank}.com")
+            } else {
+                format!("{word1}{word2}{rank}.{}", pick_tld(rng))
+            };
+            SiteSeed {
+                rank,
+                cohort,
+                host,
+                down: down_set.contains(&i),
+                shopify,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gen(cohort: Cohort) -> Vec<SiteSeed> {
+        let config = WebConfig::test_scale(7);
+        let mut rng = StdRng::seed_from_u64(7);
+        generate_cohort(&config, cohort, &mut rng)
+    }
+
+    #[test]
+    fn cohort_sizes_match_config() {
+        let config = WebConfig::test_scale(7);
+        assert_eq!(gen(Cohort::Popular).len(), config.cohort_size());
+        assert_eq!(gen(Cohort::Tail).len(), config.cohort_size());
+    }
+
+    #[test]
+    fn success_counts_match_config() {
+        let config = WebConfig::test_scale(7);
+        for cohort in [Cohort::Popular, Cohort::Tail] {
+            let up = gen(cohort).iter().filter(|s| !s.down).count();
+            assert_eq!(up, config.crawl_successes(cohort));
+        }
+    }
+
+    #[test]
+    fn ru_and_shopify_targets_met() {
+        let config = WebConfig::test_scale(7);
+        let sites = gen(Cohort::Tail);
+        let ru = sites.iter().filter(|s| s.host.ends_with(".ru")).count();
+        assert_eq!(ru, config.ru_sites(Cohort::Tail));
+        let shop = sites.iter().filter(|s| s.shopify).count();
+        assert_eq!(shop, config.shopify_storefronts(Cohort::Tail));
+    }
+
+    #[test]
+    fn storefronts_never_fail_to_crawl() {
+        for s in gen(Cohort::Tail) {
+            if s.shopify {
+                assert!(!s.down);
+            }
+        }
+    }
+
+    #[test]
+    fn hosts_are_unique_and_parseable() {
+        let sites = gen(Cohort::Popular);
+        let mut hosts: Vec<&str> = sites.iter().map(|s| s.host.as_str()).collect();
+        hosts.sort_unstable();
+        let before = hosts.len();
+        hosts.dedup();
+        assert_eq!(hosts.len(), before, "host collision");
+        for s in &sites {
+            assert!(canvassing_net::Url::parse(&format!("https://{}/", s.host)).is_ok());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen(Cohort::Popular);
+        let b = gen(Cohort::Popular);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.host == y.host && x.down == y.down));
+    }
+
+    #[test]
+    fn popular_ranks_are_dense_tail_sparse() {
+        let pop = gen(Cohort::Popular);
+        assert_eq!(pop[0].rank, 1);
+        let tail = gen(Cohort::Tail);
+        let config = WebConfig::test_scale(7);
+        assert!(tail.iter().all(|s| s.rank > config.scaled(20_000) as u32));
+    }
+}

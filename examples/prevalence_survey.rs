@@ -1,0 +1,81 @@
+//! Prevalence survey: generate a (reduced-scale) synthetic web, crawl
+//! both cohorts, and print the §4.1 prevalence numbers and Figure 1.
+//!
+//! ```sh
+//! cargo run --release --example prevalence_survey -- [scale] [seed]
+//! ```
+//!
+//! Default scale is 0.1 (2k popular + 2k tail sites); pass `1.0` for the
+//! paper-scale 20k + 20k crawl.
+
+use canvassing::cluster::{Clustering, OverlapStats};
+use canvassing::detect::detect;
+use canvassing::figures::Figure1;
+use canvassing::prevalence::Prevalence;
+use canvassing_crawler::{crawl, CrawlConfig};
+use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.1);
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2025);
+
+    println!("generating synthetic web at scale {scale} (seed {seed}) ...");
+    let web = SyntheticWeb::generate(WebConfig { seed, scale });
+
+    let config = CrawlConfig::control();
+    let mut analyses = Vec::new();
+    for cohort in [Cohort::Popular, Cohort::Tail] {
+        let frontier = web.frontier(cohort);
+        println!("crawling {:?} cohort: {} sites ...", cohort, frontier.len());
+        let started = std::time::Instant::now();
+        let dataset = crawl(&web.network, &frontier, &config);
+        println!(
+            "  done in {:.1?}: {} successful, {} failed",
+            started.elapsed(),
+            dataset.success_count(),
+            dataset.failed().count()
+        );
+        let detections: Vec<_> = dataset.successful().map(|(_, v)| detect(v)).collect();
+        let prevalence = Prevalence::compute(&detections, dataset.records.len());
+        println!(
+            "  fingerprinting sites: {} / {} successful ({:.1}%)",
+            prevalence.fingerprinting_sites,
+            prevalence.successes,
+            100.0 * prevalence.fingerprinting_rate()
+        );
+        println!(
+            "  canvases per fingerprinting site: mean {:.2}, median {}, max {}",
+            prevalence.mean_canvases, prevalence.median_canvases, prevalence.max_canvases
+        );
+        println!(
+            "  fingerprintable extractions: {} of {} ({:.0}%)",
+            prevalence.fingerprintable_extractions,
+            prevalence.total_extractions,
+            100.0 * prevalence.fingerprintable_fraction()
+        );
+        analyses.push((cohort, detections));
+    }
+
+    let popular = Clustering::build(analyses[0].1.iter());
+    let tail = Clustering::build(analyses[1].1.iter());
+    println!(
+        "\nunique canvases: {} popular, {} tail",
+        popular.unique_canvases(),
+        tail.unique_canvases()
+    );
+    let overlap = OverlapStats::compute(&popular, &tail);
+    println!(
+        "tail sites sharing a canvas with a popular site: {:.1}%",
+        100.0 * overlap.sharing_fraction()
+    );
+
+    println!("\nFigure 1 (top 20 canvases):");
+    let figure = Figure1::build(&popular, &tail, 20);
+    println!("{}", figure.render_ascii(30));
+}

@@ -1,0 +1,114 @@
+//! Quickstart: host a page that runs a fingerprinting script, visit it
+//! with the instrumented browser, and inspect what the measurement
+//! pipeline sees.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use canvassing::detect;
+use canvassing_browser::Browser;
+use canvassing_net::{Network, PageResource, Resource, ScriptRef, ScriptResource, Url};
+use canvassing_raster::DeviceProfile;
+
+fn main() {
+    // 1. Build a tiny web: one page, one third-party fingerprinting script.
+    let mut network = Network::new();
+    let script_url = Url::https("cdn.fingerprinter.example", "/fp.js");
+    network.host(
+        &script_url,
+        Resource::Script(ScriptResource {
+            source: r##"
+                // A minimal canvas fingerprinter: draw a text test canvas,
+                // extract it, and do the double-render stability check.
+                fn testCanvas() {
+                    let c = document.createElement("canvas");
+                    c.width = 240; c.height = 60;
+                    let x = c.getContext("2d");
+                    x.textBaseline = "alphabetic";
+                    x.fillStyle = "#f60";
+                    x.fillRect(100, 1, 62, 20);
+                    x.fillStyle = "#069";
+                    x.font = "11pt no-real-font-123";
+                    x.fillText("Cwm fjordbank gly \u{1F603}", 2, 15);
+                    return c.toDataURL();
+                }
+                let first = testCanvas();
+                let second = testCanvas();
+                let stable = first == second;
+            "##
+            .to_string(),
+            label: "demo-fingerprinter".into(),
+        }),
+    );
+    let page_url = Url::https("shop.example", "/");
+    network.host(
+        &page_url,
+        Resource::Page(PageResource {
+            scripts: vec![ScriptRef::External(script_url)],
+            consent_banner: false,
+            bot_check: false,
+        }),
+    );
+
+    // 2. Visit the page with the instrumented headless browser.
+    let browser = Browser::new(DeviceProfile::intel_ubuntu());
+    let visit = browser.visit(&network, &page_url).expect("visit succeeds");
+
+    println!("visited {} — {} API calls recorded", visit.page, visit.api_calls.len());
+    for call in visit.api_calls.iter().take(8) {
+        println!(
+            "  [{:>4}ms] {:?}.{} {:?}",
+            call.timestamp_ms,
+            call.interface,
+            call.name,
+            call.args
+        );
+    }
+    println!("  ... plus {} more calls", visit.api_calls.len().saturating_sub(8));
+
+    // 3. Run the paper's detection heuristics.
+    let detection = detect(&visit);
+    println!("\nfingerprintable canvases: {}", detection.canvases.len());
+    for c in &detection.canvases {
+        println!(
+            "  {}x{} canvas from {} (hash {:016x}, first {} chars: {}…)",
+            c.width,
+            c.height,
+            c.script_url,
+            c.hash,
+            40,
+            &c.data_url[..40]
+        );
+    }
+    println!(
+        "double-render randomization check observed: {}",
+        detection.double_render_check
+    );
+
+    // 4. The same script renders identical bytes on a second site — the
+    // property the paper's clustering exploits.
+    let page2 = Url::https("news.example", "/");
+    network.host(
+        &page2,
+        Resource::Page(PageResource {
+            scripts: vec![ScriptRef::External(Url::https(
+                "cdn.fingerprinter.example",
+                "/fp.js",
+            ))],
+            consent_banner: false,
+            bot_check: false,
+        }),
+    );
+    let visit2 = browser.visit(&network, &page2).expect("second visit");
+    let d2 = detect(&visit2);
+    assert_eq!(detection.canvases[0].data_url, d2.canvases[0].data_url);
+    println!("\nsame script on {} produced byte-identical canvases ✓", page2.host);
+
+    // 5. A different device renders differently (the fingerprinting signal).
+    let m1 = Browser::new(DeviceProfile::apple_m1());
+    let visit_m1 = m1.visit(&network, &page_url).expect("m1 visit");
+    let d_m1 = detect(&visit_m1);
+    assert_ne!(detection.canvases[0].data_url, d_m1.canvases[0].data_url);
+    println!("Apple M1 profile rendered different canvas bytes ✓");
+}

@@ -1,0 +1,199 @@
+//! Fault injection across the crawl pipeline, in the spirit of the
+//! networking guides' `--drop-chance` examples: dead hosts, broken DNS,
+//! bot walls, consent gates, crashing scripts, and missing resources must
+//! degrade into *recorded* failures, never into panics or silent
+//! misclassification.
+
+use canvassing_browser::{Browser, VisitError};
+use canvassing_crawler::{crawl, CrawlConfig};
+use canvassing_net::{
+    Network, PageResource, Resource, ScriptRef, ScriptResource, Url,
+};
+use canvassing_raster::DeviceProfile;
+use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
+
+fn page_with(scripts: Vec<ScriptRef>, consent: bool, bot: bool) -> Resource {
+    Resource::Page(PageResource {
+        scripts,
+        consent_banner: consent,
+        bot_check: bot,
+    })
+}
+
+#[test]
+fn dead_hosts_become_failure_records() {
+    let web = SyntheticWeb::generate(WebConfig { seed: 3, scale: 0.02 });
+    let frontier = web.frontier(Cohort::Popular);
+    let ds = crawl(&web.network, &frontier, &CrawlConfig::control());
+    let failures = ds.failed().count();
+    let expected_failures = frontier.len() - web.config.crawl_successes(Cohort::Popular);
+    assert_eq!(failures, expected_failures);
+    for (_, error) in ds.failed() {
+        assert!(
+            error.contains("unreachable") || error.contains("dns"),
+            "unexpected failure shape: {error}"
+        );
+    }
+}
+
+#[test]
+fn bot_walls_fail_only_non_stealth_clients() {
+    let mut network = Network::new();
+    let url = Url::https("guarded.example", "/");
+    network.host(&url, page_with(vec![], false, true));
+
+    let mut naive = Browser::new(DeviceProfile::intel_ubuntu());
+    naive.passes_bot_checks = false;
+    assert!(matches!(
+        naive.visit(&network, &url),
+        Err(VisitError::BotBlocked(_))
+    ));
+
+    let crawler_browser = Browser::new(DeviceProfile::intel_ubuntu());
+    assert!(crawler_browser.visit(&network, &url).is_ok());
+}
+
+#[test]
+fn crashing_scripts_do_not_poison_the_page() {
+    let mut network = Network::new();
+    let good = Url::https("cdn.good.example", "/fp.js");
+    let bad = Url::https("cdn.bad.example", "/broken.js");
+    network.host(
+        &good,
+        Resource::Script(ScriptResource {
+            source: r#"
+                let c = document.createElement("canvas");
+                c.width = 40; c.height = 20;
+                c.toDataURL();
+            "#
+            .into(),
+            label: "good".into(),
+        }),
+    );
+    network.host(
+        &bad,
+        Resource::Script(ScriptResource {
+            source: "this is not ( valid canvascript".into(),
+            label: "bad".into(),
+        }),
+    );
+    let url = Url::https("site.example", "/");
+    network.host(
+        &url,
+        page_with(
+            vec![ScriptRef::External(bad), ScriptRef::External(good)],
+            false,
+            false,
+        ),
+    );
+    let visit = Browser::new(DeviceProfile::intel_ubuntu())
+        .visit(&network, &url)
+        .expect("visit survives the broken script");
+    assert_eq!(visit.scripts.len(), 2);
+    assert!(visit.scripts[0].error.is_some(), "bad script errored");
+    assert!(visit.scripts[1].error.is_none(), "good script ran");
+    assert_eq!(visit.extractions.len(), 1);
+}
+
+#[test]
+fn missing_script_resources_are_recorded_not_fatal() {
+    let mut network = Network::new();
+    let url = Url::https("site.example", "/");
+    network.host(
+        &url,
+        page_with(
+            vec![ScriptRef::External(Url::https("nxdomain.example", "/x.js"))],
+            false,
+            false,
+        ),
+    );
+    let visit = Browser::new(DeviceProfile::intel_ubuntu())
+        .visit(&network, &url)
+        .expect("page loads");
+    assert_eq!(visit.scripts.len(), 1);
+    assert!(visit.scripts[0].error.is_some());
+}
+
+#[test]
+fn infinite_loop_script_is_cut_off_by_step_budget() {
+    let mut network = Network::new();
+    let url = Url::https("site.example", "/");
+    network.host(
+        &Url::https("cdn.example", "/spin.js"),
+        Resource::Script(ScriptResource {
+            source: "while (true) { let x = 1; }".into(),
+            label: "spin".into(),
+        }),
+    );
+    network.host(
+        &url,
+        page_with(
+            vec![ScriptRef::External(Url::https("cdn.example", "/spin.js"))],
+            false,
+            false,
+        ),
+    );
+    let started = std::time::Instant::now();
+    let visit = Browser::new(DeviceProfile::intel_ubuntu())
+        .visit(&network, &url)
+        .expect("visit returns");
+    assert!(visit.scripts[0]
+        .error
+        .as_deref()
+        .unwrap_or("")
+        .contains("step budget"));
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(30),
+        "budget must cut off quickly"
+    );
+}
+
+#[test]
+fn consent_gating_is_respected_both_ways() {
+    let mut network = Network::new();
+    let script = Url::https("cdn.example", "/fp.js");
+    network.host(
+        &script,
+        Resource::Script(ScriptResource {
+            source: r#"
+                let c = document.createElement("canvas");
+                c.width = 30; c.height = 30;
+                c.toDataURL();
+            "#
+            .into(),
+            label: "fp".into(),
+        }),
+    );
+    let url = Url::https("gdpr.example", "/");
+    network.host(&url, page_with(vec![ScriptRef::External(script)], true, false));
+
+    let mut no_consent = Browser::new(DeviceProfile::intel_ubuntu());
+    no_consent.autoconsent = false;
+    let visit = no_consent.visit(&network, &url).unwrap();
+    assert!(visit.extractions.is_empty(), "no consent, no scripts");
+    assert!(visit.consent_banner);
+
+    let autoconsent = Browser::new(DeviceProfile::intel_ubuntu());
+    let visit = autoconsent.visit(&network, &url).unwrap();
+    assert_eq!(visit.extractions.len(), 1);
+}
+
+#[test]
+fn cname_chain_loops_fail_the_script_not_the_crawl() {
+    let mut network = Network::new();
+    network.dns.insert_cname("a.loop.example", "b.loop.example");
+    network.dns.insert_cname("b.loop.example", "a.loop.example");
+    let url = Url::https("site.example", "/");
+    network.host(
+        &url,
+        page_with(
+            vec![ScriptRef::External(Url::https("a.loop.example", "/x.js"))],
+            false,
+            false,
+        ),
+    );
+    let visit = Browser::new(DeviceProfile::intel_ubuntu())
+        .visit(&network, &url)
+        .expect("page survives DNS loop");
+    assert!(visit.scripts[0].error.is_some());
+}
