@@ -166,6 +166,24 @@ fn print_e1(r: &StudyResults) {
     let t = &r.tail.prevalence;
     cmp("popular sites crawled successfully", "16,276", format!("{}", p.successes));
     cmp("tail sites crawled successfully", "17,260", format!("{}", t.successes));
+    println!("  failure breakdown by kind (popular / tail):");
+    let mut kinds: Vec<_> = r
+        .popular
+        .failures
+        .keys()
+        .chain(r.tail.failures.keys())
+        .copied()
+        .collect();
+    kinds.sort();
+    kinds.dedup();
+    for kind in kinds {
+        println!(
+            "    {:<14} {:>6} / {}",
+            kind,
+            r.popular.failures.get(&kind).copied().unwrap_or(0),
+            r.tail.failures.get(&kind).copied().unwrap_or(0),
+        );
+    }
     cmp(
         "popular sites fingerprinting",
         "2,067 (12.7%)",

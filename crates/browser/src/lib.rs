@@ -20,7 +20,7 @@ pub mod visit;
 
 pub use defenses::DefenseMode;
 pub use extension::{AdBlockerKind, BlockDecision, Extension};
-pub use visit::{BlockedScript, Browser, LoadedScript, PageVisit, VisitError};
+pub use visit::{BlockedScript, Browser, LoadedScript, PageVisit, VisitError, VisitPolicy};
 
 #[cfg(test)]
 mod vendor_script_tests {

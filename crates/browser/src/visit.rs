@@ -5,7 +5,7 @@ use canvassing_net::{
     FetchError, Network, Resource, ScriptRef, Url,
 };
 use canvassing_raster::DeviceProfile;
-use canvassing_script::eval;
+use canvassing_script::{eval_with_budget, DEFAULT_STEP_BUDGET};
 use serde::{Deserialize, Serialize};
 
 use crate::defenses::DefenseMode;
@@ -21,6 +21,11 @@ pub enum VisitError {
     NotAPage(Url),
     /// The site's bot gate rejected the client.
     BotBlocked(Url),
+    /// The visit blew its wall-clock deadline (simulated time: response
+    /// latencies plus script execution charged at a fixed step rate).
+    DeadlineExceeded(Url),
+    /// The visit's total script-step fuel allowance ran out.
+    FuelExhausted(Url),
 }
 
 impl std::fmt::Display for VisitError {
@@ -29,11 +34,53 @@ impl std::fmt::Display for VisitError {
             VisitError::Fetch(e) => write!(f, "fetch failed: {e}"),
             VisitError::NotAPage(u) => write!(f, "not a page: {u}"),
             VisitError::BotBlocked(u) => write!(f, "bot gate rejected crawler at {u}"),
+            VisitError::DeadlineExceeded(u) => write!(f, "visit deadline exceeded at {u}"),
+            VisitError::FuelExhausted(u) => write!(f, "script fuel exhausted at {u}"),
         }
     }
 }
 
 impl std::error::Error for VisitError {}
+
+/// Interpreter steps charged as one millisecond of simulated wall-clock
+/// time when enforcing the visit deadline.
+const STEPS_PER_MS: u64 = 1_000;
+
+/// Per-visit resource limits. Both knobs bound *simulated* quantities —
+/// response latency and interpreter steps — so enforcement is exactly
+/// reproducible across runs and worker counts (no real clocks involved).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VisitPolicy {
+    /// Simulated wall-clock deadline for the whole visit, in milliseconds.
+    /// Response latencies count directly; script execution is charged at
+    /// [`STEPS_PER_MS`] steps per millisecond. `None` disables the check.
+    pub deadline_ms: Option<u64>,
+    /// Total interpreter-step fuel for all scripts on the page. `None`
+    /// leaves each script bounded only by the interpreter's own
+    /// [`DEFAULT_STEP_BUDGET`].
+    pub fuel: Option<u64>,
+}
+
+impl Default for VisitPolicy {
+    /// 30-second deadline (a typical page-load timeout), unlimited fuel.
+    fn default() -> VisitPolicy {
+        VisitPolicy {
+            deadline_ms: Some(30_000),
+            fuel: None,
+        }
+    }
+}
+
+impl VisitPolicy {
+    /// No deadline, no fuel cap (scripts still hit the interpreter's own
+    /// step budget).
+    pub fn unlimited() -> VisitPolicy {
+        VisitPolicy {
+            deadline_ms: None,
+            fuel: None,
+        }
+    }
+}
 
 /// A script request the extension blocked.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -93,6 +140,8 @@ pub struct Browser {
     /// "handles common anti-bot detection mechanisms"). Disable to inject
     /// bot-wall faults.
     pub passes_bot_checks: bool,
+    /// Per-visit deadline / fuel limits.
+    pub policy: VisitPolicy,
 }
 
 impl Browser {
@@ -104,18 +153,42 @@ impl Browser {
             defense: DefenseMode::None,
             autoconsent: true,
             passes_bot_checks: true,
+            policy: VisitPolicy::default(),
         }
     }
 
-    /// Visits a page and records all canvas activity.
+    /// Visits a page and records all canvas activity. Equivalent to
+    /// [`Browser::visit_attempt`] with `attempt = 0`.
     pub fn visit(&self, network: &Network, page_url: &Url) -> Result<PageVisit, VisitError> {
-        let response = network.fetch(page_url).map_err(VisitError::Fetch)?;
+        self.visit_attempt(network, page_url, 0)
+    }
+
+    /// Visits a page on a given (zero-based) retry attempt. The attempt
+    /// number reaches every fetch of the visit so attempt-counted
+    /// transient faults clear consistently for the page and its scripts.
+    pub fn visit_attempt(
+        &self,
+        network: &Network,
+        page_url: &Url,
+        attempt: u32,
+    ) -> Result<PageVisit, VisitError> {
+        let deadline = self.policy.deadline_ms;
+        let mut elapsed_ms: u64 = 0;
+        let mut fuel_used: u64 = 0;
+
+        let response = network
+            .fetch_attempt(page_url, attempt)
+            .map_err(VisitError::Fetch)?;
         let page = match response.resource {
             Resource::Page(p) => p,
             Resource::Script(_) => return Err(VisitError::NotAPage(page_url.clone())),
         };
         if page.bot_check && !self.passes_bot_checks {
             return Err(VisitError::BotBlocked(page_url.clone()));
+        }
+        elapsed_ms += response.latency_ms;
+        if deadline.is_some_and(|d| elapsed_ms > d) {
+            return Err(VisitError::DeadlineExceeded(page_url.clone()));
         }
 
         let mut doc = Document::new(self.device.clone());
@@ -154,16 +227,36 @@ impl Browser {
         if page.consent_banner {
             if self.autoconsent {
                 doc.advance_clock(350);
+                elapsed_ms += 350;
             } else {
                 return Ok(visit);
             }
         }
 
         for script_ref in &page.scripts {
+            // Each script runs under whichever is tighter: the
+            // interpreter's own budget or the visit's remaining fuel. A
+            // budget trip at the fuel-reduced limit is a visit failure;
+            // at the interpreter's own limit it is that script's crash.
+            let budget = match self.policy.fuel {
+                Some(f) => f.saturating_sub(fuel_used).min(DEFAULT_STEP_BUDGET),
+                None => DEFAULT_STEP_BUDGET,
+            };
             match script_ref {
                 ScriptRef::Inline { source, .. } => {
                     doc.set_current_script(&page_url.to_string());
-                    let error = eval(source, &mut doc).err().map(|e| e.message);
+                    let outcome = eval_with_budget(source, &mut doc, budget);
+                    fuel_used += outcome.steps;
+                    elapsed_ms += outcome.steps / STEPS_PER_MS;
+                    let error = match outcome.result {
+                        Ok(_) => None,
+                        Err(e) => {
+                            if budget < DEFAULT_STEP_BUDGET && e.message.contains("step budget") {
+                                return Err(VisitError::FuelExhausted(page_url.clone()));
+                            }
+                            Some(e.message)
+                        }
+                    };
                     visit.scripts.push(LoadedScript {
                         url: page_url.clone(),
                         inline: true,
@@ -182,15 +275,32 @@ impl Browser {
                             continue;
                         }
                     }
-                    match network.fetch(url) {
+                    match network.fetch_attempt(url, attempt) {
                         Ok(resp) => {
                             let source = match resp.resource {
                                 Resource::Script(s) => s.source,
                                 Resource::Page(_) => continue,
                             };
                             doc.advance_clock(resp.latency_ms);
+                            elapsed_ms += resp.latency_ms;
+                            if deadline.is_some_and(|d| elapsed_ms > d) {
+                                return Err(VisitError::DeadlineExceeded(page_url.clone()));
+                            }
                             doc.set_current_script(&url.to_string());
-                            let error = eval(&source, &mut doc).err().map(|e| e.message);
+                            let outcome = eval_with_budget(&source, &mut doc, budget);
+                            fuel_used += outcome.steps;
+                            elapsed_ms += outcome.steps / STEPS_PER_MS;
+                            let error = match outcome.result {
+                                Ok(_) => None,
+                                Err(e) => {
+                                    if budget < DEFAULT_STEP_BUDGET
+                                        && e.message.contains("step budget")
+                                    {
+                                        return Err(VisitError::FuelExhausted(page_url.clone()));
+                                    }
+                                    Some(e.message)
+                                }
+                            };
                             visit.scripts.push(LoadedScript {
                                 url: url.clone(),
                                 inline: false,
@@ -211,6 +321,9 @@ impl Browser {
                         }
                     }
                 }
+            }
+            if deadline.is_some_and(|d| elapsed_ms > d) {
+                return Err(VisitError::DeadlineExceeded(page_url.clone()));
             }
         }
 
@@ -347,6 +460,83 @@ mod tests {
         let visit = browser
             .visit(&network, &Url::https("consent.com", "/"))
             .unwrap();
+        assert_eq!(visit.extractions.len(), 1);
+    }
+
+    #[test]
+    fn latency_spike_past_deadline_fails_the_visit() {
+        use canvassing_net::Fault;
+        let mut network = simple_network();
+        network
+            .faults
+            .inject("site.com", Fault::LatencySpike { extra_ms: 60_000 });
+        let err = intel_browser()
+            .visit(&network, &Url::https("site.com", "/"))
+            .unwrap_err();
+        assert!(matches!(err, VisitError::DeadlineExceeded(_)));
+        // Lifting the deadline lets the slow visit complete.
+        let mut patient = intel_browser();
+        patient.policy = VisitPolicy::unlimited();
+        assert!(patient.visit(&network, &Url::https("site.com", "/")).is_ok());
+    }
+
+    #[test]
+    fn spiked_script_host_blows_the_deadline_too() {
+        use canvassing_net::Fault;
+        let mut network = simple_network();
+        network
+            .faults
+            .inject("fp.example.net", Fault::LatencySpike { extra_ms: 60_000 });
+        let err = intel_browser()
+            .visit(&network, &Url::https("site.com", "/"))
+            .unwrap_err();
+        assert!(matches!(err, VisitError::DeadlineExceeded(_)));
+    }
+
+    #[test]
+    fn fuel_exhaustion_fails_the_visit() {
+        let network = simple_network();
+        let mut browser = intel_browser();
+        browser.policy.fuel = Some(10);
+        let err = browser
+            .visit(&network, &Url::https("site.com", "/"))
+            .unwrap_err();
+        assert!(matches!(err, VisitError::FuelExhausted(_)));
+        // Generous fuel changes nothing about the recorded visit.
+        browser.policy.fuel = Some(1_000_000);
+        let visit = browser
+            .visit(&network, &Url::https("site.com", "/"))
+            .unwrap();
+        assert_eq!(visit.extractions.len(), 1);
+    }
+
+    #[test]
+    fn truncated_script_records_a_parse_error() {
+        use canvassing_net::Fault;
+        let mut network = simple_network();
+        network.faults.inject("fp.example.net", Fault::TruncateBody);
+        let visit = intel_browser()
+            .visit(&network, &Url::https("site.com", "/"))
+            .unwrap();
+        // The cut may or may not land on a statement boundary; either way
+        // the trailing toDataURL call is gone, so no extraction happens.
+        assert_eq!(visit.scripts.len(), 1);
+        assert!(visit.extractions.is_empty());
+    }
+
+    #[test]
+    fn transient_page_fault_clears_on_later_attempt() {
+        use canvassing_net::Fault;
+        let mut network = simple_network();
+        network
+            .faults
+            .inject("site.com", Fault::TransientConnect { failures: 2 });
+        let browser = intel_browser();
+        let page = Url::https("site.com", "/");
+        let err = browser.visit_attempt(&network, &page, 0).unwrap_err();
+        assert!(matches!(err, VisitError::Fetch(FetchError::Transient(_))));
+        assert!(browser.visit_attempt(&network, &page, 1).is_err());
+        let visit = browser.visit_attempt(&network, &page, 2).unwrap();
         assert_eq!(visit.extractions.len(), 1);
     }
 

@@ -4,7 +4,7 @@
 
 use canvassing_blocklist::{DisconnectList, FilterList};
 use canvassing_browser::AdBlockerKind;
-use canvassing_crawler::{crawl, CrawlConfig, CrawlDataset};
+use canvassing_crawler::{crawl, CrawlConfig, CrawlDataset, FailureKind};
 use canvassing_raster::DeviceProfile;
 use canvassing_webgen::{Cohort, SyntheticWeb};
 use serde::{Deserialize, Serialize};
@@ -61,6 +61,8 @@ pub struct CohortAnalysis {
     pub evasion: EvasionStats,
     /// Table 4 coverage.
     pub coverage: CoverageCounts,
+    /// §3.1 crawl-failure breakdown by typed kind.
+    pub failures: std::collections::BTreeMap<FailureKind, usize>,
 }
 
 /// Analyzes one crawl dataset into a cohort analysis.
@@ -85,6 +87,7 @@ pub fn analyze_cohort(
         prevalence,
         evasion,
         coverage,
+        failures: dataset.failure_breakdown(),
     }
 }
 
@@ -353,6 +356,26 @@ impl StudyResults {
             100.0 * self.tail.prevalence.fingerprintable_fraction(),
         ));
 
+        out.push_str("\n== Crawl failures by kind (Section 3.1) ==\n");
+        out.push_str("Kind | Popular | Tail\n");
+        let mut kinds: Vec<FailureKind> = self
+            .popular
+            .failures
+            .keys()
+            .chain(self.tail.failures.keys())
+            .copied()
+            .collect();
+        kinds.sort();
+        kinds.dedup();
+        for kind in kinds {
+            out.push_str(&format!(
+                "{} | {} | {}\n",
+                kind,
+                self.popular.failures.get(&kind).copied().unwrap_or(0),
+                self.tail.failures.get(&kind).copied().unwrap_or(0),
+            ));
+        }
+
         out.push_str("\n== Reach (Section 4.2) ==\n");
         out.push_str(&format!(
             "unique canvases: {} popular, {} tail\n",
@@ -546,10 +569,23 @@ mod tests {
         assert!(v.canvases_differ);
         assert!(v.partitions_match);
 
+        // The typed failure breakdown accounts for every failed site.
+        for a in [&results.popular, &results.tail] {
+            let failed: usize = a.failures.values().sum();
+            assert_eq!(
+                failed,
+                a.attempted - a.prevalence.successes,
+                "{:?}: breakdown must cover every failure",
+                a.cohort
+            );
+            assert!(!a.failures.is_empty(), "down sites exist at this scale");
+        }
+
         // The report renders.
         let report = results.render_report();
         assert!(report.contains("Table 1"));
         assert!(report.contains("Akamai"));
+        assert!(report.contains("Crawl failures by kind"));
     }
 }
 

@@ -1,16 +1,129 @@
-//! Crawl datasets: per-site records with JSON (de)serialization.
+//! Crawl datasets: per-site records with JSON (de)serialization and a
+//! typed failure taxonomy.
 
-use canvassing_browser::PageVisit;
-use canvassing_net::Url;
+use std::collections::BTreeMap;
+
+use canvassing_browser::{PageVisit, VisitError};
+use canvassing_net::{FetchError, Url};
 use serde::{Deserialize, Serialize};
+
+/// Why a site visit failed, as a closed taxonomy the analysis layer can
+/// aggregate over (per-kind breakdown tables), rather than a free-form
+/// string that can only be substring-matched.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum FailureKind {
+    /// Permanent DNS failure (NXDOMAIN, broken CNAME chain).
+    Dns,
+    /// Transient DNS failure (SERVFAIL, resolver timeout) — retryable.
+    DnsTransient,
+    /// The host refused every connection.
+    Unreachable,
+    /// The connection failed this attempt but might succeed on retry.
+    Transient,
+    /// The visit blew its deadline (slow site / latency spike).
+    Timeout,
+    /// The site's bot gate rejected the crawler.
+    BotBlocked,
+    /// Script execution failed badly enough to abort the visit (e.g. the
+    /// visit's fuel allowance ran out).
+    ScriptCrash,
+    /// The response body was cut off and the document was unusable.
+    Truncated,
+    /// The URL did not serve an HTML page.
+    NotAPage,
+    /// The worker crawling the site panicked; the harness isolated the
+    /// panic and recorded the site as failed.
+    WorkerPanic,
+}
+
+impl FailureKind {
+    /// Stable lowercase name for reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FailureKind::Dns => "dns",
+            FailureKind::DnsTransient => "dns-transient",
+            FailureKind::Unreachable => "unreachable",
+            FailureKind::Transient => "transient",
+            FailureKind::Timeout => "timeout",
+            FailureKind::BotBlocked => "bot-blocked",
+            FailureKind::ScriptCrash => "script-crash",
+            FailureKind::Truncated => "truncated",
+            FailureKind::NotAPage => "not-a-page",
+            FailureKind::WorkerPanic => "worker-panic",
+        }
+    }
+
+    /// Whether a retry of the visit could plausibly succeed. Only these
+    /// kinds are eligible for the harness retry policy; everything else is
+    /// authoritative (retrying an NXDOMAIN or a bot wall never helps).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FailureKind::Transient | FailureKind::DnsTransient)
+    }
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad(self.as_str())
+    }
+}
+
+impl From<&VisitError> for FailureKind {
+    fn from(e: &VisitError) -> FailureKind {
+        match e {
+            VisitError::Fetch(FetchError::Dns(d)) => {
+                if d.is_transient() {
+                    FailureKind::DnsTransient
+                } else {
+                    FailureKind::Dns
+                }
+            }
+            VisitError::Fetch(FetchError::Unreachable(_)) => FailureKind::Unreachable,
+            VisitError::Fetch(FetchError::Transient(_)) => FailureKind::Transient,
+            VisitError::Fetch(FetchError::Truncated(_)) => FailureKind::Truncated,
+            VisitError::Fetch(FetchError::NotFound(_)) => FailureKind::NotAPage,
+            // The browser never blocks its own top-level document; if it
+            // somehow surfaces, the page was unreachable for the client.
+            VisitError::Fetch(FetchError::Blocked(_)) => FailureKind::Unreachable,
+            VisitError::NotAPage(_) => FailureKind::NotAPage,
+            VisitError::BotBlocked(_) => FailureKind::BotBlocked,
+            VisitError::DeadlineExceeded(_) => FailureKind::Timeout,
+            VisitError::FuelExhausted(_) => FailureKind::ScriptCrash,
+        }
+    }
+}
+
+/// A failed site visit: the typed kind, the human-readable error, and how
+/// many attempts were made before giving up.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteFailure {
+    /// Typed failure kind.
+    pub kind: FailureKind,
+    /// Human-readable error message from the final attempt.
+    pub error: String,
+    /// Total visit attempts made (1 = no retries).
+    pub attempts: u32,
+}
+
+impl SiteFailure {
+    /// Builds a failure record from a visit error.
+    pub fn from_visit_error(e: &VisitError, attempts: u32) -> SiteFailure {
+        SiteFailure {
+            kind: FailureKind::from(e),
+            error: e.to_string(),
+            attempts,
+        }
+    }
+}
 
 /// Result of visiting one site.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum SiteOutcome {
     /// The visit completed; canvas activity recorded.
     Success(Box<PageVisit>),
-    /// The visit failed (site down, DNS error, bot wall).
-    Failure(String),
+    /// The visit failed (site down, DNS error, bot wall, worker panic…).
+    Failure(SiteFailure),
 }
 
 /// One frontier entry's record.
@@ -42,17 +155,27 @@ impl CrawlDataset {
         })
     }
 
-    /// Iterates over failed sites with their error strings.
-    pub fn failed(&self) -> impl Iterator<Item = (&Url, &str)> {
+    /// Iterates over failed sites with their failure records.
+    pub fn failed(&self) -> impl Iterator<Item = (&Url, &SiteFailure)> {
         self.records.iter().filter_map(|r| match &r.outcome {
             SiteOutcome::Success(_) => None,
-            SiteOutcome::Failure(e) => Some((&r.url, e.as_str())),
+            SiteOutcome::Failure(f) => Some((&r.url, f)),
         })
     }
 
     /// Number of successfully crawled sites.
     pub fn success_count(&self) -> usize {
         self.successful().count()
+    }
+
+    /// Counts failures by typed kind (the §3.1 "crawled unsuccessfully"
+    /// breakdown).
+    pub fn failure_breakdown(&self) -> BTreeMap<FailureKind, usize> {
+        let mut out = BTreeMap::new();
+        for (_, f) in self.failed() {
+            *out.entry(f.kind).or_insert(0) += 1;
+        }
+        out
     }
 
     /// Total extractions across all successful visits.
@@ -74,6 +197,7 @@ impl CrawlDataset {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use canvassing_net::DnsError;
 
     #[test]
     fn empty_dataset_counts() {
@@ -85,6 +209,7 @@ mod tests {
         assert_eq!(ds.success_count(), 0);
         assert_eq!(ds.extraction_count(), 0);
         assert_eq!(ds.failed().count(), 0);
+        assert!(ds.failure_breakdown().is_empty());
     }
 
     #[test]
@@ -94,11 +219,82 @@ mod tests {
             device_id: "d".into(),
             records: vec![SiteRecord {
                 url: Url::https("down.com", "/"),
-                outcome: SiteOutcome::Failure("unreachable host: down.com".into()),
+                outcome: SiteOutcome::Failure(SiteFailure {
+                    kind: FailureKind::Unreachable,
+                    error: "unreachable host: down.com".into(),
+                    attempts: 1,
+                }),
             }],
         };
         let back = CrawlDataset::from_json(&ds.to_json().unwrap()).unwrap();
         assert_eq!(back.failed().count(), 1);
-        assert_eq!(back.failed().next().unwrap().1, "unreachable host: down.com");
+        let (_, failure) = back.failed().next().unwrap();
+        assert_eq!(failure.kind, FailureKind::Unreachable);
+        assert_eq!(failure.error, "unreachable host: down.com");
+        assert_eq!(failure.attempts, 1);
+        assert_eq!(back.failure_breakdown()[&FailureKind::Unreachable], 1);
+    }
+
+    #[test]
+    fn visit_errors_map_to_kinds() {
+        let url = Url::https("x.com", "/");
+        let cases: Vec<(VisitError, FailureKind)> = vec![
+            (
+                VisitError::Fetch(FetchError::Dns(DnsError::NxDomain("x.com".into()))),
+                FailureKind::Dns,
+            ),
+            (
+                VisitError::Fetch(FetchError::Dns(DnsError::ServFail("x.com".into()))),
+                FailureKind::DnsTransient,
+            ),
+            (
+                VisitError::Fetch(FetchError::Dns(DnsError::Timeout("x.com".into()))),
+                FailureKind::DnsTransient,
+            ),
+            (
+                VisitError::Fetch(FetchError::Unreachable("x.com".into())),
+                FailureKind::Unreachable,
+            ),
+            (
+                VisitError::Fetch(FetchError::Transient("x.com".into())),
+                FailureKind::Transient,
+            ),
+            (
+                VisitError::Fetch(FetchError::Truncated(url.clone())),
+                FailureKind::Truncated,
+            ),
+            (
+                VisitError::Fetch(FetchError::NotFound(url.clone())),
+                FailureKind::NotAPage,
+            ),
+            (VisitError::NotAPage(url.clone()), FailureKind::NotAPage),
+            (VisitError::BotBlocked(url.clone()), FailureKind::BotBlocked),
+            (
+                VisitError::DeadlineExceeded(url.clone()),
+                FailureKind::Timeout,
+            ),
+            (VisitError::FuelExhausted(url), FailureKind::ScriptCrash),
+        ];
+        for (err, want) in cases {
+            assert_eq!(FailureKind::from(&err), want, "{err}");
+        }
+    }
+
+    #[test]
+    fn transient_kinds_are_exactly_the_retryable_ones() {
+        for kind in [
+            FailureKind::Dns,
+            FailureKind::Unreachable,
+            FailureKind::Timeout,
+            FailureKind::BotBlocked,
+            FailureKind::ScriptCrash,
+            FailureKind::Truncated,
+            FailureKind::NotAPage,
+            FailureKind::WorkerPanic,
+        ] {
+            assert!(!kind.is_transient(), "{kind}");
+        }
+        assert!(FailureKind::Transient.is_transient());
+        assert!(FailureKind::DnsTransient.is_transient());
     }
 }

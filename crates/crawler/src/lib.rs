@@ -8,17 +8,85 @@
 //!
 //! Work distribution uses a crossbeam channel as the job queue; results
 //! are reassembled in frontier order so datasets are deterministic
-//! regardless of scheduling.
+//! regardless of scheduling. Robustness features on top of that baseline:
+//!
+//! * **Typed failures** — every failed site carries a
+//!   [`FailureKind`] instead of a free-form string, so analyses can build
+//!   per-kind breakdown tables.
+//! * **Retry policy** — transient kinds (and only those) can be retried
+//!   with deterministic bounded backoff; the default of zero retries
+//!   preserves the paper's visit-once semantics.
+//! * **Panic isolation** — a panicking visit (a crashing worker) becomes a
+//!   [`FailureKind::WorkerPanic`] record instead of taking the crawl down.
+//! * **Checkpoint/resume** — [`resume_crawl`] skips sites already present
+//!   in a partial dataset and merges to the exact dataset a single
+//!   uninterrupted crawl would have produced.
 
 #![warn(missing_docs)]
 
 pub mod dataset;
 
-use canvassing_browser::{AdBlockerKind, Browser, DefenseMode, Extension, PageVisit};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use canvassing_browser::{
+    AdBlockerKind, Browser, DefenseMode, Extension, PageVisit, VisitPolicy,
+};
 use canvassing_net::{Network, Url};
 use canvassing_raster::DeviceProfile;
+use serde::{Deserialize, Serialize};
 
-pub use dataset::{CrawlDataset, SiteOutcome, SiteRecord};
+pub use dataset::{CrawlDataset, FailureKind, SiteFailure, SiteOutcome, SiteRecord};
+
+/// Retry behavior for transient failures. Backoff is computed, not slept:
+/// the network simulates latency, so the harness records the schedule a
+/// real crawler would follow without wall-clock waiting — keeping crawls
+/// deterministic and fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum retries after the first attempt (0 = visit once, the
+    /// paper's §3.1 semantics).
+    pub max_retries: u32,
+    /// Base backoff before the first retry, in milliseconds.
+    pub backoff_base_ms: u64,
+    /// Upper bound on any single backoff interval.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every site is visited exactly once.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            backoff_base_ms: 250,
+            backoff_cap_ms: 4_000,
+        }
+    }
+
+    /// Up to `n` retries of transient failures with default backoff.
+    pub fn retries(n: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: n,
+            ..RetryPolicy::none()
+        }
+    }
+
+    /// Deterministic exponential backoff before retry number
+    /// `attempt + 1` (zero-based attempt that just failed): `base << attempt`,
+    /// capped.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        let shifted = self
+            .backoff_base_ms
+            .checked_shl(attempt)
+            .unwrap_or(self.backoff_cap_ms);
+        shifted.min(self.backoff_cap_ms)
+    }
+}
 
 /// Configuration for one crawl run.
 pub struct CrawlConfig {
@@ -34,6 +102,14 @@ pub struct CrawlConfig {
     pub defense: DefenseMode,
     /// Whether workers pass bot gates (true for the paper's crawler).
     pub passes_bot_checks: bool,
+    /// Retry policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Per-visit deadline / fuel limits.
+    pub policy: VisitPolicy,
+    /// Catch panics inside a worker's visit and degrade them to
+    /// [`FailureKind::WorkerPanic`] records. On by default; disable only
+    /// to test the harness's own behavior when a worker thread dies.
+    pub isolate_panics: bool,
 }
 
 impl CrawlConfig {
@@ -46,6 +122,9 @@ impl CrawlConfig {
             adblocker: None,
             defense: DefenseMode::None,
             passes_bot_checks: true,
+            retry: RetryPolicy::none(),
+            policy: VisitPolicy::default(),
+            isolate_panics: true,
         }
     }
 
@@ -72,6 +151,7 @@ impl CrawlConfig {
         let mut browser = Browser::new(self.device.clone());
         browser.defense = self.defense;
         browser.passes_bot_checks = self.passes_bot_checks;
+        browser.policy = self.policy;
         if let Some((kind, list)) = &self.adblocker {
             browser.extension = Some(Extension::new(*kind, list));
         }
@@ -79,53 +159,188 @@ impl CrawlConfig {
     }
 }
 
+/// Visits one site under the config's retry and isolation policy. Pure in
+/// `(network, url, config)`: the record does not depend on which worker
+/// runs it or when — the invariant that makes datasets byte-identical
+/// across worker counts and checkpoint/resume boundaries.
+fn visit_site(network: &Network, browser: &Browser, url: &Url, config: &CrawlConfig) -> SiteRecord {
+    let mut attempt: u32 = 0;
+    let outcome = loop {
+        let result = if config.isolate_panics {
+            match catch_unwind(AssertUnwindSafe(|| {
+                browser.visit_attempt(network, url, attempt)
+            })) {
+                Ok(r) => r,
+                Err(payload) => {
+                    let msg = panic_message(payload.as_ref());
+                    break SiteOutcome::Failure(SiteFailure {
+                        kind: FailureKind::WorkerPanic,
+                        error: format!("worker panicked: {msg}"),
+                        attempts: attempt + 1,
+                    });
+                }
+            }
+        } else {
+            browser.visit_attempt(network, url, attempt)
+        };
+        match result {
+            Ok(visit) => break SiteOutcome::Success(Box::new(visit)),
+            Err(e) => {
+                let failure = SiteFailure::from_visit_error(&e, attempt + 1);
+                if failure.kind.is_transient() && attempt < config.retry.max_retries {
+                    // Bounded deterministic backoff; the interval is part
+                    // of the schedule, not a real sleep (simulated time).
+                    let _backoff = config.retry.backoff_ms(attempt);
+                    attempt += 1;
+                    continue;
+                }
+                break SiteOutcome::Failure(failure);
+            }
+        }
+    };
+    SiteRecord {
+        url: url.clone(),
+        outcome,
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
 /// Crawls the frontier, returning one record per frontier URL (in order).
 pub fn crawl(network: &Network, frontier: &[Url], config: &CrawlConfig) -> CrawlDataset {
+    let slots = crawl_subset(network, frontier, config, None);
+    CrawlDataset::from_slots(config, slots)
+}
+
+/// Crawls only the frontier indices in `subset` (all of them when `None`);
+/// records for skipped indices are left empty. Shared engine for
+/// [`crawl`] and [`resume_crawl`].
+fn crawl_subset(
+    network: &Network,
+    frontier: &[Url],
+    config: &CrawlConfig,
+    subset: Option<&[usize]>,
+) -> Vec<Option<SiteRecord>> {
     let workers = config.workers.max(1);
     let (job_tx, job_rx) = crossbeam::channel::unbounded::<usize>();
-    for i in 0..frontier.len() {
-        job_tx.send(i).expect("queue open");
+    match subset {
+        Some(indices) => {
+            for &i in indices {
+                job_tx.send(i).expect("queue open");
+            }
+        }
+        None => {
+            for i in 0..frontier.len() {
+                job_tx.send(i).expect("queue open");
+            }
+        }
     }
     drop(job_tx);
 
     let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, SiteRecord)>();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let job_rx = job_rx.clone();
-            let res_tx = res_tx.clone();
-            scope.spawn(move || {
-                let browser = config.build_browser();
-                while let Ok(i) = job_rx.recv() {
-                    let url = &frontier[i];
-                    let outcome = match browser.visit(network, url) {
-                        Ok(visit) => SiteOutcome::Success(Box::new(visit)),
-                        Err(e) => SiteOutcome::Failure(e.to_string()),
-                    };
-                    let record = SiteRecord {
-                        url: url.clone(),
-                        outcome,
-                    };
-                    if res_tx.send((i, record)).is_err() {
-                        break;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let job_rx = job_rx.clone();
+                let res_tx = res_tx.clone();
+                scope.spawn(move || {
+                    let browser = config.build_browser();
+                    while let Ok(i) = job_rx.recv() {
+                        let record = visit_site(network, &browser, &frontier[i], config);
+                        if res_tx.send((i, record)).is_err() {
+                            break;
+                        }
                     }
-                }
-            });
-        }
+                })
+            })
+            .collect();
         drop(res_tx);
+        // Consume worker panics here (possible only with
+        // `isolate_panics: false`): the scope would otherwise re-raise
+        // them after implicit joins, killing the whole crawl. A dead
+        // worker's claimed-but-unreported job degrades to a failure
+        // record in the reassembly below.
+        for handle in handles {
+            let _ = handle.join();
+        }
     });
 
     let mut slots: Vec<Option<SiteRecord>> = (0..frontier.len()).map(|_| None).collect();
     for (i, record) in res_rx.iter() {
         slots[i] = Some(record);
     }
-    CrawlDataset {
-        label: config.label.clone(),
-        device_id: config.device.id.clone(),
-        records: slots
-            .into_iter()
-            .map(|s| s.expect("every job produced a record"))
-            .collect(),
+    // A worker that died mid-visit produced no record for the job it had
+    // claimed; degrade to a typed failure instead of panicking the
+    // harness.
+    if let Some(indices) = subset {
+        for &i in indices {
+            if slots[i].is_none() {
+                slots[i] = Some(lost_record(&frontier[i]));
+            }
+        }
+    } else {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(lost_record(&frontier[i]));
+            }
+        }
     }
+    slots
+}
+
+fn lost_record(url: &Url) -> SiteRecord {
+    SiteRecord {
+        url: url.clone(),
+        outcome: SiteOutcome::Failure(SiteFailure {
+            kind: FailureKind::WorkerPanic,
+            error: "worker died before reporting a record".into(),
+            attempts: 0,
+        }),
+    }
+}
+
+impl CrawlDataset {
+    fn from_slots(config: &CrawlConfig, slots: Vec<Option<SiteRecord>>) -> CrawlDataset {
+        CrawlDataset {
+            label: config.label.clone(),
+            device_id: config.device.id.clone(),
+            records: slots.into_iter().flatten().collect(),
+        }
+    }
+}
+
+/// Resumes a crawl from a checkpoint: sites already recorded in
+/// `checkpoint` are skipped, the rest are crawled, and the merged dataset
+/// comes back in frontier order. Because records are pure functions of
+/// `(url, config, network)`, the merge is byte-identical to the dataset a
+/// single uninterrupted [`crawl`] would have produced.
+pub fn resume_crawl(
+    network: &Network,
+    frontier: &[Url],
+    config: &CrawlConfig,
+    checkpoint: &CrawlDataset,
+) -> CrawlDataset {
+    let done: std::collections::BTreeMap<&Url, &SiteRecord> =
+        checkpoint.records.iter().map(|r| (&r.url, r)).collect();
+    let todo: Vec<usize> = (0..frontier.len())
+        .filter(|&i| !done.contains_key(&frontier[i]))
+        .collect();
+    let mut slots = crawl_subset(network, frontier, config, Some(&todo));
+    for (i, slot) in slots.iter_mut().enumerate() {
+        if slot.is_none() {
+            *slot = Some((*done[&frontier[i]]).clone());
+        }
+    }
+    CrawlDataset::from_slots(config, slots)
 }
 
 /// Convenience: visits a single page with a one-off browser (used by the
@@ -141,7 +356,7 @@ pub fn visit_once(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use canvassing_net::{PageResource, Resource, ScriptRef, ScriptResource};
+    use canvassing_net::{Fault, PageResource, Resource, ScriptRef, ScriptResource};
 
     fn network_with_sites(n: usize) -> (Network, Vec<Url>) {
         let mut network = Network::new();
@@ -193,6 +408,9 @@ mod tests {
         }
         assert_eq!(ds.failed().count(), 1);
         assert_eq!(ds.successful().count(), 19);
+        let (_, failure) = ds.failed().next().unwrap();
+        assert_eq!(failure.kind, FailureKind::Unreachable);
+        assert_eq!(failure.attempts, 1);
     }
 
     #[test]
@@ -232,5 +450,124 @@ mod tests {
         let back = CrawlDataset::from_json(&json).unwrap();
         assert_eq!(back.records.len(), ds.records.len());
         assert_eq!(back.label, ds.label);
+    }
+
+    #[test]
+    fn transient_fault_fails_without_retries_and_heals_with_them() {
+        let (mut network, frontier) = network_with_sites(6);
+        network
+            .faults
+            .inject("site2.com", Fault::TransientConnect { failures: 2 });
+
+        let ds = crawl(&network, &frontier, &CrawlConfig::control());
+        let transient: Vec<_> = ds
+            .failed()
+            .filter(|(_, f)| f.kind == FailureKind::Transient)
+            .collect();
+        assert_eq!(transient.len(), 1, "visit-once records the flake");
+
+        let mut retrying = CrawlConfig::control();
+        retrying.retry = RetryPolicy::retries(2);
+        let ds = crawl(&network, &frontier, &retrying);
+        assert!(
+            ds.failed().all(|(_, f)| f.kind != FailureKind::Transient),
+            "two retries outlast two planned failures"
+        );
+        // Insufficient retries still fail, with the attempts recorded.
+        let mut one_retry = CrawlConfig::control();
+        one_retry.retry = RetryPolicy::retries(1);
+        let ds = crawl(&network, &frontier, &one_retry);
+        let (_, failure) = ds
+            .failed()
+            .find(|(_, f)| f.kind == FailureKind::Transient)
+            .unwrap();
+        assert_eq!(failure.attempts, 2);
+    }
+
+    #[test]
+    fn retries_never_touch_permanent_failures() {
+        let (network, frontier) = network_with_sites(6);
+        let mut retrying = CrawlConfig::control();
+        retrying.retry = RetryPolicy::retries(5);
+        let ds = crawl(&network, &frontier, &retrying);
+        let (_, failure) = ds.failed().next().unwrap();
+        assert_eq!(failure.kind, FailureKind::Unreachable);
+        assert_eq!(failure.attempts, 1, "permanent failures are not retried");
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let policy = RetryPolicy::retries(8);
+        let schedule: Vec<u64> = (0..8).map(|a| policy.backoff_ms(a)).collect();
+        assert_eq!(schedule[0], 250);
+        assert_eq!(schedule[1], 500);
+        assert_eq!(schedule[2], 1_000);
+        assert!(schedule.iter().all(|&b| b <= policy.backoff_cap_ms));
+        assert_eq!(*schedule.last().unwrap(), policy.backoff_cap_ms);
+        // Absurd attempt numbers don't overflow.
+        assert_eq!(policy.backoff_ms(200), policy.backoff_cap_ms);
+    }
+
+    #[test]
+    fn injected_panic_degrades_to_worker_panic_record() {
+        let (mut network, frontier) = network_with_sites(8);
+        network.faults.inject("site3.com", Fault::Panic);
+        let ds = crawl(&network, &frontier, &CrawlConfig::control());
+        assert_eq!(ds.records.len(), 8, "one record per frontier URL");
+        let (url, failure) = ds
+            .failed()
+            .find(|(_, f)| f.kind == FailureKind::WorkerPanic)
+            .unwrap();
+        assert_eq!(url.host, "site3.com");
+        assert!(failure.error.contains("injected fault"));
+        assert_eq!(ds.successful().count(), 6);
+    }
+
+    #[test]
+    fn killed_worker_degrades_to_failure_record_not_harness_panic() {
+        // With isolation off, the panic kills the worker thread itself;
+        // the harness must still produce one record per frontier URL.
+        let (mut network, frontier) = network_with_sites(8);
+        network.faults.inject("site3.com", Fault::Panic);
+        let mut config = CrawlConfig::control();
+        config.isolate_panics = false;
+        config.workers = 2;
+        let ds = crawl(&network, &frontier, &config);
+        assert_eq!(ds.records.len(), 8, "one record per frontier URL");
+        let lost: Vec<_> = ds
+            .failed()
+            .filter(|(_, f)| f.kind == FailureKind::WorkerPanic)
+            .collect();
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost[0].0.host, "site3.com");
+    }
+
+    #[test]
+    fn resume_merges_to_the_uninterrupted_dataset() {
+        let (network, frontier) = network_with_sites(12);
+        let config = CrawlConfig::control();
+        let full = crawl(&network, &frontier, &config);
+
+        // Simulate an interrupted crawl: only the first 5 sites recorded.
+        let checkpoint = CrawlDataset {
+            label: full.label.clone(),
+            device_id: full.device_id.clone(),
+            records: full.records[..5].to_vec(),
+        };
+        let resumed = resume_crawl(&network, &frontier, &config, &checkpoint);
+        assert_eq!(
+            resumed.to_json().unwrap(),
+            full.to_json().unwrap(),
+            "resume must be byte-identical to the uninterrupted crawl"
+        );
+    }
+
+    #[test]
+    fn resume_with_complete_checkpoint_revisits_nothing() {
+        let (network, frontier) = network_with_sites(5);
+        let config = CrawlConfig::control();
+        let full = crawl(&network, &frontier, &config);
+        let resumed = resume_crawl(&network, &frontier, &config, &full);
+        assert_eq!(resumed.to_json().unwrap(), full.to_json().unwrap());
     }
 }

@@ -63,10 +63,24 @@ impl Resolution {
 /// Resolution failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DnsError {
-    /// No record for the name.
+    /// No record for the name. Authoritative and permanent: retrying an
+    /// NXDOMAIN never helps.
     NxDomain(String),
     /// CNAME chain exceeded the depth limit or looped.
     ChainTooLong(String),
+    /// The authoritative server answered SERVFAIL — a server-side error
+    /// that, unlike NXDOMAIN, may clear up on a later attempt.
+    ServFail(String),
+    /// The resolver got no answer at all before its own deadline.
+    Timeout(String),
+}
+
+impl DnsError {
+    /// Whether a retry could plausibly succeed (SERVFAIL / resolver
+    /// timeout, as opposed to the authoritative NXDOMAIN and loop cases).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DnsError::ServFail(_) | DnsError::Timeout(_))
+    }
 }
 
 impl std::fmt::Display for DnsError {
@@ -74,6 +88,8 @@ impl std::fmt::Display for DnsError {
         match self {
             DnsError::NxDomain(n) => write!(f, "NXDOMAIN: {n}"),
             DnsError::ChainTooLong(n) => write!(f, "CNAME chain too long resolving {n}"),
+            DnsError::ServFail(n) => write!(f, "SERVFAIL: {n}"),
+            DnsError::Timeout(n) => write!(f, "dns timeout: {n}"),
         }
     }
 }

@@ -95,8 +95,11 @@ pub struct Response {
     /// DNS resolution used to reach the server.
     pub resolution: Resolution,
     /// Deterministic latency estimate in milliseconds (used for
-    /// instrumentation timestamps).
+    /// instrumentation timestamps). Includes any injected latency spike.
     pub latency_ms: u64,
+    /// Whether the body was cut off mid-transfer by a [`Fault::TruncateBody`]
+    /// plan entry (script sources arrive corrupted).
+    pub truncated: bool,
 }
 
 /// Fetch failure.
@@ -108,10 +111,27 @@ pub enum FetchError {
     NotFound(Url),
     /// The host is marked unreachable by the fault plan.
     Unreachable(String),
+    /// The connection failed this attempt but a retry may succeed (the
+    /// planned-transient counterpart of [`FetchError::Unreachable`]).
+    Transient(String),
+    /// The response body was cut off mid-transfer and the document is
+    /// unusable.
+    Truncated(Url),
     /// The request was blocked by a client-side extension (set by the
     /// browser layer, surfaced through the same error type for uniform
     /// handling).
     Blocked(Url),
+}
+
+impl FetchError {
+    /// Whether a retry of the same request could plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            FetchError::Transient(_) => true,
+            FetchError::Dns(e) => e.is_transient(),
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for FetchError {
@@ -120,6 +140,8 @@ impl std::fmt::Display for FetchError {
             FetchError::Dns(e) => write!(f, "dns error: {e}"),
             FetchError::NotFound(u) => write!(f, "404: {u}"),
             FetchError::Unreachable(h) => write!(f, "unreachable host: {h}"),
+            FetchError::Transient(h) => write!(f, "transient connection failure: {h}"),
+            FetchError::Truncated(u) => write!(f, "truncated response body: {u}"),
             FetchError::Blocked(u) => write!(f, "blocked by extension: {u}"),
         }
     }
@@ -127,13 +149,67 @@ impl std::fmt::Display for FetchError {
 
 impl std::error::Error for FetchError {}
 
+/// One planned fault kind for a host. Every kind is a pure function of the
+/// plan and the attempt number — two crawls over the same plan observe the
+/// same failures in the same places.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Refuses every connection, forever (the classic dead host).
+    Unreachable,
+    /// The connection fails for the first `failures` attempts, then
+    /// succeeds — models flaky peering / overloaded origins.
+    TransientConnect {
+        /// Number of leading attempts that fail.
+        failures: u32,
+    },
+    /// DNS answers SERVFAIL for the first `failures` attempts, then
+    /// resolves — a transient resolver-side fault, distinct from NXDOMAIN.
+    DnsServFail {
+        /// Number of leading attempts that fail.
+        failures: u32,
+    },
+    /// DNS never answers (resolver timeout); permanent.
+    DnsTimeout,
+    /// Responses arrive `extra_ms` late — enough to blow a visit deadline
+    /// when the spike exceeds it.
+    LatencySpike {
+        /// Extra latency added to every response from the host.
+        extra_ms: u64,
+    },
+    /// Bodies from this host are cut off mid-transfer: documents become
+    /// unusable, script sources arrive corrupted.
+    TruncateBody,
+    /// Chaos hook: fetching from this host panics, modeling a crashing
+    /// worker. Exists so harness panic isolation can be tested end to end.
+    Panic,
+}
+
+impl Fault {
+    /// Short stable name for reports and labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::Unreachable => "unreachable",
+            Fault::TransientConnect { .. } => "transient-connect",
+            Fault::DnsServFail { .. } => "dns-servfail",
+            Fault::DnsTimeout => "dns-timeout",
+            Fault::LatencySpike { .. } => "latency-spike",
+            Fault::TruncateBody => "truncate-body",
+            Fault::Panic => "panic",
+        }
+    }
+}
+
 /// Deterministic fault injection, in the spirit of the smoltcp examples'
 /// `--drop-chance`: failures are planned, not random, so crawls are
 /// reproducible.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FaultPlan {
-    /// Hosts that refuse every connection (site down / timeout).
+    /// Hosts that refuse every connection (site down / timeout). Kept as a
+    /// distinct set for plan-construction convenience; equivalent to a
+    /// [`Fault::Unreachable`] entry in `host_faults`.
     pub unreachable_hosts: BTreeSet<String>,
+    /// Per-host fault schedule for everything beyond plain dead hosts.
+    pub host_faults: BTreeMap<String, Fault>,
 }
 
 impl FaultPlan {
@@ -145,6 +221,88 @@ impl FaultPlan {
     /// Whether a host is down.
     pub fn is_down(&self, host: &str) -> bool {
         self.unreachable_hosts.contains(&host.to_ascii_lowercase())
+    }
+
+    /// Schedules a fault for a host (replacing any previous entry).
+    pub fn inject(&mut self, host: &str, fault: Fault) {
+        self.host_faults.insert(host.to_ascii_lowercase(), fault);
+    }
+
+    /// The fault planned for a host, if any. `unreachable_hosts` entries
+    /// surface as [`Fault::Unreachable`].
+    pub fn fault_for(&self, host: &str) -> Option<Fault> {
+        let key = host.to_ascii_lowercase();
+        if let Some(f) = self.host_faults.get(&key) {
+            return Some(*f);
+        }
+        if self.unreachable_hosts.contains(&key) {
+            return Some(Fault::Unreachable);
+        }
+        None
+    }
+
+    /// Number of hosts with any planned fault.
+    pub fn len(&self) -> usize {
+        self.host_faults.len()
+            + self
+                .unreachable_hosts
+                .iter()
+                .filter(|h| !self.host_faults.contains_key(*h))
+                .count()
+    }
+
+    /// Whether no faults are planned.
+    pub fn is_empty(&self) -> bool {
+        self.host_faults.is_empty() && self.unreachable_hosts.is_empty()
+    }
+}
+
+/// A seeded fault matrix: assigns every host a fault kind derived from
+/// `hash(seed, host)`, cycling through the whole kind inventory. Used by
+/// robustness tests and the `fault_lab` example to sweep all failure modes
+/// over a frontier without any randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultMatrix {
+    /// Seed mixed into every host hash.
+    pub seed: u64,
+}
+
+impl FaultMatrix {
+    /// A matrix over the given seed.
+    pub fn new(seed: u64) -> FaultMatrix {
+        FaultMatrix { seed }
+    }
+
+    /// The fault this matrix assigns to a host (pure; same seed + host →
+    /// same fault).
+    pub fn fault_for_host(&self, host: &str) -> Fault {
+        let mut h = self.seed ^ 0xcbf29ce484222325;
+        for b in host.to_ascii_lowercase().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        match h % 7 {
+            0 => Fault::Unreachable,
+            1 => Fault::TransientConnect {
+                failures: 1 + ((h >> 8) % 3) as u32,
+            },
+            2 => Fault::DnsServFail {
+                failures: 1 + ((h >> 8) % 2) as u32,
+            },
+            3 => Fault::DnsTimeout,
+            4 => Fault::LatencySpike {
+                extra_ms: 45_000 + (h >> 8) % 15_000,
+            },
+            5 => Fault::TruncateBody,
+            _ => Fault::Panic,
+        }
+    }
+
+    /// Injects a fault for every listed host into the plan.
+    pub fn inject_all<'a>(&self, plan: &mut FaultPlan, hosts: impl IntoIterator<Item = &'a str>) {
+        for host in hosts {
+            plan.inject(host, self.fault_for_host(host));
+        }
     }
 }
 
@@ -195,13 +353,48 @@ impl Network {
     /// Fetches a URL: resolves DNS, applies the fault plan, and returns
     /// the resource. Content registered under a CNAME target is reachable
     /// through the aliasing name (that's the point of cloaking).
+    ///
+    /// Equivalent to [`Network::fetch_attempt`] with `attempt = 0`, so
+    /// attempt-counted transient faults fire on a plain `fetch`.
     pub fn fetch(&self, url: &Url) -> Result<Response, FetchError> {
-        if self.faults.is_down(&url.host) {
-            return Err(FetchError::Unreachable(url.host.clone()));
+        self.fetch_attempt(url, 0)
+    }
+
+    /// Fetches a URL on a given (zero-based) retry attempt. The attempt
+    /// number is threaded explicitly instead of being tracked in interior
+    /// state so the network stays pure: a crawl record is a function of
+    /// `(url, config, network)` regardless of worker interleaving.
+    pub fn fetch_attempt(&self, url: &Url, attempt: u32) -> Result<Response, FetchError> {
+        let fault = self.faults.fault_for(&url.host);
+        match fault {
+            Some(Fault::Unreachable) => {
+                return Err(FetchError::Unreachable(url.host.clone()));
+            }
+            Some(Fault::TransientConnect { failures }) if attempt < failures => {
+                return Err(FetchError::Transient(url.host.clone()));
+            }
+            Some(Fault::DnsServFail { failures }) if attempt < failures => {
+                return Err(FetchError::Dns(DnsError::ServFail(url.host.clone())));
+            }
+            Some(Fault::DnsTimeout) => {
+                return Err(FetchError::Dns(DnsError::Timeout(url.host.clone())));
+            }
+            Some(Fault::Panic) => {
+                panic!("injected fault: panic fetching {url}");
+            }
+            _ => {}
         }
         let resolution = self.dns.resolve(&url.host).map_err(FetchError::Dns)?;
-        if self.faults.is_down(&resolution.canonical) {
-            return Err(FetchError::Unreachable(resolution.canonical.clone()));
+        if resolution.canonical != url.host {
+            match self.faults.fault_for(&resolution.canonical) {
+                Some(Fault::Unreachable) => {
+                    return Err(FetchError::Unreachable(resolution.canonical.clone()));
+                }
+                Some(Fault::TransientConnect { failures }) if attempt < failures => {
+                    return Err(FetchError::Transient(resolution.canonical.clone()));
+                }
+                _ => {}
+            }
         }
         let resource = self
             .resources
@@ -211,10 +404,33 @@ impl Network {
                     .get(&(resolution.canonical.clone(), url.path.clone()))
             })
             .ok_or_else(|| FetchError::NotFound(url.clone()))?;
+        let mut latency = latency_ms(&url.host);
+        let mut truncated = false;
+        match fault {
+            Some(Fault::LatencySpike { extra_ms }) => latency += extra_ms,
+            Some(Fault::TruncateBody) => match resource {
+                // A cut-off document is unusable; a cut-off script arrives,
+                // but corrupted (the interpreter sees a parse error).
+                Resource::Page(_) => return Err(FetchError::Truncated(url.clone())),
+                Resource::Script(_) => truncated = true,
+            },
+            _ => {}
+        }
+        let mut resource = resource.clone();
+        if truncated {
+            if let Resource::Script(s) = &mut resource {
+                let mut cut = s.source.len() / 2;
+                while cut > 0 && !s.source.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                s.source.truncate(cut);
+            }
+        }
         Ok(Response {
-            resource: resource.clone(),
-            latency_ms: latency_ms(&url.host),
+            resource,
+            latency_ms: latency,
             resolution,
+            truncated,
         })
     }
 
@@ -344,6 +560,133 @@ mod tests {
             net.fetch(&url).unwrap_err(),
             FetchError::Unreachable(_)
         ));
+    }
+
+    #[test]
+    fn transient_connect_fails_then_succeeds() {
+        let mut net = Network::new();
+        let url = Url::https("flaky.com", "/");
+        net.host(&url, Resource::Page(PageResource::default()));
+        net.faults
+            .inject("flaky.com", Fault::TransientConnect { failures: 2 });
+        for attempt in 0..2 {
+            let err = net.fetch_attempt(&url, attempt).unwrap_err();
+            assert!(matches!(err, FetchError::Transient(_)));
+            assert!(err.is_transient());
+        }
+        assert!(net.fetch_attempt(&url, 2).is_ok());
+        // A plain fetch is attempt 0 and observes the fault.
+        assert!(net.fetch(&url).is_err());
+    }
+
+    #[test]
+    fn dns_servfail_is_transient_and_distinct_from_nxdomain() {
+        let mut net = Network::new();
+        let url = Url::https("lame.com", "/");
+        net.host(&url, Resource::Page(PageResource::default()));
+        net.faults
+            .inject("lame.com", Fault::DnsServFail { failures: 1 });
+        let err = net.fetch_attempt(&url, 0).unwrap_err();
+        assert!(matches!(err, FetchError::Dns(DnsError::ServFail(_))));
+        assert!(err.is_transient());
+        assert!(net.fetch_attempt(&url, 1).is_ok());
+    }
+
+    #[test]
+    fn dns_timeout_is_permanent() {
+        let mut net = Network::new();
+        let url = Url::https("tarpit.com", "/");
+        net.host(&url, Resource::Page(PageResource::default()));
+        net.faults.inject("tarpit.com", Fault::DnsTimeout);
+        for attempt in 0..4 {
+            let err = net.fetch_attempt(&url, attempt).unwrap_err();
+            assert!(matches!(err, FetchError::Dns(DnsError::Timeout(_))));
+        }
+    }
+
+    #[test]
+    fn latency_spike_inflates_response_latency() {
+        let mut net = Network::new();
+        let url = Url::https("slow.com", "/");
+        net.host(&url, Resource::Page(PageResource::default()));
+        let base = net.fetch(&url).unwrap().latency_ms;
+        net.faults
+            .inject("slow.com", Fault::LatencySpike { extra_ms: 60_000 });
+        let spiked = net.fetch(&url).unwrap().latency_ms;
+        assert_eq!(spiked, base + 60_000);
+    }
+
+    #[test]
+    fn truncate_body_corrupts_scripts_and_kills_pages() {
+        let mut net = Network::new();
+        let page = Url::https("cut.com", "/");
+        let script = Url::https("cut.com", "/fp.js");
+        net.host(&page, Resource::Page(PageResource::default()));
+        net.host(
+            &script,
+            Resource::Script(ScriptResource {
+                source: "let canvas = make_canvas();".into(),
+                label: "t".into(),
+            }),
+        );
+        net.faults.inject("cut.com", Fault::TruncateBody);
+        assert!(matches!(
+            net.fetch(&page).unwrap_err(),
+            FetchError::Truncated(_)
+        ));
+        let resp = net.fetch(&script).unwrap();
+        assert!(resp.truncated);
+        match resp.resource {
+            Resource::Script(s) => assert!(s.source.len() < "let canvas = make_canvas();".len()),
+            _ => panic!("wrong resource type"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault")]
+    fn panic_fault_panics() {
+        let mut net = Network::new();
+        let url = Url::https("boom.com", "/");
+        net.host(&url, Resource::Page(PageResource::default()));
+        net.faults.inject("boom.com", Fault::Panic);
+        let _ = net.fetch(&url);
+    }
+
+    #[test]
+    fn fault_matrix_is_deterministic_and_covers_all_kinds() {
+        let m = FaultMatrix::new(7);
+        let hosts: Vec<String> = (0..200).map(|i| format!("site{i}.com")).collect();
+        let mut seen = BTreeSet::new();
+        for h in &hosts {
+            assert_eq!(m.fault_for_host(h), m.fault_for_host(h));
+            seen.insert(m.fault_for_host(h).name());
+        }
+        assert_eq!(seen.len(), 7, "200 hosts must hit every fault kind");
+        // Different seed shuffles the assignment.
+        let other = FaultMatrix::new(8);
+        assert!(hosts.iter().any(|h| m.fault_for_host(h) != other.fault_for_host(h)));
+        // inject_all wires the plan.
+        let mut plan = FaultPlan::default();
+        m.inject_all(&mut plan, hosts.iter().map(|h| h.as_str()));
+        assert_eq!(plan.len(), hosts.len());
+        assert_eq!(plan.fault_for("site0.com"), Some(m.fault_for_host("site0.com")));
+    }
+
+    #[test]
+    fn fault_plan_roundtrips_through_json() {
+        let mut plan = FaultPlan::default();
+        plan.take_down("dead.com");
+        plan.inject("flaky.com", Fault::TransientConnect { failures: 2 });
+        plan.inject("slow.com", Fault::LatencySpike { extra_ms: 50_000 });
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.fault_for("dead.com"), Some(Fault::Unreachable));
+        assert_eq!(
+            back.fault_for("flaky.com"),
+            Some(Fault::TransientConnect { failures: 2 })
+        );
+        assert_eq!(back.len(), 3);
+        assert!(!back.is_empty());
     }
 
     #[test]

@@ -27,7 +27,8 @@ mod proptests;
 
 pub use dns::{DnsError, DnsRecord, DnsZone, Ipv4, Resolution};
 pub use http::{
-    classify_party, is_popular_cdn, latency_ms, FaultPlan, FetchError, Network, PageResource,
-    Party, Resource, ResourceType, Response, ScriptRef, ScriptResource, POPULAR_CDNS,
+    classify_party, is_popular_cdn, latency_ms, Fault, FaultMatrix, FaultPlan, FetchError,
+    Network, PageResource, Party, Resource, ResourceType, Response, ScriptRef, ScriptResource,
+    POPULAR_CDNS,
 };
 pub use url::{Url, UrlParseError};

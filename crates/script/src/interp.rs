@@ -5,10 +5,11 @@ use std::collections::HashMap;
 use crate::ast::*;
 use crate::value::{Host, RuntimeError, Value};
 
-/// Maximum interpreter steps per script. Fingerprinting scripts run a few
-/// thousand operations; the budget exists so a buggy generated script can
-/// never hang a crawl worker.
-const STEP_BUDGET: u64 = 5_000_000;
+/// Default maximum interpreter steps per script. Fingerprinting scripts run
+/// a few thousand operations; the budget exists so a buggy generated script
+/// can never hang a crawl worker. Callers with stricter deadlines pass a
+/// smaller budget via [`run_with_budget`] / [`eval_with_budget`].
+pub const DEFAULT_STEP_BUDGET: u64 = 5_000_000;
 
 /// Control flow signal.
 enum Flow {
@@ -24,17 +25,36 @@ struct Interp<'h> {
     scopes: Vec<HashMap<String, Value>>,
     functions: HashMap<String, FnDecl>,
     steps: u64,
+    budget: u64,
     call_depth: usize,
+}
+
+/// Result of a budgeted evaluation: the script outcome plus how many
+/// interpreter steps it consumed, so harnesses can charge script work
+/// against a per-visit fuel allowance.
+#[derive(Debug)]
+pub struct EvalOutcome {
+    /// The script result (last top-level expression value, or the error).
+    pub result: Result<Value, RuntimeError>,
+    /// Interpreter steps consumed (0 if the script never parsed).
+    pub steps: u64,
 }
 
 /// Runs a parsed program against a host. Returns the value of the last
 /// top-level expression statement (or `Null`).
 pub fn run(program: &Program, host: &mut dyn Host) -> Result<Value, RuntimeError> {
+    run_with_budget(program, host, DEFAULT_STEP_BUDGET).result
+}
+
+/// Runs a parsed program with an explicit step budget, reporting the steps
+/// consumed alongside the result.
+pub fn run_with_budget(program: &Program, host: &mut dyn Host, budget: u64) -> EvalOutcome {
     let mut interp = Interp {
         host,
         scopes: vec![HashMap::new()],
         functions: HashMap::new(),
         steps: 0,
+        budget,
         call_depth: 0,
     };
     // Hoist function declarations (including nested-in-top-level order
@@ -46,28 +66,58 @@ pub fn run(program: &Program, host: &mut dyn Host) -> Result<Value, RuntimeError
     }
     let mut last = Value::Null;
     for stmt in &program.stmts {
-        match interp.exec(stmt)? {
-            Flow::Normal(v) => last = v,
-            Flow::Return(v) => return Ok(v),
-            Flow::Break | Flow::Continue => {
-                return Err(RuntimeError::new("break/continue outside loop"))
+        match interp.exec(stmt) {
+            Ok(Flow::Normal(v)) => last = v,
+            Ok(Flow::Return(v)) => {
+                return EvalOutcome {
+                    result: Ok(v),
+                    steps: interp.steps,
+                }
+            }
+            Ok(Flow::Break) | Ok(Flow::Continue) => {
+                return EvalOutcome {
+                    result: Err(RuntimeError::new("break/continue outside loop")),
+                    steps: interp.steps,
+                }
+            }
+            Err(e) => {
+                return EvalOutcome {
+                    result: Err(e),
+                    steps: interp.steps,
+                }
             }
         }
     }
-    Ok(last)
+    EvalOutcome {
+        result: Ok(last),
+        steps: interp.steps,
+    }
 }
 
 /// Parses and runs source text in one call.
 pub fn eval(src: &str, host: &mut dyn Host) -> Result<Value, RuntimeError> {
-    let program = crate::parser::parse(src)
-        .map_err(|e| RuntimeError::new(format!("script parse failed: {e}")))?;
-    run(&program, host)
+    eval_with_budget(src, host, DEFAULT_STEP_BUDGET).result
+}
+
+/// Parses and runs source text with an explicit step budget. A parse
+/// failure consumes zero steps.
+pub fn eval_with_budget(src: &str, host: &mut dyn Host, budget: u64) -> EvalOutcome {
+    let program = match crate::parser::parse(src) {
+        Ok(p) => p,
+        Err(e) => {
+            return EvalOutcome {
+                result: Err(RuntimeError::new(format!("script parse failed: {e}"))),
+                steps: 0,
+            }
+        }
+    };
+    run_with_budget(&program, host, budget)
 }
 
 impl<'h> Interp<'h> {
     fn tick(&mut self) -> Result<(), RuntimeError> {
         self.steps += 1;
-        if self.steps > STEP_BUDGET {
+        if self.steps > self.budget {
             Err(RuntimeError::new("script exceeded step budget"))
         } else {
             Ok(())
@@ -600,6 +650,21 @@ mod tests {
             Value::Num(n) => n,
             other => panic!("expected number, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn budget_caps_steps_and_reports_consumption() {
+        let src = "let i = 0; while (i < 1000) { i = i + 1; }";
+        let full = eval_with_budget(src, &mut NullHost, DEFAULT_STEP_BUDGET);
+        assert!(full.result.is_ok());
+        assert!(full.steps > 1000);
+        let starved = eval_with_budget(src, &mut NullHost, 50);
+        let err = starved.result.unwrap_err();
+        assert!(err.to_string().contains("step budget"), "{err}");
+        // The tick that trips the budget is itself counted.
+        assert_eq!(starved.steps, 51, "steps stop at the budget");
+        // A parse failure consumes nothing.
+        assert_eq!(eval_with_budget("let = ;", &mut NullHost, 50).steps, 0);
     }
 
     #[test]

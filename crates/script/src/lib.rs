@@ -36,6 +36,8 @@ pub mod parser;
 mod proptests;
 pub mod value;
 
-pub use interp::{eval, run};
+pub use interp::{
+    eval, eval_with_budget, run, run_with_budget, EvalOutcome, DEFAULT_STEP_BUDGET,
+};
 pub use parser::{parse, ParseError};
 pub use value::{Host, HostRef, NullHost, RuntimeError, Value};

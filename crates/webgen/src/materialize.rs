@@ -3,7 +3,9 @@
 //! the serving-strategy plumbing (first-party paths, bundling, subdomain
 //! routing, CNAME cloaking, CDN fronting).
 
-use canvassing_net::{Network, PageResource, Resource, ScriptRef, ScriptResource, Url, POPULAR_CDNS};
+use canvassing_net::{
+    Fault, Network, PageResource, Resource, ScriptRef, ScriptResource, Url, POPULAR_CDNS,
+};
 use canvassing_vendors::{scripts, vendor, VendorId};
 
 use crate::config::{GenericCategory, Serving};
@@ -258,7 +260,22 @@ fn materialize_site(site: &SitePlan, network: &mut Network) {
         }),
     );
     if site.seed.down {
-        network.faults.take_down(host);
+        // Down sites draw deterministically from the *permanent* fault
+        // inventory so the §3.1 success calibration holds regardless of
+        // the harness retry policy (transient kinds would heal under
+        // retries and shift the counts). A latency spike past the default
+        // 30 s visit deadline counts as down for a deadline-enforcing
+        // crawler, which the paper's is.
+        let h = hash(host);
+        let fault = match h % 4 {
+            0 => Fault::Unreachable,
+            1 => Fault::DnsTimeout,
+            2 => Fault::LatencySpike {
+                extra_ms: 45_000 + (h >> 8) % 15_000,
+            },
+            _ => Fault::TruncateBody,
+        };
+        network.faults.inject(host, fault);
     }
 }
 
@@ -287,7 +304,23 @@ mod tests {
         for site in &plan.sites {
             let url = Url::https(&site.seed.host, "/");
             if site.seed.down {
-                assert!(network.fetch(&url).is_err(), "{} should be down", site.seed.host);
+                let fault = network
+                    .faults
+                    .fault_for(&site.seed.host)
+                    .unwrap_or_else(|| panic!("{} should carry a fault", site.seed.host));
+                match fault {
+                    // A spiked host still serves at the network layer;
+                    // it fails at the browser layer via the deadline.
+                    Fault::LatencySpike { extra_ms } => {
+                        assert!(extra_ms > 30_000, "spike must exceed the default deadline");
+                        assert!(network.fetch(&url).is_ok());
+                    }
+                    _ => assert!(
+                        network.fetch(&url).is_err(),
+                        "{} should be down",
+                        site.seed.host
+                    ),
+                }
             } else {
                 let resp = network.fetch(&url).expect("page fetch");
                 assert!(matches!(resp.resource, Resource::Page(_)));

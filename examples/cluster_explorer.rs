@@ -30,8 +30,8 @@ fn main() {
         clustering.unique_canvases()
     );
     println!(
-        "{:<6} {:>6} {:>8}  {}",
-        "rank", "sites", "extracts", "script URLs observed (up to 3)"
+        "{:<6} {:>6} {:>8}  script URLs observed (up to 3)",
+        "rank", "sites", "extracts"
     );
     for (i, cluster) in clustering.clusters.iter().take(25).enumerate() {
         let mut urls: Vec<&str> = cluster

@@ -5,7 +5,7 @@
 //! misclassification.
 
 use canvassing_browser::{Browser, VisitError};
-use canvassing_crawler::{crawl, CrawlConfig};
+use canvassing_crawler::{crawl, CrawlConfig, FailureKind};
 use canvassing_net::{
     Network, PageResource, Resource, ScriptRef, ScriptResource, Url,
 };
@@ -28,12 +28,26 @@ fn dead_hosts_become_failure_records() {
     let failures = ds.failed().count();
     let expected_failures = frontier.len() - web.config.crawl_successes(Cohort::Popular);
     assert_eq!(failures, expected_failures);
-    for (_, error) in ds.failed() {
+    // Down sites draw from the permanent fault inventory; every failure
+    // carries a typed kind from it — no free-form string matching.
+    for (_, failure) in ds.failed() {
         assert!(
-            error.contains("unreachable") || error.contains("dns"),
-            "unexpected failure shape: {error}"
+            matches!(
+                failure.kind,
+                FailureKind::Unreachable
+                    | FailureKind::Dns
+                    | FailureKind::DnsTransient
+                    | FailureKind::Timeout
+                    | FailureKind::Truncated
+            ),
+            "unexpected failure kind {:?}: {}",
+            failure.kind,
+            failure.error
         );
+        assert_eq!(failure.attempts, 1, "visit-once semantics");
     }
+    let breakdown = ds.failure_breakdown();
+    assert_eq!(breakdown.values().sum::<usize>(), failures);
 }
 
 #[test]

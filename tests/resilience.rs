@@ -1,0 +1,173 @@
+//! Resilient-harness acceptance tests: a crawl over a synthetic web with
+//! every fault kind injected — including induced worker panics and a
+//! mid-crawl checkpoint/resume split — must complete with zero harness
+//! panics, one record per frontier URL, a typed per-kind failure
+//! breakdown, and byte-identical datasets across worker counts and resume
+//! boundaries.
+
+use canvassing_crawler::{crawl, resume_crawl, CrawlConfig, CrawlDataset, FailureKind, RetryPolicy};
+use canvassing_net::{Fault, FaultMatrix};
+use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
+
+/// A synthetic web with a seeded fault matrix layered over roughly a third
+/// of the popular frontier (on top of whatever down-sites the generator
+/// already planned).
+fn faulted_web(seed: u64) -> (SyntheticWeb, Vec<canvassing_net::Url>) {
+    let mut web = SyntheticWeb::generate(WebConfig { seed: 11, scale: 0.02 });
+    let frontier = web.frontier(Cohort::Popular);
+    let matrix = FaultMatrix::new(seed);
+    let targets: Vec<String> = frontier
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 3 == 0)
+        .map(|(_, u)| u.host.clone())
+        .collect();
+    matrix.inject_all(&mut web.network.faults, targets.iter().map(|h| h.as_str()));
+    (web, frontier)
+}
+
+fn config(workers: usize, retries: u32) -> CrawlConfig {
+    let mut config = CrawlConfig::control();
+    config.workers = workers;
+    config.retry = RetryPolicy::retries(retries);
+    config
+}
+
+#[test]
+fn full_fault_matrix_crawl_yields_one_typed_record_per_site() {
+    let (web, frontier) = faulted_web(1);
+    let ds = crawl(&web.network, &frontier, &config(8, 0));
+    assert_eq!(ds.records.len(), frontier.len(), "one record per frontier URL");
+    for (r, u) in ds.records.iter().zip(&frontier) {
+        assert_eq!(&r.url, u, "records stay in frontier order");
+    }
+    let breakdown = ds.failure_breakdown();
+    assert_eq!(
+        breakdown.values().sum::<usize>(),
+        ds.failed().count(),
+        "breakdown covers every failure"
+    );
+    // The matrix hits enough hosts that several kinds must appear,
+    // including isolated worker panics.
+    assert!(
+        breakdown.len() >= 4,
+        "expected a diverse breakdown, got {breakdown:?}"
+    );
+    assert!(
+        breakdown.contains_key(&FailureKind::WorkerPanic),
+        "matrix plants Fault::Panic hosts; isolation must record them: {breakdown:?}"
+    );
+}
+
+#[test]
+fn faulted_crawl_is_byte_identical_across_worker_counts() {
+    let (web, frontier) = faulted_web(2);
+    let a = crawl(&web.network, &frontier, &config(1, 1));
+    let b = crawl(&web.network, &frontier, &config(8, 1));
+    assert_eq!(
+        a.to_json().unwrap(),
+        b.to_json().unwrap(),
+        "records must be pure functions of (url, config, network)"
+    );
+}
+
+#[test]
+fn checkpoint_resume_matches_the_uninterrupted_crawl() {
+    let (web, frontier) = faulted_web(3);
+    let cfg = config(4, 1);
+    let full = crawl(&web.network, &frontier, &cfg);
+
+    // Interrupt after an arbitrary prefix; also drop one record from the
+    // middle to model a worker that died before reporting.
+    let mut partial_records = full.records[..frontier.len() / 2].to_vec();
+    partial_records.remove(frontier.len() / 4);
+    let checkpoint = CrawlDataset {
+        label: full.label.clone(),
+        device_id: full.device_id.clone(),
+        records: partial_records,
+    };
+    let resumed = resume_crawl(&web.network, &frontier, &cfg, &checkpoint);
+    assert_eq!(
+        resumed.to_json().unwrap(),
+        full.to_json().unwrap(),
+        "resume must merge to the exact uninterrupted dataset"
+    );
+}
+
+#[test]
+fn retries_heal_transient_faults_without_disturbing_permanent_ones() {
+    let (web, frontier) = faulted_web(4);
+    let visit_once = crawl(&web.network, &frontier, &config(4, 0));
+    let with_retries = crawl(&web.network, &frontier, &config(4, 3));
+
+    let transient = |ds: &CrawlDataset| {
+        ds.failed()
+            .filter(|(_, f)| f.kind.is_transient())
+            .count()
+    };
+    // TransientConnect plans only 1–3 failing attempts; three retries
+    // clear every one of them. DNS-timeout hosts stay transient-kind but
+    // never heal — they are planned permanent.
+    assert!(transient(&visit_once) > 0, "matrix plants transient faults");
+    let healed: Vec<_> = visit_once
+        .failed()
+        .filter(|(_, f)| f.kind == FailureKind::Transient)
+        .map(|(u, _)| u.clone())
+        .collect();
+    assert!(!healed.is_empty());
+    for url in &healed {
+        let record = with_retries
+            .records
+            .iter()
+            .find(|r| &r.url == url)
+            .unwrap();
+        assert!(
+            matches!(record.outcome, canvassing_crawler::SiteOutcome::Success(_)),
+            "{url} should heal under retries"
+        );
+    }
+    // Permanent failures are identical in both datasets.
+    let permanent = |ds: &CrawlDataset| -> Vec<(String, FailureKind)> {
+        ds.failed()
+            .filter(|(_, f)| !f.kind.is_transient())
+            .map(|(u, f)| (u.to_string(), f.kind))
+            .collect()
+    };
+    assert_eq!(permanent(&visit_once), permanent(&with_retries));
+}
+
+#[test]
+fn deadline_and_fuel_map_to_typed_kinds() {
+    let mut web = SyntheticWeb::generate(WebConfig { seed: 11, scale: 0.02 });
+    let frontier = web.frontier(Cohort::Popular);
+    // Pick two healthy hosts and plant a latency spike on one.
+    let ds = crawl(&web.network, &frontier, &CrawlConfig::control());
+    let healthy: Vec<_> = ds.successful().map(|(u, _)| u.clone()).collect();
+    assert!(healthy.len() >= 2);
+    web.network
+        .faults
+        .inject(&healthy[0].host, Fault::LatencySpike { extra_ms: 90_000 });
+
+    let ds = crawl(&web.network, &frontier, &CrawlConfig::control());
+    let spiked = ds
+        .records
+        .iter()
+        .find(|r| r.url == healthy[0])
+        .unwrap();
+    match &spiked.outcome {
+        canvassing_crawler::SiteOutcome::Failure(f) => {
+            assert_eq!(f.kind, FailureKind::Timeout)
+        }
+        _ => panic!("spiked site must time out"),
+    }
+
+    // A starvation-level fuel budget turns script-heavy visits into
+    // ScriptCrash failures instead of hanging anything.
+    let mut starved = CrawlConfig::control();
+    starved.policy.fuel = Some(10);
+    let ds = crawl(&web.network, &frontier, &starved);
+    assert!(
+        ds.failed().any(|(_, f)| f.kind == FailureKind::ScriptCrash),
+        "fuel exhaustion must surface as ScriptCrash"
+    );
+}
