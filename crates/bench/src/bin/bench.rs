@@ -1,0 +1,279 @@
+//! `bench` — the crawl-throughput perf-regression harness.
+//!
+//! ```text
+//! bench [--scale F]... [--seed N] [--workers N] [--out PATH] [--check]
+//! ```
+//!
+//! At each `--scale` point (repeatable; defaults to 0.05 and 0.2) the
+//! harness generates the synthetic web, then crawls the combined
+//! popular + tail frontier three ways:
+//!
+//! 1. **baseline** — every cache layer disabled (the pre-cache code path);
+//! 2. **cold** — caches enabled but empty (first crawl of a session);
+//! 3. **warm** — the same caches re-used (re-crawl / ablation pattern).
+//!
+//! Each pass records wall time, sites/sec, parse and render counts, and
+//! cache hit rates; the harness also asserts the three datasets are
+//! byte-identical (caching must never change records). Results land in
+//! `BENCH_2.json` (override with `--out`) together with a peak-RSS proxy
+//! read from `/proc/self/status`. With `--check`, the process exits
+//! nonzero unless every scale's warm pass parsed strictly fewer scripts
+//! than its cold pass — the CI regression gate for the cache layers.
+
+use canvassing_crawler::{crawl_with_caches, CachingPolicy, CrawlConfig, CrawlStats};
+use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
+use serde::Serialize;
+
+struct Args {
+    scales: Vec<f64>,
+    seed: u64,
+    workers: usize,
+    out: String,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scales: Vec::new(),
+        seed: 2025,
+        workers: 8,
+        out: "BENCH_2.json".to_string(),
+        check: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> String {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--scale" => args.scales.push(value("--scale").parse().expect("scale")),
+            "--seed" => args.seed = value("--seed").parse().expect("seed"),
+            "--workers" => args.workers = value("--workers").parse().expect("workers"),
+            "--out" => args.out = value("--out"),
+            "--check" => args.check = true,
+            "--help" | "-h" => {
+                eprintln!("usage: bench [--scale F]... [--seed N] [--workers N] [--out PATH] [--check]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.scales.is_empty() {
+        args.scales = vec![0.05, 0.2];
+    }
+    args
+}
+
+/// One timed crawl pass. `sites_per_sec` is computed from process CPU
+/// time (all threads), not wall time: CI and shared machines preempt
+/// long runs unpredictably, and CPU time measures the compute the crawl
+/// actually consumed — the quantity the cache layers reduce. Wall time
+/// is reported alongside for context.
+#[derive(Serialize)]
+struct Pass {
+    wall_ms: f64,
+    cpu_ms: f64,
+    sites_per_sec: f64,
+    script_parses: u64,
+    script_cache_hit_rate: f64,
+    script_executions: u64,
+    memo_computes: u64,
+    memo_hits: u64,
+    memo_hit_rate: f64,
+}
+
+impl Pass {
+    fn new(wall: std::time::Duration, cpu_ms: f64, stats: &CrawlStats) -> Pass {
+        // Fall back to wall time where /proc is unavailable.
+        let secs = if cpu_ms > 0.0 {
+            cpu_ms / 1e3
+        } else {
+            wall.as_secs_f64()
+        }
+        .max(1e-9);
+        Pass {
+            wall_ms: wall.as_secs_f64() * 1e3,
+            cpu_ms,
+            sites_per_sec: stats.sites as f64 / secs,
+            script_parses: stats.script_parses,
+            script_cache_hit_rate: stats.script_cache_hit_rate(),
+            script_executions: stats.script_executions,
+            memo_computes: stats.memo_computes,
+            memo_hits: stats.memo_hits,
+            memo_hit_rate: stats.memo_hit_rate(),
+        }
+    }
+}
+
+/// Cumulative process CPU time (utime + stime over all threads) in
+/// milliseconds, from /proc/self/stat; 0.0 when unavailable.
+fn cpu_time_ms() -> f64 {
+    let Ok(stat) = std::fs::read_to_string("/proc/self/stat") else {
+        return 0.0;
+    };
+    // Fields 14/15 (1-based) are utime/stime in clock ticks; the comm
+    // field may contain spaces but is parenthesized, so split after it.
+    let Some(after_comm) = stat.rsplit(')').next() else {
+        return 0.0;
+    };
+    let fields: Vec<&str> = after_comm.split_whitespace().collect();
+    let ticks: u64 = match (
+        fields.get(11).and_then(|v| v.parse::<u64>().ok()),
+        fields.get(12).and_then(|v| v.parse::<u64>().ok()),
+    ) {
+        (Some(u), Some(s)) => u + s,
+        _ => return 0.0,
+    };
+    // Linux reports 100 ticks/sec (USER_HZ) on every mainstream arch.
+    ticks as f64 * 10.0
+}
+
+/// Results for one `--scale` point.
+#[derive(Serialize)]
+struct ScaleReport {
+    scale: f64,
+    sites: u64,
+    baseline: Pass,
+    cold: Pass,
+    warm: Pass,
+    /// cold parses / warm parses (∞ encoded as parse count with 0 warm).
+    cold_to_warm_parse_ratio: f64,
+    /// warm sites/sec over baseline sites/sec.
+    warm_speedup_vs_baseline: f64,
+    /// cold sites/sec over baseline sites/sec.
+    cold_speedup_vs_baseline: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    seed: u64,
+    workers: usize,
+    /// Peak resident set (VmHWM) of the bench process, in kilobytes —
+    /// a proxy covering all passes; 0 when /proc is unavailable.
+    peak_rss_kb: u64,
+    scales: Vec<ScaleReport>,
+}
+
+/// VmHWM from /proc/self/status, in kB (0 when unavailable).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let args = parse_args();
+    let mut scales = Vec::new();
+    let mut check_failures = Vec::new();
+
+    for &scale in &args.scales {
+        eprintln!("[scale {scale}] generating synthetic web (seed {}) ...", args.seed);
+        let web = SyntheticWeb::generate(WebConfig {
+            seed: args.seed,
+            scale,
+        });
+        let mut frontier = web.frontier(Cohort::Popular);
+        frontier.extend(web.frontier(Cohort::Tail));
+
+        let mut baseline_config = CrawlConfig::control();
+        baseline_config.workers = args.workers;
+        baseline_config.caching = CachingPolicy::disabled();
+        let mut cached_config = CrawlConfig::control();
+        cached_config.workers = args.workers;
+
+        // Each pass drops its dataset (keeping only an FNV-1a hash of its
+        // JSON for the byte-identity check) before the next pass starts:
+        // retaining multi-GB datasets across passes would tax the later
+        // passes' allocations and skew the comparison.
+        let run_pass = |config: &CrawlConfig,
+                            caches: &canvassing_browser::CrawlCaches|
+         -> (Pass, CrawlStats, u64) {
+            let start = std::time::Instant::now();
+            let cpu_start = cpu_time_ms();
+            let (ds, stats) = crawl_with_caches(&web.network, &frontier, config, caches);
+            let wall = start.elapsed();
+            let cpu = cpu_time_ms() - cpu_start;
+            let json = ds.to_json().expect("serialize");
+            let mut hash: u64 = 0xcbf29ce484222325;
+            for b in json.as_bytes() {
+                hash ^= *b as u64;
+                hash = hash.wrapping_mul(0x100000001b3);
+            }
+            (Pass::new(wall, cpu, &stats), stats, hash)
+        };
+
+        eprintln!("[scale {scale}] baseline crawl ({} sites, caches off) ...", frontier.len());
+        let no_caches = baseline_config.build_caches();
+        let (baseline, baseline_stats, baseline_hash) = run_pass(&baseline_config, &no_caches);
+
+        eprintln!("[scale {scale}] cold cached crawl ...");
+        let caches = cached_config.build_caches();
+        let (cold, cold_stats, cold_hash) = run_pass(&cached_config, &caches);
+
+        eprintln!("[scale {scale}] warm cached crawl ...");
+        let (warm, warm_stats, warm_hash) = run_pass(&cached_config, &caches);
+
+        assert_eq!(baseline_hash, cold_hash, "cold cached crawl changed the dataset");
+        assert_eq!(baseline_hash, warm_hash, "warm cached crawl changed the dataset");
+        eprintln!(
+            "[scale {scale}] sites/sec: baseline {:.0}, cold {:.0}, warm {:.0}; \
+             parses: baseline-executions {}, cold {}, warm {}",
+            baseline.sites_per_sec,
+            cold.sites_per_sec,
+            warm.sites_per_sec,
+            baseline.script_executions,
+            cold.script_parses,
+            warm.script_parses,
+        );
+
+        if args.check && warm_stats.script_parses >= cold_stats.script_parses {
+            check_failures.push(format!(
+                "scale {scale}: warm parses {} not strictly below cold parses {}",
+                warm_stats.script_parses, cold_stats.script_parses
+            ));
+        }
+
+        scales.push(ScaleReport {
+            scale,
+            sites: baseline_stats.sites,
+            cold_to_warm_parse_ratio: cold_stats.script_parses as f64
+                / (warm_stats.script_parses.max(1)) as f64,
+            warm_speedup_vs_baseline: warm.sites_per_sec / baseline.sites_per_sec.max(1e-9),
+            cold_speedup_vs_baseline: cold.sites_per_sec / baseline.sites_per_sec.max(1e-9),
+            baseline,
+            cold,
+            warm,
+        });
+    }
+
+    let report = BenchReport {
+        bench: "crawl_throughput",
+        seed: args.seed,
+        workers: args.workers,
+        peak_rss_kb: peak_rss_kb(),
+        scales,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&args.out, &json).expect("write report");
+    eprintln!("wrote {}", args.out);
+
+    if !check_failures.is_empty() {
+        for failure in &check_failures {
+            eprintln!("CHECK FAILED: {failure}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -16,10 +16,13 @@
 
 pub mod defenses;
 pub mod extension;
+pub mod memo;
 pub mod visit;
 
 pub use defenses::DefenseMode;
 pub use extension::{AdBlockerKind, BlockDecision, Extension};
+pub use memo::{CrawlCaches, PerfCounters, PerfSnapshot, RenderEntry, RenderMemo};
+pub use canvassing_script::{ScriptCache, ScriptCacheStats};
 pub use visit::{BlockedScript, Browser, LoadedScript, PageVisit, VisitError, VisitPolicy};
 
 #[cfg(test)]

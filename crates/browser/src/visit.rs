@@ -1,15 +1,19 @@
 //! The page-visit pipeline: fetch → consent → scripts → user simulation.
 
+use std::sync::Arc;
+use std::sync::atomic::Ordering;
+
 use canvassing_dom::{ApiCall, Document, Extraction};
 use canvassing_net::{
     FetchError, Network, Resource, ScriptRef, Url,
 };
 use canvassing_raster::DeviceProfile;
-use canvassing_script::{eval_with_budget, DEFAULT_STEP_BUDGET};
+use canvassing_script::DEFAULT_STEP_BUDGET;
 use serde::{Deserialize, Serialize};
 
 use crate::defenses::DefenseMode;
 use crate::extension::Extension;
+use crate::memo::{eval_cached, CrawlCaches};
 
 /// Why a whole page visit failed (maps to the paper's "crawled
 /// unsuccessfully" sites).
@@ -142,6 +146,9 @@ pub struct Browser {
     pub passes_bot_checks: bool,
     /// Per-visit deadline / fuel limits.
     pub policy: VisitPolicy,
+    /// Shared crawl caches (compiled scripts, render memo, buffer pool).
+    /// Default-empty: an unconfigured browser caches nothing.
+    pub caches: CrawlCaches,
 }
 
 impl Browser {
@@ -154,7 +161,52 @@ impl Browser {
             autoconsent: true,
             passes_bot_checks: true,
             policy: VisitPolicy::default(),
+            caches: CrawlCaches::default(),
         }
+    }
+
+    /// Executes one script against the document, going through the shared
+    /// caches when configured. Returns `(steps, error)` exactly as direct
+    /// `eval_with_budget` would.
+    ///
+    /// The render memo is consulted only with no defense active (defended
+    /// renders depend on page host and extraction counters, and the §5.3
+    /// double-render check must genuinely execute both renders) and only
+    /// replayed when the canonical run fits `budget` — every other case
+    /// executes in place with identical semantics to the uncached path.
+    fn execute_script(
+        &self,
+        doc: &mut Document,
+        source: &str,
+        attributed_url: &str,
+        budget: u64,
+    ) -> (u64, Option<String>) {
+        if self.defense == DefenseMode::None {
+            if let Some(memo) = &self.caches.memo {
+                if let Some(entry) = memo.lookup(
+                    source,
+                    &self.device,
+                    budget,
+                    self.caches.scripts.as_deref(),
+                    &self.caches.perf,
+                ) {
+                    doc.absorb_render(
+                        &entry.calls,
+                        &entry.extractions,
+                        entry.canvases_created,
+                        attributed_url,
+                    );
+                    return (entry.steps, entry.error.clone());
+                }
+            }
+        }
+        self.caches
+            .perf
+            .script_executions
+            .fetch_add(1, Ordering::Relaxed);
+        doc.set_current_script(attributed_url);
+        let outcome = eval_cached(source, doc, budget, self.caches.scripts.as_deref());
+        (outcome.steps, outcome.result.err().map(|e| e.message))
     }
 
     /// Visits a page and records all canvas activity. Equivalent to
@@ -191,7 +243,10 @@ impl Browser {
             return Err(VisitError::DeadlineExceeded(page_url.clone()));
         }
 
-        let mut doc = Document::new(self.device.clone());
+        let mut doc = match &self.caches.pool {
+            Some(pool) => Document::with_pool(self.device.clone(), Arc::clone(pool)),
+            None => Document::new(self.device.clone()),
+        };
         // Randomization defenses key their noise per browsing session and
         // origin (a fresh headless visit = a fresh session), so the
         // configured seed is mixed with the page host: the same defended
@@ -244,19 +299,15 @@ impl Browser {
             };
             match script_ref {
                 ScriptRef::Inline { source, .. } => {
-                    doc.set_current_script(&page_url.to_string());
-                    let outcome = eval_with_budget(source, &mut doc, budget);
-                    fuel_used += outcome.steps;
-                    elapsed_ms += outcome.steps / STEPS_PER_MS;
-                    let error = match outcome.result {
-                        Ok(_) => None,
-                        Err(e) => {
-                            if budget < DEFAULT_STEP_BUDGET && e.message.contains("step budget") {
-                                return Err(VisitError::FuelExhausted(page_url.clone()));
-                            }
-                            Some(e.message)
+                    let (steps, error) =
+                        self.execute_script(&mut doc, source, &page_url.to_string(), budget);
+                    fuel_used += steps;
+                    elapsed_ms += steps / STEPS_PER_MS;
+                    if let Some(msg) = &error {
+                        if budget < DEFAULT_STEP_BUDGET && msg.contains("step budget") {
+                            return Err(VisitError::FuelExhausted(page_url.clone()));
                         }
-                    };
+                    }
                     visit.scripts.push(LoadedScript {
                         url: page_url.clone(),
                         inline: true,
@@ -286,21 +337,15 @@ impl Browser {
                             if deadline.is_some_and(|d| elapsed_ms > d) {
                                 return Err(VisitError::DeadlineExceeded(page_url.clone()));
                             }
-                            doc.set_current_script(&url.to_string());
-                            let outcome = eval_with_budget(&source, &mut doc, budget);
-                            fuel_used += outcome.steps;
-                            elapsed_ms += outcome.steps / STEPS_PER_MS;
-                            let error = match outcome.result {
-                                Ok(_) => None,
-                                Err(e) => {
-                                    if budget < DEFAULT_STEP_BUDGET
-                                        && e.message.contains("step budget")
-                                    {
-                                        return Err(VisitError::FuelExhausted(page_url.clone()));
-                                    }
-                                    Some(e.message)
+                            let (steps, error) =
+                                self.execute_script(&mut doc, &source, &url.to_string(), budget);
+                            fuel_used += steps;
+                            elapsed_ms += steps / STEPS_PER_MS;
+                            if let Some(msg) = &error {
+                                if budget < DEFAULT_STEP_BUDGET && msg.contains("step budget") {
+                                    return Err(VisitError::FuelExhausted(page_url.clone()));
                                 }
-                            };
+                            }
                             visit.scripts.push(LoadedScript {
                                 url: url.clone(),
                                 inline: false,
@@ -567,6 +612,36 @@ mod tests {
             .visit(&network, &Url::https("site.com", "/"))
             .unwrap();
         assert_eq!(visit.extractions[0].data_url, canvassing_dom::BLOCKED_DATA_URL);
+    }
+
+    #[test]
+    fn cached_visit_is_byte_identical_to_uncached() {
+        let network = simple_network();
+        let page = Url::https("site.com", "/");
+        let plain = intel_browser().visit(&network, &page).unwrap();
+        let mut cached = intel_browser();
+        cached.caches = CrawlCaches::enabled();
+        let cold = cached.visit(&network, &page).unwrap();
+        let warm = cached.visit(&network, &page).unwrap();
+        assert_eq!(format!("{plain:?}"), format!("{cold:?}"));
+        assert_eq!(format!("{cold:?}"), format!("{warm:?}"));
+        let snap = cached.caches.perf.snapshot();
+        assert_eq!(snap.memo_computes, 1);
+        assert!(snap.memo_hits >= 1, "warm visit must replay: {snap:?}");
+    }
+
+    #[test]
+    fn defense_disables_memo_replay() {
+        let network = simple_network();
+        let page = Url::https("site.com", "/");
+        let mut browser = intel_browser();
+        browser.caches = CrawlCaches::enabled();
+        browser.defense = DefenseMode::RandomizePerSession { seed: 9 };
+        browser.visit(&network, &page).unwrap();
+        browser.visit(&network, &page).unwrap();
+        let snap = browser.caches.perf.snapshot();
+        assert_eq!(snap.memo_computes + snap.memo_hits, 0);
+        assert_eq!(snap.script_executions, 2);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use canvassing_blocklist::{DisconnectList, FilterList};
 use canvassing_browser::AdBlockerKind;
-use canvassing_crawler::{crawl, CrawlConfig, CrawlDataset, FailureKind};
+use canvassing_crawler::{crawl, crawl_with_stats, CrawlConfig, CrawlDataset, CrawlStats, FailureKind};
 use canvassing_raster::DeviceProfile;
 use canvassing_webgen::{Cohort, SyntheticWeb};
 use serde::{Deserialize, Serialize};
@@ -63,6 +63,9 @@ pub struct CohortAnalysis {
     pub coverage: CoverageCounts,
     /// §3.1 crawl-failure breakdown by typed kind.
     pub failures: std::collections::BTreeMap<FailureKind, usize>,
+    /// Crawl cache-efficiency counters (parse/memo hit rates). Zeroed
+    /// when the analysis was built from a dataset alone.
+    pub perf: CrawlStats,
 }
 
 /// Analyzes one crawl dataset into a cohort analysis.
@@ -88,6 +91,7 @@ pub fn analyze_cohort(
         evasion,
         coverage,
         failures: dataset.failure_breakdown(),
+        perf: CrawlStats::default(),
     }
 }
 
@@ -190,11 +194,14 @@ pub fn run_study(web: &SyntheticWeb, options: &StudyOptions) -> StudyResults {
 
     let mut control = CrawlConfig::control();
     control.workers = options.workers;
-    let popular_ds = crawl(&web.network, &popular_frontier, &control);
-    let tail_ds = crawl(&web.network, &tail_frontier, &control);
+    let (popular_ds, popular_stats) = crawl_with_stats(&web.network, &popular_frontier, &control);
+    let (tail_ds, tail_stats) = crawl_with_stats(&web.network, &tail_frontier, &control);
 
-    let popular = analyze_cohort(Cohort::Popular, &popular_ds, &easylist, &easyprivacy, &disconnect);
-    let tail = analyze_cohort(Cohort::Tail, &tail_ds, &easylist, &easyprivacy, &disconnect);
+    let mut popular =
+        analyze_cohort(Cohort::Popular, &popular_ds, &easylist, &easyprivacy, &disconnect);
+    popular.perf = popular_stats;
+    let mut tail = analyze_cohort(Cohort::Tail, &tail_ds, &easylist, &easyprivacy, &disconnect);
+    tail.perf = tail_stats;
 
     let figure1 = Figure1::build(&popular.clustering, &tail.clustering, 50);
     let overlap = OverlapStats::compute(&popular.clustering, &tail.clustering);
@@ -373,6 +380,21 @@ impl StudyResults {
                 kind,
                 self.popular.failures.get(&kind).copied().unwrap_or(0),
                 self.tail.failures.get(&kind).copied().unwrap_or(0),
+            ));
+        }
+
+        out.push_str("\n== Crawl cache efficiency ==\n");
+        for a in [&self.popular, &self.tail] {
+            let p = &a.perf;
+            out.push_str(&format!(
+                "{:?}: {} sites; {} parses, {:.0}% compile-cache hits; \
+                 {} canonical renders, {:.0}% memo hits\n",
+                a.cohort,
+                p.sites,
+                p.script_parses,
+                100.0 * p.script_cache_hit_rate(),
+                p.memo_computes,
+                100.0 * p.memo_hit_rate(),
             ));
         }
 
@@ -581,11 +603,27 @@ mod tests {
             assert!(!a.failures.is_empty(), "down sites exist at this scale");
         }
 
+        // Cache counters are populated and show heavy reuse: many sites
+        // share each vendor script, so memo hits dominate renders.
+        for a in [&results.popular, &results.tail] {
+            let p = &a.perf;
+            assert_eq!(p.sites as usize, a.attempted);
+            assert!(p.script_parses > 0);
+            assert!(
+                p.memo_hits > p.memo_computes,
+                "{:?}: hits {} vs computes {}",
+                a.cohort,
+                p.memo_hits,
+                p.memo_computes
+            );
+        }
+
         // The report renders.
         let report = results.render_report();
         assert!(report.contains("Table 1"));
         assert!(report.contains("Akamai"));
         assert!(report.contains("Crawl failures by kind"));
+        assert!(report.contains("cache efficiency"));
     }
 }
 

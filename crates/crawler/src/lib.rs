@@ -6,9 +6,17 @@
 //! extension, optional canvas defense), every site visited once, failures
 //! recorded rather than retried away.
 //!
-//! Work distribution uses a crossbeam channel as the job queue; results
-//! are reassembled in frontier order so datasets are deterministic
-//! regardless of scheduling. Robustness features on top of that baseline:
+//! Work distribution is a shared-queue scheduler: one atomic cursor over
+//! the visit list that every worker claims jobs from (lock-free work
+//! sharing), so a latency-spiked host delays only the worker that is on
+//! it — the rest of the fleet drains the remaining frontier. Results are
+//! reassembled in frontier order, and each [`SiteRecord`] is a pure
+//! function of `(network, url, config)`, so datasets are byte-identical
+//! regardless of scheduling or worker count. Workers share a
+//! [`CrawlCaches`] (compiled-script cache + render memo, see
+//! [`CachingPolicy`]); caching preserves byte-identity by construction
+//! and is reported through [`CrawlStats`]. Robustness features on top of
+//! that baseline:
 //!
 //! * **Typed failures** — every failed site carries a
 //!   [`FailureKind`] instead of a free-form string, so analyses can build
@@ -27,12 +35,15 @@
 pub mod dataset;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use canvassing_browser::{
-    AdBlockerKind, Browser, DefenseMode, Extension, PageVisit, VisitPolicy,
+    AdBlockerKind, Browser, CrawlCaches, DefenseMode, Extension, PageVisit, RenderMemo,
+    ScriptCache, VisitPolicy,
 };
 use canvassing_net::{Network, Url};
-use canvassing_raster::DeviceProfile;
+use canvassing_raster::{DeviceProfile, SurfacePool};
 use serde::{Deserialize, Serialize};
 
 pub use dataset::{CrawlDataset, FailureKind, SiteFailure, SiteOutcome, SiteRecord};
@@ -88,6 +99,46 @@ impl RetryPolicy {
     }
 }
 
+/// Which cross-visit cache layers a crawl uses. All layers preserve the
+/// byte-identical dataset guarantee (recycled buffers are zeroed; memo
+/// replay is exact record relocation; parsing is referentially
+/// transparent), so this is purely a throughput knob — `disabled()`
+/// exists for baselines and A/B determinism tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CachingPolicy {
+    /// Share one compiled-script cache across workers (each unique script
+    /// body is lexed/parsed once per crawl).
+    pub script_cache: bool,
+    /// Share one render memo across workers (each unique script body ×
+    /// device renders once per crawl; replays bypass active defenses).
+    pub render_memo: bool,
+    /// Give each worker a canvas pixel-buffer recycling pool.
+    pub surface_pool: bool,
+}
+
+impl Default for CachingPolicy {
+    /// Everything on — the production configuration.
+    fn default() -> CachingPolicy {
+        CachingPolicy {
+            script_cache: true,
+            render_memo: true,
+            surface_pool: true,
+        }
+    }
+}
+
+impl CachingPolicy {
+    /// No caching: every visit lexes, parses, renders, and allocates from
+    /// scratch (the pre-cache baseline).
+    pub fn disabled() -> CachingPolicy {
+        CachingPolicy {
+            script_cache: false,
+            render_memo: false,
+            surface_pool: false,
+        }
+    }
+}
+
 /// Configuration for one crawl run.
 pub struct CrawlConfig {
     /// Human-readable label, e.g. `"control"`, `"adblock-plus"`.
@@ -110,6 +161,8 @@ pub struct CrawlConfig {
     /// [`FailureKind::WorkerPanic`] records. On by default; disable only
     /// to test the harness's own behavior when a worker thread dies.
     pub isolate_panics: bool,
+    /// Cross-visit cache layers (throughput only; never changes records).
+    pub caching: CachingPolicy,
 }
 
 impl CrawlConfig {
@@ -125,6 +178,7 @@ impl CrawlConfig {
             retry: RetryPolicy::none(),
             policy: VisitPolicy::default(),
             isolate_panics: true,
+            caching: CachingPolicy::default(),
         }
     }
 
@@ -147,15 +201,43 @@ impl CrawlConfig {
         }
     }
 
-    fn build_browser(&self) -> Browser {
+    fn build_browser(&self, caches: CrawlCaches) -> Browser {
         let mut browser = Browser::new(self.device.clone());
         browser.defense = self.defense;
         browser.passes_bot_checks = self.passes_bot_checks;
         browser.policy = self.policy;
+        browser.caches = caches;
         if let Some((kind, list)) = &self.adblocker {
             browser.extension = Some(Extension::new(*kind, list));
         }
         browser
+    }
+
+    /// Builds the crawl-wide shared caches this config calls for. The
+    /// buffer pool is deliberately absent here — pools are per-worker
+    /// (see [`CrawlConfig::worker_caches`]) so workers recycle without
+    /// contending.
+    pub fn build_caches(&self) -> CrawlCaches {
+        CrawlCaches {
+            scripts: self
+                .caching
+                .script_cache
+                .then(|| Arc::new(ScriptCache::new())),
+            memo: self.caching.render_memo.then(|| Arc::new(RenderMemo::new())),
+            pool: None,
+            perf: Arc::new(Default::default()),
+        }
+    }
+
+    /// The cache handle one worker gets: the shared layers plus (when
+    /// enabled) a private buffer pool.
+    fn worker_caches(&self, shared: &CrawlCaches) -> CrawlCaches {
+        let mut caches = shared.clone();
+        caches.pool = self
+            .caching
+            .surface_pool
+            .then(|| Arc::new(SurfacePool::new()));
+        caches
     }
 }
 
@@ -215,83 +297,184 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
+/// Cache-efficiency counters for one crawl (or one span of crawls when
+/// caches are reused across them). Parses and canonical renders happen
+/// exactly once per unique key whatever the worker count or schedule, so
+/// totals are deterministic for a given workload.
+///
+/// Stats ride alongside the dataset, never inside it: `CrawlDataset`
+/// serialization stays byte-identical whatever the cache configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrawlStats {
+    /// Sites visited (one record each).
+    pub sites: u64,
+    /// Script bodies lexed + parsed.
+    pub script_parses: u64,
+    /// Compiled-script cache hits.
+    pub script_cache_hits: u64,
+    /// Scripts interpreted in place (memo miss, bypass, or memo off).
+    pub script_executions: u64,
+    /// Scripts satisfied by replaying a memoized render.
+    pub memo_hits: u64,
+    /// Canonical scratch renders performed for the memo.
+    pub memo_computes: u64,
+    /// Memo lookups that fell back to in-place execution.
+    pub memo_bypasses: u64,
+}
+
+impl CrawlStats {
+    /// Reads the current cumulative totals out of a cache handle.
+    pub fn snapshot(caches: &CrawlCaches) -> CrawlStats {
+        let script = caches
+            .scripts
+            .as_deref()
+            .map(|c| c.stats())
+            .unwrap_or_default();
+        let perf = caches.perf.snapshot();
+        CrawlStats {
+            sites: 0,
+            script_parses: script.parses,
+            script_cache_hits: script.hits,
+            script_executions: perf.script_executions,
+            memo_hits: perf.memo_hits,
+            memo_computes: perf.memo_computes,
+            memo_bypasses: perf.memo_bypasses,
+        }
+    }
+
+    /// Counter movement between two snapshots (for warm-cache spans).
+    pub fn since(&self, before: &CrawlStats) -> CrawlStats {
+        CrawlStats {
+            sites: self.sites - before.sites,
+            script_parses: self.script_parses - before.script_parses,
+            script_cache_hits: self.script_cache_hits - before.script_cache_hits,
+            script_executions: self.script_executions - before.script_executions,
+            memo_hits: self.memo_hits - before.memo_hits,
+            memo_computes: self.memo_computes - before.memo_computes,
+            memo_bypasses: self.memo_bypasses - before.memo_bypasses,
+        }
+    }
+
+    /// Compiled-script cache hit rate in `[0, 1]`.
+    pub fn script_cache_hit_rate(&self) -> f64 {
+        let lookups = self.script_parses + self.script_cache_hits;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.script_cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Render-memo hit rate in `[0, 1]` over all memo lookups.
+    pub fn memo_hit_rate(&self) -> f64 {
+        let lookups = self.memo_hits + self.memo_computes + self.memo_bypasses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / lookups as f64
+        }
+    }
+}
+
 /// Crawls the frontier, returning one record per frontier URL (in order).
 pub fn crawl(network: &Network, frontier: &[Url], config: &CrawlConfig) -> CrawlDataset {
-    let slots = crawl_subset(network, frontier, config, None);
-    CrawlDataset::from_slots(config, slots)
+    crawl_with_stats(network, frontier, config).0
+}
+
+/// [`crawl`], also returning the cache-efficiency stats for the run.
+/// Caches live for this crawl only; use [`crawl_with_caches`] to keep
+/// them warm across crawls.
+pub fn crawl_with_stats(
+    network: &Network,
+    frontier: &[Url],
+    config: &CrawlConfig,
+) -> (CrawlDataset, CrawlStats) {
+    let caches = config.build_caches();
+    crawl_with_caches(network, frontier, config, &caches)
+}
+
+/// Crawls with caller-owned caches, so repeated crawls over overlapping
+/// workloads (re-crawls, ablations, warm benchmark passes) skip work the
+/// caches already hold. The returned stats cover only this crawl's span.
+pub fn crawl_with_caches(
+    network: &Network,
+    frontier: &[Url],
+    config: &CrawlConfig,
+    caches: &CrawlCaches,
+) -> (CrawlDataset, CrawlStats) {
+    let before = CrawlStats::snapshot(caches);
+    let slots = crawl_subset(network, frontier, config, None, caches);
+    let mut stats = CrawlStats::snapshot(caches).since(&before);
+    stats.sites = frontier.len() as u64;
+    (CrawlDataset::from_slots(config, slots), stats)
 }
 
 /// Crawls only the frontier indices in `subset` (all of them when `None`);
 /// records for skipped indices are left empty. Shared engine for
 /// [`crawl`] and [`resume_crawl`].
+///
+/// Scheduling is one atomic cursor over the job list: each worker claims
+/// the next unclaimed job with a single `fetch_add`. Unlike static
+/// sharding, a host serving under a latency-spike fault stalls only the
+/// worker currently on it while the rest drain the remaining frontier;
+/// unlike a channel feed, claiming is wait-free and results land
+/// lock-free in per-site slots (no cross-thread transport).
+/// Scheduling freedom never reaches the dataset because every record is a
+/// pure per-site function, reassembled in frontier order below.
 fn crawl_subset(
     network: &Network,
     frontier: &[Url],
     config: &CrawlConfig,
     subset: Option<&[usize]>,
+    caches: &CrawlCaches,
 ) -> Vec<Option<SiteRecord>> {
     let workers = config.workers.max(1);
-    let (job_tx, job_rx) = crossbeam::channel::unbounded::<usize>();
-    match subset {
-        Some(indices) => {
-            for &i in indices {
-                job_tx.send(i).expect("queue open");
-            }
-        }
-        None => {
-            for i in 0..frontier.len() {
-                job_tx.send(i).expect("queue open");
-            }
-        }
-    }
-    drop(job_tx);
+    let jobs: Vec<usize> = match subset {
+        Some(indices) => indices.to_vec(),
+        None => (0..frontier.len()).collect(),
+    };
+    let cursor = AtomicUsize::new(0);
 
-    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, SiteRecord)>();
+    // Results go straight into per-site slots instead of through a
+    // channel: each slot is written by exactly the worker that claimed
+    // its job, so a `OnceLock` per site gives lock-free collection with
+    // no cross-thread wakeups (a per-record channel send costs more than
+    // a whole memoized visit).
+    let slots: Vec<OnceLock<SiteRecord>> = (0..frontier.len()).map(|_| OnceLock::new()).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                let job_rx = job_rx.clone();
-                let res_tx = res_tx.clone();
+                let jobs = &jobs;
+                let cursor = &cursor;
+                let slots = &slots;
                 scope.spawn(move || {
-                    let browser = config.build_browser();
-                    while let Ok(i) = job_rx.recv() {
+                    let browser = config.build_browser(config.worker_caches(caches));
+                    loop {
+                        let claimed = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = jobs.get(claimed) else { break };
                         let record = visit_site(network, &browser, &frontier[i], config);
-                        if res_tx.send((i, record)).is_err() {
-                            break;
-                        }
+                        let _ = slots[i].set(record);
                     }
                 })
             })
             .collect();
-        drop(res_tx);
         // Consume worker panics here (possible only with
         // `isolate_panics: false`): the scope would otherwise re-raise
         // them after implicit joins, killing the whole crawl. A dead
-        // worker's claimed-but-unreported job degrades to a failure
-        // record in the reassembly below.
+        // worker's claimed-but-unfilled slot degrades to a failure
+        // record in the pass below.
         for handle in handles {
             let _ = handle.join();
         }
     });
 
-    let mut slots: Vec<Option<SiteRecord>> = (0..frontier.len()).map(|_| None).collect();
-    for (i, record) in res_rx.iter() {
-        slots[i] = Some(record);
-    }
-    // A worker that died mid-visit produced no record for the job it had
-    // claimed; degrade to a typed failure instead of panicking the
+    let mut slots: Vec<Option<SiteRecord>> = slots.into_iter().map(OnceLock::into_inner).collect();
+    // A worker that died mid-visit never filled the slot for the job it
+    // had claimed; degrade to a typed failure instead of panicking the
     // harness.
-    if let Some(indices) = subset {
-        for &i in indices {
-            if slots[i].is_none() {
-                slots[i] = Some(lost_record(&frontier[i]));
-            }
-        }
-    } else {
-        for (i, slot) in slots.iter_mut().enumerate() {
-            if slot.is_none() {
-                *slot = Some(lost_record(&frontier[i]));
-            }
+    for &i in &jobs {
+        if slots[i].is_none() {
+            slots[i] = Some(lost_record(&frontier[i]));
         }
     }
     slots
@@ -334,7 +517,8 @@ pub fn resume_crawl(
     let todo: Vec<usize> = (0..frontier.len())
         .filter(|&i| !done.contains_key(&frontier[i]))
         .collect();
-    let mut slots = crawl_subset(network, frontier, config, Some(&todo));
+    let caches = config.build_caches();
+    let mut slots = crawl_subset(network, frontier, config, Some(&todo), &caches);
     for (i, slot) in slots.iter_mut().enumerate() {
         if slot.is_none() {
             *slot = Some((*done[&frontier[i]]).clone());
@@ -569,5 +753,87 @@ mod tests {
         let full = crawl(&network, &frontier, &config);
         let resumed = resume_crawl(&network, &frontier, &config, &full);
         assert_eq!(resumed.to_json().unwrap(), full.to_json().unwrap());
+    }
+
+    #[test]
+    fn caching_never_changes_the_dataset() {
+        let (network, frontier) = network_with_sites(24);
+        let cached = CrawlConfig::control();
+        let mut uncached = CrawlConfig::control();
+        uncached.caching = CachingPolicy::disabled();
+        let a = crawl(&network, &frontier, &cached);
+        let b = crawl(&network, &frontier, &uncached);
+        assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+    }
+
+    #[test]
+    fn cached_crawl_is_deterministic_across_worker_counts() {
+        let (network, frontier) = network_with_sites(24);
+        let mut one = CrawlConfig::control();
+        one.workers = 1;
+        let mut many = CrawlConfig::control();
+        many.workers = 8;
+        let a = crawl(&network, &frontier, &one);
+        let b = crawl(&network, &frontier, &many);
+        assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+    }
+
+    #[test]
+    fn stats_show_one_parse_and_one_render_per_unique_script() {
+        let (network, frontier) = network_with_sites(20);
+        let (_, stats) = crawl_with_stats(&network, &frontier, &CrawlConfig::control());
+        assert_eq!(stats.sites, 20);
+        // 10 even-indexed sites reference the same script body (the down
+        // site is odd-indexed), so 10 script runs reach the engine.
+        assert_eq!(stats.script_parses, 1, "one parse per unique body");
+        assert_eq!(stats.memo_computes, 1, "one canonical render per body");
+        assert_eq!(stats.memo_hits, 9);
+        assert_eq!(stats.memo_bypasses, 0);
+        assert_eq!(
+            stats.script_executions, 0,
+            "no in-place runs: the canonical render counts as a compute"
+        );
+        assert!(stats.memo_hit_rate() > 0.8);
+    }
+
+    #[test]
+    fn uncached_stats_count_every_execution() {
+        let (network, frontier) = network_with_sites(20);
+        let mut config = CrawlConfig::control();
+        config.caching = CachingPolicy::disabled();
+        let (_, stats) = crawl_with_stats(&network, &frontier, &config);
+        assert_eq!(stats.script_parses, 0, "no cache: parses are untracked");
+        assert_eq!(stats.memo_hits + stats.memo_computes, 0);
+        assert_eq!(stats.script_executions, 10, "every script runs in place");
+        assert_eq!(stats.script_cache_hit_rate(), 0.0);
+        assert_eq!(stats.memo_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn warm_caches_skip_parse_and_render_on_recrawl() {
+        let (network, frontier) = network_with_sites(16);
+        let config = CrawlConfig::control();
+        let caches = config.build_caches();
+        let (cold_ds, cold) = crawl_with_caches(&network, &frontier, &config, &caches);
+        let (warm_ds, warm) = crawl_with_caches(&network, &frontier, &config, &caches);
+        assert_eq!(cold_ds.to_json().unwrap(), warm_ds.to_json().unwrap());
+        assert_eq!(cold.script_parses, 1);
+        assert_eq!(cold.memo_computes, 1);
+        assert_eq!(warm.script_parses, 0, "warm pass re-parses nothing");
+        assert_eq!(warm.memo_computes, 0, "warm pass re-renders nothing");
+        assert!(warm.memo_hits >= 8);
+    }
+
+    #[test]
+    fn defended_crawl_executes_every_script_in_place() {
+        let (network, frontier) = network_with_sites(12);
+        let mut config = CrawlConfig::control();
+        config.defense = DefenseMode::RandomizePerRender { seed: 9 };
+        let (_, stats) = crawl_with_stats(&network, &frontier, &config);
+        assert_eq!(stats.memo_hits, 0, "defenses disable memo replay");
+        assert_eq!(stats.memo_computes, 0);
+        assert_eq!(stats.script_executions, 6, "every live site runs in place");
+        assert_eq!(stats.script_parses, 1, "compile cache still shared");
+        assert_eq!(stats.script_cache_hits, 5);
     }
 }

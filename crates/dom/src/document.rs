@@ -2,9 +2,10 @@
 //! [`Host`] implementation that exposes them to canvascript.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use canvassing_raster::canvas::ImageFormat;
-use canvassing_raster::{Canvas2D, DeviceProfile, Surface};
+use canvassing_raster::{Canvas2D, DeviceProfile, Surface, SurfacePool};
 use canvassing_script::{Host, HostRef, RuntimeError, Value};
 
 use crate::record::{ApiCall, ApiInterface, CallKind, Extraction};
@@ -58,6 +59,13 @@ enum Obj {
 pub struct Document {
     device: DeviceProfile,
     canvases: Vec<Canvas2D>,
+    /// Reported canvas index for each live canvas in `canvases`. Live
+    /// canvases and absorbed memoized renders (see [`Document::absorb_render`])
+    /// draw from one shared index sequence, so `canvas_alias[vec_pos]`
+    /// maps a storage position to the index recorded in API calls.
+    canvas_alias: Vec<usize>,
+    /// Next canvas index to hand out (counts live + absorbed canvases).
+    next_canvas_index: usize,
     gradients: Vec<canvassing_raster::Gradient>,
     objects: HashMap<HostRef, Obj>,
     next_handle: HostRef,
@@ -72,6 +80,8 @@ pub struct Document {
     extraction_count: u64,
     /// User-agent string surfaced through `navigator.userAgent`.
     user_agent: String,
+    /// Optional recycling pool for canvas pixel buffers.
+    pool: Option<Arc<SurfacePool>>,
 }
 
 impl Document {
@@ -80,6 +90,8 @@ impl Document {
         Document {
             device,
             canvases: Vec::new(),
+            canvas_alias: Vec::new(),
+            next_canvas_index: 0,
             gradients: Vec::new(),
             objects: HashMap::new(),
             next_handle: 16,
@@ -90,7 +102,18 @@ impl Document {
             clock_ms: 0,
             extraction_count: 0,
             user_agent: "Mozilla/5.0 (X11; Linux x86_64) Chrome-like/125.0".into(),
+            pool: None,
         }
+    }
+
+    /// Like [`Document::new`], but canvas pixel buffers are taken from and
+    /// returned to `pool` (see `canvassing-raster`'s `SurfacePool`).
+    /// Recycled buffers are zeroed, so rendering is byte-identical to the
+    /// unpooled path.
+    pub fn with_pool(device: DeviceProfile, pool: Arc<SurfacePool>) -> Document {
+        let mut doc = Document::new(device);
+        doc.pool = Some(pool);
+        doc
     }
 
     /// Installs a read-back defense (used by the browser's
@@ -99,9 +122,20 @@ impl Document {
         self.defense = defense;
     }
 
-    /// Sets the script URL attributed to subsequent API calls.
+    /// Sets the script URL attributed to subsequent API calls, starting a
+    /// fresh host-handle namespace for the script about to run.
+    ///
+    /// Handle numbers appear in recorded call args and return values
+    /// (`[object #N]`), and scripts are fully isolated — no host API hands
+    /// one script an object another script created — so restarting the
+    /// numbering per script is invisible to script behavior while making a
+    /// script's instrumentation record independent of what ran before it
+    /// (the property the render memoization layer relies on). Stale
+    /// entries for reused handles are simply overwritten; dead scripts
+    /// cannot reach them.
     pub fn set_current_script(&mut self, url: &str) {
         self.current_script_url = url.to_string();
+        self.next_handle = 16;
     }
 
     /// Advances the simulated clock (the browser adds network latency and
@@ -120,14 +154,73 @@ impl Document {
         &self.extractions
     }
 
-    /// Consumes the document, returning its records.
-    pub fn into_records(self) -> (Vec<ApiCall>, Vec<Extraction>) {
+    /// Consumes the document, returning its records. Live canvas buffers
+    /// are recycled into the pool, if one is attached.
+    pub fn into_records(mut self) -> (Vec<ApiCall>, Vec<Extraction>) {
+        if let Some(pool) = self.pool.take() {
+            for canvas in self.canvases.drain(..) {
+                pool.recycle_buffer(canvas.into_buffer());
+            }
+        }
         (self.calls, self.extractions)
     }
 
-    /// Number of canvas elements created.
+    /// Number of canvas elements created (live plus absorbed memoized
+    /// renders).
     pub fn canvas_count(&self) -> usize {
-        self.canvases.len()
+        self.next_canvas_index
+    }
+
+    /// Replays a memoized script render into this document.
+    ///
+    /// `calls` / `extractions` must be *normalized* records: produced by
+    /// running the script on a fresh scratch document (clock 0, no prior
+    /// calls, no defense), so every `seq`, `timestamp_ms`, and
+    /// `canvas_index` is relative to zero. Relocation is a pure affine
+    /// offset because scripts are isolated — a script cannot observe other
+    /// scripts' canvases, the clock, or record counters through any host
+    /// API, so its behavior is independent of the document state it runs
+    /// in. `record()` advances the clock by exactly 1ms per call and
+    /// extractions advance nothing, which is why the clock advances by
+    /// `calls.len()` here.
+    pub fn absorb_render(
+        &mut self,
+        calls: &[ApiCall],
+        extractions: &[Extraction],
+        canvases_created: usize,
+        script_url: &str,
+    ) {
+        let seq_base = self.calls.len() as u64;
+        let clock_base = self.clock_ms;
+        let canvas_base = self.next_canvas_index;
+        for c in calls {
+            self.calls.push(ApiCall {
+                seq: c.seq + seq_base,
+                timestamp_ms: c.timestamp_ms + clock_base,
+                interface: c.interface,
+                kind: c.kind,
+                name: c.name.clone(),
+                args: c.args.clone(),
+                return_value: c.return_value.clone(),
+                script_url: script_url.to_string(),
+                canvas_index: c.canvas_index + canvas_base,
+            });
+        }
+        for e in extractions {
+            self.extractions.push(Extraction {
+                seq: e.seq + seq_base,
+                timestamp_ms: e.timestamp_ms + clock_base,
+                canvas_index: e.canvas_index + canvas_base,
+                data_url: e.data_url.clone(),
+                mime: e.mime.clone(),
+                width: e.width,
+                height: e.height,
+                script_url: script_url.to_string(),
+            });
+        }
+        self.clock_ms += calls.len() as u64;
+        self.extraction_count += extractions.len() as u64;
+        self.next_canvas_index += canvases_created;
     }
 
     /// Read access to a canvas's backing surface (tests / drawImage).
@@ -140,6 +233,12 @@ impl Document {
         self.next_handle += 1;
         self.objects.insert(h, obj);
         h
+    }
+
+    /// Maps a canvas storage position to its reported index (they diverge
+    /// once memoized renders have been absorbed).
+    fn reported_index(&self, vec_pos: usize) -> usize {
+        self.canvas_alias.get(vec_pos).copied().unwrap_or(vec_pos)
     }
 
     fn record(
@@ -161,7 +260,7 @@ impl Document {
             args,
             return_value,
             script_url: self.current_script_url.clone(),
-            canvas_index,
+            canvas_index: self.reported_index(canvas_index),
         });
     }
 
@@ -199,7 +298,7 @@ impl Document {
         self.extractions.push(Extraction {
             seq: self.calls.len() as u64, // the call is recorded right after
             timestamp_ms: self.clock_ms + 1,
-            canvas_index: index,
+            canvas_index: self.reported_index(index),
             data_url: url.clone(),
             mime: ImageFormat::from_mime(mime).mime().to_string(),
             width: canvas.width(),
@@ -420,8 +519,13 @@ impl Host for Document {
                         )));
                     }
                     let index = self.canvases.len();
-                    self.canvases
-                        .push(Canvas2D::new(300, 150, self.device.clone()));
+                    let canvas = match self.pool.as_ref().and_then(|p| p.take_buffer()) {
+                        Some(buf) => Canvas2D::with_buffer(300, 150, self.device.clone(), buf),
+                        None => Canvas2D::new(300, 150, self.device.clone()),
+                    };
+                    self.canvases.push(canvas);
+                    self.canvas_alias.push(self.next_canvas_index);
+                    self.next_canvas_index += 1;
                     let h = self.alloc(Obj::Canvas(index));
                     Ok(Value::Host(h))
                 }

@@ -139,10 +139,34 @@ impl Canvas2D {
         &mut self.surface
     }
 
+    /// Creates a context over a recycled pixel buffer (see
+    /// [`crate::pool::SurfacePool`]); behaviorally identical to
+    /// [`Canvas2D::new`].
+    pub fn with_buffer(width: u32, height: u32, device: DeviceProfile, buf: Vec<u8>) -> Canvas2D {
+        Canvas2D {
+            surface: Surface::with_buffer(width, height, buf),
+            device,
+            state: DrawState::default(),
+            stack: Vec::new(),
+            path: Path::new(),
+        }
+    }
+
+    /// Consumes the context, returning the backing pixel allocation for
+    /// recycling.
+    pub fn into_buffer(self) -> Vec<u8> {
+        self.surface.into_buffer()
+    }
+
     /// Resizes the canvas, which (per spec) resets all state and clears
-    /// the backing store.
+    /// the backing store. The pixel allocation is reused in place — every
+    /// fingerprinting script sets `width` and `height` on a fresh canvas,
+    /// so this path used to cost two reallocations per canvas per visit.
     pub fn resize(&mut self, width: u32, height: u32) {
-        *self = Canvas2D::new(width, height, self.device.clone());
+        self.surface.reset(width, height);
+        self.state = DrawState::default();
+        self.stack.clear();
+        self.path = Path::new();
     }
 
     // ----- state -----

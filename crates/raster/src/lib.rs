@@ -42,6 +42,7 @@ pub mod lossy;
 pub mod paint;
 pub mod path;
 pub mod png;
+pub mod pool;
 #[cfg(test)]
 mod proptests;
 pub mod stroke;
@@ -52,6 +53,7 @@ pub use canvas::{Canvas2D, ImageFormat};
 pub use color::Color;
 pub use device::DeviceProfile;
 pub use paint::{Gradient, Paint};
+pub use pool::SurfacePool;
 pub use surface::Surface;
 
 /// A stable 64-bit content hash (FNV-1a) used to cluster identical

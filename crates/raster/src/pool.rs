@@ -1,0 +1,155 @@
+//! Recycling pool for canvas pixel buffers.
+//!
+//! Every visited page that runs a fingerprinting script allocates at least
+//! one canvas backing store (typically 240×60 to 300×150 RGBA — tens of
+//! kilobytes), uses it for a few milliseconds, and drops it. Across a
+//! full-scale crawl that is hundreds of thousands of short-lived
+//! allocations with identical size classes. A [`SurfacePool`] lets a crawl
+//! worker hand the raw `Vec<u8>` back after each visit and reuse it for
+//! the next site's canvases.
+//!
+//! Pooling is purely an allocator optimization: recycled buffers are
+//! zeroed on reuse ([`Surface::with_buffer`]), so rendered pixels — and
+//! therefore every fingerprint hash downstream — are byte-identical with
+//! or without the pool.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::surface::Surface;
+
+/// Maximum buffers retained per pool. Visits use a handful of canvases at
+/// a time; anything beyond this is genuinely surplus.
+const POOL_CAP: usize = 32;
+
+/// A small LIFO pool of canvas pixel buffers. Cheap to share behind an
+/// `Arc`; normally owned per crawl worker so there is no contention.
+#[derive(Debug, Default)]
+pub struct SurfacePool {
+    buffers: Mutex<Vec<Vec<u8>>>,
+    reused: AtomicU64,
+    allocated: AtomicU64,
+}
+
+impl SurfacePool {
+    /// Creates an empty pool.
+    pub fn new() -> SurfacePool {
+        SurfacePool::default()
+    }
+
+    /// Takes a buffer from the pool (or a fresh allocation) and builds a
+    /// zeroed surface of the requested size over it.
+    pub fn take_surface(&self, width: u32, height: u32) -> Surface {
+        match self.take_buffer() {
+            Some(buf) => Surface::with_buffer(width, height, buf),
+            None => Surface::new(width, height),
+        }
+    }
+
+    /// Pops a raw recycled buffer, if any.
+    pub fn take_buffer(&self) -> Option<Vec<u8>> {
+        let buf = self
+            .buffers
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .pop();
+        match buf {
+            Some(b) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                Some(b)
+            }
+            None => {
+                self.allocated.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse. Buffers beyond the cap are
+    /// dropped.
+    pub fn recycle_buffer(&self, buf: Vec<u8>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut buffers = self
+            .buffers
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        if buffers.len() < POOL_CAP {
+            buffers.push(buf);
+        }
+    }
+
+    /// Returns a surface's backing allocation to the pool.
+    pub fn recycle_surface(&self, surface: Surface) {
+        self.recycle_buffer(surface.into_buffer());
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn len(&self) -> usize {
+        self.buffers
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .len()
+    }
+
+    /// Whether the pool currently holds no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(reused, freshly allocated)` take counts since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.reused.load(Ordering::Relaxed),
+            self.allocated.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Color;
+
+    #[test]
+    fn recycled_surface_is_zeroed() {
+        let pool = SurfacePool::new();
+        let mut s = pool.take_surface(4, 4);
+        s.set(1, 1, Color::WHITE);
+        pool.recycle_surface(s);
+        assert_eq!(pool.len(), 1);
+        let s2 = pool.take_surface(4, 4);
+        assert!(s2.is_blank(), "recycled buffer must come back zeroed");
+        assert_eq!(pool.len(), 0);
+    }
+
+    #[test]
+    fn reuse_across_sizes() {
+        let pool = SurfacePool::new();
+        let s = pool.take_surface(8, 8);
+        pool.recycle_surface(s);
+        let s2 = pool.take_surface(2, 2);
+        assert_eq!(s2.width(), 2);
+        assert_eq!(s2.data().len(), 2 * 2 * 4);
+        assert!(s2.is_blank());
+        let (reused, allocated) = pool.stats();
+        assert_eq!((reused, allocated), (1, 1));
+    }
+
+    #[test]
+    fn cap_bounds_retention() {
+        let pool = SurfacePool::new();
+        for _ in 0..POOL_CAP + 10 {
+            pool.recycle_buffer(vec![0; 16]);
+        }
+        assert_eq!(pool.len(), POOL_CAP);
+    }
+
+    #[test]
+    fn empty_buffers_are_not_pooled() {
+        let pool = SurfacePool::new();
+        pool.recycle_buffer(Vec::new());
+        assert!(pool.is_empty());
+    }
+}

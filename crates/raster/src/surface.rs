@@ -78,6 +78,41 @@ impl Surface {
         }
     }
 
+    /// Creates a surface reusing `buf` as the backing allocation (the
+    /// [`crate::pool::SurfacePool`] fast path). The buffer is resized and
+    /// zeroed, so the result is indistinguishable from [`Surface::new`].
+    pub fn with_buffer(width: u32, height: u32, mut buf: Vec<u8>) -> Surface {
+        let len = (width as usize) * (height as usize) * 4;
+        buf.clear();
+        buf.resize(len, 0);
+        Surface {
+            width,
+            height,
+            data: buf,
+        }
+    }
+
+    /// Consumes the surface, returning the backing allocation for reuse.
+    pub fn into_buffer(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Clears every pixel to transparent black without touching the
+    /// allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0);
+    }
+
+    /// Resizes in place, reusing the existing allocation where possible,
+    /// and clears to transparent black (the canvas resize semantics).
+    pub fn reset(&mut self, width: u32, height: u32) {
+        let len = (width as usize) * (height as usize) * 4;
+        self.width = width;
+        self.height = height;
+        self.data.clear();
+        self.data.resize(len, 0);
+    }
+
     /// Surface width in pixels.
     pub fn width(&self) -> u32 {
         self.width

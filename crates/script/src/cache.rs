@@ -1,0 +1,234 @@
+//! Shared compiled-script cache.
+//!
+//! A crawl visits tens of thousands of pages that overwhelmingly serve the
+//! *same* handful of vendor fingerprinting scripts (the paper attributes
+//! most canvases to ~13 vendors, §4.3). Re-lexing and re-parsing an
+//! identical body on every visit is pure waste: a [`ScriptCache`] keys
+//! compiled [`Program`]s by a 64-bit content hash of the source text and
+//! shares them across crawl workers behind an `Arc`, so each unique script
+//! body is lexed and parsed **exactly once per crawl**.
+//!
+//! Design points:
+//!
+//! * **Lock-sharded** — the map is split across [`SHARDS`] independent
+//!   mutexes selected by the content hash, so workers compiling different
+//!   scripts never contend on one lock.
+//! * **Parse-under-lock** — a miss parses while holding its shard lock.
+//!   This serializes compilation of *the same* script (another worker
+//!   asking for the same body blocks and then hits), which is what makes
+//!   the "exactly once" guarantee hold and keeps the cache's parse count
+//!   deterministic across worker counts and schedules.
+//! * **Collision-proof** — entries store the full source text and verify
+//!   it on lookup; a 64-bit hash collision degrades to a second cache
+//!   entry, never to running the wrong program.
+//! * **Failures cached too** — a body that fails to parse fails
+//!   identically on every site that serves it; the [`ParseError`] is
+//!   cached so broken scripts also cost one parse attempt per crawl.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::ast::Program;
+use crate::parser::{parse, ParseError};
+
+/// Number of independently locked shards. A small power of two is plenty:
+/// the hot set is a dozen vendor scripts, and the goal is only to keep
+/// unrelated compilations from serializing.
+const SHARDS: usize = 16;
+
+/// FNV-1a content hash of a script body (the cache key).
+pub fn source_hash(src: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in src.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// One cached compilation: the verified source text plus the outcome.
+struct CacheEntry {
+    source: String,
+    compiled: Result<Arc<Program>, ParseError>,
+}
+
+/// Cumulative cache counters. All counts are deterministic for a given
+/// workload regardless of worker count or scheduling (see the
+/// parse-under-lock note in the module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScriptCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to lex + parse (== unique script bodies seen).
+    pub parses: u64,
+}
+
+impl ScriptCacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.parses
+    }
+
+    /// Hit rate in `[0, 1]` (0 when the cache was never used).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// A sharded, `Arc`-shareable compile cache. See the module docs.
+pub struct ScriptCache {
+    shards: Vec<Mutex<HashMap<u64, Vec<CacheEntry>>>>,
+    hits: AtomicU64,
+    parses: AtomicU64,
+}
+
+impl Default for ScriptCache {
+    fn default() -> ScriptCache {
+        ScriptCache::new()
+    }
+}
+
+impl ScriptCache {
+    /// Creates an empty cache.
+    pub fn new() -> ScriptCache {
+        ScriptCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            parses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the compiled program for `src`, lexing and parsing it only
+    /// if this exact body has never been seen by this cache.
+    pub fn get_or_parse(&self, src: &str) -> Result<Arc<Program>, ParseError> {
+        let hash = source_hash(src);
+        let shard = &self.shards[(hash as usize) % SHARDS];
+        let mut map = shard.lock().unwrap_or_else(|poison| poison.into_inner());
+        let bucket = map.entry(hash).or_default();
+        if let Some(entry) = bucket.iter().find(|e| e.source == src) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return entry.compiled.clone();
+        }
+        // Miss: compile while holding the shard lock so concurrent
+        // requests for the same body block instead of re-parsing.
+        self.parses.fetch_add(1, Ordering::Relaxed);
+        let compiled = parse(src).map(Arc::new);
+        bucket.push(CacheEntry {
+            source: src.to_string(),
+            compiled: compiled.clone(),
+        });
+        compiled
+    }
+
+    /// Number of distinct script bodies currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(|poison| poison.into_inner())
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> ScriptCacheStats {
+        ScriptCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            parses: self.parses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run, NullHost};
+
+    #[test]
+    fn identical_bodies_parse_once() {
+        let cache = ScriptCache::new();
+        let src = "let x = 6; x * 7;";
+        let a = cache.get_or_parse(src).unwrap();
+        let b = cache.get_or_parse(src).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must share the Arc");
+        let stats = cache.stats();
+        assert_eq!(stats.parses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(cache.len(), 1);
+        // The shared program still runs.
+        let v = run(&a, &mut NullHost).unwrap();
+        assert_eq!(v.as_num(), Some(42.0));
+    }
+
+    #[test]
+    fn distinct_bodies_get_distinct_entries() {
+        let cache = ScriptCache::new();
+        cache.get_or_parse("1 + 1;").unwrap();
+        cache.get_or_parse("2 + 2;").unwrap();
+        assert_eq!(cache.stats().parses, 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn parse_failures_are_cached_and_stable() {
+        let cache = ScriptCache::new();
+        let bad = "let = ;";
+        let e1 = cache.get_or_parse(bad).unwrap_err();
+        let e2 = cache.get_or_parse(bad).unwrap_err();
+        assert_eq!(e1, e2);
+        let stats = cache.stats();
+        assert_eq!(stats.parses, 1, "the broken body parses once");
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn concurrent_lookups_of_one_body_still_parse_once() {
+        let cache = Arc::new(ScriptCache::new());
+        let src = "let a = [1, 2, 3]; a.length;";
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        cache.get_or_parse(src).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.parses, 1);
+        assert_eq!(stats.hits, 8 * 50 - 1);
+    }
+
+    #[test]
+    fn hit_rate_reporting() {
+        let cache = ScriptCache::new();
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        cache.get_or_parse("1;").unwrap();
+        cache.get_or_parse("1;").unwrap();
+        cache.get_or_parse("1;").unwrap();
+        cache.get_or_parse("1;").unwrap();
+        assert!((cache.stats().hit_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn source_hash_is_fnv1a() {
+        // Spot-check against the FNV-1a reference value for "a".
+        assert_eq!(source_hash(""), 0xcbf29ce484222325);
+        assert_ne!(source_hash("a"), source_hash("b"));
+    }
+}

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod cache;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
@@ -36,6 +37,7 @@ pub mod parser;
 mod proptests;
 pub mod value;
 
+pub use cache::{source_hash, ScriptCache, ScriptCacheStats};
 pub use interp::{
     eval, eval_with_budget, run, run_with_budget, EvalOutcome, DEFAULT_STEP_BUDGET,
 };
