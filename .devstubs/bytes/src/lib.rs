@@ -1,0 +1,1 @@
+//! Minimal offline stand-in for bytes (unused by workspace code).

@@ -1,0 +1,112 @@
+//! Minimal offline stand-in for criterion: bench targets compile and the
+//! generated main() exits immediately without running any benchmark body.
+
+pub struct Criterion;
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn bench_function<I, F: FnMut(&mut Bencher)>(&mut self, _id: I, _f: F) -> &mut Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, _name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I, F: FnMut(&mut Bencher)>(&mut self, _id: I, _f: F) -> &mut Self {
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        _id: BenchmarkId,
+        _input: &I,
+        _f: F,
+    ) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher;
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, _f: F) {}
+}
+
+pub struct BenchmarkId;
+
+impl BenchmarkId {
+    pub fn new(_name: &str, _param: impl std::fmt::Display) -> Self {
+        BenchmarkId
+    }
+
+    pub fn from_parameter(_param: impl std::fmt::Display) -> Self {
+        BenchmarkId
+    }
+}
+
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Defines the group fn; targets are type-checked via a never-called
+/// closure so they don't trip dead_code, but nothing executes.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let _typecheck = || {
+                let mut __c: $crate::Criterion = $config;
+                $( $target(&mut __c); )+
+            };
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

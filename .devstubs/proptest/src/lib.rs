@@ -1,0 +1,159 @@
+//! Minimal offline stand-in for proptest. The `proptest!` macro swallows
+//! its body (property tests are skipped offline); the `Strategy` trait and
+//! combinators exist only so helper functions *outside* the macro — which
+//! return `impl Strategy<Value = T>` — still typecheck.
+
+use std::marker::PhantomData;
+
+/// A strategy that carries only its value type. Never sampled.
+pub struct Stub<T>(PhantomData<fn() -> T>);
+
+impl<T> Stub<T> {
+    pub fn new() -> Self {
+        Stub(PhantomData)
+    }
+}
+
+impl<T> Default for Stub<T> {
+    fn default() -> Self {
+        Stub::new()
+    }
+}
+
+impl<T> Clone for Stub<T> {
+    fn clone(&self) -> Self {
+        Stub::new()
+    }
+}
+
+pub trait Strategy: Sized {
+    type Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, _f: F) -> Stub<O> {
+        Stub::new()
+    }
+
+    fn prop_recursive<S, F>(self, _depth: u32, _size: u32, _branch: u32, _f: F) -> Stub<Self::Value>
+    where
+        S: Strategy<Value = Self::Value>,
+        F: Fn(Stub<Self::Value>) -> S,
+    {
+        Stub::new()
+    }
+}
+
+impl<T> Strategy for Stub<T> {
+    type Value = T;
+}
+
+/// A strategy producing exactly one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T> Strategy for Just<T> {
+    type Value = T;
+}
+
+impl<'a> Strategy for &'a str {
+    type Value = String;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+        }
+    )*};
+}
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// `any::<T>()` — arbitrary values of T.
+pub fn any<T>() -> Stub<T> {
+    Stub::new()
+}
+
+#[doc(hidden)]
+pub fn __stub_of<S: Strategy>(_s: &S) -> Stub<S::Value> {
+    Stub::new()
+}
+
+pub mod collection {
+    use super::{Strategy, Stub};
+
+    pub fn vec<S: Strategy, R>(_element: S, _size: R) -> Stub<Vec<S::Value>> {
+        Stub::new()
+    }
+}
+
+pub mod char {
+    use super::Stub;
+
+    pub fn range(_lo: char, _hi: char) -> Stub<char> {
+        Stub::new()
+    }
+}
+
+pub struct ProptestConfig;
+
+impl ProptestConfig {
+    pub fn with_cases(_cases: u32) -> Self {
+        ProptestConfig
+    }
+}
+
+/// Offline stub: property tests are compiled out entirely.
+#[macro_export]
+macro_rules! proptest {
+    ($($t:tt)*) => {};
+}
+
+/// Evaluates the first arm for its strategy type; remaining arms are
+/// type-checked but discarded.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {{
+        let __s = $crate::__stub_of(&$first);
+        $(let _ = &$rest;)*
+        __s
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => {};
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => {};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => {};
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}

@@ -1,0 +1,379 @@
+//! Minimal offline stand-in for serde: a real (if simple) value-tree
+//! serialization facility so derived types round-trip through the
+//! serde_json stub. API-compatible with the subset of serde this
+//! workspace uses: `#[derive(Serialize, Deserialize)]` plus trait bounds.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json_value {
+    /// A JSON-like value tree.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum JsonValue {
+        Null,
+        Bool(bool),
+        /// Unsigned integer (exact).
+        UInt(u64),
+        /// Signed integer (exact).
+        Int(i64),
+        /// Floating point.
+        Num(f64),
+        Str(String),
+        Arr(Vec<JsonValue>),
+        Obj(Vec<(String, JsonValue)>),
+    }
+}
+
+use json_value::JsonValue;
+
+/// Serialization half of the stub data model.
+pub trait Serialize {
+    fn to_json_value(&self) -> JsonValue;
+}
+
+/// Deserialization half of the stub data model.
+pub trait Deserialize: Sized {
+    fn from_json_value(v: &JsonValue) -> Result<Self, String>;
+}
+
+// ---- helpers used by generated code ----
+
+#[doc(hidden)]
+pub fn __get<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Result<&'a JsonValue, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key}"))
+}
+
+#[doc(hidden)]
+pub fn __as_obj(v: &JsonValue) -> Result<&[(String, JsonValue)], String> {
+    match v {
+        JsonValue::Obj(o) => Ok(o),
+        other => Err(format!("expected object, got {other:?}")),
+    }
+}
+
+#[doc(hidden)]
+pub fn __as_arr(v: &JsonValue) -> Result<&[JsonValue], String> {
+    match v {
+        JsonValue::Arr(a) => Ok(a),
+        other => Err(format!("expected array, got {other:?}")),
+    }
+}
+
+#[doc(hidden)]
+pub fn __idx(arr: &[JsonValue], i: usize) -> Result<&JsonValue, String> {
+    arr.get(i).ok_or_else(|| format!("missing tuple element {i}"))
+}
+
+// ---- primitive impls ----
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue { JsonValue::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+                match v {
+                    JsonValue::UInt(n) => Ok(*n as $t),
+                    JsonValue::Int(n) if *n >= 0 => Ok(*n as $t),
+                    JsonValue::Num(n) if n.fract() == 0.0 && *n >= 0.0 => Ok(*n as $t),
+                    other => Err(format!("expected unsigned integer, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue { JsonValue::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+                match v {
+                    JsonValue::Int(n) => Ok(*n as $t),
+                    JsonValue::UInt(n) => Ok(*n as $t),
+                    JsonValue::Num(n) if n.fract() == 0.0 => Ok(*n as $t),
+                    other => Err(format!("expected integer, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue { JsonValue::Num(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+                match v {
+                    JsonValue::Num(n) => Ok(*n as $t),
+                    JsonValue::Int(n) => Ok(*n as $t),
+                    JsonValue::UInt(n) => Ok(*n as $t),
+                    other => Err(format!("expected number, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        match v {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        match v {
+            JsonValue::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+// Real serde deserializes `&str` zero-copy from the input; the stub has no
+// borrowed input to hand out, so it leaks — fine for test-only use.
+impl Deserialize for &'static str {
+    fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        match v {
+            JsonValue::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        match v {
+            JsonValue::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(format!("expected single-char string, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Null
+    }
+}
+impl Deserialize for () {
+    fn from_json_value(_v: &JsonValue) -> Result<Self, String> {
+        Ok(())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> JsonValue {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_json_value(&self) -> JsonValue {
+        (**self).to_json_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        Ok(Box::new(T::from_json_value(v)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            None => JsonValue::Null,
+            Some(t) => t.to_json_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        match v {
+            JsonValue::Null => Ok(None),
+            other => Ok(Some(T::from_json_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Arr(self.iter().map(|t| t.to_json_value()).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        match v {
+            JsonValue::Arr(a) => a.iter().map(T::from_json_value).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Arr(self.iter().map(|t| t.to_json_value()).collect())
+    }
+}
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        let items: Vec<T> = Vec::from_json_value(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| format!("expected array of length {N}, got {n}"))
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::Arr(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+                let arr = __as_arr(v)?;
+                Ok(($($t::from_json_value(__idx(arr, $n)?)?,)+))
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Map keys are serialized through their JSON value: strings pass through,
+/// anything else uses its compact JSON rendering as the key text.
+fn key_to_string(v: JsonValue) -> String {
+    match v {
+        JsonValue::Str(s) => s,
+        JsonValue::UInt(n) => n.to_string(),
+        JsonValue::Int(n) => n.to_string(),
+        JsonValue::Num(n) => n.to_string(),
+        JsonValue::Bool(b) => b.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, String> {
+    // Try the string form first, then integer forms.
+    if let Ok(k) = K::from_json_value(&JsonValue::Str(s.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(n) = s.parse::<u64>() {
+        if let Ok(k) = K::from_json_value(&JsonValue::UInt(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        if let Ok(k) = K::from_json_value(&JsonValue::Int(n)) {
+            return Ok(k);
+        }
+    }
+    Err(format!("cannot deserialize map key from {s:?}"))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Obj(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k.to_json_value()), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        let obj = __as_obj(v)?;
+        obj.iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_json_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_json_value(&self) -> JsonValue {
+        let mut entries: Vec<(String, JsonValue)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(k.to_json_value()), v.to_json_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        JsonValue::Obj(entries)
+    }
+}
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize
+    for std::collections::HashMap<K, V>
+{
+    fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        let obj = __as_obj(v)?;
+        obj.iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_json_value(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Arr(self.iter().map(|t| t.to_json_value()).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        match v {
+            JsonValue::Arr(a) => a.iter().map(T::from_json_value).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize + Eq + std::hash::Hash> Serialize for std::collections::HashSet<T> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Arr(self.iter().map(|t| t.to_json_value()).collect())
+    }
+}
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for std::collections::HashSet<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        match v {
+            JsonValue::Arr(a) => a.iter().map(T::from_json_value).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Minimal offline stand-in for serde_derive: parses struct/enum
+//! definitions by raw token inspection (no syn) and emits impls of the
+//! stub `serde::Serialize` / `serde::Deserialize` traits, which map values
+//! through a simple JSON tree. Supports non-generic named-field structs,
+//! tuple structs, and enums with unit / tuple / struct variants — the full
+//! shape inventory of this workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Parsed {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if let Some(TokenTree::Group(_)) = tokens.get(i) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses named fields from the tokens of a brace group.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        // expect ':'
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => break,
+        }
+        fields.push(name);
+        // consume the type until a comma at angle depth 0
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the comma-separated items in a paren group (tuple fields).
+fn tuple_arity(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle: i32 = 0;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                // ignore a trailing comma
+                if idx + 1 < tokens.len() {
+                    arity += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    arity
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Shape::Tuple(tuple_arity(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Shape::Named(parse_named_fields(&inner))
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // skip an optional discriminant, then the separating comma
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other}"),
+    };
+    i += 1;
+    // skip generics if present
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            while i < tokens.len() {
+                match &tokens[i] {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            panic!("serde_derive stub: generic types are not supported ({name})");
+        }
+    }
+    if kind == "struct" {
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Named(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Tuple(tuple_arity(&inner))
+            }
+            _ => Shape::Unit,
+        };
+        Parsed::Struct { name, shape }
+    } else if kind == "enum" {
+        let variants = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                parse_variants(&inner)
+            }
+            _ => panic!("serde_derive stub: enum body missing for {name}"),
+        };
+        Parsed::Enum { name, variants }
+    } else {
+        panic!("serde_derive stub: unsupported item kind {kind}");
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse(input) {
+        Parsed::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    let items: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "::serde::json_value::JsonValue::Obj(vec![{}])",
+                        items.join(", ")
+                    )
+                }
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                        .collect();
+                    format!(
+                        "::serde::json_value::JsonValue::Arr(vec![{}])",
+                        items.join(", ")
+                    )
+                }
+                Shape::Unit => "::serde::json_value::JsonValue::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json_value(&self) -> ::serde::json_value::JsonValue {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Parsed::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::json_value::JsonValue::Str(\"{vn}\".to_string()),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("a{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::json_value::JsonValue::Obj(vec![(\"{vn}\".to_string(), ::serde::json_value::JsonValue::Arr(vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_json_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::json_value::JsonValue::Obj(vec![(\"{vn}\".to_string(), ::serde::json_value::JsonValue::Obj(vec![{items}]))]),",
+                                items = items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json_value(&self) -> ::serde::json_value::JsonValue {{\n\
+                 match self {{\n{arms}\n}}\n}}\n}}",
+                arms = arms.join("\n")
+            )
+        }
+    };
+    out.parse().expect("serde_derive stub: generated code parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse(input) {
+        Parsed::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    let items: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_json_value(::serde::__get(__obj, \"{f}\")?)?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let __obj = ::serde::__as_obj(v)?;\nOk({name} {{ {} }})",
+                        items.join(" ")
+                    )
+                }
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..n)
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::from_json_value(::serde::__idx(__arr, {i})?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let __arr = ::serde::__as_arr(v)?;\nOk({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Shape::Unit => format!("Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json_value(v: &::serde::json_value::JsonValue) -> Result<Self, String> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Parsed::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_json_value(::serde::__idx(__arr, {i})?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __arr = ::serde::__as_arr(__payload)?; Ok({name}::{vn}({})) }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_json_value(::serde::__get(__inner, \"{f}\")?)?,"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __inner = ::serde::__as_obj(__payload)?; Ok({name}::{vn} {{ {} }}) }}\n",
+                            items.join(" ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json_value(v: &::serde::json_value::JsonValue) -> Result<Self, String> {{\n\
+                 match v {{\n\
+                 ::serde::json_value::JsonValue::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(format!(\"unknown variant {{__other}} for {name}\")),\n\
+                 }},\n\
+                 ::serde::json_value::JsonValue::Obj(__o) if __o.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__o[0];\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 __other => Err(format!(\"unknown variant {{__other}} for {name}\")),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(\"expected enum encoding for {name}\".to_string()),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    };
+    out.parse().expect("serde_derive stub: generated code parses")
+}
