@@ -168,7 +168,6 @@ fn parse(input: TokenStream) -> Parsed {
                     TokenTree::Punct(p) if p.as_char() == '>' => {
                         depth -= 1;
                         if depth == 0 {
-                            i += 1;
                             break;
                         }
                     }

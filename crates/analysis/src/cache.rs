@@ -1,0 +1,214 @@
+//! Once-per-unique-script analysis cache.
+//!
+//! The crawler triages every script *before* execution, but a crawl sees
+//! the same dozen vendor bodies on thousands of sites. Like
+//! [`ScriptCache`], the [`AnalysisCache`] keys results by the FNV-1a
+//! content hash, verifies the full source on lookup (a 64-bit collision
+//! degrades to a second entry, never to the wrong verdict), and computes
+//! under the shard lock so concurrent requests for the same body block
+//! rather than analyzing twice — which is what makes
+//! [`AnalysisStats::analyses`] equal the number of unique script bodies,
+//! deterministically, across worker counts and schedules.
+//!
+//! When a shared [`ScriptCache`] is available the analysis reuses its
+//! compiled [`Program`](canvassing_script::Program) handle instead of
+//! parsing a second time, so triage costs zero extra parses (the one
+//! counted parse is the same one execution later hits on).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use canvassing_script::{source_hash, ScriptCache};
+
+use crate::{classify, classify_source, Finding, RuleId, ScriptAnalysis, Verdict};
+
+/// Shard count; mirrors `ScriptCache`'s sizing rationale.
+const SHARDS: usize = 16;
+
+/// One cached analysis: verified source plus the shared result.
+struct CacheEntry {
+    source: String,
+    analysis: Arc<ScriptAnalysis>,
+}
+
+/// Cumulative analysis counters (deterministic; see module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Full analyses run (== unique script bodies seen).
+    pub analyses: u64,
+}
+
+impl AnalysisStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.analyses
+    }
+}
+
+/// A sharded, `Arc`-shareable static-analysis cache.
+pub struct AnalysisCache {
+    shards: Vec<Mutex<HashMap<u64, Vec<CacheEntry>>>>,
+    hits: AtomicU64,
+    analyses: AtomicU64,
+}
+
+impl Default for AnalysisCache {
+    fn default() -> AnalysisCache {
+        AnalysisCache::new()
+    }
+}
+
+impl AnalysisCache {
+    /// Creates an empty cache.
+    pub fn new() -> AnalysisCache {
+        AnalysisCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            analyses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns `(content_hash, analysis)` for `src`, running the analysis
+    /// only if this exact body has never been seen by this cache.
+    ///
+    /// `programs` is the crawl's shared compile cache, when one is
+    /// enabled: the AST is taken from it by shared handle (parsing it
+    /// there on first sight, where the parse is counted once for both
+    /// triage and execution). Without one, the body is parsed privately —
+    /// the analysis stays available even when script caching is disabled,
+    /// so enabling caches never changes what the crawler records.
+    pub fn analyze(&self, src: &str, programs: Option<&ScriptCache>) -> (u64, Arc<ScriptAnalysis>) {
+        let hash = source_hash(src);
+        let shard = &self.shards[(hash as usize) % SHARDS];
+        let mut map = shard.lock().unwrap_or_else(|poison| poison.into_inner());
+        let bucket = map.entry(hash).or_default();
+        if let Some(entry) = bucket.iter().find(|e| e.source == src) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (hash, Arc::clone(&entry.analysis));
+        }
+        self.analyses.fetch_add(1, Ordering::Relaxed);
+        let analysis = Arc::new(match programs {
+            Some(cache) => match cache.get_or_parse(src) {
+                Ok(program) => classify(&program),
+                Err(e) => ScriptAnalysis {
+                    verdict: Verdict::Inconclusive,
+                    features: crate::CanvasFeatures::default(),
+                    findings: vec![Finding {
+                        rule: RuleId::IncParse,
+                        detail: format!("parse failed: {e}"),
+                    }],
+                },
+            },
+            None => classify_source(src),
+        });
+        bucket.push(CacheEntry {
+            source: src.to_string(),
+            analysis: Arc::clone(&analysis),
+        });
+        (hash, analysis)
+    }
+
+    /// Number of distinct script bodies currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(|poison| poison.into_inner())
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> AnalysisStats {
+        AnalysisStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            analyses: self.analyses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FP: &str = r#"
+        let c = document.createElement("canvas");
+        let x = c.getContext("2d");
+        x.fillText("cache me", 2, 2);
+        c.toDataURL();
+    "#;
+
+    #[test]
+    fn identical_bodies_analyze_once() {
+        let cache = AnalysisCache::new();
+        let (h1, a) = cache.analyze(FP, None);
+        let (h2, b) = cache.analyze(FP, None);
+        assert_eq!(h1, h2);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must share the Arc");
+        let stats = cache.stats();
+        assert_eq!(stats.analyses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(cache.len(), 1);
+        assert!(a.verdict.is_fingerprinting());
+    }
+
+    #[test]
+    fn reuses_compiled_ast_from_script_cache() {
+        let programs = ScriptCache::new();
+        let cache = AnalysisCache::new();
+        cache.analyze(FP, Some(&programs));
+        let parses_after_analysis = programs.stats().parses;
+        assert_eq!(parses_after_analysis, 1, "analysis performs the one parse");
+        // Execution-path lookup now hits the same entry: no second parse.
+        programs.get_or_parse(FP).unwrap();
+        assert_eq!(programs.stats().parses, 1);
+        assert_eq!(programs.stats().hits, 1);
+        // And a second analysis of the same body touches neither cache's
+        // slow path.
+        cache.analyze(FP, Some(&programs));
+        assert_eq!(cache.stats().analyses, 1);
+        assert_eq!(programs.stats().parses, 1);
+    }
+
+    #[test]
+    fn parse_failures_are_inconclusive_and_cached() {
+        let cache = AnalysisCache::new();
+        let bad = "let = ;";
+        let (_, a) = cache.analyze(bad, None);
+        assert_eq!(a.verdict, Verdict::Inconclusive);
+        assert!(a.findings.iter().any(|f| f.rule == RuleId::IncParse));
+        let (_, b) = cache.analyze(bad, None);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().analyses, 1);
+    }
+
+    #[test]
+    fn concurrent_lookups_of_one_body_analyze_once() {
+        let cache = Arc::new(AnalysisCache::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        cache.analyze(FP, None);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.analyses, 1);
+        assert_eq!(stats.hits, 8 * 25 - 1);
+    }
+}

@@ -1,0 +1,259 @@
+//! Syntactic canvas-API feature extraction.
+//!
+//! A single recursive walk over every statement and expression —
+//! including function bodies, whether or not they are ever called —
+//! counting the canvas calls the paper's heuristics care about. The walk
+//! is purely syntactic: reachability and dataflow live in [`crate::taint`];
+//! this vector is what the lint tool prints and what downstream feature
+//! consumers (e.g. a learned classifier) would train on.
+
+use canvassing_script::{AssignTarget, Expr, Program, Stmt};
+use serde::{Deserialize, Serialize};
+
+/// Methods whose use marks a script as animating rather than
+/// fingerprinting — must match `canvassing::detect::ANIMATION_METHODS`.
+pub(crate) const ANIMATION_METHODS: &[&str] = &["save", "restore"];
+
+/// Per-script canvas-API feature vector.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CanvasFeatures {
+    /// `document.createElement("canvas")` calls.
+    pub canvases_created: u32,
+    /// `fillText` calls.
+    pub fill_text_calls: u32,
+    /// `fillRect` calls.
+    pub fill_rect_calls: u32,
+    /// `arc` calls.
+    pub arc_calls: u32,
+    /// `toDataURL` calls.
+    pub to_data_url_calls: u32,
+    /// `getImageData` calls.
+    pub get_image_data_calls: u32,
+    /// `measureText` calls.
+    pub measure_text_calls: u32,
+    /// Animation-associated calls (`save`, `restore`) — the paper's third
+    /// filter heuristic.
+    pub animation_calls: u32,
+    /// Literal strings drawn with `fillText` (the test-canvas pangrams).
+    pub drawn_text: Vec<String>,
+    /// Literal canvas dimension assignments (`c.width = 260`), in
+    /// assignment order as `(property, value)` pairs.
+    pub literal_dims: Vec<(String, f64)>,
+    /// `toDataURL` calls whose first argument is a non-`image/png`
+    /// string literal (lossy-format reads).
+    pub lossy_reads: u32,
+    /// `toDataURL` calls whose MIME argument is not a string literal.
+    pub dynamic_mime_reads: u32,
+}
+
+/// Extracts the feature vector from a compiled program.
+pub fn extract(program: &Program) -> CanvasFeatures {
+    let mut f = CanvasFeatures::default();
+    walk_stmts(&program.stmts, &mut f);
+    f
+}
+
+fn walk_stmts(stmts: &[Stmt], f: &mut CanvasFeatures) {
+    for stmt in stmts {
+        walk_stmt(stmt, f);
+    }
+}
+
+fn walk_stmt(stmt: &Stmt, f: &mut CanvasFeatures) {
+    match stmt {
+        Stmt::Let { value, .. } => walk_expr(value, f),
+        Stmt::Expr(e) => walk_expr(e, f),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            walk_expr(cond, f);
+            walk_stmts(then_branch, f);
+            walk_stmts(else_branch, f);
+        }
+        Stmt::While { cond, body } => {
+            walk_expr(cond, f);
+            walk_stmts(body, f);
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(init) = init {
+                walk_stmt(init, f);
+            }
+            if let Some(cond) = cond {
+                walk_expr(cond, f);
+            }
+            if let Some(step) = step {
+                walk_expr(step, f);
+            }
+            walk_stmts(body, f);
+        }
+        Stmt::Return(Some(e)) => walk_expr(e, f),
+        Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+        Stmt::FnDecl(decl) => walk_stmts(&decl.body, f),
+    }
+}
+
+fn walk_expr(expr: &Expr, f: &mut CanvasFeatures) {
+    match expr {
+        Expr::Number(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Null | Expr::Ident(_) => {}
+        Expr::Array(items) => {
+            for item in items {
+                walk_expr(item, f);
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        Expr::Unary { expr, .. } => walk_expr(expr, f),
+        Expr::Member { object, .. } => walk_expr(object, f),
+        Expr::Index { object, index } => {
+            walk_expr(object, f);
+            walk_expr(index, f);
+        }
+        Expr::Call { args, .. } => {
+            for arg in args {
+                walk_expr(arg, f);
+            }
+        }
+        Expr::MethodCall {
+            object,
+            method,
+            args,
+        } => {
+            record_method(object, method, args, f);
+            walk_expr(object, f);
+            for arg in args {
+                walk_expr(arg, f);
+            }
+        }
+        Expr::Assign { target, value } => {
+            match target.as_ref() {
+                AssignTarget::Ident(_) => {}
+                AssignTarget::Member { object, name } => {
+                    if name == "width" || name == "height" {
+                        if let Expr::Number(n) = value.as_ref() {
+                            f.literal_dims.push((name.clone(), *n));
+                        }
+                    }
+                    walk_expr(object, f);
+                }
+                AssignTarget::Index { object, index } => {
+                    walk_expr(object, f);
+                    walk_expr(index, f);
+                }
+            }
+            walk_expr(value, f);
+        }
+    }
+}
+
+fn record_method(object: &Expr, method: &str, args: &[Expr], f: &mut CanvasFeatures) {
+    match method {
+        "createElement"
+            if matches!(object, Expr::Ident(name) if name == "document")
+                && matches!(args.first(), Some(Expr::Str(tag)) if tag == "canvas") =>
+        {
+            f.canvases_created += 1;
+        }
+        "fillText" => {
+            f.fill_text_calls += 1;
+            if let Some(Expr::Str(text)) = args.first() {
+                f.drawn_text.push(text.clone());
+            }
+        }
+        "fillRect" => f.fill_rect_calls += 1,
+        "arc" => f.arc_calls += 1,
+        "measureText" => f.measure_text_calls += 1,
+        "toDataURL" => {
+            f.to_data_url_calls += 1;
+            match args.first() {
+                None => {}
+                Some(Expr::Str(mime)) if mime != "image/png" => f.lossy_reads += 1,
+                Some(Expr::Str(_)) => {}
+                Some(_) => f.dynamic_mime_reads += 1,
+            }
+        }
+        "getImageData" => f.get_image_data_calls += 1,
+        m if ANIMATION_METHODS.contains(&m) => f.animation_calls += 1,
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvassing_script::parse;
+
+    fn features(src: &str) -> CanvasFeatures {
+        extract(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn counts_canvas_api_usage() {
+        let f = features(
+            r##"
+            let c = document.createElement("canvas");
+            c.width = 260; c.height = 48;
+            let x = c.getContext("2d");
+            x.fillRect(2, 2, 180, 18);
+            x.fillText("Sphinx of black quartz", 3, 22);
+            x.arc(60, 60, 40, 0, 6.28, true);
+            c.toDataURL();
+            "##,
+        );
+        assert_eq!(f.canvases_created, 1);
+        assert_eq!(f.fill_rect_calls, 1);
+        assert_eq!(f.fill_text_calls, 1);
+        assert_eq!(f.arc_calls, 1);
+        assert_eq!(f.to_data_url_calls, 1);
+        assert_eq!(f.drawn_text, vec!["Sphinx of black quartz".to_string()]);
+        assert_eq!(
+            f.literal_dims,
+            vec![("width".to_string(), 260.0), ("height".to_string(), 48.0)]
+        );
+        assert_eq!(f.lossy_reads, 0);
+        assert_eq!(f.dynamic_mime_reads, 0);
+    }
+
+    #[test]
+    fn walks_function_bodies_and_loops() {
+        let f = features(
+            r##"
+            fn draw() {
+                let c = document.createElement("canvas");
+                let x = c.getContext("2d");
+                for (let i = 0; i < 3; i = i + 1) {
+                    x.save();
+                    x.fillRect(i, 0, 4, 4);
+                    x.restore();
+                }
+                return c.toDataURL("image/webp");
+            }
+            "##,
+        );
+        assert_eq!(f.canvases_created, 1);
+        assert_eq!(f.animation_calls, 2);
+        assert_eq!(f.fill_rect_calls, 1);
+        assert_eq!(f.lossy_reads, 1);
+    }
+
+    #[test]
+    fn dynamic_mime_is_flagged() {
+        let f = features(
+            r#"
+            let fmt = "image/png";
+            let c = document.createElement("canvas");
+            c.toDataURL(fmt);
+            "#,
+        );
+        assert_eq!(f.dynamic_mime_reads, 1);
+        assert_eq!(f.lossy_reads, 0);
+    }
+}

@@ -2,6 +2,12 @@
 //! clustering key (full data URL vs 64-bit hash), detection heuristic
 //! ordering, and regex-engine cost for Imperva-style attribution.
 
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+// The offline criterion stub models `Criterion` as a unit struct.
+#![allow(clippy::default_constructed_unit_structs)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeMap;
 use std::hint::black_box;
@@ -12,7 +18,10 @@ use canvassing_regexlite::Regex;
 use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
 
 fn detections() -> Vec<SiteDetection> {
-    let web = SyntheticWeb::generate(WebConfig { seed: 33, scale: 0.05 });
+    let web = SyntheticWeb::generate(WebConfig {
+        seed: 33,
+        scale: 0.05,
+    });
     let frontier = web.frontier(Cohort::Popular);
     crawl(&web.network, &frontier, &CrawlConfig::control())
         .successful()
@@ -96,7 +105,10 @@ fn bench_blocklist_index(c: &mut Criterion) {
     use canvassing_blocklist::{FilterList, IndexedFilterList, RequestContext};
     use canvassing_net::{ResourceType, Url};
 
-    let web = SyntheticWeb::generate(WebConfig { seed: 33, scale: 0.3 });
+    let web = SyntheticWeb::generate(WebConfig {
+        seed: 33,
+        scale: 0.3,
+    });
     let list = FilterList::parse("EasyList", &web.lists.easylist);
     let indexed = IndexedFilterList::build(&list);
     let urls: Vec<Url> = (0..40)
@@ -111,13 +123,19 @@ fn bench_blocklist_index(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations/blocklist_matcher");
     group.bench_function("linear_scan", |b| {
         b.iter(|| {
-            let blocked = contexts.iter().filter(|ctx| list.evaluate(ctx).is_block()).count();
+            let blocked = contexts
+                .iter()
+                .filter(|ctx| list.evaluate(ctx).is_block())
+                .count();
             black_box(blocked)
         })
     });
     group.bench_function("domain_indexed", |b| {
         b.iter(|| {
-            let blocked = contexts.iter().filter(|ctx| indexed.is_blocked(ctx)).count();
+            let blocked = contexts
+                .iter()
+                .filter(|ctx| indexed.is_blocked(ctx))
+                .count();
             black_box(blocked)
         })
     });

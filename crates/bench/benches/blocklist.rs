@@ -2,6 +2,12 @@
 //! over a realistically sized EasyList corpus (the §5.1 static check runs
 //! once per canvas; the §5.2 extensions run once per script request).
 
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+// The offline criterion stub models `Criterion` as a unit struct.
+#![allow(clippy::default_constructed_unit_structs)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -10,9 +16,12 @@ use canvassing_net::{ResourceType, Url};
 use canvassing_webgen::{SyntheticWeb, WebConfig};
 
 fn corpus() -> String {
-    SyntheticWeb::generate(WebConfig { seed: 42, scale: 0.2 })
-        .lists
-        .easylist
+    SyntheticWeb::generate(WebConfig {
+        seed: 42,
+        scale: 0.2,
+    })
+    .lists
+    .easylist
 }
 
 fn bench_parse(c: &mut Criterion) {
@@ -37,12 +46,8 @@ fn bench_match(c: &mut Criterion) {
         b.iter(|| {
             let mut blocked = 0;
             for url in &urls {
-                let ctx = RequestContext::new(
-                    url.clone(),
-                    ResourceType::Script,
-                    false,
-                    "page.example",
-                );
+                let ctx =
+                    RequestContext::new(url.clone(), ResourceType::Script, false, "page.example");
                 if list.evaluate(&ctx).is_block() {
                     blocked += 1;
                 }

@@ -1,6 +1,12 @@
 //! Crawl-pipeline benchmarks: end-to-end site visits per second and the
 //! worker-count sweep called out in DESIGN.md §4.
 
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+// The offline criterion stub models `Criterion` as a unit struct.
+#![allow(clippy::default_constructed_unit_structs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -8,7 +14,10 @@ use canvassing_crawler::{crawl, CrawlConfig};
 use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
 
 fn bench_crawl_throughput(c: &mut Criterion) {
-    let web = SyntheticWeb::generate(WebConfig { seed: 9, scale: 0.01 });
+    let web = SyntheticWeb::generate(WebConfig {
+        seed: 9,
+        scale: 0.01,
+    });
     let frontier = web.frontier(Cohort::Popular);
     let mut group = c.benchmark_group("pipeline/crawl_workers");
     group.throughput(Throughput::Elements(frontier.len() as u64));
@@ -24,7 +33,10 @@ fn bench_crawl_throughput(c: &mut Criterion) {
 }
 
 fn bench_detection_and_clustering(c: &mut Criterion) {
-    let web = SyntheticWeb::generate(WebConfig { seed: 9, scale: 0.02 });
+    let web = SyntheticWeb::generate(WebConfig {
+        seed: 9,
+        scale: 0.02,
+    });
     let frontier = web.frontier(Cohort::Popular);
     let dataset = crawl(&web.network, &frontier, &CrawlConfig::control());
     c.bench_function("pipeline/detect_per_cohort", |b| {

@@ -2,6 +2,12 @@
 //! fingerprinting scripts perform, plus the device-profile AA ablation
 //! called out in DESIGN.md §4.
 
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+// The offline criterion stub models `Criterion` as a unit struct.
+#![allow(clippy::default_constructed_unit_structs)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -43,8 +49,11 @@ fn bench_winding(c: &mut Criterion) {
         b.iter(|| {
             let mut canvas = Canvas2D::new(122, 110, DeviceProfile::intel_ubuntu());
             canvas.set_composite_op("multiply");
-            for (color, x, y) in [("#f2f", 40.0, 40.0), ("#2ff", 80.0, 40.0), ("#ff2", 60.0, 80.0)]
-            {
+            for (color, x, y) in [
+                ("#f2f", 40.0, 40.0),
+                ("#2ff", 80.0, 40.0),
+                ("#ff2", 60.0, 80.0),
+            ] {
                 canvas.set_fill_style(color);
                 canvas.begin_path();
                 canvas.arc(x, y, 40.0, 0.0, std::f64::consts::TAU, true);

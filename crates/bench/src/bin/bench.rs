@@ -20,6 +20,10 @@
 //! nonzero unless every scale's warm pass parsed strictly fewer scripts
 //! than its cold pass — the CI regression gate for the cache layers.
 
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use canvassing_crawler::{crawl_with_caches, CachingPolicy, CrawlConfig, CrawlStats};
 use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
 use serde::Serialize;
@@ -55,7 +59,9 @@ fn parse_args() -> Args {
             "--out" => args.out = value("--out"),
             "--check" => args.check = true,
             "--help" | "-h" => {
-                eprintln!("usage: bench [--scale F]... [--seed N] [--workers N] [--out PATH] [--check]");
+                eprintln!(
+                    "usage: bench [--scale F]... [--seed N] [--workers N] [--out PATH] [--check]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -180,7 +186,10 @@ fn main() {
     let mut check_failures = Vec::new();
 
     for &scale in &args.scales {
-        eprintln!("[scale {scale}] generating synthetic web (seed {}) ...", args.seed);
+        eprintln!(
+            "[scale {scale}] generating synthetic web (seed {}) ...",
+            args.seed
+        );
         let web = SyntheticWeb::generate(WebConfig {
             seed: args.seed,
             scale,
@@ -199,7 +208,7 @@ fn main() {
         // retaining multi-GB datasets across passes would tax the later
         // passes' allocations and skew the comparison.
         let run_pass = |config: &CrawlConfig,
-                            caches: &canvassing_browser::CrawlCaches|
+                        caches: &canvassing_browser::CrawlCaches|
          -> (Pass, CrawlStats, u64) {
             let start = std::time::Instant::now();
             let cpu_start = cpu_time_ms();
@@ -215,7 +224,10 @@ fn main() {
             (Pass::new(wall, cpu, &stats), stats, hash)
         };
 
-        eprintln!("[scale {scale}] baseline crawl ({} sites, caches off) ...", frontier.len());
+        eprintln!(
+            "[scale {scale}] baseline crawl ({} sites, caches off) ...",
+            frontier.len()
+        );
         let no_caches = baseline_config.build_caches();
         let (baseline, baseline_stats, baseline_hash) = run_pass(&baseline_config, &no_caches);
 
@@ -226,8 +238,14 @@ fn main() {
         eprintln!("[scale {scale}] warm cached crawl ...");
         let (warm, warm_stats, warm_hash) = run_pass(&cached_config, &caches);
 
-        assert_eq!(baseline_hash, cold_hash, "cold cached crawl changed the dataset");
-        assert_eq!(baseline_hash, warm_hash, "warm cached crawl changed the dataset");
+        assert_eq!(
+            baseline_hash, cold_hash,
+            "cold cached crawl changed the dataset"
+        );
+        assert_eq!(
+            baseline_hash, warm_hash,
+            "warm cached crawl changed the dataset"
+        );
         eprintln!(
             "[scale {scale}] sites/sec: baseline {:.0}, cold {:.0}, warm {:.0}; \
              parses: baseline-executions {}, cold {}, warm {}",

@@ -1,0 +1,190 @@
+//! `lint` — runs the static fingerprinting classifier over every script
+//! body in the synthetic corpus and prints per-script findings with
+//! stable rule IDs (`CF-READ`, `BN-LOSSY`, `INC-DYN-MIME`, …).
+//!
+//! ```text
+//! lint [--scale <f64>] [--seed <u64>] [--verdict <fp|benign|inconclusive>]
+//!      [--quiet] [--deny-inconclusive]
+//! ```
+//!
+//! Scripts are deduplicated by FNV-1a body hash, exactly as the crawl's
+//! triage cache does, so each unique body prints once. With
+//! `--deny-inconclusive` the process exits non-zero if any vendor or
+//! generic fingerprinting script is statically `Inconclusive` — the CI
+//! gate for classifier coverage of the fingerprinting corpus.
+
+use canvassing::validation::verdict_label;
+use canvassing_analysis::{AnalysisCache, ScriptAnalysis, Verdict};
+use canvassing_net::{Resource, ScriptRef, Url};
+use canvassing_webgen::{SyntheticWeb, WebConfig};
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    verdict: Option<String>,
+    quiet: bool,
+    deny_inconclusive: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 0.05,
+        seed: 2025,
+        verdict: None,
+        quiet: false,
+        deny_inconclusive: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> String {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--scale" => {
+                args.scale = value("--scale").parse().unwrap_or_else(|_| {
+                    eprintln!("--scale wants a float");
+                    std::process::exit(2);
+                })
+            }
+            "--seed" => {
+                args.seed = value("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("--seed wants an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--verdict" => args.verdict = Some(value("--verdict")),
+            "--quiet" => args.quiet = true,
+            "--deny-inconclusive" => args.deny_inconclusive = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: lint [--scale F] [--seed N] [--verdict fp|benign|inconclusive] \
+                     [--quiet] [--deny-inconclusive]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// One unique script body found in the corpus.
+struct Entry {
+    label: String,
+    location: String,
+    analysis: Arc<ScriptAnalysis>,
+}
+
+fn wants(analysis: &ScriptAnalysis, filter: Option<&str>) -> bool {
+    match filter {
+        None => true,
+        Some("fp") => analysis.verdict.is_fingerprinting(),
+        Some("benign") => analysis.verdict == Verdict::Benign,
+        Some("inconclusive") => analysis.verdict == Verdict::Inconclusive,
+        Some(other) => {
+            eprintln!("unknown --verdict {other} (want fp|benign|inconclusive)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "generating synthetic web (scale {}, seed {}) ...",
+        args.scale, args.seed
+    );
+    let web = SyntheticWeb::generate(WebConfig {
+        seed: args.seed,
+        scale: args.scale,
+    });
+
+    // Enumerate every script body in the corpus: hosted script resources
+    // plus inline bundles inside pages. The cache deduplicates by body
+    // hash, so shared vendor deployments analyze once.
+    let cache = AnalysisCache::new();
+    let mut entries: BTreeMap<u64, Entry> = BTreeMap::new();
+    let keys: Vec<(String, String)> = web
+        .network
+        .resource_keys()
+        .map(|(h, p)| (h.to_string(), p.to_string()))
+        .collect();
+    for (host, path) in keys {
+        let url = Url::https(&host, &path);
+        match web.network.peek(&url) {
+            Some(Resource::Script(s)) => {
+                let (hash, analysis) = cache.analyze(&s.source, None);
+                entries.entry(hash).or_insert_with(|| Entry {
+                    label: s.label.clone(),
+                    location: url.to_string(),
+                    analysis,
+                });
+            }
+            Some(Resource::Page(p)) => {
+                for r in &p.scripts {
+                    if let ScriptRef::Inline { source, label } = r {
+                        let (hash, analysis) = cache.analyze(source, None);
+                        entries.entry(hash).or_insert_with(|| Entry {
+                            label: label.clone(),
+                            location: format!("{url} (inline)"),
+                            analysis,
+                        });
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+
+    let mut by_verdict: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut corpus_inconclusive: Vec<&Entry> = Vec::new();
+    for (hash, entry) in &entries {
+        *by_verdict
+            .entry(verdict_label(entry.analysis.verdict))
+            .or_insert(0) += 1;
+        let fingerprint_corpus =
+            entry.label.starts_with("vendor:") || entry.label.starts_with("generic:");
+        if fingerprint_corpus && entry.analysis.verdict == Verdict::Inconclusive {
+            corpus_inconclusive.push(entry);
+        }
+        if !wants(&entry.analysis, args.verdict.as_deref()) {
+            continue;
+        }
+        if !args.quiet {
+            println!(
+                "{hash:016x} {} [{}] {}",
+                verdict_label(entry.analysis.verdict),
+                entry.label,
+                entry.location
+            );
+            for finding in &entry.analysis.findings {
+                println!("    {}: {}", finding.rule.code(), finding.detail);
+            }
+        }
+    }
+
+    println!("\n{} unique script bodies", entries.len());
+    for (label, count) in &by_verdict {
+        println!("  {label}: {count}");
+    }
+
+    if args.deny_inconclusive && !corpus_inconclusive.is_empty() {
+        eprintln!(
+            "DENY: {} fingerprinting-corpus script(s) are statically inconclusive:",
+            corpus_inconclusive.len()
+        );
+        for e in corpus_inconclusive {
+            eprintln!("  [{}] {}", e.label, e.location);
+        }
+        std::process::exit(1);
+    }
+}

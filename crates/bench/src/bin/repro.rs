@@ -7,8 +7,13 @@
 //! Experiment ids follow DESIGN.md's index: `e1` (prevalence), `fig1`,
 //! `e3` (reach), `table1`, `table2`, `table3`, `table4`, `e7` (evasion),
 //! `e8` (randomization checks), `e9` (excluded canvases), `e10`
-//! (cross-device validation), `e12` ($document rule design), or `all`
-//! (default). Paper-vs-measured comparisons print as aligned tables.
+//! (cross-device validation), `e12` ($document rule design), `e14`
+//! (static-vs-dynamic cross-validation), or `all` (default).
+//! Paper-vs-measured comparisons print as aligned tables.
+
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use canvassing::study::{run_study, StudyOptions, StudyResults};
 use canvassing_vendors::all_vendors;
@@ -45,9 +50,7 @@ fn parse_args() -> Args {
             "--experiment" => args.experiment = value("--experiment"),
             "--json" => args.json_out = Some(value("--json")),
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: repro [--scale F] [--seed N] [--workers N] [--experiment ID]"
-                );
+                eprintln!("usage: repro [--scale F] [--seed N] [--workers N] [--experiment ID]");
                 std::process::exit(0);
             }
             other => {
@@ -91,7 +94,14 @@ fn main() {
         // explicitly (it adds four more full crawls).
         defense_sweep: args.experiment == "e13",
     };
-    eprintln!("running study (control{} crawls) ...", if options.adblock_crawls { " + ad-blocker + M1" } else { "" });
+    eprintln!(
+        "running study (control{} crawls) ...",
+        if options.adblock_crawls {
+            " + ad-blocker + M1"
+        } else {
+            ""
+        }
+    );
     let start = std::time::Instant::now();
     let results = run_study(&web, &options);
     eprintln!("study completed in {:.1?}", start.elapsed());
@@ -132,12 +142,56 @@ fn main() {
     if want("e12") {
         print_e12();
     }
+    if want("e14") {
+        print_e14(&results);
+    }
     if args.experiment == "e13" {
         print_e13(&results);
     }
     if let Some(path) = &args.json_out {
         std::fs::write(path, results.to_json().expect("serialize")).expect("write json");
         eprintln!("wrote JSON results to {path}");
+    }
+}
+
+fn print_e14(r: &StudyResults) {
+    println!("\n== E14 (extension): static classifier vs dynamic detection ==");
+    println!(
+        "  {:<8} {:>5} {:>5} {:>5} {:>5} {:>13} {:>10} {:>8} {:>7}",
+        "cohort", "TP", "FP", "FN", "TN", "inconclusive", "precision", "recall", "F1"
+    );
+    for (label, m) in [
+        ("popular", &r.popular.static_dynamic),
+        ("tail", &r.tail.static_dynamic),
+    ] {
+        println!(
+            "  {:<8} {:>5} {:>5} {:>5} {:>5} {:>13} {:>10.3} {:>8.3} {:>7.3}",
+            label,
+            m.tp,
+            m.fp,
+            m.fn_,
+            m.tn,
+            m.inconclusive,
+            m.precision(),
+            m.recall(),
+            m.f1()
+        );
+    }
+    println!(
+        "  {:<24} {:<38} double-render agrees",
+        "vendor", "static verdict"
+    );
+    for row in &r.vendor_static {
+        println!(
+            "  {:<24} {:<38} {}",
+            row.name,
+            canvassing::validation::verdict_label(row.verdict),
+            if row.double_render_agrees {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
     }
 }
 
@@ -164,8 +218,16 @@ fn print_e1(r: &StudyResults) {
     println!("\n== E1: Prevalence (Section 4.1) ==");
     let p = &r.popular.prevalence;
     let t = &r.tail.prevalence;
-    cmp("popular sites crawled successfully", "16,276", format!("{}", p.successes));
-    cmp("tail sites crawled successfully", "17,260", format!("{}", t.successes));
+    cmp(
+        "popular sites crawled successfully",
+        "16,276",
+        format!("{}", p.successes),
+    );
+    cmp(
+        "tail sites crawled successfully",
+        "17,260",
+        format!("{}", t.successes),
+    );
     println!("  failure breakdown by kind (popular / tail):");
     let mut kinds: Vec<_> = r
         .popular
@@ -187,17 +249,28 @@ fn print_e1(r: &StudyResults) {
     cmp(
         "popular sites fingerprinting",
         "2,067 (12.7%)",
-        format!("{} ({:.1}%)", p.fingerprinting_sites, 100.0 * p.fingerprinting_rate()),
+        format!(
+            "{} ({:.1}%)",
+            p.fingerprinting_sites,
+            100.0 * p.fingerprinting_rate()
+        ),
     );
     cmp(
         "tail sites fingerprinting",
         "1,715 (9.9%)",
-        format!("{} ({:.1}%)", t.fingerprinting_sites, 100.0 * t.fingerprinting_rate()),
+        format!(
+            "{} ({:.1}%)",
+            t.fingerprinting_sites,
+            100.0 * t.fingerprinting_rate()
+        ),
     );
     cmp(
         "canvases per fingerprinting site (mean/median/max)",
         "3.31 / 2 / 60",
-        format!("{:.2} / {} / {}", p.mean_canvases, p.median_canvases, p.max_canvases),
+        format!(
+            "{:.2} / {} / {}",
+            p.mean_canvases, p.median_canvases, p.max_canvases
+        ),
     );
 }
 
@@ -214,7 +287,10 @@ fn print_fig1(r: &StudyResults) {
     cmp(
         "most frequent popular canvas site count",
         "483",
-        format!("{}", r.figure1.bars.first().map(|b| b.popular_sites).unwrap_or(0)),
+        format!(
+            "{}",
+            r.figure1.bars.first().map(|b| b.popular_sites).unwrap_or(0)
+        ),
     );
 }
 
@@ -233,7 +309,10 @@ fn print_e3(r: &StudyResults) {
     cmp(
         "top-6 canvases cover popular fp sites",
         "70.1%",
-        format!("{:.1}%", pct(top6, r.popular.prevalence.fingerprinting_sites)),
+        format!(
+            "{:.1}%",
+            pct(top6, r.popular.prevalence.fingerprinting_sites)
+        ),
     );
     cmp(
         "tail fp sites sharing a canvas with popular",
@@ -315,7 +394,9 @@ fn print_table2(r: &StudyResults) {
     );
     for row in &r.table2 {
         let paper = PAPER.iter().find(|(n, ..)| *n == row.label);
-        let (pc0, pc1, ps0, ps1) = paper.map(|(_, a, b, c, d)| (*a, *b, *c, *d)).unwrap_or((0, 0, 0, 0));
+        let (pc0, pc1, ps0, ps1) = paper
+            .map(|(_, a, b, c, d)| (*a, *b, *c, *d))
+            .unwrap_or((0, 0, 0, 0));
         println!(
             "  {:<16} {:>10}/{:<5}→{:>6}/{:<6} {:>8}/{:<5}→{:>5}/{:<5}",
             row.label, pc0, pc1, row.canvases.0, row.canvases.1, ps0, ps1, row.sites.0, row.sites.1
@@ -325,7 +406,10 @@ fn print_table2(r: &StudyResults) {
 
 fn print_table3(r: &StudyResults) {
     println!("\n== E11: Table 3 — attribution methods ==");
-    println!("  {:<24} {:<10} {:<10} {:<16} measured-method", "Service", "demo", "customer", "pattern");
+    println!(
+        "  {:<24} {:<10} {:<10} {:<16} measured-method",
+        "Service", "demo", "customer", "pattern"
+    );
     for v in all_vendors() {
         let measured = r
             .attribution
@@ -338,7 +422,11 @@ fn print_table3(r: &StudyResults) {
             "  {:<24} {:<10} {:<10} {:<16} {}",
             v.name,
             if v.attribution.demo { "yes" } else { "" },
-            if v.attribution.known_customer { "yes" } else { "" },
+            if v.attribution.known_customer {
+                "yes"
+            } else {
+                ""
+            },
             v.url_pattern.unwrap_or("(per-site regex)"),
             measured,
         );
@@ -372,7 +460,11 @@ fn print_table4(r: &StudyResults) {
             ("All", c.all),
         ];
         for (name, measured) in rows {
-            let p = paper.iter().find(|(n, _)| *n == name).map(|(_, v)| *v).unwrap_or(0);
+            let p = paper
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0);
             cmp(
                 &format!("  {name}"),
                 &format!("{p}"),
@@ -389,12 +481,20 @@ fn print_e7(r: &StudyResults) {
     cmp(
         "sites with ≥1 first-party canvas (pop/tail)",
         "49% / 52%",
-        format!("{:.1}% / {:.1}%", p.pct(p.first_party_sites), t.pct(t.first_party_sites)),
+        format!(
+            "{:.1}% / {:.1}%",
+            p.pct(p.first_party_sites),
+            t.pct(t.first_party_sites)
+        ),
     );
     cmp(
         "subdomain routing (pop/tail)",
         "9.5% / 2.1%",
-        format!("{:.1}% / {:.1}%", p.pct(p.subdomain_sites), t.pct(t.subdomain_sites)),
+        format!(
+            "{:.1}% / {:.1}%",
+            p.pct(p.subdomain_sites),
+            t.pct(t.subdomain_sites)
+        ),
     );
     cmp(
         "popular-CDN serving (pop/tail)",
@@ -404,7 +504,11 @@ fn print_e7(r: &StudyResults) {
     cmp(
         "CNAME cloaking (pop/tail)",
         "(present)",
-        format!("{:.1}% / {:.1}%", p.pct(p.cname_sites), t.pct(t.cname_sites)),
+        format!(
+            "{:.1}% / {:.1}%",
+            p.pct(p.cname_sites),
+            t.pct(t.cname_sites)
+        ),
     );
 }
 
@@ -417,10 +521,12 @@ fn print_e8(r: &StudyResults) {
     cmp(
         "fp sites performing the double-render check",
         "45%",
-        format!("{:.1}% (pop {:.1}%, tail {:.1}%)",
+        format!(
+            "{:.1}% (pop {:.1}%, tail {:.1}%)",
             pct(both, base),
             p.pct(p.double_render_sites),
-            t.pct(t.double_render_sites)),
+            t.pct(t.double_render_sites)
+        ),
     );
 }
 
@@ -437,8 +543,16 @@ fn print_e9(r: &StudyResults) {
             100.0 * t.fingerprintable_fraction()
         ),
     );
-    cmp("popular sites with lossy/WebP probes", "306", format!("{}", p.lossy_probe_sites));
-    cmp("popular sites with small canvases", "216", format!("{}", p.small_canvas_sites));
+    cmp(
+        "popular sites with lossy/WebP probes",
+        "306",
+        format!("{}", p.lossy_probe_sites),
+    );
+    cmp(
+        "popular sites with small canvases",
+        "216",
+        format!("{}", p.small_canvas_sites),
+    );
     cmp(
         "fully-excluded sites (pop/tail)",
         "155 / 138",
@@ -450,8 +564,16 @@ fn print_e10(r: &StudyResults) {
     println!("\n== E10: Cross-device validation (Section 3.1) ==");
     match &r.validation {
         Some(v) => {
-            cmp("canvases differ across devices", "yes", format!("{}", v.canvases_differ));
-            cmp("site groupings identical", "yes", format!("{}", v.partitions_match));
+            cmp(
+                "canvases differ across devices",
+                "yes",
+                format!("{}", v.canvases_differ),
+            );
+            cmp(
+                "site groupings identical",
+                "yes",
+                format!("{}", v.partitions_match),
+            );
             cmp(
                 "unique canvases Intel / M1",
                 "equal",

@@ -5,6 +5,7 @@
 //! under `benches/`.
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 /// Re-exported study entry points used by the benches.
 pub use canvassing::study::{run_study, StudyOptions};

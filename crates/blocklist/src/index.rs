@@ -131,12 +131,7 @@ mod tests {
     fn both(url: &str, page: &str) -> (Verdict, Verdict) {
         let list = FilterList::parse("t", LIST);
         let indexed = IndexedFilterList::build(&list);
-        let ctx = RequestContext::new(
-            Url::parse(url).unwrap(),
-            ResourceType::Script,
-            false,
-            page,
-        );
+        let ctx = RequestContext::new(Url::parse(url).unwrap(), ResourceType::Script, false, page);
         (list.evaluate(&ctx), indexed.evaluate(&ctx))
     }
 
@@ -178,6 +173,8 @@ mod tests {
 
     #[cfg(test)]
     mod props {
+        // The proptest stub swallows test bodies; imports look unused.
+        #![allow(unused_imports)]
         use super::*;
         use proptest::prelude::*;
 

@@ -19,13 +19,14 @@
 //!    is the paper's §5.2 finding.
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod index;
 pub mod list;
 pub mod matcher;
-pub mod rule;
 #[cfg(test)]
 mod proptests;
+pub mod rule;
 
 pub use index::IndexedFilterList;
 pub use list::{DisconnectList, FilterList, Verdict};

@@ -20,7 +20,12 @@ pub struct RequestContext {
 
 impl RequestContext {
     /// Convenience constructor used throughout the pipeline.
-    pub fn new(url: Url, resource_type: ResourceType, first_party: bool, page_domain: &str) -> Self {
+    pub fn new(
+        url: Url,
+        resource_type: ResourceType,
+        first_party: bool,
+        page_domain: &str,
+    ) -> Self {
         RequestContext {
             url,
             resource_type,
@@ -55,9 +60,7 @@ fn party_matches(rule: &FilterRule, first_party: bool) -> bool {
 }
 
 fn domain_matches(rule: &FilterRule, page_domain: &str) -> bool {
-    let covered = |d: &String| {
-        page_domain == d.as_str() || page_domain.ends_with(&format!(".{d}"))
-    };
+    let covered = |d: &String| page_domain == d.as_str() || page_domain.ends_with(&format!(".{d}"));
     if rule.exclude_domains.iter().any(covered) {
         return false;
     }
@@ -90,11 +93,11 @@ fn match_tokens_at(tokens: &[PatternToken], text: &str, pos: usize, end_anchor: 
             if pos == text.len() {
                 return match_tokens_at(rest, text, pos, end_anchor);
             }
-            let c = text[pos..].chars().next().unwrap();
-            if is_separator(c) {
-                match_tokens_at(rest, text, pos + c.len_utf8(), end_anchor)
-            } else {
-                false
+            match text[pos..].chars().next() {
+                Some(c) if is_separator(c) => {
+                    match_tokens_at(rest, text, pos + c.len_utf8(), end_anchor)
+                }
+                _ => false,
             }
         }
         Some((PatternToken::Wildcard, rest)) => {
@@ -182,11 +185,21 @@ mod tests {
         let r = rule("/fingerprint.js");
         assert!(rule_matches(
             &r,
-            &ctx("https://cdn.x.com/lib/fingerprint.js", ResourceType::Script, false, "x.com")
+            &ctx(
+                "https://cdn.x.com/lib/fingerprint.js",
+                ResourceType::Script,
+                false,
+                "x.com"
+            )
         ));
         assert!(!rule_matches(
             &r,
-            &ctx("https://cdn.x.com/lib/fp.js", ResourceType::Script, false, "x.com")
+            &ctx(
+                "https://cdn.x.com/lib/fp.js",
+                ResourceType::Script,
+                false,
+                "x.com"
+            )
         ));
     }
 
@@ -198,15 +211,28 @@ mod tests {
             "https://cdn.tracker.net/a.js",
             "http://tracker.net/",
         ] {
-            assert!(rule_matches(&r, &ctx(u, ResourceType::Script, false, "x.com")), "{u}");
+            assert!(
+                rule_matches(&r, &ctx(u, ResourceType::Script, false, "x.com")),
+                "{u}"
+            );
         }
         assert!(!rule_matches(
             &r,
-            &ctx("https://nottracker.net/a.js", ResourceType::Script, false, "x.com")
+            &ctx(
+                "https://nottracker.net/a.js",
+                ResourceType::Script,
+                false,
+                "x.com"
+            )
         ));
         assert!(!rule_matches(
             &r,
-            &ctx("https://tracker.net.evil.com/a.js", ResourceType::Script, false, "x.com")
+            &ctx(
+                "https://tracker.net.evil.com/a.js",
+                ResourceType::Script,
+                false,
+                "x.com"
+            )
         ));
     }
 
@@ -217,11 +243,21 @@ mod tests {
         let r = rule("||mgid.com^$document");
         assert!(!rule_matches(
             &r,
-            &ctx("https://mgid.com/fp.js", ResourceType::Script, false, "news.com")
+            &ctx(
+                "https://mgid.com/fp.js",
+                ResourceType::Script,
+                false,
+                "news.com"
+            )
         ));
         assert!(rule_matches(
             &r,
-            &ctx("https://mgid.com/", ResourceType::Document, false, "news.com")
+            &ctx(
+                "https://mgid.com/",
+                ResourceType::Document,
+                false,
+                "news.com"
+            )
         ));
     }
 
@@ -230,11 +266,21 @@ mod tests {
         let r = rule("||fp.example.net^$script,third-party");
         assert!(rule_matches(
             &r,
-            &ctx("https://fp.example.net/x.js", ResourceType::Script, false, "shop.com")
+            &ctx(
+                "https://fp.example.net/x.js",
+                ResourceType::Script,
+                false,
+                "shop.com"
+            )
         ));
         assert!(!rule_matches(
             &r,
-            &ctx("https://fp.example.net/x.js", ResourceType::Script, true, "example.net")
+            &ctx(
+                "https://fp.example.net/x.js",
+                ResourceType::Script,
+                true,
+                "example.net"
+            )
         ));
     }
 
@@ -243,26 +289,50 @@ mod tests {
         let r = rule("/ads.js$domain=news.com");
         assert!(rule_matches(
             &r,
-            &ctx("https://cdn.net/ads.js", ResourceType::Script, false, "news.com")
+            &ctx(
+                "https://cdn.net/ads.js",
+                ResourceType::Script,
+                false,
+                "news.com"
+            )
         ));
         assert!(rule_matches(
             &r,
-            &ctx("https://cdn.net/ads.js", ResourceType::Script, false, "sub.news.com")
+            &ctx(
+                "https://cdn.net/ads.js",
+                ResourceType::Script,
+                false,
+                "sub.news.com"
+            )
         ));
         assert!(!rule_matches(
             &r,
-            &ctx("https://cdn.net/ads.js", ResourceType::Script, false, "blog.org")
+            &ctx(
+                "https://cdn.net/ads.js",
+                ResourceType::Script,
+                false,
+                "blog.org"
+            )
         ));
     }
 
     #[test]
     fn separator_semantics() {
         let r = rule("||example.com^path");
-        assert!(pattern_matches(&r, &Url::parse("https://example.com/path").unwrap()));
-        assert!(!pattern_matches(&r, &Url::parse("https://example.compath.com/x").unwrap()));
+        assert!(pattern_matches(
+            &r,
+            &Url::parse("https://example.com/path").unwrap()
+        ));
+        assert!(!pattern_matches(
+            &r,
+            &Url::parse("https://example.compath.com/x").unwrap()
+        ));
         // '^' also matches end-of-URL.
         let r2 = rule("||example.com^");
-        assert!(pattern_matches(&r2, &Url::parse("https://example.com/").unwrap()));
+        assert!(pattern_matches(
+            &r2,
+            &Url::parse("https://example.com/").unwrap()
+        ));
     }
 
     #[test]
@@ -281,7 +351,10 @@ mod tests {
     #[test]
     fn start_and_end_anchor() {
         let r = rule("|https://exact.com/app.js|");
-        assert!(pattern_matches(&r, &Url::parse("https://exact.com/app.js").unwrap()));
+        assert!(pattern_matches(
+            &r,
+            &Url::parse("https://exact.com/app.js").unwrap()
+        ));
         assert!(!pattern_matches(
             &r,
             &Url::parse("https://exact.com/app.js?v=1").unwrap()

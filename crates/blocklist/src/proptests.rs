@@ -2,6 +2,9 @@
 //! semantic invariants of exceptions and type options.
 
 #![cfg(test)]
+// The proptest stub expands test bodies to nothing, so strategy
+// helpers and imports look unused to rustc.
+#![allow(unused_imports, dead_code)]
 
 use proptest::prelude::*;
 
@@ -12,14 +15,9 @@ use crate::matcher::{rule_matches, RequestContext};
 use crate::rule::parse_line;
 
 fn url_strategy() -> impl Strategy<Value = Url> {
-    (
-        "[a-z]{1,8}",
-        "[a-z]{2,4}",
-        "(/[a-z0-9._-]{1,8}){0,3}",
-    )
-        .prop_map(|(host, tld, path)| {
-            Url::parse(&format!("https://{host}.{tld}{path}")).expect("generated URL")
-        })
+    ("[a-z]{1,8}", "[a-z]{2,4}", "(/[a-z0-9._-]{1,8}){0,3}").prop_map(|(host, tld, path)| {
+        Url::parse(&format!("https://{host}.{tld}{path}")).expect("generated URL")
+    })
 }
 
 proptest! {

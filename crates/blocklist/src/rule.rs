@@ -219,10 +219,15 @@ fn looks_like_options(s: &str) -> bool {
     !s.is_empty()
         && s.split(',').all(|o| {
             let o = o.trim().trim_start_matches('~');
-            o.chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '=' || c == '|' || c == '.'
-                    || c == '~' || c == '_')
-                && !o.is_empty()
+            o.chars().all(|c| {
+                c.is_ascii_alphanumeric()
+                    || c == '-'
+                    || c == '='
+                    || c == '|'
+                    || c == '.'
+                    || c == '~'
+                    || c == '_'
+            }) && !o.is_empty()
         })
 }
 
@@ -291,8 +296,8 @@ mod tests {
 
     #[test]
     fn parses_party_and_domain_options() {
-        let r = parse_line("||tracker.net^$script,third-party,domain=news.com|~blog.news.com")
-            .unwrap();
+        let r =
+            parse_line("||tracker.net^$script,third-party,domain=news.com|~blog.news.com").unwrap();
         assert_eq!(r.party, PartyOption::ThirdOnly);
         assert_eq!(r.include_domains, vec!["news.com"]);
         assert_eq!(r.exclude_domains, vec!["blog.news.com"]);
@@ -309,7 +314,10 @@ mod tests {
     fn skips_comments_and_cosmetic() {
         assert_eq!(parse_line("! comment"), Err(Skipped::Comment));
         assert_eq!(parse_line("[Adblock Plus 2.0]"), Err(Skipped::Comment));
-        assert_eq!(parse_line("example.com##.ad-banner"), Err(Skipped::Cosmetic));
+        assert_eq!(
+            parse_line("example.com##.ad-banner"),
+            Err(Skipped::Cosmetic)
+        );
         assert_eq!(parse_line(""), Err(Skipped::Empty));
         assert_eq!(parse_line("/banner[0-9]+/"), Err(Skipped::Unsupported));
     }

@@ -175,8 +175,12 @@ mod tests {
         let ext = Extension::new(AdBlockerKind::AdblockPlus, LIST);
         let script = Url::https("privacy-cs.mail.ru", "/counter/top.js");
         let ru_page = Url::https("news.ru", "/");
-        assert!(ext.check_script(&ru_page, &script, &DnsZone::new()).is_none());
+        assert!(ext
+            .check_script(&ru_page, &script, &DnsZone::new())
+            .is_none());
         // On a non-.ru page it would be blocked.
-        assert!(ext.check_script(&page(), &script, &DnsZone::new()).is_some());
+        assert!(ext
+            .check_script(&page(), &script, &DnsZone::new())
+            .is_some());
     }
 }

@@ -13,16 +13,18 @@
 //! Radar Collector produces (§3.1).
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod defenses;
 pub mod extension;
 pub mod memo;
 pub mod visit;
 
+pub use canvassing_analysis::{AnalysisCache, AnalysisStats, ScriptAnalysis, Verdict};
+pub use canvassing_script::{ScriptCache, ScriptCacheStats};
 pub use defenses::DefenseMode;
 pub use extension::{AdBlockerKind, BlockDecision, Extension};
 pub use memo::{CrawlCaches, PerfCounters, PerfSnapshot, RenderEntry, RenderMemo};
-pub use canvassing_script::{ScriptCache, ScriptCacheStats};
 pub use visit::{BlockedScript, Browser, LoadedScript, PageVisit, VisitError, VisitPolicy};
 
 #[cfg(test)]
@@ -64,12 +66,7 @@ mod vendor_script_tests {
         for v in all_vendors() {
             let visit = run_vendor(v.id, false);
             for s in &visit.scripts {
-                assert!(
-                    s.error.is_none(),
-                    "{} script error: {:?}",
-                    v.name,
-                    s.error
-                );
+                assert!(s.error.is_none(), "{} script error: {:?}", v.name, s.error);
             }
             assert!(
                 !visit.extractions.is_empty(),

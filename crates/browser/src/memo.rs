@@ -38,6 +38,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use canvassing_analysis::AnalysisCache;
 use canvassing_dom::{ApiCall, Document, Extraction};
 use canvassing_raster::{DeviceProfile, SurfacePool};
 use canvassing_script::{
@@ -136,6 +137,13 @@ pub struct CrawlCaches {
     pub memo: Option<Arc<RenderMemo>>,
     /// Canvas pixel-buffer recycling pool.
     pub pool: Option<Arc<SurfacePool>>,
+    /// Static pre-execution triage results, one analysis per unique
+    /// script body. Always present (like `perf`): triage is part of what
+    /// the crawler *records*, not an optimization, so enabling or
+    /// disabling the performance caches never changes the dataset. When
+    /// `scripts` is set the analysis borrows its compiled ASTs; without
+    /// it, triage parses privately (uncounted in crawl parse stats).
+    pub analysis: Arc<AnalysisCache>,
     /// Crawl-wide perf counters.
     pub perf: Arc<PerfCounters>,
 }
@@ -147,6 +155,7 @@ impl CrawlCaches {
             scripts: Some(Arc::new(ScriptCache::new())),
             memo: Some(Arc::new(RenderMemo::new())),
             pool: Some(Arc::new(SurfacePool::new())),
+            analysis: Arc::new(AnalysisCache::new()),
             perf: Arc::new(PerfCounters::default()),
         }
     }
@@ -351,10 +360,22 @@ mod tests {
         let memo = RenderMemo::new();
         let perf = PerfCounters::default();
         let a = memo
-            .lookup(FP, &DeviceProfile::intel_ubuntu(), DEFAULT_STEP_BUDGET, None, &perf)
+            .lookup(
+                FP,
+                &DeviceProfile::intel_ubuntu(),
+                DEFAULT_STEP_BUDGET,
+                None,
+                &perf,
+            )
             .unwrap();
         let b = memo
-            .lookup(FP, &DeviceProfile::apple_m1(), DEFAULT_STEP_BUDGET, None, &perf)
+            .lookup(
+                FP,
+                &DeviceProfile::apple_m1(),
+                DEFAULT_STEP_BUDGET,
+                None,
+                &perf,
+            )
             .unwrap();
         assert_eq!(memo.len(), 2);
         assert_ne!(
@@ -370,10 +391,14 @@ mod tests {
         let entry = memo
             .lookup(FP, &device(), DEFAULT_STEP_BUDGET, None, &perf)
             .unwrap();
-        assert!(memo.lookup(FP, &device(), entry.steps - 1, None, &perf).is_none());
+        assert!(memo
+            .lookup(FP, &device(), entry.steps - 1, None, &perf)
+            .is_none());
         assert_eq!(perf.snapshot().memo_bypasses, 1);
         // At exactly the canonical step count the entry fits.
-        assert!(memo.lookup(FP, &device(), entry.steps, None, &perf).is_some());
+        assert!(memo
+            .lookup(FP, &device(), entry.steps, None, &perf)
+            .is_some());
     }
 
     #[test]
@@ -394,7 +419,11 @@ mod tests {
             .lookup("let = ;", &device(), DEFAULT_STEP_BUDGET, None, &perf)
             .expect("parse failures are replayable");
         assert_eq!(entry.steps, 0);
-        assert!(entry.error.as_deref().unwrap().contains("script parse failed"));
+        assert!(entry
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("script parse failed"));
         assert!(entry.calls.is_empty());
     }
 
@@ -420,9 +449,6 @@ mod tests {
             .unwrap();
         assert_eq!(entry.extractions.len(), 2);
         assert_eq!(entry.canvases_created, 2);
-        assert_eq!(
-            entry.extractions[0].data_url,
-            entry.extractions[1].data_url
-        );
+        assert_eq!(entry.extractions[0].data_url, entry.extractions[1].data_url);
     }
 }

@@ -1,12 +1,10 @@
 //! The page-visit pipeline: fetch → consent → scripts → user simulation.
 
-use std::sync::Arc;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use canvassing_dom::{ApiCall, Document, Extraction};
-use canvassing_net::{
-    FetchError, Network, Resource, ScriptRef, Url,
-};
+use canvassing_net::{FetchError, Network, Resource, ScriptRef, Url};
 use canvassing_raster::DeviceProfile;
 use canvassing_script::DEFAULT_STEP_BUDGET;
 use serde::{Deserialize, Serialize};
@@ -108,6 +106,13 @@ pub struct LoadedScript {
     pub canonical_host: String,
     /// Whether DNS revealed a cross-site CNAME (cloaking).
     pub cname_cloaked: bool,
+    /// FNV-1a content hash of the script body (0 when the body was never
+    /// obtained, i.e. the fetch failed). The key the static triage and
+    /// compile caches share.
+    pub source_hash: u64,
+    /// Static pre-execution triage verdict; `None` when the body was
+    /// never obtained.
+    pub verdict: Option<canvassing_analysis::Verdict>,
     /// Runtime error message if the script crashed (execution continues
     /// with the next script, as in a real browser).
     pub error: Option<String>,
@@ -299,6 +304,12 @@ impl Browser {
             };
             match script_ref {
                 ScriptRef::Inline { source, .. } => {
+                    // Static triage runs before execution, once per
+                    // unique body crawl-wide (the analysis cache).
+                    let (source_hash, analysis) = self
+                        .caches
+                        .analysis
+                        .analyze(source, self.caches.scripts.as_deref());
                     let (steps, error) =
                         self.execute_script(&mut doc, source, &page_url.to_string(), budget);
                     fuel_used += steps;
@@ -313,6 +324,8 @@ impl Browser {
                         inline: true,
                         canonical_host: page_url.host.clone(),
                         cname_cloaked: false,
+                        source_hash,
+                        verdict: Some(analysis.verdict),
                         error,
                     });
                 }
@@ -337,6 +350,10 @@ impl Browser {
                             if deadline.is_some_and(|d| elapsed_ms > d) {
                                 return Err(VisitError::DeadlineExceeded(page_url.clone()));
                             }
+                            let (source_hash, analysis) = self
+                                .caches
+                                .analysis
+                                .analyze(&source, self.caches.scripts.as_deref());
                             let (steps, error) =
                                 self.execute_script(&mut doc, &source, &url.to_string(), budget);
                             fuel_used += steps;
@@ -351,16 +368,22 @@ impl Browser {
                                 inline: false,
                                 canonical_host: resp.resolution.canonical.clone(),
                                 cname_cloaked: resp.resolution.is_cloaked(),
+                                source_hash,
+                                verdict: Some(analysis.verdict),
                                 error,
                             });
                         }
                         Err(_) => {
                             // Broken script reference: pages survive it.
+                            // No body was obtained, so there is nothing
+                            // to hash or triage.
                             visit.scripts.push(LoadedScript {
                                 url: url.clone(),
                                 inline: false,
                                 canonical_host: url.host.clone(),
                                 cname_cloaked: false,
+                                source_hash: 0,
+                                verdict: None,
                                 error: Some("fetch failed".into()),
                             });
                         }
@@ -522,7 +545,9 @@ mod tests {
         // Lifting the deadline lets the slow visit complete.
         let mut patient = intel_browser();
         patient.policy = VisitPolicy::unlimited();
-        assert!(patient.visit(&network, &Url::https("site.com", "/")).is_ok());
+        assert!(patient
+            .visit(&network, &Url::https("site.com", "/"))
+            .is_ok());
     }
 
     #[test]
@@ -611,7 +636,10 @@ mod tests {
         let visit = browser
             .visit(&network, &Url::https("site.com", "/"))
             .unwrap();
-        assert_eq!(visit.extractions[0].data_url, canvassing_dom::BLOCKED_DATA_URL);
+        assert_eq!(
+            visit.extractions[0].data_url,
+            canvassing_dom::BLOCKED_DATA_URL
+        );
     }
 
     #[test]

@@ -150,7 +150,9 @@ pub fn attribute(
     popular_clusters: &Clustering,
     tail_clusters: &Clustering,
 ) -> AttributionResult {
-    let imperva_re = Regex::new(IMPERVA_URL_REGEX).expect("static regex compiles");
+    // The pattern is static and covered by unit tests; if it ever fails
+    // to compile, Imperva simply gets no per-site-regex attribution.
+    let imperva_re = Regex::new(IMPERVA_URL_REGEX).ok();
 
     let mut vendors = Vec::new();
     let mut attributed_popular: BTreeSet<&str> = BTreeSet::new();
@@ -162,8 +164,10 @@ pub fn attribute(
         let mut method = "script-pattern";
 
         if vendor.id == VendorId::Imperva {
-            collect_imperva_sites(&imperva_re, popular, popular_clusters, &mut popular_sites);
-            collect_imperva_sites(&imperva_re, tail, tail_clusters, &mut tail_sites);
+            if let Some(re) = &imperva_re {
+                collect_imperva_sites(re, popular, popular_clusters, &mut popular_sites);
+                collect_imperva_sites(re, tail, tail_clusters, &mut tail_sites);
+            }
             method = "script-pattern (per-site regex)";
         } else if let Some(set) = truth.canvases.get(&vendor.id) {
             method = truth.methods.get(&vendor.id).copied().unwrap_or("demo");
@@ -248,11 +252,7 @@ fn collect_sites_by_canvas<'a>(
 
 /// Imperva signature: singleton canvas cluster, first-party script, and
 /// the Table 3 regex captures the entire first path segment.
-fn imperva_matches(
-    re: &Regex,
-    canvas: &crate::detect::FpCanvas,
-    clustering: &Clustering,
-) -> bool {
+fn imperva_matches(re: &Regex, canvas: &crate::detect::FpCanvas, clustering: &Clustering) -> bool {
     if canvas.inline {
         return false;
     }
@@ -345,11 +345,21 @@ mod tests {
         let detections = vec![
             det(
                 "a.com",
-                vec![canvas("a.com", "data:akamai", Url::https("a.com", "/akam/1.js"), false)],
+                vec![canvas(
+                    "a.com",
+                    "data:akamai",
+                    Url::https("a.com", "/akam/1.js"),
+                    false,
+                )],
             ),
             det(
                 "b.com",
-                vec![canvas("b.com", "data:other", Url::https("x.net", "/f.js"), false)],
+                vec![canvas(
+                    "b.com",
+                    "data:other",
+                    Url::https("x.net", "/f.js"),
+                    false,
+                )],
             ),
         ];
         let mut out = BTreeSet::new();
@@ -361,9 +371,7 @@ mod tests {
     #[test]
     fn imperva_requires_singleton_first_party_full_segment() {
         let re = Regex::new(IMPERVA_URL_REGEX).unwrap();
-        let mk = |site: &str, data: &str, url: Url, inline: bool| {
-            canvas(site, data, url, inline)
-        };
+        let mk = |site: &str, data: &str, url: Url, inline: bool| canvas(site, data, url, inline);
         // Proper Imperva shape.
         let c1 = mk(
             "shop.com",
@@ -372,8 +380,18 @@ mod tests {
             false,
         );
         // Shared cluster (akamai-like) — same path shape, not singleton.
-        let c2a = mk("x.com", "data:shared", Url::https("x.com", "/akam/s.js"), false);
-        let c2b = mk("y.com", "data:shared", Url::https("y.com", "/akam/s.js"), false);
+        let c2a = mk(
+            "x.com",
+            "data:shared",
+            Url::https("x.com", "/akam/s.js"),
+            false,
+        );
+        let c2b = mk(
+            "y.com",
+            "data:shared",
+            Url::https("y.com", "/akam/s.js"),
+            false,
+        );
         // Third-party singleton — not Imperva.
         let c3 = mk(
             "z.com",

@@ -245,10 +245,7 @@ mod tests {
         let dev1 = Clustering::build([site("a.com", &["X1"]), site("b.com", &["X1"])].iter());
         let dev2 = Clustering::build([site("a.com", &["X2"]), site("b.com", &["X2"])].iter());
         assert_eq!(dev1.site_partition(), dev2.site_partition());
-        assert_ne!(
-            dev1.clusters[0].data_url,
-            dev2.clusters[0].data_url
-        );
+        assert_ne!(dev1.clusters[0].data_url, dev2.clusters[0].data_url);
     }
 
     #[test]

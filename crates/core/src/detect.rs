@@ -136,8 +136,7 @@ pub fn detect(visit: &PageVisit) -> SiteDetection {
         match verdict {
             Err(reason) => out.excluded.push((reason, e.script_url.clone())),
             Ok(()) => {
-                let script_url = Url::parse(&e.script_url)
-                    .unwrap_or_else(|_| visit.page.clone());
+                let script_url = Url::parse(&e.script_url).unwrap_or_else(|_| visit.page.clone());
                 let (mut inline, cloaked) = script_info(&e.script_url);
                 if e.script_url == page_str {
                     inline = true;

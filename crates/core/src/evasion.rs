@@ -135,7 +135,13 @@ mod tests {
             ),
             det(
                 "b.com",
-                vec![canvas("b.com", Party::FirstPartySubdomain, false, false, false)],
+                vec![canvas(
+                    "b.com",
+                    Party::FirstPartySubdomain,
+                    false,
+                    false,
+                    false,
+                )],
                 false,
             ),
             det(

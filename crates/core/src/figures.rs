@@ -32,9 +32,8 @@ pub struct Figure1 {
 impl Figure1 {
     /// Builds Figure 1 from both cohorts' clusterings.
     pub fn build(popular: &Clustering, tail: &Clustering, k: usize) -> Figure1 {
-        let tail_count = |data_url: &str| -> usize {
-            tail.find(data_url).map(|c| c.site_count()).unwrap_or(0)
-        };
+        let tail_count =
+            |data_url: &str| -> usize { tail.find(data_url).map(|c| c.site_count()).unwrap_or(0) };
         let bars: Vec<Fig1Bar> = popular
             .clusters
             .iter()

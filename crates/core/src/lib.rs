@@ -18,6 +18,9 @@
 //! * [`evasion`] — §5.2's first-party / subdomain / CDN / CNAME serving
 //!   analysis and §5.3's double-render randomization-check detection;
 //! * [`figures`] — Figure 1 regeneration;
+//! * [`validation`] — cross-validation of the static AST classifier
+//!   (`canvassing-analysis`) against the dynamic detector: a per-cohort
+//!   confusion matrix over unique script bodies plus per-vendor rows;
 //! * [`study`] — the orchestrator that runs every crawl and produces all
 //!   tables and figures ([`study::run_study`]).
 //!
@@ -31,6 +34,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod attribution;
 pub mod blocklist_coverage;
@@ -39,9 +43,10 @@ pub mod detect;
 pub mod evasion;
 pub mod figures;
 pub mod prevalence;
-pub mod study;
 #[cfg(test)]
 mod proptests;
+pub mod study;
+pub mod validation;
 
 pub use cluster::{Cluster, Clustering, OverlapStats};
 pub use detect::{detect, ExclusionReason, FpCanvas, SiteDetection};
@@ -49,3 +54,4 @@ pub use evasion::EvasionStats;
 pub use figures::Figure1;
 pub use prevalence::Prevalence;
 pub use study::{run_study, CohortAnalysis, StudyOptions, StudyResults};
+pub use validation::{cross_validate, vendor_static_rows, ConfusionMatrix, VendorStaticRow};

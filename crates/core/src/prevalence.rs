@@ -106,10 +106,9 @@ impl Prevalence {
         }
         if !per_site.is_empty() {
             per_site.sort_unstable();
-            p.mean_canvases =
-                per_site.iter().sum::<usize>() as f64 / per_site.len() as f64;
+            p.mean_canvases = per_site.iter().sum::<usize>() as f64 / per_site.len() as f64;
             p.median_canvases = per_site[per_site.len() / 2];
-            p.max_canvases = *per_site.last().unwrap();
+            p.max_canvases = per_site.last().copied().unwrap_or(0);
         }
         p
     }

@@ -1,6 +1,9 @@
 //! Property tests on the analysis invariants.
 
 #![cfg(test)]
+// The proptest stub expands test bodies to nothing, so strategy
+// helpers and imports look unused to rustc.
+#![allow(unused_imports, dead_code)]
 
 use proptest::prelude::*;
 
@@ -12,34 +15,32 @@ use crate::prevalence::Prevalence;
 
 /// Random site detections: site index → list of canvas ids.
 fn detections_strategy() -> impl Strategy<Value = Vec<SiteDetection>> {
-    proptest::collection::vec(proptest::collection::vec(0u8..24, 0..5), 0..30).prop_map(
-        |sites| {
-            sites
-                .into_iter()
-                .enumerate()
-                .map(|(i, canvases)| SiteDetection {
-                    site: format!("site{i}.example"),
-                    canvases: canvases
-                        .into_iter()
-                        .map(|cid| FpCanvas {
-                            site: format!("site{i}.example"),
-                            data_url: format!("data:canvas-{cid}"),
-                            hash: cid as u64,
-                            script_url: Url::https("s.example", "/f.js"),
-                            inline: false,
-                            party: Party::ThirdParty,
-                            cname_cloaked: false,
-                            cdn: false,
-                            width: 100,
-                            height: 100,
-                        })
-                        .collect(),
-                    excluded: vec![],
-                    double_render_check: false,
-                })
-                .collect()
-        },
-    )
+    proptest::collection::vec(proptest::collection::vec(0u8..24, 0..5), 0..30).prop_map(|sites| {
+        sites
+            .into_iter()
+            .enumerate()
+            .map(|(i, canvases)| SiteDetection {
+                site: format!("site{i}.example"),
+                canvases: canvases
+                    .into_iter()
+                    .map(|cid| FpCanvas {
+                        site: format!("site{i}.example"),
+                        data_url: format!("data:canvas-{cid}"),
+                        hash: cid as u64,
+                        script_url: Url::https("s.example", "/f.js"),
+                        inline: false,
+                        party: Party::ThirdParty,
+                        cname_cloaked: false,
+                        cdn: false,
+                        width: 100,
+                        height: 100,
+                    })
+                    .collect(),
+                excluded: vec![],
+                double_render_check: false,
+            })
+            .collect()
+    })
 }
 
 proptest! {

@@ -4,7 +4,9 @@
 
 use canvassing_blocklist::{DisconnectList, FilterList};
 use canvassing_browser::AdBlockerKind;
-use canvassing_crawler::{crawl, crawl_with_stats, CrawlConfig, CrawlDataset, CrawlStats, FailureKind};
+use canvassing_crawler::{
+    crawl, crawl_with_stats, CrawlConfig, CrawlDataset, CrawlStats, FailureKind,
+};
 use canvassing_raster::DeviceProfile;
 use canvassing_webgen::{Cohort, SyntheticWeb};
 use serde::{Deserialize, Serialize};
@@ -16,6 +18,9 @@ use crate::detect::{detect, SiteDetection};
 use crate::evasion::EvasionStats;
 use crate::figures::Figure1;
 use crate::prevalence::Prevalence;
+use crate::validation::{
+    cross_validate, vendor_static_rows, verdict_label, ConfusionMatrix, VendorStaticRow,
+};
 
 /// What to run beyond the control crawl.
 #[derive(Debug, Clone, Copy)]
@@ -63,6 +68,9 @@ pub struct CohortAnalysis {
     pub coverage: CoverageCounts,
     /// §3.1 crawl-failure breakdown by typed kind.
     pub failures: std::collections::BTreeMap<FailureKind, usize>,
+    /// Static-triage vs dynamic-detection confusion matrix over the
+    /// cohort's unique script bodies.
+    pub static_dynamic: ConfusionMatrix,
     /// Crawl cache-efficiency counters (parse/memo hit rates). Zeroed
     /// when the analysis was built from a dataset alone.
     pub perf: CrawlStats,
@@ -76,12 +84,15 @@ pub fn analyze_cohort(
     easyprivacy: &FilterList,
     disconnect: &DisconnectList,
 ) -> CohortAnalysis {
-    let detections: Vec<SiteDetection> =
-        dataset.successful().map(|(_, visit)| detect(visit)).collect();
+    let detections: Vec<SiteDetection> = dataset
+        .successful()
+        .map(|(_, visit)| detect(visit))
+        .collect();
     let clustering = Clustering::build(detections.iter());
     let prevalence = Prevalence::compute(&detections, dataset.records.len());
     let evasion = EvasionStats::compute(&detections);
     let coverage = coverage(&detections, easylist, easyprivacy, disconnect);
+    let static_dynamic = cross_validate(dataset, &detections);
     CohortAnalysis {
         cohort,
         attempted: dataset.records.len(),
@@ -91,6 +102,7 @@ pub fn analyze_cohort(
         evasion,
         coverage,
         failures: dataset.failure_breakdown(),
+        static_dynamic,
         perf: CrawlStats::default(),
     }
 }
@@ -149,6 +161,9 @@ pub struct StudyResults {
     pub table2: Vec<Table2Row>,
     /// §3.1 validation, when run.
     pub validation: Option<ValidationResult>,
+    /// Per-vendor static-classifier rows (static verdict vs the vendor's
+    /// known runtime behavior).
+    pub vendor_static: Vec<VendorStaticRow>,
     /// E13 defense sweep rows (control first), empty unless requested.
     pub defense_sweep: Vec<DefenseSweepRow>,
 }
@@ -197,8 +212,13 @@ pub fn run_study(web: &SyntheticWeb, options: &StudyOptions) -> StudyResults {
     let (popular_ds, popular_stats) = crawl_with_stats(&web.network, &popular_frontier, &control);
     let (tail_ds, tail_stats) = crawl_with_stats(&web.network, &tail_frontier, &control);
 
-    let mut popular =
-        analyze_cohort(Cohort::Popular, &popular_ds, &easylist, &easyprivacy, &disconnect);
+    let mut popular = analyze_cohort(
+        Cohort::Popular,
+        &popular_ds,
+        &easylist,
+        &easyprivacy,
+        &disconnect,
+    );
     popular.perf = popular_stats;
     let mut tail = analyze_cohort(Cohort::Tail, &tail_ds, &easylist, &easyprivacy, &disconnect);
     tail.perf = tail_stats;
@@ -240,10 +260,8 @@ pub fn run_study(web: &SyntheticWeb, options: &StudyOptions) -> StudyResults {
             config.workers = options.workers;
             let p = crawl(&web.network, &popular_frontier, &config);
             let t = crawl(&web.network, &tail_frontier, &config);
-            let p_det: Vec<SiteDetection> =
-                p.successful().map(|(_, v)| detect(v)).collect();
-            let t_det: Vec<SiteDetection> =
-                t.successful().map(|(_, v)| detect(v)).collect();
+            let p_det: Vec<SiteDetection> = p.successful().map(|(_, v)| detect(v)).collect();
+            let t_det: Vec<SiteDetection> = t.successful().map(|(_, v)| detect(v)).collect();
             table2.push(Table2Row {
                 label: kind.name().into(),
                 canvases: (
@@ -260,8 +278,7 @@ pub fn run_study(web: &SyntheticWeb, options: &StudyOptions) -> StudyResults {
         let mut config = CrawlConfig::with_device(DeviceProfile::apple_m1());
         config.workers = options.workers;
         let m1_ds = crawl(&web.network, &popular_frontier, &config);
-        let m1_det: Vec<SiteDetection> =
-            m1_ds.successful().map(|(_, v)| detect(v)).collect();
+        let m1_det: Vec<SiteDetection> = m1_ds.successful().map(|(_, v)| detect(v)).collect();
         let m1_clustering = Clustering::build(m1_det.iter());
         let intel_urls: std::collections::BTreeSet<&str> = popular
             .clustering
@@ -275,10 +292,8 @@ pub fn run_study(web: &SyntheticWeb, options: &StudyOptions) -> StudyResults {
             .map(|c| c.data_url.as_str())
             .collect();
         Some(ValidationResult {
-            canvases_differ: intel_urls.is_disjoint(&m1_urls)
-                || intel_urls != m1_urls,
-            partitions_match: popular.clustering.site_partition()
-                == m1_clustering.site_partition(),
+            canvases_differ: intel_urls.is_disjoint(&m1_urls) || intel_urls != m1_urls,
+            partitions_match: popular.clustering.site_partition() == m1_clustering.site_partition(),
             unique_canvases: (
                 popular.clustering.unique_canvases(),
                 m1_clustering.unique_canvases(),
@@ -295,8 +310,14 @@ pub fn run_study(web: &SyntheticWeb, options: &StudyOptions) -> StudyResults {
         use canvassing_browser::DefenseMode;
         let sweep = [
             ("control", DefenseMode::None),
-            ("per-render noise", DefenseMode::RandomizePerRender { seed: 1 }),
-            ("per-session noise", DefenseMode::RandomizePerSession { seed: 1 }),
+            (
+                "per-render noise",
+                DefenseMode::RandomizePerRender { seed: 1 },
+            ),
+            (
+                "per-session noise",
+                DefenseMode::RandomizePerSession { seed: 1 },
+            ),
             ("canvas blocking", DefenseMode::Block),
         ];
         for (label, defense) in sweep {
@@ -305,8 +326,7 @@ pub fn run_study(web: &SyntheticWeb, options: &StudyOptions) -> StudyResults {
             config.workers = options.workers;
             config.defense = defense;
             let ds = crawl(&web.network, &popular_frontier, &config);
-            let detections: Vec<SiteDetection> =
-                ds.successful().map(|(_, v)| detect(v)).collect();
+            let detections: Vec<SiteDetection> = ds.successful().map(|(_, v)| detect(v)).collect();
             let clustering = Clustering::build(detections.iter());
             defense_sweep.push(DefenseSweepRow {
                 label: label.to_string(),
@@ -325,6 +345,7 @@ pub fn run_study(web: &SyntheticWeb, options: &StudyOptions) -> StudyResults {
         attribution,
         table2,
         validation,
+        vendor_static: vendor_static_rows(),
         defense_sweep,
     }
 }
@@ -506,6 +527,39 @@ impl StudyResults {
             ));
         }
 
+        out.push_str("\n== Static vs dynamic: confusion matrix over unique scripts ==\n");
+        out.push_str("Cohort | TP | FP | FN | TN | inconclusive | precision | recall | F1\n");
+        for a in [&self.popular, &self.tail] {
+            let m = &a.static_dynamic;
+            out.push_str(&format!(
+                "{:?} | {} | {} | {} | {} | {} | {:.3} | {:.3} | {:.3}\n",
+                a.cohort,
+                m.tp,
+                m.fp,
+                m.fn_,
+                m.tn,
+                m.inconclusive,
+                m.precision(),
+                m.recall(),
+                m.f1(),
+            ));
+        }
+        if !self.vendor_static.is_empty() {
+            out.push_str("Vendor | static verdict | double-render agrees\n");
+            for row in &self.vendor_static {
+                out.push_str(&format!(
+                    "{} | {} | {}\n",
+                    row.name,
+                    verdict_label(row.verdict),
+                    if row.double_render_agrees {
+                        "yes"
+                    } else {
+                        "NO"
+                    },
+                ));
+            }
+        }
+
         if !self.defense_sweep.is_empty() {
             out.push_str("\n== E13 (extension): crawling under canvas defenses ==\n");
             out.push_str("defense | unique canvases | unstable-check sites | fp sites\n");
@@ -570,7 +624,10 @@ mod tests {
             .unwrap();
         assert!(akamai.popular_sites > 0);
         let coverage = results.attribution.popular_coverage();
-        assert!((0.4..=1.0).contains(&coverage), "attribution coverage {coverage}");
+        assert!(
+            (0.4..=1.0).contains(&coverage),
+            "attribution coverage {coverage}"
+        );
 
         // Table 2: blockers help only slightly.
         assert_eq!(results.table2.len(), 3);
@@ -618,12 +675,31 @@ mod tests {
             );
         }
 
+        // Static-vs-dynamic cross-validation: the two detectors agree
+        // almost everywhere, and every vendor row is a true positive.
+        for a in [&results.popular, &results.tail] {
+            let m = &a.static_dynamic;
+            assert!(
+                m.decided() > 10,
+                "{:?}: only {} decided",
+                a.cohort,
+                m.decided()
+            );
+            assert!(m.f1() >= 0.95, "{:?}: F1 {:.3} ({:?})", a.cohort, m.f1(), m);
+        }
+        assert!(!results.vendor_static.is_empty());
+        for row in &results.vendor_static {
+            assert!(row.true_positive, "{}: {:?}", row.name, row.verdict);
+        }
+
         // The report renders.
         let report = results.render_report();
         assert!(report.contains("Table 1"));
         assert!(report.contains("Akamai"));
         assert!(report.contains("Crawl failures by kind"));
         assert!(report.contains("cache efficiency"));
+        assert!(report.contains("confusion matrix over unique scripts"));
+        assert!(report.contains("double-render agrees"));
     }
 }
 

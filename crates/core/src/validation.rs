@@ -1,0 +1,243 @@
+//! Static-vs-dynamic cross-validation.
+//!
+//! The crawl records two independent judgments of every script: the
+//! pre-execution static triage verdict ([`canvassing_analysis::Verdict`],
+//! stored on each `LoadedScript`) and the post-execution dynamic §3.2
+//! detection (a [`FpCanvas`](crate::detect::FpCanvas) attributed to the
+//! script's URL). This module folds the two into a per-cohort
+//! [`ConfusionMatrix`] keyed by unique script body (FNV-1a hash), plus a
+//! per-vendor table checking the classifier against each vendor's known
+//! runtime behavior — the two detectors validate each other.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use canvassing_analysis::{classify_source, Verdict};
+use canvassing_crawler::CrawlDataset;
+use canvassing_net::Url;
+use canvassing_vendors::{all_vendors, scripts};
+use serde::{Deserialize, Serialize};
+
+use crate::detect::SiteDetection;
+
+/// A 2×2 confusion matrix over unique script bodies: static verdict
+/// (rows) against dynamic detection (columns). `Inconclusive` scripts
+/// are tallied separately — they abstain rather than vote.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Statically `Fingerprinting`, dynamically detected.
+    pub tp: usize,
+    /// Statically `Fingerprinting`, dynamically silent.
+    pub fp: usize,
+    /// Statically `Benign`, dynamically detected.
+    pub fn_: usize,
+    /// Statically `Benign`, dynamically silent.
+    pub tn: usize,
+    /// Statically `Inconclusive` (excluded from the four cells).
+    pub inconclusive: usize,
+}
+
+impl ConfusionMatrix {
+    /// Adds one unique script to the matrix.
+    pub fn record(&mut self, verdict: Verdict, dynamic_positive: bool) {
+        if verdict == Verdict::Inconclusive {
+            self.inconclusive += 1;
+            return;
+        }
+        match (verdict.is_fingerprinting(), dynamic_positive) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Accumulates another matrix cell-by-cell (e.g. to pool cohorts).
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+        self.inconclusive += other.inconclusive;
+    }
+
+    /// Unique scripts that cast a vote (everything but `Inconclusive`).
+    pub fn decided(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// All unique scripts seen, including abstentions.
+    pub fn total(&self) -> usize {
+        self.decided() + self.inconclusive
+    }
+
+    /// TP / (TP + FP); 1.0 when the static pass never fired.
+    pub fn precision(&self) -> f64 {
+        Self::ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// TP / (TP + FN); 1.0 when nothing fired dynamically.
+    pub fn recall(&self) -> f64 {
+        Self::ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// (TP + TN) / decided — raw static-dynamic agreement.
+    pub fn agreement(&self) -> f64 {
+        Self::ratio(self.tp + self.tn, self.decided())
+    }
+
+    fn ratio(num: usize, den: usize) -> f64 {
+        if den == 0 {
+            1.0
+        } else {
+            num as f64 / den as f64
+        }
+    }
+}
+
+/// Cross-validates one cohort's crawl: for every unique script body, the
+/// static triage verdict versus whether the dynamic detector attributed a
+/// fingerprintable canvas to that script's URL on any visit.
+///
+/// `detections` must be in [`CrawlDataset::successful`] order (as
+/// produced by `analyze_cohort`). Scripts whose body was never fetched
+/// carry no verdict and are skipped — neither detector saw them.
+pub fn cross_validate(dataset: &CrawlDataset, detections: &[SiteDetection]) -> ConfusionMatrix {
+    // hash → (static verdict, dynamically detected anywhere). The
+    // verdict is a pure function of the body, so any occurrence serves;
+    // the dynamic bit ORs across every site the body appeared on.
+    let mut per_script: BTreeMap<u64, (Verdict, bool)> = BTreeMap::new();
+    for ((_, visit), det) in dataset.successful().zip(detections) {
+        let fired: BTreeSet<&Url> = det.canvases.iter().map(|c| &c.script_url).collect();
+        for script in &visit.scripts {
+            let Some(verdict) = script.verdict else {
+                continue;
+            };
+            let entry = per_script
+                .entry(script.source_hash)
+                .or_insert((verdict, false));
+            entry.1 |= fired.contains(&script.url);
+        }
+    }
+
+    let mut matrix = ConfusionMatrix::default();
+    for (verdict, dynamic_positive) in per_script.values() {
+        matrix.record(*verdict, *dynamic_positive);
+    }
+    matrix
+}
+
+/// One per-vendor cross-validation row: the static verdict on the
+/// vendor's script body against the vendor's known runtime behavior
+/// (every modeled vendor fingerprints dynamically; `double_render` comes
+/// from its metadata).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VendorStaticRow {
+    /// Vendor display name.
+    pub name: String,
+    /// Static verdict on the vendor's script.
+    pub verdict: Verdict,
+    /// True positive: the static pass calls the script fingerprinting.
+    pub true_positive: bool,
+    /// Whether the static §5.3 double-render flag matches the vendor's
+    /// metadata (its actual runtime behavior).
+    pub double_render_agrees: bool,
+}
+
+/// Classifies every modeled vendor script statically and scores it
+/// against the vendor's metadata.
+pub fn vendor_static_rows() -> Vec<VendorStaticRow> {
+    all_vendors()
+        .iter()
+        .map(|v| {
+            let source = scripts::source(v.id, &scripts::site_token("validation.example"), false);
+            let verdict = classify_source(&source).verdict;
+            let static_double = matches!(
+                verdict,
+                Verdict::Fingerprinting {
+                    double_render: true,
+                    ..
+                }
+            );
+            VendorStaticRow {
+                name: v.name.to_string(),
+                verdict,
+                true_positive: verdict.is_fingerprinting(),
+                double_render_agrees: static_double == v.double_render,
+            }
+        })
+        .collect()
+}
+
+/// Short report label for a verdict.
+pub fn verdict_label(verdict: Verdict) -> &'static str {
+    match verdict {
+        Verdict::Fingerprinting {
+            exfil: true,
+            double_render: true,
+        } => "fingerprinting (exfil, double-render)",
+        Verdict::Fingerprinting {
+            exfil: true,
+            double_render: false,
+        } => "fingerprinting (exfil)",
+        Verdict::Fingerprinting {
+            exfil: false,
+            double_render: true,
+        } => "fingerprinting (double-render)",
+        Verdict::Fingerprinting {
+            exfil: false,
+            double_render: false,
+        } => "fingerprinting",
+        Verdict::Benign => "benign",
+        Verdict::Inconclusive => "inconclusive",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_rates_handle_empty_and_full_cells() {
+        let mut m = ConfusionMatrix::default();
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+        m.record(
+            Verdict::Fingerprinting {
+                exfil: true,
+                double_render: false,
+            },
+            true,
+        );
+        m.record(Verdict::Benign, false);
+        m.record(Verdict::Inconclusive, true);
+        assert_eq!((m.tp, m.fp, m.fn_, m.tn, m.inconclusive), (1, 0, 0, 1, 1));
+        assert_eq!(m.decided(), 2);
+        assert_eq!(m.total(), 3);
+        assert_eq!(m.f1(), 1.0);
+        assert_eq!(m.agreement(), 1.0);
+        m.record(Verdict::Benign, true); // a miss
+        assert!(m.recall() < 1.0);
+        assert!(m.f1() < 1.0);
+    }
+
+    #[test]
+    fn every_vendor_row_is_a_true_positive_with_matching_double_render() {
+        let rows = vendor_static_rows();
+        assert_eq!(rows.len(), all_vendors().len());
+        for row in rows {
+            assert!(row.true_positive, "{}: {:?}", row.name, row.verdict);
+            assert!(row.double_render_agrees, "{}: {:?}", row.name, row.verdict);
+        }
+    }
+}

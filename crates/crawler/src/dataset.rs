@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 /// Why a site visit failed, as a closed taxonomy the analysis layer can
 /// aggregate over (per-kind breakdown tables), rather than a free-form
 /// string that can only be substring-matched.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum FailureKind {
     /// Permanent DNS failure (NXDOMAIN, broken CNAME chain).
     Dns,

@@ -31,6 +31,7 @@
 //!   uninterrupted crawl would have produced.
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod dataset;
 
@@ -223,8 +224,15 @@ impl CrawlConfig {
                 .caching
                 .script_cache
                 .then(|| Arc::new(ScriptCache::new())),
-            memo: self.caching.render_memo.then(|| Arc::new(RenderMemo::new())),
+            memo: self
+                .caching
+                .render_memo
+                .then(|| Arc::new(RenderMemo::new())),
             pool: None,
+            // Static triage is always on — it is part of the recorded
+            // dataset, not a cache layer, so `CachingPolicy` cannot turn
+            // it off (which would change what the crawler records).
+            analysis: Arc::new(Default::default()),
             perf: Arc::new(Default::default()),
         }
     }
@@ -320,6 +328,10 @@ pub struct CrawlStats {
     pub memo_computes: u64,
     /// Memo lookups that fell back to in-place execution.
     pub memo_bypasses: u64,
+    /// Static triage analyses run (== unique script bodies seen).
+    pub static_analyses: u64,
+    /// Triage lookups answered from the analysis cache.
+    pub analysis_hits: u64,
 }
 
 impl CrawlStats {
@@ -331,6 +343,7 @@ impl CrawlStats {
             .map(|c| c.stats())
             .unwrap_or_default();
         let perf = caches.perf.snapshot();
+        let analysis = caches.analysis.stats();
         CrawlStats {
             sites: 0,
             script_parses: script.parses,
@@ -339,6 +352,8 @@ impl CrawlStats {
             memo_hits: perf.memo_hits,
             memo_computes: perf.memo_computes,
             memo_bypasses: perf.memo_bypasses,
+            static_analyses: analysis.analyses,
+            analysis_hits: analysis.hits,
         }
     }
 
@@ -352,6 +367,8 @@ impl CrawlStats {
             memo_hits: self.memo_hits - before.memo_hits,
             memo_computes: self.memo_computes - before.memo_computes,
             memo_bypasses: self.memo_bypasses - before.memo_bypasses,
+            static_analyses: self.static_analyses - before.static_analyses,
+            analysis_hits: self.analysis_hits - before.analysis_hits,
         }
     }
 
@@ -794,6 +811,8 @@ mod tests {
             "no in-place runs: the canonical render counts as a compute"
         );
         assert!(stats.memo_hit_rate() > 0.8);
+        assert_eq!(stats.static_analyses, 1, "one triage per unique body");
+        assert_eq!(stats.analysis_hits, 9);
     }
 
     #[test]
@@ -807,6 +826,10 @@ mod tests {
         assert_eq!(stats.script_executions, 10, "every script runs in place");
         assert_eq!(stats.script_cache_hit_rate(), 0.0);
         assert_eq!(stats.memo_hit_rate(), 0.0);
+        // Triage is not a cache layer: it still runs (privately parsed)
+        // once per unique body with every performance cache off.
+        assert_eq!(stats.static_analyses, 1);
+        assert_eq!(stats.analysis_hits, 9);
     }
 
     #[test]
@@ -834,6 +857,40 @@ mod tests {
         assert_eq!(stats.memo_computes, 0);
         assert_eq!(stats.script_executions, 6, "every live site runs in place");
         assert_eq!(stats.script_parses, 1, "compile cache still shared");
-        assert_eq!(stats.script_cache_hits, 5);
+        // Triage performed the one parse; all 6 in-place executions hit.
+        assert_eq!(stats.script_cache_hits, 6);
+        assert_eq!(stats.static_analyses, 1);
+    }
+
+    #[test]
+    fn static_triage_runs_once_per_unique_hash_across_worker_counts() {
+        // Acceptance: analysis runs exactly once per unique script hash,
+        // deterministically — the stats must agree across worker counts
+        // and match the number of distinct bodies in the workload.
+        let (network, frontier) = network_with_sites(24);
+        for workers in [1, 3, 8] {
+            let mut config = CrawlConfig::control();
+            config.workers = workers;
+            let (ds, stats) = crawl_with_stats(&network, &frontier, &config);
+            let unique_hashes: std::collections::BTreeSet<u64> = ds
+                .successful()
+                .flat_map(|(_, v)| v.scripts.iter().map(|s| s.source_hash))
+                .collect();
+            assert_eq!(
+                stats.static_analyses,
+                unique_hashes.len() as u64,
+                "workers={workers}: one analysis per unique hash"
+            );
+            assert_eq!(
+                stats.static_analyses + stats.analysis_hits,
+                ds.successful().map(|(_, v)| v.scripts.len() as u64).sum(),
+                "workers={workers}: every loaded script was triaged"
+            );
+            // Every loaded script carries a verdict (bodies were fetched).
+            assert!(ds
+                .successful()
+                .flat_map(|(_, v)| v.scripts.iter())
+                .all(|s| s.verdict.is_some()));
+        }
     }
 }

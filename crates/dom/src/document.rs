@@ -609,9 +609,7 @@ impl Host for Document {
                     "moveTo" => canvas.move_to(a(0), a(1)),
                     "lineTo" => canvas.line_to(a(0), a(1)),
                     "quadraticCurveTo" => canvas.quadratic_curve_to(a(0), a(1), a(2), a(3)),
-                    "bezierCurveTo" => {
-                        canvas.bezier_curve_to(a(0), a(1), a(2), a(3), a(4), a(5))
-                    }
+                    "bezierCurveTo" => canvas.bezier_curve_to(a(0), a(1), a(2), a(3), a(4), a(5)),
                     "arc" => {
                         let ccw = args.get(5).map(Value::truthy).unwrap_or(false);
                         canvas.arc(a(0), a(1), a(2), a(3), a(4), ccw);
@@ -624,8 +622,7 @@ impl Host for Document {
                     "fill" => {
                         let rule = match args.first() {
                             Some(Value::Str(r)) => {
-                                canvassing_raster::fill::FillRule::parse(r)
-                                    .unwrap_or_default()
+                                canvassing_raster::fill::FillRule::parse(r).unwrap_or_default()
                             }
                             _ => Default::default(),
                         };
@@ -652,9 +649,7 @@ impl Host for Document {
                     "scale" => canvas.scale(a(0), a(1)),
                     "rotate" => canvas.rotate(a(0)),
                     "transform" => canvas.transform(a(0), a(1), a(2), a(3), a(4), a(5)),
-                    "setTransform" => {
-                        canvas.set_transform(a(0), a(1), a(2), a(3), a(4), a(5))
-                    }
+                    "setTransform" => canvas.set_transform(a(0), a(1), a(2), a(3), a(4), a(5)),
                     "resetTransform" => canvas.reset_transform(),
                     "createLinearGradient" => {
                         let g = canvassing_raster::Gradient::linear(a(0), a(1), a(2), a(3));
@@ -664,14 +659,8 @@ impl Host for Document {
                         return Ok(Value::Host(h));
                     }
                     "createRadialGradient" => {
-                        let g = canvassing_raster::Gradient::radial(
-                            a(0),
-                            a(1),
-                            a(2),
-                            a(3),
-                            a(4),
-                            a(5),
-                        );
+                        let g =
+                            canvassing_raster::Gradient::radial(a(0), a(1), a(2), a(3), a(4), a(5));
                         self.gradients.push(g);
                         let gi = self.gradients.len() - 1;
                         let h = self.alloc(Obj::Gradient(gi));
@@ -1059,11 +1048,7 @@ mod tests {
         assert_eq!(d.extractions().len(), 3);
         let mimes: Vec<&str> = d.extractions().iter().map(|e| e.mime.as_str()).collect();
         assert_eq!(mimes, vec!["image/png", "image/jpeg", "image/webp"]);
-        let calls = d
-            .calls()
-            .iter()
-            .filter(|c| c.name == "toDataURL")
-            .count();
+        let calls = d.calls().iter().filter(|c| c.name == "toDataURL").count();
         assert_eq!(calls, 3);
     }
 

@@ -12,6 +12,7 @@
 //! (per-render or per-session randomization, §5.3).
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod document;
 pub mod record;

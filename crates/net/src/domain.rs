@@ -94,7 +94,10 @@ mod tests {
     #[test]
     fn multi_label_suffixes() {
         assert_eq!(public_suffix("shop.example.co.uk"), "co.uk");
-        assert_eq!(registrable_domain("shop.example.co.uk"), Some("example.co.uk"));
+        assert_eq!(
+            registrable_domain("shop.example.co.uk"),
+            Some("example.co.uk")
+        );
         assert_eq!(registrable_domain("betus.com.pa"), Some("betus.com.pa"));
         assert_eq!(registrable_domain("www.betus.com.pa"), Some("betus.com.pa"));
     }

@@ -488,9 +488,7 @@ pub const POPULAR_CDNS: &[&str] = &[
 
 /// Whether a host is (a subdomain of) a popular CDN from Appendix A.5.
 pub fn is_popular_cdn(host: &str) -> bool {
-    POPULAR_CDNS
-        .iter()
-        .any(|cdn| is_subdomain_of(host, cdn))
+    POPULAR_CDNS.iter().any(|cdn| is_subdomain_of(host, cdn))
 }
 
 /// Deterministic per-host latency in milliseconds (5–80 ms), derived from
@@ -539,7 +537,9 @@ mod tests {
             &Url::https("example.com", "/"),
             Resource::Page(PageResource::default()),
         );
-        let err = net.fetch(&Url::https("example.com", "/nope.js")).unwrap_err();
+        let err = net
+            .fetch(&Url::https("example.com", "/nope.js"))
+            .unwrap_err();
         assert!(matches!(err, FetchError::NotFound(_)));
     }
 
@@ -664,12 +664,17 @@ mod tests {
         assert_eq!(seen.len(), 7, "200 hosts must hit every fault kind");
         // Different seed shuffles the assignment.
         let other = FaultMatrix::new(8);
-        assert!(hosts.iter().any(|h| m.fault_for_host(h) != other.fault_for_host(h)));
+        assert!(hosts
+            .iter()
+            .any(|h| m.fault_for_host(h) != other.fault_for_host(h)));
         // inject_all wires the plan.
         let mut plan = FaultPlan::default();
         m.inject_all(&mut plan, hosts.iter().map(|h| h.as_str()));
         assert_eq!(plan.len(), hosts.len());
-        assert_eq!(plan.fault_for("site0.com"), Some(m.fault_for_host("site0.com")));
+        assert_eq!(
+            plan.fault_for("site0.com"),
+            Some(m.fault_for_host("site0.com"))
+        );
     }
 
     #[test]

@@ -17,18 +17,18 @@
 //!   classification, the Appendix A.5 CDN list, and fault injection.
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod dns;
 pub mod domain;
 pub mod http;
-pub mod url;
 #[cfg(test)]
 mod proptests;
+pub mod url;
 
 pub use dns::{DnsError, DnsRecord, DnsZone, Ipv4, Resolution};
 pub use http::{
-    classify_party, is_popular_cdn, latency_ms, Fault, FaultMatrix, FaultPlan, FetchError,
-    Network, PageResource, Party, Resource, ResourceType, Response, ScriptRef, ScriptResource,
-    POPULAR_CDNS,
+    classify_party, is_popular_cdn, latency_ms, Fault, FaultMatrix, FaultPlan, FetchError, Network,
+    PageResource, Party, Resource, ResourceType, Response, ScriptRef, ScriptResource, POPULAR_CDNS,
 };
 pub use url::{Url, UrlParseError};

@@ -1,6 +1,9 @@
 //! Property tests for the network substrate.
 
 #![cfg(test)]
+// The proptest stub expands test bodies to nothing, so strategy
+// helpers and imports look unused to rustc.
+#![allow(unused_imports, dead_code)]
 
 use proptest::prelude::*;
 

@@ -226,6 +226,8 @@ mod tests {
 
     #[cfg(test)]
     mod props {
+        // The proptest stub swallows test bodies; imports look unused.
+        #![allow(unused_imports)]
         use super::*;
         use proptest::prelude::*;
 

@@ -539,7 +539,10 @@ impl Canvas2D {
                 let sx = ((user.x - dx) / dw * src.width() as f64).floor() as i64;
                 let sy = ((user.y - dy) / dh * src.height() as f64).floor() as i64;
                 let c = src
-                    .get(sx.min(src.width() as i64 - 1), sy.min(src.height() as i64 - 1))
+                    .get(
+                        sx.min(src.width() as i64 - 1),
+                        sy.min(src.height() as i64 - 1),
+                    )
                     .with_alpha_scaled(self.state.global_alpha);
                 let dev = self.state.ctm.apply(user);
                 self.surface.blend(

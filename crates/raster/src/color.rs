@@ -218,7 +218,11 @@ fn hsl_to_rgb(h: f64, s: f64, l: f64) -> (u8, u8, u8) {
         let v = (l * 255.0).round() as u8;
         return (v, v, v);
     }
-    let q = if l < 0.5 { l * (1.0 + s) } else { l + s - l * s };
+    let q = if l < 0.5 {
+        l * (1.0 + s)
+    } else {
+        l + s - l * s
+    };
     let p = 2.0 * l - q;
     let hue = |mut t: f64| -> f64 {
         if t < 0.0 {
@@ -272,7 +276,10 @@ mod tests {
     #[test]
     fn parses_named_colors_case_insensitively() {
         assert_eq!(parse_css_color("Orange").unwrap(), Color::rgb(255, 165, 0));
-        assert_eq!(parse_css_color("  tomato ").unwrap(), Color::rgb(255, 99, 71));
+        assert_eq!(
+            parse_css_color("  tomato ").unwrap(),
+            Color::rgb(255, 99, 71)
+        );
         assert_eq!(parse_css_color("transparent").unwrap().a, 0);
     }
 
@@ -294,7 +301,10 @@ mod tests {
 
     #[test]
     fn parses_hsl() {
-        assert_eq!(parse_css_color("hsl(0, 100%, 50%)").unwrap(), Color::rgb(255, 0, 0));
+        assert_eq!(
+            parse_css_color("hsl(0, 100%, 50%)").unwrap(),
+            Color::rgb(255, 0, 0)
+        );
         assert_eq!(
             parse_css_color("hsl(120, 100%, 50%)").unwrap(),
             Color::rgb(0, 255, 0)

@@ -80,7 +80,10 @@ impl Mask {
     /// (coverage union, used when stroking to avoid double-blending at
     /// segment overlaps). Both masks must share the same placement.
     pub fn union_max(&mut self, other: &Mask) {
-        assert_eq!((self.x0, self.y0, self.w, self.h), (other.x0, other.y0, other.w, other.h));
+        assert_eq!(
+            (self.x0, self.y0, self.w, self.h),
+            (other.x0, other.y0, other.w, other.h)
+        );
         for (a, b) in self.cov.iter_mut().zip(other.cov.iter()) {
             *a = a.max(*b);
         }
@@ -211,7 +214,7 @@ pub fn rasterize(
             if crossings.is_empty() {
                 continue;
             }
-            crossings.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            crossings.sort_by(|a, b| a.0.total_cmp(&b.0));
             // Build inside intervals per fill rule.
             let mut winding = 0i32;
             let mut parity = false;
@@ -351,7 +354,13 @@ mod tests {
 
     #[test]
     fn pixel_aligned_rect_has_full_coverage() {
-        let m = rasterize(&rect_polys(2.0, 2.0, 4.0, 3.0), FillRule::NonZero, 20, 20, &device());
+        let m = rasterize(
+            &rect_polys(2.0, 2.0, 4.0, 3.0),
+            FillRule::NonZero,
+            20,
+            20,
+            &device(),
+        );
         assert!((m.coverage(3, 3) - 1.0).abs() < 1e-6);
         assert_eq!(m.coverage(1, 1), 0.0);
         assert_eq!(m.coverage(6, 3), 0.0);
@@ -361,7 +370,13 @@ mod tests {
 
     #[test]
     fn half_pixel_rect_has_half_coverage() {
-        let m = rasterize(&rect_polys(0.0, 0.0, 1.0, 0.5), FillRule::NonZero, 4, 4, &device());
+        let m = rasterize(
+            &rect_polys(0.0, 0.0, 1.0, 0.5),
+            FillRule::NonZero,
+            4,
+            4,
+            &device(),
+        );
         let c = m.coverage(0, 0);
         assert!((c - 0.5).abs() < 0.13, "coverage {c}");
     }
@@ -383,7 +398,13 @@ mod tests {
 
     #[test]
     fn clip_truncates_mask() {
-        let m = rasterize(&rect_polys(-5.0, -5.0, 100.0, 100.0), FillRule::NonZero, 8, 8, &device());
+        let m = rasterize(
+            &rect_polys(-5.0, -5.0, 100.0, 100.0),
+            FillRule::NonZero,
+            8,
+            8,
+            &device(),
+        );
         assert_eq!((m.x0, m.y0), (0, 0));
         assert!(m.w <= 8 && m.h <= 8);
         assert!((m.coverage(7, 7) - 1.0).abs() < 1e-6);
@@ -394,8 +415,20 @@ mod tests {
         // A rect with a fractional edge: coverage on the boundary pixel
         // must differ between devices.
         let polys = rect_polys(1.3, 1.3, 3.4, 3.4);
-        let a = rasterize(&polys, FillRule::NonZero, 10, 10, &DeviceProfile::intel_ubuntu());
-        let b = rasterize(&polys, FillRule::NonZero, 10, 10, &DeviceProfile::apple_m1());
+        let a = rasterize(
+            &polys,
+            FillRule::NonZero,
+            10,
+            10,
+            &DeviceProfile::intel_ubuntu(),
+        );
+        let b = rasterize(
+            &polys,
+            FillRule::NonZero,
+            10,
+            10,
+            &DeviceProfile::apple_m1(),
+        );
         let edge_a = a.coverage(1, 2);
         let edge_b = b.coverage(1, 2);
         assert!(

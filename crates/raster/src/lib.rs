@@ -31,6 +31,7 @@
 //! * [`device`] — rendering profiles for the paper's crawl machines.
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod base64;
 pub mod canvas;

@@ -122,7 +122,9 @@ impl Gradient {
     /// Color at normalized gradient parameter `t` (clamped padding).
     pub fn color_at(&self, t: f64) -> Color {
         let t = t.clamp(0.0, 1.0);
-        let first = &self.stops[0];
+        let (Some(first), Some(last)) = (self.stops.first(), self.stops.last()) else {
+            return Color::TRANSPARENT;
+        };
         if t <= first.offset {
             return first.color;
         }
@@ -130,11 +132,15 @@ impl Gradient {
             let (a, b) = (&w[0], &w[1]);
             if t <= b.offset {
                 let span = b.offset - a.offset;
-                let local = if span <= 0.0 { 1.0 } else { (t - a.offset) / span };
+                let local = if span <= 0.0 {
+                    1.0
+                } else {
+                    (t - a.offset) / span
+                };
                 return a.color.lerp(b.color, local);
             }
         }
-        self.stops.last().unwrap().color
+        last.color
     }
 }
 

@@ -2,6 +2,9 @@
 //! bounds, and encoder safety under randomized drawing programs.
 
 #![cfg(test)]
+// The proptest stub expands test bodies to nothing, so strategy
+// helpers and imports look unused to rustc.
+#![allow(unused_imports, dead_code)]
 
 use proptest::prelude::*;
 
@@ -38,8 +41,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (coord.clone(), coord.clone(), size.clone(), size.clone())
             .prop_map(|(x, y, w, h)| Op::ClearRect(x, y, w, h)),
         (coord.clone(), coord.clone(), 0.5..40.0f64).prop_map(|(x, y, r)| Op::Arc(x, y, r)),
-        ("[ -~]{0,12}", coord.clone(), coord.clone())
-            .prop_map(|(s, x, y)| Op::Text(s, x, y)),
+        ("[ -~]{0,12}", coord.clone(), coord.clone()).prop_map(|(s, x, y)| Op::Text(s, x, y)),
         (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(r, g, b)| Op::SetFill(r, g, b)),
         (0.0..1.0f64).prop_map(Op::SetAlpha),
         (coord.clone(), coord.clone()).prop_map(|(x, y)| Op::Translate(x, y)),
@@ -147,7 +149,6 @@ proptest! {
         prop_assert!(w2 >= w1);
     }
 }
-
 
 mod compositing {
     use proptest::prelude::*;

@@ -71,7 +71,9 @@ pub fn stroke_polygons(polys: &[Polygon], width: f64, cap: LineCap) -> Vec<Vec<P
                 LineCap::Butt => {}
                 LineCap::Round => {
                     groups.push(vec![disk(pts[0], hw)]);
-                    groups.push(vec![disk(*pts.last().unwrap(), hw)]);
+                    if let Some(&last) = pts.last() {
+                        groups.push(vec![disk(last, hw)]);
+                    }
                 }
                 LineCap::Square => {
                     if let Some(q) = square_cap(pts[1], pts[0], hw) {

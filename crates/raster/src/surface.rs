@@ -140,7 +140,12 @@ impl Surface {
             return Color::TRANSPARENT;
         }
         let i = ((y as usize * self.width as usize) + x as usize) * 4;
-        Color::rgba(self.data[i], self.data[i + 1], self.data[i + 2], self.data[i + 3])
+        Color::rgba(
+            self.data[i],
+            self.data[i + 1],
+            self.data[i + 2],
+            self.data[i + 3],
+        )
     }
 
     /// Writes one pixel unconditionally (no blending); out-of-bounds writes
@@ -325,7 +330,13 @@ mod tests {
     #[test]
     fn multiply_darkens() {
         let mut s = Surface::new(1, 1);
-        s.blend(0, 0, Color::rgb(128, 128, 128), 1.0, CompositeOp::SourceOver);
+        s.blend(
+            0,
+            0,
+            Color::rgb(128, 128, 128),
+            1.0,
+            CompositeOp::SourceOver,
+        );
         s.blend(0, 0, Color::rgb(128, 128, 128), 1.0, CompositeOp::Multiply);
         let c = s.get(0, 0);
         assert!((c.r as i32 - 64).abs() <= 1, "got {c:?}");

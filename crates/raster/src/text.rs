@@ -453,14 +453,12 @@ fn emoji_polygons(ch: char) -> Option<Vec<Polygon>> {
             ])
         }
         // U+1F600 grinning face — used by some emoji-probe scripts.
-        '\u{1F600}' => {
-            Some(vec![
-                disk_poly(4.5, 4.0, 3.8, false),
-                rect_poly_cw(2.6, 2.6, 1.2, 1.0),
-                rect_poly_cw(5.2, 2.6, 1.2, 1.0),
-                rect_poly_cw(2.8, 5.0, 3.4, 1.2),
-            ])
-        }
+        '\u{1F600}' => Some(vec![
+            disk_poly(4.5, 4.0, 3.8, false),
+            rect_poly_cw(2.6, 2.6, 1.2, 1.0),
+            rect_poly_cw(5.2, 2.6, 1.2, 1.0),
+            rect_poly_cw(2.8, 5.0, 3.4, 1.2),
+        ]),
         _ => None,
     }
 }
@@ -556,7 +554,11 @@ mod tests {
     #[test]
     fn all_printable_ascii_have_glyphs() {
         for b in 0x20u8..=0x7e {
-            assert!(ascii_glyph(b as char).is_some(), "missing glyph {:?}", b as char);
+            assert!(
+                ascii_glyph(b as char).is_some(),
+                "missing glyph {:?}",
+                b as char
+            );
         }
     }
 
@@ -646,7 +648,10 @@ mod tests {
     #[test]
     fn text_baseline_parse() {
         assert_eq!(TextBaseline::parse("top"), Some(TextBaseline::Top));
-        assert_eq!(TextBaseline::parse("alphabetic"), Some(TextBaseline::Alphabetic));
+        assert_eq!(
+            TextBaseline::parse("alphabetic"),
+            Some(TextBaseline::Alphabetic)
+        );
         assert_eq!(TextBaseline::parse("weird"), None);
     }
 }

@@ -23,6 +23,7 @@
 //! step budget so pathological patterns cannot hang the pipeline.
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod matcher;
 mod parser;
@@ -49,7 +50,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "regex parse error at {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -242,6 +247,8 @@ mod tests {
 
     #[cfg(test)]
     mod props {
+        // The proptest stub swallows test bodies; imports look unused.
+        #![allow(unused_imports)]
         use super::*;
         use proptest::prelude::*;
 

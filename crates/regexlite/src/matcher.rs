@@ -23,9 +23,10 @@ impl<'t> Captures<'t> {
         self.text.get(s..e)
     }
 
-    /// The byte range of the whole match.
+    /// The byte range of the whole match. Slot 0 is filled whenever a
+    /// `Match` is constructed; an empty range means a corrupted match.
     pub fn full_range(&self) -> (usize, usize) {
-        self.slots[0].expect("full match always present")
+        self.slots.first().copied().flatten().unwrap_or((0, 0))
     }
 }
 

@@ -115,7 +115,7 @@ impl Parser {
             branches.push(self.parse_concat()?);
         }
         Ok(if branches.len() == 1 {
-            branches.pop().unwrap()
+            branches.remove(0)
         } else {
             Ast::Alt(branches)
         })
@@ -131,7 +131,7 @@ impl Parser {
         }
         Ok(match items.len() {
             0 => Ast::Empty,
-            1 => items.pop().unwrap(),
+            1 => items.remove(0),
             _ => Ast::Concat(items),
         })
     }
@@ -256,8 +256,14 @@ impl Parser {
             'D' => perl_class(true, &[('0', '9')]),
             'w' => perl_class(false, &[('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
             'W' => perl_class(true, &[('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
-            's' => perl_class(false, &[(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')]),
-            'S' => perl_class(true, &[(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')]),
+            's' => perl_class(
+                false,
+                &[(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+            ),
+            'S' => perl_class(
+                true,
+                &[(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+            ),
             'n' => CharMatcher::Literal('\n'),
             't' => CharMatcher::Literal('\t'),
             'r' => CharMatcher::Literal('\r'),

@@ -167,10 +167,12 @@ impl<'h> Interp<'h> {
         match stmt {
             Stmt::Let { name, value } => {
                 let v = self.eval_expr(value)?;
-                self.scopes
-                    .last_mut()
-                    .expect("scope stack never empty")
-                    .insert(name.clone(), v);
+                match self.scopes.last_mut() {
+                    Some(scope) => {
+                        scope.insert(name.clone(), v);
+                    }
+                    None => return Err(RuntimeError::new("scope stack exhausted")),
+                }
                 Ok(Flow::Normal(Value::Null))
             }
             Stmt::Expr(e) => Ok(Flow::Normal(self.eval_expr(e)?)),
@@ -270,8 +272,7 @@ impl<'h> Interp<'h> {
                 Err(RuntimeError::new(format!("undefined variable {name}")))
             }
             Expr::Array(items) => {
-                let vals: Result<Vec<Value>, _> =
-                    items.iter().map(|e| self.eval_expr(e)).collect();
+                let vals: Result<Vec<Value>, _> = items.iter().map(|e| self.eval_expr(e)).collect();
                 Ok(Value::array(vals?))
             }
             Expr::Unary { op, expr } => {
@@ -374,9 +375,7 @@ impl<'h> Interp<'h> {
         match obj {
             Value::Host(h) => self.host.get_prop(h, name),
             Value::Str(s) if name == "length" => Ok(Value::Num(s.chars().count() as f64)),
-            Value::Array(items) if name == "length" => {
-                Ok(Value::Num(items.borrow().len() as f64))
-            }
+            Value::Array(items) if name == "length" => Ok(Value::Num(items.borrow().len() as f64)),
             other => Err(RuntimeError::new(format!(
                 "no property {name} on {}",
                 other.to_display_string()
@@ -389,11 +388,19 @@ impl<'h> Interp<'h> {
         match op {
             BinOp::And => {
                 let l = self.eval_expr(lhs)?;
-                return if !l.truthy() { Ok(l) } else { self.eval_expr(rhs) };
+                return if !l.truthy() {
+                    Ok(l)
+                } else {
+                    self.eval_expr(rhs)
+                };
             }
             BinOp::Or => {
                 let l = self.eval_expr(lhs)?;
-                return if l.truthy() { Ok(l) } else { self.eval_expr(rhs) };
+                return if l.truthy() {
+                    Ok(l)
+                } else {
+                    self.eval_expr(rhs)
+                };
             }
             _ => {}
         }
@@ -510,7 +517,9 @@ fn builtin(name: &str, args: &[Value]) -> Result<Option<Value>, RuntimeError> {
     };
     let out = match name {
         "len" => {
-            let v = args.first().ok_or_else(|| RuntimeError::new("len: missing arg"))?;
+            let v = args
+                .first()
+                .ok_or_else(|| RuntimeError::new("len: missing arg"))?;
             match v {
                 Value::Str(s) => Value::Num(s.chars().count() as f64),
                 Value::Array(a) => Value::Num(a.borrow().len() as f64),
@@ -549,8 +558,7 @@ fn string_method(s: &str, method: &str, args: &[Value]) -> Result<Value, Runtime
     match method {
         "charCodeAt" => {
             let i = args.first().and_then(Value::as_num).unwrap_or(0.0) as usize;
-            Ok(s
-                .chars()
+            Ok(s.chars()
                 .nth(i)
                 .map(|c| Value::Num(c as u32 as f64))
                 .unwrap_or(Value::Null))
@@ -677,10 +685,7 @@ mod tests {
 
     #[test]
     fn string_concat() {
-        assert_eq!(
-            eval_ok("\"a\" + 1 + true;").to_display_string(),
-            "a1true"
-        );
+        assert_eq!(eval_ok("\"a\" + 1 + true;").to_display_string(), "a1true");
     }
 
     #[test]
@@ -825,11 +830,19 @@ mod tests {
             fn set_prop(&mut self, _: u64, _: &str, _: Value) -> Result<(), RuntimeError> {
                 unreachable!()
             }
-            fn call_method(&mut self, _: u64, _: &str, _: Vec<Value>) -> Result<Value, RuntimeError> {
+            fn call_method(
+                &mut self,
+                _: u64,
+                _: &str,
+                _: Vec<Value>,
+            ) -> Result<Value, RuntimeError> {
                 unreachable!()
             }
         }
-        assert_eq!(eval("answer + 1;", &mut OneGlobal).unwrap().as_num(), Some(43.0));
+        assert_eq!(
+            eval("answer + 1;", &mut OneGlobal).unwrap().as_num(),
+            Some(43.0)
+        );
     }
 
     #[test]

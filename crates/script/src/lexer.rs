@@ -205,7 +205,8 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                                 let cp = u32::from_str_radix(&hex, 16)
                                     .map_err(|_| err("bad \\u escape", at))?;
                                 s.push(
-                                    char::from_u32(cp).ok_or_else(|| err("invalid code point", at))?,
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| err("invalid code point", at))?,
                                 );
                             }
                             other => {
@@ -226,9 +227,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
                     // Don't consume a dot followed by a non-digit (member access
                     // on a number is not supported anyway, but be safe).
-                    if bytes[i] == '.'
-                        && !bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())
-                    {
+                    if bytes[i] == '.' && !bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
                         break;
                     }
                     i += 1;
@@ -367,7 +366,11 @@ mod tests {
         let k = kinds("1 // line\n/* block\nmore */ 2");
         assert_eq!(
             k,
-            vec![TokenKind::Number(1.0), TokenKind::Number(2.0), TokenKind::Eof]
+            vec![
+                TokenKind::Number(1.0),
+                TokenKind::Number(2.0),
+                TokenKind::Eof
+            ]
         );
     }
 

@@ -27,6 +27,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod ast;
 pub mod cache;
@@ -37,9 +38,8 @@ pub mod parser;
 mod proptests;
 pub mod value;
 
+pub use ast::{AssignTarget, BinOp, Expr, FnDecl, Program, Stmt, UnOp};
 pub use cache::{source_hash, ScriptCache, ScriptCacheStats};
-pub use interp::{
-    eval, eval_with_budget, run, run_with_budget, EvalOutcome, DEFAULT_STEP_BUDGET,
-};
+pub use interp::{eval, eval_with_budget, run, run_with_budget, EvalOutcome, DEFAULT_STEP_BUDGET};
 pub use parser::{parse, ParseError};
 pub use value::{Host, HostRef, NullHost, RuntimeError, Value};

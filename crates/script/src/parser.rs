@@ -428,7 +428,9 @@ mod tests {
         match &p.stmts[0] {
             Stmt::Let { name, value } => {
                 assert_eq!(name, "c");
-                assert!(matches!(value, Expr::MethodCall { method, .. } if method == "createElement"));
+                assert!(
+                    matches!(value, Expr::MethodCall { method, .. } if method == "createElement")
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -439,7 +441,9 @@ mod tests {
         let p = parse("ctx.fillStyle = \"#f60\";").unwrap();
         match &p.stmts[0] {
             Stmt::Expr(Expr::Assign { target, .. }) => {
-                assert!(matches!(**target, AssignTarget::Member { ref name, .. } if name == "fillStyle"));
+                assert!(
+                    matches!(**target, AssignTarget::Member { ref name, .. } if name == "fillStyle")
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -449,7 +453,11 @@ mod tests {
     fn precedence_mul_over_add() {
         let p = parse("1 + 2 * 3;").unwrap();
         match &p.stmts[0] {
-            Stmt::Expr(Expr::Binary { op: BinOp::Add, rhs, .. }) => {
+            Stmt::Expr(Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            }) => {
                 assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -460,7 +468,12 @@ mod tests {
     fn parses_for_loop() {
         let p = parse("for (let i = 0; i < 4; i = i + 1) { draw(i); }").unwrap();
         match &p.stmts[0] {
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 assert!(init.is_some());
                 assert!(cond.is_some());
                 assert!(step.is_some());

@@ -69,8 +69,11 @@ impl Value {
             }
             Value::Str(s) => s.clone(),
             Value::Array(items) => {
-                let inner: Vec<String> =
-                    items.borrow().iter().map(|v| v.to_display_string()).collect();
+                let inner: Vec<String> = items
+                    .borrow()
+                    .iter()
+                    .map(|v| v.to_display_string())
+                    .collect();
                 inner.join(",")
             }
             Value::Host(h) => format!("[object #{h}]"),

@@ -417,8 +417,9 @@ pub fn site_token(host: &str) -> String {
         }
         // Capitalize to look like the real-world path segments.
         let mut chars = s.chars();
-        let first = chars.next().unwrap().to_ascii_uppercase();
-        parts.push(format!("{first}{}", chars.as_str()));
+        if let Some(first) = chars.next() {
+            parts.push(format!("{}{}", first.to_ascii_uppercase(), chars.as_str()));
+        }
     }
     parts.join("-")
 }

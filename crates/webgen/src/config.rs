@@ -322,7 +322,14 @@ impl WebConfig {
     /// (count, weight). Drives the §4.1 per-site canvas distribution
     /// (mean 3.31, median 2, max 60).
     pub fn extra_generic_weights(&self) -> &'static [(usize, f64)] {
-        &[(0, 0.30), (1, 0.30), (2, 0.20), (3, 0.12), (5, 0.06), (8, 0.02)]
+        &[
+            (0, 0.30),
+            (1, 0.30),
+            (2, 0.20),
+            (3, 0.12),
+            (5, 0.06),
+            (8, 0.02),
+        ]
     }
 }
 
@@ -332,7 +339,10 @@ mod tests {
 
     #[test]
     fn scaled_rounds_and_floors_at_one() {
-        let c = WebConfig { seed: 1, scale: 0.05 };
+        let c = WebConfig {
+            seed: 1,
+            scale: 0.05,
+        };
         assert_eq!(c.scaled(20_000), 1_000);
         assert_eq!(c.scaled(1), 1);
         assert_eq!(c.scaled(0), 0);

@@ -13,7 +13,9 @@ use serde::{Deserialize, Serialize};
 
 use canvassing_vendors::{all_vendors, VendorId};
 
-use crate::config::{Cohort, GenericCategory, Serving, ServingMix, WebConfig, FPJS_COMMERCIAL, VENDOR_SITE_COUNTS};
+use crate::config::{
+    Cohort, GenericCategory, Serving, ServingMix, WebConfig, FPJS_COMMERCIAL, VENDOR_SITE_COUNTS,
+};
 use crate::population::SiteSeed;
 
 /// What script a deployment runs.
@@ -105,7 +107,10 @@ fn sample_serving<R: Rng>(mix: &ServingMix, default: Serving, rng: &mut R) -> Se
 /// Head-heavy cluster sizes: `n_clusters` entries summing to `n_sites`
 /// (each ≥ 1), decaying geometrically so Figure 1's tail of bars emerges.
 pub fn cluster_sizes(n_clusters: usize, n_sites: usize) -> Vec<usize> {
-    assert!(n_sites >= n_clusters, "{n_sites} sites < {n_clusters} clusters");
+    assert!(
+        n_sites >= n_clusters,
+        "{n_sites} sites < {n_clusters} clusters"
+    );
     let mut sizes = vec![1usize; n_clusters];
     let mut extra = n_sites - n_clusters;
     // Geometric allocation over the head.
@@ -375,8 +380,8 @@ fn plan_cohort<R: Rng>(
             // its target: shared-cluster budget = target − vendor uniques
             // − tail-only clusters.
             let tail_only_sites = config.scaled(134); // derived in DESIGN.md E3
-            let tail_only_clusters = 2 + tail_only_sites
-                .saturating_sub(config.scaled(15) + config.scaled(3));
+            let tail_only_clusters =
+                2 + tail_only_sites.saturating_sub(config.scaled(15) + config.scaled(3));
             let shared_budget = unique_target
                 .saturating_sub(vendor_uniques + tail_only_clusters)
                 .max(1);
@@ -389,9 +394,8 @@ fn plan_cohort<R: Rng>(
             let n_tail_only = tail_only_sites.min(generic_sites.len());
             let mut generic_sites = generic_sites;
             generic_sites.shuffle(rng);
-            let tail_only: Vec<usize> = generic_sites.split_off(
-                generic_sites.len().saturating_sub(n_tail_only),
-            );
+            let tail_only: Vec<usize> =
+                generic_sites.split_off(generic_sites.len().saturating_sub(n_tail_only));
 
             // Shared assignments, weighted toward big popular clusters.
             for &site in &generic_sites {
@@ -484,9 +488,9 @@ fn plan_cohort<R: Rng>(
             }
             for _ in 0..extra {
                 let cluster = weighted_cluster(&head, rng);
-                let already = plans[site].deployments.iter().any(|d| {
-                    matches!(d.kind, ScriptKind::Generic { cluster: c, .. } if c == cluster.id)
-                });
+                let already = plans[site].deployments.iter().any(
+                    |d| matches!(d.kind, ScriptKind::Generic { cluster: c, .. } if c == cluster.id),
+                );
                 if already {
                     continue;
                 }
@@ -564,13 +568,21 @@ fn weighted_cluster<R: Rng>(pool: &[GenericCluster], rng: &mut R) -> GenericClus
         .collect();
     let total: f64 = weights.iter().sum();
     let mut roll = rng.gen_range(0.0..total);
+    let mut chosen = None;
     for (c, w) in pool.iter().zip(weights) {
+        chosen = Some(*c);
         if roll < w {
             return *c;
         }
         roll -= w;
     }
-    *pool.last().expect("pool not empty")
+    // Floating-point shortfall walked the roll off the end: keep the
+    // final candidate. `None` only if the pool itself was empty.
+    chosen.unwrap_or(GenericCluster {
+        id: 0,
+        category: GenericCategory::Unlisted,
+        tail_only: false,
+    })
 }
 
 /// Plans the entire synthetic web (both cohorts).
@@ -653,10 +665,15 @@ mod tests {
     fn mailru_only_on_ru_sites() {
         let plan = test_plan();
         for p in &plan.sites {
-            let has_mailru = p
-                .deployments
-                .iter()
-                .any(|d| matches!(d.kind, ScriptKind::Vendor { id: VendorId::MailRu, .. }));
+            let has_mailru = p.deployments.iter().any(|d| {
+                matches!(
+                    d.kind,
+                    ScriptKind::Vendor {
+                        id: VendorId::MailRu,
+                        ..
+                    }
+                )
+            });
             if has_mailru {
                 assert!(p.seed.host.ends_with(".ru"), "{}", p.seed.host);
             }
@@ -667,10 +684,15 @@ mod tests {
     fn shopify_exactly_on_storefronts() {
         let plan = test_plan();
         for p in &plan.sites {
-            let has_shopify = p
-                .deployments
-                .iter()
-                .any(|d| matches!(d.kind, ScriptKind::Vendor { id: VendorId::Shopify, .. }));
+            let has_shopify = p.deployments.iter().any(|d| {
+                matches!(
+                    d.kind,
+                    ScriptKind::Vendor {
+                        id: VendorId::Shopify,
+                        ..
+                    }
+                )
+            });
             assert_eq!(has_shopify, p.seed.shopify, "{}", p.seed.host);
         }
     }
@@ -704,7 +726,11 @@ mod tests {
             .filter(|c| c.tail_only)
             .map(|c| c.id)
             .collect();
-        for p in plan.sites.iter().filter(|p| p.seed.cohort == Cohort::Popular) {
+        for p in plan
+            .sites
+            .iter()
+            .filter(|p| p.seed.cohort == Cohort::Popular)
+        {
             for d in &p.deployments {
                 if let ScriptKind::Generic { cluster, .. } = d.kind {
                     assert!(!tail_only.contains(&cluster));
@@ -721,8 +747,13 @@ mod tests {
             for d in &p.deployments {
                 if matches!(
                     d.kind,
-                    ScriptKind::Vendor { id: VendorId::Akamai, .. }
-                        | ScriptKind::Vendor { id: VendorId::Imperva, .. }
+                    ScriptKind::Vendor {
+                        id: VendorId::Akamai,
+                        ..
+                    } | ScriptKind::Vendor {
+                        id: VendorId::Imperva,
+                        ..
+                    }
                 ) {
                     assert_eq!(d.serving, Serving::FirstPartyPath);
                 }

@@ -23,6 +23,7 @@
 //! validation) meaningful in this reproduction.
 
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod config;
 pub mod deployment;

@@ -110,11 +110,7 @@ pub fn generate_lists(plan: &WebPlan) -> GeneratedLists {
                 if (cluster.id as usize) < head_cutoff {
                     if let Some(pages) = cluster_pages.get(&cluster.id) {
                         if !pages.is_empty() {
-                            let _ = writeln!(
-                                el,
-                                "@@||{host}^$script,domain={}",
-                                pages.join("|")
-                            );
+                            let _ = writeln!(el, "@@||{host}^$script,domain={}", pages.join("|"));
                         }
                     }
                 }

@@ -111,11 +111,17 @@ pub fn script_url_for(site_host: &str, deployment: &Deployment) -> Option<Url> {
             Some(Url::https(&host, &vendor_or_generic_path(kind)))
         }
         Serving::FirstPartyPath => match kind {
-            ScriptKind::Vendor { id: VendorId::Akamai, .. } => Some(Url::https(
+            ScriptKind::Vendor {
+                id: VendorId::Akamai,
+                ..
+            } => Some(Url::https(
                 site_host,
                 &format!("/akam/13/{:x}.js", hash(site_host) & 0xffff_ffff),
             )),
-            ScriptKind::Vendor { id: VendorId::Imperva, .. } => Some(Url::https(
+            ScriptKind::Vendor {
+                id: VendorId::Imperva,
+                ..
+            } => Some(Url::https(
                 site_host,
                 &format!("/{}/init.js", scripts::site_token(site_host)),
             )),
@@ -167,7 +173,9 @@ pub fn materialize(plan: &WebPlan) -> Network {
 /// collect ground-truth canvases.
 fn host_demo_pages(network: &mut Network) {
     for v in canvassing_vendors::all_vendors() {
-        let Some(demo_host) = v.demo_host else { continue };
+        let Some(demo_host) = v.demo_host else {
+            continue;
+        };
         let kind = ScriptKind::Vendor {
             id: v.id,
             commercial: false,
@@ -240,7 +248,10 @@ fn materialize_site(site: &SitePlan, network: &mut Network) {
     // Benign scripts are served from the site's own assets path so their
     // script URLs are distinct from any bundled fingerprinting code.
     for (i, kind) in site.benign.iter().enumerate() {
-        let url = Url::https(host, &format!("/assets/{}-{i}.js", kind.label().replace(':', "-")));
+        let url = Url::https(
+            host,
+            &format!("/assets/{}-{i}.js", kind.label().replace(':', "-")),
+        );
         network.host(
             &url,
             Resource::Script(ScriptResource {
@@ -334,7 +345,9 @@ mod tests {
         let mut checked = 0;
         for site in plan.sites.iter().filter(|s| !s.seed.down) {
             let page = network.fetch(&Url::https(&site.seed.host, "/")).unwrap();
-            let Resource::Page(page) = page.resource else { panic!() };
+            let Resource::Page(page) = page.resource else {
+                panic!()
+            };
             for r in &page.scripts {
                 if let ScriptRef::External(url) = r {
                     let resp = network
@@ -345,7 +358,10 @@ mod tests {
                 }
             }
         }
-        assert!(checked > 50, "expected plenty of external scripts, got {checked}");
+        assert!(
+            checked > 50,
+            "expected plenty of external scripts, got {checked}"
+        );
     }
 
     #[test]
@@ -370,7 +386,13 @@ mod tests {
         let (plan, _) = build();
         for site in &plan.sites {
             for d in &site.deployments {
-                if matches!(d.kind, ScriptKind::Vendor { id: VendorId::Imperva, .. }) {
+                if matches!(
+                    d.kind,
+                    ScriptKind::Vendor {
+                        id: VendorId::Imperva,
+                        ..
+                    }
+                ) {
                     let url = script_url_for(&site.seed.host, d).unwrap();
                     let seg = url.path.trim_start_matches('/').split('/').next().unwrap();
                     assert!(seg.chars().all(|c| c.is_ascii_alphabetic() || c == '-'));

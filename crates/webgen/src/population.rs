@@ -195,7 +195,10 @@ mod tests {
         let a = gen(Cohort::Popular);
         let b = gen(Cohort::Popular);
         assert_eq!(a.len(), b.len());
-        assert!(a.iter().zip(&b).all(|(x, y)| x.host == y.host && x.down == y.down));
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.host == y.host && x.down == y.down));
     }
 
     #[test]

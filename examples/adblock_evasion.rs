@@ -8,6 +8,10 @@
 //! cargo run --example adblock_evasion
 //! ```
 
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use canvassing_blocklist::{FilterList, RequestContext, Verdict};
 use canvassing_browser::{AdBlockerKind, Extension};
 use canvassing_net::{DnsZone, ResourceType, Url};

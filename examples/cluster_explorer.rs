@@ -7,6 +7,10 @@
 //! cargo run --release --example cluster_explorer -- [scale]
 //! ```
 
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use canvassing::cluster::Clustering;
 use canvassing::detect::detect;
 use canvassing_crawler::{crawl, CrawlConfig};

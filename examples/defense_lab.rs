@@ -11,6 +11,10 @@
 //! cargo run --example defense_lab
 //! ```
 
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use canvassing_browser::{Browser, DefenseMode};
 use canvassing_net::{Network, PageResource, Resource, ScriptRef, ScriptResource, Url};
 use canvassing_raster::DeviceProfile;

@@ -8,9 +8,11 @@
 //! cargo run --release --example fault_lab -- [scale] [matrix-seed]
 //! ```
 
-use canvassing_crawler::{
-    crawl, resume_crawl, CrawlConfig, CrawlDataset, RetryPolicy,
-};
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use canvassing_crawler::{crawl, resume_crawl, CrawlConfig, CrawlDataset, RetryPolicy};
 use canvassing_net::FaultMatrix;
 use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
 
@@ -62,7 +64,10 @@ fn main() {
     let config = CrawlConfig::control();
     let started = std::time::Instant::now();
     let visit_once = crawl(&web.network, &frontier, &config);
-    println!("  completed in {:.1?} without a harness panic", started.elapsed());
+    println!(
+        "  completed in {:.1?} without a harness panic",
+        started.elapsed()
+    );
     breakdown_table(&visit_once);
 
     println!("\nsame crawl with 3 retries (transient kinds only):");

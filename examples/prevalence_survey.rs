@@ -8,6 +8,10 @@
 //! Default scale is 0.1 (2k popular + 2k tail sites); pass `1.0` for the
 //! paper-scale 20k + 20k crawl.
 
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use canvassing::cluster::{Clustering, OverlapStats};
 use canvassing::detect::detect;
 use canvassing::figures::Figure1;

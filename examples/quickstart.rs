@@ -6,6 +6,10 @@
 //! cargo run --example quickstart
 //! ```
 
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use canvassing::detect;
 use canvassing_browser::Browser;
 use canvassing_net::{Network, PageResource, Resource, ScriptRef, ScriptResource, Url};
@@ -55,17 +59,21 @@ fn main() {
     let browser = Browser::new(DeviceProfile::intel_ubuntu());
     let visit = browser.visit(&network, &page_url).expect("visit succeeds");
 
-    println!("visited {} — {} API calls recorded", visit.page, visit.api_calls.len());
+    println!(
+        "visited {} — {} API calls recorded",
+        visit.page,
+        visit.api_calls.len()
+    );
     for call in visit.api_calls.iter().take(8) {
         println!(
             "  [{:>4}ms] {:?}.{} {:?}",
-            call.timestamp_ms,
-            call.interface,
-            call.name,
-            call.args
+            call.timestamp_ms, call.interface, call.name, call.args
         );
     }
-    println!("  ... plus {} more calls", visit.api_calls.len().saturating_sub(8));
+    println!(
+        "  ... plus {} more calls",
+        visit.api_calls.len().saturating_sub(8)
+    );
 
     // 3. Run the paper's detection heuristics.
     let detection = detect(&visit);
@@ -103,7 +111,10 @@ fn main() {
     let visit2 = browser.visit(&network, &page2).expect("second visit");
     let d2 = detect(&visit2);
     assert_eq!(detection.canvases[0].data_url, d2.canvases[0].data_url);
-    println!("\nsame script on {} produced byte-identical canvases ✓", page2.host);
+    println!(
+        "\nsame script on {} produced byte-identical canvases ✓",
+        page2.host
+    );
 
     // 5. A different device renders differently (the fingerprinting signal).
     let m1 = Browser::new(DeviceProfile::apple_m1());

@@ -2,6 +2,10 @@
 //! analyses are only meaningful if identical configurations produce
 //! byte-identical artifacts, independent of thread scheduling.
 
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use canvassing_crawler::{crawl, CrawlConfig};
 use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
 

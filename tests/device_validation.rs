@@ -3,6 +3,10 @@
 //! identical cross-site grouping — for *three* device profiles, not just
 //! the paper's two.
 
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use canvassing::{detect, Clustering};
 use canvassing_crawler::{crawl, CrawlConfig};
 use canvassing_raster::DeviceProfile;
@@ -19,7 +23,10 @@ fn clustering_for(web: &SyntheticWeb, device: DeviceProfile) -> Clustering {
 
 #[test]
 fn three_devices_same_grouping_different_bytes() {
-    let web = SyntheticWeb::generate(WebConfig { seed: 5, scale: 0.02 });
+    let web = SyntheticWeb::generate(WebConfig {
+        seed: 5,
+        scale: 0.02,
+    });
     let intel = clustering_for(&web, DeviceProfile::intel_ubuntu());
     let m1 = clustering_for(&web, DeviceProfile::apple_m1());
     let nvidia = clustering_for(&web, DeviceProfile::windows_nvidia());
@@ -45,7 +52,10 @@ fn three_devices_same_grouping_different_bytes() {
 
 #[test]
 fn repeated_crawls_on_one_device_are_byte_identical() {
-    let web = SyntheticWeb::generate(WebConfig { seed: 5, scale: 0.02 });
+    let web = SyntheticWeb::generate(WebConfig {
+        seed: 5,
+        scale: 0.02,
+    });
     let a = clustering_for(&web, DeviceProfile::intel_ubuntu());
     let b = clustering_for(&web, DeviceProfile::intel_ubuntu());
     let urls = |c: &Clustering| -> Vec<String> {

@@ -1,12 +1,15 @@
 //! Cross-crate integration: generate a synthetic web, run the full study,
 //! and check every experiment's *shape* against the paper.
 
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use canvassing::study::{run_study, StudyOptions};
 use canvassing_webgen::{SyntheticWeb, WebConfig};
 
 fn study() -> &'static canvassing::study::StudyResults {
-    static STUDY: std::sync::OnceLock<canvassing::study::StudyResults> =
-        std::sync::OnceLock::new();
+    static STUDY: std::sync::OnceLock<canvassing::study::StudyResults> = std::sync::OnceLock::new();
     STUDY.get_or_init(|| {
         let web = SyntheticWeb::generate(WebConfig {
             seed: 7,
@@ -77,7 +80,11 @@ fn full_study_shapes_match_the_paper() {
     for blocked_run in &results.table2[1..] {
         let canvas_keep = blocked_run.canvases.0 as f64 / control.canvases.0 as f64;
         let site_keep = blocked_run.sites.0 as f64 / control.sites.0 as f64;
-        assert!(canvas_keep > 0.85, "{}: canvases {canvas_keep}", blocked_run.label);
+        assert!(
+            canvas_keep > 0.85,
+            "{}: canvases {canvas_keep}",
+            blocked_run.label
+        );
         assert!(site_keep > 0.85, "{}: sites {site_keep}", blocked_run.label);
         assert!(canvas_keep <= 1.0 && site_keep <= 1.0);
     }
@@ -151,6 +158,10 @@ fn imperva_attribution_is_bounded_by_its_deployments() {
         .find(|v| v.name == "Imperva")
         .unwrap();
     // At 5% scale the plan places ~2 popular and 1 tail Imperva sites.
-    assert!(imperva.popular_sites >= 1, "imperva popular {}", imperva.popular_sites);
+    assert!(
+        imperva.popular_sites >= 1,
+        "imperva popular {}",
+        imperva.popular_sites
+    );
     assert!(imperva.popular_sites <= 6);
 }

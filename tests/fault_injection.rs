@@ -4,11 +4,13 @@
 //! degrade into *recorded* failures, never into panics or silent
 //! misclassification.
 
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use canvassing_browser::{Browser, VisitError};
 use canvassing_crawler::{crawl, CrawlConfig, FailureKind};
-use canvassing_net::{
-    Network, PageResource, Resource, ScriptRef, ScriptResource, Url,
-};
+use canvassing_net::{Network, PageResource, Resource, ScriptRef, ScriptResource, Url};
 use canvassing_raster::DeviceProfile;
 use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
 
@@ -22,7 +24,10 @@ fn page_with(scripts: Vec<ScriptRef>, consent: bool, bot: bool) -> Resource {
 
 #[test]
 fn dead_hosts_become_failure_records() {
-    let web = SyntheticWeb::generate(WebConfig { seed: 3, scale: 0.02 });
+    let web = SyntheticWeb::generate(WebConfig {
+        seed: 3,
+        scale: 0.02,
+    });
     let frontier = web.frontier(Cohort::Popular);
     let ds = crawl(&web.network, &frontier, &CrawlConfig::control());
     let failures = ds.failed().count();
@@ -179,7 +184,10 @@ fn consent_gating_is_respected_both_ways() {
         }),
     );
     let url = Url::https("gdpr.example", "/");
-    network.host(&url, page_with(vec![ScriptRef::External(script)], true, false));
+    network.host(
+        &url,
+        page_with(vec![ScriptRef::External(script)], true, false),
+    );
 
     let mut no_consent = Browser::new(DeviceProfile::intel_ubuntu());
     no_consent.autoconsent = false;

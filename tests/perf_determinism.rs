@@ -5,6 +5,10 @@
 //! checkpoint/resume split, and the §5.3 double-render stability check
 //! must behave identically with memoization on.
 
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use canvassing::detect::detect;
 use canvassing_browser::DefenseMode;
 use canvassing_crawler::{
@@ -30,8 +34,16 @@ fn config(workers: usize, caching: CachingPolicy) -> CrawlConfig {
 #[test]
 fn cached_and_uncached_crawls_are_byte_identical() {
     let (web, frontier) = web(21);
-    let cached = crawl(&web.network, &frontier, &config(8, CachingPolicy::default()));
-    let uncached = crawl(&web.network, &frontier, &config(8, CachingPolicy::disabled()));
+    let cached = crawl(
+        &web.network,
+        &frontier,
+        &config(8, CachingPolicy::default()),
+    );
+    let uncached = crawl(
+        &web.network,
+        &frontier,
+        &config(8, CachingPolicy::disabled()),
+    );
     assert_eq!(
         cached.to_json().unwrap(),
         uncached.to_json().unwrap(),
@@ -42,8 +54,16 @@ fn cached_and_uncached_crawls_are_byte_identical() {
 #[test]
 fn cached_crawl_is_byte_identical_across_worker_counts() {
     let (web, frontier) = web(22);
-    let one = crawl(&web.network, &frontier, &config(1, CachingPolicy::default()));
-    let eight = crawl(&web.network, &frontier, &config(8, CachingPolicy::default()));
+    let one = crawl(
+        &web.network,
+        &frontier,
+        &config(1, CachingPolicy::default()),
+    );
+    let eight = crawl(
+        &web.network,
+        &frontier,
+        &config(8, CachingPolicy::default()),
+    );
     assert_eq!(one.to_json().unwrap(), eight.to_json().unwrap());
 }
 
@@ -61,11 +81,23 @@ fn caching_preserves_byte_identity_under_the_fault_matrix() {
         .collect();
     FaultMatrix::new(5).inject_all(&mut web.network.faults, targets.iter().map(|h| h.as_str()));
 
-    let cached = crawl(&web.network, &frontier, &config(8, CachingPolicy::default()));
-    let uncached = crawl(&web.network, &frontier, &config(8, CachingPolicy::disabled()));
+    let cached = crawl(
+        &web.network,
+        &frontier,
+        &config(8, CachingPolicy::default()),
+    );
+    let uncached = crawl(
+        &web.network,
+        &frontier,
+        &config(8, CachingPolicy::disabled()),
+    );
     assert_eq!(cached.to_json().unwrap(), uncached.to_json().unwrap());
 
-    let single = crawl(&web.network, &frontier, &config(1, CachingPolicy::default()));
+    let single = crawl(
+        &web.network,
+        &frontier,
+        &config(1, CachingPolicy::default()),
+    );
     assert_eq!(cached.to_json().unwrap(), single.to_json().unwrap());
 }
 
@@ -112,8 +144,16 @@ fn double_render_check_still_fires_with_memoization() {
     // instability is real, not replayed.
     let (web, frontier) = web(26);
 
-    let cached = crawl(&web.network, &frontier, &config(8, CachingPolicy::default()));
-    let uncached = crawl(&web.network, &frontier, &config(8, CachingPolicy::disabled()));
+    let cached = crawl(
+        &web.network,
+        &frontier,
+        &config(8, CachingPolicy::default()),
+    );
+    let uncached = crawl(
+        &web.network,
+        &frontier,
+        &config(8, CachingPolicy::disabled()),
+    );
     let double_render_sites = |ds: &CrawlDataset| -> usize {
         ds.successful()
             .map(|(_, v)| detect(v))

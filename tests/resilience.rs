@@ -5,7 +5,13 @@
 //! breakdown, and byte-identical datasets across worker counts and resume
 //! boundaries.
 
-use canvassing_crawler::{crawl, resume_crawl, CrawlConfig, CrawlDataset, FailureKind, RetryPolicy};
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use canvassing_crawler::{
+    crawl, resume_crawl, CrawlConfig, CrawlDataset, FailureKind, RetryPolicy,
+};
 use canvassing_net::{Fault, FaultMatrix};
 use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
 
@@ -13,7 +19,10 @@ use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
 /// of the popular frontier (on top of whatever down-sites the generator
 /// already planned).
 fn faulted_web(seed: u64) -> (SyntheticWeb, Vec<canvassing_net::Url>) {
-    let mut web = SyntheticWeb::generate(WebConfig { seed: 11, scale: 0.02 });
+    let mut web = SyntheticWeb::generate(WebConfig {
+        seed: 11,
+        scale: 0.02,
+    });
     let frontier = web.frontier(Cohort::Popular);
     let matrix = FaultMatrix::new(seed);
     let targets: Vec<String> = frontier
@@ -37,7 +46,11 @@ fn config(workers: usize, retries: u32) -> CrawlConfig {
 fn full_fault_matrix_crawl_yields_one_typed_record_per_site() {
     let (web, frontier) = faulted_web(1);
     let ds = crawl(&web.network, &frontier, &config(8, 0));
-    assert_eq!(ds.records.len(), frontier.len(), "one record per frontier URL");
+    assert_eq!(
+        ds.records.len(),
+        frontier.len(),
+        "one record per frontier URL"
+    );
     for (r, u) in ds.records.iter().zip(&frontier) {
         assert_eq!(&r.url, u, "records stay in frontier order");
     }
@@ -100,11 +113,7 @@ fn retries_heal_transient_faults_without_disturbing_permanent_ones() {
     let visit_once = crawl(&web.network, &frontier, &config(4, 0));
     let with_retries = crawl(&web.network, &frontier, &config(4, 3));
 
-    let transient = |ds: &CrawlDataset| {
-        ds.failed()
-            .filter(|(_, f)| f.kind.is_transient())
-            .count()
-    };
+    let transient = |ds: &CrawlDataset| ds.failed().filter(|(_, f)| f.kind.is_transient()).count();
     // TransientConnect plans only 1–3 failing attempts; three retries
     // clear every one of them. DNS-timeout hosts stay transient-kind but
     // never heal — they are planned permanent.
@@ -116,11 +125,7 @@ fn retries_heal_transient_faults_without_disturbing_permanent_ones() {
         .collect();
     assert!(!healed.is_empty());
     for url in &healed {
-        let record = with_retries
-            .records
-            .iter()
-            .find(|r| &r.url == url)
-            .unwrap();
+        let record = with_retries.records.iter().find(|r| &r.url == url).unwrap();
         assert!(
             matches!(record.outcome, canvassing_crawler::SiteOutcome::Success(_)),
             "{url} should heal under retries"
@@ -138,7 +143,10 @@ fn retries_heal_transient_faults_without_disturbing_permanent_ones() {
 
 #[test]
 fn deadline_and_fuel_map_to_typed_kinds() {
-    let mut web = SyntheticWeb::generate(WebConfig { seed: 11, scale: 0.02 });
+    let mut web = SyntheticWeb::generate(WebConfig {
+        seed: 11,
+        scale: 0.02,
+    });
     let frontier = web.frontier(Cohort::Popular);
     // Pick two healthy hosts and plant a latency spike on one.
     let ds = crawl(&web.network, &frontier, &CrawlConfig::control());
@@ -149,11 +157,7 @@ fn deadline_and_fuel_map_to_typed_kinds() {
         .inject(&healthy[0].host, Fault::LatencySpike { extra_ms: 90_000 });
 
     let ds = crawl(&web.network, &frontier, &CrawlConfig::control());
-    let spiked = ds
-        .records
-        .iter()
-        .find(|r| r.url == healthy[0])
-        .unwrap();
+    let spiked = ds.records.iter().find(|r| r.url == healthy[0]).unwrap();
     match &spiked.outcome {
         canvassing_crawler::SiteOutcome::Failure(f) => {
             assert_eq!(f.kind, FailureKind::Timeout)
