@@ -81,13 +81,55 @@ impl AnalysisCache {
     /// the analysis stays available even when script caching is disabled,
     /// so enabling caches never changes what the crawler records.
     pub fn analyze(&self, src: &str, programs: Option<&ScriptCache>) -> (u64, Arc<ScriptAnalysis>) {
+        self.lookup(src, programs).0
+    }
+
+    /// [`AnalysisCache::analyze`] wrapped in a `"triage"` trace span with a
+    /// `"parse"` child (the program-resolution stage) and a `"verdict"`
+    /// instant carrying the verdict label.
+    ///
+    /// The span structure is identical whether the lookup hits or
+    /// analyzes: a verdict is a pure function of the source, but *which*
+    /// visit pays the analysis is a scheduling accident, so hit/analyze
+    /// attribution goes only to the crawl-wide `analysis.cache.hit` /
+    /// `analysis.analyses` counters and per-visit streams stay
+    /// schedule-independent.
+    pub fn analyze_traced(
+        &self,
+        src: &str,
+        programs: Option<&ScriptCache>,
+        rec: &canvassing_trace::VisitRecorder,
+    ) -> (u64, Arc<ScriptAnalysis>) {
+        if !rec.enabled() {
+            return self.analyze(src, programs);
+        }
+        let span = rec.span("triage");
+        let parse = rec.span("parse");
+        let ((hash, analysis), was_analysis) = self.lookup(src, programs);
+        parse.end(0);
+        rec.bump(if was_analysis {
+            "analysis.analyses"
+        } else {
+            "analysis.cache.hit"
+        });
+        rec.instant("verdict", || analysis.verdict.label().to_string());
+        span.end(0);
+        (hash, analysis)
+    }
+
+    /// The shared lookup path: `(result, was_analysis)`.
+    fn lookup(
+        &self,
+        src: &str,
+        programs: Option<&ScriptCache>,
+    ) -> ((u64, Arc<ScriptAnalysis>), bool) {
         let hash = source_hash(src);
         let shard = &self.shards[(hash as usize) % SHARDS];
         let mut map = shard.lock().unwrap_or_else(|poison| poison.into_inner());
         let bucket = map.entry(hash).or_default();
         if let Some(entry) = bucket.iter().find(|e| e.source == src) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return (hash, Arc::clone(&entry.analysis));
+            return ((hash, Arc::clone(&entry.analysis)), false);
         }
         self.analyses.fetch_add(1, Ordering::Relaxed);
         let analysis = Arc::new(match programs {
@@ -108,7 +150,7 @@ impl AnalysisCache {
             source: src.to_string(),
             analysis: Arc::clone(&analysis),
         });
-        (hash, analysis)
+        ((hash, analysis), true)
     }
 
     /// Number of distinct script bodies currently cached.
@@ -192,6 +234,39 @@ mod tests {
         let (_, b) = cache.analyze(bad, None);
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.stats().analyses, 1);
+    }
+
+    #[test]
+    fn traced_analysis_spans_are_hit_miss_invariant() {
+        use canvassing_trace::{span_names, EventKind, MetricsRegistry, VisitRecorder};
+        let cache = AnalysisCache::new();
+        let reg = Arc::new(MetricsRegistry::new());
+
+        let trace_of = |rec: VisitRecorder| {
+            cache.analyze_traced(FP, None, &rec);
+            rec.finish()
+                .unwrap_or_else(|| unreachable!("enabled recorder"))
+        };
+        let cold = trace_of(VisitRecorder::new("v", Some(Arc::clone(&reg))));
+        let warm = trace_of(VisitRecorder::new("v", Some(Arc::clone(&reg))));
+        // The event stream is identical whether the analysis ran or hit.
+        assert_eq!(cold.events, warm.events);
+        let names = span_names(&cold);
+        assert!(names.contains("triage"));
+        assert!(names.contains("parse"));
+        let verdicts: Vec<&String> = cold
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Instant { name, detail, .. } if *name == "verdict" => Some(detail),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(verdicts, vec!["fingerprinting+exfil"]);
+        // Attribution lives in the shared counters.
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["analysis.analyses"], 1);
+        assert_eq!(snap.counters["analysis.cache.hit"], 1);
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 pub mod cache;
 pub mod features;
+mod proptests;
 pub mod taint;
 
 use serde::{Deserialize, Serialize};
@@ -69,6 +70,31 @@ impl Verdict {
     /// Whether the verdict is `Fingerprinting { .. }`.
     pub fn is_fingerprinting(&self) -> bool {
         matches!(self, Verdict::Fingerprinting { .. })
+    }
+
+    /// Short stable label for trace events and reports, encoding the
+    /// fingerprinting sub-flags (e.g. `"fingerprinting+exfil"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Fingerprinting {
+                exfil: false,
+                double_render: false,
+            } => "fingerprinting",
+            Verdict::Fingerprinting {
+                exfil: true,
+                double_render: false,
+            } => "fingerprinting+exfil",
+            Verdict::Fingerprinting {
+                exfil: false,
+                double_render: true,
+            } => "fingerprinting+double-render",
+            Verdict::Fingerprinting {
+                exfil: true,
+                double_render: true,
+            } => "fingerprinting+exfil+double-render",
+            Verdict::Benign => "benign",
+            Verdict::Inconclusive => "inconclusive",
+        }
     }
 }
 

@@ -1,0 +1,117 @@
+//! Property tests for the analysis cache: the cache and the trace
+//! instrumentation must both be transparent — cached, uncached, and traced
+//! lookups agree on the verdict, and the crawl-wide counters partition the
+//! lookups exactly.
+
+#![cfg(test)]
+// The proptest stub expands test bodies to nothing, so strategy
+// helpers and imports look unused to rustc.
+#![allow(unused_imports, dead_code)]
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use canvassing_script::ScriptCache;
+use canvassing_trace::{MetricsRegistry, VisitRecorder};
+
+use crate::{classify_source, AnalysisCache};
+
+/// A small pool of script bodies spanning all three verdicts.
+fn body(i: usize) -> String {
+    match i % 4 {
+        0 => format!(
+            r#"let c{i} = document.createElement("canvas");
+               let x = c{i}.getContext("2d");
+               x.fillText("p{i}", 2, 2);
+               c{i}.toDataURL();"#
+        ),
+        1 => format!("let a = {i}; a + 1;"),
+        2 => format!("let broken{i} = ;"),
+        _ => format!(
+            r#"let c = document.createElement("canvas");
+               c.width = {i};
+               let x = c.getContext("2d");
+               x.fillText("x", 1, 1);"#
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cached (with and without a shared compile cache) and uncached
+    /// analysis agree on the verdict for any body in the pool.
+    #[test]
+    fn cache_paths_agree_on_verdict(picks in proptest::collection::vec(0usize..8, 1..32)) {
+        let programs = ScriptCache::new();
+        let with_programs = AnalysisCache::new();
+        let without = AnalysisCache::new();
+        for &p in &picks {
+            let src = body(p);
+            let direct = classify_source(&src).verdict;
+            let (_, a) = with_programs.analyze(&src, Some(&programs));
+            let (_, b) = without.analyze(&src, None);
+            prop_assert_eq!(a.verdict, direct);
+            prop_assert_eq!(b.verdict, direct);
+        }
+    }
+
+    /// Traced analysis returns the same verdicts and its hit/analyze
+    /// counters partition the lookups.
+    #[test]
+    fn traced_counters_partition_lookups(picks in proptest::collection::vec(0usize..8, 1..32)) {
+        let cache = AnalysisCache::new();
+        let reg = Arc::new(MetricsRegistry::new());
+        let rec = VisitRecorder::new("prop", Some(Arc::clone(&reg)));
+        let mut distinct = std::collections::BTreeSet::new();
+        for &p in &picks {
+            let src = body(p);
+            let (_, traced) = cache.analyze_traced(&src, None, &rec);
+            prop_assert_eq!(traced.verdict, classify_source(&src).verdict);
+            distinct.insert(p);
+        }
+        let snap = reg.snapshot();
+        let hits = snap.counters.get("analysis.cache.hit").copied().unwrap_or(0);
+        let analyses = snap.counters.get("analysis.analyses").copied().unwrap_or(0);
+        prop_assert_eq!(hits + analyses, picks.len() as u64);
+        prop_assert_eq!(analyses, distinct.len() as u64);
+    }
+}
+
+/// Seeded exhaustive form of the properties above (the offline proptest
+/// stub compiles but does not sample, so this pins the invariants with a
+/// deterministic LCG-driven sequence).
+#[test]
+fn cache_transparency_and_counters_seeded() {
+    let mut lcg: u64 = 0x9e3779b97f4a7c15;
+    for round in 0..3 {
+        let programs = ScriptCache::new();
+        let cache = AnalysisCache::new();
+        let reg = Arc::new(MetricsRegistry::new());
+        let rec = VisitRecorder::new("seeded", Some(Arc::clone(&reg)));
+        let mut distinct = std::collections::BTreeSet::new();
+        let lookups = 12 + round * 10;
+        for _ in 0..lookups {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let pick = (lcg >> 33) as usize % 8;
+            let src = body(pick);
+            let direct = classify_source(&src).verdict;
+            let (_, traced) = cache.analyze_traced(&src, Some(&programs), &rec);
+            assert_eq!(traced.verdict, direct, "traced cache must be transparent");
+            distinct.insert(pick);
+        }
+        let snap = reg.snapshot();
+        let hits = snap
+            .counters
+            .get("analysis.cache.hit")
+            .copied()
+            .unwrap_or(0);
+        let analyses = snap.counters.get("analysis.analyses").copied().unwrap_or(0);
+        assert_eq!(hits + analyses, lookups as u64);
+        assert_eq!(analyses, distinct.len() as u64);
+        assert_eq!(cache.stats().lookups(), lookups as u64);
+    }
+}

@@ -93,6 +93,7 @@ fn main() {
         // E13 is an extension beyond the paper; only run when asked for
         // explicitly (it adds four more full crawls).
         defense_sweep: args.experiment == "e13",
+        trace: false,
     };
     eprintln!(
         "running study (control{} crawls) ...",

@@ -1,0 +1,212 @@
+//! `trace` — per-visit timeline explorer for the deterministic
+//! observability layer.
+//!
+//! ```text
+//! trace [--scale F] [--seed N] [--workers N] [--top K] [--jsonl PATH] [--check]
+//! ```
+//!
+//! Generates the synthetic web at `--scale` (default 0.1), crawls the
+//! combined popular + tail frontier with a [`RingSink`] attached, then
+//! prints:
+//!
+//! 1. the `--top K` (default 3) most eventful per-visit timelines,
+//!    rendered with [`render_timeline`] (logical-clock ticks + simulated
+//!    milliseconds — byte-identical run to run and across `--workers`);
+//! 2. a hot-path breakdown over every trace ([`hot_path`]: per-span-name
+//!    count and total simulated self-time);
+//! 3. the shared metrics registry (schedule-independent totals: cache
+//!    hits, parses, memo replays, fault counts).
+//!
+//! With `--jsonl PATH` every trace is also exported as one JSON line for
+//! external tooling. With `--check` the process exits nonzero unless
+//! every successful visit's trace covers the full five-stage vocabulary
+//! (fetch → triage → parse → execute → extract) — the CI gate for the
+//! trace layer's coverage contract.
+
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::Arc;
+
+use canvassing_crawler::{crawl_with_caches, CrawlConfig};
+use canvassing_trace::{
+    hot_path, render_timeline, span_names, EventKind, JsonlSink, MetricsRegistry, RingSink,
+    TraceSink, VisitTrace,
+};
+use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    workers: usize,
+    top: usize,
+    jsonl: Option<String>,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 0.1,
+        seed: 2025,
+        workers: 8,
+        top: 3,
+        jsonl: None,
+        check: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> String {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--scale" => args.scale = value("--scale").parse().expect("scale"),
+            "--seed" => args.seed = value("--seed").parse().expect("seed"),
+            "--workers" => args.workers = value("--workers").parse().expect("workers"),
+            "--top" => args.top = value("--top").parse().expect("top"),
+            "--jsonl" => args.jsonl = Some(value("--jsonl")),
+            "--check" => args.check = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: trace [--scale F] [--seed N] [--workers N] [--top K] \
+                     [--jsonl PATH] [--check]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+const STAGES: [&str; 5] = ["fetch", "triage", "parse", "execute", "extract"];
+
+fn outcome_of(trace: &VisitTrace) -> Option<&str> {
+    trace.events.iter().rev().find_map(|e| match &e.kind {
+        EventKind::Instant { name, detail, .. } if *name == "visit.outcome" => {
+            Some(detail.as_str())
+        }
+        _ => None,
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "generating synthetic web (scale {}, seed {}) ...",
+        args.scale, args.seed
+    );
+    let web = SyntheticWeb::generate(WebConfig {
+        seed: args.seed,
+        scale: args.scale,
+    });
+    let mut frontier = web.frontier(Cohort::Popular);
+    frontier.extend(web.frontier(Cohort::Tail));
+
+    let sink = Arc::new(RingSink::new(frontier.len().max(1)));
+    let mut config = CrawlConfig::control();
+    config.workers = args.workers;
+    config.trace = Some(Arc::clone(&sink) as Arc<dyn TraceSink>);
+    let metrics = Arc::new(MetricsRegistry::new());
+    eprintln!(
+        "crawling {} sites with {} workers (traced) ...",
+        frontier.len(),
+        config.workers
+    );
+    // The crawl builds its own registry inside `build_caches`; rebuild the
+    // caches around ours so the totals are printable afterwards.
+    let mut caches = config.build_caches();
+    caches.metrics = Arc::clone(&metrics);
+    let (_, stats) = crawl_with_caches(&web.network, &frontier, &config, &caches);
+    let traces = sink.traces();
+    println!(
+        "{} traces delivered ({} spans, {} events); ring dropped {}",
+        stats.trace_visits,
+        stats.trace_spans,
+        stats.trace_events,
+        sink.dropped()
+    );
+
+    // 1. Top-K most eventful timelines.
+    let mut order: Vec<usize> = (0..traces.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(traces[i].events.len()));
+    for &i in order.iter().take(args.top) {
+        let trace = &traces[i];
+        println!(
+            "\n=== {} ({} events, outcome {}) ===",
+            trace.label,
+            trace.events.len(),
+            outcome_of(trace).unwrap_or("?")
+        );
+        print!("{}", render_timeline(trace));
+    }
+
+    // 2. Hot-path breakdown (simulated self-time per span name).
+    println!("\n=== hot path (all {} traces) ===", traces.len());
+    println!("{:<12} {:>8} {:>14}", "span", "count", "self sim-ms");
+    for row in hot_path(&traces) {
+        println!("{:<12} {:>8} {:>14}", row.name, row.count, row.total_dur_ms);
+    }
+
+    // 3. Schedule-independent shared counters.
+    let snapshot = metrics.snapshot();
+    println!("\n=== metrics registry ===");
+    for (name, value) in &snapshot.counters {
+        println!("{name:<24} {value}");
+    }
+    for (name, hist) in &snapshot.histograms {
+        println!("{:<24} n={} mean={:.1}", name, hist.count, hist.mean());
+    }
+
+    if let Some(path) = &args.jsonl {
+        let jsonl = JsonlSink::create(path).expect("open jsonl output");
+        for trace in traces.iter().cloned() {
+            jsonl.consume(trace);
+        }
+        let _ = jsonl.flush();
+        println!("\nwrote {} traces to {path}", traces.len());
+    }
+
+    if args.check {
+        let mut bad = 0usize;
+        let mut successes = 0usize;
+        for trace in &traces {
+            if outcome_of(trace) != Some("success") {
+                continue;
+            }
+            successes += 1;
+            let names = span_names(trace);
+            let missing: Vec<&str> = STAGES
+                .iter()
+                .filter(|s| !names.contains(*s))
+                .copied()
+                .collect();
+            if !missing.is_empty() {
+                eprintln!("{}: missing stages {missing:?}", trace.label);
+                bad += 1;
+            }
+        }
+        if stats.trace_visits != frontier.len() as u64 {
+            eprintln!(
+                "CHECK FAILED: {} traces for {} frontier URLs",
+                stats.trace_visits,
+                frontier.len()
+            );
+            std::process::exit(1);
+        }
+        if bad > 0 || successes == 0 {
+            eprintln!("CHECK FAILED: {bad} incomplete timelines, {successes} successes");
+            std::process::exit(1);
+        }
+        println!(
+            "\nCHECK OK: all {successes} successful visits cover {:?}",
+            STAGES
+        );
+    }
+}

@@ -35,6 +35,16 @@ pub enum DefenseMode {
 }
 
 impl DefenseMode {
+    /// Short stable name for trace events and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DefenseMode::None => "none",
+            DefenseMode::Block => "block",
+            DefenseMode::RandomizePerRender { .. } => "randomize-per-render",
+            DefenseMode::RandomizePerSession { .. } => "randomize-per-session",
+        }
+    }
+
     /// Builds the DOM-layer defense hook.
     pub fn build(self) -> ReadbackDefense {
         match self {

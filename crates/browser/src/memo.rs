@@ -146,6 +146,10 @@ pub struct CrawlCaches {
     pub analysis: Arc<AnalysisCache>,
     /// Crawl-wide perf counters.
     pub perf: Arc<PerfCounters>,
+    /// Crawl-wide trace metrics (typed counters + histograms). Always
+    /// present like `perf`; it only accumulates when a visit recorder is
+    /// enabled, so untraced crawls pay nothing.
+    pub metrics: Arc<canvassing_trace::MetricsRegistry>,
 }
 
 impl CrawlCaches {
@@ -157,6 +161,7 @@ impl CrawlCaches {
             pool: Some(Arc::new(SurfacePool::new())),
             analysis: Arc::new(AnalysisCache::new()),
             perf: Arc::new(PerfCounters::default()),
+            metrics: Arc::new(canvassing_trace::MetricsRegistry::new()),
         }
     }
 

@@ -7,6 +7,7 @@ use canvassing_dom::{ApiCall, Document, Extraction};
 use canvassing_net::{FetchError, Network, Resource, ScriptRef, Url};
 use canvassing_raster::DeviceProfile;
 use canvassing_script::DEFAULT_STEP_BUDGET;
+use canvassing_trace::VisitRecorder;
 use serde::{Deserialize, Serialize};
 
 use crate::defenses::DefenseMode;
@@ -185,6 +186,7 @@ impl Browser {
         source: &str,
         attributed_url: &str,
         budget: u64,
+        rec: &VisitRecorder,
     ) -> (u64, Option<String>) {
         if self.defense == DefenseMode::None {
             if let Some(memo) = &self.caches.memo {
@@ -201,6 +203,13 @@ impl Browser {
                         entry.canvases_created,
                         attributed_url,
                     );
+                    // "replay" here means the visit was satisfied from the
+                    // canonical render — true for every no-defense visit
+                    // whether *this* lookup computed it or hit it (the
+                    // memo computes under its lock on first sight), so
+                    // the event is schedule-independent.
+                    rec.instant("render.replay", || entry.steps.to_string());
+                    rec.bump("render.replays");
                     return (entry.steps, entry.error.clone());
                 }
             }
@@ -211,6 +220,9 @@ impl Browser {
             .fetch_add(1, Ordering::Relaxed);
         doc.set_current_script(attributed_url);
         let outcome = eval_cached(source, doc, budget, self.caches.scripts.as_deref());
+        rec.instant("script.exec", || outcome.steps.to_string());
+        rec.bump("script.execs");
+        rec.observe("script.steps", outcome.steps);
         (outcome.steps, outcome.result.err().map(|e| e.message))
     }
 
@@ -229,12 +241,33 @@ impl Browser {
         page_url: &Url,
         attempt: u32,
     ) -> Result<PageVisit, VisitError> {
+        self.visit_traced(network, page_url, attempt, &VisitRecorder::disabled())
+    }
+
+    /// [`Browser::visit_attempt`] with trace instrumentation: the whole
+    /// fetch → triage → execute → extract pipeline records spans and
+    /// events on `rec` (a no-op when the recorder is disabled — this *is*
+    /// the untraced path, one predictable branch per record site).
+    ///
+    /// Every event recorded here is a pure function of
+    /// `(network, page_url, config)`: cache hit/miss and memo
+    /// compute/replay attribution — the schedule-dependent facts — go to
+    /// the recorder's crawl-wide metrics registry, never into the event
+    /// stream, so two crawls of the same workload produce identical
+    /// per-visit streams whatever the worker count or cache temperature.
+    pub fn visit_traced(
+        &self,
+        network: &Network,
+        page_url: &Url,
+        attempt: u32,
+        rec: &VisitRecorder,
+    ) -> Result<PageVisit, VisitError> {
         let deadline = self.policy.deadline_ms;
         let mut elapsed_ms: u64 = 0;
         let mut fuel_used: u64 = 0;
 
         let response = network
-            .fetch_attempt(page_url, attempt)
+            .fetch_traced(page_url, attempt, rec)
             .map_err(VisitError::Fetch)?;
         let page = match response.resource {
             Resource::Page(p) => p,
@@ -272,6 +305,7 @@ impl Browser {
         }
         doc.set_defense(defense.build());
         doc.advance_clock(response.latency_ms);
+        rec.instant("defense", || self.defense.name().to_string());
 
         let mut visit = PageVisit {
             page: page_url.clone(),
@@ -286,13 +320,17 @@ impl Browser {
         // without it, consent-gated scripts do not run.
         if page.consent_banner {
             if self.autoconsent {
+                rec.instant("consent.accepted", String::new);
                 doc.advance_clock(350);
                 elapsed_ms += 350;
             } else {
+                rec.instant("consent.declined", String::new);
+                trace_stage_tail(rec, false, &visit);
                 return Ok(visit);
             }
         }
 
+        let mut executed_any = false;
         for script_ref in &page.scripts {
             // Each script runs under whichever is tighter: the
             // interpreter's own budget or the visit's remaining fuel. A
@@ -306,12 +344,16 @@ impl Browser {
                 ScriptRef::Inline { source, .. } => {
                     // Static triage runs before execution, once per
                     // unique body crawl-wide (the analysis cache).
-                    let (source_hash, analysis) = self
-                        .caches
-                        .analysis
-                        .analyze(source, self.caches.scripts.as_deref());
+                    let (source_hash, analysis) = self.caches.analysis.analyze_traced(
+                        source,
+                        self.caches.scripts.as_deref(),
+                        rec,
+                    );
+                    let exec_span = rec.span("execute");
                     let (steps, error) =
-                        self.execute_script(&mut doc, source, &page_url.to_string(), budget);
+                        self.execute_script(&mut doc, source, &page_url.to_string(), budget, rec);
+                    exec_span.end(steps / STEPS_PER_MS);
+                    executed_any = true;
                     fuel_used += steps;
                     elapsed_ms += steps / STEPS_PER_MS;
                     if let Some(msg) = &error {
@@ -332,6 +374,8 @@ impl Browser {
                 ScriptRef::External(url) => {
                     if let Some(ext) = &self.extension {
                         if let Some(decision) = ext.check_script(page_url, url, &network.dns) {
+                            rec.instant("adblock.blocked", || decision.rule.clone());
+                            rec.bump("adblock.blocks");
                             visit.blocked.push(BlockedScript {
                                 url: url.clone(),
                                 rule: decision.rule,
@@ -339,7 +383,7 @@ impl Browser {
                             continue;
                         }
                     }
-                    match network.fetch_attempt(url, attempt) {
+                    match network.fetch_traced(url, attempt, rec) {
                         Ok(resp) => {
                             let source = match resp.resource {
                                 Resource::Script(s) => s.source,
@@ -350,12 +394,21 @@ impl Browser {
                             if deadline.is_some_and(|d| elapsed_ms > d) {
                                 return Err(VisitError::DeadlineExceeded(page_url.clone()));
                             }
-                            let (source_hash, analysis) = self
-                                .caches
-                                .analysis
-                                .analyze(&source, self.caches.scripts.as_deref());
-                            let (steps, error) =
-                                self.execute_script(&mut doc, &source, &url.to_string(), budget);
+                            let (source_hash, analysis) = self.caches.analysis.analyze_traced(
+                                &source,
+                                self.caches.scripts.as_deref(),
+                                rec,
+                            );
+                            let exec_span = rec.span("execute");
+                            let (steps, error) = self.execute_script(
+                                &mut doc,
+                                &source,
+                                &url.to_string(),
+                                budget,
+                                rec,
+                            );
+                            exec_span.end(steps / STEPS_PER_MS);
+                            executed_any = true;
                             fuel_used += steps;
                             elapsed_ms += steps / STEPS_PER_MS;
                             if let Some(msg) = &error {
@@ -377,6 +430,7 @@ impl Browser {
                             // Broken script reference: pages survive it.
                             // No body was obtained, so there is nothing
                             // to hash or triage.
+                            rec.instant("script.unavailable", || url.to_string());
                             visit.scripts.push(LoadedScript {
                                 url: url.clone(),
                                 inline: false,
@@ -402,8 +456,36 @@ impl Browser {
         let (calls, extractions) = doc.into_records();
         visit.api_calls = calls;
         visit.extractions = extractions;
+        trace_stage_tail(rec, executed_any, &visit);
         Ok(visit)
     }
+}
+
+/// Closes out a successful visit's trace: marker spans for stages no
+/// script reached (so every completed visit's span tree covers the full
+/// `parse`/`triage`/`execute` vocabulary — script-less pages included)
+/// plus the `extract` span summarizing what the visit recorded.
+fn trace_stage_tail(rec: &VisitRecorder, executed_any: bool, visit: &PageVisit) {
+    if !rec.enabled() {
+        return;
+    }
+    if !executed_any {
+        let triage = rec.span("triage");
+        rec.span("parse").end(0);
+        triage.end(0);
+        rec.span("execute").end(0);
+    }
+    let extract = rec.span("extract");
+    rec.instant("records", || {
+        format!(
+            "{} api-calls, {} extractions, {} scripts, {} blocked",
+            visit.api_calls.len(),
+            visit.extractions.len(),
+            visit.scripts.len(),
+            visit.blocked.len()
+        )
+    });
+    extract.end(0);
 }
 
 #[cfg(test)]
@@ -670,6 +752,98 @@ mod tests {
         let snap = browser.caches.perf.snapshot();
         assert_eq!(snap.memo_computes + snap.memo_hits, 0);
         assert_eq!(snap.script_executions, 2);
+    }
+
+    #[test]
+    fn traced_visit_covers_all_pipeline_stages() {
+        use canvassing_trace::{span_names, VisitRecorder};
+        let network = simple_network();
+        let page = Url::https("site.com", "/");
+        let browser = intel_browser();
+        let rec = VisitRecorder::new(&page.to_string(), None);
+        let traced = browser.visit_traced(&network, &page, 0, &rec).unwrap();
+        let plain = browser.visit(&network, &page).unwrap();
+        assert_eq!(
+            format!("{traced:?}"),
+            format!("{plain:?}"),
+            "tracing must not change the visit record"
+        );
+        let trace = rec.finish().unwrap();
+        let names = span_names(&trace);
+        for stage in ["fetch", "parse", "triage", "execute", "extract"] {
+            assert!(names.contains(stage), "missing stage span {stage}");
+        }
+    }
+
+    #[test]
+    fn traced_scriptless_page_still_covers_all_stages() {
+        use canvassing_trace::{span_names, VisitRecorder};
+        let mut network = Network::new();
+        network.host(
+            &Url::https("empty.com", "/"),
+            Resource::Page(PageResource::default()),
+        );
+        let page = Url::https("empty.com", "/");
+        let rec = VisitRecorder::new(&page.to_string(), None);
+        intel_browser()
+            .visit_traced(&network, &page, 0, &rec)
+            .unwrap();
+        let trace = rec.finish().unwrap();
+        let names = span_names(&trace);
+        for stage in ["fetch", "parse", "triage", "execute", "extract"] {
+            assert!(names.contains(stage), "missing stage span {stage}");
+        }
+    }
+
+    #[test]
+    fn traced_visit_stream_is_cache_temperature_invariant() {
+        use canvassing_trace::VisitRecorder;
+        let network = simple_network();
+        let page = Url::https("site.com", "/");
+
+        // Cached browser, cold then warm: identical event streams.
+        let mut cached = intel_browser();
+        cached.caches = CrawlCaches::enabled();
+        let trace_of = |browser: &Browser| {
+            let rec =
+                VisitRecorder::new(&page.to_string(), Some(Arc::clone(&cached.caches.metrics)));
+            browser.visit_traced(&network, &page, 0, &rec).unwrap();
+            rec.finish().unwrap()
+        };
+        let cold = trace_of(&cached);
+        let warm = trace_of(&cached);
+        assert_eq!(cold, warm, "cold and warm visits must trace identically");
+
+        // The schedule-dependent attribution lives in the metrics.
+        let snap = cached.caches.metrics.snapshot();
+        assert_eq!(snap.counters["render.replays"], 2);
+        assert_eq!(snap.counters["net.fetches"], 4);
+    }
+
+    #[test]
+    fn traced_visit_records_defense_and_error_events() {
+        use canvassing_trace::{EventKind, VisitRecorder};
+        let mut network = simple_network();
+        network.faults.take_down("fp.example.net");
+        let page = Url::https("site.com", "/");
+        let mut browser = intel_browser();
+        browser.defense = DefenseMode::Block;
+        let rec = VisitRecorder::new(&page.to_string(), None);
+        browser.visit_traced(&network, &page, 0, &rec).unwrap();
+        let trace = rec.finish().unwrap();
+        let instants: Vec<(&str, &str)> = trace
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Instant { name, detail, .. } => Some((*name, detail.as_str())),
+                _ => None,
+            })
+            .collect();
+        assert!(instants.contains(&("defense", "block")));
+        assert!(instants.iter().any(|(n, _)| *n == "net.error"));
+        assert!(instants
+            .iter()
+            .any(|(n, d)| *n == "script.unavailable" && d.contains("fp.example.net")));
     }
 
     #[test]

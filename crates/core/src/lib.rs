@@ -32,6 +32,27 @@
 //! let results = run_study(&web, &StudyOptions::default());
 //! println!("{}", results.render_report());
 //! ```
+//!
+//! Every crawl can also record a deterministic per-visit trace (spans,
+//! instants, and shared counters — see `canvassing-trace`); attach a sink
+//! to the crawl config to capture timelines:
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use canvassing_crawler::{crawl_with_stats, CrawlConfig};
+//! use canvassing_trace::{render_timeline, RingSink, TraceSink};
+//! use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
+//!
+//! let web = SyntheticWeb::generate(WebConfig { seed: 7, scale: 0.1 });
+//! let sink = Arc::new(RingSink::new(64));
+//! let mut config = CrawlConfig::control();
+//! config.trace = Some(Arc::clone(&sink) as Arc<dyn TraceSink>);
+//! let (_, stats) = crawl_with_stats(&web.network, &web.frontier(Cohort::Popular), &config);
+//! assert_eq!(stats.trace_visits, sink.len() as u64);
+//! for trace in sink.traces() {
+//!     println!("{}", render_timeline(&trace));
+//! }
+//! ```
 
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]

@@ -36,6 +36,11 @@ pub struct StudyOptions {
     /// canvas-randomization defenses and measure the collapse of the
     /// clustering methodology (§5.3 discussion).
     pub defense_sweep: bool,
+    /// Record per-visit traces on the control crawls (a counting sink, so
+    /// the trace totals show up in the report's observability section).
+    /// Off by default: visits then run with disabled recorders, the
+    /// near-zero-overhead path.
+    pub trace: bool,
 }
 
 impl Default for StudyOptions {
@@ -45,6 +50,7 @@ impl Default for StudyOptions {
             adblock_crawls: true,
             m1_validation: true,
             defense_sweep: false,
+            trace: false,
         }
     }
 }
@@ -209,6 +215,9 @@ pub fn run_study(web: &SyntheticWeb, options: &StudyOptions) -> StudyResults {
 
     let mut control = CrawlConfig::control();
     control.workers = options.workers;
+    if options.trace {
+        control.trace = Some(std::sync::Arc::new(canvassing_trace::CountingSink::new()));
+    }
     let (popular_ds, popular_stats) = crawl_with_stats(&web.network, &popular_frontier, &control);
     let (tail_ds, tail_stats) = crawl_with_stats(&web.network, &tail_frontier, &control);
 
@@ -419,6 +428,17 @@ impl StudyResults {
             ));
         }
 
+        if self.popular.perf.trace_visits > 0 || self.tail.perf.trace_visits > 0 {
+            out.push_str("\n== Observability (trace layer) ==\n");
+            for a in [&self.popular, &self.tail] {
+                let p = &a.perf;
+                out.push_str(&format!(
+                    "{:?}: {} visit traces, {} spans, {} events delivered\n",
+                    a.cohort, p.trace_visits, p.trace_spans, p.trace_events,
+                ));
+            }
+        }
+
         out.push_str("\n== Reach (Section 4.2) ==\n");
         out.push_str(&format!(
             "unique canvases: {} popular, {} tail\n",
@@ -601,6 +621,7 @@ mod tests {
                 adblock_crawls: true,
                 m1_validation: true,
                 defense_sweep: false,
+                trace: true,
             },
         );
 
@@ -692,12 +713,21 @@ mod tests {
             assert!(row.true_positive, "{}: {:?}", row.name, row.verdict);
         }
 
+        // Tracing was on for the control crawls: every attempted site
+        // delivered exactly one trace, and the report says so.
+        for a in [&results.popular, &results.tail] {
+            assert_eq!(a.perf.trace_visits as usize, a.attempted);
+            assert!(a.perf.trace_spans > 0);
+            assert!(a.perf.trace_events >= a.perf.trace_spans * 2);
+        }
+
         // The report renders.
         let report = results.render_report();
         assert!(report.contains("Table 1"));
         assert!(report.contains("Akamai"));
         assert!(report.contains("Crawl failures by kind"));
         assert!(report.contains("cache efficiency"));
+        assert!(report.contains("Observability (trace layer)"));
         assert!(report.contains("confusion matrix over unique scripts"));
         assert!(report.contains("double-render agrees"));
     }
@@ -721,6 +751,7 @@ mod defense_sweep_tests {
                 adblock_crawls: false,
                 m1_validation: false,
                 defense_sweep: true,
+                trace: false,
             },
         );
         assert_eq!(results.defense_sweep.len(), 4);

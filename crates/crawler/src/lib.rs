@@ -45,6 +45,7 @@ use canvassing_browser::{
 };
 use canvassing_net::{Network, Url};
 use canvassing_raster::{DeviceProfile, SurfacePool};
+use canvassing_trace::{TraceSink, VisitRecorder, VisitTrace};
 use serde::{Deserialize, Serialize};
 
 pub use dataset::{CrawlDataset, FailureKind, SiteFailure, SiteOutcome, SiteRecord};
@@ -164,6 +165,12 @@ pub struct CrawlConfig {
     pub isolate_panics: bool,
     /// Cross-visit cache layers (throughput only; never changes records).
     pub caching: CachingPolicy,
+    /// Where finished per-visit traces go. `None` (the default) or a sink
+    /// whose `enabled()` is false means visits run with disabled recorders
+    /// — the near-zero-overhead path. Traces are delivered to the sink in
+    /// frontier order from one thread after all workers join, so the sink
+    /// observes a deterministic stream whatever the worker count.
+    pub trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl CrawlConfig {
@@ -180,7 +187,13 @@ impl CrawlConfig {
             policy: VisitPolicy::default(),
             isolate_panics: true,
             caching: CachingPolicy::default(),
+            trace: None,
         }
+    }
+
+    /// Whether visits should record traces (a sink is set and enabled).
+    fn trace_enabled(&self) -> bool {
+        self.trace.as_ref().is_some_and(|s| s.enabled())
     }
 
     /// Control configuration with a different device (the M1 validation
@@ -234,6 +247,7 @@ impl CrawlConfig {
             // it off (which would change what the crawler records).
             analysis: Arc::new(Default::default()),
             perf: Arc::new(Default::default()),
+            metrics: Arc::new(Default::default()),
         }
     }
 
@@ -250,19 +264,37 @@ impl CrawlConfig {
 }
 
 /// Visits one site under the config's retry and isolation policy. Pure in
-/// `(network, url, config)`: the record does not depend on which worker
-/// runs it or when — the invariant that makes datasets byte-identical
-/// across worker counts and checkpoint/resume boundaries.
-fn visit_site(network: &Network, browser: &Browser, url: &Url, config: &CrawlConfig) -> SiteRecord {
+/// `(network, url, config)`: the record — and, when tracing, the visit's
+/// event stream — does not depend on which worker runs it or when. That
+/// is the invariant that makes datasets byte-identical across worker
+/// counts and checkpoint/resume boundaries, and trace streams identical
+/// across schedules.
+///
+/// All attempts of one site share one recorder (retries appear as
+/// `visit.retry` instants in the same trace), and the visit's final
+/// disposition lands as a `visit.outcome` instant.
+fn visit_site(
+    network: &Network,
+    browser: &Browser,
+    url: &Url,
+    config: &CrawlConfig,
+    caches: &CrawlCaches,
+) -> (SiteRecord, Option<VisitTrace>) {
+    let rec = if config.trace_enabled() {
+        VisitRecorder::new(&url.to_string(), Some(Arc::clone(&caches.metrics)))
+    } else {
+        VisitRecorder::disabled()
+    };
     let mut attempt: u32 = 0;
     let outcome = loop {
         let result = if config.isolate_panics {
             match catch_unwind(AssertUnwindSafe(|| {
-                browser.visit_attempt(network, url, attempt)
+                browser.visit_traced(network, url, attempt, &rec)
             })) {
                 Ok(r) => r,
                 Err(payload) => {
                     let msg = panic_message(payload.as_ref());
+                    rec.instant("visit.panic", || msg.to_string());
                     break SiteOutcome::Failure(SiteFailure {
                         kind: FailureKind::WorkerPanic,
                         error: format!("worker panicked: {msg}"),
@@ -271,7 +303,7 @@ fn visit_site(network: &Network, browser: &Browser, url: &Url, config: &CrawlCon
                 }
             }
         } else {
-            browser.visit_attempt(network, url, attempt)
+            browser.visit_traced(network, url, attempt, &rec)
         };
         match result {
             Ok(visit) => break SiteOutcome::Success(Box::new(visit)),
@@ -280,7 +312,10 @@ fn visit_site(network: &Network, browser: &Browser, url: &Url, config: &CrawlCon
                 if failure.kind.is_transient() && attempt < config.retry.max_retries {
                     // Bounded deterministic backoff; the interval is part
                     // of the schedule, not a real sleep (simulated time).
-                    let _backoff = config.retry.backoff_ms(attempt);
+                    let backoff = config.retry.backoff_ms(attempt);
+                    rec.instant("visit.retry", || {
+                        format!("{} (backoff {backoff}ms)", failure.kind.as_str())
+                    });
                     attempt += 1;
                     continue;
                 }
@@ -288,10 +323,22 @@ fn visit_site(network: &Network, browser: &Browser, url: &Url, config: &CrawlCon
             }
         }
     };
-    SiteRecord {
-        url: url.clone(),
-        outcome,
-    }
+    rec.instant("visit.outcome", || match &outcome {
+        SiteOutcome::Success(_) => "success".to_string(),
+        SiteOutcome::Failure(f) => f.kind.as_str().to_string(),
+    });
+    rec.bump(match &outcome {
+        SiteOutcome::Success(_) => "visit.successes",
+        SiteOutcome::Failure(_) => "visit.failures",
+    });
+    let trace = rec.finish();
+    (
+        SiteRecord {
+            url: url.clone(),
+            outcome,
+        },
+        trace,
+    )
 }
 
 /// Best-effort extraction of a panic payload's message.
@@ -332,6 +379,12 @@ pub struct CrawlStats {
     pub static_analyses: u64,
     /// Triage lookups answered from the analysis cache.
     pub analysis_hits: u64,
+    /// Visit traces delivered to the configured sink (0 when tracing is
+    pub trace_visits: u64,
+    /// Spans across all delivered traces.
+    pub trace_spans: u64,
+    /// Events (span starts/ends + instants) across all delivered traces.
+    pub trace_events: u64,
 }
 
 impl CrawlStats {
@@ -354,6 +407,9 @@ impl CrawlStats {
             memo_bypasses: perf.memo_bypasses,
             static_analyses: analysis.analyses,
             analysis_hits: analysis.hits,
+            trace_visits: 0,
+            trace_spans: 0,
+            trace_events: 0,
         }
     }
 
@@ -369,6 +425,9 @@ impl CrawlStats {
             memo_bypasses: self.memo_bypasses - before.memo_bypasses,
             static_analyses: self.static_analyses - before.static_analyses,
             analysis_hits: self.analysis_hits - before.analysis_hits,
+            trace_visits: self.trace_visits - before.trace_visits,
+            trace_spans: self.trace_spans - before.trace_spans,
+            trace_events: self.trace_events - before.trace_events,
         }
     }
 
@@ -420,9 +479,10 @@ pub fn crawl_with_caches(
     caches: &CrawlCaches,
 ) -> (CrawlDataset, CrawlStats) {
     let before = CrawlStats::snapshot(caches);
-    let slots = crawl_subset(network, frontier, config, None, caches);
+    let (slots, traces) = crawl_subset(network, frontier, config, None, caches);
     let mut stats = CrawlStats::snapshot(caches).since(&before);
     stats.sites = frontier.len() as u64;
+    (stats.trace_visits, stats.trace_spans, stats.trace_events) = flush_traces(config, traces);
     (CrawlDataset::from_slots(config, slots), stats)
 }
 
@@ -444,7 +504,7 @@ fn crawl_subset(
     config: &CrawlConfig,
     subset: Option<&[usize]>,
     caches: &CrawlCaches,
-) -> Vec<Option<SiteRecord>> {
+) -> (Vec<Option<SiteRecord>>, Vec<Option<VisitTrace>>) {
     let workers = config.workers.max(1);
     let jobs: Vec<usize> = match subset {
         Some(indices) => indices.to_vec(),
@@ -456,8 +516,10 @@ fn crawl_subset(
     // channel: each slot is written by exactly the worker that claimed
     // its job, so a `OnceLock` per site gives lock-free collection with
     // no cross-thread wakeups (a per-record channel send costs more than
-    // a whole memoized visit).
-    let slots: Vec<OnceLock<SiteRecord>> = (0..frontier.len()).map(|_| OnceLock::new()).collect();
+    // a whole memoized visit). The visit's trace rides in the same slot
+    // so it inherits the same ownership story.
+    let slots: Vec<OnceLock<(SiteRecord, Option<VisitTrace>)>> =
+        (0..frontier.len()).map(|_| OnceLock::new()).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -469,8 +531,8 @@ fn crawl_subset(
                     loop {
                         let claimed = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(&i) = jobs.get(claimed) else { break };
-                        let record = visit_site(network, &browser, &frontier[i], config);
-                        let _ = slots[i].set(record);
+                        let result = visit_site(network, &browser, &frontier[i], config, caches);
+                        let _ = slots[i].set(result);
                     }
                 })
             })
@@ -485,16 +547,47 @@ fn crawl_subset(
         }
     });
 
-    let mut slots: Vec<Option<SiteRecord>> = slots.into_iter().map(OnceLock::into_inner).collect();
+    let mut records: Vec<Option<SiteRecord>> = Vec::with_capacity(frontier.len());
+    let mut traces: Vec<Option<VisitTrace>> = Vec::with_capacity(frontier.len());
+    for slot in slots {
+        match slot.into_inner() {
+            Some((record, trace)) => {
+                records.push(Some(record));
+                traces.push(trace);
+            }
+            None => {
+                records.push(None);
+                traces.push(None);
+            }
+        }
+    }
     // A worker that died mid-visit never filled the slot for the job it
     // had claimed; degrade to a typed failure instead of panicking the
     // harness.
     for &i in &jobs {
-        if slots[i].is_none() {
-            slots[i] = Some(lost_record(&frontier[i]));
+        if records[i].is_none() {
+            records[i] = Some(lost_record(&frontier[i]));
         }
     }
-    slots
+    (records, traces)
+}
+
+/// Delivers finished visit traces to the configured sink, in frontier
+/// order, from the calling thread after every worker has joined — the
+/// sink therefore observes one deterministic stream whatever the worker
+/// count or claim schedule. Returns `(visits, spans, events)` delivered.
+fn flush_traces(config: &CrawlConfig, traces: Vec<Option<VisitTrace>>) -> (u64, u64, u64) {
+    let Some(sink) = config.trace.as_ref().filter(|s| s.enabled()) else {
+        return (0, 0, 0);
+    };
+    let (mut visits, mut spans, mut events) = (0u64, 0u64, 0u64);
+    for trace in traces.into_iter().flatten() {
+        visits += 1;
+        spans += trace.span_count();
+        events += trace.events.len() as u64;
+        sink.consume(trace);
+    }
+    (visits, spans, events)
 }
 
 fn lost_record(url: &Url) -> SiteRecord {
@@ -535,7 +628,8 @@ pub fn resume_crawl(
         .filter(|&i| !done.contains_key(&frontier[i]))
         .collect();
     let caches = config.build_caches();
-    let mut slots = crawl_subset(network, frontier, config, Some(&todo), &caches);
+    let (mut slots, traces) = crawl_subset(network, frontier, config, Some(&todo), &caches);
+    let _ = flush_traces(config, traces);
     for (i, slot) in slots.iter_mut().enumerate() {
         if slot.is_none() {
             *slot = Some((*done[&frontier[i]]).clone());
@@ -892,5 +986,86 @@ mod tests {
                 .flat_map(|(_, v)| v.scripts.iter())
                 .all(|s| s.verdict.is_some()));
         }
+    }
+
+    #[test]
+    fn traced_crawl_delivers_traces_in_frontier_order() {
+        use canvassing_trace::RingSink;
+        let (network, frontier) = network_with_sites(12);
+        let sink = Arc::new(RingSink::new(64));
+        let mut config = CrawlConfig::control();
+        config.workers = 5;
+        config.trace = Some(Arc::clone(&sink) as Arc<dyn TraceSink>);
+        let (_, stats) = crawl_with_stats(&network, &frontier, &config);
+
+        let traces = sink.traces();
+        assert_eq!(traces.len(), frontier.len(), "one trace per frontier URL");
+        assert_eq!(stats.trace_visits, frontier.len() as u64);
+        assert!(stats.trace_spans > 0);
+        assert!(stats.trace_events >= stats.trace_spans * 2);
+        for (trace, url) in traces.iter().zip(&frontier) {
+            assert_eq!(trace.label, url.to_string(), "frontier order preserved");
+        }
+        // Every successful visit's trace covers the full stage vocabulary;
+        // the down site carries its failure as a visit.outcome instant.
+        let all_names: Vec<_> = traces.iter().map(canvassing_trace::span_names).collect();
+        for (i, names) in all_names.iter().enumerate() {
+            if frontier[i].to_string().contains("site1.com") {
+                continue;
+            }
+            for stage in ["fetch", "triage", "parse", "execute", "extract"] {
+                assert!(names.contains(stage), "site{i} missing stage {stage}");
+            }
+        }
+    }
+
+    #[test]
+    fn traced_streams_identical_across_worker_counts() {
+        use canvassing_trace::RingSink;
+        let (mut network, frontier) = network_with_sites(16);
+        network
+            .faults
+            .inject("site2.com", Fault::TransientConnect { failures: 1 });
+        let run = |workers: usize| {
+            let sink = Arc::new(RingSink::new(64));
+            let mut config = CrawlConfig::control();
+            config.workers = workers;
+            config.retry = RetryPolicy::retries(2);
+            config.trace = Some(Arc::clone(&sink) as Arc<dyn TraceSink>);
+            crawl(&network, &frontier, &config);
+            sink.traces()
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert_eq!(one, eight, "trace streams are schedule-independent");
+        // The retried site's trace carries the retry instant in both runs.
+        let retried = one
+            .iter()
+            .find(|t| t.label.contains("site2.com"))
+            .expect("site2 trace present");
+        assert!(retried.events.iter().any(|e| matches!(
+            &e.kind,
+            canvassing_trace::EventKind::Instant { name, .. } if *name == "visit.retry"
+        )));
+    }
+
+    #[test]
+    fn null_sink_and_no_sink_record_nothing() {
+        use canvassing_trace::{CountingSink, NullSink};
+        let (network, frontier) = network_with_sites(6);
+        let mut config = CrawlConfig::control();
+        config.trace = Some(Arc::new(NullSink));
+        let (_, stats) = crawl_with_stats(&network, &frontier, &config);
+        assert_eq!(stats.trace_visits, 0, "disabled sink short-circuits");
+        assert_eq!(stats.trace_events, 0);
+
+        let counting = Arc::new(CountingSink::new());
+        config.trace = Some(Arc::clone(&counting) as Arc<dyn TraceSink>);
+        let (_, stats) = crawl_with_stats(&network, &frontier, &config);
+        let (visits, spans, events) = counting.totals();
+        assert_eq!(visits, frontier.len() as u64);
+        assert_eq!(stats.trace_visits, visits);
+        assert_eq!(stats.trace_spans, spans);
+        assert_eq!(stats.trace_events, events);
     }
 }

@@ -434,6 +434,49 @@ impl Network {
         })
     }
 
+    /// [`Network::fetch_attempt`] wrapped in a `"fetch"` trace span.
+    ///
+    /// The span's duration is the response's simulated latency (zero on
+    /// failure — a refused connection costs no modeled transfer time);
+    /// any planned fault for the host surfaces as a `net.fault` instant
+    /// and failures as a `net.error` instant, so a visit timeline shows
+    /// *why* a fetch failed, not just that it did. Crawl-wide tallies
+    /// (`net.fetches`, `net.errors`, the `net.latency_ms` histogram) go
+    /// to the recorder's metrics registry, keeping per-visit streams
+    /// schedule-independent.
+    pub fn fetch_traced(
+        &self,
+        url: &Url,
+        attempt: u32,
+        rec: &canvassing_trace::VisitRecorder,
+    ) -> Result<Response, FetchError> {
+        if !rec.enabled() {
+            return self.fetch_attempt(url, attempt);
+        }
+        let span = rec.span("fetch");
+        rec.instant("net.request", || format!("{url} (attempt {attempt})"));
+        if let Some(fault) = self.faults.fault_for(&url.host) {
+            rec.instant("net.fault", || fault.name().to_string());
+        }
+        rec.bump("net.fetches");
+        let result = self.fetch_attempt(url, attempt);
+        match &result {
+            Ok(resp) => {
+                rec.observe("net.latency_ms", resp.latency_ms);
+                if resp.truncated {
+                    rec.instant("net.truncated", String::new);
+                }
+                span.end(resp.latency_ms);
+            }
+            Err(err) => {
+                rec.bump("net.errors");
+                rec.instant("net.error", || err.to_string());
+                span.end(0);
+            }
+        }
+        result
+    }
+
     /// Iterates over all hosted `(host, path)` keys (deterministic order).
     pub fn resource_keys(&self) -> impl Iterator<Item = (&str, &str)> {
         self.resources
@@ -745,6 +788,51 @@ mod tests {
         assert!(is_popular_cdn("cloudflare.com"));
         assert!(!is_popular_cdn("example.com"));
         assert!(!is_popular_cdn("notcloudfront.net"));
+    }
+
+    #[test]
+    fn fetch_traced_records_span_fault_and_error() {
+        use canvassing_trace::{EventKind, MetricsRegistry, VisitRecorder};
+        let mut net = Network::new();
+        let ok = Url::https("up.com", "/");
+        let down = Url::https("down.com", "/");
+        net.host(&ok, Resource::Page(PageResource::default()));
+        net.host(&down, Resource::Page(PageResource::default()));
+        net.faults.take_down("down.com");
+
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        let rec = VisitRecorder::new("https://up.com/", Some(std::sync::Arc::clone(&reg)));
+        let resp = net.fetch_traced(&ok, 0, &rec).unwrap();
+        net.fetch_traced(&down, 0, &rec).unwrap_err();
+        let trace = rec.finish().unwrap();
+
+        let names = canvassing_trace::span_names(&trace);
+        assert!(names.contains("fetch"));
+        let instants: Vec<&str> = trace
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Instant { name, .. } => Some(*name),
+                _ => None,
+            })
+            .collect();
+        assert!(instants.contains(&"net.request"));
+        assert!(instants.contains(&"net.fault"));
+        assert!(instants.contains(&"net.error"));
+        // The success span carries the simulated latency.
+        assert!(trace.events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::SpanEnd { dur_ms, .. } if dur_ms == resp.latency_ms
+        )));
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["net.fetches"], 2);
+        assert_eq!(snap.counters["net.errors"], 1);
+        assert_eq!(snap.histograms["net.latency_ms"].count, 1);
+
+        // Disabled recorders fall straight through to fetch_attempt.
+        let off = VisitRecorder::disabled();
+        assert!(net.fetch_traced(&ok, 0, &off).is_ok());
     }
 
     #[test]

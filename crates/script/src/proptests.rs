@@ -8,6 +8,7 @@
 
 use proptest::prelude::*;
 
+use crate::cache::ScriptCache;
 use crate::interp::eval;
 use crate::value::{NullHost, Value};
 
@@ -110,6 +111,42 @@ proptest! {
             Value::Str(s) => prop_assert_eq!(s, format!("{a}{b}")),
             other => prop_assert!(false, "expected string, got {other:?}"),
         }
+    }
+
+    /// The compile cache is transparent: for arbitrary printable source,
+    /// `get_or_parse` (cold and warm) agrees exactly with a direct parse —
+    /// same Program, same error.
+    #[test]
+    fn cache_agrees_with_direct_parse(src in "[ -~\\n]{0,200}") {
+        let cache = ScriptCache::new();
+        let direct = crate::parser::parse(&src);
+        let cold = cache.get_or_parse(&src).map(|p| (*p).clone());
+        let warm = cache.get_or_parse(&src).map(|p| (*p).clone());
+        prop_assert_eq!(&cold, &direct);
+        prop_assert_eq!(&warm, &direct);
+    }
+
+    /// Trace hit/parse counters partition lookups: over an arbitrary
+    /// lookup sequence, `script.cache.hit + script.cache.parse` equals the
+    /// number of traced lookups, and parses equal distinct bodies.
+    #[test]
+    fn traced_counters_partition_lookups(picks in proptest::collection::vec(0usize..6, 1..64)) {
+        use canvassing_trace::{MetricsRegistry, VisitRecorder};
+        let cache = ScriptCache::new();
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        let rec = VisitRecorder::new("prop", Some(std::sync::Arc::clone(&reg)));
+        let bodies: Vec<String> = (0..6).map(|i| format!("{i} + {i};")).collect();
+        let mut distinct = std::collections::BTreeSet::new();
+        for &p in &picks {
+            cache.get_or_parse_traced(&bodies[p], &rec).unwrap();
+            distinct.insert(p);
+        }
+        let snap = reg.snapshot();
+        let hits = snap.counters.get("script.cache.hit").copied().unwrap_or(0);
+        let parses = snap.counters.get("script.cache.parse").copied().unwrap_or(0);
+        prop_assert_eq!(hits + parses, picks.len() as u64);
+        prop_assert_eq!(parses, distinct.len() as u64);
+        prop_assert_eq!(cache.stats().lookups(), picks.len() as u64);
     }
 
     /// Array push/index round-trips arbitrary integer sequences.

@@ -1,0 +1,203 @@
+//! Trace events and the per-visit trace record.
+
+/// Identifies a span within one visit's trace. Ids are allocated densely
+/// in span-open order starting at 1; [`ROOT_SPAN`] (0) is the implicit
+/// visit-level root that every top-level span parents to.
+pub type SpanId = u32;
+
+/// The implicit per-visit root span.
+pub const ROOT_SPAN: SpanId = 0;
+
+/// FNV-1a hash of a visit label (its URL) — the deterministic per-visit
+/// seed that identifies a trace stream independent of crawl scheduling.
+pub fn visit_seed(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in label.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// One recorded fact. Span names are `&'static str` by design: the
+/// vocabulary of pipeline stages is closed, and static names keep the
+/// disabled fast path free of allocation at every record site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened under `parent`.
+    SpanStart {
+        /// The new span's id.
+        id: SpanId,
+        /// The enclosing span (`ROOT_SPAN` at visit level).
+        parent: SpanId,
+        /// Stage name, e.g. `"fetch"`, `"parse"`, `"execute"`.
+        name: &'static str,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// The span being closed.
+        id: SpanId,
+        /// Simulated milliseconds attributed to the span (network
+        /// latency, interpreter steps at the fixed step rate — never
+        /// wall time).
+        dur_ms: u64,
+    },
+    /// An instant event inside a span.
+    Instant {
+        /// The owning span.
+        span: SpanId,
+        /// Event name, e.g. `"verdict"`, `"net.fault"`.
+        name: &'static str,
+        /// Free-form detail; deterministic for a given workload.
+        detail: String,
+    },
+}
+
+/// One event on the visit's logical clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Logical-clock tick (0-based, strictly increasing within a visit).
+    pub tick: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The finished trace of one visit: the unit a [`crate::TraceSink`]
+/// consumes. Equality is structural, so whole streams can be compared in
+/// determinism tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VisitTrace {
+    /// Deterministic visit id ([`visit_seed`] of the label).
+    pub visit_id: u64,
+    /// Human-readable visit label (the page URL).
+    pub label: String,
+    /// The event stream, in logical-clock order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl VisitTrace {
+    /// Number of spans opened in this trace.
+    pub fn span_count(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SpanStart { .. }))
+            .count() as u64
+    }
+
+    /// Serializes the trace as one JSON object (one JSONL line, no
+    /// trailing newline). Hand-rolled so the crate stays dependency-free;
+    /// output is deterministic byte-for-byte.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 48);
+        out.push_str("{\"visit_id\":");
+        out.push_str(&self.visit_id.to_string());
+        out.push_str(",\"label\":");
+        json_string(&mut out, &self.label);
+        out.push_str(",\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"tick\":");
+            out.push_str(&e.tick.to_string());
+            match &e.kind {
+                EventKind::SpanStart { id, parent, name } => {
+                    out.push_str(",\"span_start\":{\"id\":");
+                    out.push_str(&id.to_string());
+                    out.push_str(",\"parent\":");
+                    out.push_str(&parent.to_string());
+                    out.push_str(",\"name\":");
+                    json_string(&mut out, name);
+                    out.push('}');
+                }
+                EventKind::SpanEnd { id, dur_ms } => {
+                    out.push_str(",\"span_end\":{\"id\":");
+                    out.push_str(&id.to_string());
+                    out.push_str(",\"dur_ms\":");
+                    out.push_str(&dur_ms.to_string());
+                    out.push('}');
+                }
+                EventKind::Instant { span, name, detail } => {
+                    out.push_str(",\"instant\":{\"span\":");
+                    out.push_str(&span.to_string());
+                    out.push_str(",\"name\":");
+                    json_string(&mut out, name);
+                    out.push_str(",\"detail\":");
+                    json_string(&mut out, detail);
+                    out.push('}');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes + escapes).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visit_seed_is_fnv1a() {
+        assert_eq!(visit_seed(""), 0xcbf29ce484222325);
+        assert_ne!(visit_seed("https://a.com/"), visit_seed("https://b.com/"));
+    }
+
+    #[test]
+    fn jsonl_escapes_and_is_deterministic() {
+        let trace = VisitTrace {
+            visit_id: 7,
+            label: "https://x.com/\"q\"\n".into(),
+            events: vec![
+                TraceEvent {
+                    tick: 0,
+                    kind: EventKind::SpanStart {
+                        id: 1,
+                        parent: ROOT_SPAN,
+                        name: "fetch",
+                    },
+                },
+                TraceEvent {
+                    tick: 1,
+                    kind: EventKind::Instant {
+                        span: 1,
+                        name: "net.fault",
+                        detail: "latency-spike".into(),
+                    },
+                },
+                TraceEvent {
+                    tick: 2,
+                    kind: EventKind::SpanEnd { id: 1, dur_ms: 12 },
+                },
+            ],
+        };
+        let a = trace.to_jsonl();
+        let b = trace.to_jsonl();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"visit_id\":7,"));
+        assert!(a.contains("\\\"q\\\"\\n"));
+        assert!(a.contains("\"name\":\"fetch\""));
+        assert!(a.ends_with("]}"));
+        assert_eq!(trace.span_count(), 1);
+    }
+}

@@ -1,0 +1,272 @@
+//! Typed crawl-wide metrics: counters and power-of-two histograms behind
+//! a lock-sharded registry.
+//!
+//! Metrics complement the per-visit event stream: facts whose *per-visit
+//! attribution* is schedule-dependent (which worker's visit populated a
+//! shared cache, say) are recorded here instead, because their **totals**
+//! are deterministic for a given workload even when their attribution is
+//! not. Snapshots come back in name order, so rendered metric reports are
+//! byte-identical across runs and worker counts.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently locked shards in the registry. Registration is
+/// rare (the metric vocabulary is small and static); sharding exists so
+/// workers registering different names under load never serialize.
+const SHARDS: usize = 8;
+
+/// Histogram bucket count: bucket `i` holds values in `[2^(i-1), 2^i)`
+/// (bucket 0 holds zero), with the last bucket open-ended.
+pub const HISTOGRAM_BUCKETS: usize = 17;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a sample: 0 for 0, else `1 + floor(log2 v)`,
+    /// clamped to the last (open-ended) bucket.
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Plain-number snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (exclusive) of bucket `i`, `u64::MAX` for the last.
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i == 0 {
+            1
+        } else if i >= HISTOGRAM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+}
+
+/// Deterministic (name-ordered) copy of a registry's contents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<&'static str, HistogramSnapshot>,
+}
+
+/// A lock-sharded registry of named counters and histograms. `Arc`-share
+/// one per crawl; record sites hold on to the `Arc<Counter>` /
+/// `Arc<Histogram>` handles so steady-state recording is a single atomic
+/// add with no map lookup.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: [Mutex<HashMap<&'static str, Arc<Counter>>>; SHARDS],
+    histograms: [Mutex<HashMap<&'static str, Arc<Histogram>>>; SHARDS],
+}
+
+fn shard_of(name: &str) -> usize {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h as usize) % SHARDS
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Returns (registering on first sight) the counter named `name`.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        let mut map = self.counters[shard_of(name)]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        Arc::clone(map.entry(name).or_default())
+    }
+
+    /// Returns (registering on first sight) the histogram named `name`.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        let mut map = self.histograms[shard_of(name)]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        Arc::clone(map.entry(name).or_default())
+    }
+
+    /// Convenience: bump `name` by `n`.
+    pub fn add(&self, name: &'static str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Convenience: record one histogram sample.
+    pub fn observe(&self, name: &'static str, v: u64) {
+        self.histogram(name).observe(v);
+    }
+
+    /// Name-ordered snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for shard in &self.counters {
+            for (name, c) in shard.lock().unwrap_or_else(|p| p.into_inner()).iter() {
+                snap.counters.insert(name, c.get());
+            }
+        }
+        for shard in &self.histograms {
+            for (name, h) in shard.lock().unwrap_or_else(|p| p.into_inner()).iter() {
+                snap.histograms.insert(name, h.snapshot());
+            }
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_in_name_order() {
+        let reg = MetricsRegistry::new();
+        reg.add("b.second", 2);
+        reg.add("a.first", 1);
+        reg.add("b.second", 3);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.keys().copied().collect();
+        assert_eq!(names, vec!["a.first", "b.second"]);
+        assert_eq!(snap.counters["b.second"], 5);
+    }
+
+    #[test]
+    fn counter_handles_skip_the_map() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("hot");
+        for _ in 0..100 {
+            c.add(1);
+        }
+        assert_eq!(reg.counter("hot").get(), 100);
+        assert!(Arc::ptr_eq(&c, &reg.counter("hot")));
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::default();
+        h.observe(0);
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        h.observe(1024);
+        h.observe(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.buckets[0], 1, "zero bucket");
+        assert_eq!(snap.buckets[1], 1, "[1,2)");
+        assert_eq!(snap.buckets[2], 2, "[2,4)");
+        assert_eq!(snap.buckets[11], 1, "[1024,2048)");
+        assert_eq!(snap.buckets[HISTOGRAM_BUCKETS - 1], 1, "open-ended tail");
+        assert!(snap.mean() > 0.0);
+        assert_eq!(HistogramSnapshot::bucket_bound(0), 1);
+        assert_eq!(HistogramSnapshot::bucket_bound(3), 8);
+        assert_eq!(
+            HistogramSnapshot::bucket_bound(HISTOGRAM_BUCKETS - 1),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let reg = Arc::new(MetricsRegistry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    let c = reg.counter("shared");
+                    for i in 0..1000u64 {
+                        c.add(1);
+                        reg.observe("lat", i % 64);
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["shared"], 8_000);
+        assert_eq!(snap.histograms["lat"].count, 8_000);
+    }
+}

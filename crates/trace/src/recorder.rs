@@ -1,0 +1,357 @@
+//! The per-visit trace recorder.
+//!
+//! A [`VisitRecorder`] is created by the crawl harness for each visit,
+//! threaded by reference through the browser → net → script → analysis
+//! call chain, and turned into a [`VisitTrace`] when the visit finishes.
+//! It is visit-scoped and single-threaded by construction (interior
+//! mutability is a `RefCell`, not a lock): cross-thread determinism is
+//! the *crawler's* job — it feeds finished traces to the sink in frontier
+//! order — so the recorder itself never needs synchronization.
+//!
+//! Every record method is `#[inline]` and checks the `enabled` flag
+//! first: a disabled recorder (the default, when the crawl has no trace
+//! sink) costs one predictable branch per record site and never
+//! allocates. Event details are built through closures so the formatting
+//! work is skipped entirely when disabled.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::event::{visit_seed, EventKind, SpanId, TraceEvent, VisitTrace, ROOT_SPAN};
+use crate::metrics::MetricsRegistry;
+
+struct Inner {
+    events: Vec<TraceEvent>,
+    clock: u64,
+    next_span: SpanId,
+    open: Vec<SpanId>,
+}
+
+/// A visit-scoped span/event recorder on a monotonic logical clock.
+pub struct VisitRecorder {
+    enabled: bool,
+    visit_id: u64,
+    label: String,
+    metrics: Option<Arc<MetricsRegistry>>,
+    inner: RefCell<Inner>,
+}
+
+impl VisitRecorder {
+    /// A recorder that records nothing (the hot-path default). All record
+    /// methods reduce to one branch.
+    pub fn disabled() -> VisitRecorder {
+        VisitRecorder {
+            enabled: false,
+            visit_id: 0,
+            label: String::new(),
+            metrics: None,
+            inner: RefCell::new(Inner {
+                events: Vec::new(),
+                clock: 0,
+                next_span: 1,
+                open: Vec::new(),
+            }),
+        }
+    }
+
+    /// A live recorder for the visit labeled `label` (its URL). The
+    /// logical clock starts at 0; the visit id is the deterministic
+    /// [`visit_seed`] of the label. `metrics` is the crawl-wide registry
+    /// counter/histogram records route to (see the module docs of
+    /// [`crate::metrics`] for why they are not per-visit events).
+    pub fn new(label: &str, metrics: Option<Arc<MetricsRegistry>>) -> VisitRecorder {
+        VisitRecorder {
+            enabled: true,
+            visit_id: visit_seed(label),
+            label: label.to_string(),
+            metrics,
+            inner: RefCell::new(Inner {
+                events: Vec::with_capacity(32),
+                clock: 0,
+                next_span: 1,
+                open: Vec::new(),
+            }),
+        }
+    }
+
+    /// Whether this recorder records anything.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a span named `name` under the innermost open span (or the
+    /// visit root). Returns the id to pass to [`VisitRecorder::end`].
+    /// Disabled recorders return [`ROOT_SPAN`].
+    #[inline]
+    pub fn begin(&self, name: &'static str) -> SpanId {
+        if !self.enabled {
+            return ROOT_SPAN;
+        }
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.next_span;
+        inner.next_span += 1;
+        let parent = inner.open.last().copied().unwrap_or(ROOT_SPAN);
+        let tick = inner.clock;
+        inner.clock += 1;
+        inner.open.push(id);
+        inner.events.push(TraceEvent {
+            tick,
+            kind: EventKind::SpanStart { id, parent, name },
+        });
+        id
+    }
+
+    /// Closes span `id`, attributing `dur_ms` simulated milliseconds to
+    /// it. Spans opened after `id` that are still open are closed first
+    /// (with zero duration), so the stream always nests properly even on
+    /// early-exit error paths.
+    #[inline]
+    pub fn end(&self, id: SpanId, dur_ms: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.borrow_mut();
+        while let Some(open) = inner.open.pop() {
+            let tick = inner.clock;
+            inner.clock += 1;
+            let dur = if open == id { dur_ms } else { 0 };
+            inner.events.push(TraceEvent {
+                tick,
+                kind: EventKind::SpanEnd {
+                    id: open,
+                    dur_ms: dur,
+                },
+            });
+            if open == id {
+                break;
+            }
+        }
+    }
+
+    /// Opens a span and returns a guard that closes it (with zero
+    /// duration) on drop — for stages whose duration is structural, not
+    /// simulated time.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        SpanGuard {
+            rec: self,
+            id: self.begin(name),
+            closed: false,
+        }
+    }
+
+    /// Records an instant event in the innermost open span. `detail` is
+    /// only invoked when the recorder is enabled.
+    #[inline]
+    pub fn instant(&self, name: &'static str, detail: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.borrow_mut();
+        let span = inner.open.last().copied().unwrap_or(ROOT_SPAN);
+        let tick = inner.clock;
+        inner.clock += 1;
+        inner.events.push(TraceEvent {
+            tick,
+            kind: EventKind::Instant {
+                span,
+                name,
+                detail: detail(),
+            },
+        });
+    }
+
+    /// Bumps the crawl-wide counter `name` (no-op when disabled or when
+    /// the recorder has no registry).
+    #[inline]
+    pub fn bump(&self, name: &'static str) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.add(name, 1);
+        }
+    }
+
+    /// Records a sample in the crawl-wide histogram `name`.
+    #[inline]
+    pub fn observe(&self, name: &'static str, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.observe(name, v);
+        }
+    }
+
+    /// Finishes the visit: closes any spans still open (zero duration)
+    /// and returns the trace. `None` when disabled.
+    pub fn finish(self) -> Option<VisitTrace> {
+        if !self.enabled {
+            return None;
+        }
+        let mut inner = self.inner.into_inner();
+        while let Some(open) = inner.open.pop() {
+            let tick = inner.clock;
+            inner.clock += 1;
+            inner.events.push(TraceEvent {
+                tick,
+                kind: EventKind::SpanEnd {
+                    id: open,
+                    dur_ms: 0,
+                },
+            });
+        }
+        Some(VisitTrace {
+            visit_id: self.visit_id,
+            label: self.label,
+            events: inner.events,
+        })
+    }
+}
+
+/// RAII guard returned by [`VisitRecorder::span`].
+pub struct SpanGuard<'a> {
+    rec: &'a VisitRecorder,
+    id: SpanId,
+    closed: bool,
+}
+
+impl SpanGuard<'_> {
+    /// Closes the span now, attributing `dur_ms` simulated milliseconds.
+    pub fn end(mut self, dur_ms: u64) {
+        self.closed = true;
+        self.rec.end(self.id, dur_ms);
+    }
+
+    /// The span's id (e.g. to close it explicitly later).
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if !self.closed {
+            self.rec.end(self.id, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = VisitRecorder::disabled();
+        assert!(!rec.enabled());
+        let s = rec.begin("fetch");
+        rec.instant("x", || unreachable!("detail must not be built"));
+        rec.end(s, 10);
+        rec.bump("c");
+        assert!(rec.finish().is_none());
+    }
+
+    #[test]
+    fn spans_nest_and_ticks_increase() {
+        let rec = VisitRecorder::new("https://site.com/", None);
+        let outer = rec.begin("fetch");
+        rec.instant("net.fault", || "latency-spike".into());
+        let inner = rec.begin("parse");
+        rec.end(inner, 0);
+        rec.end(outer, 25);
+        let trace = rec.finish().unwrap();
+        assert_eq!(trace.visit_id, visit_seed("https://site.com/"));
+        let ticks: Vec<u64> = trace.events.iter().map(|e| e.tick).collect();
+        assert_eq!(ticks, vec![0, 1, 2, 3, 4]);
+        assert!(matches!(
+            trace.events[0].kind,
+            EventKind::SpanStart {
+                id: 1,
+                parent: ROOT_SPAN,
+                name: "fetch"
+            }
+        ));
+        assert!(matches!(
+            trace.events[2].kind,
+            EventKind::SpanStart {
+                id: 2,
+                parent: 1,
+                name: "parse"
+            }
+        ));
+        assert!(matches!(
+            trace.events[4].kind,
+            EventKind::SpanEnd { id: 1, dur_ms: 25 }
+        ));
+    }
+
+    #[test]
+    fn end_closes_abandoned_children_first() {
+        let rec = VisitRecorder::new("v", None);
+        let outer = rec.begin("execute");
+        let _abandoned = rec.begin("parse");
+        rec.end(outer, 5);
+        let trace = rec.finish().unwrap();
+        // parse (id 2) must close before execute (id 1).
+        let ends: Vec<(u32, u64)> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::SpanEnd { id, dur_ms } => Some((id, dur_ms)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ends, vec![(2, 0), (1, 5)]);
+    }
+
+    #[test]
+    fn finish_closes_open_spans() {
+        let rec = VisitRecorder::new("v", None);
+        rec.begin("fetch");
+        rec.begin("parse");
+        let trace = rec.finish().unwrap();
+        assert_eq!(trace.span_count(), 2);
+        let ends = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SpanEnd { .. }))
+            .count();
+        assert_eq!(ends, 2, "finish closes everything left open");
+    }
+
+    #[test]
+    fn guard_closes_on_drop_and_on_end() {
+        let rec = VisitRecorder::new("v", None);
+        {
+            let _g = rec.span("triage");
+        }
+        rec.span("fetch").end(9);
+        let trace = rec.finish().unwrap();
+        let ends: Vec<u64> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::SpanEnd { dur_ms, .. } => Some(dur_ms),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ends, vec![0, 9]);
+    }
+
+    #[test]
+    fn metrics_route_to_the_registry() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let rec = VisitRecorder::new("v", Some(Arc::clone(&reg)));
+        rec.bump("script.cache.hit");
+        rec.bump("script.cache.hit");
+        rec.observe("net.latency_ms", 40);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["script.cache.hit"], 2);
+        assert_eq!(snap.histograms["net.latency_ms"].count, 1);
+        // Counter records never appear in the event stream.
+        assert!(rec.finish().unwrap().events.is_empty());
+    }
+}

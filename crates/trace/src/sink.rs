@@ -1,0 +1,247 @@
+//! Where finished visit traces go.
+//!
+//! The crawler feeds [`VisitTrace`]s to a sink **in frontier order from a
+//! single thread** after every worker has joined, so a sink observes a
+//! deterministic stream whatever the crawl's worker count or schedule.
+//! Sinks still must be `Send + Sync` (the handle is shared through crawl
+//! config structs that cross threads), but they are free to use one plain
+//! mutex — consumption is not a hot path.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::event::VisitTrace;
+
+/// A consumer of finished visit traces.
+pub trait TraceSink: Send + Sync {
+    /// Fast-path gate: when `false`, the crawl constructs disabled
+    /// recorders and no events are recorded at all (the near-zero
+    /// overhead path). Defaults to `true`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one finished visit trace. Called in frontier order.
+    fn consume(&self, trace: VisitTrace);
+}
+
+/// The default sink: tracing fully off. `enabled()` is `false`, so no
+/// recorder ever records and `consume` is unreachable in practice.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn consume(&self, _trace: VisitTrace) {}
+}
+
+/// Counts visits/spans/events and drops the data — the cheapest *enabled*
+/// sink. Used by the study pipeline to surface trace volume in reports
+/// without retaining whole streams.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    visits: AtomicU64,
+    spans: AtomicU64,
+    events: AtomicU64,
+}
+
+impl CountingSink {
+    /// Creates a zeroed counting sink.
+    pub fn new() -> CountingSink {
+        CountingSink::default()
+    }
+
+    /// `(visits, spans, events)` consumed so far.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (
+            self.visits.load(Ordering::Relaxed),
+            self.spans.load(Ordering::Relaxed),
+            self.events.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn consume(&self, trace: VisitTrace) {
+        self.visits.fetch_add(1, Ordering::Relaxed);
+        self.spans.fetch_add(trace.span_count(), Ordering::Relaxed);
+        self.events
+            .fetch_add(trace.events.len() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Bounded in-memory sink: keeps the **most recent** `capacity` visit
+/// traces in consumption order. The test workhorse — determinism suites
+/// compare two sinks' drained streams structurally.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    ring: Mutex<VecDeque<VisitTrace>>,
+    dropped: AtomicU64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` traces (oldest evicted first).
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 4096))),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Copies out the retained traces, oldest first.
+    pub fn traces(&self) -> Vec<VisitTrace> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of traces evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of traces currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for RingSink {
+    fn consume(&self, trace: VisitTrace) {
+        let mut ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(trace);
+    }
+}
+
+/// Streams each visit trace as one JSON line to a writer (file, stdout,
+/// buffer). The serialization is hand-rolled and deterministic — see
+/// [`VisitTrace::to_jsonl`].
+pub struct JsonlSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+    lines: AtomicU64,
+}
+
+impl JsonlSink {
+    /// Wraps any writer.
+    pub fn new(writer: Box<dyn Write + Send>) -> JsonlSink {
+        JsonlSink {
+            writer: Mutex::new(writer),
+            lines: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates (truncating) `path` and streams JSONL into it.
+    pub fn create(path: &str) -> std::io::Result<JsonlSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::new(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines.load(Ordering::Relaxed)
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.writer
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .flush()
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn consume(&self, trace: VisitTrace) {
+        let line = trace.to_jsonl();
+        let mut writer = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        // A sink must not panic the crawl; a full disk degrades to a
+        // truncated trace file.
+        let _ = writer.write_all(line.as_bytes());
+        let _ = writer.write_all(b"\n");
+        self.lines.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::VisitRecorder;
+
+    fn trace(label: &str) -> VisitTrace {
+        let rec = VisitRecorder::new(label, None);
+        let s = rec.begin("fetch");
+        rec.end(s, 3);
+        rec.finish().unwrap()
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+    }
+
+    #[test]
+    fn counting_sink_totals() {
+        let sink = CountingSink::new();
+        sink.consume(trace("a"));
+        sink.consume(trace("b"));
+        assert_eq!(sink.totals(), (2, 2, 4));
+    }
+
+    #[test]
+    fn ring_sink_bounds_and_evicts_oldest() {
+        let sink = RingSink::new(2);
+        assert!(sink.is_empty());
+        sink.consume(trace("a"));
+        sink.consume(trace("b"));
+        sink.consume(trace("c"));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 1);
+        let labels: Vec<String> = sink.traces().into_iter().map(|t| t.label).collect();
+        assert_eq!(labels, vec!["b".to_string(), "c".to_string()]);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_visit() {
+        let buf: Vec<u8> = Vec::new();
+        let shared = std::sync::Arc::new(Mutex::new(buf));
+        struct SharedWriter(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedWriter {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Box::new(SharedWriter(std::sync::Arc::clone(&shared))));
+        sink.consume(trace("https://a.com/"));
+        sink.consume(trace("https://b.com/"));
+        sink.flush().unwrap();
+        assert_eq!(sink.lines(), 2);
+        let text = String::from_utf8(shared.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("https://a.com/"));
+        assert!(lines[1].starts_with('{') && lines[1].ends_with('}'));
+    }
+}

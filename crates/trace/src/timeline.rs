@@ -1,0 +1,274 @@
+//! Reading traces back: span trees, rendered per-visit timelines, and the
+//! cross-visit hot-path breakdown the `bench trace` subcommand prints.
+
+use std::collections::BTreeMap;
+
+use crate::event::{EventKind, SpanId, TraceEvent, VisitTrace, ROOT_SPAN};
+
+/// One node of a reconstructed span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span id within the visit (0 for the synthetic root).
+    pub id: SpanId,
+    /// Stage name (`"visit"` for the synthetic root).
+    pub name: &'static str,
+    /// Tick the span opened at (0 for the root).
+    pub start_tick: u64,
+    /// Simulated milliseconds attributed on close.
+    pub dur_ms: u64,
+    /// Instant events recorded directly in this span.
+    pub events: Vec<(u64, &'static str, String)>,
+    /// Child spans, in open order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Simulated milliseconds of this span plus all descendants.
+    pub fn total_dur_ms(&self) -> u64 {
+        self.dur_ms
+            + self
+                .children
+                .iter()
+                .map(SpanNode::total_dur_ms)
+                .sum::<u64>()
+    }
+
+    /// Depth-first iterator over `self` and all descendants.
+    fn walk<'a>(&'a self, out: &mut Vec<&'a SpanNode>) {
+        out.push(self);
+        for child in &self.children {
+            child.walk(out);
+        }
+    }
+}
+
+/// Rebuilds the span tree of one visit under a synthetic `"visit"` root.
+/// Tolerates truncated streams (spans missing their end) by leaving
+/// `dur_ms` at 0, so a panicked visit's partial trace still renders.
+pub fn span_tree(trace: &VisitTrace) -> SpanNode {
+    // Spans are recorded strictly nested, so a stack of open nodes
+    // reconstructs the tree in one pass: close pops a node into its
+    // parent's children.
+    let mut stack: Vec<SpanNode> = vec![SpanNode {
+        id: ROOT_SPAN,
+        name: "visit",
+        start_tick: 0,
+        dur_ms: 0,
+        events: Vec::new(),
+        children: Vec::new(),
+    }];
+    for TraceEvent { tick, kind } in &trace.events {
+        match kind {
+            EventKind::SpanStart { id, name, .. } => {
+                stack.push(SpanNode {
+                    id: *id,
+                    name,
+                    start_tick: *tick,
+                    dur_ms: 0,
+                    events: Vec::new(),
+                    children: Vec::new(),
+                });
+            }
+            EventKind::SpanEnd { id, dur_ms } => {
+                if stack.len() > 1 && stack[stack.len() - 1].id == *id {
+                    if let Some(mut node) = stack.pop() {
+                        node.dur_ms = *dur_ms;
+                        if let Some(parent) = stack.last_mut() {
+                            parent.children.push(node);
+                        }
+                    }
+                }
+            }
+            EventKind::Instant { name, detail, .. } => {
+                if let Some(node) = stack.last_mut() {
+                    node.events.push((*tick, name, detail.clone()));
+                }
+            }
+        }
+    }
+    // A truncated stream leaves spans open: fold them into their parents.
+    while stack.len() > 1 {
+        if let Some(node) = stack.pop() {
+            if let Some(parent) = stack.last_mut() {
+                parent.children.push(node);
+            }
+        }
+    }
+    stack.pop().unwrap_or_else(|| SpanNode {
+        id: ROOT_SPAN,
+        name: "visit",
+        start_tick: 0,
+        dur_ms: 0,
+        events: Vec::new(),
+        children: Vec::new(),
+    })
+}
+
+/// The set of span names appearing anywhere in a visit's trace — the
+/// stage-coverage check (`fetch`/`parse`/`triage`/`execute`/`extract`)
+/// tests and the `trace --check` gate use.
+pub fn span_names(trace: &VisitTrace) -> std::collections::BTreeSet<&'static str> {
+    trace
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::SpanStart { name, .. } => Some(name),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Renders one visit as an indented plain-text timeline.
+pub fn render_timeline(trace: &VisitTrace) -> String {
+    let tree = span_tree(trace);
+    let mut out = format!(
+        "visit {} ({} events, {} sim-ms)\n",
+        trace.label,
+        trace.events.len(),
+        tree.total_dur_ms()
+    );
+    fn render(node: &SpanNode, depth: usize, out: &mut String) {
+        if node.id != ROOT_SPAN {
+            out.push_str(&format!(
+                "{}[{:>4}] {} ({} sim-ms)\n",
+                "  ".repeat(depth),
+                node.start_tick,
+                node.name,
+                node.dur_ms
+            ));
+        }
+        let depth_here = if node.id == ROOT_SPAN {
+            depth
+        } else {
+            depth + 1
+        };
+        for (tick, name, detail) in &node.events {
+            out.push_str(&format!(
+                "{}[{:>4}] · {}{}{}\n",
+                "  ".repeat(depth_here),
+                tick,
+                name,
+                if detail.is_empty() { "" } else { ": " },
+                detail
+            ));
+        }
+        for child in &node.children {
+            render(child, depth_here, out);
+        }
+    }
+    render(&tree, 0, &mut out);
+    out
+}
+
+/// One row of the hot-path breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotPathRow {
+    /// Stage (span) name.
+    pub name: &'static str,
+    /// Times the stage ran across all visits.
+    pub count: u64,
+    /// Total simulated milliseconds attributed to the stage itself
+    /// (exclusive of child spans).
+    pub total_dur_ms: u64,
+}
+
+/// Aggregates span self-time across many visits, most expensive stage
+/// first (ties broken by name, so the table is deterministic).
+pub fn hot_path(traces: &[VisitTrace]) -> Vec<HotPathRow> {
+    let mut by_name: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+    for trace in traces {
+        let tree = span_tree(trace);
+        let mut nodes = Vec::new();
+        tree.walk(&mut nodes);
+        for node in nodes {
+            if node.id == ROOT_SPAN {
+                continue;
+            }
+            let entry = by_name.entry(node.name).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += node.dur_ms;
+        }
+    }
+    let mut rows: Vec<HotPathRow> = by_name
+        .into_iter()
+        .map(|(name, (count, total_dur_ms))| HotPathRow {
+            name,
+            count,
+            total_dur_ms,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.total_dur_ms
+            .cmp(&a.total_dur_ms)
+            .then_with(|| a.name.cmp(b.name))
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::VisitRecorder;
+
+    fn sample() -> VisitTrace {
+        let rec = VisitRecorder::new("https://site.com/", None);
+        let fetch = rec.begin("fetch");
+        rec.instant("net.fault", || "latency-spike".into());
+        rec.end(fetch, 40);
+        let exec = rec.begin("execute");
+        let parse = rec.begin("parse");
+        rec.end(parse, 0);
+        rec.instant("steps", || "1200".into());
+        rec.end(exec, 1);
+        rec.finish().unwrap()
+    }
+
+    #[test]
+    fn tree_reconstructs_nesting() {
+        let tree = span_tree(&sample());
+        assert_eq!(tree.name, "visit");
+        assert_eq!(tree.children.len(), 2);
+        assert_eq!(tree.children[0].name, "fetch");
+        assert_eq!(tree.children[0].dur_ms, 40);
+        assert_eq!(tree.children[0].events.len(), 1);
+        assert_eq!(tree.children[1].name, "execute");
+        assert_eq!(tree.children[1].children[0].name, "parse");
+        assert_eq!(tree.total_dur_ms(), 41);
+    }
+
+    #[test]
+    fn truncated_stream_still_builds() {
+        let mut trace = sample();
+        trace.events.truncate(3); // cut mid-span
+        let tree = span_tree(&trace);
+        assert_eq!(tree.children[0].name, "fetch");
+    }
+
+    #[test]
+    fn names_cover_recorded_stages() {
+        let names = span_names(&sample());
+        assert!(names.contains("fetch"));
+        assert!(names.contains("parse"));
+        assert!(names.contains("execute"));
+        assert!(!names.contains("extract"));
+    }
+
+    #[test]
+    fn timeline_renders_ticks_and_durations() {
+        let text = render_timeline(&sample());
+        assert!(text.contains("visit https://site.com/"));
+        assert!(text.contains("fetch (40 sim-ms)"));
+        assert!(text.contains("net.fault: latency-spike"));
+        assert!(text.contains("  [   4] parse"));
+    }
+
+    #[test]
+    fn hot_path_aggregates_and_sorts() {
+        let rows = hot_path(&[sample(), sample()]);
+        assert_eq!(rows[0].name, "fetch");
+        assert_eq!(rows[0].count, 2);
+        assert_eq!(rows[0].total_dur_ms, 80);
+        let names: Vec<&str> = rows.iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["fetch", "execute", "parse"]);
+    }
+}

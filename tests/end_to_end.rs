@@ -22,6 +22,7 @@ fn study() -> &'static canvassing::study::StudyResults {
                 adblock_crawls: true,
                 m1_validation: true,
                 defense_sweep: false,
+                trace: false,
             },
         )
     })

@@ -1,0 +1,75 @@
+//! Golden-snapshot test: the full plain-text study report at a canonical
+//! seed/scale must be byte-identical to the checked-in snapshot. Any
+//! intentional change to detection, clustering, attribution, report
+//! formatting, or the trace layer shows up here as a readable diff.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_report
+//! ```
+//!
+//! then review the diff of `tests/golden/report_scale_0.1.txt` like any
+//! other code change (see DESIGN.md's trace/observability section).
+
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use canvassing::study::{run_study, StudyOptions};
+use canvassing_webgen::{SyntheticWeb, WebConfig};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/report_scale_0.1.txt"
+);
+
+fn canonical_report() -> String {
+    let web = SyntheticWeb::generate(WebConfig {
+        seed: 2025,
+        scale: 0.1,
+    });
+    let results = run_study(
+        &web,
+        &StudyOptions {
+            workers: 4,
+            adblock_crawls: true,
+            m1_validation: true,
+            defense_sweep: false,
+            trace: true,
+        },
+    );
+    results.render_report()
+}
+
+#[test]
+fn report_matches_golden_snapshot() {
+    let report = canonical_report();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &report).expect("write golden snapshot");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden snapshot missing — run with UPDATE_GOLDEN=1 to create it");
+    if report != golden {
+        // Byte-diff with a readable first-divergence report: a full
+        // assert_eq! dump of two multi-kilobyte reports is unreviewable.
+        let report_lines: Vec<&str> = report.lines().collect();
+        let golden_lines: Vec<&str> = golden.lines().collect();
+        for (i, (got, want)) in report_lines.iter().zip(&golden_lines).enumerate() {
+            assert_eq!(
+                got,
+                want,
+                "report diverges from golden at line {} (regen with UPDATE_GOLDEN=1 \
+                 if the change is intentional)",
+                i + 1
+            );
+        }
+        panic!(
+            "report line count changed: {} vs golden {} (regen with UPDATE_GOLDEN=1 \
+             if the change is intentional)",
+            report_lines.len(),
+            golden_lines.len()
+        );
+    }
+}

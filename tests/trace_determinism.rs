@@ -1,0 +1,185 @@
+//! Trace-layer acceptance tests: per-visit event streams are
+//! deterministic facts about `(network, url, config)` — never about the
+//! schedule. The same workload must produce byte-identical RingSink
+//! streams across worker counts, across cold vs warm shared caches, and
+//! under the fault-injection matrix; and every successful visit's trace
+//! must cover the full five-stage vocabulary.
+
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::Arc;
+
+use canvassing_crawler::{crawl, crawl_with_caches, CachingPolicy, CrawlConfig};
+use canvassing_net::FaultMatrix;
+use canvassing_trace::{span_names, RingSink, TraceSink, VisitTrace};
+use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
+
+fn web(seed: u64) -> (SyntheticWeb, Vec<canvassing_net::Url>) {
+    let web = SyntheticWeb::generate(WebConfig { seed, scale: 0.02 });
+    let frontier = web.frontier(Cohort::Popular);
+    (web, frontier)
+}
+
+fn traced_config(workers: usize, caching: CachingPolicy) -> (CrawlConfig, Arc<RingSink>) {
+    let sink = Arc::new(RingSink::new(4096));
+    let mut config = CrawlConfig::control();
+    config.workers = workers;
+    config.caching = caching;
+    config.trace = Some(Arc::clone(&sink) as Arc<dyn TraceSink>);
+    (config, sink)
+}
+
+fn run(web: &SyntheticWeb, frontier: &[canvassing_net::Url], workers: usize) -> Vec<VisitTrace> {
+    let (config, sink) = traced_config(workers, CachingPolicy::default());
+    crawl(&web.network, frontier, &config);
+    sink.traces()
+}
+
+#[test]
+fn trace_streams_identical_across_worker_counts() {
+    let (web, frontier) = web(41);
+    let one = run(&web, &frontier, 1);
+    let four = run(&web, &frontier, 4);
+    let eight = run(&web, &frontier, 8);
+    assert_eq!(one.len(), frontier.len());
+    assert_eq!(one, four, "1 vs 4 workers");
+    assert_eq!(one, eight, "1 vs 8 workers");
+}
+
+#[test]
+fn trace_streams_identical_cold_vs_warm_caches() {
+    // The second crawl answers nearly everything from the shared script
+    // cache, analysis cache, and render memo — but cache temperature is a
+    // schedule detail, so the visit streams must not change. (Hit/miss
+    // attribution lives in the shared metrics registry, not the stream.)
+    let (web, frontier) = web(42);
+    let (config, sink) = traced_config(6, CachingPolicy::default());
+    let caches = config.build_caches();
+    let (_, cold_stats) = crawl_with_caches(&web.network, &frontier, &config, &caches);
+    let cold = sink.traces();
+
+    let (config, sink) = traced_config(6, CachingPolicy::default());
+    let (_, warm_stats) = crawl_with_caches(&web.network, &frontier, &config, &caches);
+    let warm = sink.traces();
+
+    assert_eq!(cold, warm, "cache temperature must not leak into streams");
+    assert_eq!(cold_stats.trace_visits, warm_stats.trace_visits);
+    assert_eq!(cold_stats.trace_events, warm_stats.trace_events);
+    assert!(cold_stats.script_parses > 0, "cold pass parsed the corpus");
+    assert_eq!(warm_stats.script_parses, 0, "warm pass re-parsed nothing");
+}
+
+#[test]
+fn caching_changes_only_the_execution_strategy_marker() {
+    // Caching is part of the config, so streams may legitimately differ —
+    // but only in one place: a memo-satisfied execution carries a
+    // `render.replay` instant where the uncached crawl carries
+    // `script.exec`. Everything else (ticks, spans, simulated durations,
+    // even the step-count detail, since replay relocates the canonical
+    // execution's records) must be byte-identical.
+    let (web, frontier) = web(43);
+    let (cached_cfg, cached_sink) = traced_config(8, CachingPolicy::default());
+    crawl(&web.network, &frontier, &cached_cfg);
+    let (uncached_cfg, uncached_sink) = traced_config(8, CachingPolicy::disabled());
+    crawl(&web.network, &frontier, &uncached_cfg);
+
+    let normalize = |traces: Vec<VisitTrace>| -> Vec<VisitTrace> {
+        traces
+            .into_iter()
+            .map(|mut t| {
+                for e in &mut t.events {
+                    if let canvassing_trace::EventKind::Instant { name, .. } = &mut e.kind {
+                        if *name == "render.replay" {
+                            *name = "script.exec";
+                        }
+                    }
+                }
+                t
+            })
+            .collect()
+    };
+    let cached = cached_sink.traces();
+    let replays = cached
+        .iter()
+        .flat_map(|t| &t.events)
+        .filter(|e| {
+            matches!(
+                &e.kind,
+                canvassing_trace::EventKind::Instant { name, .. } if *name == "render.replay"
+            )
+        })
+        .count();
+    assert!(replays > 0, "memo replays happen at this scale");
+    assert_eq!(
+        normalize(cached),
+        normalize(uncached_sink.traces()),
+        "caching must change nothing beyond the replay/exec marker"
+    );
+}
+
+#[test]
+fn trace_streams_schedule_independent_under_fault_matrix() {
+    // Layer the PR-1 fault matrix over a third of the frontier: retries,
+    // truncations, and outages are *facts* about the network, so they
+    // belong in the stream — identically whatever the worker count.
+    let (mut web, frontier) = web(44);
+    let targets: Vec<String> = frontier
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 3 == 0)
+        .map(|(_, u)| u.host.clone())
+        .collect();
+    FaultMatrix::new(5).inject_all(&mut web.network.faults, targets.iter().map(|h| h.as_str()));
+
+    let single = run(&web, &frontier, 1);
+    let fleet = run(&web, &frontier, 8);
+    assert_eq!(single, fleet, "faulted streams must not depend on workers");
+    // The matrix actually bit: some trace carries a fault or error event.
+    let has = |name: &str| {
+        single.iter().any(|t| {
+            t.events.iter().any(|e| {
+                matches!(
+                    &e.kind,
+                    canvassing_trace::EventKind::Instant { name: n, .. } if *n == name
+                )
+            })
+        })
+    };
+    assert!(
+        has("net.fault") || has("net.error"),
+        "fault matrix left no mark on any stream"
+    );
+}
+
+#[test]
+fn every_successful_visit_covers_the_stage_vocabulary() {
+    let (web, frontier) = web(45);
+    let traces = run(&web, &frontier, 4);
+    let mut checked = 0usize;
+    for trace in &traces {
+        let outcome = trace.events.iter().find_map(|e| match &e.kind {
+            canvassing_trace::EventKind::Instant { name, detail, .. }
+                if *name == "visit.outcome" =>
+            {
+                Some(detail.clone())
+            }
+            _ => None,
+        });
+        let outcome = outcome.expect("every trace ends with visit.outcome");
+        if outcome != "success" {
+            continue;
+        }
+        let names = span_names(trace);
+        for stage in ["fetch", "triage", "parse", "execute", "extract"] {
+            assert!(
+                names.contains(stage),
+                "{}: successful visit missing stage {stage}",
+                trace.label
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked > frontier.len() / 2, "most visits succeed");
+}
