@@ -1,0 +1,407 @@
+//! `chaos` — resilience soak for the graceful-degradation supervisor.
+//!
+//! ```text
+//! chaos [--scale F] [--seed N] [--jsonl PATH] [--check]
+//! ```
+//!
+//! Generates the synthetic web at `--scale` (default 0.05), layers an
+//! **elevated** fault matrix over every second frontier host (twice the
+//! density the resilience tests use), adds a shared dead page host so the
+//! per-host circuit breaker provably opens at the page level, then soaks
+//! the pipeline across defense modes × worker counts with breakers and
+//! salvage enabled. Invariant gates, each of which fails the process
+//! under `--check`:
+//!
+//! 1. **No escaped panics** — every crawl completes under
+//!    `catch_unwind`; injected worker panics must degrade to records.
+//! 2. **Determinism across schedules** — for each defense mode, the
+//!    dataset JSON is byte-identical across 1, 4, and 8 workers.
+//! 3. **Fidelity partition** — per-tier counts sum to the frontier size
+//!    for every scenario (every site lands in exactly one tier).
+//! 4. **CircuitOpen visibility** — the per-kind failure breakdown
+//!    contains `circuit-open` records and the bias accounting renders.
+//! 5. **Recovery at every corruption point** — a checkpoint torn after
+//!    any record prefix recovers exactly that prefix, and resuming from
+//!    the recovered prefix merges byte-identical to the uninterrupted
+//!    dataset (checked at sampled prefixes; every prefix is recovered).
+//!
+//! With `--jsonl PATH` each scenario's gate results are appended as one
+//! JSON line (the CI soak artifact).
+
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use canvassing::bias::BiasAccounting;
+use canvassing::detect::{detect, SiteDetection};
+use canvassing_browser::DefenseMode;
+use canvassing_crawler::{
+    checkpoint, crawl_with_stats, resume_crawl, BreakerPolicy, CrawlConfig, CrawlDataset,
+    FailureKind, VisitFidelity,
+};
+use canvassing_net::{FaultMatrix, PageResource, Resource, Url};
+use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
+use serde::Serialize;
+
+/// One gate result, written per line under `--jsonl`.
+#[derive(Serialize)]
+struct GateLine {
+    gate: String,
+    ok: bool,
+    detail: String,
+}
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    jsonl: Option<String>,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 0.05,
+        seed: 2025,
+        jsonl: None,
+        check: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> String {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--scale" => args.scale = value("--scale").parse().expect("scale"),
+            "--seed" => args.seed = value("--seed").parse().expect("seed"),
+            "--jsonl" => args.jsonl = Some(value("--jsonl")),
+            "--check" => args.check = true,
+            "--help" | "-h" => {
+                eprintln!("usage: chaos [--scale F] [--seed N] [--jsonl PATH] [--check]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// The shared dead host several extra frontier pages live on: its visits
+/// fail until the breaker opens, so `circuit-open` records are guaranteed
+/// whatever the generated web looks like.
+const BLACKHOLE: &str = "blackhole.chaos-soak.example";
+
+fn chaos_config(defense: DefenseMode, workers: usize) -> CrawlConfig {
+    let mut config = CrawlConfig::control();
+    // The label must not mention the worker count: the dataset JSON is
+    // compared byte-for-byte across schedules.
+    config.label = format!("chaos-{defense:?}");
+    config.workers = workers;
+    config.defense = defense;
+    config.breakers = BreakerPolicy::enabled();
+    config.salvage = true;
+    config
+}
+
+fn main() {
+    let args = parse_args();
+    // Injected worker panics are part of the soak; the per-visit panic
+    // isolation turns them into records, so their backtrace spam only
+    // obscures the gate output. Anything else still prints.
+    std::panic::set_hook(Box::new(|info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains("injected fault"));
+        if !injected {
+            eprintln!("{info}");
+        }
+    }));
+    eprintln!(
+        "generating synthetic web (scale {}, seed {}) ...",
+        args.scale, args.seed
+    );
+    let mut web = SyntheticWeb::generate(WebConfig {
+        seed: args.seed,
+        scale: args.scale,
+    });
+    let mut frontier = web.frontier(Cohort::Popular);
+    frontier.extend(web.frontier(Cohort::Tail));
+
+    // Elevated fault matrix: every 2nd frontier host (the resilience
+    // tests fault every 3rd).
+    let matrix = FaultMatrix::new(args.seed);
+    let targets: Vec<String> = frontier
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 2 == 0)
+        .map(|(_, u)| u.host.clone())
+        .collect();
+    matrix.inject_all(&mut web.network.faults, targets.iter().map(|h| h.as_str()));
+
+    // Latency-spike every 5th *script* host (third parties, which the
+    // page-host matrix above never touches): pages referencing one die
+    // mid-script-loading, so their salvage carries already-classified
+    // scripts and lands in the `StaticSalvage` tier.
+    let mut script_hosts: Vec<String> = frontier
+        .iter()
+        .filter_map(|u| match web.network.peek(u) {
+            Some(Resource::Page(page)) => Some(page),
+            _ => None,
+        })
+        .flat_map(|page| {
+            page.scripts.iter().filter_map(|s| match s {
+                canvassing_net::ScriptRef::External(u) => Some(u.host.clone()),
+                _ => None,
+            })
+        })
+        .collect();
+    script_hosts.sort();
+    script_hosts.dedup();
+    for host in script_hosts.iter().step_by(5) {
+        if web.network.faults.fault_for(host).is_none() {
+            web.network.faults.inject(
+                host,
+                canvassing_net::Fault::LatencySpike { extra_ms: 60_000 },
+            );
+        }
+    }
+
+    // Shared dead page host: enough visits to open the breaker and then
+    // short-circuit (threshold 3 → 3 unreachable + 3 circuit-open).
+    for i in 0..6 {
+        let url = Url::https(BLACKHOLE, &format!("/p{i}"));
+        web.network.host(
+            &url,
+            Resource::Page(PageResource {
+                scripts: vec![],
+                consent_banner: false,
+                bot_check: false,
+            }),
+        );
+        frontier.push(url);
+    }
+    web.network.faults.take_down(BLACKHOLE);
+
+    let mut jsonl = args.jsonl.as_ref().map(|p| {
+        std::fs::File::create(p).unwrap_or_else(|e| {
+            eprintln!("cannot create {p}: {e}");
+            std::process::exit(2);
+        })
+    });
+    let mut failures: Vec<String> = Vec::new();
+    let mut gate = |name: String, ok: bool, detail: String, jsonl: &mut Option<std::fs::File>| {
+        println!("[{}] {name}: {detail}", if ok { "ok" } else { "FAIL" });
+        if let Some(f) = jsonl {
+            let line = GateLine {
+                gate: name.clone(),
+                ok,
+                detail,
+            };
+            let _ = writeln!(
+                f,
+                "{}",
+                serde_json::to_string(&line).expect("gate serializes")
+            );
+        }
+        if !ok {
+            failures.push(name);
+        }
+    };
+
+    // --- Soak: defense modes × worker counts, breakers + salvage on. ---
+    let defenses = [
+        ("none", DefenseMode::None),
+        ("per-render", DefenseMode::RandomizePerRender { seed: 1 }),
+    ];
+    let mut control_ds: Option<CrawlDataset> = None;
+    for (dlabel, defense) in defenses {
+        let mut per_worker_json: Vec<String> = Vec::new();
+        for workers in [1usize, 4, 8] {
+            let config = chaos_config(defense, workers);
+            let crawled = catch_unwind(AssertUnwindSafe(|| {
+                crawl_with_stats(&web.network, &frontier, &config)
+            }));
+            let Ok((ds, stats)) = crawled else {
+                gate(
+                    format!("no-escaped-panics/{dlabel}/{workers}w"),
+                    false,
+                    "crawl panicked".into(),
+                    &mut jsonl,
+                );
+                continue;
+            };
+            gate(
+                format!("no-escaped-panics/{dlabel}/{workers}w"),
+                true,
+                format!(
+                    "{} sites, {} breaker opens, {} short-circuits, {} salvaged",
+                    ds.records.len(),
+                    stats.breaker_opens,
+                    stats.breaker_short_circuits,
+                    stats.salvaged_visits
+                ),
+                &mut jsonl,
+            );
+
+            let tiers = ds.fidelity_breakdown();
+            let total: usize = tiers.values().sum();
+            gate(
+                format!("fidelity-partition/{dlabel}/{workers}w"),
+                total == frontier.len() && ds.records.len() == frontier.len(),
+                format!(
+                    "full={} static-salvage={} fetch-only={} lost={} (sum {total} of {})",
+                    tiers[&VisitFidelity::Full],
+                    tiers[&VisitFidelity::StaticSalvage],
+                    tiers[&VisitFidelity::FetchOnly],
+                    tiers[&VisitFidelity::Lost],
+                    frontier.len()
+                ),
+                &mut jsonl,
+            );
+            per_worker_json.push(ds.to_json().expect("dataset serializes"));
+            if dlabel == "none" && workers == 4 {
+                control_ds = Some(ds);
+            }
+        }
+        let identical = per_worker_json.len() == 3
+            && per_worker_json[0] == per_worker_json[1]
+            && per_worker_json[1] == per_worker_json[2];
+        gate(
+            format!("determinism/{dlabel}"),
+            identical,
+            format!(
+                "dataset JSON across workers 1/4/8: {}",
+                if identical {
+                    "byte-identical"
+                } else {
+                    "DIVERGED"
+                }
+            ),
+            &mut jsonl,
+        );
+    }
+
+    let control = control_ds.expect("control scenario ran");
+
+    // --- CircuitOpen visibility + bias accounting. ---
+    let breakdown = control.failure_breakdown();
+    let circuit_open = breakdown
+        .get(&FailureKind::CircuitOpen)
+        .copied()
+        .unwrap_or(0);
+    gate(
+        "circuit-open-records".into(),
+        circuit_open > 0,
+        format!("{circuit_open} circuit-open records in the per-kind breakdown"),
+        &mut jsonl,
+    );
+
+    let detections: Vec<SiteDetection> = control.successful().map(|(_, v)| detect(v)).collect();
+    let bias = BiasAccounting::compute(&control, &detections);
+    let tiers_sum: usize = bias.tiers.values().sum();
+    gate(
+        "bias-accounting".into(),
+        tiers_sum == bias.population && bias.bias_high() >= bias.bias_low(),
+        format!(
+            "strict {:.1}%, salvage-inclusive {:.1}%, interval [{:.1}%, {:.1}%] over {} sites",
+            100.0 * bias.strict_rate(),
+            100.0 * bias.salvage_rate(),
+            100.0 * bias.bias_low(),
+            100.0 * bias.bias_high(),
+            bias.population
+        ),
+        &mut jsonl,
+    );
+
+    // --- Checkpoint corruption sweep: recovery at every prefix. ---
+    //
+    // Walking DOWNWARD lets one file serve every corruption point: after
+    // recovery truncates to a clean k-record prefix, shrinking the file
+    // into the middle of record k-1's line is exactly a torn write at
+    // k-1 — no O(n²) rewriting of prefixes.
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("chaos-ckpt-{}.log", std::process::id()));
+    let n = control.records.len();
+    checkpoint::save_atomic(&path, &control).expect("write full checkpoint");
+    let line_lens: Vec<u64> = control
+        .records
+        .iter()
+        .map(|r| {
+            // "<crc32 hex> <json>\n" framing: 8 hex chars + space + newline.
+            let json = serde_json::to_string(r).expect("record serializes");
+            10 + json.len() as u64
+        })
+        .collect();
+    let header_len =
+        std::fs::metadata(&path).expect("checkpoint meta").len() - line_lens.iter().sum::<u64>();
+    let mut offsets = Vec::with_capacity(n);
+    let mut at = header_len;
+    for len in &line_lens {
+        offsets.push(at);
+        at += len;
+    }
+
+    let mut recovered_ok = 0usize;
+    let mut resume_checks = 0usize;
+    let mut resume_ok = 0usize;
+    let full_json = control.to_json().expect("dataset serializes");
+    // Resume-and-merge is a full crawl of the suffix; sample prefixes
+    // (edges + evenly spaced interior) while recovering at every one.
+    let sample_every = (n / 8).max(1);
+    for k in (0..n).rev() {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .expect("open checkpoint");
+        file.set_len(offsets[k] + line_lens[k] / 2)
+            .expect("tear record k");
+        drop(file);
+
+        let (recovered, report) = checkpoint::recover(&path).expect("recover");
+        if recovered.records.len() == k && report.corrupted_at == Some(k) {
+            recovered_ok += 1;
+        }
+        if k % sample_every == 0 || k == n - 1 {
+            resume_checks += 1;
+            let config = chaos_config(DefenseMode::None, 4);
+            let resumed = resume_crawl(&web.network, &frontier, &config, &recovered);
+            if resumed.to_json().expect("resumed serializes") == full_json {
+                resume_ok += 1;
+            }
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+    gate(
+        "recovery-every-corruption-point".into(),
+        recovered_ok == n,
+        format!("{recovered_ok}/{n} torn prefixes recovered exactly"),
+        &mut jsonl,
+    );
+    gate(
+        "resume-merges-byte-identical".into(),
+        resume_ok == resume_checks && resume_checks > 0,
+        format!("{resume_ok}/{resume_checks} sampled resumes byte-identical"),
+        &mut jsonl,
+    );
+
+    if let Some(p) = &args.jsonl {
+        println!("wrote gate results to {p}");
+    }
+    if failures.is_empty() {
+        println!("CHAOS OK: all gates passed over {} sites", frontier.len());
+    } else {
+        eprintln!("CHAOS FAILED: {} gate(s): {:?}", failures.len(), failures);
+        if args.check {
+            std::process::exit(1);
+        }
+    }
+}

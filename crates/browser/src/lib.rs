@@ -25,7 +25,9 @@ pub use canvassing_script::{ScriptCache, ScriptCacheStats};
 pub use defenses::DefenseMode;
 pub use extension::{AdBlockerKind, BlockDecision, Extension};
 pub use memo::{CrawlCaches, PerfCounters, PerfSnapshot, RenderEntry, RenderMemo};
-pub use visit::{BlockedScript, Browser, LoadedScript, PageVisit, VisitError, VisitPolicy};
+pub use visit::{
+    BlockedScript, Browser, LoadedScript, PageVisit, VisitAbort, VisitError, VisitPolicy,
+};
 
 #[cfg(test)]
 mod vendor_script_tests {

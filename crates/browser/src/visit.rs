@@ -1,5 +1,6 @@
 //! The page-visit pipeline: fetch → consent → scripts → user simulation.
 
+use std::collections::BTreeSet;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -29,6 +30,9 @@ pub enum VisitError {
     DeadlineExceeded(Url),
     /// The visit's total script-step fuel allowance ran out.
     FuelExhausted(Url),
+    /// The crawler's per-host circuit breaker was open for this page's
+    /// host: the visit was short-circuited without touching the network.
+    CircuitOpen(Url),
 }
 
 impl std::fmt::Display for VisitError {
@@ -39,11 +43,43 @@ impl std::fmt::Display for VisitError {
             VisitError::BotBlocked(u) => write!(f, "bot gate rejected crawler at {u}"),
             VisitError::DeadlineExceeded(u) => write!(f, "visit deadline exceeded at {u}"),
             VisitError::FuelExhausted(u) => write!(f, "script fuel exhausted at {u}"),
+            VisitError::CircuitOpen(u) => write!(f, "circuit open for host of {u}"),
         }
     }
 }
 
 impl std::error::Error for VisitError {}
+
+/// A failed visit together with whatever evidence was gathered before it
+/// died. The error says *why* the site dropped out; `partial` is the
+/// salvage — everything the pipeline had already fetched, triaged, and
+/// recorded (a pure function of `(network, url, config)`, so salvage is as
+/// deterministic as success).
+///
+/// `partial` is `None` only when the failure preceded any page contact
+/// (DNS/connect errors, a short-circuited visit): there is genuinely
+/// nothing to keep. A visit that died *after* the page arrived — bot wall,
+/// truncated body, blown deadline, exhausted fuel — keeps the page-level
+/// facts and any scripts already processed, including their static triage
+/// verdicts, which is what lets the study fall back to the static
+/// classifier for these sites instead of discarding them.
+#[derive(Debug)]
+pub struct VisitAbort {
+    /// Why the visit failed.
+    pub error: VisitError,
+    /// Evidence gathered before the failure, if the page was reached.
+    pub partial: Option<Box<PageVisit>>,
+}
+
+impl VisitAbort {
+    /// A failure with nothing salvageable.
+    fn lost(error: VisitError) -> VisitAbort {
+        VisitAbort {
+            error,
+            partial: None,
+        }
+    }
+}
 
 /// Interpreter steps charged as one millisecond of simulated wall-clock
 /// time when enforcing the visit deadline.
@@ -262,23 +298,89 @@ impl Browser {
         attempt: u32,
         rec: &VisitRecorder,
     ) -> Result<PageVisit, VisitError> {
+        self.visit_supervised(network, page_url, attempt, rec, &BTreeSet::new())
+            .map_err(|abort| abort.error)
+    }
+
+    /// The supervised pipeline behind [`Browser::visit_traced`]: the same
+    /// fetch → triage → execute → extract stages, but failures return a
+    /// [`VisitAbort`] carrying the partial evidence instead of discarding
+    /// it, and `open_hosts` — the hosts whose circuit breaker is open at
+    /// this visit's frontier slot — short-circuit without a fetch:
+    ///
+    /// - the *page* host open ⇒ the whole visit aborts with
+    ///   [`VisitError::CircuitOpen`] before touching the network;
+    /// - a *script* host open ⇒ a `breaker.short_circuit` instant and a
+    ///   [`LoadedScript`] with a `"circuit open"` error, like any other
+    ///   broken script reference (pages survive it).
+    ///
+    /// `open_hosts` must be derived from the frontier (the crawler's
+    /// breaker plan), never from runtime fetch order, so everything
+    /// recorded here stays a pure function of
+    /// `(network, page_url, config)`.
+    pub fn visit_supervised(
+        &self,
+        network: &Network,
+        page_url: &Url,
+        attempt: u32,
+        rec: &VisitRecorder,
+        open_hosts: &BTreeSet<String>,
+    ) -> Result<PageVisit, VisitAbort> {
         let deadline = self.policy.deadline_ms;
         let mut elapsed_ms: u64 = 0;
         let mut fuel_used: u64 = 0;
 
-        let response = network
-            .fetch_traced(page_url, attempt, rec)
-            .map_err(VisitError::Fetch)?;
+        if open_hosts.contains(&page_url.host) {
+            rec.instant("breaker.short_circuit", || page_url.to_string());
+            return Err(VisitAbort::lost(VisitError::CircuitOpen(page_url.clone())));
+        }
+
+        // An empty shell for failure paths that reached the page but died
+        // before (or at) script processing: page-level salvage with no
+        // script evidence.
+        let shell = |consent_banner: bool| PageVisit {
+            page: page_url.clone(),
+            api_calls: Vec::new(),
+            extractions: Vec::new(),
+            scripts: Vec::new(),
+            blocked: Vec::new(),
+            consent_banner,
+        };
+
+        let response = match network.fetch_traced(page_url, attempt, rec) {
+            Ok(r) => r,
+            Err(err) => {
+                // A truncated body means the server was reached and part
+                // of the page arrived — that fact survives as an empty
+                // page-level salvage. Everything else failed before any
+                // content existed.
+                let partial =
+                    matches!(err, FetchError::Truncated(_)).then(|| Box::new(shell(false)));
+                return Err(VisitAbort {
+                    error: VisitError::Fetch(err),
+                    partial,
+                });
+            }
+        };
         let page = match response.resource {
             Resource::Page(p) => p,
-            Resource::Script(_) => return Err(VisitError::NotAPage(page_url.clone())),
+            Resource::Script(_) => {
+                return Err(VisitAbort::lost(VisitError::NotAPage(page_url.clone())))
+            }
         };
         if page.bot_check && !self.passes_bot_checks {
-            return Err(VisitError::BotBlocked(page_url.clone()));
+            // The wall was served after a successful fetch: keep that.
+            return Err(VisitAbort {
+                error: VisitError::BotBlocked(page_url.clone()),
+                partial: Some(Box::new(shell(page.consent_banner))),
+            });
         }
         elapsed_ms += response.latency_ms;
         if deadline.is_some_and(|d| elapsed_ms > d) {
-            return Err(VisitError::DeadlineExceeded(page_url.clone()));
+            return Err(VisitAbort {
+                error: VisitError::DeadlineExceeded(page_url.clone()),
+                partial: Some(Box::new(shell(page.consent_banner))),
+            });
         }
 
         let mut doc = match &self.caches.pool {
@@ -358,7 +460,11 @@ impl Browser {
                     elapsed_ms += steps / STEPS_PER_MS;
                     if let Some(msg) = &error {
                         if budget < DEFAULT_STEP_BUDGET && msg.contains("step budget") {
-                            return Err(VisitError::FuelExhausted(page_url.clone()));
+                            return Err(salvaged(
+                                visit,
+                                doc,
+                                VisitError::FuelExhausted(page_url.clone()),
+                            ));
                         }
                     }
                     visit.scripts.push(LoadedScript {
@@ -383,6 +489,22 @@ impl Browser {
                             continue;
                         }
                     }
+                    if open_hosts.contains(&url.host) {
+                        // Breaker open for the script host: skip the fetch
+                        // entirely. Like a broken reference, the page
+                        // survives; unlike one, no network attempt is made.
+                        rec.instant("breaker.short_circuit", || url.to_string());
+                        visit.scripts.push(LoadedScript {
+                            url: url.clone(),
+                            inline: false,
+                            canonical_host: url.host.clone(),
+                            cname_cloaked: false,
+                            source_hash: 0,
+                            verdict: None,
+                            error: Some("circuit open".into()),
+                        });
+                        continue;
+                    }
                     match network.fetch_traced(url, attempt, rec) {
                         Ok(resp) => {
                             let source = match resp.resource {
@@ -392,7 +514,11 @@ impl Browser {
                             doc.advance_clock(resp.latency_ms);
                             elapsed_ms += resp.latency_ms;
                             if deadline.is_some_and(|d| elapsed_ms > d) {
-                                return Err(VisitError::DeadlineExceeded(page_url.clone()));
+                                return Err(salvaged(
+                                    visit,
+                                    doc,
+                                    VisitError::DeadlineExceeded(page_url.clone()),
+                                ));
                             }
                             let (source_hash, analysis) = self.caches.analysis.analyze_traced(
                                 &source,
@@ -413,7 +539,11 @@ impl Browser {
                             elapsed_ms += steps / STEPS_PER_MS;
                             if let Some(msg) = &error {
                                 if budget < DEFAULT_STEP_BUDGET && msg.contains("step budget") {
-                                    return Err(VisitError::FuelExhausted(page_url.clone()));
+                                    return Err(salvaged(
+                                        visit,
+                                        doc,
+                                        VisitError::FuelExhausted(page_url.clone()),
+                                    ));
                                 }
                             }
                             visit.scripts.push(LoadedScript {
@@ -445,7 +575,11 @@ impl Browser {
                 }
             }
             if deadline.is_some_and(|d| elapsed_ms > d) {
-                return Err(VisitError::DeadlineExceeded(page_url.clone()));
+                return Err(salvaged(
+                    visit,
+                    doc,
+                    VisitError::DeadlineExceeded(page_url.clone()),
+                ));
             }
         }
 
@@ -458,6 +592,19 @@ impl Browser {
         visit.extractions = extractions;
         trace_stage_tail(rec, executed_any, &visit);
         Ok(visit)
+    }
+}
+
+/// Finalizes a mid-pipeline death into a [`VisitAbort`] that keeps the
+/// evidence: the document's canvas activity recorded so far is harvested
+/// into the partial visit, exactly as the success path would have done.
+fn salvaged(mut visit: PageVisit, doc: Document, error: VisitError) -> VisitAbort {
+    let (calls, extractions) = doc.into_records();
+    visit.api_calls = calls;
+    visit.extractions = extractions;
+    VisitAbort {
+        error,
+        partial: Some(Box::new(visit)),
     }
 }
 
@@ -844,6 +991,128 @@ mod tests {
         assert!(instants
             .iter()
             .any(|(n, d)| *n == "script.unavailable" && d.contains("fp.example.net")));
+    }
+
+    #[test]
+    fn supervised_visit_salvages_partial_evidence_on_deadline() {
+        use canvassing_net::Fault;
+        // Two scripts; the second one's host is latency-spiked past the
+        // deadline, so the visit dies between scripts — after the first
+        // ran and extracted.
+        let mut network = simple_network();
+        network.host(
+            &Url::https("slowcdn.net", "/late.js"),
+            Resource::Script(ScriptResource {
+                source: "let x = 1;".into(),
+                label: "late".into(),
+            }),
+        );
+        network.host(
+            &Url::https("twoscripts.com", "/"),
+            Resource::Page(PageResource {
+                scripts: vec![
+                    ScriptRef::External(Url::https("fp.example.net", "/fp.js")),
+                    ScriptRef::External(Url::https("slowcdn.net", "/late.js")),
+                ],
+                consent_banner: false,
+                bot_check: false,
+            }),
+        );
+        network
+            .faults
+            .inject("slowcdn.net", Fault::LatencySpike { extra_ms: 60_000 });
+        let abort = intel_browser()
+            .visit_supervised(
+                &network,
+                &Url::https("twoscripts.com", "/"),
+                0,
+                &VisitRecorder::disabled(),
+                &BTreeSet::new(),
+            )
+            .unwrap_err();
+        assert!(matches!(abort.error, VisitError::DeadlineExceeded(_)));
+        let partial = abort.partial.expect("page was reached");
+        assert_eq!(partial.scripts.len(), 1, "first script survives");
+        assert!(partial.scripts[0].verdict.is_some(), "triage survives");
+        assert_eq!(partial.extractions.len(), 1, "its extraction survives");
+    }
+
+    #[test]
+    fn supervised_visit_keeps_nothing_before_page_contact() {
+        let mut network = simple_network();
+        network.faults.take_down("site.com");
+        let abort = intel_browser()
+            .visit_supervised(
+                &network,
+                &Url::https("site.com", "/"),
+                0,
+                &VisitRecorder::disabled(),
+                &BTreeSet::new(),
+            )
+            .unwrap_err();
+        assert!(matches!(abort.error, VisitError::Fetch(_)));
+        assert!(abort.partial.is_none(), "no page, nothing to salvage");
+    }
+
+    #[test]
+    fn supervised_visit_salvages_page_shell_behind_bot_wall() {
+        let mut network = Network::new();
+        network.host(
+            &Url::https("guarded.com", "/"),
+            Resource::Page(PageResource {
+                scripts: vec![],
+                consent_banner: false,
+                bot_check: true,
+            }),
+        );
+        let mut browser = intel_browser();
+        browser.passes_bot_checks = false;
+        let abort = browser
+            .visit_supervised(
+                &network,
+                &Url::https("guarded.com", "/"),
+                0,
+                &VisitRecorder::disabled(),
+                &BTreeSet::new(),
+            )
+            .unwrap_err();
+        assert!(matches!(abort.error, VisitError::BotBlocked(_)));
+        let partial = abort.partial.expect("the wall was served");
+        assert!(partial.scripts.is_empty());
+    }
+
+    #[test]
+    fn open_breaker_short_circuits_page_and_script_hosts() {
+        use canvassing_trace::{span_names, EventKind};
+        let network = simple_network();
+        let page = Url::https("site.com", "/");
+        let browser = intel_browser();
+
+        // Page host open: no fetch happens at all.
+        let open: BTreeSet<String> = ["site.com".to_string()].into();
+        let rec = VisitRecorder::new(&page.to_string(), None);
+        let abort = browser
+            .visit_supervised(&network, &page, 0, &rec, &open)
+            .unwrap_err();
+        assert!(matches!(abort.error, VisitError::CircuitOpen(_)));
+        assert!(abort.partial.is_none());
+        let trace = rec.finish().unwrap();
+        assert!(!span_names(&trace).contains("fetch"), "no fetch attempted");
+
+        // Script host open: the page survives with a circuit-open script.
+        let open: BTreeSet<String> = ["fp.example.net".to_string()].into();
+        let rec = VisitRecorder::new(&page.to_string(), None);
+        let visit = browser
+            .visit_supervised(&network, &page, 0, &rec, &open)
+            .unwrap();
+        assert_eq!(visit.scripts.len(), 1);
+        assert_eq!(visit.scripts[0].error.as_deref(), Some("circuit open"));
+        assert!(visit.extractions.is_empty());
+        let trace = rec.finish().unwrap();
+        assert!(trace.events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::Instant { name, .. } if *name == "breaker.short_circuit"
+        )));
     }
 
     #[test]

@@ -58,6 +58,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod attribution;
+pub mod bias;
 pub mod blocklist_coverage;
 pub mod cluster;
 pub mod detect;
@@ -69,6 +70,7 @@ mod proptests;
 pub mod study;
 pub mod validation;
 
+pub use bias::BiasAccounting;
 pub use cluster::{Cluster, Clustering, OverlapStats};
 pub use detect::{detect, ExclusionReason, FpCanvas, SiteDetection};
 pub use evasion::EvasionStats;

@@ -12,6 +12,7 @@ use canvassing_webgen::{Cohort, SyntheticWeb};
 use serde::{Deserialize, Serialize};
 
 use crate::attribution::{attribute, gather_ground_truth, AttributionResult, AttributionSources};
+use crate::bias::BiasAccounting;
 use crate::blocklist_coverage::{coverage, CoverageCounts};
 use crate::cluster::{Clustering, OverlapStats};
 use crate::detect::{detect, SiteDetection};
@@ -74,6 +75,9 @@ pub struct CohortAnalysis {
     pub coverage: CoverageCounts,
     /// §3.1 crawl-failure breakdown by typed kind.
     pub failures: std::collections::BTreeMap<FailureKind, usize>,
+    /// Failure-bias accounting: fidelity-tier counts and the strict /
+    /// salvage-inclusive / worst-case-interval prevalence estimators.
+    pub bias: BiasAccounting,
     /// Static-triage vs dynamic-detection confusion matrix over the
     /// cohort's unique script bodies.
     pub static_dynamic: ConfusionMatrix,
@@ -99,6 +103,7 @@ pub fn analyze_cohort(
     let evasion = EvasionStats::compute(&detections);
     let coverage = coverage(&detections, easylist, easyprivacy, disconnect);
     let static_dynamic = cross_validate(dataset, &detections);
+    let bias = BiasAccounting::compute(dataset, &detections);
     CohortAnalysis {
         cohort,
         attempted: dataset.records.len(),
@@ -108,6 +113,7 @@ pub fn analyze_cohort(
         evasion,
         coverage,
         failures: dataset.failure_breakdown(),
+        bias,
         static_dynamic,
         perf: CrawlStats::default(),
     }
@@ -413,6 +419,45 @@ impl StudyResults {
             ));
         }
 
+        out.push_str("\n== Failure bias (fidelity tiers) ==\n");
+        out.push_str("Tier | Popular | Tail\n");
+        for tier in canvassing_crawler::VisitFidelity::all() {
+            out.push_str(&format!(
+                "{} | {} | {}\n",
+                tier,
+                self.popular.bias.tiers.get(&tier).copied().unwrap_or(0),
+                self.tail.bias.tiers.get(&tier).copied().unwrap_or(0),
+            ));
+        }
+        for a in [&self.popular, &self.tail] {
+            let b = &a.bias;
+            out.push_str(&format!(
+                "{:?}: strict {:.1}%, salvage-inclusive {:.1}%, \
+                 worst-case interval [{:.1}%, {:.1}%] over {} sites\n",
+                a.cohort,
+                100.0 * b.strict_rate(),
+                100.0 * b.salvage_rate(),
+                100.0 * b.bias_low(),
+                100.0 * b.bias_high(),
+                b.population,
+            ));
+        }
+        if self.popular.perf.breaker_opens > 0
+            || self.tail.perf.breaker_opens > 0
+            || self.popular.perf.salvaged_visits > 0
+            || self.tail.perf.salvaged_visits > 0
+        {
+            out.push_str("\n== Resilience (breakers and salvage) ==\n");
+            for a in [&self.popular, &self.tail] {
+                let p = &a.perf;
+                out.push_str(&format!(
+                    "{:?}: {} circuit opens, {} short-circuited references, \
+                     {} salvaged visits\n",
+                    a.cohort, p.breaker_opens, p.breaker_short_circuits, p.salvaged_visits,
+                ));
+            }
+        }
+
         out.push_str("\n== Crawl cache efficiency ==\n");
         for a in [&self.popular, &self.tail] {
             let p = &a.perf;
@@ -681,6 +726,23 @@ mod tests {
             assert!(!a.failures.is_empty(), "down sites exist at this scale");
         }
 
+        // Failure-bias accounting: fidelity tiers partition the site
+        // population, and the crawl's failures widen the worst-case
+        // interval beyond zero.
+        for a in [&results.popular, &results.tail] {
+            let b = &a.bias;
+            assert_eq!(b.tiers.values().sum::<usize>(), a.attempted);
+            assert_eq!(
+                b.tiers[&canvassing_crawler::VisitFidelity::Full],
+                a.prevalence.successes
+            );
+            assert_eq!(b.full_fingerprinting, a.prevalence.fingerprinting_sites);
+            assert!(b.interval_width() > 0.0, "{:?}: failures exist", a.cohort);
+            assert!(b.bias_high() >= b.bias_low());
+            assert!((0.0..=1.0).contains(&b.strict_rate()));
+            assert!((0.0..=1.0).contains(&b.salvage_rate()));
+        }
+
         // Cache counters are populated and show heavy reuse: many sites
         // share each vendor script, so memo hits dominate renders.
         for a in [&results.popular, &results.tail] {
@@ -726,6 +788,8 @@ mod tests {
         assert!(report.contains("Table 1"));
         assert!(report.contains("Akamai"));
         assert!(report.contains("Crawl failures by kind"));
+        assert!(report.contains("Failure bias (fidelity tiers)"));
+        assert!(report.contains("worst-case interval"));
         assert!(report.contains("cache efficiency"));
         assert!(report.contains("Observability (trace layer)"));
         assert!(report.contains("confusion matrix over unique scripts"));

@@ -34,6 +34,10 @@ pub enum FailureKind {
     /// The worker crawling the site panicked; the harness isolated the
     /// panic and recorded the site as failed.
     WorkerPanic,
+    /// The per-host circuit breaker was open: the visit was
+    /// short-circuited without touching the network (the host had already
+    /// failed enough visits that further attempts were pointless).
+    CircuitOpen,
 }
 
 impl FailureKind {
@@ -50,6 +54,7 @@ impl FailureKind {
             FailureKind::Truncated => "truncated",
             FailureKind::NotAPage => "not-a-page",
             FailureKind::WorkerPanic => "worker-panic",
+            FailureKind::CircuitOpen => "circuit-open",
         }
     }
 
@@ -88,13 +93,65 @@ impl From<&VisitError> for FailureKind {
             VisitError::BotBlocked(_) => FailureKind::BotBlocked,
             VisitError::DeadlineExceeded(_) => FailureKind::Timeout,
             VisitError::FuelExhausted(_) => FailureKind::ScriptCrash,
+            VisitError::CircuitOpen(_) => FailureKind::CircuitOpen,
         }
+    }
+}
+
+/// How much of a site's evidence the crawl actually captured. The paper's
+/// prevalence numbers silently condition on fully successful visits; the
+/// fidelity tier makes that conditioning explicit so estimators can state
+/// what they include (and what the worst case for the rest is).
+///
+/// Tiers are a partition: every [`SiteRecord`] maps to exactly one, so
+/// per-tier counts always sum to the site population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum VisitFidelity {
+    /// The visit completed: dynamic evidence (API calls, extractions) is
+    /// authoritative.
+    Full,
+    /// The visit died mid-pipeline but at least one fetched script carries
+    /// a static triage verdict — the static classifier can stand in for
+    /// the dynamic detector.
+    StaticSalvage,
+    /// The page was reached, but no script evidence was captured before
+    /// the failure (bot wall, truncated body, deadline at the page).
+    FetchOnly,
+    /// Nothing was captured: the failure preceded any page contact.
+    Lost,
+}
+
+impl VisitFidelity {
+    /// Stable lowercase name for reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            VisitFidelity::Full => "full",
+            VisitFidelity::StaticSalvage => "static-salvage",
+            VisitFidelity::FetchOnly => "fetch-only",
+            VisitFidelity::Lost => "lost",
+        }
+    }
+
+    /// All tiers, in display order.
+    pub fn all() -> [VisitFidelity; 4] {
+        [
+            VisitFidelity::Full,
+            VisitFidelity::StaticSalvage,
+            VisitFidelity::FetchOnly,
+            VisitFidelity::Lost,
+        ]
+    }
+}
+
+impl std::fmt::Display for VisitFidelity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad(self.as_str())
     }
 }
 
 /// A failed site visit: the typed kind, the human-readable error, and how
 /// many attempts were made before giving up.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SiteFailure {
     /// Typed failure kind.
     pub kind: FailureKind,
@@ -102,15 +159,32 @@ pub struct SiteFailure {
     pub error: String,
     /// Total visit attempts made (1 = no retries).
     pub attempts: u32,
+    /// Partial evidence salvaged before the visit died (page-level facts
+    /// and any scripts already fetched + triaged). `None` when the failure
+    /// preceded page contact or salvage is disabled (serialized as an
+    /// explicit `null`).
+    pub salvage: Option<Box<PageVisit>>,
 }
 
 impl SiteFailure {
-    /// Builds a failure record from a visit error.
+    /// Builds a failure record from a visit error (no salvage attached).
     pub fn from_visit_error(e: &VisitError, attempts: u32) -> SiteFailure {
         SiteFailure {
             kind: FailureKind::from(e),
             error: e.to_string(),
             attempts,
+            salvage: None,
+        }
+    }
+
+    /// The fidelity tier this failure leaves the site at.
+    pub fn fidelity(&self) -> VisitFidelity {
+        match &self.salvage {
+            Some(partial) if partial.scripts.iter().any(|s| s.verdict.is_some()) => {
+                VisitFidelity::StaticSalvage
+            }
+            Some(_) => VisitFidelity::FetchOnly,
+            None => VisitFidelity::Lost,
         }
     }
 }
@@ -131,6 +205,17 @@ pub struct SiteRecord {
     pub url: Url,
     /// What happened.
     pub outcome: SiteOutcome,
+}
+
+impl SiteRecord {
+    /// The fidelity tier of this record (a total function: every record
+    /// has exactly one tier).
+    pub fn fidelity(&self) -> VisitFidelity {
+        match &self.outcome {
+            SiteOutcome::Success(_) => VisitFidelity::Full,
+            SiteOutcome::Failure(f) => f.fidelity(),
+        }
+    }
 }
 
 /// A complete crawl of one frontier under one configuration.
@@ -172,6 +257,24 @@ impl CrawlDataset {
         let mut out = BTreeMap::new();
         for (_, f) in self.failed() {
             *out.entry(f.kind).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Iterates over failed sites that carry salvaged partial evidence.
+    pub fn salvaged(&self) -> impl Iterator<Item = (&Url, &SiteFailure, &PageVisit)> {
+        self.failed()
+            .filter_map(|(u, f)| f.salvage.as_deref().map(|v| (u, f, v)))
+    }
+
+    /// Counts records by fidelity tier. Every tier appears (zero-filled),
+    /// and the counts always sum to `records.len()` — the partition
+    /// invariant the chaos gate checks.
+    pub fn fidelity_breakdown(&self) -> BTreeMap<VisitFidelity, usize> {
+        let mut out: BTreeMap<VisitFidelity, usize> =
+            VisitFidelity::all().into_iter().map(|t| (t, 0)).collect();
+        for r in &self.records {
+            *out.entry(r.fidelity()).or_insert(0) += 1;
         }
         out
     }
@@ -221,6 +324,7 @@ mod tests {
                     kind: FailureKind::Unreachable,
                     error: "unreachable host: down.com".into(),
                     attempts: 1,
+                    salvage: None,
                 }),
             }],
         };
@@ -271,7 +375,11 @@ mod tests {
                 VisitError::DeadlineExceeded(url.clone()),
                 FailureKind::Timeout,
             ),
-            (VisitError::FuelExhausted(url), FailureKind::ScriptCrash),
+            (
+                VisitError::FuelExhausted(url.clone()),
+                FailureKind::ScriptCrash,
+            ),
+            (VisitError::CircuitOpen(url), FailureKind::CircuitOpen),
         ];
         for (err, want) in cases {
             assert_eq!(FailureKind::from(&err), want, "{err}");
@@ -289,10 +397,81 @@ mod tests {
             FailureKind::Truncated,
             FailureKind::NotAPage,
             FailureKind::WorkerPanic,
+            FailureKind::CircuitOpen,
         ] {
             assert!(!kind.is_transient(), "{kind}");
         }
         assert!(FailureKind::Transient.is_transient());
         assert!(FailureKind::DnsTransient.is_transient());
+    }
+
+    #[test]
+    fn fidelity_tiers_partition_any_dataset() {
+        use canvassing_browser::LoadedScript;
+        let visit_with = |verdict: bool| -> Box<PageVisit> {
+            Box::new(PageVisit {
+                page: Url::https("x.com", "/"),
+                api_calls: vec![],
+                extractions: vec![],
+                scripts: if verdict {
+                    vec![LoadedScript {
+                        url: Url::https("x.com", "/a.js"),
+                        inline: false,
+                        canonical_host: "x.com".into(),
+                        cname_cloaked: false,
+                        source_hash: 7,
+                        verdict: Some(canvassing_browser::Verdict::Benign),
+                        error: None,
+                    }]
+                } else {
+                    vec![]
+                },
+                blocked: vec![],
+                consent_banner: false,
+            })
+        };
+        let fail = |salvage: Option<Box<PageVisit>>| -> SiteOutcome {
+            SiteOutcome::Failure(SiteFailure {
+                kind: FailureKind::Timeout,
+                error: "t".into(),
+                attempts: 1,
+                salvage,
+            })
+        };
+        let ds = CrawlDataset {
+            label: "x".into(),
+            device_id: "d".into(),
+            records: vec![
+                SiteRecord {
+                    url: Url::https("a.com", "/"),
+                    outcome: SiteOutcome::Success(visit_with(true)),
+                },
+                SiteRecord {
+                    url: Url::https("b.com", "/"),
+                    outcome: fail(Some(visit_with(true))),
+                },
+                SiteRecord {
+                    url: Url::https("c.com", "/"),
+                    outcome: fail(Some(visit_with(false))),
+                },
+                SiteRecord {
+                    url: Url::https("d.com", "/"),
+                    outcome: fail(None),
+                },
+            ],
+        };
+        let tiers = ds.fidelity_breakdown();
+        assert_eq!(tiers[&VisitFidelity::Full], 1);
+        assert_eq!(tiers[&VisitFidelity::StaticSalvage], 1);
+        assert_eq!(tiers[&VisitFidelity::FetchOnly], 1);
+        assert_eq!(tiers[&VisitFidelity::Lost], 1);
+        assert_eq!(tiers.values().sum::<usize>(), ds.records.len());
+        assert_eq!(ds.salvaged().count(), 2);
+        // Salvage (and its absence) survives the JSON roundtrip.
+        let back = CrawlDataset::from_json(&ds.to_json().unwrap()).unwrap();
+        assert_eq!(back.fidelity_breakdown(), tiers);
+        assert!(serde_json::to_string(&back.records[3])
+            .unwrap()
+            .contains("\"salvage\":null"));
     }
 }

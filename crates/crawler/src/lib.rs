@@ -28,13 +28,26 @@
 //!   [`FailureKind::WorkerPanic`] record instead of taking the crawl down.
 //! * **Checkpoint/resume** — [`resume_crawl`] skips sites already present
 //!   in a partial dataset and merges to the exact dataset a single
-//!   uninterrupted crawl would have produced.
+//!   uninterrupted crawl would have produced; the [`checkpoint`] module
+//!   adds the durable, crash-consistent on-disk form (CRC-framed records,
+//!   torn-write recovery, atomic snapshots).
+//! * **Circuit breakers** — opt-in per-host breakers ([`BreakerPolicy`])
+//!   short-circuit visits to hosts that keep failing; state is planned
+//!   deterministically ([`BreakerPlan`]) so the dataset stays
+//!   byte-identical across worker counts.
+//! * **Partial-visit salvage** — visits that die mid-pipeline keep the
+//!   evidence gathered before death; every record carries a
+//!   [`dataset::VisitFidelity`] tier so estimators can state exactly what
+//!   they condition on.
 
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod breaker;
+pub mod checkpoint;
 pub mod dataset;
 
+use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -48,7 +61,9 @@ use canvassing_raster::{DeviceProfile, SurfacePool};
 use canvassing_trace::{TraceSink, VisitRecorder, VisitTrace};
 use serde::{Deserialize, Serialize};
 
-pub use dataset::{CrawlDataset, FailureKind, SiteFailure, SiteOutcome, SiteRecord};
+pub use breaker::{BreakerEvent, BreakerHostStats, BreakerPlan, BreakerPolicy};
+pub use checkpoint::{recover, save_atomic, CheckpointWriter, RecoveryReport};
+pub use dataset::{CrawlDataset, FailureKind, SiteFailure, SiteOutcome, SiteRecord, VisitFidelity};
 
 /// Retry behavior for transient failures. Backoff is computed, not slept:
 /// the network simulates latency, so the harness records the schedule a
@@ -63,6 +78,12 @@ pub struct RetryPolicy {
     pub backoff_base_ms: u64,
     /// Upper bound on any single backoff interval.
     pub backoff_cap_ms: u64,
+    /// Also retry [`FailureKind::Timeout`] failures (latency spikes that
+    /// blew the visit deadline). Off by default: the paper visits each
+    /// site once, and a slow site is usually still slow on the next
+    /// attempt — enable only for hosts known to spike transiently (the
+    /// [`canvassing_net::Fault::SlowStart`] shape).
+    pub retry_timeouts: bool,
 }
 
 impl Default for RetryPolicy {
@@ -78,6 +99,7 @@ impl RetryPolicy {
             max_retries: 0,
             backoff_base_ms: 250,
             backoff_cap_ms: 4_000,
+            retry_timeouts: false,
         }
     }
 
@@ -98,6 +120,12 @@ impl RetryPolicy {
             .checked_shl(attempt)
             .unwrap_or(self.backoff_cap_ms);
         shifted.min(self.backoff_cap_ms)
+    }
+
+    /// Whether a failure of this kind is eligible for another attempt
+    /// under this policy (the attempt budget is checked separately).
+    pub fn should_retry(&self, kind: FailureKind) -> bool {
+        kind.is_transient() || (self.retry_timeouts && kind == FailureKind::Timeout)
     }
 }
 
@@ -165,6 +193,14 @@ pub struct CrawlConfig {
     pub isolate_panics: bool,
     /// Cross-visit cache layers (throughput only; never changes records).
     pub caching: CachingPolicy,
+    /// Per-host circuit breakers (off by default; see [`BreakerPolicy`]).
+    pub breakers: BreakerPolicy,
+    /// Keep partial evidence from visits that die mid-pipeline, attached
+    /// to the failure record ([`SiteFailure::salvage`]). On by default:
+    /// salvage only adds fields to failure records, never changes
+    /// success records, and `salvage: false` reproduces the pre-salvage
+    /// datasets byte for byte.
+    pub salvage: bool,
     /// Where finished per-visit traces go. `None` (the default) or a sink
     /// whose `enabled()` is false means visits run with disabled recorders
     /// — the near-zero-overhead path. Traces are delivered to the sink in
@@ -187,6 +223,8 @@ impl CrawlConfig {
             policy: VisitPolicy::default(),
             isolate_panics: true,
             caching: CachingPolicy::default(),
+            breakers: BreakerPolicy::disabled(),
+            salvage: true,
             trace: None,
         }
     }
@@ -263,33 +301,40 @@ impl CrawlConfig {
     }
 }
 
-/// Visits one site under the config's retry and isolation policy. Pure in
-/// `(network, url, config)`: the record — and, when tracing, the visit's
-/// event stream — does not depend on which worker runs it or when. That
-/// is the invariant that makes datasets byte-identical across worker
-/// counts and checkpoint/resume boundaries, and trace streams identical
-/// across schedules.
+/// Visits one site under the config's retry, breaker, salvage, and
+/// isolation policy. Pure in `(network, url, config, plan, index)`: the
+/// record — and, when tracing, the visit's event stream — does not depend
+/// on which worker runs it or when. The breaker plan is itself a pure
+/// function of `(network, frontier, config)`, so the invariant that makes
+/// datasets byte-identical across worker counts and checkpoint/resume
+/// boundaries survives breakers too.
 ///
 /// All attempts of one site share one recorder (retries appear as
 /// `visit.retry` instants in the same trace), and the visit's final
-/// disposition lands as a `visit.outcome` instant.
+/// disposition lands as a `visit.outcome` instant. Breaker transitions
+/// attributed to this frontier slot are emitted as `breaker.*` instants
+/// just before the outcome.
 fn visit_site(
     network: &Network,
     browser: &Browser,
     url: &Url,
     config: &CrawlConfig,
     caches: &CrawlCaches,
+    plan: Option<&BreakerPlan>,
+    index: usize,
 ) -> (SiteRecord, Option<VisitTrace>) {
     let rec = if config.trace_enabled() {
         VisitRecorder::new(&url.to_string(), Some(Arc::clone(&caches.metrics)))
     } else {
         VisitRecorder::disabled()
     };
+    let no_open = BTreeSet::new();
+    let open_hosts = plan.and_then(|p| p.open_hosts(index)).unwrap_or(&no_open);
     let mut attempt: u32 = 0;
     let outcome = loop {
         let result = if config.isolate_panics {
             match catch_unwind(AssertUnwindSafe(|| {
-                browser.visit_traced(network, url, attempt, &rec)
+                browser.visit_supervised(network, url, attempt, &rec, open_hosts)
             })) {
                 Ok(r) => r,
                 Err(payload) => {
@@ -299,19 +344,22 @@ fn visit_site(
                         kind: FailureKind::WorkerPanic,
                         error: format!("worker panicked: {msg}"),
                         attempts: attempt + 1,
+                        salvage: None,
                     });
                 }
             }
         } else {
-            browser.visit_traced(network, url, attempt, &rec)
+            browser.visit_supervised(network, url, attempt, &rec, open_hosts)
         };
         match result {
             Ok(visit) => break SiteOutcome::Success(Box::new(visit)),
-            Err(e) => {
-                let failure = SiteFailure::from_visit_error(&e, attempt + 1);
-                if failure.kind.is_transient() && attempt < config.retry.max_retries {
+            Err(abort) => {
+                let mut failure = SiteFailure::from_visit_error(&abort.error, attempt + 1);
+                if config.retry.should_retry(failure.kind) && attempt < config.retry.max_retries {
                     // Bounded deterministic backoff; the interval is part
                     // of the schedule, not a real sleep (simulated time).
+                    // Partial evidence from a retried attempt is dropped:
+                    // only the final attempt's salvage describes the site.
                     let backoff = config.retry.backoff_ms(attempt);
                     rec.instant("visit.retry", || {
                         format!("{} (backoff {backoff}ms)", failure.kind.as_str())
@@ -319,10 +367,22 @@ fn visit_site(
                     attempt += 1;
                     continue;
                 }
+                if config.salvage {
+                    failure.salvage = abort.partial;
+                    if failure.salvage.is_some() {
+                        let fidelity = failure.fidelity();
+                        rec.instant("visit.salvage", || fidelity.as_str().to_string());
+                    }
+                }
                 break SiteOutcome::Failure(failure);
             }
         }
     };
+    if let Some(plan) = plan {
+        for (host, event) in plan.transitions_at(index) {
+            rec.instant(event.instant_name(), || host.clone());
+        }
+    }
     rec.instant("visit.outcome", || match &outcome {
         SiteOutcome::Success(_) => "success".to_string(),
         SiteOutcome::Failure(f) => f.kind.as_str().to_string(),
@@ -385,6 +445,12 @@ pub struct CrawlStats {
     pub trace_spans: u64,
     /// Events (span starts/ends + instants) across all delivered traces.
     pub trace_events: u64,
+    /// Circuit-open transitions over the crawl (0 when breakers are off).
+    pub breaker_opens: u64,
+    /// Host references short-circuited by an open breaker.
+    pub breaker_short_circuits: u64,
+    /// Failure records that carry salvaged partial evidence.
+    pub salvaged_visits: u64,
 }
 
 impl CrawlStats {
@@ -410,6 +476,9 @@ impl CrawlStats {
             trace_visits: 0,
             trace_spans: 0,
             trace_events: 0,
+            breaker_opens: 0,
+            breaker_short_circuits: 0,
+            salvaged_visits: 0,
         }
     }
 
@@ -428,6 +497,9 @@ impl CrawlStats {
             trace_visits: self.trace_visits - before.trace_visits,
             trace_spans: self.trace_spans - before.trace_spans,
             trace_events: self.trace_events - before.trace_events,
+            breaker_opens: self.breaker_opens - before.breaker_opens,
+            breaker_short_circuits: self.breaker_short_circuits - before.breaker_short_circuits,
+            salvaged_visits: self.salvaged_visits - before.salvaged_visits,
         }
     }
 
@@ -479,11 +551,18 @@ pub fn crawl_with_caches(
     caches: &CrawlCaches,
 ) -> (CrawlDataset, CrawlStats) {
     let before = CrawlStats::snapshot(caches);
-    let (slots, traces) = crawl_subset(network, frontier, config, None, caches);
+    let plan = BreakerPlan::plan(network, frontier, config);
+    let (slots, traces) = crawl_subset(network, frontier, config, None, caches, plan.as_ref());
     let mut stats = CrawlStats::snapshot(caches).since(&before);
     stats.sites = frontier.len() as u64;
     (stats.trace_visits, stats.trace_spans, stats.trace_events) = flush_traces(config, traces);
-    (CrawlDataset::from_slots(config, slots), stats)
+    if let Some(plan) = &plan {
+        stats.breaker_opens = plan.total_opens();
+        stats.breaker_short_circuits = plan.total_short_circuits();
+    }
+    let dataset = CrawlDataset::from_slots(config, slots);
+    stats.salvaged_visits = dataset.salvaged().count() as u64;
+    (dataset, stats)
 }
 
 /// Crawls only the frontier indices in `subset` (all of them when `None`);
@@ -504,6 +583,7 @@ fn crawl_subset(
     config: &CrawlConfig,
     subset: Option<&[usize]>,
     caches: &CrawlCaches,
+    plan: Option<&BreakerPlan>,
 ) -> (Vec<Option<SiteRecord>>, Vec<Option<VisitTrace>>) {
     let workers = config.workers.max(1);
     let jobs: Vec<usize> = match subset {
@@ -531,7 +611,8 @@ fn crawl_subset(
                     loop {
                         let claimed = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(&i) = jobs.get(claimed) else { break };
-                        let result = visit_site(network, &browser, &frontier[i], config, caches);
+                        let result =
+                            visit_site(network, &browser, &frontier[i], config, caches, plan, i);
                         let _ = slots[i].set(result);
                     }
                 })
@@ -597,6 +678,7 @@ fn lost_record(url: &Url) -> SiteRecord {
             kind: FailureKind::WorkerPanic,
             error: "worker died before reporting a record".into(),
             attempts: 0,
+            salvage: None,
         }),
     }
 }
@@ -628,7 +710,18 @@ pub fn resume_crawl(
         .filter(|&i| !done.contains_key(&frontier[i]))
         .collect();
     let caches = config.build_caches();
-    let (mut slots, traces) = crawl_subset(network, frontier, config, Some(&todo), &caches);
+    // The plan is computed over the FULL frontier, not the todo subset:
+    // breaker state must be the same whether the crawl ran uninterrupted
+    // or resumed — that is what keeps the merged dataset byte-identical.
+    let plan = BreakerPlan::plan(network, frontier, config);
+    let (mut slots, traces) = crawl_subset(
+        network,
+        frontier,
+        config,
+        Some(&todo),
+        &caches,
+        plan.as_ref(),
+    );
     let _ = flush_traces(config, traces);
     for (i, slot) in slots.iter_mut().enumerate() {
         if slot.is_none() {
@@ -1067,5 +1160,146 @@ mod tests {
         assert_eq!(stats.trace_visits, visits);
         assert_eq!(stats.trace_spans, spans);
         assert_eq!(stats.trace_events, events);
+    }
+
+    /// A frontier whose shared script host is dead: with breakers on, the
+    /// host's circuit opens and later sites' script loads short-circuit.
+    fn breaker_workload() -> (Network, Vec<Url>) {
+        let (mut network, frontier) = network_with_sites(20);
+        network.faults.take_down("fp.example.net");
+        (network, frontier)
+    }
+
+    #[test]
+    fn breakers_short_circuit_and_stay_deterministic_across_workers() {
+        let (network, frontier) = breaker_workload();
+        let mut config = CrawlConfig::control();
+        config.breakers = BreakerPolicy::enabled();
+
+        let mut datasets = Vec::new();
+        let mut stats_all = Vec::new();
+        for workers in [1usize, 4, 8] {
+            config.workers = workers;
+            let (ds, stats) = crawl_with_stats(&network, &frontier, &config);
+            datasets.push(ds.to_json().unwrap());
+            stats_all.push(stats);
+        }
+        assert_eq!(datasets[0], datasets[1], "1 vs 4 workers");
+        assert_eq!(datasets[1], datasets[2], "4 vs 8 workers");
+        assert!(stats_all[0].breaker_opens >= 1);
+        assert!(stats_all[0].breaker_short_circuits >= 1);
+        assert_eq!(stats_all[0].breaker_opens, stats_all[2].breaker_opens);
+        assert_eq!(
+            stats_all[0].breaker_short_circuits,
+            stats_all[2].breaker_short_circuits
+        );
+
+        // The short-circuited script loads are visible in the records:
+        // later even-numbered sites carry the "circuit open" script error
+        // instead of a fetch failure, and the crawl still succeeds.
+        let ds = CrawlDataset::from_json(&datasets[0]).unwrap();
+        let circuit_scripts = ds
+            .successful()
+            .flat_map(|(_, v)| v.scripts.iter())
+            .filter(|s| s.error.as_deref() == Some("circuit open"))
+            .count();
+        assert!(circuit_scripts >= 1);
+    }
+
+    #[test]
+    fn open_page_host_records_circuit_open_failure() {
+        // Three dead sites on one host family would need a shared page
+        // host; simpler: the page hosts themselves fail repeatedly via a
+        // shared frontier host. Reuse one host for several frontier URLs.
+        let mut network = Network::new();
+        let mut frontier = Vec::new();
+        for path in ["/a", "/b", "/c", "/d", "/e"] {
+            let url = Url::https("flaky.example", path);
+            network.host(
+                &url,
+                Resource::Page(PageResource {
+                    scripts: vec![],
+                    consent_banner: false,
+                    bot_check: false,
+                }),
+            );
+            frontier.push(url);
+        }
+        network.faults.take_down("flaky.example");
+        let mut config = CrawlConfig::control();
+        config.breakers = BreakerPolicy::enabled();
+        let ds = crawl(&network, &frontier, &config);
+        let breakdown = ds.failure_breakdown();
+        assert_eq!(breakdown[&FailureKind::Unreachable], 3, "charges to open");
+        assert_eq!(breakdown[&FailureKind::CircuitOpen], 2, "short-circuited");
+        // CircuitOpen failures never touched the network and are final.
+        let (_, f) = ds
+            .failed()
+            .find(|(_, f)| f.kind == FailureKind::CircuitOpen)
+            .unwrap();
+        assert_eq!(f.attempts, 1);
+        assert!(f.salvage.is_none(), "short-circuit precedes page contact");
+    }
+
+    #[test]
+    fn salvage_attaches_partial_evidence_and_is_opt_out() {
+        let (mut network, frontier) = network_with_sites(8);
+        // Kill the shared script host with a deadline-blowing spike: the
+        // even sites die mid-pipeline after fetching nothing from it, but
+        // keep their page-level facts.
+        network
+            .faults
+            .inject("fp.example.net", Fault::LatencySpike { extra_ms: 60_000 });
+
+        let ds = crawl(&network, &frontier, &CrawlConfig::control());
+        let timeouts: Vec<_> = ds
+            .failed()
+            .filter(|(_, f)| f.kind == FailureKind::Timeout)
+            .collect();
+        assert!(!timeouts.is_empty());
+        assert!(
+            timeouts.iter().all(|(_, f)| f.salvage.is_some()),
+            "mid-pipeline deaths keep their partial visit"
+        );
+        assert!(ds.fidelity_breakdown()[&VisitFidelity::Lost] >= 1);
+
+        let mut no_salvage = CrawlConfig::control();
+        no_salvage.salvage = false;
+        let ds = crawl(&network, &frontier, &no_salvage);
+        assert!(
+            ds.failed().all(|(_, f)| f.salvage.is_none()),
+            "salvage off reproduces the bare failure records"
+        );
+    }
+
+    #[test]
+    fn retry_timeouts_heals_slow_start_hosts() {
+        let (mut network, frontier) = network_with_sites(6);
+        network.faults.inject(
+            "site2.com",
+            Fault::SlowStart {
+                extra_ms: 60_000,
+                attempts: 1,
+            },
+        );
+
+        let ds = crawl(&network, &frontier, &CrawlConfig::control());
+        assert_eq!(ds.failure_breakdown().get(&FailureKind::Timeout), Some(&1));
+
+        // Plain retries don't help: Timeout is not transient.
+        let mut config = CrawlConfig::control();
+        config.retry = RetryPolicy::retries(2);
+        let ds = crawl(&network, &frontier, &config);
+        assert_eq!(ds.failure_breakdown().get(&FailureKind::Timeout), Some(&1));
+
+        // retry_timeouts makes the second attempt land after the spike.
+        config.retry.retry_timeouts = true;
+        let ds = crawl(&network, &frontier, &config);
+        assert_eq!(ds.failure_breakdown().get(&FailureKind::Timeout), None);
+        let (_, visit) = ds
+            .successful()
+            .find(|(u, _)| u.host == "site2.com")
+            .expect("site2 heals");
+        assert!(!visit.scripts.is_empty());
     }
 }

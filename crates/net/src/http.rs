@@ -8,7 +8,7 @@
 //! fault plan, and returns the resource together with the DNS resolution
 //! (so callers can detect CNAME cloaking).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -182,6 +182,22 @@ pub enum Fault {
     /// Chaos hook: fetching from this host panics, modeling a crashing
     /// worker. Exists so harness panic isolation can be tested end to end.
     Panic,
+    /// Responses arrive `extra_ms` late for the first `attempts` attempts,
+    /// then settle to normal latency — a congestion transient. Unlike
+    /// [`Fault::LatencySpike`] this heals, so it exercises the
+    /// retry-timeouts path (a deadline blown on attempt 0 succeeds on a
+    /// retry).
+    SlowStart {
+        /// Extra latency added while `attempt < attempts`.
+        extra_ms: u64,
+        /// Number of leading slow attempts.
+        attempts: u32,
+    },
+    /// No network effect at all: the fault fires in the *persistence*
+    /// layer. A checkpoint writer consulted about a record whose site host
+    /// carries this fault tears the write mid-record (a partial line with
+    /// no checksum), modeling a crash between `write` and `fsync`.
+    TornWrite,
 }
 
 impl Fault {
@@ -195,6 +211,8 @@ impl Fault {
             Fault::LatencySpike { .. } => "latency-spike",
             Fault::TruncateBody => "truncate-body",
             Fault::Panic => "panic",
+            Fault::SlowStart { .. } => "slow-start",
+            Fault::TornWrite => "torn-write",
         }
     }
 }
@@ -204,23 +222,22 @@ impl Fault {
 /// reproducible.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FaultPlan {
-    /// Hosts that refuse every connection (site down / timeout). Kept as a
-    /// distinct set for plan-construction convenience; equivalent to a
-    /// [`Fault::Unreachable`] entry in `host_faults`.
-    pub unreachable_hosts: BTreeSet<String>,
-    /// Per-host fault schedule for everything beyond plain dead hosts.
+    /// Per-host fault schedule. The single source of truth: dead hosts are
+    /// ordinary [`Fault::Unreachable`] entries, so `len`, iteration, and
+    /// `fault_for` can never disagree about what is planned.
     pub host_faults: BTreeMap<String, Fault>,
 }
 
 impl FaultPlan {
-    /// Marks a host unreachable.
+    /// Marks a host unreachable (shorthand for injecting
+    /// [`Fault::Unreachable`]).
     pub fn take_down(&mut self, host: &str) {
-        self.unreachable_hosts.insert(host.to_ascii_lowercase());
+        self.inject(host, Fault::Unreachable);
     }
 
-    /// Whether a host is down.
+    /// Whether a host is down (planned [`Fault::Unreachable`]).
     pub fn is_down(&self, host: &str) -> bool {
-        self.unreachable_hosts.contains(&host.to_ascii_lowercase())
+        self.fault_for(host) == Some(Fault::Unreachable)
     }
 
     /// Schedules a fault for a host (replacing any previous entry).
@@ -228,32 +245,19 @@ impl FaultPlan {
         self.host_faults.insert(host.to_ascii_lowercase(), fault);
     }
 
-    /// The fault planned for a host, if any. `unreachable_hosts` entries
-    /// surface as [`Fault::Unreachable`].
+    /// The fault planned for a host, if any.
     pub fn fault_for(&self, host: &str) -> Option<Fault> {
-        let key = host.to_ascii_lowercase();
-        if let Some(f) = self.host_faults.get(&key) {
-            return Some(*f);
-        }
-        if self.unreachable_hosts.contains(&key) {
-            return Some(Fault::Unreachable);
-        }
-        None
+        self.host_faults.get(&host.to_ascii_lowercase()).copied()
     }
 
     /// Number of hosts with any planned fault.
     pub fn len(&self) -> usize {
         self.host_faults.len()
-            + self
-                .unreachable_hosts
-                .iter()
-                .filter(|h| !self.host_faults.contains_key(*h))
-                .count()
     }
 
     /// Whether no faults are planned.
     pub fn is_empty(&self) -> bool {
-        self.host_faults.is_empty() && self.unreachable_hosts.is_empty()
+        self.host_faults.is_empty()
     }
 }
 
@@ -281,7 +285,7 @@ impl FaultMatrix {
             h ^= b as u64;
             h = h.wrapping_mul(0x100000001b3);
         }
-        match h % 7 {
+        match h % 9 {
             0 => Fault::Unreachable,
             1 => Fault::TransientConnect {
                 failures: 1 + ((h >> 8) % 3) as u32,
@@ -294,7 +298,12 @@ impl FaultMatrix {
                 extra_ms: 45_000 + (h >> 8) % 15_000,
             },
             5 => Fault::TruncateBody,
-            _ => Fault::Panic,
+            6 => Fault::Panic,
+            7 => Fault::SlowStart {
+                extra_ms: 45_000 + (h >> 8) % 15_000,
+                attempts: 1 + ((h >> 8) % 2) as u32,
+            },
+            _ => Fault::TornWrite,
         }
     }
 
@@ -408,6 +417,9 @@ impl Network {
         let mut truncated = false;
         match fault {
             Some(Fault::LatencySpike { extra_ms }) => latency += extra_ms,
+            Some(Fault::SlowStart { extra_ms, attempts }) if attempt < attempts => {
+                latency += extra_ms;
+            }
             Some(Fault::TruncateBody) => match resource {
                 // A cut-off document is unusable; a cut-off script arrives,
                 // but corrupted (the interpreter sees a parse error).
@@ -432,6 +444,75 @@ impl Network {
             resolution,
             truncated,
         })
+    }
+
+    /// Answers "what would [`Network::fetch_attempt`] do?" without doing
+    /// it: no resource clone, no body work, and — crucially — no panic
+    /// ([`Fault::Panic`] surfaces as an [`FetchError::Unreachable`]-shaped
+    /// failure, since a probe only cares that the host kills visits).
+    ///
+    /// Returns the simulated response latency on success. Used by the
+    /// breaker planner to walk the frontier and charge per-host failures
+    /// in frontier order, so breaker state is a pure function of
+    /// `(network, frontier, policy)` rather than of the worker schedule.
+    pub fn probe(&self, url: &Url, attempt: u32) -> Result<u64, FetchError> {
+        let fault = self.faults.fault_for(&url.host);
+        match fault {
+            Some(Fault::Unreachable) => {
+                return Err(FetchError::Unreachable(url.host.clone()));
+            }
+            Some(Fault::TransientConnect { failures }) if attempt < failures => {
+                return Err(FetchError::Transient(url.host.clone()));
+            }
+            Some(Fault::DnsServFail { failures }) if attempt < failures => {
+                return Err(FetchError::Dns(DnsError::ServFail(url.host.clone())));
+            }
+            Some(Fault::DnsTimeout) => {
+                return Err(FetchError::Dns(DnsError::Timeout(url.host.clone())));
+            }
+            Some(Fault::Panic) => {
+                // The real fetch panics; for planning purposes the host is
+                // simply lethal.
+                return Err(FetchError::Unreachable(url.host.clone()));
+            }
+            _ => {}
+        }
+        let resolution = self.dns.resolve(&url.host).map_err(FetchError::Dns)?;
+        if resolution.canonical != url.host {
+            match self.faults.fault_for(&resolution.canonical) {
+                Some(Fault::Unreachable) => {
+                    return Err(FetchError::Unreachable(resolution.canonical.clone()));
+                }
+                Some(Fault::TransientConnect { failures }) if attempt < failures => {
+                    return Err(FetchError::Transient(resolution.canonical.clone()));
+                }
+                _ => {}
+            }
+        }
+        let resource = self
+            .resources
+            .get(&(url.host.clone(), url.path.clone()))
+            .or_else(|| {
+                self.resources
+                    .get(&(resolution.canonical.clone(), url.path.clone()))
+            })
+            .ok_or_else(|| FetchError::NotFound(url.clone()))?;
+        let mut latency = latency_ms(&url.host);
+        match fault {
+            Some(Fault::LatencySpike { extra_ms }) => latency += extra_ms,
+            Some(Fault::SlowStart { extra_ms, attempts }) if attempt < attempts => {
+                latency += extra_ms;
+            }
+            Some(Fault::TruncateBody) => {
+                // A cut-off document kills the visit; a cut-off script
+                // still arrives.
+                if matches!(resource, Resource::Page(_)) {
+                    return Err(FetchError::Truncated(url.clone()));
+                }
+            }
+            _ => {}
+        }
+        Ok(latency)
     }
 
     /// [`Network::fetch_attempt`] wrapped in a `"fetch"` trace span.
@@ -548,6 +629,8 @@ pub fn latency_ms(host: &str) -> u64 {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::BTreeSet;
+
     use super::*;
 
     fn page_at(host: &str) -> Url {
@@ -704,7 +787,7 @@ mod tests {
             assert_eq!(m.fault_for_host(h), m.fault_for_host(h));
             seen.insert(m.fault_for_host(h).name());
         }
-        assert_eq!(seen.len(), 7, "200 hosts must hit every fault kind");
+        assert_eq!(seen.len(), 9, "200 hosts must hit every fault kind");
         // Different seed shuffles the assignment.
         let other = FaultMatrix::new(8);
         assert!(hosts
@@ -735,6 +818,95 @@ mod tests {
         );
         assert_eq!(back.len(), 3);
         assert!(!back.is_empty());
+    }
+
+    #[test]
+    fn fault_plan_has_one_source_of_truth() {
+        // take_down and inject land in the same map: len can never drift
+        // from what fault_for answers, and re-planning a dead host as
+        // something else fully replaces the entry.
+        let mut plan = FaultPlan::default();
+        plan.take_down("host.com");
+        assert!(plan.is_down("host.com"));
+        assert_eq!(plan.len(), 1);
+        plan.inject("host.com", Fault::TruncateBody);
+        assert!(!plan.is_down("host.com"));
+        assert_eq!(plan.fault_for("HOST.com"), Some(Fault::TruncateBody));
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn slow_start_heals_after_planned_attempts() {
+        let mut net = Network::new();
+        let url = Url::https("congested.com", "/");
+        net.host(&url, Resource::Page(PageResource::default()));
+        let base = net.fetch(&url).unwrap().latency_ms;
+        net.faults.inject(
+            "congested.com",
+            Fault::SlowStart {
+                extra_ms: 60_000,
+                attempts: 2,
+            },
+        );
+        assert_eq!(
+            net.fetch_attempt(&url, 0).unwrap().latency_ms,
+            base + 60_000
+        );
+        assert_eq!(
+            net.fetch_attempt(&url, 1).unwrap().latency_ms,
+            base + 60_000
+        );
+        assert_eq!(net.fetch_attempt(&url, 2).unwrap().latency_ms, base);
+    }
+
+    #[test]
+    fn torn_write_has_no_network_effect() {
+        let mut net = Network::new();
+        let url = Url::https("torn.com", "/");
+        net.host(&url, Resource::Page(PageResource::default()));
+        net.faults.inject("torn.com", Fault::TornWrite);
+        assert!(net.fetch(&url).is_ok(), "torn-write is a persistence fault");
+    }
+
+    #[test]
+    fn probe_agrees_with_fetch_without_side_effects() {
+        let mut net = Network::new();
+        let ok = Url::https("up.com", "/");
+        let dead = Url::https("down.com", "/");
+        let boom = Url::https("boom.com", "/");
+        let cut_page = Url::https("cut.com", "/");
+        let cut_script = Url::https("cut.com", "/a.js");
+        for u in [&ok, &dead, &boom, &cut_page] {
+            net.host(u, Resource::Page(PageResource::default()));
+        }
+        net.host(
+            &cut_script,
+            Resource::Script(ScriptResource {
+                source: "let x = 1;".into(),
+                label: "t".into(),
+            }),
+        );
+        net.faults.take_down("down.com");
+        net.faults.inject("boom.com", Fault::Panic);
+        net.faults.inject("cut.com", Fault::TruncateBody);
+
+        let latency = net.probe(&ok, 0).unwrap();
+        assert_eq!(latency, net.fetch(&ok).unwrap().latency_ms);
+        assert!(matches!(
+            net.probe(&dead, 0).unwrap_err(),
+            FetchError::Unreachable(_)
+        ));
+        // Panic hosts probe as plain failures — planning must not crash.
+        assert!(net.probe(&boom, 0).is_err());
+        assert!(matches!(
+            net.probe(&cut_page, 0).unwrap_err(),
+            FetchError::Truncated(_)
+        ));
+        assert!(net.probe(&cut_script, 0).is_ok());
+        assert!(matches!(
+            net.probe(&Url::https("up.com", "/nope"), 0).unwrap_err(),
+            FetchError::NotFound(_)
+        ));
     }
 
     #[test]

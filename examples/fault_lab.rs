@@ -2,7 +2,9 @@
 //! and show how the resilient harness degrades every failure mode — dead
 //! hosts, flaky connects, broken DNS, latency spikes, truncated bodies,
 //! even panicking workers — into typed records, then demonstrate retry
-//! healing and checkpoint/resume determinism.
+//! healing, checkpoint/resume determinism, partial-visit salvage with
+//! fidelity tiers, per-host circuit breakers, and crash-consistent
+//! checkpoint recovery from a torn write.
 //!
 //! ```sh
 //! cargo run --release --example fault_lab -- [scale] [matrix-seed]
@@ -12,7 +14,10 @@
 // invariant is the correct outcome.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use canvassing_crawler::{crawl, resume_crawl, CrawlConfig, CrawlDataset, RetryPolicy};
+use canvassing_crawler::{
+    checkpoint, crawl, crawl_with_stats, resume_crawl, BreakerPolicy, CrawlConfig, CrawlDataset,
+    RetryPolicy, VisitFidelity,
+};
 use canvassing_net::FaultMatrix;
 use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
 
@@ -101,5 +106,78 @@ fn main() {
     println!(
         "  workers=1 vs workers=8: byte-identical = {}",
         single.to_json().unwrap() == visit_once.to_json().unwrap()
+    );
+
+    println!("\npartial-visit salvage (fidelity tiers):");
+    let tiers = visit_once.fidelity_breakdown();
+    for tier in VisitFidelity::all() {
+        println!("    {tier:<14} {}", tiers[&tier]);
+    }
+    println!(
+        "  {} failed visits kept their partial evidence (scripts with \
+         static-classifier verdicts land in static-salvage)",
+        visit_once.salvaged().count()
+    );
+
+    println!("\ncrash-consistent checkpoint (torn write -> recover -> resume):");
+    let path = std::env::temp_dir().join(format!("fault-lab-ckpt-{}.log", std::process::id()));
+    let mut writer =
+        checkpoint::CheckpointWriter::create(&path, &visit_once.label, &visit_once.device_id)
+            .unwrap();
+    writer.arm_torn_write(&visit_once.records[half].url.host);
+    let mut wrote = 0usize;
+    for record in &visit_once.records {
+        if writer.append(record).is_err() {
+            break;
+        }
+        wrote += 1;
+    }
+    drop(writer);
+    let (recovered, report) = checkpoint::recover(&path).unwrap();
+    println!(
+        "  torn write after {wrote} records; recovery kept {} and truncated \
+         {} bytes of torn tail",
+        report.records_recovered, report.bytes_truncated
+    );
+    let resumed = resume_crawl(&web.network, &frontier, &config, &recovered);
+    println!(
+        "  resumed from the recovered prefix: byte-identical = {}",
+        resumed.to_json().unwrap() == visit_once.to_json().unwrap()
+    );
+    let _ = std::fs::remove_file(&path);
+
+    println!("\nper-host circuit breakers (threshold 3, cooldown 8 ticks):");
+    // Take down a shared third-party script host: after three failed
+    // fetches its circuit opens and every later reference short-circuits
+    // instead of burning the retry budget.
+    let mut script_refs: std::collections::BTreeMap<String, usize> = Default::default();
+    for u in &frontier {
+        if let Some(canvassing_net::Resource::Page(page)) = web.network.peek(u) {
+            for s in &page.scripts {
+                if let canvassing_net::ScriptRef::External(u) = s {
+                    *script_refs.entry(u.host.clone()).or_default() += 1;
+                }
+            }
+        }
+    }
+    let (hot_host, refs) = script_refs
+        .iter()
+        .max_by_key(|(host, n)| (**n, std::cmp::Reverse(host.as_str())))
+        .map(|(h, n)| (h.clone(), *n))
+        .unwrap();
+    web.network.faults.take_down(&hot_host);
+    let mut breakered = CrawlConfig::control();
+    breakered.breakers = BreakerPolicy::enabled();
+    let (with_breakers, stats) = crawl_with_stats(&web.network, &frontier, &breakered);
+    println!(
+        "  took down shared script host {} ({refs} references): {} circuit \
+         opens, {} short-circuited, dataset still deterministic = {}",
+        hot_host,
+        stats.breaker_opens,
+        stats.breaker_short_circuits,
+        {
+            let again = crawl(&web.network, &frontier, &breakered);
+            again.to_json().unwrap() == with_breakers.to_json().unwrap()
+        }
     );
 }

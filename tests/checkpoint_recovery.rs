@@ -1,0 +1,282 @@
+//! Crash-consistency acceptance tests for the v2 checkpoint format: a
+//! checkpoint corrupted at *any* point — torn writes at every record
+//! boundary, plus a seeded randomized sweep of bit flips, truncations,
+//! and garbage tails — must recover to a valid prefix of the original
+//! records, recovery must be idempotent, and resuming from the recovered
+//! prefix must merge byte-identical to the uninterrupted dataset at
+//! every worker count.
+//!
+//! The randomized sweep is a hand-rolled property test (the environment
+//! ships a no-op `proptest` stub): a fixed-seed LCG drives the corruption
+//! choices, so failures replay exactly.
+
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+
+use canvassing_crawler::{
+    checkpoint, crawl, resume_crawl, BreakerPolicy, CrawlConfig, RetryPolicy, SiteRecord,
+};
+use canvassing_net::FaultMatrix;
+use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
+
+/// Deterministic 64-bit LCG (Knuth MMIX constants) so the sweep replays
+/// exactly from its literal seed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
+
+/// A faulted workload small enough that the sweep's repeated resumes stay
+/// cheap: the first 80 popular-frontier sites with the matrix over every
+/// third host, breakers and salvage on.
+fn workload() -> (SyntheticWeb, Vec<canvassing_net::Url>) {
+    let mut web = SyntheticWeb::generate(WebConfig {
+        seed: 11,
+        scale: 0.02,
+    });
+    let mut frontier = web.frontier(Cohort::Popular);
+    frontier.truncate(80);
+    let targets: Vec<String> = frontier
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 3 == 0)
+        .map(|(_, u)| u.host.clone())
+        .collect();
+    FaultMatrix::new(7).inject_all(&mut web.network.faults, targets.iter().map(|h| h.as_str()));
+    (web, frontier)
+}
+
+fn resilient_config(workers: usize) -> CrawlConfig {
+    let mut config = CrawlConfig::control();
+    config.workers = workers;
+    config.retry = RetryPolicy::retries(1);
+    config.breakers = BreakerPolicy::enabled();
+    config.salvage = true;
+    config
+}
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ckpt-recovery-{tag}-{}.log", std::process::id()))
+}
+
+fn record_json(r: &SiteRecord) -> String {
+    serde_json::to_string(r).unwrap()
+}
+
+fn is_prefix(prefix: &[SiteRecord], full: &[SiteRecord]) -> bool {
+    prefix.len() <= full.len()
+        && prefix
+            .iter()
+            .zip(full)
+            .all(|(a, b)| record_json(a) == record_json(b))
+}
+
+#[test]
+fn clean_checkpoints_roundtrip_untouched() {
+    let (web, frontier) = workload();
+    let config = resilient_config(4);
+    let full = crawl(&web.network, &frontier, &config);
+
+    let path = tmp_path("clean");
+    let mut writer =
+        checkpoint::CheckpointWriter::create(&path, &full.label, &full.device_id).unwrap();
+    for record in &full.records {
+        writer.append(record).unwrap();
+    }
+    drop(writer);
+    let before = std::fs::read(&path).unwrap();
+    let (recovered, report) = checkpoint::recover(&path).unwrap();
+    assert!(report.clean(), "intact file must report clean: {report:?}");
+    assert_eq!(recovered.to_json().unwrap(), full.to_json().unwrap());
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        before,
+        "clean recovery must not rewrite the file"
+    );
+
+    // save_atomic produces the same durable form as incremental appends.
+    let atomic = tmp_path("atomic");
+    checkpoint::save_atomic(&atomic, &full).unwrap();
+    assert_eq!(std::fs::read(&atomic).unwrap(), before);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&atomic);
+}
+
+#[test]
+fn torn_write_at_every_boundary_recovers_exactly_the_prefix() {
+    let (web, frontier) = workload();
+    let config = resilient_config(4);
+    let full = crawl(&web.network, &frontier, &config);
+    let path = tmp_path("torn");
+
+    for k in 0..full.records.len() {
+        let mut writer =
+            checkpoint::CheckpointWriter::create(&path, &full.label, &full.device_id).unwrap();
+        for record in &full.records[..k] {
+            writer.append(record).unwrap();
+        }
+        writer.arm_torn_write(&full.records[k].url.host);
+        assert!(
+            writer.append(&full.records[k]).is_err(),
+            "armed torn write must surface as an append error"
+        );
+        assert!(
+            writer.append(&full.records[k]).is_err(),
+            "a poisoned writer must refuse further appends"
+        );
+        drop(writer);
+
+        let (recovered, report) = checkpoint::recover(&path).unwrap();
+        assert_eq!(recovered.records.len(), k, "prefix length at tear {k}");
+        assert_eq!(report.corrupted_at, Some(k));
+        assert!(report.bytes_truncated > 0, "the partial line is discarded");
+        assert!(is_prefix(&recovered.records, &full.records));
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn randomized_corruption_sweep_recovers_and_resumes_byte_identical() {
+    let (web, frontier) = workload();
+    let config = resilient_config(4);
+    let full = crawl(&web.network, &frontier, &config);
+    let full_json = full.to_json().unwrap();
+
+    // Pristine checkpoint bytes, produced once; every iteration corrupts
+    // a fresh copy.
+    let path = tmp_path("sweep");
+    checkpoint::save_atomic(&path, &full).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+    let header_len = pristine.iter().position(|&b| b == b'\n').unwrap() + 1;
+
+    let mut rng = Lcg(0xC0FFEE);
+    let mut corrupted_runs = 0usize;
+    for iteration in 0..48 {
+        let mut bytes = pristine.clone();
+        let offset = header_len + rng.below(bytes.len() - header_len);
+        match rng.below(3) {
+            0 => {
+                // Flip one bit somewhere past the header.
+                let bit = 1u8 << rng.below(8);
+                bytes[offset] ^= bit;
+            }
+            1 => {
+                // Crash truncation: the file simply ends mid-stream.
+                bytes.truncate(offset);
+            }
+            _ => {
+                // Torn tail: garbage bytes past a truncation point.
+                bytes.truncate(offset);
+                let garbage = rng.below(40) + 1;
+                for _ in 0..garbage {
+                    bytes.push((rng.next() & 0xff) as u8);
+                }
+            }
+        }
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (recovered, report) = checkpoint::recover(&path).unwrap();
+        assert!(
+            is_prefix(&recovered.records, &full.records),
+            "iteration {iteration}: recovery must yield a pristine prefix"
+        );
+        if !report.clean() {
+            corrupted_runs += 1;
+        }
+        // Idempotence: recovering the truncated file again is clean and
+        // yields the same prefix.
+        let (again, second) = checkpoint::recover(&path).unwrap();
+        assert!(
+            second.clean(),
+            "iteration {iteration}: second recovery must be clean"
+        );
+        assert_eq!(again.records.len(), recovered.records.len());
+
+        // Resuming from the recovered prefix merges byte-identical to the
+        // uninterrupted dataset at every worker count.
+        for workers in [1usize, 4, 8] {
+            let cfg = resilient_config(workers);
+            let resumed = resume_crawl(&web.network, &frontier, &cfg, &recovered);
+            assert_eq!(
+                resumed.to_json().unwrap(),
+                full_json,
+                "iteration {iteration}: resume at {workers} workers diverged"
+            );
+        }
+    }
+    assert!(
+        corrupted_runs > 40,
+        "the sweep must mostly hit real corruption, got {corrupted_runs}/48"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn recovery_refuses_files_without_a_valid_header() {
+    let path = tmp_path("header");
+    std::fs::write(&path, b"not a header\n").unwrap();
+    assert!(checkpoint::recover(&path).is_err());
+    std::fs::write(&path, b"").unwrap();
+    assert!(checkpoint::recover(&path).is_err());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The crawl → checkpoint → crash → recover → resume loop end to end,
+/// driven by the fault plan's own `TornWrite` entries (the same wiring
+/// `examples/fault_lab.rs` demonstrates).
+#[test]
+fn plan_armed_torn_writes_compose_with_resume() {
+    let (web, frontier) = workload();
+    let config = resilient_config(4);
+    let full = crawl(&web.network, &frontier, &config);
+    let torn_hosts: Vec<&str> = frontier
+        .iter()
+        .map(|u| u.host.as_str())
+        .filter(|h| {
+            matches!(
+                web.network.faults.fault_for(h),
+                Some(canvassing_net::Fault::TornWrite)
+            )
+        })
+        .collect();
+    assert!(
+        !torn_hosts.is_empty(),
+        "matrix plants TornWrite hosts in this workload"
+    );
+
+    let path = tmp_path("plan-armed");
+    let mut writer =
+        checkpoint::CheckpointWriter::create(&path, &full.label, &full.device_id).unwrap();
+    writer.arm_faults(&web.network.faults);
+    let mut wrote = 0usize;
+    for record in &full.records {
+        if writer.append(record).is_err() {
+            break;
+        }
+        wrote += 1;
+    }
+    assert!(
+        wrote < full.records.len(),
+        "the first TornWrite host tears the log"
+    );
+    let (recovered, report) = checkpoint::recover(&path).unwrap();
+    assert_eq!(recovered.records.len(), wrote);
+    assert_eq!(report.corrupted_at, Some(wrote));
+    let resumed = resume_crawl(&web.network, &frontier, &config, &recovered);
+    assert_eq!(resumed.to_json().unwrap(), full.to_json().unwrap());
+    let _ = std::fs::remove_file(&path);
+}

@@ -24,7 +24,12 @@ const GOLDEN_PATH: &str = concat!(
     "/../../tests/golden/report_scale_0.1.txt"
 );
 
-fn canonical_report() -> String {
+fn canonical_report() -> &'static String {
+    static REPORT: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    REPORT.get_or_init(render_canonical)
+}
+
+fn render_canonical() -> String {
     let web = SyntheticWeb::generate(WebConfig {
         seed: 2025,
         scale: 0.1,
@@ -46,12 +51,12 @@ fn canonical_report() -> String {
 fn report_matches_golden_snapshot() {
     let report = canonical_report();
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::write(GOLDEN_PATH, &report).expect("write golden snapshot");
+        std::fs::write(GOLDEN_PATH, report).expect("write golden snapshot");
         return;
     }
     let golden = std::fs::read_to_string(GOLDEN_PATH)
         .expect("golden snapshot missing — run with UPDATE_GOLDEN=1 to create it");
-    if report != golden {
+    if *report != golden {
         // Byte-diff with a readable first-divergence report: a full
         // assert_eq! dump of two multi-kilobyte reports is unreviewable.
         let report_lines: Vec<&str> = report.lines().collect();
@@ -70,6 +75,30 @@ fn report_matches_golden_snapshot() {
              if the change is intentional)",
             report_lines.len(),
             golden_lines.len()
+        );
+    }
+}
+
+/// Structural companion to the byte-level snapshot: the sections the
+/// resilience and observability layers contribute must render regardless
+/// of the exact numbers (so a regen cannot silently drop them).
+#[test]
+fn report_renders_resilience_and_observability_sections() {
+    let report = canonical_report();
+    for section in [
+        "== Failure bias (fidelity tiers) ==",
+        "== Resilience (breakers and salvage) ==",
+        "== Observability (trace layer) ==",
+        "worst-case interval [",
+        "salvage-inclusive",
+    ] {
+        assert!(report.contains(section), "report lost section {section:?}");
+    }
+    // Every fidelity tier row renders, zero-filled or not.
+    for tier in canvassing_crawler::VisitFidelity::all() {
+        assert!(
+            report.contains(&format!("{tier}")),
+            "missing fidelity tier row {tier}"
         );
     }
 }

@@ -136,6 +136,73 @@ fn warm_caches_skip_parses_without_changing_the_dataset() {
 }
 
 #[test]
+fn breakers_and_salvage_preserve_byte_identity_across_cache_strategies() {
+    // The resilience control plane (PR 5) composes with the perf layers
+    // (PR 2): with per-host circuit breakers and salvage enabled under
+    // the fault matrix, datasets must still be byte-identical across
+    // caching on/off, worker counts, cache temperature, and a
+    // checkpoint/resume split.
+    let (mut web, frontier) = web(27);
+    let targets: Vec<String> = frontier
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 3 == 0)
+        .map(|(_, u)| u.host.clone())
+        .collect();
+    FaultMatrix::new(6).inject_all(&mut web.network.faults, targets.iter().map(|h| h.as_str()));
+
+    let resilient = |workers: usize, caching: CachingPolicy| {
+        let mut cfg = config(workers, caching);
+        cfg.breakers = canvassing_crawler::BreakerPolicy::enabled();
+        cfg.salvage = true;
+        cfg
+    };
+    let cached = crawl(
+        &web.network,
+        &frontier,
+        &resilient(8, CachingPolicy::default()),
+    );
+    let uncached = crawl(
+        &web.network,
+        &frontier,
+        &resilient(8, CachingPolicy::disabled()),
+    );
+    assert_eq!(cached.to_json().unwrap(), uncached.to_json().unwrap());
+    let single = crawl(
+        &web.network,
+        &frontier,
+        &resilient(1, CachingPolicy::default()),
+    );
+    assert_eq!(cached.to_json().unwrap(), single.to_json().unwrap());
+    assert!(
+        cached.salvaged().count() > 0,
+        "matrix produces salvaged visits at this scale"
+    );
+
+    // Warm caches: same dataset again, no re-parsing.
+    let cfg = resilient(8, CachingPolicy::default());
+    let caches = cfg.build_caches();
+    let (cold_ds, cold) = crawl_with_caches(&web.network, &frontier, &cfg, &caches);
+    let (warm_ds, warm) = crawl_with_caches(&web.network, &frontier, &cfg, &caches);
+    assert_eq!(cold_ds.to_json().unwrap(), warm_ds.to_json().unwrap());
+    assert_eq!(cold_ds.to_json().unwrap(), cached.to_json().unwrap());
+    assert!(cold.script_parses > 0);
+    assert_eq!(warm.script_parses, 0);
+
+    // Resume across a mid-crawl split with breakers on: the plan is
+    // recomputed over the full frontier, so the merge stays exact.
+    let mut partial_records = cached.records[..frontier.len() / 2].to_vec();
+    partial_records.remove(frontier.len() / 4);
+    let checkpoint = CrawlDataset {
+        label: cached.label.clone(),
+        device_id: cached.device_id.clone(),
+        records: partial_records,
+    };
+    let resumed = resume_crawl(&web.network, &frontier, &cfg, &checkpoint);
+    assert_eq!(resumed.to_json().unwrap(), cached.to_json().unwrap());
+}
+
+#[test]
 fn double_render_check_still_fires_with_memoization() {
     // §5.3: fingerprinters render the same canvas twice and compare. Memo
     // replay must preserve both extractions (same bytes under no defense)

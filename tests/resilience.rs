@@ -10,7 +10,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use canvassing_crawler::{
-    crawl, resume_crawl, CrawlConfig, CrawlDataset, FailureKind, RetryPolicy,
+    crawl, resume_crawl, CrawlConfig, CrawlDataset, FailureKind, RetryPolicy, VisitFidelity,
 };
 use canvassing_net::{Fault, FaultMatrix};
 use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
@@ -173,5 +173,108 @@ fn deadline_and_fuel_map_to_typed_kinds() {
     assert!(
         ds.failed().any(|(_, f)| f.kind == FailureKind::ScriptCrash),
         "fuel exhaustion must surface as ScriptCrash"
+    );
+}
+
+#[test]
+fn retry_timeouts_heals_slow_start_hosts_but_not_permanent_spikes() {
+    // The matrix plants both SlowStart (a latency spike that heals after
+    // 1–2 attempts) and LatencySpike (permanent) hosts. Timeouts are not
+    // retried by default — a deadline blown once usually means a
+    // deadline blown every time — so both fail. Opting in to
+    // `retry_timeouts` must heal exactly the SlowStart sites: the spike
+    // is followed by a normal-latency success on the retry.
+    let (web, frontier) = faulted_web(5);
+    let slow_start: Vec<_> = frontier
+        .iter()
+        .filter(|u| {
+            matches!(
+                web.network.faults.fault_for(&u.host),
+                Some(Fault::SlowStart { .. })
+            )
+        })
+        .collect();
+    let spiked: Vec<_> = frontier
+        .iter()
+        .filter(|u| {
+            matches!(
+                web.network.faults.fault_for(&u.host),
+                Some(Fault::LatencySpike { .. })
+            )
+        })
+        .collect();
+    assert!(!slow_start.is_empty(), "matrix plants SlowStart hosts");
+    assert!(!spiked.is_empty(), "matrix plants LatencySpike hosts");
+
+    let outcome = |ds: &CrawlDataset, url: &canvassing_net::Url| -> Option<FailureKind> {
+        match &ds.records.iter().find(|r| &r.url == url).unwrap().outcome {
+            canvassing_crawler::SiteOutcome::Success(_) => None,
+            canvassing_crawler::SiteOutcome::Failure(f) => Some(f.kind),
+        }
+    };
+
+    let default_retries = crawl(&web.network, &frontier, &config(4, 2));
+    for url in slow_start.iter().chain(&spiked) {
+        assert_eq!(
+            outcome(&default_retries, url),
+            Some(FailureKind::Timeout),
+            "{url} must time out while timeouts are not retried"
+        );
+    }
+
+    let mut healing = config(4, 2);
+    healing.retry.retry_timeouts = true;
+    let healed = crawl(&web.network, &frontier, &healing);
+    for url in &slow_start {
+        assert_eq!(
+            outcome(&healed, url),
+            None,
+            "{url} must heal: spike-then-success under retry_timeouts"
+        );
+    }
+    for url in &spiked {
+        assert_eq!(
+            outcome(&healed, url),
+            Some(FailureKind::Timeout),
+            "{url} spikes permanently; retrying must not mask it"
+        );
+    }
+}
+
+#[test]
+fn fidelity_tiers_partition_the_frontier_under_the_full_matrix() {
+    let (web, frontier) = faulted_web(6);
+    let mut cfg = config(8, 1);
+    cfg.salvage = true;
+    let ds = crawl(&web.network, &frontier, &cfg);
+    let tiers = ds.fidelity_breakdown();
+    assert_eq!(
+        tiers.values().sum::<usize>(),
+        frontier.len(),
+        "every site lands in exactly one fidelity tier: {tiers:?}"
+    );
+    assert_eq!(tiers[&VisitFidelity::Full], ds.success_count());
+    assert_eq!(
+        tiers[&VisitFidelity::FetchOnly] + tiers[&VisitFidelity::StaticSalvage],
+        ds.salvaged().count(),
+        "salvage tiers cover exactly the failures carrying partial visits"
+    );
+    // Opting out of salvage demotes every salvaged site to Lost and
+    // changes nothing else.
+    let mut no_salvage = config(8, 1);
+    no_salvage.salvage = false;
+    let bare = crawl(&web.network, &frontier, &no_salvage);
+    let bare_tiers = bare.fidelity_breakdown();
+    assert_eq!(bare_tiers[&VisitFidelity::StaticSalvage], 0);
+    assert_eq!(bare_tiers[&VisitFidelity::FetchOnly], 0);
+    assert_eq!(
+        bare_tiers[&VisitFidelity::Lost],
+        tiers[&VisitFidelity::Lost]
+            + tiers[&VisitFidelity::FetchOnly]
+            + tiers[&VisitFidelity::StaticSalvage]
+    );
+    assert_eq!(
+        bare_tiers[&VisitFidelity::Full],
+        tiers[&VisitFidelity::Full]
     );
 }

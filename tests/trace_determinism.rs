@@ -154,6 +154,76 @@ fn trace_streams_schedule_independent_under_fault_matrix() {
 }
 
 #[test]
+fn breaker_and_salvage_traces_are_schedule_independent() {
+    // Enable the full resilience control plane: a dead shared script host
+    // drives a circuit open (then short-circuits), and a latency-spiked
+    // script host kills visits mid-pipeline so salvage fires. All of it is
+    // planned from the frontier, so the streams must stay byte-identical
+    // across worker counts — including the breaker transition instants.
+    let (mut web, frontier) = web(46);
+    let mut script_hosts: Vec<String> = frontier
+        .iter()
+        .filter_map(|u| match web.network.peek(u) {
+            Some(canvassing_net::Resource::Page(page)) => Some(page),
+            _ => None,
+        })
+        .flat_map(|page| {
+            page.scripts.iter().filter_map(|s| match s {
+                canvassing_net::ScriptRef::External(u) => Some(u.host.clone()),
+                _ => None,
+            })
+        })
+        .collect();
+    script_hosts.sort();
+    script_hosts.dedup();
+    assert!(script_hosts.len() >= 2, "corpus has shared script hosts");
+    web.network.faults.take_down(&script_hosts[0]);
+    web.network.faults.inject(
+        &script_hosts[1],
+        canvassing_net::Fault::LatencySpike { extra_ms: 60_000 },
+    );
+
+    let run_resilient = |workers: usize| {
+        let (mut config, sink) = traced_config(workers, CachingPolicy::default());
+        config.breakers = canvassing_crawler::BreakerPolicy::enabled();
+        config.salvage = true;
+        crawl(&web.network, &frontier, &config);
+        sink.traces()
+    };
+    let single = run_resilient(1);
+    let fleet = run_resilient(8);
+    assert_eq!(
+        single, fleet,
+        "breaker/salvage streams must not depend on workers"
+    );
+
+    let count = |name: &str| {
+        single
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| {
+                matches!(
+                    &e.kind,
+                    canvassing_trace::EventKind::Instant { name: n, .. } if *n == name
+                )
+            })
+            .count()
+    };
+    assert!(
+        count("breaker.open") > 0,
+        "dead script host opens a circuit"
+    );
+    assert!(
+        count("breaker.short_circuit") > 0,
+        "later references to the open host short-circuit"
+    );
+    assert!(
+        count("visit.salvage") > 0,
+        "spiked script host produces salvaged visits"
+    );
+}
+
+#[test]
 fn every_successful_visit_covers_the_stage_vocabulary() {
     let (web, frontier) = web(45);
     let traces = run(&web, &frontier, 4);
