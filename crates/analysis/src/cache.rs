@@ -23,12 +23,26 @@ use canvassing_script::{source_hash, ScriptCache};
 
 use crate::{classify, classify_source, Finding, RuleId, ScriptAnalysis, Verdict};
 
-/// Shard count; mirrors `ScriptCache`'s sizing rationale.
-const SHARDS: usize = 16;
+/// Shard count; mirrors `ScriptCache`'s sizing rationale. Public because
+/// epoch-based invalidation (the serving daemon's hot blocklist reload)
+/// targets individual shards and needs to compute shard membership
+/// externally via [`shard_of`].
+pub const SHARD_COUNT: usize = 16;
 
-/// One cached analysis: verified source plus the shared result.
+/// The shard a content hash lives in.
+pub fn shard_of(hash: u64) -> usize {
+    (hash as usize) % SHARD_COUNT
+}
+
+/// One cached analysis: verified source plus the shared result, tagged
+/// with the rule epoch it was computed under. An entry is *valid* only
+/// while its epoch is at or above its shard's invalidation floor; stale
+/// entries are recomputed in place on the next full lookup (lazy,
+/// Durey-style incremental re-classification) and invisible to
+/// [`AnalysisCache::peek`].
 struct CacheEntry {
     source: String,
+    epoch: u64,
     analysis: Arc<ScriptAnalysis>,
 }
 
@@ -48,11 +62,33 @@ impl AnalysisStats {
     }
 }
 
+/// Epoch/invalidation counters, separate from [`AnalysisStats`] so the
+/// crawl-facing counters keep their "analyses == unique bodies" contract
+/// untouched when no reloads happen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochCacheStats {
+    /// Shard floors raised by [`AnalysisCache::invalidate_shards`]
+    /// (counted per shard whose floor actually rose).
+    pub invalidated_shards: u64,
+    /// Stale entries recomputed in place by a full lookup.
+    pub stale_refreshes: u64,
+    /// [`AnalysisCache::peek`] calls.
+    pub peeks: u64,
+    /// Peeks answered with a valid entry.
+    pub peek_hits: u64,
+}
+
 /// A sharded, `Arc`-shareable static-analysis cache.
 pub struct AnalysisCache {
     shards: Vec<Mutex<HashMap<u64, Vec<CacheEntry>>>>,
+    /// Per-shard epoch floors: entries below the floor are stale.
+    floors: Vec<AtomicU64>,
     hits: AtomicU64,
     analyses: AtomicU64,
+    invalidated_shards: AtomicU64,
+    stale_refreshes: AtomicU64,
+    peeks: AtomicU64,
+    peek_hits: AtomicU64,
 }
 
 impl Default for AnalysisCache {
@@ -65,9 +101,16 @@ impl AnalysisCache {
     /// Creates an empty cache.
     pub fn new() -> AnalysisCache {
         AnalysisCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            floors: (0..SHARD_COUNT).map(|_| AtomicU64::new(0)).collect(),
             hits: AtomicU64::new(0),
             analyses: AtomicU64::new(0),
+            invalidated_shards: AtomicU64::new(0),
+            stale_refreshes: AtomicU64::new(0),
+            peeks: AtomicU64::new(0),
+            peek_hits: AtomicU64::new(0),
         }
     }
 
@@ -81,7 +124,63 @@ impl AnalysisCache {
     /// the analysis stays available even when script caching is disabled,
     /// so enabling caches never changes what the crawler records.
     pub fn analyze(&self, src: &str, programs: Option<&ScriptCache>) -> (u64, Arc<ScriptAnalysis>) {
-        self.lookup(src, programs).0
+        self.lookup(src, programs, 0).0
+    }
+
+    /// [`AnalysisCache::analyze`] under an explicit rule epoch. A cached
+    /// entry answers only while its epoch is at or above its shard's
+    /// invalidation floor; a stale entry is recomputed under `epoch` in
+    /// place (counted as both an analysis and a stale refresh). With no
+    /// invalidations (all floors zero) this is exactly `analyze`.
+    pub fn analyze_at(
+        &self,
+        src: &str,
+        programs: Option<&ScriptCache>,
+        epoch: u64,
+    ) -> (u64, Arc<ScriptAnalysis>) {
+        self.lookup(src, programs, epoch).0
+    }
+
+    /// A pure cache probe: the analysis for `src` if a *valid* (source
+    /// verified, epoch at or above the shard floor) entry exists. Never
+    /// analyzes, never mutates entries, never touches the hit/analysis
+    /// counters — this is the cache-only serving tier's lookup, counted
+    /// separately in [`EpochCacheStats`].
+    pub fn peek(&self, src: &str) -> Option<Arc<ScriptAnalysis>> {
+        self.peeks.fetch_add(1, Ordering::Relaxed);
+        let hash = source_hash(src);
+        let shard = shard_of(hash);
+        let floor = self.floors[shard].load(Ordering::Relaxed);
+        let map = self.shards[shard]
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        let found = map.get(&hash).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|e| e.source == src && e.epoch >= floor)
+                .map(|e| Arc::clone(&e.analysis))
+        });
+        if found.is_some() {
+            self.peek_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Raises the invalidation floor of the given shards to `floor`
+    /// (floors only rise — a lower value than the current floor is a
+    /// no-op). Entries below the floor become invisible to lookups and
+    /// are recomputed on next [`AnalysisCache::analyze_at`]. This is the
+    /// hot-reload entry point: a rule-diff maps changed domains to the
+    /// shards holding their scripts, and only those shards pay
+    /// re-classification.
+    pub fn invalidate_shards(&self, shards: impl IntoIterator<Item = usize>, floor: u64) {
+        for shard in shards {
+            let slot = &self.floors[shard % SHARD_COUNT];
+            let previous = slot.fetch_max(floor, Ordering::Relaxed);
+            if previous < floor {
+                self.invalidated_shards.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// [`AnalysisCache::analyze`] wrapped in a `"triage"` trace span with a
@@ -105,7 +204,7 @@ impl AnalysisCache {
         }
         let span = rec.span("triage");
         let parse = rec.span("parse");
-        let ((hash, analysis), was_analysis) = self.lookup(src, programs);
+        let ((hash, analysis), was_analysis) = self.lookup(src, programs, 0);
         parse.end(0);
         rec.bump(if was_analysis {
             "analysis.analyses"
@@ -117,19 +216,31 @@ impl AnalysisCache {
         (hash, analysis)
     }
 
-    /// The shared lookup path: `(result, was_analysis)`.
+    /// The shared lookup path: `(result, was_analysis)`. Stale entries
+    /// (epoch below the shard floor) are treated as misses and replaced
+    /// in place, still under the shard lock — concurrent requests for a
+    /// stale body block and share the one re-analysis, exactly like cold
+    /// bodies.
     fn lookup(
         &self,
         src: &str,
         programs: Option<&ScriptCache>,
+        epoch: u64,
     ) -> ((u64, Arc<ScriptAnalysis>), bool) {
         let hash = source_hash(src);
-        let shard = &self.shards[(hash as usize) % SHARDS];
-        let mut map = shard.lock().unwrap_or_else(|poison| poison.into_inner());
+        let shard = shard_of(hash);
+        let floor = self.floors[shard].load(Ordering::Relaxed);
+        let mut map = self.shards[shard]
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
         let bucket = map.entry(hash).or_default();
-        if let Some(entry) = bucket.iter().find(|e| e.source == src) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return ((hash, Arc::clone(&entry.analysis)), false);
+        let existing = bucket.iter().position(|e| e.source == src);
+        if let Some(i) = existing {
+            if bucket[i].epoch >= floor {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return ((hash, Arc::clone(&bucket[i].analysis)), false);
+            }
+            self.stale_refreshes.fetch_add(1, Ordering::Relaxed);
         }
         self.analyses.fetch_add(1, Ordering::Relaxed);
         let analysis = Arc::new(match programs {
@@ -146,10 +257,15 @@ impl AnalysisCache {
             },
             None => classify_source(src),
         });
-        bucket.push(CacheEntry {
+        let entry = CacheEntry {
             source: src.to_string(),
+            epoch,
             analysis: Arc::clone(&analysis),
-        });
+        };
+        match existing {
+            Some(i) => bucket[i] = entry,
+            None => bucket.push(entry),
+        }
         ((hash, analysis), true)
     }
 
@@ -177,6 +293,16 @@ impl AnalysisCache {
         AnalysisStats {
             hits: self.hits.load(Ordering::Relaxed),
             analyses: self.analyses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot of the epoch/invalidation counters.
+    pub fn epoch_stats(&self) -> EpochCacheStats {
+        EpochCacheStats {
+            invalidated_shards: self.invalidated_shards.load(Ordering::Relaxed),
+            stale_refreshes: self.stale_refreshes.load(Ordering::Relaxed),
+            peeks: self.peeks.load(Ordering::Relaxed),
+            peek_hits: self.peek_hits.load(Ordering::Relaxed),
         }
     }
 }

@@ -15,7 +15,8 @@ use proptest::prelude::*;
 use canvassing_script::ScriptCache;
 use canvassing_trace::{MetricsRegistry, VisitRecorder};
 
-use crate::{classify_source, AnalysisCache};
+use crate::{classify_source, shard_of, AnalysisCache, SHARD_COUNT};
+use canvassing_script::source_hash;
 
 /// A small pool of script bodies spanning all three verdicts.
 fn body(i: usize) -> String {
@@ -54,6 +55,54 @@ proptest! {
             let (_, b) = without.analyze(&src, None);
             prop_assert_eq!(a.verdict, direct);
             prop_assert_eq!(b.verdict, direct);
+        }
+    }
+
+    /// Shard invalidation property (hot-reload correctness): after any
+    /// interleaving of lookups and shard invalidations, a lookup never
+    /// answers from an entry computed under a stale epoch. The cache is
+    /// checked against a shadow model tracking each body's last analysis
+    /// epoch and each shard's floor: `peek` hits exactly when the model
+    /// says the entry is valid, and `analyze_at` re-analyzes exactly when
+    /// it says the entry is stale or missing.
+    #[test]
+    fn invalidation_never_serves_stale_epochs(
+        ops in proptest::collection::vec((0usize..3, 0usize..8, 0usize..4), 1..64)
+    ) {
+        let cache = AnalysisCache::new();
+        let mut model_epoch: std::collections::HashMap<usize, u64> = Default::default();
+        let mut floors = [0u64; SHARD_COUNT];
+        let mut epoch = 0u64;
+        for &(op, pick, shard_step) in &ops {
+            let src = body(pick);
+            let shard = shard_of(source_hash(&src));
+            match op {
+                0 => {
+                    // Full lookup at the current epoch: must re-analyze
+                    // iff the model says the entry is stale or missing.
+                    let before = cache.stats().analyses;
+                    cache.analyze_at(&src, None, epoch);
+                    let analyzed = cache.stats().analyses > before;
+                    let model_valid =
+                        model_epoch.get(&pick).is_some_and(|e| *e >= floors[shard]);
+                    prop_assert_eq!(analyzed, !model_valid);
+                    model_epoch.insert(pick, epoch);
+                }
+                1 => {
+                    // Reload: raise some shard's floor to a new epoch.
+                    epoch += 1;
+                    let target = (shard + shard_step) % SHARD_COUNT;
+                    cache.invalidate_shards([target], epoch);
+                    floors[target] = floors[target].max(epoch);
+                }
+                _ => {
+                    // Peek: hits exactly the model-valid entries.
+                    let hit = cache.peek(&src).is_some();
+                    let model_valid =
+                        model_epoch.get(&pick).is_some_and(|e| *e >= floors[shard]);
+                    prop_assert_eq!(hit, model_valid);
+                }
+            }
         }
     }
 
@@ -114,4 +163,66 @@ fn cache_transparency_and_counters_seeded() {
         assert_eq!(analyses, distinct.len() as u64);
         assert_eq!(cache.stats().lookups(), lookups as u64);
     }
+}
+
+/// Seeded exhaustive twin of `invalidation_never_serves_stale_epochs`
+/// (the offline proptest stub does not sample): drives a long LCG-chosen
+/// interleaving of lookups, shard invalidations, and peeks against the
+/// same shadow model, so post-reload lookups provably never answer from
+/// a verdict computed under a stale blocklist epoch.
+#[test]
+fn invalidation_never_serves_stale_epochs_seeded() {
+    let cache = AnalysisCache::new();
+    let mut model_epoch: std::collections::HashMap<usize, u64> = Default::default();
+    let mut floors = [0u64; SHARD_COUNT];
+    let mut epoch = 0u64;
+    let mut lcg: u64 = 0x5deece66d;
+    let mut stale_refreshes_expected = 0u64;
+    for _ in 0..600 {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let roll = (lcg >> 33) as usize;
+        let pick = roll % 8;
+        let src = body(pick);
+        let shard = shard_of(source_hash(&src));
+        match roll % 5 {
+            0 | 1 => {
+                let before = cache.stats().analyses;
+                let (_, analysis) = cache.analyze_at(&src, None, epoch);
+                assert_eq!(
+                    analysis.verdict,
+                    classify_source(&src).verdict,
+                    "re-analysis stays verdict-transparent"
+                );
+                let analyzed = cache.stats().analyses > before;
+                let entry = model_epoch.get(&pick).copied();
+                let model_valid = entry.is_some_and(|e| e >= floors[shard]);
+                assert_eq!(analyzed, !model_valid, "analyze iff stale or missing");
+                if entry.is_some() && !model_valid {
+                    stale_refreshes_expected += 1;
+                }
+                model_epoch.insert(pick, epoch);
+            }
+            2 => {
+                epoch += 1;
+                let target = roll % SHARD_COUNT;
+                cache.invalidate_shards([target], epoch);
+                floors[target] = floors[target].max(epoch);
+            }
+            _ => {
+                let hit = cache.peek(&src).is_some();
+                let model_valid = model_epoch.get(&pick).is_some_and(|e| *e >= floors[shard]);
+                assert_eq!(hit, model_valid, "peek hits exactly the valid entries");
+            }
+        }
+    }
+    assert!(epoch > 0, "the schedule must exercise reloads");
+    assert!(
+        stale_refreshes_expected > 0,
+        "the schedule must exercise stale refreshes"
+    );
+    let epochs = cache.epoch_stats();
+    assert_eq!(epochs.stale_refreshes, stale_refreshes_expected);
+    assert!(epochs.peeks >= epochs.peek_hits);
 }

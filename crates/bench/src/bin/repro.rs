@@ -94,6 +94,9 @@ fn main() {
         // explicitly (it adds four more full crawls).
         defense_sweep: args.experiment == "e13",
         trace: false,
+        // The serving replay is a deployment extension, not a paper
+        // experiment; the soak bin (`serve_soak`) owns it.
+        serving: false,
     };
     eprintln!(
         "running study (control{} crawls) ...",

@@ -1,0 +1,394 @@
+//! `serve_soak` — overload soak for the verdict-serving daemon.
+//!
+//! ```text
+//! serve_soak [--scale F] [--seed N] [--jsonl PATH] [--out PATH] [--check]
+//! ```
+//!
+//! Generates the synthetic web, harvests a script corpus from its
+//! frontier, faults a slice of the corpus's CDN hosts with the standard
+//! fault matrix, then replays the standard ramp → steady → burst →
+//! overload → drain schedule (Zipf-skewed popularity, phase durations
+//! compressed by `--scale`) against the daemon with a mid-soak blocklist
+//! reload. Invariant gates, each of which fails the process under
+//! `--check`:
+//!
+//! 1. **Determinism across schedules** — the full response stream is
+//!    byte-identical across 1, 4, and 8 executor workers, reload and
+//!    injected faults included.
+//! 2. **Shed-tier partition** — `full + cache-only + heuristic +
+//!    rejected == offered`, and admitted == completed: nothing dropped,
+//!    nothing double-counted.
+//! 3. **Deadline propagation** — zero completed responses finish past
+//!    their deadline (unmeetable requests are rejected at admission).
+//! 4. **Zero-drop reload** — the mid-soak reload applies, invalidates
+//!    cache shards, forces re-classification, and every offered request
+//!    still gets exactly one in-order response.
+//! 5. **Plan–execution agreement** — the classifier ran exactly the
+//!    analyses the admission plan predicted (no hidden work, no
+//!    double-analysis).
+//! 6. **Typed fault surfacing** — URL fetches through faulted hosts come
+//!    back as typed `fetch-failed` responses, never panics or drops.
+//! 7. **Trace coverage** — the trace sink saw one per-request visit for
+//!    every offered request.
+//!
+//! With `--out PATH` the run summary (`ServeStats`: shed partition,
+//! exact p50/p99 latency, qps, per-phase shed rates) is written as
+//! pretty JSON — the `BENCH_6.json` serving-latency baseline. With
+//! `--jsonl PATH` gate results append one JSON line each (the CI soak
+//! artifact).
+
+// Tools exercise failure paths where panicking on a broken invariant is
+// the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::Write as _;
+
+use canvassing_net::FaultMatrix;
+use canvassing_serve::{
+    generate, harvest_corpus, LoadProfile, ReloadEvent, RuleSnapshot, ServeConfig, ServeStats,
+    VerdictService,
+};
+use canvassing_trace::CountingSink;
+use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
+use serde::Serialize;
+
+/// One gate result, written per line under `--jsonl`.
+#[derive(Serialize)]
+struct GateLine {
+    gate: String,
+    ok: bool,
+    detail: String,
+}
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    jsonl: Option<String>,
+    out: Option<String>,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 0.2,
+        seed: 2025,
+        jsonl: None,
+        out: None,
+        check: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> String {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--scale" => args.scale = value("--scale").parse().expect("scale"),
+            "--seed" => args.seed = value("--seed").parse().expect("seed"),
+            "--jsonl" => args.jsonl = Some(value("--jsonl")),
+            "--out" => args.out = Some(value("--out")),
+            "--check" => args.check = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: serve_soak [--scale F] [--seed N] [--jsonl PATH] [--out PATH] [--check]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Max unique script bodies harvested into the corpus.
+const CORPUS_CAP: usize = 256;
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "generating synthetic web (scale {}, seed {}) ...",
+        args.scale, args.seed
+    );
+    let mut web = SyntheticWeb::generate(WebConfig {
+        seed: args.seed,
+        scale: args.scale,
+    });
+    let mut frontier = web.frontier(Cohort::Popular);
+    frontier.extend(web.frontier(Cohort::Tail));
+
+    let corpus = harvest_corpus(&web.network, &frontier, CORPUS_CAP);
+    assert!(!corpus.is_empty(), "corpus harvest found no scripts");
+
+    // Fault a slice of the corpus's own CDN hosts with the standard
+    // matrix, so a share of URL payloads resolves through failing hosts.
+    // The hottest URL-carrying body's host goes hard-down: with a Zipf
+    // head pick and a 40% URL fraction, at least one request is all but
+    // guaranteed to hit it, keeping the typed-failure gate meaningful.
+    let mut cdn_hosts: Vec<String> = corpus
+        .bodies
+        .iter()
+        .filter_map(|(_, url)| url.as_ref().map(|u| u.host.clone()))
+        .collect();
+    cdn_hosts.dedup();
+    let matrix = FaultMatrix::new(args.seed);
+    matrix.inject_all(
+        &mut web.network.faults,
+        cdn_hosts.iter().skip(1).step_by(6).map(|h| h.as_str()),
+    );
+    if let Some(first) = cdn_hosts.first() {
+        web.network.faults.take_down(first);
+    }
+
+    // The standard phase shape with durations compressed by --scale:
+    // offered *rates* stay at full pressure (the shed ladder needs the
+    // burst and overload phases to actually outrun the lanes), only the
+    // soak gets shorter.
+    let mut profile = LoadProfile::standard(args.seed);
+    for phase in &mut profile.phases {
+        phase.duration_ms = ((phase.duration_ms as f64 * args.scale).round() as u64).max(20);
+    }
+    let total_ms: u64 = profile.phases.iter().map(|p| p.duration_ms).sum();
+    let requests = generate(&profile, &corpus);
+    let phase_labels: Vec<String> = profile.phases.iter().map(|p| p.label.clone()).collect();
+    eprintln!(
+        "corpus {} bodies, {} requests over {total_ms}ms simulated",
+        corpus.len(),
+        requests.len()
+    );
+
+    // Mid-soak reload at ~55% of the schedule (inside the steady phase):
+    // the new generation adds EasyPrivacy plus one unanchored rule, so
+    // the diff invalidates every analysis-cache shard and later hot-path
+    // hits must re-classify under the new epoch.
+    let boot = RuleSnapshot::new(
+        0,
+        "easylist-boot",
+        &web.lists.easylist,
+        RuleSnapshot::standard_vendor_patterns(),
+    );
+    let reload_text = format!(
+        "{}\n{}\n/fpsoak-collect/*$script\n",
+        web.lists.easylist, web.lists.easyprivacy
+    );
+    let reloads = vec![ReloadEvent {
+        at_ms: total_ms * 55 / 100,
+        name: "easylist+easyprivacy".into(),
+        list_text: reload_text,
+        vendor_patterns: None,
+    }];
+
+    let mut jsonl = args.jsonl.as_ref().map(|p| {
+        std::fs::File::create(p).unwrap_or_else(|e| {
+            eprintln!("cannot create {p}: {e}");
+            std::process::exit(2);
+        })
+    });
+    let mut failures: Vec<String> = Vec::new();
+    let mut gate = |name: String, ok: bool, detail: String, jsonl: &mut Option<std::fs::File>| {
+        println!("[{}] {name}: {detail}", if ok { "ok" } else { "FAIL" });
+        if let Some(f) = jsonl {
+            let line = GateLine {
+                gate: name.clone(),
+                ok,
+                detail,
+            };
+            let _ = writeln!(
+                f,
+                "{}",
+                serde_json::to_string(&line).expect("gate serializes")
+            );
+        }
+        if !ok {
+            failures.push(name);
+        }
+    };
+
+    // --- Soak across executor worker counts (fresh caches per run). ---
+    let mut per_worker_json: Vec<String> = Vec::new();
+    let mut reference: Option<(VerdictService, canvassing_serve::ServeOutput, u64)> = None;
+    for workers in [1usize, 4, 8] {
+        let config = ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        };
+        let service = VerdictService::new(config);
+        let sink = CountingSink::default();
+        let out = service.serve(
+            &requests,
+            &reloads,
+            boot.clone(),
+            Some(&web.network),
+            Some(&sink),
+        );
+        assert_eq!(
+            out.responses.len(),
+            requests.len(),
+            "daemon must answer every request"
+        );
+        per_worker_json.push(serde_json::to_string(&out.responses).expect("responses serialize"));
+        if workers == 4 {
+            let (visits, _, _) = sink.totals();
+            reference = Some((service, out, visits));
+        }
+    }
+    let identical = per_worker_json.len() == 3
+        && per_worker_json[0] == per_worker_json[1]
+        && per_worker_json[1] == per_worker_json[2];
+    gate(
+        "determinism".into(),
+        identical,
+        format!(
+            "response stream across workers 1/4/8: {}",
+            if identical {
+                "byte-identical"
+            } else {
+                "DIVERGED"
+            }
+        ),
+        &mut jsonl,
+    );
+
+    let (service, out, trace_visits) = reference.expect("reference run (workers=4)");
+    let stats = ServeStats::compute(&requests, &out, &phase_labels);
+
+    gate(
+        "shed-partition".into(),
+        stats.partition_exact(),
+        format!(
+            "full {} + cache-only {} + heuristic {} + rejected {} == offered {} (completed {})",
+            stats.tiers.full,
+            stats.tiers.cache_only,
+            stats.tiers.heuristic,
+            stats.tiers.rejected(),
+            stats.offered,
+            stats.completed,
+        ),
+        &mut jsonl,
+    );
+    gate(
+        "shed-ladder-exercised".into(),
+        stats.tiers.shed() > 0 && stats.tiers.rejected_overload > 0,
+        format!(
+            "shed {} (cache-only {}, heuristic {}), overload-rejected {}, deadline-rejected {}",
+            stats.tiers.shed(),
+            stats.tiers.cache_only,
+            stats.tiers.heuristic,
+            stats.tiers.rejected_overload,
+            stats.tiers.rejected_deadline,
+        ),
+        &mut jsonl,
+    );
+    gate(
+        "deadline-propagation".into(),
+        stats.deadline_violations == 0,
+        format!(
+            "{} completed past deadline ({} rejected as unmeetable at admission)",
+            stats.deadline_violations, stats.tiers.rejected_deadline,
+        ),
+        &mut jsonl,
+    );
+
+    // Zero-drop reload: the reload applied, invalidated shards, forced
+    // re-classification, and the id space is still a dense in-order 1:1
+    // mapping of offered requests.
+    let in_order = out
+        .responses
+        .iter()
+        .zip(&requests)
+        .all(|(resp, req)| resp.id == req.id);
+    gate(
+        "zero-drop-reload".into(),
+        in_order
+            && stats.reloads == 1
+            && stats.shards_invalidated > 0
+            && stats.reclassified > 0,
+        format!(
+            "{} reload at {}ms invalidated {} shards, {} re-classifications, {}/{} in-order responses",
+            stats.reloads,
+            reloads[0].at_ms,
+            stats.shards_invalidated,
+            stats.reclassified,
+            out.responses.len(),
+            requests.len(),
+        ),
+        &mut jsonl,
+    );
+
+    let analyses = service.analysis_stats().analyses;
+    let predicted = out.plan.predicted_analyses();
+    gate(
+        "plan-execution-agreement".into(),
+        analyses == predicted,
+        format!("classifier ran {analyses} analyses, admission plan predicted {predicted}"),
+        &mut jsonl,
+    );
+    gate(
+        "typed-fetch-failures".into(),
+        stats.fetch_failures > 0,
+        format!(
+            "{} URL fetches through faulted hosts answered as typed failures",
+            stats.fetch_failures
+        ),
+        &mut jsonl,
+    );
+    gate(
+        "trace-coverage".into(),
+        trace_visits == stats.offered,
+        format!(
+            "{trace_visits} per-request traces for {} offered",
+            stats.offered
+        ),
+        &mut jsonl,
+    );
+
+    // The trace layer's log2 latency histogram must bound the exact
+    // percentiles from above (bucket upper bounds).
+    let histo_p99 = out
+        .metrics
+        .histograms
+        .get("serve.latency_ms")
+        .map(|h| h.quantile(0.99))
+        .unwrap_or(0);
+    gate(
+        "latency-histogram-bounds".into(),
+        histo_p99 >= stats.p99_latency_ms,
+        format!(
+            "histogram p99 bound {histo_p99}ms >= exact p99 {}ms",
+            stats.p99_latency_ms
+        ),
+        &mut jsonl,
+    );
+
+    println!("{}", stats.render());
+    if let Some(p) = &args.out {
+        let json = serde_json::to_string_pretty(&stats).expect("stats serialize");
+        std::fs::write(p, json + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write {p}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote serving baseline to {p}");
+    }
+    if let Some(p) = &args.jsonl {
+        println!("wrote gate results to {p}");
+    }
+    if failures.is_empty() {
+        println!(
+            "SERVE SOAK OK: all gates passed over {} requests",
+            stats.offered
+        );
+    } else {
+        eprintln!(
+            "SERVE SOAK FAILED: {} gate(s): {:?}",
+            failures.len(),
+            failures
+        );
+        if args.check {
+            std::process::exit(1);
+        }
+    }
+}

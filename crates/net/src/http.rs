@@ -132,6 +132,19 @@ impl FetchError {
             _ => false,
         }
     }
+
+    /// Short stable kind label (no URL/host detail), for typed error
+    /// responses and metrics that must be byte-identical across runs.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            FetchError::Dns(_) => "dns",
+            FetchError::NotFound(_) => "not-found",
+            FetchError::Unreachable(_) => "unreachable",
+            FetchError::Transient(_) => "transient",
+            FetchError::Truncated(_) => "truncated",
+            FetchError::Blocked(_) => "blocked",
+        }
+    }
 }
 
 impl std::fmt::Display for FetchError {

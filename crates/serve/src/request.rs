@@ -1,0 +1,256 @@
+//! The serving wire vocabulary: requests, shed tiers, typed rejections,
+//! and responses.
+//!
+//! Everything here is plain serializable data. The soak gates compare the
+//! JSON of whole response streams byte for byte across worker counts, so
+//! a response may carry only facts that are a pure function of the
+//! request schedule and configuration — never of executor scheduling.
+
+use canvassing_net::Url;
+use serde::{Deserialize, Serialize};
+
+/// What a client submits for classification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Payload {
+    /// A raw script body (the in-browser integration path: the client
+    /// already holds the bytes).
+    Body {
+        /// The script source text.
+        source: String,
+    },
+    /// A script URL (the proxy/resolver path: the daemon resolves the
+    /// body itself and the request additionally rides the network's
+    /// fault model).
+    Url {
+        /// The script URL to resolve and classify.
+        url: Url,
+    },
+}
+
+/// One verdict request on the simulated clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerdictRequest {
+    /// Request id; also its admission-order rank (ids are dense and
+    /// sorted by arrival, ties broken by id).
+    pub id: u64,
+    /// Arrival time on the simulated clock, in milliseconds.
+    pub arrival_ms: u64,
+    /// Absolute response deadline, if the client propagated one. A
+    /// request whose predicted completion would miss this is rejected at
+    /// admission — before any parse or analysis work is spent on it.
+    pub deadline_ms: Option<u64>,
+    /// What to classify.
+    pub payload: Payload,
+    /// Load-generator phase index (0 for hand-built requests); lets the
+    /// stats break shed rates down per phase.
+    pub phase: u32,
+}
+
+/// Service fidelity tiers, degrading under load (mirrors the crawl's
+/// visit-fidelity ladder from the graceful-degradation supervisor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServeTier {
+    /// Full pipeline: resolve, parse (shared [`canvassing_script::ScriptCache`]),
+    /// taint-classify (shared [`canvassing_analysis::AnalysisCache`]),
+    /// enrich with blocklist/vendor rules.
+    Full,
+    /// Cache-only: answer from already-classified bodies; cold bodies get
+    /// a typed miss instead of an analysis.
+    CacheOnly,
+    /// Static-heuristic-only: a substring scan, no parse, no cache.
+    Heuristic,
+}
+
+impl ServeTier {
+    /// Stable lowercase label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServeTier::Full => "full",
+            ServeTier::CacheOnly => "cache-only",
+            ServeTier::Heuristic => "heuristic",
+        }
+    }
+
+    /// All tiers, best fidelity first.
+    pub fn all() -> [ServeTier; 3] {
+        [ServeTier::Full, ServeTier::CacheOnly, ServeTier::Heuristic]
+    }
+}
+
+/// Why a request was turned away at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The admission queue is at (or past) the shedding ceiling: even the
+    /// heuristic tier cannot absorb the request.
+    Overload,
+    /// The predicted completion time misses the request's deadline, so
+    /// admitting it would only waste parse work on an answer the client
+    /// has already given up on.
+    DeadlineUnmeetable,
+}
+
+impl RejectReason {
+    /// Stable lowercase label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectReason::Overload => "overload",
+            RejectReason::DeadlineUnmeetable => "deadline-unmeetable",
+        }
+    }
+}
+
+/// The served outcome of one request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Served {
+    /// Full-tier answer.
+    Full {
+        /// Verdict label (see [`canvassing_analysis::Verdict::label`]).
+        verdict: String,
+        /// Number of findings the classifier attached.
+        findings: usize,
+        /// Whether the admission-epoch blocklist covers the script URL
+        /// (always `false` for body payloads — there is no URL to match).
+        blocklisted: bool,
+        /// Vendor attribution from the admission-epoch vendor rules.
+        vendor: Option<String>,
+    },
+    /// Cache-only-tier answer: the body was already classified.
+    CacheOnly {
+        /// Verdict label of the cached analysis.
+        verdict: String,
+        /// Blocklist coverage under the admission epoch.
+        blocklisted: bool,
+        /// Vendor attribution under the admission epoch.
+        vendor: Option<String>,
+    },
+    /// Cache-only-tier typed miss: the body is not (validly) cached and
+    /// the tier does not analyze. The client may retry later at full
+    /// fidelity.
+    CacheMiss,
+    /// Heuristic-tier answer: substring scan only.
+    Heuristic {
+        /// Whether the scan saw the draw-then-read canvas shape.
+        suspicious: bool,
+    },
+    /// A URL payload whose resolution failed (the network fault surfaces
+    /// as a typed, deterministic response — never a dropped request).
+    FetchFailed {
+        /// Stable error-kind label (see `FetchError::kind_label`).
+        error: String,
+    },
+    /// Turned away at admission.
+    Rejected {
+        /// Why.
+        reason: RejectReason,
+        /// Backpressure hint: how long (ms) until the daemon predicts it
+        /// could have started the request.
+        retry_after_ms: u64,
+    },
+}
+
+impl Served {
+    /// Whether the request was actually served (any tier, including a
+    /// typed fetch failure or cache miss) as opposed to rejected.
+    pub fn is_completed(&self) -> bool {
+        !matches!(self, Served::Rejected { .. })
+    }
+}
+
+/// One response, paired 1:1 with its request by `id` — offered requests
+/// are never dropped, they are answered or rejected, and either way the
+/// response stream accounts for them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerdictResponse {
+    /// The request id this answers.
+    pub id: u64,
+    /// Rule-snapshot epoch the request was admitted under. In-flight
+    /// requests finish on their admission epoch even when a reload lands
+    /// while they are queued.
+    pub epoch: u64,
+    /// Request arrival (echoed for latency accounting).
+    pub arrival_ms: u64,
+    /// When service began (== `arrival_ms` for rejections).
+    pub start_ms: u64,
+    /// When the response was ready (== `arrival_ms` for rejections).
+    pub finish_ms: u64,
+    /// The outcome.
+    pub served: Served,
+}
+
+impl VerdictResponse {
+    /// End-to-end latency (queue wait + service) in simulated ms.
+    pub fn latency_ms(&self) -> u64 {
+        self.finish_ms.saturating_sub(self.arrival_ms)
+    }
+
+    /// Queue wait before service began.
+    pub fn queue_ms(&self) -> u64 {
+        self.start_ms.saturating_sub(self.arrival_ms)
+    }
+}
+
+/// The static-heuristic tier's scan: does the source both draw to a
+/// canvas and read it back? This is the paper's coarse precondition for
+/// canvas fingerprinting (§4.1), evaluated without a parse — strictly
+/// cheaper than the taint classifier and strictly less precise.
+pub fn heuristic_scan(source: &str) -> bool {
+    let reads = source.contains("toDataURL") || source.contains("getImageData");
+    let draws = source.contains("fillText")
+        || source.contains("fillRect")
+        || source.contains("arc(")
+        || source.contains("bezierCurveTo");
+    reads && draws
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_and_reason_labels_are_stable() {
+        assert_eq!(ServeTier::Full.label(), "full");
+        assert_eq!(ServeTier::CacheOnly.label(), "cache-only");
+        assert_eq!(ServeTier::Heuristic.label(), "heuristic");
+        assert_eq!(RejectReason::Overload.label(), "overload");
+        assert_eq!(
+            RejectReason::DeadlineUnmeetable.label(),
+            "deadline-unmeetable"
+        );
+    }
+
+    #[test]
+    fn heuristic_scan_needs_draw_and_read() {
+        assert!(heuristic_scan("x.fillText(\"a\", 1, 1); c.toDataURL();"));
+        assert!(!heuristic_scan("c.toDataURL();"), "read without draw");
+        assert!(!heuristic_scan("x.fillRect(0,0,2,2);"), "draw without read");
+        assert!(!heuristic_scan("let a = 1;"));
+    }
+
+    #[test]
+    fn responses_roundtrip_through_json() {
+        let resp = VerdictResponse {
+            id: 7,
+            epoch: 1,
+            arrival_ms: 100,
+            start_ms: 120,
+            finish_ms: 160,
+            served: Served::Full {
+                verdict: "fingerprinting+exfil".into(),
+                findings: 2,
+                blocklisted: true,
+                vendor: Some("FingerprintJS".into()),
+            },
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: VerdictResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(back.latency_ms(), 60);
+        assert_eq!(back.queue_ms(), 20);
+        assert!(back.served.is_completed());
+        let rej = Served::Rejected {
+            reason: RejectReason::Overload,
+            retry_after_ms: 12,
+        };
+        assert!(!rej.is_completed());
+    }
+}

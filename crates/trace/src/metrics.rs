@@ -119,6 +119,27 @@ impl HistogramSnapshot {
             1u64 << i
         }
     }
+
+    /// Nearest-rank quantile, resolved to the (exclusive) upper bound of
+    /// the bucket holding that rank — an upper estimate with log2
+    /// resolution, deterministic for a given sample multiset. `q` is
+    /// clamped to `[0, 1]`; returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: the smallest rank r (1-based) with r >= q * count.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return HistogramSnapshot::bucket_bound(i);
+            }
+        }
+        HistogramSnapshot::bucket_bound(HISTOGRAM_BUCKETS - 1)
+    }
 }
 
 /// Deterministic (name-ordered) copy of a registry's contents.
@@ -248,6 +269,26 @@ mod tests {
             HistogramSnapshot::bucket_bound(HISTOGRAM_BUCKETS - 1),
             u64::MAX
         );
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_bounds() {
+        let h = Histogram::default();
+        assert_eq!(h.snapshot().quantile(0.5), 0, "empty histogram");
+        for v in [1u64, 2, 3, 100] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        // Ranks: q=0.25 → rank 1 → bucket of 1 → bound 2; q=0.5 → rank 2
+        // → bucket [2,4) → bound 4; q=1.0 → rank 4 → bucket [64,128) →
+        // bound 128. Upper estimates, never under the true value.
+        assert_eq!(snap.quantile(0.25), 2);
+        assert_eq!(snap.quantile(0.5), 4);
+        assert_eq!(snap.quantile(0.75), 4);
+        assert_eq!(snap.quantile(1.0), 128);
+        assert_eq!(snap.quantile(0.0), 2, "q=0 clamps to rank 1");
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(snap.quantile(7.5), 128);
     }
 
     #[test]

@@ -23,6 +23,7 @@ fn study() -> &'static canvassing::study::StudyResults {
                 m1_validation: true,
                 defense_sweep: false,
                 trace: false,
+                serving: false,
             },
         )
     })

@@ -42,6 +42,7 @@ fn render_canonical() -> String {
             m1_validation: true,
             defense_sweep: false,
             trace: true,
+            serving: false,
         },
     );
     results.render_report()

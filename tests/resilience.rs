@@ -10,9 +10,10 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use canvassing_crawler::{
-    crawl, resume_crawl, CrawlConfig, CrawlDataset, FailureKind, RetryPolicy, VisitFidelity,
+    crawl, crawl_with_stats, resume_crawl, BreakerPlan, BreakerPolicy, CrawlConfig, CrawlDataset,
+    FailureKind, RetryPolicy, VisitFidelity,
 };
-use canvassing_net::{Fault, FaultMatrix};
+use canvassing_net::{Fault, FaultMatrix, PageResource, Resource, ScriptRef, ScriptResource, Url};
 use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
 
 /// A synthetic web with a seeded fault matrix layered over roughly a third
@@ -239,6 +240,110 @@ fn retry_timeouts_heals_slow_start_hosts_but_not_permanent_spikes() {
             "{url} spikes permanently; retrying must not mask it"
         );
     }
+}
+
+/// N page hosts all referencing one shared external script host.
+fn shared_script_web(page_hosts: usize, script_host: &str) -> (canvassing_net::Network, Vec<Url>) {
+    let mut network = canvassing_net::Network::new();
+    let script_url = Url::https(script_host, "/fp.js");
+    network.host(
+        &script_url,
+        Resource::Script(ScriptResource {
+            source: "let shared = 1;".into(),
+            label: "s".into(),
+        }),
+    );
+    let mut frontier = Vec::new();
+    for i in 0..page_hosts {
+        let url = Url::https(&format!("site{i}.example"), "/");
+        network.host(
+            &url,
+            Resource::Page(PageResource {
+                scripts: vec![ScriptRef::External(script_url.clone())],
+                consent_banner: false,
+                bot_check: false,
+            }),
+        );
+        frontier.push(url);
+    }
+    (network, frontier)
+}
+
+#[test]
+fn retried_timeouts_charge_the_breaker_once_per_reference_not_per_attempt() {
+    // Six pages share one script host that spikes past the visit deadline
+    // on *every* attempt. With `retry_timeouts` and 3 retries, each visit
+    // burns 4 attempts on the host — but a retried timeout must settle to
+    // ONE failure charge per reference. At threshold 3 the circuit
+    // therefore opens at frontier slot 2 (the 3rd referencing visit); if
+    // attempts were charged individually, slot 0 alone would trip it.
+    let (mut network, frontier) = shared_script_web(6, "cdn.slow.net");
+    network
+        .faults
+        .inject("cdn.slow.net", Fault::LatencySpike { extra_ms: 60_000 });
+
+    let mut cfg = config(4, 3);
+    cfg.retry.retry_timeouts = true;
+    cfg.breakers = BreakerPolicy::enabled(); // threshold 3
+
+    let plan = BreakerPlan::plan(&network, &frontier, &cfg).expect("breakers enabled");
+    let stats = &plan.host_stats["cdn.slow.net"];
+    assert_eq!(
+        stats.failures, 3,
+        "one charge per referencing visit, not per retry attempt"
+    );
+    assert_eq!(stats.opens, 1);
+    assert_eq!(stats.short_circuits, 3, "slots 3..6 short-circuit");
+    assert!(plan.open_hosts(2).expect("slot 2").is_empty());
+    assert!(plan.transitions_at(2).contains(&(
+        "cdn.slow.net".into(),
+        canvassing_crawler::BreakerEvent::Opened
+    )));
+    for slot in 3..6 {
+        assert!(
+            plan.open_hosts(slot)
+                .expect("slot")
+                .contains("cdn.slow.net"),
+            "slot {slot} must see the open circuit"
+        );
+    }
+
+    // End to end: the crawl's breaker accounting agrees with the plan.
+    let (_, crawl_stats) = crawl_with_stats(&network, &frontier, &cfg);
+    assert_eq!(crawl_stats.breaker_opens, 1);
+    assert_eq!(crawl_stats.breaker_short_circuits, 3);
+}
+
+#[test]
+fn healed_slow_start_retries_never_charge_the_breaker() {
+    // The same topology, but the script host's spike is a SlowStart that
+    // heals after 2 attempts. Under `retry_timeouts` every reference
+    // eventually settles, so the breaker must see zero failure charges —
+    // while the default policy (timeouts not retried) charges every visit
+    // and opens the circuit at slot 2.
+    let (mut network, frontier) = shared_script_web(6, "cdn.congested.net");
+    network.faults.inject(
+        "cdn.congested.net",
+        Fault::SlowStart {
+            extra_ms: 60_000,
+            attempts: 2,
+        },
+    );
+
+    let mut healing = config(4, 3);
+    healing.retry.retry_timeouts = true;
+    healing.breakers = BreakerPolicy::enabled();
+    let plan = BreakerPlan::plan(&network, &frontier, &healing).expect("breakers enabled");
+    let stats = &plan.host_stats["cdn.congested.net"];
+    assert_eq!(stats.failures, 0, "healed retries must not charge");
+    assert_eq!(stats.opens, 0);
+
+    let mut strict = config(4, 3);
+    strict.breakers = BreakerPolicy::enabled();
+    let plan = BreakerPlan::plan(&network, &frontier, &strict).expect("breakers enabled");
+    let stats = &plan.host_stats["cdn.congested.net"];
+    assert_eq!(stats.failures, 3, "unretried timeouts charge per visit");
+    assert_eq!(stats.opens, 1);
 }
 
 #[test]
