@@ -1,0 +1,659 @@
+//! `exec` — the script-execution-throughput microbench (interp vs VM).
+//!
+//! ```text
+//! exec [--scale F] [--seed N] [--reps N] [--visit-reps N] [--out PATH]
+//!      [--baseline PATH] [--check]
+//! ```
+//!
+//! The crawl bench (`bench`) measures the whole visit pipeline, where
+//! render memoization hides most execution cost. This harness isolates
+//! the hot path the bytecode VM exists for: the **defense cohort**,
+//! where memo replay is structurally disabled (defended renders depend
+//! on page host and extraction counters, and the §5.3 double-render
+//! check must observe live randomization) so every script interprets in
+//! place on every visit.
+//!
+//! The harness harvests the popular-cohort script workload from the
+//! synthetic web — every (page, script) pair a defended crawl would
+//! execute, in visit order — then times it two ways, each engine × cold
+//! vs warm `ScriptCache` (cold rebuilds the cache every repetition, so
+//! each rep pays parse + bytecode lowering; warm pre-warms it once):
+//!
+//! * **visit passes** — scripts run against real `Document`s with the
+//!   per-render randomization defense active, exactly as
+//!   `Browser::visit` sets them up. End-to-end defended throughput
+//!   (sites/sec): rasterization and readback dominate here, so these
+//!   passes show how much of a defended visit is *not* execution.
+//! * **exec passes** — the same corpus against a recording stub host
+//!   (same API surface, no rasterization), plus one run of the
+//!   dynamic-feature-extraction kernel per script execution — the
+//!   FP-Inspector-style re-analysis workload from the issue motivation,
+//!   where raw execution throughput is the bottleneck. These are the
+//!   exec-only numbers: sites/sec and instructions/sec.
+//!
+//! Both engines charge fuel at identical semantic points, so per-script
+//! step counts are byte-identical and "instructions/sec" (steps per CPU
+//! second) compares pure execution speed: the speedup is a time ratio
+//! over the same instruction stream. Every pass folds (host, steps,
+//! error) per execution into an FNV-1a hash and the harness asserts the
+//! visit hashes and exec hashes each agree across all four engine ×
+//! temperature combinations — a cheap engine-identity check on top of
+//! the `engine_identity.rs` study-level gate.
+//!
+//! Results land in `BENCH_7.json` (override with `--out`). `--baseline
+//! PATH` compares the run's deterministic fields (workload hash, step
+//! counts, corpus size) against a committed report — the CI drift gate;
+//! timing fields are machine-dependent and excluded. With `--check`,
+//! the process exits nonzero unless the VM's cold-cache exec-pass
+//! instructions/sec is at least 2x the tree-walker's.
+
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use canvassing_browser::{DefenseMode, ExecEngine, ScriptCache};
+use canvassing_crawler::CrawlConfig;
+use canvassing_dom::Document;
+use canvassing_net::{Resource, ScriptRef, Url};
+use canvassing_script::{
+    run_compiled_with_budget, run_with_budget, EvalOutcome, Host, HostRef, RuntimeError, Value,
+    DEFAULT_STEP_BUDGET,
+};
+use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
+use serde::{Deserialize, Serialize};
+
+/// The dynamic-feature-extraction kernel: the per-render analysis a
+/// FP-Inspector-style pipeline runs over every defended render (feature
+/// hashing over the render digest plus entropy-fold rounds). Compiled
+/// through the same `ScriptCache` as the corpus, so the cold pass pays
+/// its parse + lowering too. `payload` is the stub host's digest of the
+/// preceding script execution's recorded API calls.
+const EXTRACT_KERNEL: &str = r#"// dynamic feature extraction (per defended render)
+let digest = payload;
+let n = digest.length;
+let h1 = 2166136261;
+let h2 = 5381;
+let h3 = 0;
+for (let i = 0; i < n; i = i + 1) {
+  let ch = digest.charCodeAt(i);
+  h1 = (h1 * 16777619 + ch) % 4294967291;
+  h2 = (h2 * 33 + ch) % 4294967279;
+  h3 = (h3 + ch * (i + 7)) % 65521;
+}
+let acc = h1 % 97 + 3;
+let rounds = 0;
+while (rounds < 60) {
+  let j = 0;
+  for (let k = 0; k < 17; k = k + 1) {
+    j = (j * 31 + (h2 + k) % 256) % 9973;
+  }
+  acc = (acc * 131 + j + h3) % 1000003;
+  rounds = rounds + 1;
+}
+acc;
+"#;
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    reps: u32,
+    visit_reps: u32,
+    out: String,
+    baseline: Option<String>,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 0.2,
+        seed: 2025,
+        reps: 5,
+        visit_reps: 2,
+        out: "BENCH_7.json".to_string(),
+        baseline: None,
+        check: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> String {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--scale" => args.scale = value("--scale").parse().expect("scale"),
+            "--seed" => args.seed = value("--seed").parse().expect("seed"),
+            "--reps" => args.reps = value("--reps").parse().expect("reps"),
+            "--visit-reps" => args.visit_reps = value("--visit-reps").parse().expect("visit-reps"),
+            "--out" => args.out = value("--out"),
+            "--baseline" => args.baseline = Some(value("--baseline")),
+            "--check" => args.check = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: exec [--scale F] [--seed N] [--reps N] [--visit-reps N] \
+                     [--out PATH] [--baseline PATH] [--check]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// One script execution a defended visit would perform: the source text
+/// and the URL the document attributes its canvas activity to.
+struct Job {
+    attributed_url: String,
+    source: String,
+}
+
+/// One site's worth of script executions, plus the host that keys the
+/// defense noise (visits mix the configured seed with the page host so
+/// randomization differs across sites — `Browser::visit_supervised`).
+struct Site {
+    host: String,
+    jobs: Vec<Job>,
+}
+
+/// FNV-1a over a byte string, continuing from `hash`.
+fn fnv(mut hash: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+const FNV_SEED: u64 = 0xcbf29ce484222325;
+
+/// Walks the frontier once and collects every (page, script) execution a
+/// defended crawl would perform, in visit order. The synthetic web bakes
+/// transient faults into some hosts, so fetches retry a few attempts
+/// like the crawler does; persistently unreachable resources are skipped
+/// (a real crawl executes nothing for them either).
+fn harvest(web: &SyntheticWeb, frontier: &[Url]) -> Vec<Site> {
+    let fetch = |url: &Url| (0..4).find_map(|attempt| web.network.fetch_attempt(url, attempt).ok());
+    let mut sites = Vec::new();
+    for page_url in frontier {
+        let Some(response) = fetch(page_url) else {
+            continue;
+        };
+        let page = match response.resource {
+            Resource::Page(p) => p,
+            Resource::Script(_) => continue,
+        };
+        let mut jobs = Vec::new();
+        for script_ref in &page.scripts {
+            match script_ref {
+                ScriptRef::Inline { source, .. } => jobs.push(Job {
+                    attributed_url: page_url.to_string(),
+                    source: source.clone(),
+                }),
+                ScriptRef::External(url) => {
+                    let Some(resp) = fetch(url) else { continue };
+                    if let Resource::Script(s) = resp.resource {
+                        jobs.push(Job {
+                            attributed_url: url.to_string(),
+                            source: s.source,
+                        });
+                    }
+                }
+            }
+        }
+        sites.push(Site {
+            host: page_url.host.clone(),
+            jobs,
+        });
+    }
+    sites
+}
+
+/// The exec-pass host: the DOM API surface the corpus touches, with the
+/// rasterizer stubbed out. Every call folds into a running digest (the
+/// extraction kernel's `payload`), so host effects stay observable and
+/// engine order is verified, while the pass time measures execution, not
+/// pixel work. Unknown objects/methods answer permissively, like the
+/// real `Document` host.
+struct StubHost {
+    next_handle: HostRef,
+    digest: u64,
+    payload: String,
+}
+
+impl StubHost {
+    fn new() -> StubHost {
+        StubHost {
+            next_handle: 16,
+            digest: FNV_SEED,
+            payload: String::new(),
+        }
+    }
+
+    fn handle(&mut self) -> Value {
+        self.next_handle += 1;
+        Value::Host(self.next_handle)
+    }
+
+    fn note(&mut self, name: &str, args: &[Value]) {
+        self.digest = fnv(self.digest, name.as_bytes());
+        for a in args {
+            self.digest = fnv(self.digest, a.to_display_string().as_bytes());
+        }
+    }
+
+    /// Snapshots the digest into `payload` for the extraction kernel.
+    fn seal_payload(&mut self) {
+        self.payload = format!("render:{:016x}", self.digest);
+    }
+}
+
+impl Host for StubHost {
+    fn global(&mut self, name: &str) -> Option<Value> {
+        match name {
+            "document" | "window" | "navigator" => Some(Value::Host(1)),
+            "payload" => Some(Value::Str(self.payload.clone())),
+            _ => None,
+        }
+    }
+
+    fn get_prop(&mut self, _obj: HostRef, name: &str) -> Result<Value, RuntimeError> {
+        self.note(name, &[]);
+        Ok(match name {
+            "width" | "height" => Value::Num(((self.digest % 240) + 60) as f64),
+            "userAgent" => Value::Str("bench".into()),
+            "webdriver" => Value::Bool(false),
+            _ => Value::Null,
+        })
+    }
+
+    fn set_prop(&mut self, _obj: HostRef, name: &str, value: Value) -> Result<(), RuntimeError> {
+        self.note(name, &[value]);
+        Ok(())
+    }
+
+    fn call_method(
+        &mut self,
+        _obj: HostRef,
+        method: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, RuntimeError> {
+        self.note(method, &args);
+        Ok(match method {
+            "createElement"
+            | "getContext"
+            | "createLinearGradient"
+            | "createRadialGradient"
+            | "measureText"
+            | "getImageData" => self.handle(),
+            "toDataURL" => Value::Str(format!("data:image/png;base64,{:016x}", self.digest)),
+            _ => Value::Null,
+        })
+    }
+}
+
+/// Executes one source through `engine` using `cache`.
+fn run_cached(
+    cache: &ScriptCache,
+    source: &str,
+    engine: ExecEngine,
+    host: &mut dyn Host,
+) -> EvalOutcome {
+    let exec = cache.get_or_compile(source).expect("corpus parses");
+    match engine {
+        ExecEngine::Bytecode => run_compiled_with_budget(&exec.bytecode, host, DEFAULT_STEP_BUDGET),
+        ExecEngine::TreeWalker => run_with_budget(&exec.program, host, DEFAULT_STEP_BUDGET),
+    }
+}
+
+/// Folds one execution outcome into a pass hash.
+fn fold(hash: u64, host_label: &str, outcome: &EvalOutcome) -> u64 {
+    let mut h = fnv(hash, host_label.as_bytes());
+    h = fnv(h, &outcome.steps.to_le_bytes());
+    if let Err(e) = &outcome.result {
+        h = fnv(h, e.message.as_bytes());
+    }
+    h
+}
+
+/// One defended-visit run of the whole workload: real documents, real
+/// rasterizer, per-render randomization keyed per host — what
+/// `Browser::visit_supervised` does for a `RandomizePerRender` crawl.
+fn run_visit_workload(
+    sites: &[Site],
+    device: &canvassing_raster::DeviceProfile,
+    engine: ExecEngine,
+    cache: &ScriptCache,
+    defense_seed: u64,
+) -> (u64, u64) {
+    let mut total_steps: u64 = 0;
+    let mut hash = FNV_SEED;
+    for site in sites {
+        let mut doc = Document::new(device.clone());
+        let seed = defense_seed ^ fnv(FNV_SEED, site.host.as_bytes());
+        doc.set_defense(DefenseMode::RandomizePerRender { seed }.build());
+        for job in &site.jobs {
+            doc.set_current_script(&job.attributed_url);
+            let outcome = run_cached(cache, &job.source, engine, &mut doc);
+            total_steps += outcome.steps;
+            hash = fold(hash, &site.host, &outcome);
+        }
+    }
+    (total_steps, hash)
+}
+
+/// One exec-only run of the whole workload: stub host, plus the
+/// extraction kernel once per script execution.
+fn run_exec_workload(sites: &[Site], engine: ExecEngine, cache: &ScriptCache) -> (u64, u64) {
+    let mut total_steps: u64 = 0;
+    let mut hash = FNV_SEED;
+    for site in sites {
+        let mut host = StubHost::new();
+        host.digest = fnv(host.digest, site.host.as_bytes());
+        for job in &site.jobs {
+            let outcome = run_cached(cache, &job.source, engine, &mut host);
+            total_steps += outcome.steps;
+            hash = fold(hash, &site.host, &outcome);
+            host.seal_payload();
+            let extract = run_cached(cache, EXTRACT_KERNEL, engine, &mut host);
+            total_steps += extract.steps;
+            hash = fold(hash, "extract", &extract);
+        }
+    }
+    (total_steps, hash)
+}
+
+/// One timed engine × cache-temperature pass. Throughput is computed
+/// from process CPU time (all threads) and falls back to wall time
+/// where /proc is unavailable — same policy as the crawl bench.
+#[derive(Serialize)]
+struct Pass {
+    engine: &'static str,
+    cache: &'static str,
+    reps: u32,
+    wall_ms: f64,
+    cpu_ms: f64,
+    /// Sites executed per second (sites × reps over CPU seconds).
+    sites_per_sec: f64,
+    /// Interpreter steps per second. Step counts are byte-identical
+    /// across engines (the fuel contract), so ratios of this figure
+    /// compare pure execution speed over the same instruction stream.
+    instructions_per_sec: f64,
+    /// Total steps across all reps.
+    steps: u64,
+}
+
+/// Cumulative process CPU time (utime + stime over all threads) in
+/// milliseconds, from /proc/self/stat; 0.0 when unavailable.
+fn cpu_time_ms() -> f64 {
+    let Ok(stat) = std::fs::read_to_string("/proc/self/stat") else {
+        return 0.0;
+    };
+    let Some(after_comm) = stat.rsplit(')').next() else {
+        return 0.0;
+    };
+    let fields: Vec<&str> = after_comm.split_whitespace().collect();
+    let ticks: u64 = match (
+        fields.get(11).and_then(|v| v.parse::<u64>().ok()),
+        fields.get(12).and_then(|v| v.parse::<u64>().ok()),
+    ) {
+        (Some(u), Some(s)) => u + s,
+        _ => return 0.0,
+    };
+    // Linux reports 100 ticks/sec (USER_HZ) on every mainstream arch.
+    ticks as f64 * 10.0
+}
+
+/// VmHWM from /proc/self/status, in kB (0 when unavailable).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The machine-independent facts of the run: same scale + seed must
+/// reproduce these exactly on any host — the `--baseline` drift gate.
+#[derive(Serialize, Deserialize, PartialEq)]
+struct Deterministic {
+    scale: f64,
+    seed: u64,
+    sites: u64,
+    script_executions_per_rep: u64,
+    unique_scripts: u64,
+    /// Steps one visit-workload rep charges (engine- and
+    /// temperature-independent — asserted).
+    visit_steps_per_rep: u64,
+    /// Steps one exec-workload rep charges (corpus + extraction kernel).
+    exec_steps_per_rep: u64,
+    /// FNV-1a over (host, steps, error) per execution, visit passes.
+    visit_workload_hash: String,
+    /// Same for the exec passes (stub host + kernel).
+    exec_workload_hash: String,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    deterministic: Deterministic,
+    peak_rss_kb: u64,
+    /// Real-document defended-visit passes (raster included).
+    visit_passes: Vec<Pass>,
+    /// Exec-only passes (stub host + extraction kernel).
+    exec_passes: Vec<Pass>,
+    /// Exec-pass VM instructions/sec over tree-walker instructions/sec,
+    /// cold caches (parse + lowering + execution every rep). The
+    /// `--check` gate requires >= 2.0.
+    vm_speedup_exec_cold: f64,
+    /// Same ratio on pre-warmed caches (pure dispatch vs pure walking).
+    vm_speedup_exec_warm: f64,
+    /// End-to-end defended-visit speedup, cold caches — how much of a
+    /// full defended visit the engine accounts for once rasterization
+    /// and readback join the picture.
+    vm_speedup_visit_cold: f64,
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "[exec] generating synthetic web (seed {}, scale {}) ...",
+        args.seed, args.scale
+    );
+    let web = SyntheticWeb::generate(WebConfig {
+        seed: args.seed,
+        scale: args.scale,
+    });
+    let frontier = web.frontier(Cohort::Popular);
+    let device = CrawlConfig::control().device;
+    let defense_seed = 1; // the study's defense-sweep seed
+
+    let sites = harvest(&web, &frontier);
+    let executions: usize = sites.iter().map(|s| s.jobs.len()).sum();
+    let unique_scripts = {
+        let mut hashes: Vec<u64> = sites
+            .iter()
+            .flat_map(|s| s.jobs.iter())
+            .map(|j| canvassing_script::source_hash(&j.source))
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        hashes.len()
+    };
+    eprintln!(
+        "[exec] workload: {} sites, {executions} script executions, {unique_scripts} unique bodies",
+        sites.len()
+    );
+
+    let warm_cache = ScriptCache::new();
+    for job in sites.iter().flat_map(|s| s.jobs.iter()) {
+        warm_cache.get_or_compile(&job.source).expect("prewarm");
+    }
+    warm_cache.get_or_compile(EXTRACT_KERNEL).expect("prewarm");
+
+    // One timed pass. Cold rebuilds the ScriptCache every rep (each rep
+    // pays parse + bytecode lowering); warm shares the pre-warmed cache
+    // (pure execution).
+    let run_pass = |label: &'static str,
+                    engine: ExecEngine,
+                    fresh_cache: bool,
+                    reps: u32,
+                    workload: &dyn Fn(ExecEngine, &ScriptCache) -> (u64, u64)|
+     -> (Pass, u64, u64) {
+        let engine_label = match engine {
+            ExecEngine::TreeWalker => "tree_walker",
+            ExecEngine::Bytecode => "vm",
+        };
+        let temp = if fresh_cache { "cold" } else { "warm" };
+        eprintln!("[exec] {label}: {engine_label} / {temp} cache ({reps} reps) ...");
+        let start = std::time::Instant::now();
+        let cpu_start = cpu_time_ms();
+        let mut steps: u64 = 0;
+        let mut hash: u64 = 0;
+        for _ in 0..reps {
+            let cold;
+            let cache = if fresh_cache {
+                cold = ScriptCache::new();
+                &cold
+            } else {
+                &warm_cache
+            };
+            let (rep_steps, rep_hash) = workload(engine, cache);
+            steps += rep_steps;
+            hash = rep_hash; // identical every rep by construction
+        }
+        let wall = start.elapsed();
+        let cpu = cpu_time_ms() - cpu_start;
+        let secs = if cpu > 0.0 {
+            cpu / 1e3
+        } else {
+            wall.as_secs_f64()
+        }
+        .max(1e-9);
+        let pass = Pass {
+            engine: engine_label,
+            cache: temp,
+            reps,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            cpu_ms: cpu,
+            sites_per_sec: sites.len() as f64 * reps as f64 / secs,
+            instructions_per_sec: steps as f64 / secs,
+            steps,
+        };
+        (pass, steps / reps.max(1) as u64, hash)
+    };
+
+    let visit = |engine: ExecEngine, cache: &ScriptCache| -> (u64, u64) {
+        run_visit_workload(&sites, &device, engine, cache, defense_seed)
+    };
+    let exec = |engine: ExecEngine, cache: &ScriptCache| -> (u64, u64) {
+        run_exec_workload(&sites, engine, cache)
+    };
+
+    let mut visit_passes = Vec::new();
+    let mut exec_passes = Vec::new();
+    let mut visit_facts: Vec<(u64, u64)> = Vec::new();
+    let mut exec_facts: Vec<(u64, u64)> = Vec::new();
+    for (engine, fresh) in [
+        (ExecEngine::TreeWalker, true),
+        (ExecEngine::TreeWalker, false),
+        (ExecEngine::Bytecode, true),
+        (ExecEngine::Bytecode, false),
+    ] {
+        let (pass, steps, hash) = run_pass("visit", engine, fresh, args.visit_reps, &visit);
+        visit_passes.push(pass);
+        visit_facts.push((steps, hash));
+        let (pass, steps, hash) = run_pass("exec", engine, fresh, args.reps, &exec);
+        exec_passes.push(pass);
+        exec_facts.push((steps, hash));
+    }
+    for facts in [&visit_facts, &exec_facts] {
+        for (steps, hash) in facts.iter().skip(1) {
+            assert_eq!(
+                (*steps, *hash),
+                facts[0],
+                "engines or cache temperature diverged on results/steps"
+            );
+        }
+    }
+
+    let ips = |passes: &[Pass], i: usize| passes[i].instructions_per_sec.max(1e-9);
+    // Pass order above: tw-cold, tw-warm, vm-cold, vm-warm.
+    let vm_speedup_exec_cold = ips(&exec_passes, 2) / ips(&exec_passes, 0);
+    let vm_speedup_exec_warm = ips(&exec_passes, 3) / ips(&exec_passes, 1);
+    let vm_speedup_visit_cold = ips(&visit_passes, 2) / ips(&visit_passes, 0);
+    eprintln!(
+        "[exec] exec-pass instructions/sec: tw cold {:.0}, vm cold {:.0} \
+         ({vm_speedup_exec_cold:.2}x); warm {vm_speedup_exec_warm:.2}x; \
+         full-visit cold {vm_speedup_visit_cold:.2}x",
+        ips(&exec_passes, 0),
+        ips(&exec_passes, 2),
+    );
+
+    let deterministic = Deterministic {
+        scale: args.scale,
+        seed: args.seed,
+        sites: sites.len() as u64,
+        script_executions_per_rep: executions as u64,
+        unique_scripts: unique_scripts as u64,
+        visit_steps_per_rep: visit_facts[0].0,
+        exec_steps_per_rep: exec_facts[0].0,
+        visit_workload_hash: format!("{:016x}", visit_facts[0].1),
+        exec_workload_hash: format!("{:016x}", exec_facts[0].1),
+    };
+
+    let mut check_failures: Vec<String> = Vec::new();
+    if let Some(path) = &args.baseline {
+        /// The slice of a committed report the drift gate compares
+        /// (timing fields are machine-dependent and skipped).
+        #[derive(Deserialize)]
+        struct Baseline {
+            deterministic: Deterministic,
+        }
+        let committed: Baseline =
+            serde_json::from_str(&std::fs::read_to_string(path).expect("read baseline"))
+                .expect("parse baseline");
+        if committed.deterministic != deterministic {
+            check_failures.push(format!(
+                "deterministic section drifted from {path}: committed {} vs fresh {}",
+                serde_json::to_string(&committed.deterministic).expect("serialize"),
+                serde_json::to_string(&deterministic).expect("serialize"),
+            ));
+        }
+    }
+    if args.check && vm_speedup_exec_cold < 2.0 {
+        check_failures.push(format!(
+            "VM cold-cache exec instructions/sec only {vm_speedup_exec_cold:.2}x \
+             the tree-walker (gate: >= 2x)"
+        ));
+    }
+
+    let report = BenchReport {
+        bench: "exec_throughput",
+        deterministic,
+        peak_rss_kb: peak_rss_kb(),
+        visit_passes,
+        exec_passes,
+        vm_speedup_exec_cold,
+        vm_speedup_exec_warm,
+        vm_speedup_visit_cold,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&args.out, &json).expect("write report");
+    eprintln!("wrote {}", args.out);
+
+    if !check_failures.is_empty() {
+        for failure in &check_failures {
+            eprintln!("CHECK FAILED: {failure}");
+        }
+        std::process::exit(1);
+    }
+}

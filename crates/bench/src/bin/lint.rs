@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! lint [--scale <f64>] [--seed <u64>] [--verdict <fp|benign|inconclusive>]
-//!      [--quiet] [--deny-inconclusive]
+//!      [--quiet] [--deny-inconclusive] [--dump-bytecode]
 //! ```
 //!
 //! Scripts are deduplicated by FNV-1a body hash, exactly as the crawl's
@@ -12,6 +12,11 @@
 //! `--deny-inconclusive` the process exits non-zero if any vendor or
 //! generic fingerprinting script is statically `Inconclusive` — the CI
 //! gate for classifier coverage of the fingerprinting corpus.
+//!
+//! `--dump-bytecode` prints each body's compiled-VM disassembly next to
+//! its static verdict — what the execution engine will actually run for
+//! a script the classifier flagged (combine with `--verdict fp` to dump
+//! just the fingerprinting corpus).
 
 use canvassing::validation::verdict_label;
 use canvassing_analysis::{AnalysisCache, ScriptAnalysis, Verdict};
@@ -27,6 +32,7 @@ struct Args {
     verdict: Option<String>,
     quiet: bool,
     deny_inconclusive: bool,
+    dump_bytecode: bool,
 }
 
 fn parse_args() -> Args {
@@ -36,6 +42,7 @@ fn parse_args() -> Args {
         verdict: None,
         quiet: false,
         deny_inconclusive: false,
+        dump_bytecode: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -61,10 +68,11 @@ fn parse_args() -> Args {
             "--verdict" => args.verdict = Some(value("--verdict")),
             "--quiet" => args.quiet = true,
             "--deny-inconclusive" => args.deny_inconclusive = true,
+            "--dump-bytecode" => args.dump_bytecode = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: lint [--scale F] [--seed N] [--verdict fp|benign|inconclusive] \
-                     [--quiet] [--deny-inconclusive]"
+                     [--quiet] [--deny-inconclusive] [--dump-bytecode]"
                 );
                 std::process::exit(0);
             }
@@ -81,6 +89,7 @@ fn parse_args() -> Args {
 struct Entry {
     label: String,
     location: String,
+    source: String,
     analysis: Arc<ScriptAnalysis>,
 }
 
@@ -126,6 +135,7 @@ fn main() {
                 entries.entry(hash).or_insert_with(|| Entry {
                     label: s.label.clone(),
                     location: url.to_string(),
+                    source: s.source.clone(),
                     analysis,
                 });
             }
@@ -136,6 +146,7 @@ fn main() {
                         entries.entry(hash).or_insert_with(|| Entry {
                             label: label.clone(),
                             location: format!("{url} (inline)"),
+                            source: source.clone(),
                             analysis,
                         });
                     }
@@ -168,6 +179,17 @@ fn main() {
             );
             for finding in &entry.analysis.findings {
                 println!("    {}: {}", finding.rule.code(), finding.detail);
+            }
+            if args.dump_bytecode {
+                match canvassing_script::parse(&entry.source) {
+                    Ok(program) => {
+                        let compiled = canvassing_script::compile(&program);
+                        for line in canvassing_script::disassemble(&compiled).lines() {
+                            println!("    | {line}");
+                        }
+                    }
+                    Err(e) => println!("    | (does not parse: {e})"),
+                }
             }
         }
     }

@@ -97,6 +97,7 @@ fn main() {
         // The serving replay is a deployment extension, not a paper
         // experiment; the soak bin (`serve_soak`) owns it.
         serving: false,
+        engine: Default::default(),
     };
     eprintln!(
         "running study (control{} crawls) ...",

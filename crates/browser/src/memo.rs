@@ -42,8 +42,8 @@ use canvassing_analysis::AnalysisCache;
 use canvassing_dom::{ApiCall, Document, Extraction};
 use canvassing_raster::{DeviceProfile, SurfacePool};
 use canvassing_script::{
-    eval_with_budget, run_with_budget, source_hash, EvalOutcome, RuntimeError, ScriptCache,
-    DEFAULT_STEP_BUDGET,
+    eval_engine_with_budget, run_compiled_with_budget, run_with_budget, source_hash, EvalOutcome,
+    ExecEngine, RuntimeError, ScriptCache, DEFAULT_STEP_BUDGET,
 };
 
 /// Number of independently locked shards in the memo map.
@@ -214,6 +214,7 @@ impl RenderMemo {
         device: &DeviceProfile,
         budget: u64,
         scripts: Option<&ScriptCache>,
+        engine: ExecEngine,
         perf: &PerfCounters,
     ) -> Option<Arc<RenderEntry>> {
         let hash = source_hash(source);
@@ -237,7 +238,7 @@ impl RenderMemo {
         let slot = cell.slot.get_or_init(|| {
             computed = true;
             perf.memo_computes.fetch_add(1, Ordering::Relaxed);
-            compute_canonical(source, device, scripts)
+            compute_canonical(source, device, scripts, engine)
         });
         match slot {
             MemoSlot::Ready(entry) if entry.steps <= budget => {
@@ -256,17 +257,18 @@ impl RenderMemo {
     }
 }
 
-/// Runs `source` once on a fresh scratch document under the interpreter's
+/// Runs `source` once on a fresh scratch document under the engine's
 /// full budget, producing the normalized record.
 fn compute_canonical(
     source: &str,
     device: &DeviceProfile,
     scripts: Option<&ScriptCache>,
+    engine: ExecEngine,
 ) -> MemoSlot {
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut doc = Document::new(device.clone());
         doc.set_current_script("");
-        let outcome = eval_cached(source, &mut doc, DEFAULT_STEP_BUDGET, scripts);
+        let outcome = eval_cached(source, &mut doc, DEFAULT_STEP_BUDGET, scripts, engine);
         let canvases_created = doc.canvas_count();
         let (calls, extractions) = doc.into_records();
         RenderEntry {
@@ -284,23 +286,35 @@ fn compute_canonical(
 }
 
 /// `eval_with_budget`, but resolving the program through the shared
-/// compile cache when one is available. The parse-failure contract matches
+/// compile cache when one is available and dispatching on the configured
+/// execution engine. The parse-failure contract matches
 /// `eval_with_budget` exactly (same message, zero steps).
+///
+/// When a cache is present the cached lookup always produces bytecode —
+/// even for a tree-walker run — so the crawl's `compiles` counter is a
+/// pure function of the workload, identical whichever engine executes.
+/// That keeps study reports byte-identical between engines (the A/B
+/// determinism gate) at the cost of one amortized-away compile per unique
+/// body.
 pub(crate) fn eval_cached(
     source: &str,
     doc: &mut Document,
     budget: u64,
     scripts: Option<&ScriptCache>,
+    engine: ExecEngine,
 ) -> EvalOutcome {
     match scripts {
-        Some(cache) => match cache.get_or_parse(source) {
-            Ok(program) => run_with_budget(&program, doc, budget),
+        Some(cache) => match cache.get_or_compile(source) {
+            Ok(exec) => match engine {
+                ExecEngine::Bytecode => run_compiled_with_budget(&exec.bytecode, doc, budget),
+                ExecEngine::TreeWalker => run_with_budget(&exec.program, doc, budget),
+            },
             Err(e) => EvalOutcome {
                 result: Err(RuntimeError::new(format!("script parse failed: {e}"))),
                 steps: 0,
             },
         },
-        None => eval_with_budget(source, doc, budget),
+        None => eval_engine_with_budget(source, doc, budget, engine),
     }
 }
 
@@ -326,10 +340,24 @@ mod tests {
         let memo = RenderMemo::new();
         let perf = PerfCounters::default();
         let a = memo
-            .lookup(FP, &device(), DEFAULT_STEP_BUDGET, None, &perf)
+            .lookup(
+                FP,
+                &device(),
+                DEFAULT_STEP_BUDGET,
+                None,
+                ExecEngine::Bytecode,
+                &perf,
+            )
             .expect("replayable");
         let b = memo
-            .lookup(FP, &device(), DEFAULT_STEP_BUDGET, None, &perf)
+            .lookup(
+                FP,
+                &device(),
+                DEFAULT_STEP_BUDGET,
+                None,
+                ExecEngine::Bytecode,
+                &perf,
+            )
             .expect("replayable");
         assert!(Arc::ptr_eq(&a, &b));
         let snap = perf.snapshot();
@@ -349,12 +377,19 @@ mod tests {
         let memo = RenderMemo::new();
         let perf = PerfCounters::default();
         let entry = memo
-            .lookup(FP, &device(), DEFAULT_STEP_BUDGET, None, &perf)
+            .lookup(
+                FP,
+                &device(),
+                DEFAULT_STEP_BUDGET,
+                None,
+                ExecEngine::Bytecode,
+                &perf,
+            )
             .unwrap();
 
         let mut doc = Document::new(device());
         doc.set_current_script("");
-        eval_with_budget(FP, &mut doc, DEFAULT_STEP_BUDGET);
+        canvassing_script::eval_with_budget(FP, &mut doc, DEFAULT_STEP_BUDGET);
         let (calls, extractions) = doc.into_records();
         assert_eq!(entry.calls, calls);
         assert_eq!(entry.extractions, extractions);
@@ -370,6 +405,7 @@ mod tests {
                 &DeviceProfile::intel_ubuntu(),
                 DEFAULT_STEP_BUDGET,
                 None,
+                ExecEngine::Bytecode,
                 &perf,
             )
             .unwrap();
@@ -379,6 +415,7 @@ mod tests {
                 &DeviceProfile::apple_m1(),
                 DEFAULT_STEP_BUDGET,
                 None,
+                ExecEngine::Bytecode,
                 &perf,
             )
             .unwrap();
@@ -394,15 +431,36 @@ mod tests {
         let memo = RenderMemo::new();
         let perf = PerfCounters::default();
         let entry = memo
-            .lookup(FP, &device(), DEFAULT_STEP_BUDGET, None, &perf)
+            .lookup(
+                FP,
+                &device(),
+                DEFAULT_STEP_BUDGET,
+                None,
+                ExecEngine::Bytecode,
+                &perf,
+            )
             .unwrap();
         assert!(memo
-            .lookup(FP, &device(), entry.steps - 1, None, &perf)
+            .lookup(
+                FP,
+                &device(),
+                entry.steps - 1,
+                None,
+                ExecEngine::Bytecode,
+                &perf
+            )
             .is_none());
         assert_eq!(perf.snapshot().memo_bypasses, 1);
         // At exactly the canonical step count the entry fits.
         assert!(memo
-            .lookup(FP, &device(), entry.steps, None, &perf)
+            .lookup(
+                FP,
+                &device(),
+                entry.steps,
+                None,
+                ExecEngine::Bytecode,
+                &perf
+            )
             .is_some());
     }
 
@@ -411,8 +469,15 @@ mod tests {
         let memo = RenderMemo::new();
         let cache = ScriptCache::new();
         let perf = PerfCounters::default();
-        memo.lookup(FP, &device(), DEFAULT_STEP_BUDGET, Some(&cache), &perf)
-            .unwrap();
+        memo.lookup(
+            FP,
+            &device(),
+            DEFAULT_STEP_BUDGET,
+            Some(&cache),
+            ExecEngine::Bytecode,
+            &perf,
+        )
+        .unwrap();
         assert_eq!(cache.stats().parses, 1);
     }
 
@@ -421,7 +486,14 @@ mod tests {
         let memo = RenderMemo::new();
         let perf = PerfCounters::default();
         let entry = memo
-            .lookup("let = ;", &device(), DEFAULT_STEP_BUDGET, None, &perf)
+            .lookup(
+                "let = ;",
+                &device(),
+                DEFAULT_STEP_BUDGET,
+                None,
+                ExecEngine::Bytecode,
+                &perf,
+            )
             .expect("parse failures are replayable");
         assert_eq!(entry.steps, 0);
         assert!(entry
@@ -450,7 +522,14 @@ mod tests {
         let memo = RenderMemo::new();
         let perf = PerfCounters::default();
         let entry = memo
-            .lookup(double, &device(), DEFAULT_STEP_BUDGET, None, &perf)
+            .lookup(
+                double,
+                &device(),
+                DEFAULT_STEP_BUDGET,
+                None,
+                ExecEngine::Bytecode,
+                &perf,
+            )
             .unwrap();
         assert_eq!(entry.extractions.len(), 2);
         assert_eq!(entry.canvases_created, 2);

@@ -48,6 +48,11 @@ pub struct StudyOptions {
     /// default: serving is a deployment story layered on the study, not
     /// part of the paper's measurements.
     pub serving: bool,
+    /// Script execution engine for every crawl the study runs. The
+    /// bytecode VM and the tree-walking oracle produce byte-identical
+    /// reports (gated in `tests/engine_identity.rs`), so this is an A/B
+    /// switch for that gate, not a result-affecting option.
+    pub engine: canvassing_browser::ExecEngine,
 }
 
 impl Default for StudyOptions {
@@ -59,6 +64,7 @@ impl Default for StudyOptions {
             defense_sweep: false,
             trace: false,
             serving: false,
+            engine: canvassing_browser::ExecEngine::default(),
         }
     }
 }
@@ -230,6 +236,7 @@ pub fn run_study(web: &SyntheticWeb, options: &StudyOptions) -> StudyResults {
 
     let mut control = CrawlConfig::control();
     control.workers = options.workers;
+    control.engine = options.engine;
     if options.trace {
         control.trace = Some(std::sync::Arc::new(canvassing_trace::CountingSink::new()));
     }
@@ -282,6 +289,7 @@ pub fn run_study(web: &SyntheticWeb, options: &StudyOptions) -> StudyResults {
         for kind in [AdBlockerKind::AdblockPlus, AdBlockerKind::UblockOrigin] {
             let mut config = CrawlConfig::with_adblocker(kind, &web.lists.easylist);
             config.workers = options.workers;
+            config.engine = options.engine;
             let p = crawl(&web.network, &popular_frontier, &config);
             let t = crawl(&web.network, &tail_frontier, &config);
             let p_det: Vec<SiteDetection> = p.successful().map(|(_, v)| detect(v)).collect();
@@ -301,6 +309,7 @@ pub fn run_study(web: &SyntheticWeb, options: &StudyOptions) -> StudyResults {
     let validation = if options.m1_validation {
         let mut config = CrawlConfig::with_device(DeviceProfile::apple_m1());
         config.workers = options.workers;
+        config.engine = options.engine;
         let m1_ds = crawl(&web.network, &popular_frontier, &config);
         let m1_det: Vec<SiteDetection> = m1_ds.successful().map(|(_, v)| detect(v)).collect();
         let m1_clustering = Clustering::build(m1_det.iter());
@@ -348,6 +357,7 @@ pub fn run_study(web: &SyntheticWeb, options: &StudyOptions) -> StudyResults {
             let mut config = CrawlConfig::control();
             config.label = format!("defense-{label}");
             config.workers = options.workers;
+            config.engine = options.engine;
             config.defense = defense;
             let ds = crawl(&web.network, &popular_frontier, &config);
             let detections: Vec<SiteDetection> = ds.successful().map(|(_, v)| detect(v)).collect();
@@ -512,11 +522,13 @@ impl StudyResults {
         for a in [&self.popular, &self.tail] {
             let p = &a.perf;
             out.push_str(&format!(
-                "{:?}: {} sites; {} parses, {:.0}% compile-cache hits; \
+                "{:?}: {} sites; {} parses, {} bytecode compiles, \
+                 {:.0}% compile-cache hits; \
                  {} canonical renders, {:.0}% memo hits\n",
                 a.cohort,
                 p.sites,
                 p.script_parses,
+                p.script_compiles,
                 100.0 * p.script_cache_hit_rate(),
                 p.memo_computes,
                 100.0 * p.memo_hit_rate(),
@@ -530,6 +542,17 @@ impl StudyResults {
                 out.push_str(&format!(
                     "{:?}: {} visit traces, {} spans, {} events delivered\n",
                     a.cohort, p.trace_visits, p.trace_spans, p.trace_events,
+                ));
+                // Compile amortization: each unique executed body is
+                // lowered to bytecode once; every run — canonical memo
+                // renders and in-place executions alike — reuses it.
+                let runs = p.script_executions + p.memo_computes;
+                out.push_str(&format!(
+                    "{:?}: {} bytecode compiles amortized over {} engine runs ({:.1}x reuse)\n",
+                    a.cohort,
+                    p.script_compiles,
+                    runs,
+                    runs as f64 / (p.script_compiles.max(1)) as f64,
                 ));
             }
         }
@@ -723,6 +746,7 @@ mod tests {
                 defense_sweep: false,
                 trace: true,
                 serving: true,
+                engine: Default::default(),
             },
         );
 
@@ -880,6 +904,7 @@ mod defense_sweep_tests {
                 defense_sweep: true,
                 trace: false,
                 serving: false,
+                engine: Default::default(),
             },
         );
         assert_eq!(results.defense_sweep.len(), 4);

@@ -53,7 +53,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use canvassing_browser::{
-    AdBlockerKind, Browser, CrawlCaches, DefenseMode, Extension, PageVisit, RenderMemo,
+    AdBlockerKind, Browser, CrawlCaches, DefenseMode, ExecEngine, Extension, PageVisit, RenderMemo,
     ScriptCache, VisitPolicy,
 };
 use canvassing_net::{Network, Url};
@@ -193,6 +193,11 @@ pub struct CrawlConfig {
     pub isolate_panics: bool,
     /// Cross-visit cache layers (throughput only; never changes records).
     pub caching: CachingPolicy,
+    /// Script execution engine. The bytecode VM is the production
+    /// default; the tree-walking interpreter remains selectable as the
+    /// differential oracle — the two produce byte-identical datasets,
+    /// stats, and study reports (gated in `tests/engine_identity.rs`).
+    pub engine: ExecEngine,
     /// Per-host circuit breakers (off by default; see [`BreakerPolicy`]).
     pub breakers: BreakerPolicy,
     /// Keep partial evidence from visits that die mid-pipeline, attached
@@ -223,6 +228,7 @@ impl CrawlConfig {
             policy: VisitPolicy::default(),
             isolate_panics: true,
             caching: CachingPolicy::default(),
+            engine: ExecEngine::default(),
             breakers: BreakerPolicy::disabled(),
             salvage: true,
             trace: None,
@@ -259,6 +265,7 @@ impl CrawlConfig {
         browser.passes_bot_checks = self.passes_bot_checks;
         browser.policy = self.policy;
         browser.caches = caches;
+        browser.engine = self.engine;
         if let Some((kind, list)) = &self.adblocker {
             browser.extension = Some(Extension::new(*kind, list));
         }
@@ -425,6 +432,12 @@ pub struct CrawlStats {
     pub sites: u64,
     /// Script bodies lexed + parsed.
     pub script_parses: u64,
+    /// Script bodies lowered to bytecode (unique *executed* bodies —
+    /// parse-only triage never compiles, so `script_compiles <=
+    /// script_parses`). Engine-independent: cached execution always
+    /// attaches bytecode so this count matches between the VM and the
+    /// tree-walking oracle.
+    pub script_compiles: u64,
     /// Compiled-script cache hits.
     pub script_cache_hits: u64,
     /// Scripts interpreted in place (memo miss, bypass, or memo off).
@@ -466,6 +479,7 @@ impl CrawlStats {
         CrawlStats {
             sites: 0,
             script_parses: script.parses,
+            script_compiles: script.compiles,
             script_cache_hits: script.hits,
             script_executions: perf.script_executions,
             memo_hits: perf.memo_hits,
@@ -487,6 +501,7 @@ impl CrawlStats {
         CrawlStats {
             sites: self.sites - before.sites,
             script_parses: self.script_parses - before.script_parses,
+            script_compiles: self.script_compiles - before.script_compiles,
             script_cache_hits: self.script_cache_hits - before.script_cache_hits,
             script_executions: self.script_executions - before.script_executions,
             memo_hits: self.memo_hits - before.memo_hits,

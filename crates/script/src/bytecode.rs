@@ -1,0 +1,326 @@
+//! Bytecode representation for canvascript: a compact flat instruction
+//! stream produced by [`crate::compile::compile`] and executed by
+//! [`crate::vm::run_compiled_with_budget`].
+//!
+//! Design points:
+//!
+//! * **Constant pool + interned symbols** — literals live once in
+//!   [`CompiledProgram::consts`]; every identifier, property, and method
+//!   name is interned to a dense `u32` in [`CompiledProgram::symbols`], so
+//!   the VM indexes vectors instead of hashing strings.
+//! * **Pre-resolved jumps** — `if`/`while`/`for` and the short-circuit
+//!   operators compile to absolute jump targets; nothing is resolved at
+//!   run time.
+//! * **Fuel on the instruction** — every [`Insn`] carries the number of
+//!   tree-walker *ticks* the instruction accounts for ([`Insn::fuel`]).
+//!   The compiler attributes each AST node's pre-order tick to the first
+//!   instruction emitted at or after that node, so the VM charges the step
+//!   budget at exactly the same semantic points as the tree-walking
+//!   interpreter and `run_with_budget` outcomes stay byte-identical
+//!   (see DESIGN.md §12 for the full contract).
+//! * **`Send + Sync`** — a [`CompiledProgram`] holds no `Rc` values
+//!   (constants use the [`Const`] mirror enum, not [`crate::Value`]), so
+//!   compiled bytecode shares across crawl workers inside the
+//!   content-hash-keyed [`crate::ScriptCache`].
+
+use crate::ast::{BinOp, UnOp};
+use crate::value::Value;
+
+/// A literal in the constant pool. Mirrors the immutable subset of
+/// [`Value`] so a [`CompiledProgram`] stays `Send + Sync` (runtime arrays
+/// are built by [`Op::MakeArray`], never stored here).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Const {
+    /// `null`.
+    Null,
+    /// Boolean literal.
+    Bool(bool),
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+}
+
+impl Const {
+    /// Materializes the runtime value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Const::Null => Value::Null,
+            Const::Bool(b) => Value::Bool(*b),
+            Const::Num(n) => Value::Num(*n),
+            Const::Str(s) => Value::Str(s.clone()),
+        }
+    }
+}
+
+/// One VM operation. Operands index the constant pool (`c`), the symbol
+/// table (`s`), the function table (`f`), or an absolute instruction
+/// offset within the current chunk (`pc`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Push `consts[c]`.
+    Const(u32),
+    /// Push frame slot `i`. Locals resolve at compile time: canvascript
+    /// has no closures and no dynamic scope entry, so every reference
+    /// that the tree-walker would find by walking its scope chain maps to
+    /// a fixed frame-relative slot.
+    LoadLocal(u32),
+    /// Assign the top of stack (kept on the stack — assignment is an
+    /// expression) to frame slot `i`.
+    StoreLocal(u32),
+    /// Pop and `let`-declare into frame slot `i`.
+    DeclareLocal(u32),
+    /// Push the global bound to symbol `s` (global slot, then the host's
+    /// globals; error when unbound in both).
+    LoadGlobal(u32),
+    /// Assign the top of stack (kept) to global symbol `s` — an existing
+    /// global or sloppy-mode implicit creation, both a plain slot write.
+    StoreGlobal(u32),
+    /// Pop and `let`-declare global symbol `s` (top-level `let` outside
+    /// any block — the tree-walker's scope 0).
+    DeclareGlobal(u32),
+    /// Pop and discard.
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Apply a unary operator to the top of stack.
+    Unary(UnOp),
+    /// Pop rhs then lhs, push the result. Never `And`/`Or` (those compile
+    /// to peek-jumps).
+    Binary(BinOp),
+    /// Pop `n` values, push an array of them (in push order).
+    MakeArray(u32),
+    /// Pop an object, push property `s` of it.
+    GetMember(u32),
+    /// Pop index then object, push the element.
+    GetIndex,
+    /// Pop object then value, set property `s`. The assigned value stays
+    /// on the stack (the compiler `Dup`s it first).
+    SetMember(u32),
+    /// Pop index, object, value; store into the array slot. The assigned
+    /// value stays on the stack (the compiler `Dup`s it first).
+    SetIndex,
+    /// Call builtin `f` with the top `argc` values (popped).
+    CallBuiltin {
+        /// Index into the fixed builtin table.
+        builtin: u16,
+        /// Argument count.
+        argc: u16,
+    },
+    /// Call the user function bound to symbol `s`, entering its chunk.
+    CallFn {
+        /// Interned function name.
+        name: u32,
+        /// Argument count.
+        argc: u16,
+    },
+    /// Pop `argc` args then the receiver; invoke method `s` on it.
+    CallMethod {
+        /// Interned method name.
+        method: u32,
+        /// Argument count.
+        argc: u16,
+    },
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop; jump when falsy.
+    JumpIfFalse(u32),
+    /// `&&`: jump when the top is falsy (keeping it as the expression
+    /// result), else pop and fall through to the rhs.
+    JumpIfFalsyPeek(u32),
+    /// `||`: jump when the top is truthy (keeping it as the expression
+    /// result), else pop and fall through to the rhs.
+    JumpIfTruthyPeek(u32),
+    /// Pop into the program-result register (top-level statement value).
+    StoreLast,
+    /// Set the program-result register to `null` (top-level statements
+    /// whose tree-walker flow value is `Null`).
+    SetLastNull,
+    /// Bind function `f` in the dynamic function table.
+    DeclareFn(u32),
+    /// Pop the return value; pop the call frame (or finish the program
+    /// when at top level).
+    Return,
+    /// No operation: exists to carry fuel where no other instruction can
+    /// absorb it (e.g. immediately before a `while` loop head).
+    Fuel,
+    /// Raise "break/continue outside loop".
+    RaiseLoopCtl,
+    /// End of the main chunk: the program result is the result register.
+    Halt,
+}
+
+/// One instruction: the operation plus the tree-walker ticks it charges
+/// against the step budget *before* executing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Insn {
+    /// The operation.
+    pub op: Op,
+    /// Ticks charged before this op runs (0 for most ops; >0 where the
+    /// compiler attributed AST-node entries here).
+    pub fuel: u32,
+}
+
+/// A compiled user function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledFn {
+    /// Interned function name.
+    pub name: u32,
+    /// Interned parameter names, in order. Parameters occupy frame slots
+    /// `0..params.len()`.
+    pub params: Vec<u32>,
+    /// Frame size: the peak number of live local slots (params included).
+    /// The VM reserves this many slots on call entry.
+    pub max_slots: u32,
+    /// Body chunk (ends with an implicit `return null`).
+    pub code: Vec<Insn>,
+}
+
+/// A fully compiled program: what the [`crate::ScriptCache`] stores next
+/// to the parsed [`crate::Program`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompiledProgram {
+    /// Constant pool.
+    pub consts: Vec<Const>,
+    /// Interned identifier/property/method names.
+    pub symbols: Vec<String>,
+    /// Compiled user functions (top-level and nested declarations).
+    pub fns: Vec<CompiledFn>,
+    /// Function indices hoisted before the first instruction runs
+    /// (top-level `fn` declarations, in source order).
+    pub hoisted: Vec<u32>,
+    /// Peak live local slots of the main chunk (top-level *block* `let`s;
+    /// top-level declarations outside blocks are globals).
+    pub main_slots: u32,
+    /// The main (top-level) chunk, ending in [`Op::Halt`].
+    pub main: Vec<Insn>,
+}
+
+impl CompiledProgram {
+    /// Total instruction count across the main chunk and all functions.
+    pub fn instruction_count(&self) -> usize {
+        self.main.len() + self.fns.iter().map(|f| f.code.len()).sum::<usize>()
+    }
+}
+
+/// Renders a human-readable disassembly of a compiled program: constant
+/// pool, symbol table, then one line per instruction with resolved
+/// operand names and the fuel column.
+pub fn disassemble(prog: &CompiledProgram) -> String {
+    let mut out = String::new();
+    if !prog.consts.is_empty() {
+        out.push_str("== constants ==\n");
+        for (i, c) in prog.consts.iter().enumerate() {
+            let rendered = match c {
+                Const::Null => "null".to_string(),
+                Const::Bool(b) => b.to_string(),
+                Const::Num(n) => Value::Num(*n).to_display_string(),
+                Const::Str(s) => format!("{s:?}"),
+            };
+            out.push_str(&format!("  c{i}: {rendered}\n"));
+        }
+    }
+    if !prog.symbols.is_empty() {
+        out.push_str("== symbols ==\n");
+        for (i, s) in prog.symbols.iter().enumerate() {
+            out.push_str(&format!("  s{i}: {s}\n"));
+        }
+    }
+    if !prog.hoisted.is_empty() {
+        let names: Vec<&str> = prog
+            .hoisted
+            .iter()
+            .map(|&f| sym(prog, prog.fns[f as usize].name))
+            .collect();
+        out.push_str(&format!("== hoisted: {} ==\n", names.join(", ")));
+    }
+    out.push_str(&format!("== main (slots: {}) ==\n", prog.main_slots));
+    disassemble_chunk(prog, &prog.main, &mut out);
+    for f in &prog.fns {
+        let params: Vec<&str> = f.params.iter().map(|&p| sym(prog, p)).collect();
+        out.push_str(&format!(
+            "== fn {}({}) (slots: {}) ==\n",
+            sym(prog, f.name),
+            params.join(", "),
+            f.max_slots
+        ));
+        disassemble_chunk(prog, &f.code, &mut out);
+    }
+    out
+}
+
+fn sym(prog: &CompiledProgram, s: u32) -> &str {
+    prog.symbols
+        .get(s as usize)
+        .map(String::as_str)
+        .unwrap_or("?")
+}
+
+fn disassemble_chunk(prog: &CompiledProgram, code: &[Insn], out: &mut String) {
+    for (pc, insn) in code.iter().enumerate() {
+        let fuel = if insn.fuel > 0 {
+            format!("+{}", insn.fuel)
+        } else {
+            String::new()
+        };
+        let body = match insn.op {
+            Op::Const(c) => {
+                let rendered = prog
+                    .consts
+                    .get(c as usize)
+                    .map(|k| match k {
+                        Const::Null => "null".to_string(),
+                        Const::Bool(b) => b.to_string(),
+                        Const::Num(n) => Value::Num(*n).to_display_string(),
+                        Const::Str(s) => format!("{s:?}"),
+                    })
+                    .unwrap_or_else(|| "?".to_string());
+                format!("const c{c}            ; {rendered}")
+            }
+            Op::LoadLocal(i) => format!("load_local {i}"),
+            Op::StoreLocal(i) => format!("store_local {i}"),
+            Op::DeclareLocal(i) => format!("declare_local {i}"),
+            Op::LoadGlobal(s) => format!("load_global s{s}      ; {}", sym(prog, s)),
+            Op::StoreGlobal(s) => format!("store_global s{s}     ; {}", sym(prog, s)),
+            Op::DeclareGlobal(s) => format!("declare_global s{s}   ; let {}", sym(prog, s)),
+            Op::Pop => "pop".to_string(),
+            Op::Dup => "dup".to_string(),
+            Op::Unary(op) => format!("unary {op:?}"),
+            Op::Binary(op) => format!("binary {op:?}"),
+            Op::MakeArray(n) => format!("make_array {n}"),
+            Op::GetMember(s) => format!("get_member s{s}       ; .{}", sym(prog, s)),
+            Op::GetIndex => "get_index".to_string(),
+            Op::SetMember(s) => format!("set_member s{s}       ; .{}", sym(prog, s)),
+            Op::SetIndex => "set_index".to_string(),
+            Op::CallBuiltin { builtin, argc } => format!(
+                "call_builtin {builtin}/{argc}    ; {}",
+                crate::interp::builtin_name(builtin)
+            ),
+            Op::CallFn { name, argc } => {
+                format!("call s{name}/{argc}          ; {}", sym(prog, name))
+            }
+            Op::CallMethod { method, argc } => {
+                format!("call_method s{method}/{argc}   ; .{}", sym(prog, method))
+            }
+            Op::Jump(t) => format!("jump {t:04}"),
+            Op::JumpIfFalse(t) => format!("jump_if_false {t:04}"),
+            Op::JumpIfFalsyPeek(t) => format!("jump_if_falsy_peek {t:04}"),
+            Op::JumpIfTruthyPeek(t) => format!("jump_if_truthy_peek {t:04}"),
+            Op::StoreLast => "store_last".to_string(),
+            Op::SetLastNull => "set_last_null".to_string(),
+            Op::DeclareFn(f) => {
+                let name = prog
+                    .fns
+                    .get(f as usize)
+                    .map(|d| sym(prog, d.name))
+                    .unwrap_or("?");
+                format!("declare_fn f{f}        ; {name}")
+            }
+            Op::Return => "return".to_string(),
+            Op::Fuel => "fuel".to_string(),
+            Op::RaiseLoopCtl => "raise_loop_ctl".to_string(),
+            Op::Halt => "halt".to_string(),
+        };
+        out.push_str(&format!("  {pc:04} {fuel:>4} {body}\n"));
+    }
+}

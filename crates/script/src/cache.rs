@@ -24,12 +24,21 @@
 //! * **Failures cached too** — a body that fails to parse fails
 //!   identically on every site that serves it; the [`ParseError`] is
 //!   cached so broken scripts also cost one parse attempt per crawl.
+//! * **Bytecode rides along** — execution paths ask for
+//!   [`ScriptCache::get_or_compile`], which lazily lowers the parsed
+//!   program to VM bytecode (once per body, under the same shard lock)
+//!   and returns both halves as an [`ExecutableScript`]. Parse-only
+//!   consumers (static analysis triage, the serve daemon's prewarm) keep
+//!   using [`ScriptCache::get_or_parse`] and never pay for compilation;
+//!   the separate `compiles` counter in [`ScriptCacheStats`] keeps the
+//!   two workloads distinguishable.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::ast::Program;
+use crate::bytecode::CompiledProgram;
 use crate::parser::{parse, ParseError};
 
 /// Number of independently locked shards. A small power of two is plenty:
@@ -48,9 +57,25 @@ pub fn source_hash(src: &str) -> u64 {
 }
 
 /// One cached compilation: the verified source text plus the outcome.
+/// Bytecode is compiled lazily — triage paths ([`crate::parse`]-only
+/// consumers like the static analyzer) never pay for it, and execution
+/// paths compile it at most once per unique body (compile-under-lock,
+/// like parsing).
 struct CacheEntry {
     source: String,
     compiled: Result<Arc<Program>, ParseError>,
+    bytecode: Option<Arc<CompiledProgram>>,
+}
+
+/// A ready-to-execute cached script: the parsed program (the tree-walker
+/// oracle input, also shared with static analysis) plus its compiled
+/// bytecode (the production VM input).
+#[derive(Clone)]
+pub struct ExecutableScript {
+    /// The parsed AST.
+    pub program: Arc<Program>,
+    /// The compiled bytecode.
+    pub bytecode: Arc<CompiledProgram>,
 }
 
 /// Cumulative cache counters. All counts are deterministic for a given
@@ -62,6 +87,10 @@ pub struct ScriptCacheStats {
     pub hits: u64,
     /// Lookups that had to lex + parse (== unique script bodies seen).
     pub parses: u64,
+    /// Bytecode compilations (== unique *executed* bodies that parsed;
+    /// attributed separately from parses so parse-only triage work and
+    /// execution-path compile amortization stay distinguishable).
+    pub compiles: u64,
 }
 
 impl ScriptCacheStats {
@@ -85,6 +114,7 @@ pub struct ScriptCache {
     shards: Vec<Mutex<HashMap<u64, Vec<CacheEntry>>>>,
     hits: AtomicU64,
     parses: AtomicU64,
+    compiles: AtomicU64,
 }
 
 impl Default for ScriptCache {
@@ -100,13 +130,33 @@ impl ScriptCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             parses: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
         }
     }
 
     /// Returns the compiled program for `src`, lexing and parsing it only
-    /// if this exact body has never been seen by this cache.
+    /// if this exact body has never been seen by this cache. Never
+    /// compiles bytecode — this is the triage/analysis path.
     pub fn get_or_parse(&self, src: &str) -> Result<Arc<Program>, ParseError> {
-        self.lookup(src).0
+        self.lookup(src, false).outcome
+    }
+
+    /// Returns the full execution unit (parsed program + bytecode) for
+    /// `src`. Parses and bytecode-compiles each at most once per unique
+    /// body, both under the shard lock, so the `parses` and `compiles`
+    /// counters stay deterministic across worker counts and schedules.
+    pub fn get_or_compile(&self, src: &str) -> Result<ExecutableScript, ParseError> {
+        let looked = self.lookup(src, true);
+        let program = looked.outcome?;
+        match looked.bytecode {
+            Some(bytecode) => Ok(ExecutableScript { program, bytecode }),
+            // Unreachable: lookup(_, true) compiles whenever the parse
+            // succeeded. Compile here rather than panic.
+            None => Ok(ExecutableScript {
+                bytecode: Arc::new(crate::compile::compile(&program)),
+                program,
+            }),
+        }
     }
 
     /// [`ScriptCache::get_or_parse`] with trace instrumentation: records a
@@ -124,16 +174,47 @@ impl ScriptCache {
         src: &str,
         rec: &canvassing_trace::VisitRecorder,
     ) -> Result<Arc<Program>, ParseError> {
-        let (compiled, was_parse) = self.lookup(src);
-        if rec.enabled() {
-            rec.instant("script.lookup", || format!("{:016x}", source_hash(src)));
-            rec.bump(if was_parse {
-                "script.cache.parse"
-            } else {
-                "script.cache.hit"
-            });
+        let looked = self.lookup(src, false);
+        self.record_lookup(src, &looked, rec);
+        looked.outcome
+    }
+
+    /// [`ScriptCache::get_or_compile`] with the same trace discipline as
+    /// [`ScriptCache::get_or_parse_traced`], plus a
+    /// `script.cache.compile` counter bump when this lookup performed the
+    /// body's one bytecode compilation. Like hit/parse, compile
+    /// attribution lives only in the shared registry counters (whose
+    /// totals are schedule-independent), never in per-visit streams.
+    pub fn get_or_compile_traced(
+        &self,
+        src: &str,
+        rec: &canvassing_trace::VisitRecorder,
+    ) -> Result<ExecutableScript, ParseError> {
+        let looked = self.lookup(src, true);
+        self.record_lookup(src, &looked, rec);
+        let program = looked.outcome?;
+        match looked.bytecode {
+            Some(bytecode) => Ok(ExecutableScript { program, bytecode }),
+            None => Ok(ExecutableScript {
+                bytecode: Arc::new(crate::compile::compile(&program)),
+                program,
+            }),
         }
-        compiled
+    }
+
+    fn record_lookup(&self, src: &str, looked: &Looked, rec: &canvassing_trace::VisitRecorder) {
+        if !rec.enabled() {
+            return;
+        }
+        rec.instant("script.lookup", || format!("{:016x}", source_hash(src)));
+        rec.bump(if looked.was_parse {
+            "script.cache.parse"
+        } else {
+            "script.cache.hit"
+        });
+        if looked.was_compile {
+            rec.bump("script.cache.compile");
+        }
     }
 
     /// A pure cache probe: the cached outcome for `src` if this exact
@@ -150,25 +231,50 @@ impl ScriptCache {
             .map(|e| e.compiled.clone())
     }
 
-    /// The shared lookup path: `(outcome, was_parse)`.
-    fn lookup(&self, src: &str) -> (Result<Arc<Program>, ParseError>, bool) {
+    /// The shared lookup path. With `want_bytecode`, ensures the entry
+    /// carries compiled bytecode (compiling it now, under the shard lock,
+    /// if this is the body's first execution-path lookup).
+    fn lookup(&self, src: &str, want_bytecode: bool) -> Looked {
         let hash = source_hash(src);
         let shard = &self.shards[(hash as usize) % SHARDS];
         let mut map = shard.lock().unwrap_or_else(|poison| poison.into_inner());
         let bucket = map.entry(hash).or_default();
-        if let Some(entry) = bucket.iter().find(|e| e.source == src) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return (entry.compiled.clone(), false);
+        let (entry, was_parse) = match bucket.iter().position(|e| e.source == src) {
+            Some(i) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                (&mut bucket[i], false)
+            }
+            None => {
+                // Miss: compile while holding the shard lock so
+                // concurrent requests for the same body block instead of
+                // re-parsing.
+                self.parses.fetch_add(1, Ordering::Relaxed);
+                let compiled = parse(src).map(Arc::new);
+                bucket.push(CacheEntry {
+                    source: src.to_string(),
+                    compiled,
+                    bytecode: None,
+                });
+                let at = bucket.len() - 1;
+                (&mut bucket[at], true)
+            }
+        };
+        let mut was_compile = false;
+        if want_bytecode && entry.bytecode.is_none() {
+            if let Ok(program) = &entry.compiled {
+                // Still under the shard lock: the same once-per-body
+                // guarantee (and determinism) as parsing.
+                self.compiles.fetch_add(1, Ordering::Relaxed);
+                was_compile = true;
+                entry.bytecode = Some(Arc::new(crate::compile::compile(program)));
+            }
         }
-        // Miss: compile while holding the shard lock so concurrent
-        // requests for the same body block instead of re-parsing.
-        self.parses.fetch_add(1, Ordering::Relaxed);
-        let compiled = parse(src).map(Arc::new);
-        bucket.push(CacheEntry {
-            source: src.to_string(),
-            compiled: compiled.clone(),
-        });
-        (compiled, true)
+        Looked {
+            outcome: entry.compiled.clone(),
+            bytecode: entry.bytecode.clone(),
+            was_parse,
+            was_compile,
+        }
     }
 
     /// Number of distinct script bodies currently cached.
@@ -195,8 +301,17 @@ impl ScriptCache {
         ScriptCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             parses: self.parses.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Result of one [`ScriptCache::lookup`].
+struct Looked {
+    outcome: Result<Arc<Program>, ParseError>,
+    bytecode: Option<Arc<CompiledProgram>>,
+    was_parse: bool,
+    was_compile: bool,
 }
 
 #[cfg(test)]

@@ -1,0 +1,580 @@
+//! AST → bytecode compiler.
+//!
+//! The compiler lowers a parsed [`Program`] to the flat instruction
+//! stream in [`crate::bytecode`], interning identifiers, pooling
+//! constants, and pre-resolving every jump.
+//!
+//! ## Fuel attribution (the tree-walker contract)
+//!
+//! The tree-walking interpreter charges one *tick* when it enters each
+//! statement and each expression node, pre-order, plus one tick per loop
+//! iteration. The compiler replays that accounting statically: it keeps a
+//! `pending` tick counter, increments it at every AST node entry, and
+//! flushes it into the `fuel` field of the next instruction emitted.
+//! Because instructions are emitted in execution order within any
+//! straight-line region, the VM charges the budget at exactly the points
+//! the tree-walker would — including mid-expression and mid-call
+//! exhaustion — so `run_with_budget` step counts and error outcomes are
+//! identical between engines.
+//!
+//! Two loop-head subtleties:
+//!
+//! * a `while` statement's own tick must be charged once (not per
+//!   iteration), so it is flushed into a dedicated [`Op::Fuel`]
+//!   instruction *before* the loop-head label;
+//! * a `for` loop charges one tick at every arrival at the loop head
+//!   (the tree-walker ticks at the top of its `loop`), so that tick is
+//!   deliberately left pending *at* the head label, where every incoming
+//!   path must pay it.
+//!
+//! At every other jump target the pending counter is zero by
+//! construction.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::bytecode::{CompiledFn, CompiledProgram, Const, Insn, Op};
+use crate::interp::builtin_index;
+
+/// Compiles a parsed program to bytecode. Compilation is total: every
+/// parseable program compiles (semantic errors like unknown variables
+/// stay runtime errors, matching the tree-walker).
+pub fn compile(program: &Program) -> CompiledProgram {
+    let mut c = Compiler::default();
+    // Hoist top-level function declarations (the tree-walker registers
+    // them all before executing the first statement). Each is compiled
+    // once here; the statement position re-binds the same chunk.
+    let mut hoist_map: HashMap<usize, u32> = HashMap::new();
+    for (i, stmt) in program.stmts.iter().enumerate() {
+        if let Stmt::FnDecl(f) = stmt {
+            let idx = c.compile_fn(f);
+            c.out.hoisted.push(idx);
+            hoist_map.insert(i, idx);
+        }
+    }
+    for (i, stmt) in program.stmts.iter().enumerate() {
+        if let (Stmt::FnDecl(_), Some(&idx)) = (stmt, hoist_map.get(&i)) {
+            // Statement tick, then the (already compiled) re-bind.
+            c.pending += 1;
+            c.emit(Op::DeclareFn(idx));
+            c.emit(Op::SetLastNull);
+        } else {
+            c.stmt(stmt, true);
+        }
+    }
+    c.emit(Op::Halt);
+    c.out.main = std::mem::take(&mut c.code);
+    c.out.main_slots = c.max_slots;
+    c.out
+}
+
+/// Per-loop compile context: where `break`/`continue` jump.
+struct LoopCtx {
+    /// Forward jumps to patch to the loop exit.
+    break_jumps: Vec<usize>,
+    /// Forward jumps to patch to the continue target (loop head for
+    /// `while`, the step expression for `for`).
+    continue_jumps: Vec<usize>,
+}
+
+/// One compile-time block scope: the `(symbol, frame slot)` bindings it
+/// declared, plus the slot watermark to restore on exit (sibling blocks
+/// reuse slots — frames stay as small as the deepest live nesting).
+struct Scope {
+    bindings: Vec<(u32, u32)>,
+    slot_floor: u32,
+}
+
+#[derive(Default)]
+struct Compiler {
+    out: CompiledProgram,
+    const_map: HashMap<ConstKey, u32>,
+    sym_map: HashMap<String, u32>,
+    // Per-chunk state (saved/restored around function compilation).
+    code: Vec<Insn>,
+    pending: u32,
+    loops: Vec<LoopCtx>,
+    /// Lexical block scopes of the current chunk. Canvascript has no
+    /// closures and no way to enter a scope mid-block, so the
+    /// tree-walker's dynamic scope walk resolves identically to this
+    /// static scan — every variable reference compiles to either a fixed
+    /// frame slot or a global symbol.
+    scopes: Vec<Scope>,
+    /// In a function chunk (scope 0 is the call frame); in the main
+    /// chunk, declarations outside any block are globals.
+    in_fn: bool,
+    next_slot: u32,
+    max_slots: u32,
+}
+
+/// Hashable mirror of [`Const`] for pool deduplication (`f64` keyed by
+/// bit pattern).
+#[derive(PartialEq, Eq, Hash)]
+enum ConstKey {
+    Null,
+    Bool(bool),
+    Num(u64),
+    Str(String),
+}
+
+impl Compiler {
+    /// Emits one instruction, attaching (and clearing) the pending ticks.
+    fn emit(&mut self, op: Op) -> usize {
+        let fuel = std::mem::take(&mut self.pending);
+        self.code.push(Insn { op, fuel });
+        self.code.len() - 1
+    }
+
+    /// Flushes pending ticks into a dedicated `Fuel` instruction, used
+    /// where the next emitted instruction is a jump target that must not
+    /// absorb them.
+    fn flush_fuel(&mut self) {
+        if self.pending > 0 {
+            self.emit(Op::Fuel);
+        }
+    }
+
+    fn patch(&mut self, at: usize, target: usize) {
+        let t = target as u32;
+        self.code[at].op = match self.code[at].op {
+            Op::Jump(_) => Op::Jump(t),
+            Op::JumpIfFalse(_) => Op::JumpIfFalse(t),
+            Op::JumpIfFalsyPeek(_) => Op::JumpIfFalsyPeek(t),
+            Op::JumpIfTruthyPeek(_) => Op::JumpIfTruthyPeek(t),
+            other => other,
+        };
+    }
+
+    fn sym(&mut self, name: &str) -> u32 {
+        if let Some(&s) = self.sym_map.get(name) {
+            return s;
+        }
+        let s = self.out.symbols.len() as u32;
+        self.out.symbols.push(name.to_string());
+        self.sym_map.insert(name.to_string(), s);
+        s
+    }
+
+    fn konst(&mut self, c: Const) -> u32 {
+        let key = match &c {
+            Const::Null => ConstKey::Null,
+            Const::Bool(b) => ConstKey::Bool(*b),
+            Const::Num(n) => ConstKey::Num(n.to_bits()),
+            Const::Str(s) => ConstKey::Str(s.clone()),
+        };
+        if let Some(&i) = self.const_map.get(&key) {
+            return i;
+        }
+        let i = self.out.consts.len() as u32;
+        self.out.consts.push(c);
+        self.const_map.insert(key, i);
+        i
+    }
+
+    /// Opens a compile-time block scope.
+    fn push_scope(&mut self) {
+        self.scopes.push(Scope {
+            bindings: Vec::new(),
+            slot_floor: self.next_slot,
+        });
+    }
+
+    /// Closes the innermost block scope, releasing its slots for reuse
+    /// by sibling blocks. Slot reuse is safe: a slot is only referenced
+    /// by code lexically after its `DeclareLocal` inside the owning
+    /// block, and block execution is strictly top-to-bottom (control can
+    /// leave a block, never jump into its middle), so every read of a
+    /// reused slot is preceded by its own declaration.
+    fn pop_scope(&mut self) {
+        if let Some(scope) = self.scopes.pop() {
+            self.next_slot = scope.slot_floor;
+        }
+    }
+
+    /// `let`-declares `name` in the current scope, returning the op that
+    /// stores the initializer. Redeclaration in the same scope reuses
+    /// the slot (the tree-walker's `HashMap::insert` overwrite).
+    fn declare(&mut self, name: &str) -> Op {
+        let s = self.sym(name);
+        match self.scopes.last_mut() {
+            None if !self.in_fn => Op::DeclareGlobal(s),
+            None => {
+                // Unreachable: function chunks always hold the frame
+                // scope; emit a frame-slot declare to stay total.
+                Op::DeclareLocal(self.alloc_slot(s))
+            }
+            Some(scope) => {
+                if let Some(&(_, slot)) = scope.bindings.iter().find(|(sym, _)| *sym == s) {
+                    Op::DeclareLocal(slot)
+                } else {
+                    Op::DeclareLocal(self.alloc_slot(s))
+                }
+            }
+        }
+    }
+
+    fn alloc_slot(&mut self, s: u32) -> u32 {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.max_slots = self.max_slots.max(self.next_slot);
+        if let Some(scope) = self.scopes.last_mut() {
+            scope.bindings.push((s, slot));
+        }
+        slot
+    }
+
+    /// Resolves `name` the way the tree-walker's scope walk would at this
+    /// point: innermost block scope outward, else the global scope.
+    fn resolve(&mut self, name: &str) -> Option<u32> {
+        let s = self.sym(name);
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|scope| scope.bindings.iter().rev().find(|(sym, _)| *sym == s))
+            .map(|&(_, slot)| slot)
+    }
+
+    /// Compiles a function body into its own chunk and registers it.
+    fn compile_fn(&mut self, decl: &FnDecl) -> u32 {
+        let saved_code = std::mem::take(&mut self.code);
+        let saved_pending = std::mem::take(&mut self.pending);
+        let saved_loops = std::mem::take(&mut self.loops);
+        let saved_scopes = std::mem::take(&mut self.scopes);
+        let saved_in_fn = std::mem::replace(&mut self.in_fn, true);
+        let saved_next = std::mem::take(&mut self.next_slot);
+        let saved_max = std::mem::take(&mut self.max_slots);
+        // The frame scope: parameters in slots 0.., and the body's
+        // top-level `let`s join them (the tree-walker inserts both into
+        // the same frame HashMap).
+        self.push_scope();
+        for p in &decl.params {
+            let s = self.sym(p);
+            self.alloc_slot(s);
+        }
+        for stmt in &decl.body {
+            self.stmt(stmt, false);
+        }
+        // Falling off the end returns null (no tick — the tree-walker
+        // just stops executing body statements).
+        let null = self.konst(Const::Null);
+        self.emit(Op::Const(null));
+        self.emit(Op::Return);
+        let code = std::mem::replace(&mut self.code, saved_code);
+        let max_slots = self.max_slots;
+        self.pending = saved_pending;
+        self.loops = saved_loops;
+        self.scopes = saved_scopes;
+        self.in_fn = saved_in_fn;
+        self.next_slot = saved_next;
+        self.max_slots = saved_max;
+        let name = self.sym(&decl.name);
+        let params = decl.params.iter().map(|p| self.sym(p)).collect();
+        let idx = self.out.fns.len() as u32;
+        self.out.fns.push(CompiledFn {
+            name,
+            params,
+            max_slots,
+            code,
+        });
+        idx
+    }
+
+    /// Compiles a block (fresh scope). In `top` (value) mode each
+    /// statement maintains the program-result register; an empty block's
+    /// value is null, matching `exec_block`.
+    fn block(&mut self, stmts: &[Stmt], top: bool) {
+        self.push_scope();
+        for stmt in stmts {
+            self.stmt(stmt, top);
+        }
+        self.pop_scope();
+        if top && stmts.is_empty() {
+            self.emit(Op::SetLastNull);
+        }
+    }
+
+    /// Compiles one statement. `top` selects value mode: top-level
+    /// statements (and the branches of top-level `if`s) feed the
+    /// program-result register exactly as the tree-walker's `last` value.
+    fn stmt(&mut self, stmt: &Stmt, top: bool) {
+        // Statement-entry tick (`Interp::exec`).
+        self.pending += 1;
+        match stmt {
+            Stmt::Let { name, value } => {
+                // The initializer compiles (and resolves) before the
+                // binding exists: `let x = x` reads the outer `x`.
+                self.expr(value);
+                let declare = self.declare(name);
+                self.emit(declare);
+                if top {
+                    self.emit(Op::SetLastNull);
+                }
+            }
+            Stmt::Expr(e) => {
+                self.expr(e);
+                self.emit(if top { Op::StoreLast } else { Op::Pop });
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.expr(cond);
+                let jf = self.emit(Op::JumpIfFalse(0));
+                self.block(then_branch, top);
+                let jend = self.emit(Op::Jump(0));
+                let else_at = self.code.len();
+                self.patch(jf, else_at);
+                self.block(else_branch, top);
+                let end = self.code.len();
+                self.patch(jend, end);
+            }
+            Stmt::While { cond, body } => {
+                // The statement tick charges once, so it may not ride an
+                // instruction at (or after) the head label.
+                self.flush_fuel();
+                let head = self.code.len();
+                self.expr(cond);
+                let jf = self.emit(Op::JumpIfFalse(0));
+                self.loops.push(LoopCtx {
+                    break_jumps: Vec::new(),
+                    continue_jumps: Vec::new(),
+                });
+                // Per-iteration tick, charged after the condition proves
+                // truthy and absorbed by the body's first instruction
+                // (or the back-edge jump when the body is empty).
+                self.pending += 1;
+                self.block(body, false);
+                self.emit(Op::Jump(head as u32));
+                let end = self.code.len();
+                self.patch(jf, end);
+                if let Some(ctx) = self.loops.pop() {
+                    for j in ctx.break_jumps {
+                        self.patch(j, end);
+                    }
+                    for j in ctx.continue_jumps {
+                        self.patch(j, head);
+                    }
+                }
+                if top {
+                    self.emit(Op::SetLastNull);
+                }
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                // The for's own scope holds the init binding.
+                self.push_scope();
+                if let Some(init) = init {
+                    self.stmt(init, false);
+                }
+                // Loop-head tick: the tree-walker ticks at the top of
+                // every iteration, before the condition. Left pending at
+                // the head label so both entry and the back edge pay it.
+                let head = self.code.len();
+                self.pending += 1;
+                let jf = cond.as_ref().map(|c| {
+                    self.expr(c);
+                    self.emit(Op::JumpIfFalse(0))
+                });
+                self.loops.push(LoopCtx {
+                    break_jumps: Vec::new(),
+                    continue_jumps: Vec::new(),
+                });
+                self.block(body, false);
+                let step_at = self.code.len();
+                if let Some(step) = step {
+                    self.expr(step);
+                    self.emit(Op::Pop);
+                }
+                self.emit(Op::Jump(head as u32));
+                let end = self.code.len();
+                if let Some(jf) = jf {
+                    self.patch(jf, end);
+                }
+                if let Some(ctx) = self.loops.pop() {
+                    for j in ctx.break_jumps {
+                        self.patch(j, end);
+                    }
+                    for j in ctx.continue_jumps {
+                        self.patch(j, step_at);
+                    }
+                }
+                self.pop_scope();
+                if top {
+                    self.emit(Op::SetLastNull);
+                }
+            }
+            Stmt::Return(value) => {
+                match value {
+                    Some(e) => self.expr(e),
+                    None => {
+                        let null = self.konst(Const::Null);
+                        self.emit(Op::Const(null));
+                    }
+                }
+                self.emit(Op::Return);
+            }
+            Stmt::Break => self.loop_exit(true),
+            Stmt::Continue => self.loop_exit(false),
+            Stmt::FnDecl(f) => {
+                let idx = self.compile_fn(f);
+                self.emit(Op::DeclareFn(idx));
+                if top {
+                    self.emit(Op::SetLastNull);
+                }
+            }
+        }
+    }
+
+    /// Compiles `break` (`is_break`) or `continue`: a plain jump — block
+    /// scopes are a compile-time construct now, so there is nothing to
+    /// unwind at run time. Outside any loop both raise the tree-walker's
+    /// "break/continue outside loop" error.
+    fn loop_exit(&mut self, is_break: bool) {
+        if self.loops.is_empty() {
+            self.emit(Op::RaiseLoopCtl);
+            return;
+        }
+        let j = self.emit(Op::Jump(0));
+        if let Some(ctx) = self.loops.last_mut() {
+            if is_break {
+                ctx.break_jumps.push(j);
+            } else {
+                ctx.continue_jumps.push(j);
+            }
+        }
+    }
+
+    /// Compiles one expression, leaving its value on the stack.
+    fn expr(&mut self, e: &Expr) {
+        // Expression-entry tick (`Interp::eval_expr`).
+        self.pending += 1;
+        match e {
+            Expr::Number(n) => {
+                let c = self.konst(Const::Num(*n));
+                self.emit(Op::Const(c));
+            }
+            Expr::Str(s) => {
+                let c = self.konst(Const::Str(s.clone()));
+                self.emit(Op::Const(c));
+            }
+            Expr::Bool(b) => {
+                let c = self.konst(Const::Bool(*b));
+                self.emit(Op::Const(c));
+            }
+            Expr::Null => {
+                let c = self.konst(Const::Null);
+                self.emit(Op::Const(c));
+            }
+            Expr::Ident(name) => {
+                let op = match self.resolve(name) {
+                    Some(slot) => Op::LoadLocal(slot),
+                    None => Op::LoadGlobal(self.sym(name)),
+                };
+                self.emit(op);
+            }
+            Expr::Array(items) => {
+                for item in items {
+                    self.expr(item);
+                }
+                self.emit(Op::MakeArray(items.len() as u32));
+            }
+            Expr::Unary { op, expr } => {
+                self.expr(expr);
+                self.emit(Op::Unary(*op));
+            }
+            Expr::Binary { op, lhs, rhs } => match op {
+                BinOp::And => {
+                    self.expr(lhs);
+                    let j = self.emit(Op::JumpIfFalsyPeek(0));
+                    self.expr(rhs);
+                    let end = self.code.len();
+                    self.patch(j, end);
+                }
+                BinOp::Or => {
+                    self.expr(lhs);
+                    let j = self.emit(Op::JumpIfTruthyPeek(0));
+                    self.expr(rhs);
+                    let end = self.code.len();
+                    self.patch(j, end);
+                }
+                _ => {
+                    self.expr(lhs);
+                    self.expr(rhs);
+                    self.emit(Op::Binary(*op));
+                }
+            },
+            Expr::Member { object, name } => {
+                self.expr(object);
+                let s = self.sym(name);
+                self.emit(Op::GetMember(s));
+            }
+            Expr::Index { object, index } => {
+                self.expr(object);
+                self.expr(index);
+                self.emit(Op::GetIndex);
+            }
+            Expr::Call { name, args } => {
+                for a in args {
+                    self.expr(a);
+                }
+                let argc = args.len() as u16;
+                // Builtins shadow user functions unconditionally in the
+                // tree-walker, so the binding is static.
+                match builtin_index(name) {
+                    Some(builtin) => self.emit(Op::CallBuiltin { builtin, argc }),
+                    None => {
+                        let s = self.sym(name);
+                        self.emit(Op::CallFn { name: s, argc })
+                    }
+                };
+            }
+            Expr::MethodCall {
+                object,
+                method,
+                args,
+            } => {
+                self.expr(object);
+                for a in args {
+                    self.expr(a);
+                }
+                let s = self.sym(method);
+                self.emit(Op::CallMethod {
+                    method: s,
+                    argc: args.len() as u16,
+                });
+            }
+            Expr::Assign { target, value } => {
+                // The tree-walker evaluates the value before the target's
+                // object/index expressions; the assigned value is the
+                // expression result (Dup keeps it under the target refs).
+                self.expr(value);
+                match &**target {
+                    AssignTarget::Ident(name) => {
+                        let op = match self.resolve(name) {
+                            Some(slot) => Op::StoreLocal(slot),
+                            None => Op::StoreGlobal(self.sym(name)),
+                        };
+                        self.emit(op);
+                    }
+                    AssignTarget::Member { object, name } => {
+                        self.emit(Op::Dup);
+                        self.expr(object);
+                        let s = self.sym(name);
+                        self.emit(Op::SetMember(s));
+                    }
+                    AssignTarget::Index { object, index } => {
+                        self.emit(Op::Dup);
+                        self.expr(object);
+                        self.expr(index);
+                        self.emit(Op::SetIndex);
+                    }
+                }
+            }
+        }
+    }
+}

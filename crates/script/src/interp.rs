@@ -1,4 +1,11 @@
-//! Tree-walking interpreter for canvascript.
+//! Tree-walking interpreter for canvascript, plus the shared runtime
+//! action helpers (builtins, string/array methods, operator application,
+//! member/index access) that the bytecode VM in [`crate::vm`] reuses so
+//! both engines share one set of semantics.
+//!
+//! The tree-walker is no longer the production engine — the bytecode VM
+//! is — but it stays as the differential-testing oracle: simpler to audit
+//! and structurally independent, so an engine disagreement is a real bug.
 
 use std::collections::HashMap;
 
@@ -277,37 +284,17 @@ impl<'h> Interp<'h> {
             }
             Expr::Unary { op, expr } => {
                 let v = self.eval_expr(expr)?;
-                match op {
-                    UnOp::Not => Ok(Value::Bool(!v.truthy())),
-                    UnOp::Neg => {
-                        let n = v
-                            .as_num()
-                            .ok_or_else(|| RuntimeError::new("cannot negate non-number"))?;
-                        Ok(Value::Num(-n))
-                    }
-                }
+                apply_unary(*op, v)
             }
             Expr::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs),
             Expr::Member { object, name } => {
                 let obj = self.eval_expr(object)?;
-                self.get_member(obj, name)
+                get_member_value(self.host, obj, name)
             }
             Expr::Index { object, index } => {
                 let obj = self.eval_expr(object)?;
                 let idx = self.eval_expr(index)?;
-                match (obj, idx) {
-                    (Value::Array(items), Value::Num(i)) => {
-                        let items = items.borrow();
-                        let i = i as usize;
-                        Ok(items.get(i).cloned().unwrap_or(Value::Null))
-                    }
-                    (Value::Str(s), Value::Num(i)) => Ok(s
-                        .chars()
-                        .nth(i as usize)
-                        .map(|c| Value::Str(c.to_string()))
-                        .unwrap_or(Value::Null)),
-                    _ => Err(RuntimeError::new("invalid index operation")),
-                }
+                index_get(obj, idx)
             }
             Expr::Call { name, args } => {
                 let arg_vals: Result<Vec<Value>, _> =
@@ -322,16 +309,7 @@ impl<'h> Interp<'h> {
                 let obj = self.eval_expr(object)?;
                 let arg_vals: Result<Vec<Value>, _> =
                     args.iter().map(|e| self.eval_expr(e)).collect();
-                let arg_vals = arg_vals?;
-                match obj {
-                    Value::Host(h) => self.host.call_method(h, method, arg_vals),
-                    Value::Str(s) => string_method(&s, method, &arg_vals),
-                    Value::Array(items) => array_method(&items, method, arg_vals),
-                    other => Err(RuntimeError::new(format!(
-                        "cannot call method {method} on {}",
-                        other.to_display_string()
-                    ))),
-                }
+                call_method_value(self.host, obj, method, arg_vals?)
             }
             Expr::Assign { target, value } => {
                 let v = self.eval_expr(value)?;
@@ -341,45 +319,16 @@ impl<'h> Interp<'h> {
                     }
                     AssignTarget::Member { object, name } => {
                         let obj = self.eval_expr(object)?;
-                        match obj {
-                            Value::Host(h) => self.host.set_prop(h, name, v.clone())?,
-                            _ => {
-                                return Err(RuntimeError::new(format!(
-                                    "cannot set property {name} on non-host value"
-                                )))
-                            }
-                        }
+                        set_member_value(self.host, obj, name, v.clone())?;
                     }
                     AssignTarget::Index { object, index } => {
                         let obj = self.eval_expr(object)?;
                         let idx = self.eval_expr(index)?;
-                        match (obj, idx) {
-                            (Value::Array(items), Value::Num(i)) => {
-                                let mut items = items.borrow_mut();
-                                let i = i as usize;
-                                if i >= items.len() {
-                                    items.resize(i + 1, Value::Null);
-                                }
-                                items[i] = v.clone();
-                            }
-                            _ => return Err(RuntimeError::new("invalid index assignment")),
-                        }
+                        index_set(obj, idx, v.clone())?;
                     }
                 }
                 Ok(v)
             }
-        }
-    }
-
-    fn get_member(&mut self, obj: Value, name: &str) -> Result<Value, RuntimeError> {
-        match obj {
-            Value::Host(h) => self.host.get_prop(h, name),
-            Value::Str(s) if name == "length" => Ok(Value::Num(s.chars().count() as f64)),
-            Value::Array(items) if name == "length" => Ok(Value::Num(items.borrow().len() as f64)),
-            other => Err(RuntimeError::new(format!(
-                "no property {name} on {}",
-                other.to_display_string()
-            ))),
         }
     }
 
@@ -406,55 +355,7 @@ impl<'h> Interp<'h> {
         }
         let l = self.eval_expr(lhs)?;
         let r = self.eval_expr(rhs)?;
-        let num_op = |f: fn(f64, f64) -> f64| -> Result<Value, RuntimeError> {
-            match (l.as_num(), r.as_num()) {
-                (Some(a), Some(b)) => Ok(Value::Num(f(a, b))),
-                _ => Err(RuntimeError::new("arithmetic on non-numbers")),
-            }
-        };
-        match op {
-            BinOp::Add => {
-                // String concatenation when either side is a string.
-                if matches!(l, Value::Str(_)) || matches!(r, Value::Str(_)) {
-                    Ok(Value::Str(format!(
-                        "{}{}",
-                        l.to_display_string(),
-                        r.to_display_string()
-                    )))
-                } else {
-                    num_op(|a, b| a + b)
-                }
-            }
-            BinOp::Sub => num_op(|a, b| a - b),
-            BinOp::Mul => num_op(|a, b| a * b),
-            BinOp::Div => num_op(|a, b| a / b),
-            BinOp::Rem => num_op(|a, b| a % b),
-            BinOp::Eq => Ok(Value::Bool(l.loose_eq(&r))),
-            BinOp::Ne => Ok(Value::Bool(!l.loose_eq(&r))),
-            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                let ord = match (&l, &r) {
-                    (Value::Str(a), Value::Str(b)) => a.cmp(b),
-                    _ => {
-                        let (a, b) = (l.as_num(), r.as_num());
-                        match (a, b) {
-                            (Some(a), Some(b)) => a
-                                .partial_cmp(&b)
-                                .ok_or_else(|| RuntimeError::new("NaN comparison"))?,
-                            _ => return Err(RuntimeError::new("comparison on non-numbers")),
-                        }
-                    }
-                };
-                let result = match op {
-                    BinOp::Lt => ord.is_lt(),
-                    BinOp::Le => ord.is_le(),
-                    BinOp::Gt => ord.is_gt(),
-                    BinOp::Ge => ord.is_ge(),
-                    _ => unreachable!(),
-                };
-                Ok(Value::Bool(result))
-            }
-            BinOp::And | BinOp::Or => unreachable!("handled above"),
-        }
+        apply_binary(op, l, r)
     }
 
     fn call_function(&mut self, name: &str, args: Vec<Value>) -> Result<Value, RuntimeError> {
@@ -508,8 +409,44 @@ impl<'h> Interp<'h> {
     }
 }
 
-/// Free builtin functions available to every script.
-fn builtin(name: &str, args: &[Value]) -> Result<Option<Value>, RuntimeError> {
+/// The fixed builtin table. Builtins shadow user functions of the same
+/// name (the tree-walker checks them first), so the compiler resolves
+/// calls to them statically by index.
+pub(crate) const BUILTIN_NAMES: &[&str] = &[
+    "len",
+    "str",
+    "num",
+    "floor",
+    "ceil",
+    "round",
+    "abs",
+    "sqrt",
+    "pow",
+    "min",
+    "max",
+    "sin",
+    "cos",
+    "pi",
+    "fromCharCode",
+];
+
+/// Index of a builtin by name, if it is one.
+pub(crate) fn builtin_index(name: &str) -> Option<u16> {
+    BUILTIN_NAMES
+        .iter()
+        .position(|&b| b == name)
+        .map(|i| i as u16)
+}
+
+/// Name of builtin `idx` (for disassembly; "?" when out of range).
+pub(crate) fn builtin_name(idx: u16) -> &'static str {
+    BUILTIN_NAMES.get(idx as usize).copied().unwrap_or("?")
+}
+
+/// Invokes builtin `idx`. Both engines call through here so argument
+/// coercion and error text stay identical.
+pub(crate) fn call_builtin(idx: u16, args: &[Value]) -> Result<Value, RuntimeError> {
+    let name = builtin_name(idx);
     let num = |i: usize| -> Result<f64, RuntimeError> {
         args.get(i)
             .and_then(Value::as_num)
@@ -548,9 +485,172 @@ fn builtin(name: &str, args: &[Value]) -> Result<Option<Value>, RuntimeError> {
                 .ok_or_else(|| RuntimeError::new("fromCharCode: invalid code point"))?;
             Value::Str(c.to_string())
         }
-        _ => return Ok(None),
+        _ => return Err(RuntimeError::new(format!("unknown builtin {name}"))),
     };
-    Ok(Some(out))
+    Ok(out)
+}
+
+/// Free builtin functions available to every script; `None` when `name`
+/// is not a builtin.
+fn builtin(name: &str, args: &[Value]) -> Result<Option<Value>, RuntimeError> {
+    match builtin_index(name) {
+        Some(idx) => call_builtin(idx, args).map(Some),
+        None => Ok(None),
+    }
+}
+
+/// Applies a unary operator.
+pub(crate) fn apply_unary(op: UnOp, v: Value) -> Result<Value, RuntimeError> {
+    match op {
+        UnOp::Not => Ok(Value::Bool(!v.truthy())),
+        UnOp::Neg => {
+            let n = v
+                .as_num()
+                .ok_or_else(|| RuntimeError::new("cannot negate non-number"))?;
+            Ok(Value::Num(-n))
+        }
+    }
+}
+
+/// Applies a non-short-circuit binary operator to evaluated operands.
+/// `And`/`Or` never reach here: the tree-walker short-circuits before
+/// evaluation and the compiler lowers them to peek-jumps.
+pub(crate) fn apply_binary(op: BinOp, l: Value, r: Value) -> Result<Value, RuntimeError> {
+    let num_op = |f: fn(f64, f64) -> f64| -> Result<Value, RuntimeError> {
+        match (l.as_num(), r.as_num()) {
+            (Some(a), Some(b)) => Ok(Value::Num(f(a, b))),
+            _ => Err(RuntimeError::new("arithmetic on non-numbers")),
+        }
+    };
+    match op {
+        BinOp::Add => {
+            // String concatenation when either side is a string.
+            if matches!(l, Value::Str(_)) || matches!(r, Value::Str(_)) {
+                Ok(Value::Str(format!(
+                    "{}{}",
+                    l.to_display_string(),
+                    r.to_display_string()
+                )))
+            } else {
+                num_op(|a, b| a + b)
+            }
+        }
+        BinOp::Sub => num_op(|a, b| a - b),
+        BinOp::Mul => num_op(|a, b| a * b),
+        BinOp::Div => num_op(|a, b| a / b),
+        BinOp::Rem => num_op(|a, b| a % b),
+        BinOp::Eq => Ok(Value::Bool(l.loose_eq(&r))),
+        BinOp::Ne => Ok(Value::Bool(!l.loose_eq(&r))),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let ord = match (&l, &r) {
+                (Value::Str(a), Value::Str(b)) => a.cmp(b),
+                _ => {
+                    let (a, b) = (l.as_num(), r.as_num());
+                    match (a, b) {
+                        (Some(a), Some(b)) => a
+                            .partial_cmp(&b)
+                            .ok_or_else(|| RuntimeError::new("NaN comparison"))?,
+                        _ => return Err(RuntimeError::new("comparison on non-numbers")),
+                    }
+                }
+            };
+            let result = match op {
+                BinOp::Lt => ord.is_lt(),
+                BinOp::Le => ord.is_le(),
+                BinOp::Gt => ord.is_gt(),
+                BinOp::Ge => ord.is_ge(),
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(result))
+        }
+        BinOp::And | BinOp::Or => unreachable!("short-circuit ops are handled by the engines"),
+    }
+}
+
+/// Reads a property (`obj.name`).
+pub(crate) fn get_member_value(
+    host: &mut dyn Host,
+    obj: Value,
+    name: &str,
+) -> Result<Value, RuntimeError> {
+    match obj {
+        Value::Host(h) => host.get_prop(h, name),
+        Value::Str(s) if name == "length" => Ok(Value::Num(s.chars().count() as f64)),
+        Value::Array(items) if name == "length" => Ok(Value::Num(items.borrow().len() as f64)),
+        other => Err(RuntimeError::new(format!(
+            "no property {name} on {}",
+            other.to_display_string()
+        ))),
+    }
+}
+
+/// Writes a property (`obj.name = v`); only host objects have settable
+/// properties.
+pub(crate) fn set_member_value(
+    host: &mut dyn Host,
+    obj: Value,
+    name: &str,
+    v: Value,
+) -> Result<(), RuntimeError> {
+    match obj {
+        Value::Host(h) => host.set_prop(h, name, v),
+        _ => Err(RuntimeError::new(format!(
+            "cannot set property {name} on non-host value"
+        ))),
+    }
+}
+
+/// Reads an index (`obj[i]`): array element or string character, null
+/// out of range.
+pub(crate) fn index_get(obj: Value, idx: Value) -> Result<Value, RuntimeError> {
+    match (obj, idx) {
+        (Value::Array(items), Value::Num(i)) => {
+            let items = items.borrow();
+            let i = i as usize;
+            Ok(items.get(i).cloned().unwrap_or(Value::Null))
+        }
+        (Value::Str(s), Value::Num(i)) => Ok(s
+            .chars()
+            .nth(i as usize)
+            .map(|c| Value::Str(c.to_string()))
+            .unwrap_or(Value::Null)),
+        _ => Err(RuntimeError::new("invalid index operation")),
+    }
+}
+
+/// Writes an index (`obj[i] = v`), growing the array with nulls.
+pub(crate) fn index_set(obj: Value, idx: Value, v: Value) -> Result<(), RuntimeError> {
+    match (obj, idx) {
+        (Value::Array(items), Value::Num(i)) => {
+            let mut items = items.borrow_mut();
+            let i = i as usize;
+            if i >= items.len() {
+                items.resize(i + 1, Value::Null);
+            }
+            items[i] = v;
+            Ok(())
+        }
+        _ => Err(RuntimeError::new("invalid index assignment")),
+    }
+}
+
+/// Dispatches a method call on any receiver kind. Both engines call
+/// through here so receiver dispatch and error text stay identical.
+pub(crate) fn call_method_value(
+    host: &mut dyn Host,
+    obj: Value,
+    method: &str,
+    args: Vec<Value>,
+) -> Result<Value, RuntimeError> {
+    match obj {
+        Value::Host(h) => host.call_method(h, method, args),
+        Value::Str(s) => string_method(&s, method, &args),
+        Value::Array(items) => array_method(&items, method, args),
+        other => Err(RuntimeError::new(format!(
+            "cannot call method {method} on {}",
+            other.to_display_string()
+        ))),
+    }
 }
 
 /// String methods (the JS-ish subset vendor scripts use).

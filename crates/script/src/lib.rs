@@ -19,6 +19,12 @@
 //! `canvassing-dom`. Execution is bounded by a step budget so generated
 //! scripts can never hang a crawl worker.
 //!
+//! Scripts execute on a compile-to-bytecode VM ([`compile`] +
+//! [`run_compiled_with_budget`]) with step accounting byte-identical to
+//! the original tree-walking interpreter, which remains available as a
+//! differential-testing oracle (select with [`ExecEngine`]). The
+//! [`ScriptCache`] caches parse *and* bytecode per unique source body.
+//!
 //! ```
 //! use canvassing_script::{eval, NullHost};
 //!
@@ -30,16 +36,25 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod ast;
+pub mod bytecode;
 pub mod cache;
+pub mod compile;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
 #[cfg(test)]
 mod proptests;
 pub mod value;
+pub mod vm;
 
 pub use ast::{AssignTarget, BinOp, Expr, FnDecl, Program, Stmt, UnOp};
-pub use cache::{source_hash, ScriptCache, ScriptCacheStats};
+pub use bytecode::{disassemble, CompiledProgram};
+pub use cache::{source_hash, ExecutableScript, ScriptCache, ScriptCacheStats};
+pub use compile::compile;
 pub use interp::{eval, eval_with_budget, run, run_with_budget, EvalOutcome, DEFAULT_STEP_BUDGET};
 pub use parser::{parse, ParseError};
 pub use value::{Host, HostRef, NullHost, RuntimeError, Value};
+pub use vm::{
+    eval_engine_with_budget, run_compiled, run_compiled_with_budget, run_engine_with_budget,
+    ExecEngine,
+};

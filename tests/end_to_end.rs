@@ -24,6 +24,7 @@ fn study() -> &'static canvassing::study::StudyResults {
                 defense_sweep: false,
                 trace: false,
                 serving: false,
+                engine: Default::default(),
             },
         )
     })

@@ -1,0 +1,101 @@
+//! Engine A/B acceptance gate: the bytecode VM and the tree-walking
+//! interpreter must be observationally indistinguishable at the study
+//! level. The whole plain-text study report — every prevalence number,
+//! cluster, attribution row, failure tier, cache counter, and trace
+//! total — must be byte-identical between the two engines at scale 0.2
+//! under the fault-injection matrix, across worker counts.
+//!
+//! This is the contract that lets the VM replace the tree-walker as the
+//! production engine: identical results, identical host-effect
+//! sequences, and byte-identical step accounting (fuel trips included),
+//! so nothing downstream of script execution can tell them apart.
+
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use canvassing::study::{run_study, StudyOptions};
+use canvassing_browser::ExecEngine;
+use canvassing_crawler::{crawl, CrawlConfig};
+use canvassing_net::FaultMatrix;
+use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
+
+fn options(workers: usize, engine: ExecEngine) -> StudyOptions {
+    StudyOptions {
+        workers,
+        // Control crawls only: the ad-block / M1 re-crawls quadruple the
+        // runtime without adding engine-sensitive code paths beyond what
+        // the control already exercises (the faulted crawl below covers
+        // retries/salvage; `end_to_end.rs` covers the full option set).
+        adblock_crawls: false,
+        m1_validation: false,
+        defense_sweep: false,
+        trace: true,
+        serving: false,
+        engine,
+    }
+}
+
+/// The headline gate: full study, scale 0.2, both engines, three worker
+/// counts — one report byte-for-byte.
+#[test]
+fn study_report_is_byte_identical_across_engines_and_workers() {
+    let web = SyntheticWeb::generate(WebConfig {
+        seed: 2025,
+        scale: 0.2,
+    });
+    let baseline = run_study(&web, &options(4, ExecEngine::TreeWalker)).render_report();
+    assert!(
+        baseline.contains("bytecode compiles"),
+        "report must surface compile accounting"
+    );
+    for workers in [1, 4, 8] {
+        let vm = run_study(&web, &options(workers, ExecEngine::Bytecode)).render_report();
+        assert_eq!(
+            vm, baseline,
+            "VM study report diverged from the tree-walker oracle at {workers} workers"
+        );
+    }
+}
+
+/// Same gate under the fault-injection matrix: retries, salvage, panics,
+/// and fuel-starved visits must starve both engines at the same step.
+#[test]
+fn faulted_datasets_are_byte_identical_across_engines() {
+    let mut web = SyntheticWeb::generate(WebConfig {
+        seed: 2026,
+        scale: 0.2,
+    });
+    let frontier = web.frontier(Cohort::Popular);
+    let targets: Vec<String> = frontier
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 3 == 0)
+        .map(|(_, u)| u.host.clone())
+        .collect();
+    FaultMatrix::new(9).inject_all(&mut web.network.faults, targets.iter().map(|h| h.as_str()));
+
+    let config = |workers: usize, engine: ExecEngine| {
+        let mut cfg = CrawlConfig::control();
+        cfg.workers = workers;
+        cfg.engine = engine;
+        cfg.breakers = canvassing_crawler::BreakerPolicy::enabled();
+        cfg
+    };
+    let oracle = crawl(&web.network, &frontier, &config(4, ExecEngine::TreeWalker))
+        .to_json()
+        .unwrap();
+    for workers in [1, 4, 8] {
+        let vm = crawl(
+            &web.network,
+            &frontier,
+            &config(workers, ExecEngine::Bytecode),
+        )
+        .to_json()
+        .unwrap();
+        assert_eq!(
+            vm, oracle,
+            "faulted VM dataset diverged from the oracle at {workers} workers"
+        );
+    }
+}

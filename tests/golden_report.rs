@@ -43,6 +43,7 @@ fn render_canonical() -> String {
             defense_sweep: false,
             trace: true,
             serving: false,
+            engine: Default::default(),
         },
     );
     results.render_report()
