@@ -1,0 +1,127 @@
+//! Per-chunk control-flow graphs over the flat [`Insn`] stream.
+//!
+//! Basic blocks are derived purely from the pre-resolved jump targets
+//! the PR-7 compiler emits: a block starts at instruction 0, at every
+//! jump target, and immediately after every jump or terminator. Edges
+//! are implied by each block's final instruction and are enumerated by
+//! the executor (fall-through vs. taken carry different abstract stack
+//! effects for the peeking short-circuit jumps, so edge semantics live
+//! with the transfer function, not here).
+
+use canvassing_script::bytecode::Insn;
+
+/// A half-open instruction range `[start, end)` forming one basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Block {
+    /// First instruction of the block.
+    pub start: usize,
+    /// One past the last instruction.
+    pub end: usize,
+}
+
+/// The control-flow graph of one chunk.
+#[derive(Debug, Clone)]
+pub(crate) struct Cfg {
+    /// Blocks in ascending instruction order.
+    pub blocks: Vec<Block>,
+    /// Map from instruction offset to the block containing it.
+    block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Splits `code` into basic blocks. An empty chunk yields an empty
+    /// graph (the compiler never emits one; the verifier rejects them).
+    pub fn build(code: &[Insn]) -> Cfg {
+        let len = code.len();
+        if len == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                block_of: Vec::new(),
+            };
+        }
+        let mut is_start = vec![false; len];
+        is_start[0] = true;
+        for (pc, insn) in code.iter().enumerate() {
+            if let Some(t) = insn.op.jump_target() {
+                if (t as usize) < len {
+                    is_start[t as usize] = true;
+                }
+            }
+            let splits_after = insn.op.jump_target().is_some() || insn.op.is_terminator();
+            if splits_after && pc + 1 < len {
+                is_start[pc + 1] = true;
+            }
+        }
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; len];
+        let mut start = 0usize;
+        // The index is the block boundary itself; iterating `is_start`
+        // directly would lose the `pc == len` closing sentinel.
+        #[allow(clippy::needless_range_loop)]
+        for pc in 1..=len {
+            if pc == len || is_start[pc] {
+                let id = blocks.len();
+                blocks.push(Block { start, end: pc });
+                for slot in block_of.iter_mut().take(pc).skip(start) {
+                    *slot = id;
+                }
+                start = pc;
+            }
+        }
+        Cfg { blocks, block_of }
+    }
+
+    /// The block containing instruction `pc`.
+    pub fn block_at(&self, pc: usize) -> usize {
+        self.block_of.get(pc).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvassing_script::{compile, parse};
+
+    fn cfg_of(src: &str) -> (Cfg, usize) {
+        let prog = compile(&parse(src).expect("parse"));
+        let len = prog.main.len();
+        (Cfg::build(&prog.main), len)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let (cfg, len) = cfg_of("let x = 1; x + 2;");
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0], Block { start: 0, end: len });
+    }
+
+    #[test]
+    fn branch_splits_blocks() {
+        let (cfg, len) = cfg_of("if (1 < 2) { 3; } else { 4; }");
+        assert!(cfg.blocks.len() >= 3, "cond/then/else/join expected");
+        // Blocks partition the chunk exactly.
+        let mut covered = 0;
+        for b in &cfg.blocks {
+            assert_eq!(b.start, covered);
+            covered = b.end;
+        }
+        assert_eq!(covered, len);
+    }
+
+    #[test]
+    fn loop_head_starts_a_block() {
+        let (cfg, _) = cfg_of("let i = 0; while (i < 3) { i = i + 1; }");
+        // The back edge's target must begin a block.
+        let prog = compile(&parse("let i = 0; while (i < 3) { i = i + 1; }").expect("parse"));
+        let back_target = prog
+            .main
+            .iter()
+            .enumerate()
+            .filter_map(|(pc, insn)| insn.op.jump_target().map(|t| (pc, t as usize)))
+            .find(|&(pc, t)| t <= pc)
+            .map(|(_, t)| t)
+            .expect("while loop has a back edge");
+        let block = cfg.blocks[cfg.block_at(back_target)];
+        assert_eq!(block.start, back_target);
+    }
+}

@@ -1,0 +1,266 @@
+//! The abstract domain of the bytecode taint interpreter.
+//!
+//! Values form a finite-height lattice ordered
+//! `Const/Canvas/Context/HostGlobal ⊑ Untainted ⊑ Tainted`: the join of
+//! two *different* constants collapses to `Untainted` (we only ever
+//! exploit a constant when every path agrees on it), so ascending
+//! chains are bounded and the block-entry fixpoint terminates without a
+//! separate widening operator. Canvas dimension state travels *inside*
+//! the flow state (joined pointwise, disagreements degrading to
+//! [`DimClass::Dynamic`]) so loop-carried resizes converge exactly like
+//! the AST pass's iterate-and-merge scheme.
+
+use std::collections::BTreeMap;
+
+use crate::taint::DimClass;
+
+/// Abstract value of one stack slot, local, or global.
+#[derive(Debug, Clone)]
+pub(crate) enum BVal {
+    /// Not derived from a canvas read; no further structure known.
+    Untainted,
+    /// May carry canvas-read data.
+    Tainted,
+    /// A canvas element created at allocation site `pc`.
+    Canvas(u32),
+    /// A 2D context bound to the canvas from site `pc`.
+    Context(u32),
+    /// A compile-time-known string (tracked through concat/slice/
+    /// charcode laundering).
+    Str(String),
+    /// A compile-time-known number.
+    Num(f64),
+    /// The value of an unshadowed host global (`document`, `window`,
+    /// `navigator`), identified by its interned symbol.
+    HostGlobal(u32),
+}
+
+impl PartialEq for BVal {
+    fn eq(&self, other: &BVal) -> bool {
+        match (self, other) {
+            (BVal::Untainted, BVal::Untainted) | (BVal::Tainted, BVal::Tainted) => true,
+            (BVal::Canvas(a), BVal::Canvas(b)) | (BVal::Context(a), BVal::Context(b)) => a == b,
+            (BVal::Str(a), BVal::Str(b)) => a == b,
+            // Bit equality so NaN constants compare equal to themselves
+            // and state equality is reflexive (a fixpoint requirement).
+            (BVal::Num(a), BVal::Num(b)) => a.to_bits() == b.to_bits(),
+            (BVal::HostGlobal(a), BVal::HostGlobal(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl BVal {
+    /// Whether the value may carry canvas-read data.
+    pub fn is_tainted(&self) -> bool {
+        matches!(self, BVal::Tainted)
+    }
+
+    /// Least upper bound.
+    pub fn join(&self, other: &BVal) -> BVal {
+        if self == other {
+            self.clone()
+        } else if self.is_tainted() || other.is_tainted() {
+            BVal::Tainted
+        } else {
+            BVal::Untainted
+        }
+    }
+
+    /// The display string the VM would produce for this constant, when
+    /// known (`Value::to_display_string` semantics).
+    pub fn display(&self) -> Option<String> {
+        match self {
+            BVal::Str(s) => Some(s.clone()),
+            BVal::Num(n) => Some(num_display(*n)),
+            _ => None,
+        }
+    }
+}
+
+/// `Value::Num` display semantics, replicated so constant folding of
+/// string concatenation matches the VM byte-for-byte.
+pub(crate) fn num_display(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Where a stack value was loaded from, when it still aliases a
+/// variable. Lets mutating calls (`arr.push(tainted)`) taint the
+/// variable behind the receiver, mirroring the AST pass's
+/// identifier-receiver rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Origin {
+    /// Frame-relative local slot.
+    Local(u32),
+    /// Global symbol.
+    Global(u32),
+}
+
+/// One abstract operand-stack entry.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Slot {
+    /// The abstract value.
+    pub val: BVal,
+    /// The variable this value was loaded from, if still tracked.
+    pub origin: Option<Origin>,
+}
+
+impl Slot {
+    /// A slot with no variable origin.
+    pub fn anon(val: BVal) -> Slot {
+        Slot { val, origin: None }
+    }
+}
+
+/// Literal width/height of one tracked canvas.
+pub(crate) type Dims = (DimClass, DimClass);
+
+/// The DOM default canvas size (300×150).
+pub(crate) const DEFAULT_DIMS: Dims = (DimClass::Literal(300), DimClass::Literal(150));
+
+/// The full abstract state at one program point.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct AbsState {
+    /// Operand stack (depth is consistent across paths — verified).
+    pub stack: Vec<Slot>,
+    /// Frame-relative locals.
+    pub locals: Vec<BVal>,
+    /// Written global symbols.
+    pub globals: BTreeMap<u32, BVal>,
+    /// Dimensions per canvas allocation site.
+    pub canvases: BTreeMap<u32, Dims>,
+    /// The program-result register (`StoreLast`/`SetLastNull`).
+    pub last: BVal,
+}
+
+impl AbsState {
+    /// The entry state of a chunk: `slots` locals, the first `params`
+    /// of them set to `param_val`.
+    pub fn entry(slots: u32, params: usize, param_val: BVal) -> AbsState {
+        let mut locals = vec![BVal::Untainted; slots as usize];
+        for slot in locals.iter_mut().take(params) {
+            *slot = param_val.clone();
+        }
+        AbsState {
+            stack: Vec::new(),
+            locals,
+            globals: BTreeMap::new(),
+            canvases: BTreeMap::new(),
+            last: BVal::Untainted,
+        }
+    }
+
+    /// Joins `other` into `self`; returns whether anything changed.
+    pub fn join_from(&mut self, other: &AbsState) -> bool {
+        let before = self.clone();
+        // Stacks at a join have equal depth for verified code; align on
+        // the top of stack to stay total on malformed input.
+        if self.stack.len() > other.stack.len() {
+            let excess = self.stack.len() - other.stack.len();
+            self.stack.drain(0..excess);
+        }
+        let offset = other.stack.len().saturating_sub(self.stack.len());
+        for (i, slot) in self.stack.iter_mut().enumerate() {
+            let theirs = &other.stack[offset + i];
+            slot.val = slot.val.join(&theirs.val);
+            if slot.origin != theirs.origin {
+                slot.origin = None;
+            }
+        }
+        for (i, local) in self.locals.iter_mut().enumerate() {
+            if let Some(theirs) = other.locals.get(i) {
+                *local = local.join(theirs);
+            }
+        }
+        for (&sym, theirs) in &other.globals {
+            match self.globals.get_mut(&sym) {
+                Some(ours) => *ours = ours.join(theirs),
+                None => {
+                    self.globals.insert(sym, theirs.clone());
+                }
+            }
+        }
+        for (&site, &(tw, th)) in &other.canvases {
+            match self.canvases.get_mut(&site) {
+                Some((w, h)) => {
+                    if *w != tw {
+                        *w = DimClass::Dynamic;
+                    }
+                    if *h != th {
+                        *h = DimClass::Dynamic;
+                    }
+                }
+                None => {
+                    self.canvases.insert(site, (tw, th));
+                }
+            }
+        }
+        self.last = self.last.join(&other.last);
+        *self != before
+    }
+
+    /// Dimensions behind a read receiver; unknown receivers degrade to
+    /// dynamic (same rule as the AST pass).
+    pub fn dims_of(&self, v: &BVal) -> Dims {
+        match v {
+            BVal::Canvas(site) | BVal::Context(site) => self
+                .canvases
+                .get(site)
+                .copied()
+                .unwrap_or((DimClass::Dynamic, DimClass::Dynamic)),
+            _ => (DimClass::Dynamic, DimClass::Dynamic),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_collapses_disagreeing_constants() {
+        let a = BVal::Str("x".into());
+        let b = BVal::Str("y".into());
+        assert_eq!(a.join(&b), BVal::Untainted);
+        assert_eq!(a.join(&a), a);
+        assert_eq!(a.join(&BVal::Tainted), BVal::Tainted);
+        assert_eq!(BVal::Canvas(3).join(&BVal::Canvas(3)), BVal::Canvas(3));
+        assert_eq!(BVal::Canvas(3).join(&BVal::Canvas(4)), BVal::Untainted);
+    }
+
+    #[test]
+    fn nan_constants_are_self_equal() {
+        let nan = BVal::Num(f64::NAN);
+        assert_eq!(nan, nan.clone());
+        assert_eq!(nan.join(&nan.clone()), nan);
+    }
+
+    #[test]
+    fn num_display_matches_vm_rendering() {
+        assert_eq!(num_display(3.0), "3");
+        assert_eq!(num_display(3.5), "3.5");
+        assert_eq!(num_display(-0.0), "0");
+        assert_eq!(num_display(1e16), "10000000000000000");
+    }
+
+    #[test]
+    fn state_join_degrades_disagreeing_dims() {
+        let mut a = AbsState::entry(0, 0, BVal::Untainted);
+        a.canvases
+            .insert(0, (DimClass::Literal(300), DimClass::Literal(150)));
+        let mut b = a.clone();
+        b.canvases
+            .insert(0, (DimClass::Literal(240), DimClass::Literal(150)));
+        let changed = a.join_from(&b);
+        assert!(changed);
+        assert_eq!(
+            a.canvases.get(&0),
+            Some(&(DimClass::Dynamic, DimClass::Literal(150)))
+        );
+        assert!(!a.join_from(&b.clone()), "join is idempotent at fixpoint");
+    }
+}

@@ -1,0 +1,196 @@
+//! Bottom-up interprocedural function summaries.
+//!
+//! Each declared function is analyzed twice per round — once with clean
+//! parameters and once with tainted parameters — and the pair is
+//! condensed into a [`BcSummary`] the call-site transfer rule consults.
+//! Rounds repeat until the summary map reaches a fixpoint, with a small
+//! round cap acting as the widening bound for (mutual) recursion: a
+//! call to a not-yet-summarized function falls back to the
+//! arguments-taint-the-result rule, which is sound for taint and merely
+//! imprecise for constants.
+
+use std::collections::BTreeMap;
+
+use canvassing_script::CompiledProgram;
+
+use crate::taint::CanvasRead;
+
+use super::cfg::Cfg;
+use super::domain::{BVal, Dims};
+use super::exec;
+
+/// Widening bound: summary refinement rounds before we stop, covering
+/// helper chains up to this depth exactly and recursion conservatively.
+const MAX_ROUNDS: usize = 4;
+
+/// Condensed behavior of one declared function.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct BcSummary {
+    /// The return value may be tainted even with clean arguments.
+    pub returns_tainted: bool,
+    /// Tainted arguments may flow to the return value.
+    pub param_to_return: bool,
+    /// Tainted arguments may reach an exfiltration sink in the body.
+    pub param_to_sink: bool,
+    /// Every return site yields the same canvas: its dimensions.
+    pub returns_canvas: Option<Dims>,
+    /// Every return site yields this known constant.
+    pub returns_const: Option<BVal>,
+    /// Canvas reads performed unconditionally by the body.
+    pub reads: Vec<CanvasRead>,
+    /// §5.3 double-render comparison inside the body.
+    pub double_render: bool,
+    /// The body reaches a sink with tainted data regardless of args.
+    pub exfil_sink: bool,
+    /// The body calls an animation method.
+    pub animation: bool,
+}
+
+/// Computes summaries for every declared function, keyed by the
+/// function's name symbol (later declarations shadow earlier ones,
+/// matching runtime binding order).
+pub(crate) fn compute(prog: &CompiledProgram) -> BTreeMap<u32, BcSummary> {
+    if prog.fns.is_empty() {
+        return BTreeMap::new();
+    }
+    let cfgs: Vec<Cfg> = prog.fns.iter().map(|f| Cfg::build(&f.code)).collect();
+    let mut summaries: BTreeMap<u32, BcSummary> = BTreeMap::new();
+    for _ in 0..MAX_ROUNDS {
+        let mut next: BTreeMap<u32, BcSummary> = BTreeMap::new();
+        for (i, f) in prog.fns.iter().enumerate() {
+            let clean = exec::analyze_chunk(
+                prog,
+                &f.code,
+                f.max_slots,
+                f.params.len(),
+                BVal::Untainted,
+                &cfgs[i],
+                &summaries,
+            );
+            let dirty = exec::analyze_chunk(
+                prog,
+                &f.code,
+                f.max_slots,
+                f.params.len(),
+                BVal::Tainted,
+                &cfgs[i],
+                &summaries,
+            );
+            next.insert(
+                f.name,
+                BcSummary {
+                    returns_tainted: clean.ret_tainted,
+                    param_to_return: dirty.ret_tainted,
+                    param_to_sink: dirty.exfil_sink,
+                    returns_canvas: clean.ret_dims,
+                    returns_const: clean.ret_const.clone(),
+                    reads: clean.reads.clone(),
+                    double_render: clean.double_render,
+                    exfil_sink: clean.exfil_sink,
+                    animation: clean.animation,
+                },
+            );
+        }
+        if next == summaries {
+            break;
+        }
+        summaries = next;
+    }
+    summaries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvassing_script::{compile, parse};
+
+    fn summaries_of(src: &str) -> (CompiledProgram, BTreeMap<u32, BcSummary>) {
+        let prog = compile(&parse(src).expect("parse"));
+        let s = compute(&prog);
+        (prog, s)
+    }
+
+    fn by_name<'a>(
+        prog: &CompiledProgram,
+        s: &'a BTreeMap<u32, BcSummary>,
+        name: &str,
+    ) -> &'a BcSummary {
+        let sym = prog
+            .symbols
+            .iter()
+            .position(|n| n == name)
+            .expect("symbol interned") as u32;
+        s.get(&sym).expect("summary computed")
+    }
+
+    #[test]
+    fn identity_fn_is_param_to_return_only() {
+        let (prog, s) = summaries_of("fn id(x) { return x; } id(1);");
+        let id = by_name(&prog, &s, "id");
+        assert!(id.param_to_return);
+        assert!(!id.returns_tainted);
+        assert!(!id.param_to_sink);
+    }
+
+    #[test]
+    fn sink_helper_is_param_to_sink() {
+        let (prog, s) = summaries_of("fn relay(p) { navigator.sendBeacon(\"/x\", p); } relay(1);");
+        let relay = by_name(&prog, &s, "relay");
+        assert!(relay.param_to_sink);
+        assert!(!relay.exfil_sink, "clean args must not trip the sink");
+    }
+
+    #[test]
+    fn canvas_factory_summarizes_dims() {
+        let src = r#"
+            fn make() {
+                let c = document.createElement("canvas");
+                c.width = 16;
+                return c;
+            }
+            make();
+        "#;
+        let (prog, s) = summaries_of(src);
+        let make = by_name(&prog, &s, "make");
+        let dims = make.returns_canvas.expect("returns a canvas");
+        assert_eq!(dims.0, crate::taint::DimClass::Literal(16));
+        assert_eq!(dims.1, crate::taint::DimClass::Literal(150));
+    }
+
+    #[test]
+    fn const_returning_helper_chains_through_rounds() {
+        // mime() is only precise once part() has a summary — needs
+        // round two of the bottom-up iteration.
+        let src = r#"
+            fn part() { return "image/"; }
+            fn mime() { return part() + "png"; }
+            mime();
+        "#;
+        let (prog, s) = summaries_of(src);
+        let mime = by_name(&prog, &s, "mime");
+        assert_eq!(mime.returns_const, Some(BVal::Str("image/png".into())));
+    }
+
+    #[test]
+    fn recursion_terminates_within_round_cap() {
+        let (prog, s) = summaries_of("fn loopy(n) { return loopy(n - 1); } loopy(3);");
+        let loopy = by_name(&prog, &s, "loopy");
+        // Sound but imprecise: unknown-callee fallback marks the result
+        // arg-dependent, so param_to_return holds.
+        assert!(loopy.param_to_return);
+        assert!(!loopy.returns_tainted);
+    }
+
+    #[test]
+    fn reader_helper_carries_reads_into_summary() {
+        let src = r#"
+            fn snap(c) { return c.toDataURL(); }
+            let c = document.createElement("canvas");
+            snap(c);
+        "#;
+        let (prog, s) = summaries_of(src);
+        let snap = by_name(&prog, &s, "snap");
+        assert_eq!(snap.reads.len(), 1);
+        assert!(snap.returns_tainted);
+    }
+}

@@ -21,7 +21,7 @@ use std::sync::{Arc, Mutex};
 
 use canvassing_script::{source_hash, ScriptCache};
 
-use crate::{classify, classify_source, Finding, RuleId, ScriptAnalysis, Verdict};
+use crate::{classify_merged, classify_source_merged, Finding, RuleId, ScriptAnalysis, Verdict};
 
 /// Shard count; mirrors `ScriptCache`'s sizing rationale. Public because
 /// epoch-based invalidation (the serving daemon's hot blocklist reload)
@@ -245,7 +245,7 @@ impl AnalysisCache {
         self.analyses.fetch_add(1, Ordering::Relaxed);
         let analysis = Arc::new(match programs {
             Some(cache) => match cache.get_or_parse(src) {
-                Ok(program) => classify(&program),
+                Ok(program) => classify_merged(&program),
                 Err(e) => ScriptAnalysis {
                     verdict: Verdict::Inconclusive,
                     features: crate::CanvasFeatures::default(),
@@ -255,7 +255,7 @@ impl AnalysisCache {
                     }],
                 },
             },
-            None => classify_source(src),
+            None => classify_source_merged(src),
         });
         let entry = CacheEntry {
             source: src.to_string(),

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod absint;
 pub mod cache;
 pub mod features;
 mod proptests;
@@ -121,6 +122,15 @@ pub enum RuleId {
     IncDynDims,
     /// `INC-PARSE`: the script failed to parse.
     IncParse,
+    /// `CFB-READ`: the bytecode engine proved a fingerprintable read.
+    CfbRead,
+    /// `CFB-DOUBLE-RENDER`: the bytecode engine proved a §5.3 compare.
+    CfbDoubleRender,
+    /// `CFB-EXFIL`: the bytecode engine proved an exfiltration flow.
+    CfbExfil,
+    /// `CFB-RECOVERED`: the bytecode engine resolved a script the AST
+    /// engine left `Inconclusive`.
+    CfbRecovered,
 }
 
 impl RuleId {
@@ -137,6 +147,10 @@ impl RuleId {
             RuleId::IncDynMime => "INC-DYN-MIME",
             RuleId::IncDynDims => "INC-DYN-DIMS",
             RuleId::IncParse => "INC-PARSE",
+            RuleId::CfbRead => "CFB-READ",
+            RuleId::CfbDoubleRender => "CFB-DOUBLE-RENDER",
+            RuleId::CfbExfil => "CFB-EXFIL",
+            RuleId::CfbRecovered => "CFB-RECOVERED",
         }
     }
 }
@@ -167,12 +181,85 @@ pub struct ScriptAnalysis {
     pub findings: Vec<Finding>,
 }
 
-/// Classifies a compiled program. This is the pure core the
-/// [`AnalysisCache`] memoizes; callers inside a crawl should go through
-/// the cache so each unique body is analyzed once.
+/// The positive-rule vocabulary of one analysis engine. The `BN-*` /
+/// `INC-*` exclusion rules are engine-independent; only the positive
+/// findings carry an engine prefix so merged verdicts stay attributable.
+struct RuleSet {
+    read: RuleId,
+    double_render: RuleId,
+    exfil: RuleId,
+}
+
+const AST_RULES: RuleSet = RuleSet {
+    read: RuleId::CfRead,
+    double_render: RuleId::CfDoubleRender,
+    exfil: RuleId::CfExfil,
+};
+
+const BYTECODE_RULES: RuleSet = RuleSet {
+    read: RuleId::CfbRead,
+    double_render: RuleId::CfbDoubleRender,
+    exfil: RuleId::CfbExfil,
+};
+
+/// Classifies a compiled program with the AST taint engine. This is the
+/// pure core the [`AnalysisCache`] memoizes; callers inside a crawl
+/// should go through the cache so each unique body is analyzed once.
 pub fn classify(program: &Program) -> ScriptAnalysis {
     let features = features::extract(program);
     let facts = taint::analyze(program);
+    synthesize(features, &facts, &AST_RULES)
+}
+
+/// Classifies a compiled program with the bytecode abstract interpreter
+/// ([`absint`]): same §3.2 decision rule, applied to facts proven over
+/// the compiled instruction stream (where constant laundering and
+/// helper-call indirection are transparent). Findings use `CFB-*` rules.
+pub fn classify_bytecode(program: &Program) -> ScriptAnalysis {
+    let bytecode = canvassing_script::compile(program);
+    let features = features::extract(program);
+    let facts = absint::analyze_compiled(&bytecode);
+    synthesize(features, &facts, &BYTECODE_RULES)
+}
+
+/// The two-engine cascade the crawl pipeline uses: the AST verdict
+/// stands whenever it is decisive (so the bytecode engine can never
+/// introduce a new false positive on scripts the AST pass already
+/// excludes), and the bytecode engine adjudicates only the
+/// `Inconclusive` remainder. A recovered verdict keeps both engines'
+/// findings plus a `CFB-RECOVERED` marker.
+pub fn classify_merged(program: &Program) -> ScriptAnalysis {
+    let ast = classify(program);
+    if ast.verdict != Verdict::Inconclusive {
+        return ast;
+    }
+    let bytecode = classify_bytecode(program);
+    if bytecode.verdict == Verdict::Inconclusive {
+        return ast;
+    }
+    let mut findings = ast.findings;
+    findings.push(Finding {
+        rule: RuleId::CfbRecovered,
+        detail: format!(
+            "bytecode engine resolved an AST-inconclusive script as {}",
+            bytecode.verdict.label()
+        ),
+    });
+    findings.extend(bytecode.findings);
+    ScriptAnalysis {
+        verdict: bytecode.verdict,
+        features: ast.features,
+        findings,
+    }
+}
+
+/// Folds one engine's taint facts and the shared feature vector into a
+/// verdict, mirroring the dynamic detector's §3.2 exclusion order.
+fn synthesize(
+    features: CanvasFeatures,
+    facts: &taint::TaintFacts,
+    rules: &RuleSet,
+) -> ScriptAnalysis {
     let mut findings = Vec::new();
 
     if facts.reads.is_empty() {
@@ -248,18 +335,18 @@ pub fn classify(program: &Program) -> ScriptAnalysis {
     }
 
     findings.push(Finding {
-        rule: RuleId::CfRead,
+        rule: rules.read,
         detail: format!("{positive} fingerprintable canvas read(s)"),
     });
     if facts.double_render {
         findings.push(Finding {
-            rule: RuleId::CfDoubleRender,
+            rule: rules.double_render,
             detail: "two canvas reads compared for equality (§5.3 stability check)".into(),
         });
     }
     if facts.exfil {
         findings.push(Finding {
-            rule: RuleId::CfExfil,
+            rule: rules.exfil,
             detail: "canvas-derived value reaches an exfiltration channel".into(),
         });
     }
@@ -279,6 +366,22 @@ pub fn classify(program: &Program) -> ScriptAnalysis {
 pub fn classify_source(source: &str) -> ScriptAnalysis {
     match canvassing_script::parse(source) {
         Ok(program) => classify(&program),
+        Err(e) => ScriptAnalysis {
+            verdict: Verdict::Inconclusive,
+            features: CanvasFeatures::default(),
+            findings: vec![Finding {
+                rule: RuleId::IncParse,
+                detail: format!("parse failed: {e}"),
+            }],
+        },
+    }
+}
+
+/// [`classify_merged`] from source text; parse failures yield
+/// `Inconclusive` with an `INC-PARSE` finding.
+pub fn classify_source_merged(source: &str) -> ScriptAnalysis {
+    match canvassing_script::parse(source) {
+        Ok(program) => classify_merged(&program),
         Err(e) => ScriptAnalysis {
             verdict: Verdict::Inconclusive,
             features: CanvasFeatures::default(),

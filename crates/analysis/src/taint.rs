@@ -51,8 +51,9 @@ const MIN_CANVAS_EDGE: u32 = 16;
 /// so realistic scripts stabilize in 2; the margin covers deeper chains.
 const FIXPOINT_PASSES: usize = 4;
 
-/// Method names treated as explicit exfiltration sinks.
-const SINK_METHODS: &[&str] = &[
+/// Method names treated as explicit exfiltration sinks (shared with the
+/// bytecode abstract interpreter in [`crate::absint`]).
+pub(crate) const SINK_METHODS: &[&str] = &[
     "send",
     "sendBeacon",
     "postMessage",

@@ -1,17 +1,30 @@
-//! `lint` — runs the static fingerprinting classifier over every script
+//! `lint` — runs the static fingerprinting classifiers over every script
 //! body in the synthetic corpus and prints per-script findings with
-//! stable rule IDs (`CF-READ`, `BN-LOSSY`, `INC-DYN-MIME`, …).
+//! stable rule IDs (`CF-READ`, `CFB-READ`, `BN-LOSSY`, `INC-DYN-MIME`, …).
 //!
 //! ```text
 //! lint [--scale <f64>] [--seed <u64>] [--verdict <fp|benign|inconclusive>]
-//!      [--quiet] [--deny-inconclusive] [--dump-bytecode]
+//!      [--engine <ast|bytecode|both>] [--quiet]
+//!      [--deny-inconclusive] [--deny-divergence] [--dump-bytecode]
 //! ```
 //!
 //! Scripts are deduplicated by FNV-1a body hash, exactly as the crawl's
-//! triage cache does, so each unique body prints once. With
-//! `--deny-inconclusive` the process exits non-zero if any vendor or
-//! generic fingerprinting script is statically `Inconclusive` — the CI
-//! gate for classifier coverage of the fingerprinting corpus.
+//! triage cache does, so each unique body prints once. Two analysis
+//! engines are available: the AST taint pass (`ast`), the bytecode
+//! abstract interpreter (`bytecode`), or the production cascade (`both`,
+//! the default — AST verdicts with the bytecode engine adjudicating the
+//! inconclusive remainder).
+//!
+//! Gates for CI:
+//!
+//! * `--deny-inconclusive` exits non-zero if any fingerprinting-corpus
+//!   script (vendor, generic, or seeded-evasive) is left `Inconclusive`
+//!   by the selected engine.
+//! * `--deny-divergence` exits non-zero if the two engines *disagree
+//!   decisively* on any body — both produce a non-`Inconclusive` verdict
+//!   and one says fingerprinting while the other says benign. (Differing
+//!   sub-flags such as `exfil` are reported but not denied: the bytecode
+//!   engine legitimately proves more flows.)
 //!
 //! `--dump-bytecode` prints each body's compiled-VM disassembly next to
 //! its static verdict — what the execution engine will actually run for
@@ -19,20 +32,31 @@
 //! just the fingerprinting corpus).
 
 use canvassing::validation::verdict_label;
-use canvassing_analysis::{AnalysisCache, ScriptAnalysis, Verdict};
+use canvassing_analysis::{
+    classify, classify_bytecode, classify_merged, classify_source, ScriptAnalysis, Verdict,
+};
 use canvassing_net::{Resource, ScriptRef, Url};
+use canvassing_script::source_hash;
 use canvassing_webgen::{SyntheticWeb, WebConfig};
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 struct Args {
     scale: f64,
     seed: u64,
     verdict: Option<String>,
+    engine: Engine,
     quiet: bool,
     deny_inconclusive: bool,
+    deny_divergence: bool,
     dump_bytecode: bool,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Engine {
+    Ast,
+    Bytecode,
+    Both,
 }
 
 fn parse_args() -> Args {
@@ -40,8 +64,10 @@ fn parse_args() -> Args {
         scale: 0.05,
         seed: 2025,
         verdict: None,
+        engine: Engine::Both,
         quiet: false,
         deny_inconclusive: false,
+        deny_divergence: false,
         dump_bytecode: false,
     };
     let mut iter = std::env::args().skip(1);
@@ -66,13 +92,26 @@ fn parse_args() -> Args {
                 })
             }
             "--verdict" => args.verdict = Some(value("--verdict")),
+            "--engine" => {
+                args.engine = match value("--engine").as_str() {
+                    "ast" => Engine::Ast,
+                    "bytecode" => Engine::Bytecode,
+                    "both" => Engine::Both,
+                    other => {
+                        eprintln!("unknown --engine {other} (want ast|bytecode|both)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--quiet" => args.quiet = true,
             "--deny-inconclusive" => args.deny_inconclusive = true,
+            "--deny-divergence" => args.deny_divergence = true,
             "--dump-bytecode" => args.dump_bytecode = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: lint [--scale F] [--seed N] [--verdict fp|benign|inconclusive] \
-                     [--quiet] [--deny-inconclusive] [--dump-bytecode]"
+                     [--engine ast|bytecode|both] [--quiet] [--deny-inconclusive] \
+                     [--deny-divergence] [--dump-bytecode]"
                 );
                 std::process::exit(0);
             }
@@ -85,12 +124,48 @@ fn parse_args() -> Args {
     args
 }
 
-/// One unique script body found in the corpus.
+/// One unique script body found in the corpus, analyzed by both engines.
 struct Entry {
     label: String,
     location: String,
     source: String,
-    analysis: Arc<ScriptAnalysis>,
+    ast: ScriptAnalysis,
+    bytecode: ScriptAnalysis,
+    merged: ScriptAnalysis,
+}
+
+impl Entry {
+    fn displayed(&self, engine: Engine) -> &ScriptAnalysis {
+        match engine {
+            Engine::Ast => &self.ast,
+            Engine::Bytecode => &self.bytecode,
+            Engine::Both => &self.merged,
+        }
+    }
+
+    /// Decisive disagreement: both engines commit to a class and the
+    /// classes differ. Sub-flag (exfil/double-render) differences are
+    /// not divergence.
+    fn diverges(&self) -> bool {
+        self.ast.verdict != Verdict::Inconclusive
+            && self.bytecode.verdict != Verdict::Inconclusive
+            && self.ast.verdict.is_fingerprinting() != self.bytecode.verdict.is_fingerprinting()
+    }
+}
+
+fn analyze_entry(source: &str) -> (ScriptAnalysis, ScriptAnalysis, ScriptAnalysis) {
+    match canvassing_script::parse(source) {
+        Ok(program) => (
+            classify(&program),
+            classify_bytecode(&program),
+            classify_merged(&program),
+        ),
+        Err(_) => {
+            // Both engines see the same parse failure.
+            let inc = classify_source(source);
+            (inc.clone(), inc.clone(), inc)
+        }
+    }
 }
 
 fn wants(analysis: &ScriptAnalysis, filter: Option<&str>) -> bool {
@@ -118,9 +193,8 @@ fn main() {
     });
 
     // Enumerate every script body in the corpus: hosted script resources
-    // plus inline bundles inside pages. The cache deduplicates by body
-    // hash, so shared vendor deployments analyze once.
-    let cache = AnalysisCache::new();
+    // plus inline bundles inside pages, deduplicated by body hash so
+    // shared vendor deployments analyze once.
     let mut entries: BTreeMap<u64, Entry> = BTreeMap::new();
     let keys: Vec<(String, String)> = web
         .network
@@ -131,23 +205,31 @@ fn main() {
         let url = Url::https(&host, &path);
         match web.network.peek(&url) {
             Some(Resource::Script(s)) => {
-                let (hash, analysis) = cache.analyze(&s.source, None);
-                entries.entry(hash).or_insert_with(|| Entry {
-                    label: s.label.clone(),
-                    location: url.to_string(),
-                    source: s.source.clone(),
-                    analysis,
+                entries.entry(source_hash(&s.source)).or_insert_with(|| {
+                    let (ast, bytecode, merged) = analyze_entry(&s.source);
+                    Entry {
+                        label: s.label.clone(),
+                        location: url.to_string(),
+                        source: s.source.clone(),
+                        ast,
+                        bytecode,
+                        merged,
+                    }
                 });
             }
             Some(Resource::Page(p)) => {
                 for r in &p.scripts {
                     if let ScriptRef::Inline { source, label } = r {
-                        let (hash, analysis) = cache.analyze(source, None);
-                        entries.entry(hash).or_insert_with(|| Entry {
-                            label: label.clone(),
-                            location: format!("{url} (inline)"),
-                            source: source.clone(),
-                            analysis,
+                        entries.entry(source_hash(source)).or_insert_with(|| {
+                            let (ast, bytecode, merged) = analyze_entry(source);
+                            Entry {
+                                label: label.clone(),
+                                location: format!("{url} (inline)"),
+                                source: source.clone(),
+                                ast,
+                                bytecode,
+                                merged,
+                            }
                         });
                     }
                 }
@@ -158,26 +240,45 @@ fn main() {
 
     let mut by_verdict: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut corpus_inconclusive: Vec<&Entry> = Vec::new();
+    let mut divergent: Vec<&Entry> = Vec::new();
+    let mut recovered = 0usize;
     for (hash, entry) in &entries {
+        let displayed = entry.displayed(args.engine);
         *by_verdict
-            .entry(verdict_label(entry.analysis.verdict))
+            .entry(verdict_label(displayed.verdict))
             .or_insert(0) += 1;
-        let fingerprint_corpus =
-            entry.label.starts_with("vendor:") || entry.label.starts_with("generic:");
-        if fingerprint_corpus && entry.analysis.verdict == Verdict::Inconclusive {
+        let fingerprint_corpus = entry.label.starts_with("vendor:")
+            || entry.label.starts_with("generic:")
+            || entry.label.starts_with("evasive:");
+        if fingerprint_corpus && displayed.verdict == Verdict::Inconclusive {
             corpus_inconclusive.push(entry);
         }
-        if !wants(&entry.analysis, args.verdict.as_deref()) {
+        if entry.diverges() {
+            divergent.push(entry);
+        }
+        if entry.ast.verdict == Verdict::Inconclusive
+            && entry.merged.verdict != Verdict::Inconclusive
+        {
+            recovered += 1;
+        }
+        if !wants(displayed, args.verdict.as_deref()) {
             continue;
         }
         if !args.quiet {
             println!(
                 "{hash:016x} {} [{}] {}",
-                verdict_label(entry.analysis.verdict),
+                verdict_label(displayed.verdict),
                 entry.label,
                 entry.location
             );
-            for finding in &entry.analysis.findings {
+            if args.engine == Engine::Both && entry.ast.verdict != entry.bytecode.verdict {
+                println!(
+                    "    engines: ast={} bytecode={}",
+                    verdict_label(entry.ast.verdict),
+                    verdict_label(entry.bytecode.verdict)
+                );
+            }
+            for finding in &displayed.findings {
                 println!("    {}: {}", finding.rule.code(), finding.detail);
             }
             if args.dump_bytecode {
@@ -198,7 +299,10 @@ fn main() {
     for (label, count) in &by_verdict {
         println!("  {label}: {count}");
     }
+    println!("  bytecode-recovered: {recovered}");
+    println!("  engine divergences: {}", divergent.len());
 
+    let mut deny = false;
     if args.deny_inconclusive && !corpus_inconclusive.is_empty() {
         eprintln!(
             "DENY: {} fingerprinting-corpus script(s) are statically inconclusive:",
@@ -207,6 +311,25 @@ fn main() {
         for e in corpus_inconclusive {
             eprintln!("  [{}] {}", e.label, e.location);
         }
+        deny = true;
+    }
+    if args.deny_divergence && !divergent.is_empty() {
+        eprintln!(
+            "DENY: {} script body(ies) with decisive engine disagreement:",
+            divergent.len()
+        );
+        for e in divergent {
+            eprintln!(
+                "  [{}] {} ast={} bytecode={}",
+                e.label,
+                e.location,
+                verdict_label(e.ast.verdict),
+                verdict_label(e.bytecode.verdict)
+            );
+        }
+        deny = true;
+    }
+    if deny {
         std::process::exit(1);
     }
 }

@@ -20,7 +20,8 @@ use crate::evasion::EvasionStats;
 use crate::figures::Figure1;
 use crate::prevalence::Prevalence;
 use crate::validation::{
-    cross_validate, vendor_static_rows, verdict_label, ConfusionMatrix, VendorStaticRow,
+    bytecode_triage, cross_validate, vendor_static_rows, verdict_label, BytecodeTriageStats,
+    ConfusionMatrix, VendorStaticRow,
 };
 
 /// What to run beyond the control crawl.
@@ -97,6 +98,11 @@ pub struct CohortAnalysis {
     /// Crawl cache-efficiency counters (parse/memo hit rates). Zeroed
     /// when the analysis was built from a dataset alone.
     pub perf: CrawlStats,
+    /// Second-engine (bytecode abstract interpretation) triage over the
+    /// cohort's script corpus: AST-inconclusive bodies recovered, seeded
+    /// evasion recovery, verifier statistics. Zeroed when the analysis
+    /// was built from a dataset alone (no corpus to enumerate).
+    pub bytecode: BytecodeTriageStats,
 }
 
 /// Analyzes one crawl dataset into a cohort analysis.
@@ -129,6 +135,7 @@ pub fn analyze_cohort(
         bias,
         static_dynamic,
         perf: CrawlStats::default(),
+        bytecode: BytecodeTriageStats::default(),
     }
 }
 
@@ -253,6 +260,8 @@ pub fn run_study(web: &SyntheticWeb, options: &StudyOptions) -> StudyResults {
     popular.perf = popular_stats;
     let mut tail = analyze_cohort(Cohort::Tail, &tail_ds, &easylist, &easyprivacy, &disconnect);
     tail.perf = tail_stats;
+    popular.bytecode = bytecode_triage(&web.network, &popular_frontier);
+    tail.bytecode = bytecode_triage(&web.network, &tail_frontier);
 
     let figure1 = Figure1::build(&popular.clustering, &tail.clustering, 50);
     let overlap = OverlapStats::compute(&popular.clustering, &tail.clustering);
@@ -703,6 +712,30 @@ impl StudyResults {
             }
         }
 
+        if self.popular.bytecode.unique_bodies > 0 || self.tail.bytecode.unique_bodies > 0 {
+            out.push_str("\n== Bytecode engine: recovered verdicts and verifier ==\n");
+            out.push_str(
+                "Cohort | bodies | AST-inconclusive | recovered (fp) | evasive recovered | verifier\n",
+            );
+            for a in [&self.popular, &self.tail] {
+                let b = &a.bytecode;
+                out.push_str(&format!(
+                    "{:?} | {} | {} | {} ({}) | {}/{} | {} chunks, {} insns, depth {}, {} rejected\n",
+                    a.cohort,
+                    b.unique_bodies,
+                    b.ast_inconclusive,
+                    b.recovered,
+                    b.recovered_fingerprinting,
+                    b.evasive_recovered,
+                    b.evasive_bodies,
+                    b.verified_chunks,
+                    b.verified_insns,
+                    b.verifier_max_stack,
+                    b.verifier_rejections,
+                ));
+            }
+        }
+
         if !self.defense_sweep.is_empty() {
             out.push_str("\n== E13 (extension): crawling under canvas defenses ==\n");
             out.push_str("defense | unique canvases | unstable-check sites | fp sites\n");
@@ -836,6 +869,24 @@ mod tests {
                 p.memo_hits,
                 p.memo_computes
             );
+        }
+
+        // Second-engine triage: the corpus enumerated, the verifier clean,
+        // and every deployed evasion variant recovered to a decisive
+        // verdict by the bytecode engine.
+        for a in [&results.popular, &results.tail] {
+            let b = &a.bytecode;
+            assert!(b.unique_bodies > 0, "{:?}: empty corpus", a.cohort);
+            assert!(b.verified_chunks >= b.unique_bodies);
+            assert_eq!(b.verifier_rejections, 0, "{:?}", a.cohort);
+            assert!(b.evasive_bodies > 0, "{:?}: no evasives deployed", a.cohort);
+            assert_eq!(
+                b.evasive_recovered, b.evasive_bodies,
+                "{:?}: an evasion variant escaped the bytecode engine",
+                a.cohort
+            );
+            assert!(b.recovered >= b.evasive_recovered);
+            assert!(b.recovered_fingerprinting >= b.evasive_recovered);
         }
 
         // Static-vs-dynamic cross-validation: the two detectors agree

@@ -11,9 +11,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use canvassing_analysis::{classify_source, Verdict};
+use canvassing_analysis::{classify, classify_merged, classify_source, Verdict};
 use canvassing_crawler::CrawlDataset;
-use canvassing_net::Url;
+use canvassing_net::{Network, Resource, ScriptRef, Url};
 use canvassing_vendors::{all_vendors, scripts};
 use serde::{Deserialize, Serialize};
 
@@ -136,6 +136,108 @@ pub fn cross_validate(dataset: &CrawlDataset, detections: &[SiteDetection]) -> C
     matrix
 }
 
+/// Per-cohort summary of the bytecode second engine: how many unique
+/// script bodies the AST pass left `Inconclusive`, how many of those the
+/// bytecode abstract interpreter resolved (and to what), recovery on the
+/// ground-truth seeded evasion corpus, and aggregate statistics from the
+/// bytecode verifier run over every compiled body.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BytecodeTriageStats {
+    /// Unique script bodies reachable from the cohort's frontier.
+    pub unique_bodies: usize,
+    /// Bodies the AST engine left `Inconclusive` (including parse
+    /// failures, which neither engine can judge).
+    pub ast_inconclusive: usize,
+    /// AST-inconclusive bodies the merged cascade resolved decisively.
+    pub recovered: usize,
+    /// Recovered bodies whose resolved verdict is `Fingerprinting`.
+    pub recovered_fingerprinting: usize,
+    /// Bodies carrying a ground-truth `evasive:` provenance label.
+    pub evasive_bodies: usize,
+    /// Evasive bodies recovered to a decisive verdict.
+    pub evasive_recovered: usize,
+    /// Chunks accepted by the bytecode verifier.
+    pub verified_chunks: usize,
+    /// Instructions checked by the verifier.
+    pub verified_insns: usize,
+    /// Peak verified operand-stack depth across all bodies.
+    pub verifier_max_stack: u32,
+    /// Compiled bodies the verifier rejected (always 0 in a healthy
+    /// build: compile output is verified-by-construction).
+    pub verifier_rejections: usize,
+}
+
+/// Runs the second-engine triage over every unique script body reachable
+/// from a cohort's frontier pages (inline bundles plus externally served
+/// scripts), deduplicated by FNV-1a body hash exactly like the crawl's
+/// analysis cache.
+///
+/// This is a corpus-side validation pass, like [`vendor_static_rows`]:
+/// it may read ground-truth provenance labels (`evasive:`), which the
+/// crawl-side analyses never see.
+pub fn bytecode_triage(network: &Network, frontier: &[Url]) -> BytecodeTriageStats {
+    // hash → (source, label); first sighting wins (labels agree for
+    // identical bodies by construction).
+    let mut bodies: BTreeMap<u64, (String, String)> = BTreeMap::new();
+    for page_url in frontier {
+        let Some(Resource::Page(page)) = network.peek(page_url) else {
+            continue;
+        };
+        for r in &page.scripts {
+            match r {
+                ScriptRef::Inline { source, label } => {
+                    bodies
+                        .entry(canvassing_script::source_hash(source))
+                        .or_insert_with(|| (source.clone(), label.clone()));
+                }
+                ScriptRef::External(url) => {
+                    if let Some(Resource::Script(s)) = network.peek(url) {
+                        bodies
+                            .entry(canvassing_script::source_hash(&s.source))
+                            .or_insert_with(|| (s.source.clone(), s.label.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut stats = BytecodeTriageStats::default();
+    for (source, label) in bodies.values() {
+        stats.unique_bodies += 1;
+        let evasive = label.starts_with("evasive:");
+        if evasive {
+            stats.evasive_bodies += 1;
+        }
+        let Ok(program) = canvassing_script::parse(source) else {
+            stats.ast_inconclusive += 1;
+            continue;
+        };
+        if classify(&program).verdict == Verdict::Inconclusive {
+            stats.ast_inconclusive += 1;
+            let merged = classify_merged(&program).verdict;
+            if merged != Verdict::Inconclusive {
+                stats.recovered += 1;
+                if merged.is_fingerprinting() {
+                    stats.recovered_fingerprinting += 1;
+                }
+                if evasive {
+                    stats.evasive_recovered += 1;
+                }
+            }
+        }
+        let compiled = canvassing_script::compile(&program);
+        match canvassing_script::verify(&compiled) {
+            Ok(v) => {
+                stats.verified_chunks += v.chunks;
+                stats.verified_insns += v.insns;
+                stats.verifier_max_stack = stats.verifier_max_stack.max(v.max_stack);
+            }
+            Err(_) => stats.verifier_rejections += 1,
+        }
+    }
+    stats
+}
+
 /// One per-vendor cross-validation row: the static verdict on the
 /// vendor's script body against the vendor's known runtime behavior
 /// (every modeled vendor fingerprints dynamically; `double_render` comes
@@ -229,6 +331,49 @@ mod tests {
         m.record(Verdict::Benign, true); // a miss
         assert!(m.recall() < 1.0);
         assert!(m.f1() < 1.0);
+    }
+
+    #[test]
+    fn bytecode_triage_recovers_an_evasive_inline_body() {
+        use canvassing_net::{PageResource, ScriptResource};
+        let mut network = Network::new();
+        let script_url = Url::https("cdn.test", "/benign.js");
+        network.host(
+            &script_url,
+            Resource::Script(ScriptResource {
+                source: canvassing_vendors::benign::source(
+                    canvassing_vendors::benign::BenignKind::SmallBadge,
+                    1,
+                ),
+                label: "badge".into(),
+            }),
+        );
+        let page = Url::https("site.test", "/");
+        network.host(
+            &page,
+            Resource::Page(PageResource {
+                scripts: vec![
+                    ScriptRef::Inline {
+                        source: canvassing_webgen::evasive_script(0),
+                        label: canvassing_webgen::evasion_label(0),
+                    },
+                    ScriptRef::External(script_url),
+                ],
+                consent_banner: false,
+                bot_check: false,
+            }),
+        );
+        let stats = bytecode_triage(&network, &[page]);
+        assert_eq!(stats.unique_bodies, 2);
+        assert_eq!(stats.evasive_bodies, 1);
+        assert_eq!(stats.ast_inconclusive, 1);
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(stats.recovered_fingerprinting, 1);
+        assert_eq!(stats.evasive_recovered, 1);
+        assert!(stats.verified_chunks >= 2, "{stats:?}");
+        assert!(stats.verified_insns > 0);
+        assert!(stats.verifier_max_stack > 0);
+        assert_eq!(stats.verifier_rejections, 0);
     }
 
     #[test]

@@ -150,6 +150,26 @@ pub enum Op {
     Halt,
 }
 
+impl Op {
+    /// The absolute in-chunk target when this op can transfer control,
+    /// `None` for straight-line ops. Exposed so downstream consumers
+    /// (the verifier, the abstract interpreter's CFG builder) resolve
+    /// control flow without pattern-matching every jump variant.
+    pub fn jump_target(&self) -> Option<u32> {
+        match self {
+            Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfFalsyPeek(t) | Op::JumpIfTruthyPeek(t) => {
+                Some(*t)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether control never falls through to the next instruction.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Op::Jump(_) | Op::Return | Op::RaiseLoopCtl | Op::Halt)
+    }
+}
+
 /// One instruction: the operation plus the tree-walker ticks it charges
 /// against the step budget *before* executing.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -196,10 +216,44 @@ pub struct CompiledProgram {
     pub main: Vec<Insn>,
 }
 
+/// A borrowed view of one code chunk (main or a function body), the
+/// unit the verifier and the bytecode abstract interpreter work on.
+#[derive(Debug, Clone, Copy)]
+pub struct Chunk<'a> {
+    /// Function-table index; `None` for the main chunk.
+    pub fn_index: Option<usize>,
+    /// Interned function name; `None` for the main chunk.
+    pub name: Option<u32>,
+    /// Parameter count (parameters occupy the lowest frame slots).
+    pub params: usize,
+    /// Frame size in local slots.
+    pub slots: u32,
+    /// The instruction stream.
+    pub code: &'a [Insn],
+}
+
 impl CompiledProgram {
     /// Total instruction count across the main chunk and all functions.
     pub fn instruction_count(&self) -> usize {
         self.main.len() + self.fns.iter().map(|f| f.code.len()).sum::<usize>()
+    }
+
+    /// Iterates every chunk of the program, main first.
+    pub fn chunks(&self) -> impl Iterator<Item = Chunk<'_>> {
+        std::iter::once(Chunk {
+            fn_index: None,
+            name: None,
+            params: 0,
+            slots: self.main_slots,
+            code: &self.main,
+        })
+        .chain(self.fns.iter().enumerate().map(|(i, f)| Chunk {
+            fn_index: Some(i),
+            name: Some(f.name),
+            params: f.params.len(),
+            slots: f.max_slots,
+            code: &f.code,
+        }))
     }
 }
 

@@ -123,6 +123,19 @@ impl Default for ScriptCache {
     }
 }
 
+/// Compiles a program, running the bytecode verifier on the result in
+/// debug builds (so every test-suite and CI compile proves the codegen
+/// invariants in [`crate::verify`]). Release crawls skip the check;
+/// the `lint` bin re-verifies the full corpus explicitly.
+fn compile_checked(program: &Program) -> crate::CompiledProgram {
+    let bytecode = crate::compile::compile(program);
+    #[cfg(debug_assertions)]
+    if let Err(e) = crate::verify::verify(&bytecode) {
+        panic!("bytecode verifier rejected a compiled chunk: {e}");
+    }
+    bytecode
+}
+
 impl ScriptCache {
     /// Creates an empty cache.
     pub fn new() -> ScriptCache {
@@ -153,7 +166,7 @@ impl ScriptCache {
             // Unreachable: lookup(_, true) compiles whenever the parse
             // succeeded. Compile here rather than panic.
             None => Ok(ExecutableScript {
-                bytecode: Arc::new(crate::compile::compile(&program)),
+                bytecode: Arc::new(compile_checked(&program)),
                 program,
             }),
         }
@@ -196,7 +209,7 @@ impl ScriptCache {
         match looked.bytecode {
             Some(bytecode) => Ok(ExecutableScript { program, bytecode }),
             None => Ok(ExecutableScript {
-                bytecode: Arc::new(crate::compile::compile(&program)),
+                bytecode: Arc::new(compile_checked(&program)),
                 program,
             }),
         }
@@ -266,7 +279,7 @@ impl ScriptCache {
                 // guarantee (and determinism) as parsing.
                 self.compiles.fetch_add(1, Ordering::Relaxed);
                 was_compile = true;
-                entry.bytecode = Some(Arc::new(crate::compile::compile(program)));
+                entry.bytecode = Some(Arc::new(compile_checked(program)));
             }
         }
         Looked {

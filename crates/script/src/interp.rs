@@ -438,8 +438,9 @@ pub(crate) fn builtin_index(name: &str) -> Option<u16> {
         .map(|i| i as u16)
 }
 
-/// Name of builtin `idx` (for disassembly; "?" when out of range).
-pub(crate) fn builtin_name(idx: u16) -> &'static str {
+/// Name of builtin `idx` (for disassembly and downstream bytecode
+/// analyses; `"?"` when out of range).
+pub fn builtin_name(idx: u16) -> &'static str {
     BUILTIN_NAMES.get(idx as usize).copied().unwrap_or("?")
 }
 

@@ -45,15 +45,17 @@ pub mod parser;
 #[cfg(test)]
 mod proptests;
 pub mod value;
+pub mod verify;
 pub mod vm;
 
 pub use ast::{AssignTarget, BinOp, Expr, FnDecl, Program, Stmt, UnOp};
-pub use bytecode::{disassemble, CompiledProgram};
+pub use bytecode::{disassemble, Chunk, CompiledProgram};
 pub use cache::{source_hash, ExecutableScript, ScriptCache, ScriptCacheStats};
 pub use compile::compile;
 pub use interp::{eval, eval_with_budget, run, run_with_budget, EvalOutcome, DEFAULT_STEP_BUDGET};
 pub use parser::{parse, ParseError};
 pub use value::{Host, HostRef, NullHost, RuntimeError, Value};
+pub use verify::{verify, VerifyError, VerifyStats};
 pub use vm::{
     eval_engine_with_budget, run_compiled, run_compiled_with_budget, run_engine_with_budget,
     ExecEngine,

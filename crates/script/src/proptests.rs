@@ -669,6 +669,23 @@ fn seeded_random_programs_agree_across_engines() {
     }
 }
 
+/// The verifier accepts every chunk the compiler emits across the same
+/// 400-seed generator corpus the differential suite uses, and its stats
+/// cover every instruction of every chunk.
+#[test]
+fn verifier_accepts_every_generated_chunk() {
+    for seed in 0..400u64 {
+        let src = ProgramGen::new(seed).program();
+        let program = crate::parse(&src).expect("generator output parses");
+        let compiled = crate::compile::compile(&program);
+        let stats = crate::verify::verify(&compiled).unwrap_or_else(|e| {
+            panic!("seed {seed}: verifier rejected compiled chunk: {e}\n{src}")
+        });
+        assert_eq!(stats.insns, compiled.instruction_count());
+        assert_eq!(stats.chunks, 1 + compiled.fns.len());
+    }
+}
+
 /// Exhaustion mid-loop: every budget value across a while and a for
 /// loop, so the per-iteration tick and loop-head fuel attribution are
 /// pinned exactly.

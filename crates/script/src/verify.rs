@@ -1,0 +1,483 @@
+//! Bytecode verifier: proves structural well-formedness of a
+//! [`CompiledProgram`] without executing it.
+//!
+//! The compiler ([`crate::compile::compile`]) is total and trusted, but
+//! the bytecode is now consumed by more than the VM: the abstract
+//! interpreter in `canvassing-analysis` walks chunks as CFGs, and the
+//! crawl caches share compiled programs across workers. The verifier
+//! pins the invariants both consumers rely on, so a codegen regression
+//! surfaces as a deterministic verification error instead of a skewed
+//! verdict or a VM panic deep inside a crawl:
+//!
+//! * **Stack discipline** — a forward dataflow over every reachable
+//!   instruction proves the operand stack never underflows, every join
+//!   point is reached at one consistent depth, [`Op::Return`] always
+//!   sees exactly the return value (depth 1), and [`Op::Halt`] sees an
+//!   empty stack.
+//! * **Control flow** — every jump target lands strictly inside the
+//!   chunk, and control can never fall off the end (the last
+//!   instruction of a chunk is a terminator).
+//! * **Operand bounds** — constant-pool, symbol-table, function-table,
+//!   builtin, and frame-slot operands all index within their tables.
+//! * **Fuel attribution** — the three static consequences of the
+//!   compiler's pending-tick scheme (DESIGN.md §12) hold: a dedicated
+//!   [`Op::Fuel`] always carries fuel, the first instruction of any
+//!   non-trivial chunk carries the first statement's entry tick, and
+//!   every backward-jump target (loop head) carries fuel so each
+//!   iteration is charged.
+//!
+//! [`crate::ScriptCache`] runs the verifier on every compile in debug
+//! builds (so the whole test suite and CI exercise it); release
+//! consumers such as the `lint` bin call [`verify`] explicitly.
+
+use crate::bytecode::{CompiledProgram, Insn, Op};
+
+/// A verification failure: which chunk, which instruction, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Chunk name: `"main"` or `"fn <name>"`.
+    pub chunk: String,
+    /// Instruction offset within the chunk.
+    pub pc: usize,
+    /// Human-readable violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} @ {:04}: {}", self.chunk, self.pc, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Aggregate statistics from a successful verification (reported in the
+/// study's bytecode-analyzer rows).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyStats {
+    /// Chunks checked (main + one per function).
+    pub chunks: usize,
+    /// Total instructions checked.
+    pub insns: usize,
+    /// Peak verified operand-stack depth across all chunks.
+    pub max_stack: u32,
+}
+
+impl VerifyStats {
+    /// Merges another run's statistics into this one.
+    pub fn absorb(&mut self, other: VerifyStats) {
+        self.chunks += other.chunks;
+        self.insns += other.insns;
+        self.max_stack = self.max_stack.max(other.max_stack);
+    }
+}
+
+/// Verifies every chunk of a compiled program. Returns aggregate stats
+/// on success, the first violation found otherwise.
+pub fn verify(prog: &CompiledProgram) -> Result<VerifyStats, VerifyError> {
+    let mut stats = VerifyStats::default();
+    for &f in &prog.hoisted {
+        if f as usize >= prog.fns.len() {
+            return Err(VerifyError {
+                chunk: "main".to_string(),
+                pc: 0,
+                message: format!("hoisted function index f{f} out of bounds"),
+            });
+        }
+    }
+    verify_chunk(prog, "main".to_string(), &prog.main, prog.main_slots, true)
+        .map(|s| stats.absorb(s))?;
+    for f in &prog.fns {
+        let name = prog
+            .symbols
+            .get(f.name as usize)
+            .map(String::as_str)
+            .unwrap_or("?");
+        let chunk = format!("fn {name}");
+        if f.name as usize >= prog.symbols.len() {
+            return Err(VerifyError {
+                chunk,
+                pc: 0,
+                message: format!("function name symbol s{} out of bounds", f.name),
+            });
+        }
+        if let Some(&p) = f.params.iter().find(|&&p| p as usize >= prog.symbols.len()) {
+            return Err(VerifyError {
+                chunk,
+                pc: 0,
+                message: format!("parameter symbol s{p} out of bounds"),
+            });
+        }
+        if (f.params.len() as u32) > f.max_slots {
+            return Err(VerifyError {
+                chunk,
+                pc: 0,
+                message: format!(
+                    "{} parameters exceed frame of {} slots",
+                    f.params.len(),
+                    f.max_slots
+                ),
+            });
+        }
+        verify_chunk(prog, chunk, &f.code, f.max_slots, false).map(|s| stats.absorb(s))?;
+    }
+    Ok(stats)
+}
+
+/// Net stack pops (`need`) and pushes of one op's fall-through path.
+/// Peek-jumps report their *fall-through* effect (the pop); the taken
+/// edge keeps the value and is handled at the successor computation.
+fn stack_effect(op: &Op) -> (u32, u32) {
+    match op {
+        Op::Const(_) | Op::LoadLocal(_) | Op::LoadGlobal(_) => (0, 1),
+        Op::StoreLocal(_) | Op::StoreGlobal(_) => (1, 1),
+        Op::DeclareLocal(_) | Op::DeclareGlobal(_) | Op::Pop | Op::StoreLast => (1, 0),
+        Op::Dup => (1, 2),
+        Op::Unary(_) => (1, 1),
+        Op::Binary(_) => (2, 1),
+        Op::MakeArray(n) => (*n, 1),
+        Op::GetMember(_) => (1, 1),
+        Op::GetIndex => (2, 1),
+        Op::SetMember(_) => (2, 0),
+        Op::SetIndex => (3, 0),
+        Op::CallBuiltin { argc, .. } | Op::CallFn { argc, .. } => (*argc as u32, 1),
+        Op::CallMethod { argc, .. } => (*argc as u32 + 1, 1),
+        Op::Jump(_) => (0, 0),
+        Op::JumpIfFalse(_) | Op::JumpIfFalsyPeek(_) | Op::JumpIfTruthyPeek(_) => (1, 0),
+        Op::SetLastNull | Op::DeclareFn(_) | Op::Fuel => (0, 0),
+        Op::Return => (1, 0),
+        Op::RaiseLoopCtl | Op::Halt => (0, 0),
+    }
+}
+
+fn verify_chunk(
+    prog: &CompiledProgram,
+    chunk: String,
+    code: &[Insn],
+    slots: u32,
+    is_main: bool,
+) -> Result<VerifyStats, VerifyError> {
+    let fail = |pc: usize, message: String| VerifyError {
+        chunk: chunk.clone(),
+        pc,
+        message,
+    };
+    if code.is_empty() {
+        return Err(fail(0, "empty chunk".to_string()));
+    }
+    let len = code.len();
+
+    // -- Static pass: operand bounds, jump validity, fuel attribution. --
+    let last = len - 1;
+    if !code[last].op.is_terminator() {
+        return Err(fail(last, "chunk does not end in a terminator".to_string()));
+    }
+    // First statement's entry tick must ride the first instruction. In a
+    // function chunk the trailing implicit `return null` (2 insns) is
+    // tick-free, so only longer chunks imply a leading statement.
+    let trivial_len = if is_main { 1 } else { 2 };
+    if len > trivial_len && code[0].fuel == 0 {
+        return Err(fail(
+            0,
+            "first instruction carries no entry tick".to_string(),
+        ));
+    }
+    for (pc, insn) in code.iter().enumerate() {
+        let bound = |idx: u32, n: usize, what: &str| -> Result<(), VerifyError> {
+            if idx as usize >= n {
+                Err(fail(
+                    pc,
+                    format!("{what} {idx} out of bounds (table len {n})"),
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        match insn.op {
+            Op::Const(c) => bound(c, prog.consts.len(), "constant")?,
+            Op::LoadLocal(i) | Op::StoreLocal(i) | Op::DeclareLocal(i) => {
+                bound(i, slots as usize, "frame slot")?
+            }
+            Op::LoadGlobal(s)
+            | Op::StoreGlobal(s)
+            | Op::DeclareGlobal(s)
+            | Op::GetMember(s)
+            | Op::SetMember(s) => bound(s, prog.symbols.len(), "symbol")?,
+            Op::CallFn { name, .. } => bound(name, prog.symbols.len(), "symbol")?,
+            Op::CallMethod { method, .. } => bound(method, prog.symbols.len(), "symbol")?,
+            Op::CallBuiltin { builtin, .. } => bound(
+                builtin as u32,
+                crate::interp::BUILTIN_NAMES.len(),
+                "builtin",
+            )?,
+            Op::DeclareFn(f) => bound(f, prog.fns.len(), "function")?,
+            Op::Halt if !is_main => {
+                return Err(fail(pc, "halt inside a function chunk".to_string()))
+            }
+            Op::Fuel if insn.fuel == 0 => {
+                return Err(fail(pc, "fuel instruction carries no fuel".to_string()))
+            }
+            _ => {}
+        }
+        if let Some(t) = insn.op.jump_target() {
+            if t as usize >= len {
+                return Err(fail(
+                    pc,
+                    format!("jump target {t} out of bounds (len {len})"),
+                ));
+            }
+            // Loop heads must charge the per-iteration tick: a backward
+            // edge whose target absorbs no fuel would let `while(1){}`
+            // run the budget without ever being charged.
+            if t as usize <= pc && code[t as usize].fuel == 0 {
+                return Err(fail(
+                    pc,
+                    format!("backward-jump target {t} carries no fuel"),
+                ));
+            }
+        }
+    }
+
+    // -- Dataflow pass: stack depth over every reachable instruction. --
+    let mut depth_at: Vec<Option<u32>> = vec![None; len];
+    let mut worklist: Vec<(usize, u32)> = vec![(0, 0)];
+    let mut max_stack = 0u32;
+    while let Some((pc, depth)) = worklist.pop() {
+        match depth_at[pc] {
+            Some(d) if d == depth => continue,
+            Some(d) => {
+                return Err(fail(
+                    pc,
+                    format!("inconsistent stack depth at join: {d} vs {depth}"),
+                ));
+            }
+            None => depth_at[pc] = Some(depth),
+        }
+        let op = &code[pc].op;
+        let (need, push) = stack_effect(op);
+        if depth < need {
+            return Err(fail(
+                pc,
+                format!("stack underflow: depth {depth}, need {need}"),
+            ));
+        }
+        let after = depth - need + push;
+        max_stack = max_stack.max(after);
+        match op {
+            Op::Return if depth != 1 => {
+                return Err(fail(pc, format!("return at stack depth {depth}, want 1")));
+            }
+            Op::Halt if depth != 0 => {
+                return Err(fail(pc, format!("halt at stack depth {depth}, want 0")));
+            }
+            _ => {}
+        }
+        // Taken edge: peek-jumps keep the value, so the taken depth is
+        // the entry depth; the conditional pop only happens on
+        // fall-through.
+        match op {
+            Op::Jump(t) | Op::JumpIfFalsyPeek(t) | Op::JumpIfTruthyPeek(t) => {
+                worklist.push((*t as usize, depth));
+            }
+            Op::JumpIfFalse(t) => worklist.push((*t as usize, after)),
+            _ => {}
+        }
+        if !op.is_terminator() {
+            if pc + 1 >= len {
+                return Err(fail(pc, "control falls off the chunk end".to_string()));
+            }
+            worklist.push((pc + 1, after));
+        }
+    }
+
+    Ok(VerifyStats {
+        chunks: 1,
+        insns: len,
+        max_stack,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{CompiledFn, Const};
+    use crate::{compile, parse};
+
+    fn verified(src: &str) -> VerifyStats {
+        let prog = parse(src).expect("parse");
+        verify(&compile(&prog)).expect("verify")
+    }
+
+    #[test]
+    fn accepts_representative_programs() {
+        let cases = [
+            "",
+            "1 + 2;",
+            "let x = 6; x * 7;",
+            "let s = \"a\" + \"b\"; s.slice(0, 1);",
+            "if (1 < 2) { 3; } else { 4; }",
+            "let i = 0; while (i < 10) { i = i + 1; } i;",
+            "for (let i = 0; i < 3; i = i + 1) { i; }",
+            "fn f(a, b) { return a + b; } f(1, 2);",
+            "fn g() { } g();",
+            "fn h(n) { if (n < 1) { return 0; } return h(n - 1); } h(3);",
+            "let a = [1, 2, 3]; a[0] = 9; a.push(4); a.join(\"-\");",
+            "let c = document.createElement(\"canvas\"); c.width = 16;",
+            "true && false || 1;",
+            "while (0) { break; }",
+            "for (;;) { break; }",
+        ];
+        for src in cases {
+            let stats = verified(src);
+            assert!(stats.chunks >= 1, "{src}: no chunks verified");
+        }
+    }
+
+    #[test]
+    fn stats_count_every_chunk_and_insn() {
+        let prog = compile(&parse("fn f() { return 1; } f();").expect("parse"));
+        let stats = verify(&prog).expect("verify");
+        assert_eq!(stats.chunks, 2);
+        assert_eq!(stats.insns, prog.instruction_count());
+        assert!(stats.max_stack >= 1);
+    }
+
+    fn main_only(code: Vec<Insn>) -> CompiledProgram {
+        CompiledProgram {
+            consts: vec![Const::Null],
+            main: code,
+            ..Default::default()
+        }
+    }
+
+    fn insn(op: Op) -> Insn {
+        Insn { op, fuel: 0 }
+    }
+
+    fn fueled(op: Op) -> Insn {
+        Insn { op, fuel: 1 }
+    }
+
+    #[test]
+    fn rejects_stack_underflow() {
+        let prog = main_only(vec![fueled(Op::Pop), insn(Op::Halt)]);
+        let e = verify(&prog).expect_err("underflow");
+        assert!(e.message.contains("underflow"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unbalanced_halt() {
+        let prog = main_only(vec![fueled(Op::Const(0)), insn(Op::Halt)]);
+        let e = verify(&prog).expect_err("halt depth");
+        assert!(e.message.contains("halt at stack depth"), "{e}");
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_jump() {
+        let prog = main_only(vec![fueled(Op::Jump(9))]);
+        let e = verify(&prog).expect_err("jump oob");
+        assert!(e.message.contains("jump target"), "{e}");
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_operands() {
+        for op in [
+            Op::Const(7),
+            Op::LoadLocal(0),
+            Op::LoadGlobal(0),
+            Op::DeclareFn(0),
+            Op::CallBuiltin {
+                builtin: 999,
+                argc: 0,
+            },
+        ] {
+            let prog = main_only(vec![fueled(op), insn(Op::Halt)]);
+            assert!(verify(&prog).is_err(), "{op:?} should be out of bounds");
+        }
+    }
+
+    #[test]
+    fn rejects_fall_off_end() {
+        let prog = main_only(vec![fueled(Op::Const(0))]);
+        let e = verify(&prog).expect_err("fall off");
+        assert!(e.message.contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unfueled_loop_head() {
+        // A backward jump to an instruction with no fuel: an uncharged
+        // loop. The compiler never emits this (loop heads absorb the
+        // per-iteration tick).
+        let prog = main_only(vec![fueled(Op::Fuel), insn(Op::Jump(1)), insn(Op::Halt)]);
+        let e = verify(&prog).expect_err("unfueled loop");
+        assert!(e.message.contains("carries no fuel"), "{e}");
+    }
+
+    #[test]
+    fn rejects_fuel_op_without_fuel() {
+        let prog = main_only(vec![fueled(Op::Fuel), insn(Op::Fuel), insn(Op::Halt)]);
+        let e = verify(&prog).expect_err("fuel op");
+        assert!(e.message.contains("fuel instruction"), "{e}");
+    }
+
+    #[test]
+    fn rejects_inconsistent_join_depth() {
+        // Two paths reach pc 4 at different depths.
+        let prog = main_only(vec![
+            fueled(Op::Const(0)),
+            insn(Op::JumpIfFalse(3)),
+            insn(Op::Const(0)),
+            insn(Op::Const(0)),
+            insn(Op::Pop),
+            insn(Op::Pop),
+            insn(Op::Halt),
+        ]);
+        let e = verify(&prog).expect_err("join");
+        assert!(e.message.contains("inconsistent stack depth"), "{e}");
+    }
+
+    #[test]
+    fn rejects_return_depth_in_fn() {
+        let prog = CompiledProgram {
+            consts: vec![Const::Null],
+            symbols: vec!["f".to_string()],
+            fns: vec![CompiledFn {
+                name: 0,
+                params: vec![],
+                max_slots: 0,
+                code: vec![fueled(Op::Const(0)), insn(Op::Const(0)), insn(Op::Return)],
+            }],
+            hoisted: vec![0],
+            main_slots: 0,
+            main: vec![insn(Op::Halt)],
+        };
+        let e = verify(&prog).expect_err("return depth");
+        assert!(e.message.contains("return at stack depth"), "{e}");
+    }
+
+    #[test]
+    fn rejects_halt_in_fn_chunk() {
+        let prog = CompiledProgram {
+            consts: vec![Const::Null],
+            symbols: vec!["f".to_string()],
+            fns: vec![CompiledFn {
+                name: 0,
+                params: vec![],
+                max_slots: 0,
+                code: vec![insn(Op::Halt)],
+            }],
+            hoisted: vec![],
+            main_slots: 0,
+            main: vec![insn(Op::Halt)],
+        };
+        let e = verify(&prog).expect_err("halt in fn");
+        assert!(e.message.contains("halt inside"), "{e}");
+    }
+
+    #[test]
+    fn rejects_missing_entry_tick() {
+        let prog = main_only(vec![insn(Op::Const(0)), insn(Op::Pop), insn(Op::Halt)]);
+        let e = verify(&prog).expect_err("entry tick");
+        assert!(e.message.contains("entry tick"), "{e}");
+    }
+}

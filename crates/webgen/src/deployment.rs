@@ -35,6 +35,13 @@ pub enum ScriptKind {
         /// Blocklist affiliation of the cluster's serving host.
         category: GenericCategory,
     },
+    /// A statically-evasive fingerprinter from the seeded evasion corpus
+    /// ([`crate::evasion`]): runtime behavior identical to a generic
+    /// fingerprinter, source written to defeat syntactic analysis.
+    Evasive {
+        /// Which evasion variant (same variant ⇒ same script everywhere).
+        variant: u32,
+    },
 }
 
 /// One planned deployment on one site.
@@ -526,6 +533,25 @@ fn plan_cohort<R: Rng>(
         }
     }
 
+    // ----- seeded evasion corpus -----
+    // Statically-evasive variants ride along on sites that already
+    // fingerprint (so the cohort's fingerprinting-site count is
+    // untouched), bundled into first-party code the way real evasive
+    // deployments hide. Assignment is deterministic in the (already
+    // shuffled) fingerprinting-site order.
+    let evasive_target = config.scaled(if cohort == Cohort::Popular { 40 } else { 30 });
+    if !fp_set.is_empty() {
+        for i in 0..evasive_target {
+            let site = fp_set[i % fp_set.len()];
+            plans[site].deployments.push(Deployment {
+                kind: ScriptKind::Evasive {
+                    variant: i as u32 % crate::evasion::EVASION_VARIANT_COUNT,
+                },
+                serving: Serving::Bundled,
+            });
+        }
+    }
+
     // ----- benign canvas users (Appendix A.2) -----
     use canvassing_vendors::benign::BenignKind;
     // Fully-excluded sites: benign canvases, no fingerprinting
@@ -769,6 +795,39 @@ mod tests {
         for (x, y) in a.sites.iter().zip(&b.sites) {
             assert_eq!(x.deployments, y.deployments, "{}", x.seed.host);
         }
+    }
+
+    #[test]
+    fn evasive_deployments_ride_bundled_on_fingerprinting_sites() {
+        let config = WebConfig::test_scale(11);
+        let plan = test_plan();
+        let (mut popular_n, mut tail_n) = (0usize, 0usize);
+        for p in &plan.sites {
+            for d in &p.deployments {
+                let ScriptKind::Evasive { variant } = d.kind else {
+                    continue;
+                };
+                assert!(variant < crate::evasion::EVASION_VARIANT_COUNT);
+                // Bundled into first-party code, like real evasive
+                // deployments hide.
+                assert_eq!(d.serving, Serving::Bundled, "{}", p.seed.host);
+                // Rides along: the site fingerprints even without it, so
+                // cohort fingerprinting-site counts stay on target.
+                assert!(
+                    p.deployments
+                        .iter()
+                        .any(|o| !matches!(o.kind, ScriptKind::Evasive { .. })),
+                    "{} is evasive-only",
+                    p.seed.host
+                );
+                match p.seed.cohort {
+                    Cohort::Popular => popular_n += 1,
+                    Cohort::Tail => tail_n += 1,
+                }
+            }
+        }
+        assert_eq!(popular_n, config.scaled(40));
+        assert_eq!(tail_n, config.scaled(30));
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! The seeded evasion corpus: fingerprinting scripts written to defeat
+//! *syntactic* static analysis while behaving identically at runtime.
+//!
+//! Every variant performs a lossless read of a ≥16×16 canvas — the
+//! dynamic §3.2 detector flags them all — but each launders the operand
+//! the AST taint pass needs to see literally, so the AST engine can only
+//! say `Inconclusive`. The bytecode abstract interpreter
+//! (`canvassing-analysis::absint`) is expected to recover a decisive
+//! `Fingerprinting` verdict for every variant; the differential test
+//! suite gates that recovery rate at ≥80%.
+//!
+//! Four families, mirroring the evasion patterns catalogued in the
+//! FP-Inspector / FP-Radar line of work:
+//!
+//! * **A — laundered dimensions** (v0, v1): canvas width/height assigned
+//!   from variables or constant arithmetic instead of numeric literals.
+//! * **B — laundered MIME** (v2–v5): the `toDataURL` argument assembled
+//!   by concatenation, `fromCharCode`, `slice`, or case mapping.
+//! * **C — helper indirection** (v6, v7): the canvas is created (and
+//!   sized) inside a helper function and read through its return value.
+//! * **D — laundered exfiltration** (v8, v9): the read result reaches a
+//!   sink through a helper parameter or a piecewise-assembled URL, with
+//!   a family-A/B launder keeping the AST engine undecided.
+
+/// Number of distinct evasion variants in the corpus.
+pub const EVASION_VARIANT_COUNT: u32 = 10;
+
+/// Ground-truth provenance label for an evasion deployment.
+pub fn evasion_label(variant: u32) -> String {
+    format!("evasive:{}", variant % EVASION_VARIANT_COUNT)
+}
+
+/// The script source for one evasion variant. Deterministic; the same
+/// variant is byte-identical everywhere it is deployed (so it clusters
+/// as one canvas, like a generic fingerprinter).
+pub fn evasive_script(variant: u32) -> String {
+    match variant % EVASION_VARIANT_COUNT {
+        // A: dimensions through locals.
+        0 => r##"// ev0: dims via locals
+let w = 220;
+let h = 70;
+let c = document.createElement("canvas");
+c.width = w;
+c.height = h;
+let x = c.getContext("2d");
+x.fillStyle = "#137fb2";
+x.fillRect(4, 4, 120, 30);
+x.fillText("ev0 laundered dims", 6, 24);
+let fp = c.toDataURL();
+fp;
+"##
+        .to_string(),
+        // A: dimensions from constant arithmetic.
+        1 => r##"// ev1: dims via arithmetic
+let base = 100;
+let c = document.createElement("canvas");
+c.width = base * 2 + 40;
+c.height = base - 36;
+let x = c.getContext("2d");
+x.fillStyle = "#b21313";
+x.fillRect(2, 2, 90, 40);
+x.fillText("ev1 computed dims", 5, 30);
+let fp = c.toDataURL();
+fp;
+"##
+        .to_string(),
+        // B: MIME reassembled by concatenation.
+        2 => r##"// ev2: concat mime
+let c = document.createElement("canvas");
+c.width = 250;
+c.height = 44;
+let x = c.getContext("2d");
+x.fillText("ev2 concat mime", 4, 20);
+let m = "image/" + "pn" + "g";
+let fp = c.toDataURL(m);
+fp;
+"##
+        .to_string(),
+        // B: MIME with a charcode-injected byte.
+        3 => r##"// ev3: charcode mime
+let c = document.createElement("canvas");
+c.width = 200;
+c.height = 50;
+let x = c.getContext("2d");
+x.fillText("ev3 charcode mime", 4, 20);
+let m = "image/p" + fromCharCode(110) + "g";
+let fp = c.toDataURL(m);
+fp;
+"##
+        .to_string(),
+        // B: MIME sliced out of a padded literal.
+        4 => r##"// ev4: sliced mime
+let c = document.createElement("canvas");
+c.width = 230;
+c.height = 40;
+let x = c.getContext("2d");
+x.fillText("ev4 sliced mime", 4, 20);
+let m = "xximage/pngzz".slice(2, 11);
+let fp = c.toDataURL(m);
+fp;
+"##
+        .to_string(),
+        // B: MIME through case mapping.
+        5 => r##"// ev5: cased mime
+let c = document.createElement("canvas");
+c.width = 210;
+c.height = 42;
+let x = c.getContext("2d");
+x.fillText("ev5 cased mime", 4, 20);
+let m = "IMAGE/PNG".toLowerCase();
+let fp = c.toDataURL(m);
+fp;
+"##
+        .to_string(),
+        // C: canvas born inside a helper, default dimensions.
+        6 => r##"// ev6: factory helper
+fn makeCanvas() {
+    let c = document.createElement("canvas");
+    return c;
+}
+let k = makeCanvas();
+let x = k.getContext("2d");
+x.fillText("ev6 factory", 5, 20);
+let fp = k.toDataURL();
+fp;
+"##
+        .to_string(),
+        // C: helper sizes and draws before handing the canvas back.
+        7 => r##"// ev7: sized factory
+fn prepared() {
+    let c = document.createElement("canvas");
+    c.width = 240;
+    c.height = 36;
+    let x = c.getContext("2d");
+    x.fillStyle = "#0b6e4f";
+    x.fillRect(1, 1, 200, 30);
+    x.fillText("ev7 prepared", 4, 22);
+    return c;
+}
+let k = prepared();
+let fp = k.toDataURL();
+fp;
+"##
+        .to_string(),
+        // D: sink behind a helper parameter, dims laundered via locals.
+        8 => r##"// ev8: relayed beacon
+fn relay(p) {
+    navigator.sendBeacon("/collect", p);
+}
+let w = 180;
+let h = 44;
+let c = document.createElement("canvas");
+c.width = w;
+c.height = h;
+let x = c.getContext("2d");
+x.fillText("ev8 relayed", 4, 20);
+let fp = c.toDataURL();
+relay(fp);
+0;
+"##
+        .to_string(),
+        // D: assembled endpoint + concat mime, posted to the window.
+        _ => r##"// ev9: assembled endpoint
+let c = document.createElement("canvas");
+c.width = 260;
+c.height = 48;
+let x = c.getContext("2d");
+x.fillText("ev9 assembled", 4, 20);
+let m = "image/" + "png";
+let fp = c.toDataURL(m);
+let u = "/c" + "ol" + "lect";
+window.postMessage(u + fp);
+0;
+"##
+        .to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_are_distinct_and_stable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for v in 0..EVASION_VARIANT_COUNT {
+            let src = evasive_script(v);
+            assert!(seen.insert(src.clone()), "variant {v} duplicates another");
+            assert_eq!(src, evasive_script(v + EVASION_VARIANT_COUNT), "wraps");
+        }
+    }
+
+    #[test]
+    fn every_variant_parses() {
+        for v in 0..EVASION_VARIANT_COUNT {
+            canvassing_script::parse(&evasive_script(v))
+                .unwrap_or_else(|e| panic!("variant {v} failed to parse: {e}"));
+        }
+    }
+
+    fn fresh_host() -> canvassing_dom::Document {
+        canvassing_dom::Document::new(canvassing_raster::DeviceProfile::intel_ubuntu())
+    }
+
+    #[test]
+    fn every_variant_runs_cleanly() {
+        for v in 0..EVASION_VARIANT_COUNT {
+            let program = canvassing_script::parse(&evasive_script(v)).expect("parse");
+            let mut host = fresh_host();
+            canvassing_script::run(&program, &mut host)
+                .unwrap_or_else(|e| panic!("variant {v} failed at runtime: {e}"));
+        }
+    }
+
+    #[test]
+    fn every_variant_reads_a_large_canvas_at_runtime() {
+        for v in 0..EVASION_VARIANT_COUNT {
+            let program = canvassing_script::parse(&evasive_script(v)).expect("parse");
+            let mut host = fresh_host();
+            canvassing_script::run(&program, &mut host).expect("run");
+            let ex = host.extractions();
+            assert!(!ex.is_empty(), "variant {v} performed no canvas read");
+            assert!(
+                ex.iter()
+                    .any(|e| e.width >= 16 && e.height >= 16 && e.mime == "image/png"),
+                "variant {v} read is not a §3.2-qualifying extraction"
+            );
+        }
+    }
+}

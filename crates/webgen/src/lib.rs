@@ -27,6 +27,7 @@
 
 pub mod config;
 pub mod deployment;
+pub mod evasion;
 pub mod listgen;
 pub mod materialize;
 pub mod population;
@@ -36,6 +37,7 @@ use rand::SeedableRng;
 
 pub use config::{Cohort, GenericCategory, Serving, WebConfig};
 pub use deployment::{Deployment, GenericCluster, ScriptKind, SitePlan, WebPlan};
+pub use evasion::{evasion_label, evasive_script, EVASION_VARIANT_COUNT};
 pub use listgen::GeneratedLists;
 
 use canvassing_net::Network;

@@ -71,6 +71,9 @@ fn canonical_host(kind: &ScriptKind) -> String {
                 .to_string(),
         },
         ScriptKind::Generic { cluster, category } => generic_host(*cluster, *category),
+        // Evasive scripts only ever ship bundled; the host below exists
+        // solely so URL derivation stays total.
+        ScriptKind::Evasive { variant } => format!("ev{variant}-bundle.invalid"),
     }
 }
 
@@ -81,6 +84,7 @@ pub fn script_source_for(kind: &ScriptKind, site_host: &str) -> String {
             scripts::source(*id, &scripts::site_token(site_host), *commercial)
         }
         ScriptKind::Generic { cluster, .. } => scripts::generic_fingerprinter(*cluster as u64),
+        ScriptKind::Evasive { variant } => crate::evasion::evasive_script(*variant),
     }
 }
 
@@ -96,6 +100,7 @@ pub fn label_for(kind: &ScriptKind) -> String {
             }
         }
         ScriptKind::Generic { cluster, .. } => format!("generic:{cluster}"),
+        ScriptKind::Evasive { variant } => crate::evasion::evasion_label(*variant),
     }
 }
 
@@ -153,6 +158,7 @@ fn vendor_or_generic_path(kind: &ScriptKind) -> String {
     match kind {
         ScriptKind::Vendor { id, commercial } => vendor_path(*id, *commercial).to_string(),
         ScriptKind::Generic { .. } => "/fp.js".to_string(),
+        ScriptKind::Evasive { .. } => "/ev.js".to_string(),
     }
 }
 

@@ -104,3 +104,22 @@ fn report_renders_resilience_and_observability_sections() {
         );
     }
 }
+
+/// The bytecode-engine rows must render (a regen cannot silently drop
+/// them), with a nonempty corpus and a clean verifier on both cohorts.
+#[test]
+fn report_renders_bytecode_engine_rows() {
+    let report = canonical_report();
+    assert!(report.contains("== Bytecode engine: recovered verdicts and verifier =="));
+    assert!(report.contains("Cohort | bodies | AST-inconclusive | recovered (fp)"));
+    for cohort in ["Popular", "Tail"] {
+        let row = report
+            .lines()
+            .find(|l| l.starts_with(cohort) && l.contains("chunks"))
+            .unwrap_or_else(|| panic!("no bytecode-engine row for {cohort}"));
+        assert!(
+            row.ends_with("0 rejected"),
+            "verifier rejected chunks: {row}"
+        );
+    }
+}
