@@ -1,0 +1,475 @@
+//! `scale` — the million-site streaming scale-out gate (PR 9).
+//!
+//! ```text
+//! scale [--scale F]... [--seed N] [--rss-cap-mb N] [--smoke-scale F]
+//!       [--out PATH] [--baseline PATH] [--check]
+//! ```
+//!
+//! The batch pipeline materializes every `SiteRecord`, so memory grows
+//! linearly with the frontier and the reproduction stalls around scale
+//! 1.0 (40k sites). This harness gates the streaming replacement
+//! ([`run_study_streamed`]) three ways:
+//!
+//! * **memory** — every `--scale` runs the streamed study first, then
+//!   the process-lifetime peak RSS (`VmHWM`) is snapshotted *once*,
+//!   before any in-memory work, and compared against `--rss-cap-mb`.
+//!   The cap is a constant: if streaming is truly constant-memory, the
+//!   same cap holds at every scale.
+//! * **equivalence** — each scale then re-runs the batch [`run_study`]
+//!   and the two rendered reports must be byte-identical (`--check`
+//!   fails otherwise). This necessarily materializes the dataset, which
+//!   is why it happens *after* the RSS snapshot.
+//! * **reach** — `--smoke-scale 25` streams both cohorts of a
+//!   million-site web (2 × 500k) through [`CohortAccumulator`]s,
+//!   proving the scale the batch path cannot touch completes at all.
+//!
+//! Results land in `BENCH_9.json`. The `deterministic` section carries
+//! per-(scale, kind) site counts, fingerprinting counts, and an FNV-1a
+//! hash of each streamed report; `--baseline PATH` requires every fresh
+//! entry to exactly match the committed entry with the same (scale,
+//! kind) — committed entries the run didn't re-measure are ignored, so
+//! CI can gate a reduced-scale subset against the full committed file.
+
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use canvassing::study::{run_study, run_study_streamed, StreamingOptions, StudyOptions};
+use canvassing::CohortAccumulator;
+use canvassing_blocklist::{DisconnectList, FilterList};
+use canvassing_crawler::{crawl_streamed, CrawlConfig};
+use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
+use serde::{Deserialize, Serialize};
+
+struct Args {
+    scales: Vec<f64>,
+    seed: u64,
+    rss_cap_mb: u64,
+    smoke_scale: f64,
+    out: String,
+    baseline: Option<String>,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scales: Vec::new(),
+        seed: 2025,
+        rss_cap_mb: 0,
+        smoke_scale: 0.0,
+        out: "BENCH_9.json".to_string(),
+        baseline: None,
+        check: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> String {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--scale" => args.scales.push(value("--scale").parse().expect("scale")),
+            "--seed" => args.seed = value("--seed").parse().expect("seed"),
+            "--rss-cap-mb" => args.rss_cap_mb = value("--rss-cap-mb").parse().expect("rss-cap-mb"),
+            "--smoke-scale" => {
+                args.smoke_scale = value("--smoke-scale").parse().expect("smoke-scale")
+            }
+            "--out" => args.out = value("--out"),
+            "--baseline" => args.baseline = Some(value("--baseline")),
+            "--check" => args.check = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: scale [--scale F]... [--seed N] [--rss-cap-mb N] \
+                     [--smoke-scale F] [--out PATH] [--baseline PATH] [--check]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.scales.is_empty() {
+        args.scales.push(1.0);
+    }
+    args.scales.sort_by(|a, b| a.partial_cmp(b).expect("scale"));
+    args
+}
+
+/// FNV-1a over a byte string.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Cumulative process CPU time (utime + stime) in milliseconds, from
+/// /proc/self/stat; 0.0 when unavailable.
+fn cpu_time_ms() -> f64 {
+    let Ok(stat) = std::fs::read_to_string("/proc/self/stat") else {
+        return 0.0;
+    };
+    let Some(after_comm) = stat.rsplit(')').next() else {
+        return 0.0;
+    };
+    let fields: Vec<&str> = after_comm.split_whitespace().collect();
+    let ticks: u64 = match (
+        fields.get(11).and_then(|v| v.parse::<u64>().ok()),
+        fields.get(12).and_then(|v| v.parse::<u64>().ok()),
+    ) {
+        (Some(u), Some(s)) => u + s,
+        _ => return 0.0,
+    };
+    ticks as f64 * 10.0
+}
+
+/// VmHWM from /proc/self/status, in kB (0 when unavailable).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The study configuration the gate runs: control crawls with traces
+/// (so the observability section exercises per-chunk flushing), no
+/// re-crawl experiments — the streamed-vs-batch delta is entirely in
+/// the control path, and the extra crawls would only dilute the gate.
+fn gate_options() -> StudyOptions {
+    StudyOptions {
+        workers: 8,
+        adblock_crawls: false,
+        m1_validation: false,
+        defense_sweep: false,
+        trace: true,
+        serving: false,
+        engine: Default::default(),
+    }
+}
+
+/// One measured run in the machine-independent section. `kind` is
+/// `"gate"` (streamed study + batch equivalence) or `"smoke"`
+/// (streamed crawl reach, counts only).
+#[derive(Clone, Serialize, Deserialize, PartialEq)]
+struct ScaleEntry {
+    scale: f64,
+    kind: String,
+    /// Sites attempted across both cohorts.
+    sites: u64,
+    /// Successful visits across both cohorts.
+    successes: u64,
+    /// Fingerprinting sites across both cohorts.
+    fingerprinting_sites: u64,
+    /// Unique canvases across both cohorts (not deduplicated between).
+    unique_canvases: u64,
+    /// FNV-1a of the streamed report bytes (gate runs only).
+    report_fnv: Option<String>,
+    /// Whether the batch report matched byte for byte (gate runs only).
+    matches_in_memory: Option<bool>,
+}
+
+/// Same scale + seed must reproduce this section exactly on any host.
+#[derive(Serialize, Deserialize, PartialEq)]
+struct Deterministic {
+    seed: u64,
+    entries: Vec<ScaleEntry>,
+}
+
+#[derive(Serialize)]
+struct Timing {
+    scale: f64,
+    kind: &'static str,
+    phase: &'static str,
+    wall_ms: f64,
+    cpu_ms: f64,
+    sites_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    deterministic: Deterministic,
+    /// Peak RSS after all streaming phases, before any batch run — the
+    /// `--rss-cap-mb` gate value.
+    streaming_peak_rss_kb: u64,
+    rss_cap_mb: u64,
+    /// Final process peak RSS (includes the batch equivalence runs).
+    peak_rss_kb: u64,
+    timings: Vec<Timing>,
+}
+
+fn timed<T>(
+    timings: &mut Vec<Timing>,
+    scale: f64,
+    kind: &'static str,
+    phase: &'static str,
+    sites: u64,
+    f: impl FnOnce() -> T,
+) -> T {
+    let start = std::time::Instant::now();
+    let cpu_start = cpu_time_ms();
+    let out = f();
+    let wall = start.elapsed().as_secs_f64() * 1e3;
+    let cpu = cpu_time_ms() - cpu_start;
+    let secs = (wall / 1e3).max(1e-9);
+    eprintln!(
+        "[scale] {kind} {scale}: {phase} done in {:.1}s ({:.0} sites/sec)",
+        wall / 1e3,
+        sites as f64 / secs
+    );
+    timings.push(Timing {
+        scale,
+        kind,
+        phase,
+        wall_ms: wall,
+        cpu_ms: cpu,
+        sites_per_sec: sites as f64 / secs,
+    });
+    out
+}
+
+/// Streams both cohorts of a web through accumulators without building
+/// a study — the smoke path: proves the crawl + fold pipeline completes
+/// at scales where reports are beside the point.
+fn smoke(web: &SyntheticWeb, workers: usize) -> ScaleEntry {
+    let easylist = FilterList::parse("EasyList", &web.lists.easylist);
+    let easyprivacy = FilterList::parse("EasyPrivacy", &web.lists.easyprivacy);
+    let disconnect = DisconnectList::parse(&web.lists.disconnect);
+    let mut config = CrawlConfig::control();
+    config.workers = workers;
+
+    let mut entry = ScaleEntry {
+        scale: 0.0,
+        kind: "smoke".into(),
+        sites: 0,
+        successes: 0,
+        fingerprinting_sites: 0,
+        unique_canvases: 0,
+        report_fnv: None,
+        matches_in_memory: None,
+    };
+    for cohort in [Cohort::Popular, Cohort::Tail] {
+        let frontier = web.frontier(cohort);
+        let caches = config.build_caches();
+        let mut acc = CohortAccumulator::new();
+        crawl_streamed(
+            &web.network,
+            &frontier,
+            &config,
+            &caches,
+            512,
+            |_, record| {
+                acc.absorb(&record, &easylist, &easyprivacy, &disconnect);
+            },
+        );
+        let analysis = acc.finish(cohort);
+        entry.sites += analysis.attempted as u64;
+        entry.successes += analysis.prevalence.successes as u64;
+        entry.fingerprinting_sites += analysis.prevalence.fingerprinting_sites as u64;
+        entry.unique_canvases += analysis.clustering.unique_canvases() as u64;
+    }
+    entry
+}
+
+fn main() {
+    let args = parse_args();
+    let options = gate_options();
+    let streaming = StreamingOptions {
+        chunk_sites: 512,
+        segment_sites: 4096,
+        spill_dir: None,
+        shards: 1,
+    };
+    let mut timings: Vec<Timing> = Vec::new();
+    let mut entries: Vec<ScaleEntry> = Vec::new();
+    let mut streamed_reports: Vec<(f64, String)> = Vec::new();
+
+    // Phase 1 — every streaming run, ascending scale. Nothing batch
+    // happens before the RSS snapshot below, so VmHWM here is the
+    // streaming pipeline's true high-water mark.
+    for &scale in &args.scales {
+        eprintln!(
+            "[scale] gate {scale}: generating web (seed {}) ...",
+            args.seed
+        );
+        let web = SyntheticWeb::generate(WebConfig {
+            seed: args.seed,
+            scale,
+        });
+        let sites = (web.frontier(Cohort::Popular).len() + web.frontier(Cohort::Tail).len()) as u64;
+        let results = timed(&mut timings, scale, "gate", "streamed_study", sites, || {
+            run_study_streamed(&web, &options, &streaming).expect("no spill configured")
+        });
+        let report = results.render_report();
+        entries.push(ScaleEntry {
+            scale,
+            kind: "gate".into(),
+            sites,
+            successes: (results.popular.prevalence.successes + results.tail.prevalence.successes)
+                as u64,
+            fingerprinting_sites: (results.popular.prevalence.fingerprinting_sites
+                + results.tail.prevalence.fingerprinting_sites)
+                as u64,
+            unique_canvases: (results.popular.clustering.unique_canvases()
+                + results.tail.clustering.unique_canvases()) as u64,
+            report_fnv: Some(format!("{:016x}", fnv(report.as_bytes()))),
+            matches_in_memory: None,
+        });
+        streamed_reports.push((scale, report));
+    }
+    // The memory gate: every gate-scale streaming study has run,
+    // nothing batch has. The smoke run comes after the snapshot — its
+    // synthetic *web* alone dwarfs any dataset (a million generated
+    // sites live in memory), so it gates reach, not residency.
+    let streaming_peak_rss_kb = peak_rss_kb();
+    eprintln!(
+        "[scale] streaming peak RSS: {:.1} MB (cap: {} MB)",
+        streaming_peak_rss_kb as f64 / 1024.0,
+        args.rss_cap_mb
+    );
+    let mut check_failures: Vec<String> = Vec::new();
+    if args.rss_cap_mb > 0 && streaming_peak_rss_kb > args.rss_cap_mb * 1024 {
+        check_failures.push(format!(
+            "streaming peak RSS {:.1} MB exceeds the {} MB cap",
+            streaming_peak_rss_kb as f64 / 1024.0,
+            args.rss_cap_mb
+        ));
+    }
+
+    // Phase 2 — reach: stream a million-site web's cohorts end to end.
+    if args.smoke_scale > 0.0 {
+        let scale = args.smoke_scale;
+        eprintln!(
+            "[scale] smoke {scale}: generating web (seed {}) ...",
+            args.seed
+        );
+        let web = SyntheticWeb::generate(WebConfig {
+            seed: args.seed,
+            scale,
+        });
+        let sites = (web.frontier(Cohort::Popular).len() + web.frontier(Cohort::Tail).len()) as u64;
+        let mut entry = timed(
+            &mut timings,
+            scale,
+            "smoke",
+            "streamed_crawl",
+            sites,
+            || smoke(&web, options.workers),
+        );
+        entry.scale = scale;
+        assert_eq!(entry.sites, sites);
+        entries.push(entry);
+    }
+
+    // Phase 3 — batch equivalence: the in-memory study must render the
+    // same bytes. Runs after the RSS snapshot because it materializes
+    // full datasets by design.
+    for (scale, streamed_report) in &streamed_reports {
+        let web = SyntheticWeb::generate(WebConfig {
+            seed: args.seed,
+            scale: *scale,
+        });
+        let sites = (web.frontier(Cohort::Popular).len() + web.frontier(Cohort::Tail).len()) as u64;
+        let batch = timed(&mut timings, *scale, "gate", "batch_study", sites, || {
+            run_study(&web, &options).render_report()
+        });
+        let matches = batch == *streamed_report;
+        if !matches {
+            let at = batch
+                .bytes()
+                .zip(streamed_report.bytes())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| batch.len().min(streamed_report.len()));
+            check_failures.push(format!(
+                "scale {scale}: streamed report diverges from batch at byte {at}"
+            ));
+        }
+        if let Some(entry) = entries
+            .iter_mut()
+            .find(|e| e.kind == "gate" && e.scale == *scale)
+        {
+            entry.matches_in_memory = Some(matches);
+        }
+    }
+
+    let deterministic = Deterministic {
+        seed: args.seed,
+        entries,
+    };
+
+    if let Some(path) = &args.baseline {
+        /// The slice of a committed report the drift gate compares
+        /// (rss and timing fields are machine-dependent and skipped).
+        #[derive(Deserialize)]
+        struct Baseline {
+            deterministic: Deterministic,
+        }
+        let committed: Baseline =
+            serde_json::from_str(&std::fs::read_to_string(path).expect("read baseline"))
+                .expect("parse baseline");
+        if committed.deterministic.seed != deterministic.seed {
+            check_failures.push(format!(
+                "baseline {path} was produced with seed {}, run used {}",
+                committed.deterministic.seed, deterministic.seed
+            ));
+        }
+        for fresh in &deterministic.entries {
+            let Some(committed_entry) = committed
+                .deterministic
+                .entries
+                .iter()
+                .find(|e| e.kind == fresh.kind && e.scale == fresh.scale)
+            else {
+                check_failures.push(format!(
+                    "baseline {path} has no ({}, scale {}) entry",
+                    fresh.kind, fresh.scale
+                ));
+                continue;
+            };
+            if committed_entry != fresh {
+                check_failures.push(format!(
+                    "({}, scale {}) drifted from {path}: committed {} vs fresh {}",
+                    fresh.kind,
+                    fresh.scale,
+                    serde_json::to_string(committed_entry).expect("serialize"),
+                    serde_json::to_string(fresh).expect("serialize"),
+                ));
+            }
+        }
+    }
+
+    let report = BenchReport {
+        bench: "streaming_scale",
+        deterministic,
+        streaming_peak_rss_kb,
+        rss_cap_mb: args.rss_cap_mb,
+        peak_rss_kb: peak_rss_kb(),
+        timings,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&args.out, &json).expect("write report");
+    eprintln!("wrote {}", args.out);
+
+    if args.check && !check_failures.is_empty() {
+        for failure in &check_failures {
+            eprintln!("CHECK FAILED: {failure}");
+        }
+        std::process::exit(1);
+    }
+    if !args.check {
+        for failure in &check_failures {
+            eprintln!("note (no --check): {failure}");
+        }
+    }
+}

@@ -29,7 +29,7 @@
 use std::collections::BTreeMap;
 
 use canvassing_browser::Verdict;
-use canvassing_crawler::{CrawlDataset, VisitFidelity};
+use canvassing_crawler::{CrawlDataset, SiteOutcome, SiteRecord, VisitFidelity};
 use serde::{Deserialize, Serialize};
 
 use crate::detect::SiteDetection;
@@ -54,23 +54,63 @@ impl BiasAccounting {
     /// per-site detections of the dataset's successful visits (the same
     /// slice [`crate::prevalence::Prevalence::compute`] consumes).
     pub fn compute(dataset: &CrawlDataset, detections: &[SiteDetection]) -> BiasAccounting {
-        let tiers = dataset.fidelity_breakdown();
-        let full_fingerprinting = detections.iter().filter(|d| d.is_fingerprinting()).count();
-        let salvage_fingerprinting = dataset
-            .salvaged()
-            .filter(|(_, _, partial)| {
-                partial
-                    .scripts
-                    .iter()
-                    .any(|s| matches!(s.verdict, Some(Verdict::Fingerprinting { .. })))
-            })
-            .count();
-        BiasAccounting {
-            population: dataset.records.len(),
-            tiers,
-            full_fingerprinting,
-            salvage_fingerprinting,
+        let mut acc = BiasAccounting::empty();
+        let mut det = detections.iter();
+        for record in &dataset.records {
+            let d = match &record.outcome {
+                SiteOutcome::Success(_) => det.next(),
+                SiteOutcome::Failure(_) => None,
+            };
+            acc.absorb(record, d);
         }
+        acc
+    }
+
+    /// An accumulator with every fidelity tier present and zero-filled —
+    /// the streaming-path starting point.
+    pub fn empty() -> BiasAccounting {
+        BiasAccounting {
+            population: 0,
+            tiers: VisitFidelity::all().iter().map(|&t| (t, 0)).collect(),
+            full_fingerprinting: 0,
+            salvage_fingerprinting: 0,
+        }
+    }
+
+    /// Folds one site record into the accounting. `detection` must be the
+    /// record's detection when the visit succeeded (and is ignored for
+    /// failures).
+    pub fn absorb(&mut self, record: &SiteRecord, detection: Option<&SiteDetection>) {
+        self.population += 1;
+        *self.tiers.entry(record.fidelity()).or_insert(0) += 1;
+        match &record.outcome {
+            SiteOutcome::Success(_) => {
+                if detection.is_some_and(|d| d.is_fingerprinting()) {
+                    self.full_fingerprinting += 1;
+                }
+            }
+            SiteOutcome::Failure(failure) => {
+                if let Some(partial) = &failure.salvage {
+                    if partial
+                        .scripts
+                        .iter()
+                        .any(|s| matches!(s.verdict, Some(Verdict::Fingerprinting { .. })))
+                    {
+                        self.salvage_fingerprinting += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merges a sibling accumulator (disjoint site sets): plain sums.
+    pub fn merge(&mut self, other: &BiasAccounting) {
+        self.population += other.population;
+        for (&tier, &count) in &other.tiers {
+            *self.tiers.entry(tier).or_insert(0) += count;
+        }
+        self.full_fingerprinting += other.full_fingerprinting;
+        self.salvage_fingerprinting += other.salvage_fingerprinting;
     }
 
     fn tier(&self, t: VisitFidelity) -> usize {

@@ -44,28 +44,11 @@ pub struct Clustering {
 impl Clustering {
     /// Builds clusters from per-site detections.
     pub fn build<'a, I: IntoIterator<Item = &'a SiteDetection>>(detections: I) -> Clustering {
-        let mut map: BTreeMap<&str, Cluster> = BTreeMap::new();
+        let mut acc = ClusterAccumulator::default();
         for d in detections {
-            for c in &d.canvases {
-                let entry = map.entry(c.data_url.as_str()).or_insert_with(|| Cluster {
-                    hash: c.hash,
-                    data_url: c.data_url.clone(),
-                    sites: BTreeSet::new(),
-                    extractions: 0,
-                    script_urls: BTreeSet::new(),
-                });
-                entry.sites.insert(c.site.clone());
-                entry.extractions += 1;
-                entry.script_urls.insert(c.script_url.to_string());
-            }
+            acc.absorb(d);
         }
-        let mut clusters: Vec<Cluster> = map.into_values().collect();
-        clusters.sort_by(|a, b| {
-            b.site_count()
-                .cmp(&a.site_count())
-                .then(a.hash.cmp(&b.hash))
-        });
-        Clustering { clusters }
+        acc.finish()
     }
 
     /// Number of distinct canvases.
@@ -104,6 +87,73 @@ impl Clustering {
             .iter()
             .map(|c| c.sites.iter().cloned().collect::<Vec<String>>())
             .collect()
+    }
+}
+
+/// Streaming fold for [`Clustering`]: a mergeable map keyed by canvas
+/// bytes (data URL). Cluster membership is pure set union plus an
+/// extraction counter, so absorb order and shard partitioning never
+/// change the finished clustering.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ClusterAccumulator {
+    clusters: BTreeMap<String, Cluster>,
+}
+
+impl ClusterAccumulator {
+    /// Folds one site's detection into the cluster map.
+    pub fn absorb(&mut self, d: &SiteDetection) {
+        for c in &d.canvases {
+            let entry = self
+                .clusters
+                .entry(c.data_url.clone())
+                .or_insert_with(|| Cluster {
+                    hash: c.hash,
+                    data_url: c.data_url.clone(),
+                    sites: BTreeSet::new(),
+                    extractions: 0,
+                    script_urls: BTreeSet::new(),
+                });
+            entry.sites.insert(c.site.clone());
+            entry.extractions += 1;
+            entry.script_urls.insert(c.script_url.to_string());
+        }
+    }
+
+    /// Merges a sibling accumulator: union of sites and script URLs per
+    /// canvas, summed extraction counts.
+    pub fn merge(&mut self, other: &ClusterAccumulator) {
+        for (data_url, c) in &other.clusters {
+            let entry = self
+                .clusters
+                .entry(data_url.clone())
+                .or_insert_with(|| Cluster {
+                    hash: c.hash,
+                    data_url: c.data_url.clone(),
+                    sites: BTreeSet::new(),
+                    extractions: 0,
+                    script_urls: BTreeSet::new(),
+                });
+            entry.sites.extend(c.sites.iter().cloned());
+            entry.extractions += c.extractions;
+            entry.script_urls.extend(c.script_urls.iter().cloned());
+        }
+    }
+
+    /// Number of distinct canvases absorbed so far.
+    pub fn unique_canvases(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Finalizes into a [`Clustering`], sorted exactly as the batch path:
+    /// descending site count with a stable tie-break on hash.
+    pub fn finish(&self) -> Clustering {
+        let mut clusters: Vec<Cluster> = self.clusters.values().cloned().collect();
+        clusters.sort_by(|a, b| {
+            b.site_count()
+                .cmp(&a.site_count())
+                .then(a.hash.cmp(&b.hash))
+        });
+        Clustering { clusters }
     }
 }
 
@@ -253,5 +303,29 @@ mod tests {
         let c = Clustering::build(std::iter::empty());
         assert_eq!(c.unique_canvases(), 0);
         assert_eq!(c.sites_covered_by_top(5), 0);
+    }
+
+    #[test]
+    fn accumulator_merge_matches_batch_build() {
+        let sites = [
+            site("a.com", &["X", "Y"]),
+            site("b.com", &["X"]),
+            site("c.com", &["Z"]),
+            site("d.com", &["X", "X"]),
+        ];
+        let batch = Clustering::build(sites.iter());
+        let mut left = ClusterAccumulator::default();
+        left.absorb(&sites[3]);
+        left.absorb(&sites[0]);
+        let mut right = ClusterAccumulator::default();
+        right.absorb(&sites[2]);
+        right.absorb(&sites[1]);
+        left.merge(&right);
+        let merged = left.finish();
+        assert_eq!(
+            serde_json::to_string(&merged.clusters).unwrap(),
+            serde_json::to_string(&batch.clusters).unwrap()
+        );
+        assert_eq!(merged.find("X").unwrap().extractions, 4);
     }
 }

@@ -41,54 +41,71 @@ impl EvasionStats {
     pub fn compute(detections: &[SiteDetection]) -> EvasionStats {
         let mut s = EvasionStats::default();
         for d in detections {
-            if !d.is_fingerprinting() {
-                continue;
-            }
-            s.fingerprinting_sites += 1;
-            let mut first_party = false;
-            let mut subdomain = false;
-            let mut cdn = false;
-            let mut cname = false;
-            let mut bundled = false;
-            for c in &d.canvases {
-                match c.party {
-                    Party::FirstParty => first_party = true,
-                    Party::FirstPartySubdomain => {
-                        first_party = true;
-                        subdomain = true;
-                    }
-                    Party::ThirdParty => {}
-                }
-                if c.cdn {
-                    cdn = true;
-                }
-                if c.cname_cloaked {
-                    cname = true;
-                }
-                if c.inline {
-                    bundled = true;
-                }
-            }
-            if first_party {
-                s.first_party_sites += 1;
-            }
-            if subdomain {
-                s.subdomain_sites += 1;
-            }
-            if cdn {
-                s.cdn_sites += 1;
-            }
-            if cname {
-                s.cname_sites += 1;
-            }
-            if bundled {
-                s.bundled_sites += 1;
-            }
-            if d.double_render_check {
-                s.double_render_sites += 1;
-            }
+            s.absorb(d);
         }
         s
+    }
+
+    /// Folds one site's detection into the counters. Every counter is a
+    /// per-site flag, so absorb order never matters.
+    pub fn absorb(&mut self, d: &SiteDetection) {
+        if !d.is_fingerprinting() {
+            return;
+        }
+        self.fingerprinting_sites += 1;
+        let mut first_party = false;
+        let mut subdomain = false;
+        let mut cdn = false;
+        let mut cname = false;
+        let mut bundled = false;
+        for c in &d.canvases {
+            match c.party {
+                Party::FirstParty => first_party = true,
+                Party::FirstPartySubdomain => {
+                    first_party = true;
+                    subdomain = true;
+                }
+                Party::ThirdParty => {}
+            }
+            if c.cdn {
+                cdn = true;
+            }
+            if c.cname_cloaked {
+                cname = true;
+            }
+            if c.inline {
+                bundled = true;
+            }
+        }
+        if first_party {
+            self.first_party_sites += 1;
+        }
+        if subdomain {
+            self.subdomain_sites += 1;
+        }
+        if cdn {
+            self.cdn_sites += 1;
+        }
+        if cname {
+            self.cname_sites += 1;
+        }
+        if bundled {
+            self.bundled_sites += 1;
+        }
+        if d.double_render_check {
+            self.double_render_sites += 1;
+        }
+    }
+
+    /// Merges a sibling accumulator (disjoint site sets): plain sums.
+    pub fn merge(&mut self, other: &EvasionStats) {
+        self.fingerprinting_sites += other.fingerprinting_sites;
+        self.first_party_sites += other.first_party_sites;
+        self.subdomain_sites += other.subdomain_sites;
+        self.cdn_sites += other.cdn_sites;
+        self.cname_sites += other.cname_sites;
+        self.bundled_sites += other.bundled_sites;
+        self.double_render_sites += other.double_render_sites;
     }
 }
 

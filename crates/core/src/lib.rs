@@ -21,8 +21,13 @@
 //! * [`validation`] — cross-validation of the static AST classifier
 //!   (`canvassing-analysis`) against the dynamic detector: a per-cohort
 //!   confusion matrix over unique script bodies plus per-vendor rows;
+//! * [`accumulate`] — constant-memory streaming aggregation
+//!   ([`accumulate::CohortAccumulator`]): folds visit records into
+//!   cohort state one at a time, mergeable across frontier shards, so
+//!   million-site crawls never materialize a dataset;
 //! * [`study`] — the orchestrator that runs every crawl and produces all
-//!   tables and figures ([`study::run_study`]).
+//!   tables and figures ([`study::run_study`], or
+//!   [`study::run_study_streamed`] for the bounded-memory path).
 //!
 //! ```no_run
 //! use canvassing::study::{run_study, StudyOptions};
@@ -57,6 +62,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod accumulate;
 pub mod attribution;
 pub mod bias;
 pub mod blocklist_coverage;
@@ -70,11 +76,16 @@ mod proptests;
 pub mod study;
 pub mod validation;
 
+pub use accumulate::CohortAccumulator;
 pub use bias::BiasAccounting;
-pub use cluster::{Cluster, Clustering, OverlapStats};
+pub use cluster::{Cluster, ClusterAccumulator, Clustering, OverlapStats};
 pub use detect::{detect, ExclusionReason, FpCanvas, SiteDetection};
 pub use evasion::EvasionStats;
 pub use figures::Figure1;
-pub use prevalence::Prevalence;
-pub use study::{run_study, CohortAnalysis, StudyOptions, StudyResults};
-pub use validation::{cross_validate, vendor_static_rows, ConfusionMatrix, VendorStaticRow};
+pub use prevalence::{Prevalence, PrevalenceAccumulator};
+pub use study::{
+    run_study, run_study_streamed, CohortAnalysis, StreamingOptions, StudyOptions, StudyResults,
+};
+pub use validation::{
+    cross_validate, vendor_static_rows, ConfusionMatrix, ScriptVotes, VendorStaticRow,
+};

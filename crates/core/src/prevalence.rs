@@ -1,5 +1,7 @@
 //! Prevalence statistics (§4.1 and Appendix A.2).
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 
 use crate::detect::{ExclusionReason, SiteDetection};
@@ -57,58 +59,126 @@ impl Prevalence {
     /// Computes prevalence from successful-site detections plus the
     /// attempted-site total.
     pub fn compute(detections: &[SiteDetection], sites_crawled: usize) -> Prevalence {
-        let successes = detections.len();
+        let mut acc = PrevalenceAccumulator::default();
+        for d in detections {
+            acc.absorb(d);
+        }
+        acc.finish(sites_crawled)
+    }
+}
+
+/// Streaming fold for [`Prevalence`]: absorbs one detection at a time,
+/// merges with sibling accumulators in any order, and finishes into the
+/// exact batch result. The per-fingerprinting-site canvas counts are held
+/// as a histogram (count → sites), so memory is bounded by the number of
+/// *distinct* canvas counts, not the number of sites.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct PrevalenceAccumulator {
+    successes: usize,
+    fingerprinting_sites: usize,
+    fully_excluded_sites: usize,
+    total_extractions: usize,
+    fingerprintable_extractions: usize,
+    excluded_by_reason: (usize, usize, usize),
+    lossy_probe_sites: usize,
+    small_canvas_sites: usize,
+    /// Canvases-per-fingerprinting-site histogram: canvas count → sites.
+    canvas_histogram: BTreeMap<usize, usize>,
+}
+
+impl PrevalenceAccumulator {
+    /// Folds one successful-site detection into the accumulator.
+    pub fn absorb(&mut self, d: &SiteDetection) {
+        self.successes += 1;
+        self.total_extractions += d.canvases.len() + d.excluded.len();
+        self.fingerprintable_extractions += d.canvases.len();
+        if d.is_fingerprinting() {
+            self.fingerprinting_sites += 1;
+            *self.canvas_histogram.entry(d.canvases.len()).or_insert(0) += 1;
+        } else if d.is_fully_excluded() {
+            self.fully_excluded_sites += 1;
+        }
+        let mut lossy_here = false;
+        let mut small_here = false;
+        for (reason, _) in &d.excluded {
+            match reason {
+                ExclusionReason::LossyFormat => {
+                    self.excluded_by_reason.0 += 1;
+                    lossy_here = true;
+                }
+                ExclusionReason::TooSmall => {
+                    self.excluded_by_reason.1 += 1;
+                    small_here = true;
+                }
+                ExclusionReason::AnimationScript => self.excluded_by_reason.2 += 1,
+            }
+        }
+        if lossy_here {
+            self.lossy_probe_sites += 1;
+        }
+        if small_here {
+            self.small_canvas_sites += 1;
+        }
+    }
+
+    /// Merges a sibling accumulator (e.g. from another frontier shard).
+    pub fn merge(&mut self, other: &PrevalenceAccumulator) {
+        self.successes += other.successes;
+        self.fingerprinting_sites += other.fingerprinting_sites;
+        self.fully_excluded_sites += other.fully_excluded_sites;
+        self.total_extractions += other.total_extractions;
+        self.fingerprintable_extractions += other.fingerprintable_extractions;
+        self.excluded_by_reason.0 += other.excluded_by_reason.0;
+        self.excluded_by_reason.1 += other.excluded_by_reason.1;
+        self.excluded_by_reason.2 += other.excluded_by_reason.2;
+        self.lossy_probe_sites += other.lossy_probe_sites;
+        self.small_canvas_sites += other.small_canvas_sites;
+        for (&count, &sites) in &other.canvas_histogram {
+            *self.canvas_histogram.entry(count).or_insert(0) += sites;
+        }
+    }
+
+    /// Finalizes into [`Prevalence`]. The mean is the exact integer sum
+    /// Σ(count·sites) divided once, and the median walks the histogram to
+    /// zero-based index `len/2` — both byte-identical to sorting the full
+    /// per-site vector as the batch path used to.
+    pub fn finish(&self, sites_crawled: usize) -> Prevalence {
         let mut p = Prevalence {
             sites_crawled,
-            successes,
-            fingerprinting_sites: 0,
-            fully_excluded_sites: 0,
-            total_extractions: 0,
-            fingerprintable_extractions: 0,
-            excluded_by_reason: (0, 0, 0),
-            lossy_probe_sites: 0,
-            small_canvas_sites: 0,
+            successes: self.successes,
+            fingerprinting_sites: self.fingerprinting_sites,
+            fully_excluded_sites: self.fully_excluded_sites,
+            total_extractions: self.total_extractions,
+            fingerprintable_extractions: self.fingerprintable_extractions,
+            excluded_by_reason: self.excluded_by_reason,
+            lossy_probe_sites: self.lossy_probe_sites,
+            small_canvas_sites: self.small_canvas_sites,
             mean_canvases: 0.0,
             median_canvases: 0,
             max_canvases: 0,
         };
-        let mut per_site: Vec<usize> = Vec::new();
-        for d in detections {
-            p.total_extractions += d.canvases.len() + d.excluded.len();
-            p.fingerprintable_extractions += d.canvases.len();
-            if d.is_fingerprinting() {
-                p.fingerprinting_sites += 1;
-                per_site.push(d.canvases.len());
-            } else if d.is_fully_excluded() {
-                p.fully_excluded_sites += 1;
-            }
-            let mut lossy_here = false;
-            let mut small_here = false;
-            for (reason, _) in &d.excluded {
-                match reason {
-                    ExclusionReason::LossyFormat => {
-                        p.excluded_by_reason.0 += 1;
-                        lossy_here = true;
-                    }
-                    ExclusionReason::TooSmall => {
-                        p.excluded_by_reason.1 += 1;
-                        small_here = true;
-                    }
-                    ExclusionReason::AnimationScript => p.excluded_by_reason.2 += 1,
+        let len: usize = self.canvas_histogram.values().sum();
+        if len > 0 {
+            let total: usize = self
+                .canvas_histogram
+                .iter()
+                .map(|(&count, &sites)| count * sites)
+                .sum();
+            p.mean_canvases = total as f64 / len as f64;
+            let mut cumulative = 0;
+            for (&count, &sites) in &self.canvas_histogram {
+                cumulative += sites;
+                if cumulative > len / 2 {
+                    p.median_canvases = count;
+                    break;
                 }
             }
-            if lossy_here {
-                p.lossy_probe_sites += 1;
-            }
-            if small_here {
-                p.small_canvas_sites += 1;
-            }
-        }
-        if !per_site.is_empty() {
-            per_site.sort_unstable();
-            p.mean_canvases = per_site.iter().sum::<usize>() as f64 / per_site.len() as f64;
-            p.median_canvases = per_site[per_site.len() / 2];
-            p.max_canvases = per_site.last().copied().unwrap_or(0);
+            p.max_canvases = self
+                .canvas_histogram
+                .keys()
+                .next_back()
+                .copied()
+                .unwrap_or(0);
         }
         p
     }
@@ -189,5 +259,35 @@ mod tests {
         let p = Prevalence::compute(&[], 0);
         assert_eq!(p.fingerprinting_rate(), 0.0);
         assert_eq!(p.fingerprintable_fraction(), 0.0);
+    }
+
+    #[test]
+    fn accumulator_merge_matches_batch_compute() {
+        let detections = vec![
+            fp_site("a.com", 1),
+            fp_site("b.com", 2),
+            fp_site("c.com", 9),
+            fp_site("e.com", 2),
+            excluded_site("d.com", ExclusionReason::LossyFormat),
+            excluded_site("f.com", ExclusionReason::TooSmall),
+            SiteDetection::default(),
+        ];
+        let batch = Prevalence::compute(&detections, 12);
+        // Split across two shards, absorb in reversed order, then merge.
+        let (left, right) = detections.split_at(3);
+        let mut a = PrevalenceAccumulator::default();
+        for d in left.iter().rev() {
+            a.absorb(d);
+        }
+        let mut b = PrevalenceAccumulator::default();
+        for d in right.iter().rev() {
+            b.absorb(d);
+        }
+        b.merge(&a);
+        let merged = b.finish(12);
+        assert_eq!(
+            serde_json::to_string(&merged).unwrap(),
+            serde_json::to_string(&batch).unwrap()
+        );
     }
 }

@@ -5,12 +5,14 @@
 use canvassing_blocklist::{DisconnectList, FilterList};
 use canvassing_browser::AdBlockerKind;
 use canvassing_crawler::{
-    crawl, crawl_with_stats, CrawlConfig, CrawlDataset, CrawlStats, FailureKind,
+    crawl, crawl_streamed_range, crawl_with_stats, shard_range, CrawlConfig, CrawlDataset,
+    CrawlStats, FailureKind, SegmentWriter,
 };
 use canvassing_raster::DeviceProfile;
 use canvassing_webgen::{Cohort, SyntheticWeb};
 use serde::{Deserialize, Serialize};
 
+use crate::accumulate::CohortAccumulator;
 use crate::attribution::{attribute, gather_ground_truth, AttributionResult, AttributionSources};
 use crate::bias::BiasAccounting;
 use crate::blocklist_coverage::{coverage, CoverageCounts};
@@ -263,6 +265,204 @@ pub fn run_study(web: &SyntheticWeb, options: &StudyOptions) -> StudyResults {
     popular.bytecode = bytecode_triage(&web.network, &popular_frontier);
     tail.bytecode = bytecode_triage(&web.network, &tail_frontier);
 
+    finish_study(
+        web,
+        options,
+        &popular_frontier,
+        &tail_frontier,
+        popular,
+        tail,
+    )
+}
+
+/// How [`run_study_streamed`] bounds memory and (optionally) spills.
+#[derive(Debug, Clone)]
+pub struct StreamingOptions {
+    /// Sites in flight per scheduler chunk — the working-set bound.
+    pub chunk_sites: usize,
+    /// Records per spilled segment file.
+    pub segment_sites: usize,
+    /// Spill directory: when set, every control-crawl record is also
+    /// appended to CRC-framed segment files under
+    /// `<dir>/popular` / `<dir>/tail`, mergeable back into a full
+    /// dataset with [`canvassing_crawler::merge_segments`].
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// Frontier shards per cohort, crawled one after another here (or by
+    /// N independent processes via
+    /// [`canvassing_crawler::crawl_shard_to_segments`]).
+    pub shards: usize,
+}
+
+impl Default for StreamingOptions {
+    fn default() -> Self {
+        StreamingOptions {
+            chunk_sites: 512,
+            segment_sites: 4096,
+            spill_dir: None,
+            shards: 1,
+        }
+    }
+}
+
+fn add_stats(into: &mut CrawlStats, from: &CrawlStats) {
+    into.sites += from.sites;
+    into.script_parses += from.script_parses;
+    into.script_compiles += from.script_compiles;
+    into.script_cache_hits += from.script_cache_hits;
+    into.script_executions += from.script_executions;
+    into.memo_hits += from.memo_hits;
+    into.memo_computes += from.memo_computes;
+    into.memo_bypasses += from.memo_bypasses;
+    into.static_analyses += from.static_analyses;
+    into.analysis_hits += from.analysis_hits;
+    into.trace_visits += from.trace_visits;
+    into.trace_spans += from.trace_spans;
+    into.trace_events += from.trace_events;
+    into.breaker_opens += from.breaker_opens;
+    into.breaker_short_circuits += from.breaker_short_circuits;
+    into.salvaged_visits += from.salvaged_visits;
+}
+
+/// Streams one cohort's control crawl through a [`CohortAccumulator`],
+/// optionally spilling records to bounded segments, and finishes into a
+/// cohort analysis. Memory is bounded by `chunk_sites` plus the
+/// accumulator's fingerprinting-site state — never the cohort size.
+#[allow(clippy::too_many_arguments)]
+fn stream_cohort(
+    web: &SyntheticWeb,
+    cohort: Cohort,
+    frontier: &[canvassing_net::Url],
+    config: &CrawlConfig,
+    easylist: &FilterList,
+    easyprivacy: &FilterList,
+    disconnect: &DisconnectList,
+    streaming: &StreamingOptions,
+) -> std::io::Result<CohortAnalysis> {
+    let caches = config.build_caches();
+    let mut acc = CohortAccumulator::new();
+    let mut perf = CrawlStats::default();
+    let shards = streaming.shards.max(1);
+    let spill_dir = streaming.spill_dir.as_ref().map(|d| match cohort {
+        Cohort::Popular => d.join("popular"),
+        Cohort::Tail => d.join("tail"),
+    });
+    for shard in 0..shards {
+        let mut writer = match &spill_dir {
+            Some(dir) => Some(SegmentWriter::create(
+                dir,
+                &config.label,
+                &config.device.id,
+                shard,
+                streaming.segment_sites,
+            )?),
+            None => None,
+        };
+        let mut io_err: Option<std::io::Error> = None;
+        let stats = crawl_streamed_range(
+            &web.network,
+            frontier,
+            config,
+            &caches,
+            shard_range(frontier.len(), shard, shards),
+            streaming.chunk_sites,
+            |_, record| {
+                if let Some(w) = writer.as_mut() {
+                    if io_err.is_none() {
+                        if let Err(e) = w.append(&record) {
+                            io_err = Some(e);
+                        }
+                    }
+                }
+                acc.absorb(&record, easylist, easyprivacy, disconnect);
+            },
+        );
+        if let Some(e) = io_err {
+            return Err(e);
+        }
+        if let Some(w) = writer {
+            w.finish()?;
+        }
+        add_stats(&mut perf, &stats);
+    }
+    let mut analysis = acc.finish(cohort);
+    analysis.perf = perf;
+    analysis.bytecode = bytecode_triage(&web.network, frontier);
+    Ok(analysis)
+}
+
+/// [`run_study`] on the constant-memory path: the two control crawls
+/// stream through [`CohortAccumulator`]s in bounded chunks (optionally
+/// spilling to segment files) instead of materializing datasets.
+///
+/// The rendered report is byte-identical to [`run_study`]'s — the
+/// accumulator folds are exact, and the only [`StudyResults`] field that
+/// differs is `detections`, which the streamed path projects down to
+/// fingerprinting sites (everything the report and downstream analyses
+/// read is preserved; `tests/streaming_equivalence.rs` gates the bytes).
+/// Errors only on spill I/O; with `spill_dir: None` it is infallible in
+/// practice.
+pub fn run_study_streamed(
+    web: &SyntheticWeb,
+    options: &StudyOptions,
+    streaming: &StreamingOptions,
+) -> std::io::Result<StudyResults> {
+    let easylist = FilterList::parse("EasyList", &web.lists.easylist);
+    let easyprivacy = FilterList::parse("EasyPrivacy", &web.lists.easyprivacy);
+    let disconnect = DisconnectList::parse(&web.lists.disconnect);
+
+    let popular_frontier = web.frontier(Cohort::Popular);
+    let tail_frontier = web.frontier(Cohort::Tail);
+
+    let mut control = CrawlConfig::control();
+    control.workers = options.workers;
+    control.engine = options.engine;
+    if options.trace {
+        control.trace = Some(std::sync::Arc::new(canvassing_trace::CountingSink::new()));
+    }
+
+    let popular = stream_cohort(
+        web,
+        Cohort::Popular,
+        &popular_frontier,
+        &control,
+        &easylist,
+        &easyprivacy,
+        &disconnect,
+        streaming,
+    )?;
+    let tail = stream_cohort(
+        web,
+        Cohort::Tail,
+        &tail_frontier,
+        &control,
+        &easylist,
+        &easyprivacy,
+        &disconnect,
+        streaming,
+    )?;
+
+    Ok(finish_study(
+        web,
+        options,
+        &popular_frontier,
+        &tail_frontier,
+        popular,
+        tail,
+    ))
+}
+
+/// Everything downstream of the two control-cohort analyses: figures,
+/// attribution, the optional re-crawl experiments, and assembly. Shared
+/// verbatim by [`run_study`] and [`run_study_streamed`] so the two paths
+/// cannot drift.
+fn finish_study(
+    web: &SyntheticWeb,
+    options: &StudyOptions,
+    popular_frontier: &[canvassing_net::Url],
+    tail_frontier: &[canvassing_net::Url],
+    popular: CohortAnalysis,
+    tail: CohortAnalysis,
+) -> StudyResults {
     let figure1 = Figure1::build(&popular.clustering, &tail.clustering, 50);
     let overlap = OverlapStats::compute(&popular.clustering, &tail.clustering);
 
@@ -299,8 +499,8 @@ pub fn run_study(web: &SyntheticWeb, options: &StudyOptions) -> StudyResults {
             let mut config = CrawlConfig::with_adblocker(kind, &web.lists.easylist);
             config.workers = options.workers;
             config.engine = options.engine;
-            let p = crawl(&web.network, &popular_frontier, &config);
-            let t = crawl(&web.network, &tail_frontier, &config);
+            let p = crawl(&web.network, popular_frontier, &config);
+            let t = crawl(&web.network, tail_frontier, &config);
             let p_det: Vec<SiteDetection> = p.successful().map(|(_, v)| detect(v)).collect();
             let t_det: Vec<SiteDetection> = t.successful().map(|(_, v)| detect(v)).collect();
             table2.push(Table2Row {
@@ -319,7 +519,7 @@ pub fn run_study(web: &SyntheticWeb, options: &StudyOptions) -> StudyResults {
         let mut config = CrawlConfig::with_device(DeviceProfile::apple_m1());
         config.workers = options.workers;
         config.engine = options.engine;
-        let m1_ds = crawl(&web.network, &popular_frontier, &config);
+        let m1_ds = crawl(&web.network, popular_frontier, &config);
         let m1_det: Vec<SiteDetection> = m1_ds.successful().map(|(_, v)| detect(v)).collect();
         let m1_clustering = Clustering::build(m1_det.iter());
         let intel_urls: std::collections::BTreeSet<&str> = popular
@@ -368,7 +568,7 @@ pub fn run_study(web: &SyntheticWeb, options: &StudyOptions) -> StudyResults {
             config.workers = options.workers;
             config.engine = options.engine;
             config.defense = defense;
-            let ds = crawl(&web.network, &popular_frontier, &config);
+            let ds = crawl(&web.network, popular_frontier, &config);
             let detections: Vec<SiteDetection> = ds.successful().map(|(_, v)| detect(v)).collect();
             let clustering = Clustering::build(detections.iter());
             defense_sweep.push(DefenseSweepRow {
@@ -388,7 +588,7 @@ pub fn run_study(web: &SyntheticWeb, options: &StudyOptions) -> StudyResults {
             generate, harvest_corpus, LoadProfile, ReloadEvent, RuleSnapshot, ServeConfig,
             ServeStats, VerdictService,
         };
-        let corpus = harvest_corpus(&web.network, &popular_frontier, 256);
+        let corpus = harvest_corpus(&web.network, popular_frontier, 256);
         let mut profile = LoadProfile::standard(2025);
         for phase in &mut profile.phases {
             // Compressed durations, full offered rates: the replay keeps

@@ -12,6 +12,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use canvassing_analysis::{classify, classify_merged, classify_source, Verdict};
+use canvassing_browser::PageVisit;
 use canvassing_crawler::CrawlDataset;
 use canvassing_net::{Network, Resource, ScriptRef, Url};
 use canvassing_vendors::{all_vendors, scripts};
@@ -112,28 +113,61 @@ impl ConfusionMatrix {
 /// produced by `analyze_cohort`). Scripts whose body was never fetched
 /// carry no verdict and are skipped — neither detector saw them.
 pub fn cross_validate(dataset: &CrawlDataset, detections: &[SiteDetection]) -> ConfusionMatrix {
-    // hash → (static verdict, dynamically detected anywhere). The
-    // verdict is a pure function of the body, so any occurrence serves;
-    // the dynamic bit ORs across every site the body appeared on.
-    let mut per_script: BTreeMap<u64, (Verdict, bool)> = BTreeMap::new();
+    let mut votes = ScriptVotes::default();
     for ((_, visit), det) in dataset.successful().zip(detections) {
+        votes.absorb(visit, det);
+    }
+    votes.finish()
+}
+
+/// Streaming fold for [`cross_validate`]: per unique script body, the
+/// static verdict and whether the dynamic detector fired anywhere. The
+/// verdict is a pure function of the body (any occurrence serves) and the
+/// dynamic bit ORs across sites, so absorb order and shard partitioning
+/// never change the finished matrix.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ScriptVotes {
+    /// hash → (static verdict, dynamically detected anywhere).
+    votes: BTreeMap<u64, (Verdict, bool)>,
+}
+
+impl ScriptVotes {
+    /// Folds one successful visit and its detection into the vote map.
+    pub fn absorb(&mut self, visit: &PageVisit, det: &SiteDetection) {
         let fired: BTreeSet<&Url> = det.canvases.iter().map(|c| &c.script_url).collect();
         for script in &visit.scripts {
             let Some(verdict) = script.verdict else {
                 continue;
             };
-            let entry = per_script
+            let entry = self
+                .votes
                 .entry(script.source_hash)
                 .or_insert((verdict, false));
             entry.1 |= fired.contains(&script.url);
         }
     }
 
-    let mut matrix = ConfusionMatrix::default();
-    for (verdict, dynamic_positive) in per_script.values() {
-        matrix.record(*verdict, *dynamic_positive);
+    /// Merges a sibling accumulator: OR of the dynamic bits per body.
+    pub fn merge(&mut self, other: &ScriptVotes) {
+        for (&hash, &(verdict, fired)) in &other.votes {
+            let entry = self.votes.entry(hash).or_insert((verdict, false));
+            entry.1 |= fired;
+        }
     }
-    matrix
+
+    /// Unique script bodies voted so far.
+    pub fn unique_scripts(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// Finalizes the vote map into a [`ConfusionMatrix`].
+    pub fn finish(&self) -> ConfusionMatrix {
+        let mut matrix = ConfusionMatrix::default();
+        for (verdict, dynamic_positive) in self.votes.values() {
+            matrix.record(*verdict, *dynamic_positive);
+        }
+        matrix
+    }
 }
 
 /// Per-cohort summary of the bytecode second engine: how many unique

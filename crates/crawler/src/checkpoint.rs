@@ -90,6 +90,7 @@ pub struct CheckpointWriter {
     /// Hosts whose next append tears (consumed one-shot).
     torn_hosts: BTreeSet<String>,
     poisoned: bool,
+    records_written: usize,
 }
 
 impl CheckpointWriter {
@@ -109,6 +110,7 @@ impl CheckpointWriter {
             path: path.to_path_buf(),
             torn_hosts: BTreeSet::new(),
             poisoned: false,
+            records_written: 0,
         })
     }
 
@@ -133,6 +135,12 @@ impl CheckpointWriter {
         &self.path
     }
 
+    /// Records successfully appended since [`CheckpointWriter::create`]
+    /// (torn appends don't count — their line never fully landed).
+    pub fn records_written(&self) -> usize {
+        self.records_written
+    }
+
     /// Appends one record. On an armed torn write the line is flushed
     /// only partially (simulating a crash mid-write), the writer is
     /// poisoned, and an error returns; [`recover`] must run before the
@@ -155,7 +163,9 @@ impl CheckpointWriter {
             )));
         }
         self.file.write_all(line.as_bytes())?;
-        self.file.flush()
+        self.file.flush()?;
+        self.records_written += 1;
+        Ok(())
     }
 }
 

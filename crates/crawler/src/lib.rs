@@ -46,6 +46,7 @@
 pub mod breaker;
 pub mod checkpoint;
 pub mod dataset;
+pub mod segment;
 
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -64,6 +65,9 @@ use serde::{Deserialize, Serialize};
 pub use breaker::{BreakerEvent, BreakerHostStats, BreakerPlan, BreakerPolicy};
 pub use checkpoint::{recover, save_atomic, CheckpointWriter, RecoveryReport};
 pub use dataset::{CrawlDataset, FailureKind, SiteFailure, SiteOutcome, SiteRecord, VisitFidelity};
+pub use segment::{
+    crawl_shard_to_segments, list_segments, merge_segments, MergeReport, SegmentWriter,
+};
 
 /// Retry behavior for transient failures. Backoff is computed, not slept:
 /// the network simulates latency, so the harness records the schedule a
@@ -600,35 +604,72 @@ fn crawl_subset(
     caches: &CrawlCaches,
     plan: Option<&BreakerPlan>,
 ) -> (Vec<Option<SiteRecord>>, Vec<Option<VisitTrace>>) {
-    let workers = config.workers.max(1);
     let jobs: Vec<usize> = match subset {
         Some(indices) => indices.to_vec(),
         None => (0..frontier.len()).collect(),
     };
+    let (chunk_records, chunk_traces) = crawl_chunk(network, frontier, config, &jobs, caches, plan);
+    // Scatter the dense chunk results back into frontier-indexed slots;
+    // skipped indices stay empty.
+    let mut records: Vec<Option<SiteRecord>> = (0..frontier.len()).map(|_| None).collect();
+    let mut traces: Vec<Option<VisitTrace>> = (0..frontier.len()).map(|_| None).collect();
+    for ((&i, record), trace) in jobs.iter().zip(chunk_records).zip(chunk_traces) {
+        records[i] = Some(record);
+        traces[i] = trace;
+    }
+    (records, traces)
+}
+
+/// Crawls exactly the frontier indices in `indices`, returning results
+/// **densely** (position `j` holds the record for `frontier[indices[j]]`).
+/// This is the memory-bounded scheduler core: slot storage is sized to
+/// the chunk, not the frontier, so [`crawl_streamed`] can drive a
+/// million-site frontier through fixed-size chunks.
+///
+/// Scheduling is one atomic cursor over the chunk: each worker claims
+/// the next unclaimed position with a single `fetch_add`. Unlike static
+/// sharding, a host serving under a latency-spike fault stalls only the
+/// worker currently on it while the rest drain the remaining chunk;
+/// unlike a channel feed, claiming is wait-free and results land
+/// lock-free in per-position slots (no cross-thread transport).
+/// Scheduling freedom never reaches the dataset because every record is a
+/// pure per-site function, reassembled in chunk order below. The breaker
+/// plan is indexed by *frontier* position (`indices[j]`), so chunked and
+/// whole-frontier runs see identical breaker state.
+fn crawl_chunk(
+    network: &Network,
+    frontier: &[Url],
+    config: &CrawlConfig,
+    indices: &[usize],
+    caches: &CrawlCaches,
+    plan: Option<&BreakerPlan>,
+) -> (Vec<SiteRecord>, Vec<Option<VisitTrace>>) {
+    let workers = config.workers.max(1);
     let cursor = AtomicUsize::new(0);
 
-    // Results go straight into per-site slots instead of through a
+    // Results go straight into per-position slots instead of through a
     // channel: each slot is written by exactly the worker that claimed
-    // its job, so a `OnceLock` per site gives lock-free collection with
-    // no cross-thread wakeups (a per-record channel send costs more than
-    // a whole memoized visit). The visit's trace rides in the same slot
-    // so it inherits the same ownership story.
+    // its position, so a `OnceLock` per position gives lock-free
+    // collection with no cross-thread wakeups (a per-record channel send
+    // costs more than a whole memoized visit). The visit's trace rides in
+    // the same slot so it inherits the same ownership story.
     let slots: Vec<OnceLock<(SiteRecord, Option<VisitTrace>)>> =
-        (0..frontier.len()).map(|_| OnceLock::new()).collect();
+        (0..indices.len()).map(|_| OnceLock::new()).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                let jobs = &jobs;
                 let cursor = &cursor;
                 let slots = &slots;
                 scope.spawn(move || {
                     let browser = config.build_browser(config.worker_caches(caches));
                     loop {
                         let claimed = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&i) = jobs.get(claimed) else { break };
+                        let Some(&i) = indices.get(claimed) else {
+                            break;
+                        };
                         let result =
                             visit_site(network, &browser, &frontier[i], config, caches, plan, i);
-                        let _ = slots[i].set(result);
+                        let _ = slots[claimed].set(result);
                     }
                 })
             })
@@ -643,29 +684,124 @@ fn crawl_subset(
         }
     });
 
-    let mut records: Vec<Option<SiteRecord>> = Vec::with_capacity(frontier.len());
-    let mut traces: Vec<Option<VisitTrace>> = Vec::with_capacity(frontier.len());
-    for slot in slots {
+    let mut records: Vec<SiteRecord> = Vec::with_capacity(indices.len());
+    let mut traces: Vec<Option<VisitTrace>> = Vec::with_capacity(indices.len());
+    for (j, slot) in slots.into_iter().enumerate() {
         match slot.into_inner() {
             Some((record, trace)) => {
-                records.push(Some(record));
+                records.push(record);
                 traces.push(trace);
             }
             None => {
-                records.push(None);
+                // A worker that died mid-visit never filled the slot for
+                // the position it had claimed; degrade to a typed failure
+                // instead of panicking the harness.
+                records.push(lost_record(&frontier[indices[j]]));
                 traces.push(None);
             }
         }
     }
-    // A worker that died mid-visit never filled the slot for the job it
-    // had claimed; degrade to a typed failure instead of panicking the
-    // harness.
-    for &i in &jobs {
-        if records[i].is_none() {
-            records[i] = Some(lost_record(&frontier[i]));
+    (records, traces)
+}
+
+/// The contiguous frontier range owned by shard `shard` of `count`:
+/// `[shard·len/count, (shard+1)·len/count)`. The ranges partition
+/// `0..len` exactly, so N independent shard crawls cover every site once.
+pub fn shard_range(len: usize, shard: usize, count: usize) -> std::ops::Range<usize> {
+    let count = count.max(1);
+    debug_assert!(shard < count, "shard {shard} out of {count}");
+    (shard * len / count)..((shard + 1) * len / count)
+}
+
+/// Streams a crawl over `range` of the frontier in bounded chunks of
+/// `chunk_sites`, delivering each record to `sink` as
+/// `(frontier_index, record)` in frontier order — records are **not**
+/// materialized into a dataset, so peak memory is O(chunk), independent
+/// of frontier length.
+///
+/// Determinism contract, identical to [`crawl_with_caches`]:
+///
+/// * the breaker plan is computed over the **full** frontier, so chunk
+///   boundaries and shard choice never reach breaker state;
+/// * each record is a pure function of `(network, url, config)`, so the
+///   delivered stream is byte-identical to the records of a materialized
+///   crawl at any worker count;
+/// * traces flush to `config.trace` per chunk, in frontier order, from
+///   the calling thread — the sink sees the exact stream a whole-frontier
+///   crawl delivers.
+///
+/// The returned stats cover the range (`sites = range.len()`), with cache
+/// counters measured across the chunks as one span. Breaker totals are
+/// whole-plan numbers and are reported only when `range` covers the full
+/// frontier; per-shard callers should take them from the merged run
+/// instead of summing shards.
+pub fn crawl_streamed_range(
+    network: &Network,
+    frontier: &[Url],
+    config: &CrawlConfig,
+    caches: &CrawlCaches,
+    range: std::ops::Range<usize>,
+    chunk_sites: usize,
+    mut sink: impl FnMut(usize, SiteRecord),
+) -> CrawlStats {
+    let before = CrawlStats::snapshot(caches);
+    let plan = BreakerPlan::plan(network, frontier, config);
+    let chunk = chunk_sites.max(1);
+    let full = range.start == 0 && range.end == frontier.len();
+    let sites = range.len() as u64;
+    let mut trace_totals = (0u64, 0u64, 0u64);
+    let mut salvaged = 0u64;
+    let mut start = range.start;
+    while start < range.end {
+        let end = (start + chunk).min(range.end);
+        let indices: Vec<usize> = (start..end).collect();
+        let (records, traces) =
+            crawl_chunk(network, frontier, config, &indices, caches, plan.as_ref());
+        let (v, s, e) = flush_traces(config, traces);
+        trace_totals.0 += v;
+        trace_totals.1 += s;
+        trace_totals.2 += e;
+        for (offset, record) in records.into_iter().enumerate() {
+            if matches!(&record.outcome, SiteOutcome::Failure(f) if f.salvage.is_some()) {
+                salvaged += 1;
+            }
+            sink(start + offset, record);
+        }
+        start = end;
+    }
+    let mut stats = CrawlStats::snapshot(caches).since(&before);
+    stats.sites = sites;
+    (stats.trace_visits, stats.trace_spans, stats.trace_events) = trace_totals;
+    if full {
+        if let Some(plan) = &plan {
+            stats.breaker_opens = plan.total_opens();
+            stats.breaker_short_circuits = plan.total_short_circuits();
         }
     }
-    (records, traces)
+    stats.salvaged_visits = salvaged;
+    stats
+}
+
+/// [`crawl_streamed_range`] over the whole frontier: the drop-in
+/// streaming replacement for [`crawl_with_caches`] when the caller folds
+/// records instead of materializing a dataset.
+pub fn crawl_streamed(
+    network: &Network,
+    frontier: &[Url],
+    config: &CrawlConfig,
+    caches: &CrawlCaches,
+    chunk_sites: usize,
+    sink: impl FnMut(usize, SiteRecord),
+) -> CrawlStats {
+    crawl_streamed_range(
+        network,
+        frontier,
+        config,
+        caches,
+        0..frontier.len(),
+        chunk_sites,
+        sink,
+    )
 }
 
 /// Delivers finished visit traces to the configured sink, in frontier

@@ -1,0 +1,403 @@
+//! Sharded segment spill for million-site crawls.
+//!
+//! The checkpoint layer (PR 2) persists one append-only file per crawl;
+//! at scale 25 (1M sites) a single file and a single in-memory dataset
+//! both stop working. This module splits the durable story two ways:
+//!
+//! * **shards** — the frontier is cut into `count` contiguous ranges
+//!   ([`crate::shard_range`]); each shard is crawled independently (in
+//!   this process or N separate ones) and owns its own files;
+//! * **segments** — within a shard, records spill into *bounded* segment
+//!   files of at most `segment_sites` records each, so no file grows
+//!   with the frontier.
+//!
+//! Every segment is a complete, self-describing checkpoint in the PR-2
+//! CRC-framed v2 format — [`crate::checkpoint::recover`] works on any
+//! segment unchanged, and a torn tail in one segment loses at most that
+//! segment's suffix. Filenames embed shard and sequence
+//! (`shard003-seg00007.ckpt`) so a lexicographic sort of the spill
+//! directory reconstructs global frontier order without any manifest.
+//!
+//! [`merge_segments`] recovers every segment, concatenates the valid
+//! prefixes, and hands the union to [`crate::resume_crawl`] — which
+//! recrawls whatever the spill lost and, because the breaker plan is
+//! always computed over the *full* frontier, produces a dataset
+//! byte-identical to a single uninterrupted `workers = 1` crawl. That
+//! identity is the merge's proof obligation and what
+//! `tests/streaming_equivalence.rs` and `tests/checkpoint_recovery.rs`
+//! sweep.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use canvassing_net::{Network, Url};
+use canvassing_trace::{TraceSink, VisitRecorder};
+
+use crate::checkpoint::{recover, CheckpointWriter};
+use crate::dataset::{CrawlDataset, SiteRecord};
+use crate::{crawl_streamed_range, resume_crawl, shard_range, CrawlConfig};
+
+/// Rolls visit records into bounded CRC-framed segment files.
+///
+/// Each segment is a standalone PR-2 checkpoint holding at most
+/// `segment_sites` records; when one fills, it is sealed and the next
+/// opens. The writer never holds more than the current segment's file
+/// handle — memory is constant in the number of records spilled.
+pub struct SegmentWriter {
+    dir: PathBuf,
+    label: String,
+    device_id: String,
+    shard: usize,
+    segment_sites: usize,
+    seq: usize,
+    current: Option<CheckpointWriter>,
+    sealed: Vec<PathBuf>,
+    /// Spill-side observability: seal/finish instants go here, *not* to
+    /// the crawl's trace sink, so study trace totals are unaffected by
+    /// whether a run spilled.
+    trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for SegmentWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentWriter")
+            .field("dir", &self.dir)
+            .field("shard", &self.shard)
+            .field("segment_sites", &self.segment_sites)
+            .field("seq", &self.seq)
+            .field("sealed", &self.sealed.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SegmentWriter {
+    /// Creates a writer spilling into `dir` (created if absent) for one
+    /// frontier shard. `segment_sites` is clamped to at least 1.
+    pub fn create(
+        dir: &Path,
+        label: &str,
+        device_id: &str,
+        shard: usize,
+        segment_sites: usize,
+    ) -> io::Result<SegmentWriter> {
+        fs::create_dir_all(dir)?;
+        Ok(SegmentWriter {
+            dir: dir.to_path_buf(),
+            label: label.to_string(),
+            device_id: device_id.to_string(),
+            shard,
+            segment_sites: segment_sites.max(1),
+            seq: 0,
+            current: None,
+            sealed: Vec::new(),
+            trace: None,
+        })
+    }
+
+    /// Attaches a sink for spill instants (`segment.seal`,
+    /// `segment.finish`). Keep this separate from the crawl config's
+    /// sink — spill observability must not perturb study trace totals.
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> SegmentWriter {
+        self.trace = Some(sink);
+        self
+    }
+
+    fn segment_path(&self, seq: usize) -> PathBuf {
+        self.dir
+            .join(format!("shard{:03}-seg{:05}.ckpt", self.shard, seq))
+    }
+
+    /// Appends one record, opening a fresh segment when none is open and
+    /// sealing it once it holds `segment_sites` records.
+    pub fn append(&mut self, record: &SiteRecord) -> io::Result<()> {
+        if self.current.is_none() {
+            let path = self.segment_path(self.seq);
+            self.current = Some(CheckpointWriter::create(
+                &path,
+                &self.label,
+                &self.device_id,
+            )?);
+        }
+        let full = {
+            let writer = self
+                .current
+                .as_mut()
+                .unwrap_or_else(|| unreachable!("segment opened above"));
+            writer.append(record)?;
+            writer.records_written() >= self.segment_sites
+        };
+        if full {
+            self.seal("segment.seal")?;
+        }
+        Ok(())
+    }
+
+    fn seal(&mut self, instant: &'static str) -> io::Result<()> {
+        if let Some(writer) = self.current.take() {
+            let records = writer.records_written();
+            let path = writer.path().to_path_buf();
+            drop(writer);
+            self.emit(instant, &path, records);
+            self.sealed.push(path);
+            self.seq += 1;
+        }
+        Ok(())
+    }
+
+    fn emit(&self, instant: &'static str, path: &Path, records: usize) {
+        if let Some(sink) = &self.trace {
+            if sink.enabled() {
+                let recorder = VisitRecorder::new(&self.label, None);
+                recorder.instant(instant, || format!("{} records={records}", path.display()));
+                if let Some(trace) = recorder.finish() {
+                    sink.consume(trace);
+                }
+            }
+        }
+    }
+
+    /// Segments already sealed, in write (= frontier) order.
+    pub fn sealed(&self) -> &[PathBuf] {
+        &self.sealed
+    }
+
+    /// Seals any open segment and returns every segment path in frontier
+    /// order. Dropping a writer without calling `finish` leaves the last
+    /// segment on disk unsealed — still a valid checkpoint (recovery
+    /// reads it fine), just unlisted here.
+    pub fn finish(mut self) -> io::Result<Vec<PathBuf>> {
+        self.seal("segment.finish")?;
+        Ok(std::mem::take(&mut self.sealed))
+    }
+}
+
+/// Lists every segment file (`*.ckpt`) in `dir`, sorted by file name —
+/// which, given the zero-padded `shard{NNN}-seg{NNNNN}` scheme, is
+/// global frontier order across all shards.
+pub fn list_segments(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "ckpt") {
+            segments.push(path);
+        }
+    }
+    segments.sort();
+    Ok(segments)
+}
+
+/// What [`merge_segments`] recovered and re-did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Segment files read.
+    pub segments: usize,
+    /// Records recovered across all segments' valid prefixes.
+    pub records_recovered: usize,
+    /// Segments whose tail had to be truncated during recovery.
+    pub segments_recovered_dirty: usize,
+    /// Frontier sites not covered by any segment (lost to torn tails or
+    /// a crawl that never reached them) and therefore recrawled.
+    pub recrawled: usize,
+}
+
+/// Recovers every segment, merges the valid prefixes, and resumes the
+/// crawl over the full frontier to fill any gaps.
+///
+/// Because [`resume_crawl`] computes the breaker plan over the complete
+/// frontier and every [`SiteRecord`] is a pure function of
+/// `(network, url, config)`, the merged dataset is byte-identical to a
+/// single uninterrupted crawl — regardless of shard count, segment size,
+/// how many segments were torn, or the order segments are listed in.
+pub fn merge_segments(
+    network: &Network,
+    frontier: &[Url],
+    config: &CrawlConfig,
+    segments: &[PathBuf],
+    trace: Option<&Arc<dyn TraceSink>>,
+) -> io::Result<(CrawlDataset, MergeReport)> {
+    let mut combined = CrawlDataset {
+        label: config.label.clone(),
+        device_id: config.device.id.clone(),
+        records: Vec::new(),
+    };
+    let mut dirty = 0usize;
+    for path in segments {
+        let (dataset, report) = recover(path)?;
+        if !report.clean() {
+            dirty += 1;
+        }
+        emit_merge_instant(trace, config, path, report.records_recovered);
+        combined.records.extend(dataset.records);
+    }
+    let recovered = combined.records.len();
+    let merged = resume_crawl(network, frontier, config, &combined);
+    let report = MergeReport {
+        segments: segments.len(),
+        records_recovered: recovered,
+        segments_recovered_dirty: dirty,
+        recrawled: frontier.len().saturating_sub(recovered.min(frontier.len())),
+    };
+    Ok((merged, report))
+}
+
+fn emit_merge_instant(
+    trace: Option<&Arc<dyn TraceSink>>,
+    config: &CrawlConfig,
+    path: &Path,
+    records: usize,
+) {
+    if let Some(sink) = trace {
+        if sink.enabled() {
+            let recorder = VisitRecorder::new(&config.label, None);
+            recorder.instant("segment.merge", || {
+                format!("{} records={records}", path.display())
+            });
+            if let Some(trace) = recorder.finish() {
+                sink.consume(trace);
+            }
+        }
+    }
+}
+
+/// Crawls one frontier shard, spilling records into bounded segments
+/// under `dir`, and returns the segment paths in frontier order.
+///
+/// This is the per-process entry point for an N-process scale-out: give
+/// each process the same `(network, frontier, config)` and a distinct
+/// `shard < count`; afterwards [`list_segments`] over the shared spill
+/// directory plus [`merge_segments`] reassembles the full dataset.
+/// Memory is bounded by `chunk_sites` (in-flight records) regardless of
+/// shard size.
+#[allow(clippy::too_many_arguments)]
+pub fn crawl_shard_to_segments(
+    network: &Network,
+    frontier: &[Url],
+    config: &CrawlConfig,
+    dir: &Path,
+    shard: usize,
+    count: usize,
+    segment_sites: usize,
+    chunk_sites: usize,
+) -> io::Result<Vec<PathBuf>> {
+    let caches = config.build_caches();
+    let mut writer =
+        SegmentWriter::create(dir, &config.label, &config.device.id, shard, segment_sites)?;
+    let range = shard_range(frontier.len(), shard, count);
+    let mut io_err: Option<io::Error> = None;
+    crawl_streamed_range(
+        network,
+        frontier,
+        config,
+        &caches,
+        range,
+        chunk_sites,
+        |_, record| {
+            if io_err.is_none() {
+                if let Err(e) = writer.append(&record) {
+                    io_err = Some(e);
+                }
+            }
+        },
+    );
+    if let Some(e) = io_err {
+        return Err(e);
+    }
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canvassing_trace::CountingSink;
+    use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("canvassing-seg-{}-{name}", std::process::id()));
+        fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn workload() -> (SyntheticWeb, Vec<Url>, CrawlConfig) {
+        let web = SyntheticWeb::generate(WebConfig {
+            seed: 17,
+            scale: 0.02,
+        });
+        let mut frontier = web.frontier(Cohort::Popular);
+        frontier.truncate(50);
+        let mut config = CrawlConfig::control();
+        config.workers = 4;
+        (web, frontier, config)
+    }
+
+    #[test]
+    fn segments_are_bounded_and_ordered() {
+        let (web, frontier, config) = workload();
+        let dir = tmp_dir("bounded");
+        let segments =
+            crawl_shard_to_segments(&web.network, &frontier, &config, &dir, 0, 1, 12, 8).unwrap();
+        // 50 records at <=12/segment: five segments, last holding 2.
+        assert_eq!(segments.len(), 5);
+        let mut total = 0;
+        for (i, path) in segments.iter().enumerate() {
+            let (ds, report) = recover(path).unwrap();
+            assert!(report.clean());
+            assert!(ds.records.len() <= 12, "segment {i} over bound");
+            total += ds.records.len();
+        }
+        assert_eq!(total, frontier.len());
+        assert_eq!(list_segments(&dir).unwrap(), segments);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_spill_merges_byte_identical_to_single_crawl() {
+        let (web, frontier, config) = workload();
+        let dir = tmp_dir("identity");
+        for shard in 0..3 {
+            crawl_shard_to_segments(&web.network, &frontier, &config, &dir, shard, 3, 8, 4)
+                .unwrap();
+        }
+        let segments = list_segments(&dir).unwrap();
+        let (merged, report) =
+            merge_segments(&web.network, &frontier, &config, &segments, None).unwrap();
+        assert_eq!(report.records_recovered, frontier.len());
+        assert_eq!(report.segments_recovered_dirty, 0);
+        assert_eq!(report.recrawled, 0);
+
+        let direct = crate::crawl(&web.network, &frontier, &config);
+        assert_eq!(
+            serde_json::to_string(&merged).unwrap(),
+            serde_json::to_string(&direct).unwrap()
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spill_trace_goes_to_the_spill_sink_only() {
+        let (web, frontier, config) = workload();
+        let dir = tmp_dir("trace");
+        let sink = Arc::new(CountingSink::new());
+        let caches = config.build_caches();
+        let mut writer = SegmentWriter::create(&dir, &config.label, &config.device.id, 0, 10)
+            .unwrap()
+            .with_trace(Arc::clone(&sink) as Arc<dyn TraceSink>);
+        crawl_streamed_range(
+            &web.network,
+            &frontier,
+            &config,
+            &caches,
+            0..frontier.len(),
+            16,
+            |_, record| writer.append(&record).unwrap(),
+        );
+        let segments = writer.finish().unwrap();
+        assert_eq!(segments.len(), 5);
+        let (_, spans, events) = sink.totals();
+        assert_eq!(spans, 0, "seal instants open no spans");
+        assert_eq!(events as usize, segments.len());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

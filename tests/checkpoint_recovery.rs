@@ -14,10 +14,11 @@
 // invariant is the correct outcome.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use canvassing_crawler::{
-    checkpoint, crawl, resume_crawl, BreakerPolicy, CrawlConfig, RetryPolicy, SiteRecord,
+    checkpoint, crawl, crawl_shard_to_segments, list_segments, merge_segments, resume_crawl,
+    BreakerPolicy, CrawlConfig, RetryPolicy, SiteRecord,
 };
 use canvassing_net::FaultMatrix;
 use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
@@ -233,6 +234,163 @@ fn recovery_refuses_files_without_a_valid_header() {
     std::fs::write(&path, b"").unwrap();
     assert!(checkpoint::recover(&path).is_err());
     let _ = std::fs::remove_file(&path);
+}
+
+/// Spills the workload into sharded segments and returns
+/// `(spill dir, segment paths, pristine bytes per segment)`.
+fn spilled_workload(
+    tag: &str,
+    web: &SyntheticWeb,
+    frontier: &[canvassing_net::Url],
+    config: &CrawlConfig,
+) -> (PathBuf, Vec<PathBuf>, Vec<Vec<u8>>) {
+    let dir = std::env::temp_dir().join(format!("seg-recovery-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for shard in 0..2 {
+        crawl_shard_to_segments(&web.network, frontier, config, &dir, shard, 2, 16, 8).unwrap();
+    }
+    let segments = list_segments(&dir).unwrap();
+    assert!(segments.len() >= 4, "80 sites / 2 shards / 16 per segment");
+    let pristine: Vec<Vec<u8>> = segments.iter().map(|p| std::fs::read(p).unwrap()).collect();
+    (dir, segments, pristine)
+}
+
+/// The records a pristine segment holds (recovering a clean file is a
+/// pure read).
+fn segment_records(path: &Path) -> Vec<SiteRecord> {
+    let (ds, report) = checkpoint::recover(path).unwrap();
+    assert!(report.clean());
+    ds.records
+}
+
+/// Byte offsets of every record-frame boundary in a segment file
+/// (start of each record line, plus end of file).
+fn frame_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let header_len = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+    let mut boundaries = vec![header_len];
+    for (i, &b) in bytes[header_len..].iter().enumerate() {
+        if b == b'\n' {
+            boundaries.push(header_len + i + 1);
+        }
+    }
+    boundaries
+}
+
+/// PR-9 extension of the boundary sweep to segment files: tearing *any*
+/// segment at *any* frame boundary — and mid-frame — truncates that
+/// segment to its valid prefix on recovery, and a merge over the
+/// recovered segments resumes the lost suffix byte-identical to the
+/// uninterrupted crawl.
+#[test]
+fn segment_torn_at_every_frame_boundary_merges_byte_identical() {
+    let (web, frontier) = workload();
+    let config = resilient_config(4);
+    let full = crawl(&web.network, &frontier, &config);
+    let full_json = full.to_json().unwrap();
+    let (dir, segments, pristine) = spilled_workload("boundary", &web, &frontier, &config);
+
+    for (seg, bytes) in segments.iter().zip(&pristine) {
+        let original = segment_records(seg);
+        let boundaries = frame_boundaries(bytes);
+        // Tear exactly at each boundary, and mid-way into each frame.
+        let mut tears: Vec<usize> = boundaries.clone();
+        for pair in boundaries.windows(2) {
+            tears.push(pair[0] + (pair[1] - pair[0]) / 2);
+        }
+        for &tear in &tears {
+            std::fs::write(seg, &bytes[..tear]).unwrap();
+
+            let (recovered, report) = checkpoint::recover(seg).unwrap();
+            assert!(
+                is_prefix(&recovered.records, &original),
+                "{} torn at {tear}: recovery must be a pristine prefix",
+                seg.display()
+            );
+            let clean_tear = boundaries.contains(&tear);
+            assert_eq!(
+                report.clean(),
+                clean_tear,
+                "{} torn at {tear}: mid-frame tears must report dirty",
+                seg.display()
+            );
+
+            let (merged, merge_report) =
+                merge_segments(&web.network, &frontier, &config, &segments, None).unwrap();
+            assert_eq!(
+                merged.to_json().unwrap(),
+                full_json,
+                "{} torn at {tear}: merge diverged",
+                seg.display()
+            );
+            assert_eq!(
+                merge_report.recrawled,
+                frontier.len() - merge_report.records_recovered,
+                "{} torn at {tear}: every lost record is recrawled",
+                seg.display()
+            );
+
+            std::fs::write(seg, bytes).unwrap();
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The PR-5 seeded-LCG corruption sweep, retargeted at segment files:
+/// random bit flips, truncations, and garbage tails land on random
+/// segments; recovery always yields a valid prefix and the resumed
+/// merge is always byte-identical.
+#[test]
+fn randomized_segment_corruption_sweep_merges_byte_identical() {
+    let (web, frontier) = workload();
+    let config = resilient_config(4);
+    let full = crawl(&web.network, &frontier, &config);
+    let full_json = full.to_json().unwrap();
+    let (dir, segments, pristine) = spilled_workload("sweep", &web, &frontier, &config);
+
+    let originals: Vec<Vec<SiteRecord>> = segments.iter().map(|p| segment_records(p)).collect();
+    let mut rng = Lcg(0x5E60_DD5E);
+    let mut dirty_merges = 0usize;
+    for iteration in 0..32 {
+        let victim = rng.below(segments.len());
+        let bytes = &pristine[victim];
+        let header_len = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+        let mut corrupt = bytes.clone();
+        let offset = header_len + rng.below(corrupt.len() - header_len);
+        match rng.below(3) {
+            0 => corrupt[offset] ^= 1u8 << rng.below(8),
+            1 => corrupt.truncate(offset),
+            _ => {
+                corrupt.truncate(offset);
+                for _ in 0..rng.below(40) + 1 {
+                    corrupt.push((rng.next() & 0xff) as u8);
+                }
+            }
+        }
+        std::fs::write(&segments[victim], &corrupt).unwrap();
+
+        let (recovered, _) = checkpoint::recover(&segments[victim]).unwrap();
+        assert!(
+            is_prefix(&recovered.records, &originals[victim]),
+            "iteration {iteration}: segment recovery must be a pristine prefix"
+        );
+        let (merged, report) =
+            merge_segments(&web.network, &frontier, &config, &segments, None).unwrap();
+        assert_eq!(
+            merged.to_json().unwrap(),
+            full_json,
+            "iteration {iteration}: merge after corrupting segment {victim} diverged"
+        );
+        if report.recrawled > 0 {
+            dirty_merges += 1;
+        }
+
+        std::fs::write(&segments[victim], bytes).unwrap();
+    }
+    assert!(
+        dirty_merges > 20,
+        "the sweep must mostly cost real records, got {dirty_merges}/32"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The crawl → checkpoint → crash → recover → resume loop end to end,
