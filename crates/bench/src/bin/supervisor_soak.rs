@@ -1,0 +1,597 @@
+//! `supervisor_soak` — CI soak for the crash-tolerant shard supervisor.
+//!
+//! ```text
+//! supervisor_soak [--seed N] [--scale F] [--out PATH] [--baseline PATH]
+//!                 [--jsonl PATH] [--check]
+//! ```
+//!
+//! Re-runs the chaos battery from `tests/supervisor_chaos.rs` as a gate
+//! sweep over a fixed faulted workload (48 sites, 3 shards, 6-record
+//! segments), then times a clean supervised crawl of the full frontier
+//! at `--scale` (default 0.05). Gates, each of which fails the process
+//! under `--check`:
+//!
+//! 1. **Kill-at-every-record byte identity** — for every kill point K
+//!    in shard 0's range, a crash with a torn segment tail at K is
+//!    re-leased and the merged dataset is byte-identical to an
+//!    uninterrupted `workers = 1` crawl, at exactly one re-done record.
+//! 2. **Scenario byte identity** — stall (lease expiry), duplicate
+//!    launch (fencing), straggler (speculation), crash-before-first-
+//!    spill, and seeded mixed chaos all merge byte-identical.
+//! 3. **Exact accounting** — `records_recovered + recrawled ==
+//!    frontier` for every run, with `duplicates_dropped` counting every
+//!    collision.
+//! 4. **Re-work bound** — `records_redone <= crashes x segment_sites +
+//!    duplicates_dropped` for every run.
+//! 5. **Protocol visibility** — the spill-side trace carries the
+//!    expected `lease.expire` / `worker.fenced` / `straggler.speculate`
+//!    instants per scenario.
+//!
+//! Scenario reports are fully deterministic; `--baseline PATH` (the
+//! committed `BENCH_10.json`) requires every fresh deterministic entry
+//! to match the committed one exactly. Timings are machine-dependent
+//! and never gated. `--jsonl PATH` appends one JSON line per gate (the
+//! CI soak artifact).
+
+// Tests/tools exercise failure paths where panicking on a broken
+// invariant is the correct outcome.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use canvassing_crawler::{
+    crawl, shard_range, supervise_crawl, CrawlConfig, FaultScript, RetryPolicy, SpeculationPolicy,
+    SupervisorConfig, WorkerFault,
+};
+use canvassing_net::{FaultMatrix, Url};
+use canvassing_trace::{RingSink, TraceSink};
+use canvassing_webgen::{Cohort, SyntheticWeb, WebConfig};
+use serde::{Deserialize, Serialize};
+
+/// Gate-emitting callback every scenario reports through:
+/// `(gate name, ok, detail, jsonl sink)`.
+type GateFn<'a> = dyn FnMut(String, bool, String, &mut Option<std::fs::File>) + 'a;
+
+/// One gate result, written per line under `--jsonl`.
+#[derive(Serialize)]
+struct GateLine {
+    gate: String,
+    ok: bool,
+    detail: String,
+}
+
+/// One scenario's deterministic outcome — the unit the committed
+/// baseline compares exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Entry {
+    scenario: String,
+    sites: usize,
+    workers_launched: usize,
+    workers_crashed: usize,
+    workers_fenced: usize,
+    workers_cancelled: usize,
+    leases_expired: usize,
+    leases_stolen: usize,
+    re_leases: usize,
+    speculative_launches: usize,
+    records_crawled: usize,
+    records_redone: usize,
+    duplicates_dropped: usize,
+    max_epoch: u64,
+    dataset_fnv: String,
+    matches_direct: bool,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Deterministic {
+    seed: u64,
+    entries: Vec<Entry>,
+}
+
+#[derive(Serialize)]
+struct Timing {
+    scale: f64,
+    phase: &'static str,
+    wall_ms: f64,
+    sites_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    deterministic: Deterministic,
+    timings: Vec<Timing>,
+}
+
+struct Args {
+    seed: u64,
+    scale: f64,
+    out: String,
+    baseline: Option<String>,
+    jsonl: Option<String>,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 2025,
+        scale: 0.05,
+        out: "BENCH_10.json".into(),
+        baseline: None,
+        jsonl: None,
+        check: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> String {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed").parse().expect("seed"),
+            "--scale" => args.scale = value("--scale").parse().expect("scale"),
+            "--out" => args.out = value("--out"),
+            "--baseline" => args.baseline = Some(value("--baseline")),
+            "--jsonl" => args.jsonl = Some(value("--jsonl")),
+            "--check" => args.check = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: supervisor_soak [--seed N] [--scale F] [--out PATH] \
+                     [--baseline PATH] [--jsonl PATH] [--check]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// The fixed sweep workload: 48 faulted popular-frontier sites.
+fn sweep_workload(seed: u64) -> (SyntheticWeb, Vec<Url>, CrawlConfig) {
+    let mut web = SyntheticWeb::generate(WebConfig { seed, scale: 0.02 });
+    let mut frontier = web.frontier(Cohort::Popular);
+    frontier.truncate(48);
+    let targets: Vec<String> = frontier.iter().step_by(3).map(|u| u.host.clone()).collect();
+    FaultMatrix::new(7).inject_all(&mut web.network.faults, targets.iter().map(String::as_str));
+    let mut config = CrawlConfig::control();
+    config.workers = 1;
+    config.retry = RetryPolicy::retries(1);
+    (web, frontier, config)
+}
+
+fn sweep_sup(trace: Option<Arc<dyn TraceSink>>) -> SupervisorConfig {
+    let mut s = SupervisorConfig::new(3);
+    s.segment_sites = 6;
+    s.trace = trace;
+    s
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("canvassing-soak-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+fn main() {
+    let args = parse_args();
+    let mut jsonl = args.jsonl.as_ref().map(|p| {
+        std::fs::File::create(p).unwrap_or_else(|e| {
+            eprintln!("cannot create {p}: {e}");
+            std::process::exit(2);
+        })
+    });
+    let mut failures: Vec<String> = Vec::new();
+    let mut gate = |name: String, ok: bool, detail: String, jsonl: &mut Option<std::fs::File>| {
+        println!("[{}] {name}: {detail}", if ok { "ok" } else { "FAIL" });
+        if let Some(f) = jsonl {
+            let line = GateLine {
+                gate: name.clone(),
+                ok,
+                detail,
+            };
+            let _ = writeln!(f, "{}", serde_json::to_string(&line).expect("gate line"));
+        }
+        if !ok {
+            failures.push(name);
+        }
+    };
+
+    let (web, frontier, config) = sweep_workload(args.seed);
+    let direct = crawl(&web.network, &frontier, &config);
+    let direct_json = serde_json::to_string(&direct).expect("dataset serializes");
+    let mut entries: Vec<Entry> = Vec::new();
+
+    let run_scenario = |name: &str,
+                        faults: &FaultScript,
+                        sup: &SupervisorConfig,
+                        entries: &mut Vec<Entry>,
+                        jsonl: &mut Option<std::fs::File>,
+                        gate: &mut GateFn|
+     -> canvassing_crawler::SupervisionReport {
+        let dir = tmp_dir(name);
+        let (merged, report) = supervise_crawl(&web.network, &frontier, &config, &dir, sup, faults)
+            .expect("supervised crawl completes");
+        std::fs::remove_dir_all(&dir).ok();
+        let merged_json = serde_json::to_string(&merged).expect("dataset serializes");
+        let matches = merged_json == direct_json;
+        gate(
+            format!("byte-identity/{name}"),
+            matches,
+            format!(
+                "merged dataset {} the uninterrupted workers=1 crawl",
+                if matches { "matches" } else { "DIVERGES from" }
+            ),
+            jsonl,
+        );
+        let exact = report.merge.records_recovered + report.merge.recrawled == frontier.len();
+        gate(
+            format!("exact-accounting/{name}"),
+            exact,
+            format!(
+                "{} recovered + {} recrawled == {} frontier, {} duplicates dropped",
+                report.merge.records_recovered,
+                report.merge.recrawled,
+                frontier.len(),
+                report.merge.duplicates_dropped
+            ),
+            jsonl,
+        );
+        let bound = report.workers_crashed * sup.segment_sites + report.merge.duplicates_dropped;
+        gate(
+            format!("rework-bound/{name}"),
+            report.records_redone <= bound,
+            format!(
+                "{} records redone <= {} ({} crashes x {} segment sites + {} duplicates), wasted ratio {:.3}",
+                report.records_redone,
+                bound,
+                report.workers_crashed,
+                sup.segment_sites,
+                report.merge.duplicates_dropped,
+                report.wasted_work_ratio()
+            ),
+            jsonl,
+        );
+        entries.push(Entry {
+            scenario: name.to_string(),
+            sites: frontier.len(),
+            workers_launched: report.workers_launched,
+            workers_crashed: report.workers_crashed,
+            workers_fenced: report.workers_fenced,
+            workers_cancelled: report.workers_cancelled,
+            leases_expired: report.leases_expired,
+            leases_stolen: report.leases_stolen,
+            re_leases: report.re_leases,
+            speculative_launches: report.speculative_launches,
+            records_crawled: report.records_crawled,
+            records_redone: report.records_redone,
+            duplicates_dropped: report.merge.duplicates_dropped,
+            max_epoch: report.max_epoch,
+            dataset_fnv: format!("{:016x}", fnv(merged_json.as_bytes())),
+            matches_direct: matches,
+        });
+        report
+    };
+
+    // --- 1. The kill-at-every-record sweep (gates rolled up per K). ---
+    let shard0 = shard_range(frontier.len(), 0, 3);
+    let mut kill_identical = 0usize;
+    let mut kill_single_redo = 0usize;
+    for k in 0..shard0.len() {
+        let mut faults = FaultScript::none();
+        faults.inject(0, 1, WorkerFault::CrashAtRecord(k));
+        let dir = tmp_dir(&format!("kill-{k}"));
+        let (merged, report) = supervise_crawl(
+            &web.network,
+            &frontier,
+            &config,
+            &dir,
+            &sweep_sup(None),
+            &faults,
+        )
+        .expect("supervised crawl completes");
+        std::fs::remove_dir_all(&dir).ok();
+        if serde_json::to_string(&merged).expect("dataset serializes") == direct_json {
+            kill_identical += 1;
+        }
+        if report.records_redone == 1 && report.workers_crashed == 1 {
+            kill_single_redo += 1;
+        }
+    }
+    gate(
+        "kill-sweep/byte-identity".into(),
+        kill_identical == shard0.len(),
+        format!(
+            "{kill_identical}/{} kill points merged byte-identical",
+            shard0.len()
+        ),
+        &mut jsonl,
+    );
+    gate(
+        "kill-sweep/one-torn-record".into(),
+        kill_single_redo == shard0.len(),
+        format!(
+            "{kill_single_redo}/{} kill points re-did exactly the torn record",
+            shard0.len()
+        ),
+        &mut jsonl,
+    );
+
+    // --- 2. Scenario battery (each also a deterministic baseline entry). ---
+    run_scenario(
+        "clean",
+        &FaultScript::none(),
+        &sweep_sup(None),
+        &mut entries,
+        &mut jsonl,
+        &mut gate,
+    );
+
+    let mut faults = FaultScript::none();
+    faults.inject(0, 1, WorkerFault::CrashAtRecord(3));
+    faults.inject(0, 2, WorkerFault::CrashAtRecord(2));
+    run_scenario(
+        "double-crash",
+        &faults,
+        &sweep_sup(None),
+        &mut entries,
+        &mut jsonl,
+        &mut gate,
+    );
+
+    let mut faults = FaultScript::none();
+    faults.inject(1, 1, WorkerFault::CrashBeforeFirstSpill);
+    run_scenario(
+        "crash-before-first-spill",
+        &faults,
+        &sweep_sup(None),
+        &mut entries,
+        &mut jsonl,
+        &mut gate,
+    );
+
+    let stall_sink = Arc::new(RingSink::new(512));
+    let mut stall_sup = sweep_sup(Some(Arc::clone(&stall_sink) as Arc<dyn TraceSink>));
+    stall_sup.speculation = SpeculationPolicy::Off;
+    let mut faults = FaultScript::none();
+    faults.inject(0, 1, WorkerFault::Stall { after_records: 4 });
+    let stall_report = run_scenario(
+        "stall",
+        &faults,
+        &stall_sup,
+        &mut entries,
+        &mut jsonl,
+        &mut gate,
+    );
+    let expires: usize = stall_sink
+        .traces()
+        .iter()
+        .map(|t| t.instant_count("lease.expire"))
+        .sum();
+    gate(
+        "protocol/stall-expires-once".into(),
+        expires == 1 && stall_report.leases_expired == 1,
+        format!("lease.expire fired {expires}x for one hung worker"),
+        &mut jsonl,
+    );
+
+    let dup_sink = Arc::new(RingSink::new(512));
+    let mut faults = FaultScript::none();
+    faults.duplicate_launch(0, 3);
+    let dup_report = run_scenario(
+        "duplicate-launch",
+        &faults,
+        &sweep_sup(Some(Arc::clone(&dup_sink) as Arc<dyn TraceSink>)),
+        &mut entries,
+        &mut jsonl,
+        &mut gate,
+    );
+    let fenced: usize = dup_sink
+        .traces()
+        .iter()
+        .map(|t| t.instant_count("worker.fenced"))
+        .sum();
+    gate(
+        "protocol/duplicate-is-fenced".into(),
+        fenced == 1 && dup_report.merge.duplicates_dropped > 0,
+        format!(
+            "worker.fenced fired {fenced}x, merge dropped {} overlapping records",
+            dup_report.merge.duplicates_dropped
+        ),
+        &mut jsonl,
+    );
+
+    let spec_sink = Arc::new(RingSink::new(512));
+    let mut spec_sup = sweep_sup(Some(Arc::clone(&spec_sink) as Arc<dyn TraceSink>));
+    spec_sup.speculation = SpeculationPolicy::Race {
+        after_quiet_ticks: 4,
+    };
+    let mut faults = FaultScript::none();
+    faults.inject(0, 1, WorkerFault::Straggle { period: 12 });
+    let spec_report = run_scenario(
+        "straggler",
+        &faults,
+        &spec_sup,
+        &mut entries,
+        &mut jsonl,
+        &mut gate,
+    );
+    let speculated: usize = spec_sink
+        .traces()
+        .iter()
+        .map(|t| t.instant_count("straggler.speculate"))
+        .sum();
+    gate(
+        "protocol/straggler-is-raced".into(),
+        speculated == 1
+            && spec_report.speculative_launches == 1
+            && spec_report.workers_cancelled == 1,
+        format!(
+            "straggler.speculate fired {speculated}x, {} racer(s), {} loser(s) cancelled",
+            spec_report.speculative_launches, spec_report.workers_cancelled
+        ),
+        &mut jsonl,
+    );
+
+    for seed in 1..=3u64 {
+        let faults = FaultScript::seeded(seed, 3);
+        run_scenario(
+            &format!("seeded-{seed}"),
+            &faults,
+            &sweep_sup(None),
+            &mut entries,
+            &mut jsonl,
+            &mut gate,
+        );
+    }
+
+    // --- 3. Baseline drift gate over the deterministic entries. ---
+    let deterministic = Deterministic {
+        seed: args.seed,
+        entries,
+    };
+    if let Some(path) = &args.baseline {
+        /// The committed slice the drift gate compares (timings are
+        /// machine-dependent and skipped).
+        #[derive(Deserialize)]
+        struct Baseline {
+            deterministic: Deterministic,
+        }
+        let committed: Baseline =
+            serde_json::from_str(&std::fs::read_to_string(path).expect("read baseline"))
+                .expect("parse baseline");
+        let mut drift: Vec<String> = Vec::new();
+        if committed.deterministic.seed != deterministic.seed {
+            drift.push(format!(
+                "baseline seed {} vs run seed {}",
+                committed.deterministic.seed, deterministic.seed
+            ));
+        }
+        for fresh in &deterministic.entries {
+            match committed
+                .deterministic
+                .entries
+                .iter()
+                .find(|e| e.scenario == fresh.scenario)
+            {
+                None => drift.push(format!("no committed entry for {}", fresh.scenario)),
+                Some(c) if c != fresh => drift.push(format!(
+                    "{} drifted: committed {} vs fresh {}",
+                    fresh.scenario,
+                    serde_json::to_string(c).expect("serialize"),
+                    serde_json::to_string(fresh).expect("serialize")
+                )),
+                Some(_) => {}
+            }
+        }
+        gate(
+            "baseline-drift".into(),
+            drift.is_empty(),
+            if drift.is_empty() {
+                format!("all {} scenarios match {path}", deterministic.entries.len())
+            } else {
+                drift.join("; ")
+            },
+            &mut jsonl,
+        );
+    }
+
+    // --- 4. Supervised throughput at --scale (timed, never gated). ---
+    let mut timings: Vec<Timing> = Vec::new();
+    {
+        let web = SyntheticWeb::generate(WebConfig {
+            seed: args.seed,
+            scale: args.scale,
+        });
+        let frontier = web.frontier(Cohort::Popular);
+        let mut config = CrawlConfig::control();
+        config.workers = 1;
+        let mut sup = SupervisorConfig::new(4);
+        sup.segment_sites = 256;
+        let dir = tmp_dir("throughput");
+        let start = std::time::Instant::now();
+        let (_, report) = supervise_crawl(
+            &web.network,
+            &frontier,
+            &config,
+            &dir,
+            &sup,
+            &FaultScript::none(),
+        )
+        .expect("supervised crawl completes");
+        let wall = start.elapsed().as_secs_f64() * 1e3;
+        std::fs::remove_dir_all(&dir).ok();
+        eprintln!(
+            "[soak] supervised {} sites in {:.1}s ({:.0} sites/sec, {} segments)",
+            frontier.len(),
+            wall / 1e3,
+            frontier.len() as f64 / (wall / 1e3).max(1e-9),
+            report.merge.segments
+        );
+        timings.push(Timing {
+            scale: args.scale,
+            phase: "supervised_crawl",
+            wall_ms: wall,
+            sites_per_sec: frontier.len() as f64 / (wall / 1e3).max(1e-9),
+        });
+
+        let start = std::time::Instant::now();
+        let _ = crawl(&web.network, &frontier, &config);
+        let wall = start.elapsed().as_secs_f64() * 1e3;
+        timings.push(Timing {
+            scale: args.scale,
+            phase: "direct_crawl",
+            wall_ms: wall,
+            sites_per_sec: frontier.len() as f64 / (wall / 1e3).max(1e-9),
+        });
+    }
+
+    let report = BenchReport {
+        bench: "supervisor_soak",
+        deterministic,
+        timings,
+    };
+    std::fs::write(
+        &args.out,
+        serde_json::to_string_pretty(&report).expect("serialize report"),
+    )
+    .expect("write report");
+    eprintln!("wrote {}", args.out);
+    if let Some(p) = &args.jsonl {
+        println!("wrote gate results to {p}");
+    }
+
+    if failures.is_empty() {
+        println!(
+            "SUPERVISOR SOAK OK: all gates passed over {} sites x {} kill points",
+            frontier.len(),
+            shard0.len()
+        );
+    } else {
+        eprintln!(
+            "SUPERVISOR SOAK FAILED: {} gate(s): {:?}",
+            failures.len(),
+            failures
+        );
+        if args.check {
+            std::process::exit(1);
+        }
+    }
+}

@@ -26,8 +26,11 @@
 //!   cohort state one at a time, mergeable across frontier shards, so
 //!   million-site crawls never materialize a dataset;
 //! * [`study`] — the orchestrator that runs every crawl and produces all
-//!   tables and figures ([`study::run_study`], or
-//!   [`study::run_study_streamed`] for the bounded-memory path).
+//!   tables and figures ([`study::run_study`],
+//!   [`study::run_study_streamed`] for the bounded-memory path, or
+//!   [`study::run_study_supervised`] for the crash-tolerant path that
+//!   runs both control crawls under the leased shard supervisor with
+//!   injected process faults and proves the results unchanged).
 //!
 //! ```no_run
 //! use canvassing::study::{run_study, StudyOptions};
@@ -84,7 +87,8 @@ pub use evasion::EvasionStats;
 pub use figures::Figure1;
 pub use prevalence::{Prevalence, PrevalenceAccumulator};
 pub use study::{
-    run_study, run_study_streamed, CohortAnalysis, StreamingOptions, StudyOptions, StudyResults,
+    run_study, run_study_streamed, run_study_supervised, CohortAnalysis, StreamingOptions,
+    StudyOptions, StudyResults, SupervisionSummary,
 };
 pub use validation::{
     cross_validate, vendor_static_rows, ConfusionMatrix, ScriptVotes, VendorStaticRow,

@@ -5,8 +5,9 @@
 use canvassing_blocklist::{DisconnectList, FilterList};
 use canvassing_browser::AdBlockerKind;
 use canvassing_crawler::{
-    crawl, crawl_streamed_range, crawl_with_stats, shard_range, CrawlConfig, CrawlDataset,
-    CrawlStats, FailureKind, SegmentWriter,
+    crawl, crawl_streamed_range_until, crawl_with_stats, shard_range, supervise_crawl, CrawlConfig,
+    CrawlDataset, CrawlStats, FailureKind, FaultScript, SegmentWriter, SupervisionReport,
+    SupervisorConfig,
 };
 use canvassing_raster::DeviceProfile;
 use canvassing_webgen::{Cohort, SyntheticWeb};
@@ -358,7 +359,7 @@ fn stream_cohort(
             None => None,
         };
         let mut io_err: Option<std::io::Error> = None;
-        let stats = crawl_streamed_range(
+        let stats = crawl_streamed_range_until(
             &web.network,
             frontier,
             config,
@@ -366,17 +367,25 @@ fn stream_cohort(
             shard_range(frontier.len(), shard, shards),
             streaming.chunk_sites,
             |_, record| {
+                // Spill before absorbing: a record the segment files will
+                // never durably hold must not reach the accumulator either,
+                // or the streamed analysis and the spilled dataset diverge.
                 if let Some(w) = writer.as_mut() {
-                    if io_err.is_none() {
-                        if let Err(e) = w.append(&record) {
-                            io_err = Some(e);
-                        }
+                    if let Err(e) = w.append(&record) {
+                        io_err = Some(e);
+                        return std::ops::ControlFlow::Break(());
                     }
                 }
                 acc.absorb(&record, easylist, easyprivacy, disconnect);
+                std::ops::ControlFlow::Continue(())
             },
         );
         if let Some(e) = io_err {
+            // Abort, don't limp: drop the unsealed partial segment so the
+            // spill directory holds only complete, sealed segments.
+            if let Some(w) = writer {
+                w.abort().ok();
+            }
             return Err(e);
         }
         if let Some(w) = writer {
@@ -448,6 +457,91 @@ pub fn run_study_streamed(
         &tail_frontier,
         popular,
         tail,
+    ))
+}
+
+/// Per-cohort supervision accounting from [`run_study_supervised`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SupervisionSummary {
+    /// Popular-cohort supervision report.
+    pub popular: SupervisionReport,
+    /// Tail-cohort supervision report.
+    pub tail: SupervisionReport,
+}
+
+/// [`run_study`] on the crash-tolerant path: both control crawls run
+/// under the shard supervisor ([`supervise_crawl`]) with `faults`
+/// injected, spilling leased, epoch-qualified segments under
+/// `<dir>/popular` / `<dir>/tail`, then merging duplicate-safely.
+///
+/// The [`StudyResults`] are byte-identical to [`run_study`]'s for ANY
+/// fault script — crashes, stalls, duplicate launches, and speculation
+/// never show up in the science — with two deliberate exceptions, both
+/// perf-only: `popular.perf`/`tail.perf` stay zeroed (supervised re-work
+/// would otherwise perturb cache counters by the fault script), and
+/// crawl traces are not recorded (supervision instants go to
+/// [`SupervisorConfig::trace`] instead). `tests/supervisor_chaos.rs`
+/// gates the faults-vs-none identity.
+pub fn run_study_supervised(
+    web: &SyntheticWeb,
+    options: &StudyOptions,
+    sup: &SupervisorConfig,
+    faults: &FaultScript,
+    dir: &std::path::Path,
+) -> std::io::Result<(StudyResults, SupervisionSummary)> {
+    let easylist = FilterList::parse("EasyList", &web.lists.easylist);
+    let easyprivacy = FilterList::parse("EasyPrivacy", &web.lists.easyprivacy);
+    let disconnect = DisconnectList::parse(&web.lists.disconnect);
+
+    let popular_frontier = web.frontier(Cohort::Popular);
+    let tail_frontier = web.frontier(Cohort::Tail);
+
+    let mut control = CrawlConfig::control();
+    control.workers = options.workers;
+    control.engine = options.engine;
+
+    let (popular_ds, popular_sup) = supervise_crawl(
+        &web.network,
+        &popular_frontier,
+        &control,
+        &dir.join("popular"),
+        sup,
+        faults,
+    )?;
+    let (tail_ds, tail_sup) = supervise_crawl(
+        &web.network,
+        &tail_frontier,
+        &control,
+        &dir.join("tail"),
+        sup,
+        faults,
+    )?;
+
+    let mut popular = analyze_cohort(
+        Cohort::Popular,
+        &popular_ds,
+        &easylist,
+        &easyprivacy,
+        &disconnect,
+    );
+    let mut tail = analyze_cohort(Cohort::Tail, &tail_ds, &easylist, &easyprivacy, &disconnect);
+    popular.bytecode = bytecode_triage(&web.network, &popular_frontier);
+    tail.bytecode = bytecode_triage(&web.network, &tail_frontier);
+
+    let results = finish_study(
+        web,
+        options,
+        &popular_frontier,
+        &tail_frontier,
+        popular,
+        tail,
+    );
+    Ok((
+        results,
+        SupervisionSummary {
+            popular: popular_sup,
+            tail: tail_sup,
+        },
     ))
 }
 

@@ -152,11 +152,7 @@ impl CheckpointWriter {
         let json = serde_json::to_string(record).map_err(io::Error::other)?;
         let line = format!("{:08x} {json}\n", crc32(json.as_bytes()));
         if self.torn_hosts.remove(&record.url.host) {
-            // Crash mid-write: flush roughly half the line, no newline.
-            let cut = line.len() / 2;
-            self.file.write_all(&line.as_bytes()[..cut])?;
-            self.file.flush()?;
-            self.poisoned = true;
+            self.tear_line(&line)?;
             return Err(io::Error::other(format!(
                 "torn write injected for {}",
                 record.url.host
@@ -165,6 +161,29 @@ impl CheckpointWriter {
         self.file.write_all(line.as_bytes())?;
         self.file.flush()?;
         self.records_written += 1;
+        Ok(())
+    }
+
+    /// Simulates the owning process dying inside the `write(2)` of
+    /// `record`'s framed line: roughly half the line is flushed (no
+    /// newline) and the writer is poisoned. Unlike the armed path (a
+    /// [`Fault::TornWrite`] consumed by [`CheckpointWriter::append`]),
+    /// the tear is unconditional — the supervisor's fault injector uses
+    /// it to kill a shard worker at an exact record. The on-disk state is
+    /// precisely what [`recover`] truncates away.
+    pub fn tear(&mut self, record: &SiteRecord) -> io::Result<()> {
+        let json = serde_json::to_string(record).map_err(io::Error::other)?;
+        let line = format!("{:08x} {json}\n", crc32(json.as_bytes()));
+        self.tear_line(&line)
+    }
+
+    /// Crash mid-write: flush roughly half the line, no newline, and
+    /// poison the writer until recovery runs.
+    fn tear_line(&mut self, line: &str) -> io::Result<()> {
+        let cut = line.len() / 2;
+        self.file.write_all(&line.as_bytes()[..cut])?;
+        self.file.flush()?;
+        self.poisoned = true;
         Ok(())
     }
 }
@@ -407,6 +426,26 @@ mod tests {
             serde_json::to_string(&back).unwrap(),
             serde_json::to_string(&ds).unwrap()
         );
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tear_leaves_a_recoverable_prefix_and_poisons_the_writer() {
+        let path = tmp_path("tear");
+        let mut w = CheckpointWriter::create(&path, "control", "intel").unwrap();
+        for i in 0..3 {
+            w.append(&record(&format!("s{i}.com"), true)).unwrap();
+        }
+        w.tear(&record("victim.com", true)).unwrap();
+        assert!(w.append(&record("s4.com", true)).is_err(), "poisoned");
+        drop(w);
+
+        let (ds, report) = recover(&path).unwrap();
+        assert_eq!(ds.records.len(), 3, "the torn record never landed");
+        assert_eq!(report.corrupted_at, Some(3));
+        assert!(report.bytes_truncated > 0);
+        let (_, second) = recover(&path).unwrap();
+        assert!(second.clean());
         fs::remove_file(&path).ok();
     }
 

@@ -47,6 +47,7 @@ pub mod breaker;
 pub mod checkpoint;
 pub mod dataset;
 pub mod segment;
+pub mod supervisor;
 
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -66,7 +67,12 @@ pub use breaker::{BreakerEvent, BreakerHostStats, BreakerPlan, BreakerPolicy};
 pub use checkpoint::{recover, save_atomic, CheckpointWriter, RecoveryReport};
 pub use dataset::{CrawlDataset, FailureKind, SiteFailure, SiteOutcome, SiteRecord, VisitFidelity};
 pub use segment::{
-    crawl_shard_to_segments, list_segments, merge_segments, MergeReport, SegmentWriter,
+    crawl_shard_to_segments, list_segments, list_segments_traced, merge_segments, MergeReport,
+    SegmentWriter,
+};
+pub use supervisor::{
+    lease_path, list_supervised_segments, merge_supervised, read_lease, supervise_crawl,
+    FaultScript, Lease, SpeculationPolicy, SupervisionReport, SupervisorConfig, WorkerFault,
 };
 
 /// Retry behavior for transient failures. Backoff is computed, not slept:
@@ -744,15 +750,47 @@ pub fn crawl_streamed_range(
     chunk_sites: usize,
     mut sink: impl FnMut(usize, SiteRecord),
 ) -> CrawlStats {
+    crawl_streamed_range_until(
+        network,
+        frontier,
+        config,
+        caches,
+        range,
+        chunk_sites,
+        |index, record| {
+            sink(index, record);
+            std::ops::ControlFlow::Continue(())
+        },
+    )
+}
+
+/// [`crawl_streamed_range`] with an abortable sink: returning
+/// [`ControlFlow::Break`](std::ops::ControlFlow::Break) stops the crawl
+/// immediately — no further sites are visited, so a sink that can no
+/// longer persist records (a spill I/O error, a fenced lease) does not
+/// burn the rest of the range crawling into the void.
+///
+/// `stats.sites` counts the records actually delivered to the sink; on
+/// an uninterrupted run that equals `range.len()`, exactly as
+/// [`crawl_streamed_range`] reports.
+pub fn crawl_streamed_range_until(
+    network: &Network,
+    frontier: &[Url],
+    config: &CrawlConfig,
+    caches: &CrawlCaches,
+    range: std::ops::Range<usize>,
+    chunk_sites: usize,
+    mut sink: impl FnMut(usize, SiteRecord) -> std::ops::ControlFlow<()>,
+) -> CrawlStats {
     let before = CrawlStats::snapshot(caches);
     let plan = BreakerPlan::plan(network, frontier, config);
     let chunk = chunk_sites.max(1);
     let full = range.start == 0 && range.end == frontier.len();
-    let sites = range.len() as u64;
+    let mut delivered = 0u64;
     let mut trace_totals = (0u64, 0u64, 0u64);
     let mut salvaged = 0u64;
     let mut start = range.start;
-    while start < range.end {
+    'chunks: while start < range.end {
         let end = (start + chunk).min(range.end);
         let indices: Vec<usize> = (start..end).collect();
         let (records, traces) =
@@ -765,12 +803,15 @@ pub fn crawl_streamed_range(
             if matches!(&record.outcome, SiteOutcome::Failure(f) if f.salvage.is_some()) {
                 salvaged += 1;
             }
-            sink(start + offset, record);
+            delivered += 1;
+            if sink(start + offset, record).is_break() {
+                break 'chunks;
+            }
         }
         start = end;
     }
     let mut stats = CrawlStats::snapshot(caches).since(&before);
-    stats.sites = sites;
+    stats.sites = delivered;
     (stats.trace_visits, stats.trace_spans, stats.trace_events) = trace_totals;
     if full {
         if let Some(plan) = &plan {
@@ -880,6 +921,73 @@ pub fn resume_crawl(
         }
     }
     CrawlDataset::from_slots(config, slots)
+}
+
+/// One shard worker's crawl handle: a browser plus the shared caches and
+/// the full-frontier breaker plan, visiting a single site per call.
+///
+/// This is the execution core the supervisor ([`supervisor`]) gives each
+/// simulated worker process. [`SiteCrawler::visit`] has the same purity
+/// contract as every other crawl entry point — the record is a function
+/// of `(network, url, config)` with breaker state planned over the
+/// *full* frontier — so first, re-leased, and speculative executions of
+/// the same site all produce byte-identical records, which is what makes
+/// duplicate-dropping at merge time safe.
+pub struct SiteCrawler<'a> {
+    network: &'a Network,
+    frontier: &'a [Url],
+    config: &'a CrawlConfig,
+    caches: &'a CrawlCaches,
+    plan: Option<&'a BreakerPlan>,
+    browser: Browser,
+}
+
+impl std::fmt::Debug for SiteCrawler<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SiteCrawler")
+            .field("frontier", &self.frontier.len())
+            .field("label", &self.config.label)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SiteCrawler<'a> {
+    /// Builds one worker's crawler over shared caches and a breaker plan
+    /// that **must** have been computed over the full `frontier` (pass
+    /// [`BreakerPlan::plan`]'s result, or `None` when breakers are off).
+    pub fn new(
+        network: &'a Network,
+        frontier: &'a [Url],
+        config: &'a CrawlConfig,
+        caches: &'a CrawlCaches,
+        plan: Option<&'a BreakerPlan>,
+    ) -> SiteCrawler<'a> {
+        let browser = config.build_browser(config.worker_caches(caches));
+        SiteCrawler {
+            network,
+            frontier,
+            config,
+            caches,
+            plan,
+            browser,
+        }
+    }
+
+    /// Visits `frontier[index]` and returns its record. Traces are
+    /// dropped: supervised workers report durably through segments, not
+    /// through the crawl's trace sink.
+    pub fn visit(&self, index: usize) -> SiteRecord {
+        let (record, _trace) = visit_site(
+            self.network,
+            &self.browser,
+            &self.frontier[index],
+            self.config,
+            self.caches,
+            self.plan,
+            index,
+        );
+        record
+    }
 }
 
 /// Convenience: visits a single page with a one-off browser (used by the

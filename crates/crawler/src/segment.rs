@@ -37,7 +37,7 @@ use canvassing_trace::{TraceSink, VisitRecorder};
 
 use crate::checkpoint::{recover, CheckpointWriter};
 use crate::dataset::{CrawlDataset, SiteRecord};
-use crate::{crawl_streamed_range, resume_crawl, shard_range, CrawlConfig};
+use crate::{crawl_streamed_range_until, resume_crawl, shard_range, CrawlConfig};
 
 /// Rolls visit records into bounded CRC-framed segment files.
 ///
@@ -50,6 +50,11 @@ pub struct SegmentWriter {
     label: String,
     device_id: String,
     shard: usize,
+    /// Lease epoch for supervised spills: when set, segment names carry
+    /// it (`shard003-e0002-seg00007.ckpt`) so re-leased and speculative
+    /// owners of the same shard never collide on a file. `None` is the
+    /// unsupervised scheme [`list_segments`] recognises.
+    epoch: Option<u64>,
     segment_sites: usize,
     seq: usize,
     current: Option<CheckpointWriter>,
@@ -88,12 +93,22 @@ impl SegmentWriter {
             label: label.to_string(),
             device_id: device_id.to_string(),
             shard,
+            epoch: None,
             segment_sites: segment_sites.max(1),
             seq: 0,
             current: None,
             sealed: Vec::new(),
             trace: None,
         })
+    }
+
+    /// Switches to epoch-qualified segment names for supervised spills.
+    /// Epoch-qualified files are deliberately invisible to
+    /// [`list_segments`]; [`crate::supervisor::merge_supervised`] owns
+    /// them.
+    pub fn with_epoch(mut self, epoch: u64) -> SegmentWriter {
+        self.epoch = Some(epoch);
+        self
     }
 
     /// Attaches a sink for spill instants (`segment.seal`,
@@ -105,8 +120,10 @@ impl SegmentWriter {
     }
 
     fn segment_path(&self, seq: usize) -> PathBuf {
-        self.dir
-            .join(format!("shard{:03}-seg{:05}.ckpt", self.shard, seq))
+        self.dir.join(match self.epoch {
+            Some(epoch) => format!("shard{:03}-e{:04}-seg{:05}.ckpt", self.shard, epoch, seq),
+            None => format!("shard{:03}-seg{:05}.ckpt", self.shard, seq),
+        })
     }
 
     /// Appends one record, opening a fresh segment when none is open and
@@ -166,22 +183,119 @@ impl SegmentWriter {
     /// Seals any open segment and returns every segment path in frontier
     /// order. Dropping a writer without calling `finish` leaves the last
     /// segment on disk unsealed — still a valid checkpoint (recovery
-    /// reads it fine), just unlisted here.
+    /// reads it fine), just unlisted here. That recoverability is pinned
+    /// by `unsealed_segment_from_dropped_writer_is_recoverable` below
+    /// and is what supervised re-leases resume from.
     pub fn finish(mut self) -> io::Result<Vec<PathBuf>> {
         self.seal("segment.finish")?;
         Ok(std::mem::take(&mut self.sealed))
     }
+
+    /// Simulates the owning process dying while appending `record`: half
+    /// the framed line lands in the current segment (opening a fresh one
+    /// if none is open) and the file handle dies with the process,
+    /// leaving an unsealed segment with a torn tail — the exact state
+    /// [`crate::checkpoint::recover`] is built to clean up. Supervisor
+    /// fault injection only; a real crash needs no help.
+    pub fn crash(&mut self, record: &SiteRecord) -> io::Result<()> {
+        if self.current.is_none() {
+            let path = self.segment_path(self.seq);
+            self.current = Some(CheckpointWriter::create(
+                &path,
+                &self.label,
+                &self.device_id,
+            )?);
+        }
+        let writer = self
+            .current
+            .as_mut()
+            .unwrap_or_else(|| unreachable!("segment opened above"));
+        writer.tear(record)?;
+        self.current = None;
+        Ok(())
+    }
+
+    /// Aborts the spill: the current *unsealed* segment file is removed
+    /// (a half-written segment that will never be sealed must not
+    /// pollute a later merge) and the sealed segments — all complete and
+    /// mergeable — are returned. This is the error path of
+    /// [`crawl_shard_to_segments`]; a `segment.abort` instant records
+    /// the removal on the spill sink.
+    pub fn abort(mut self) -> io::Result<Vec<PathBuf>> {
+        if let Some(writer) = self.current.take() {
+            let records = writer.records_written();
+            let path = writer.path().to_path_buf();
+            drop(writer);
+            fs::remove_file(&path)?;
+            self.emit("segment.abort", &path, records);
+        }
+        Ok(std::mem::take(&mut self.sealed))
+    }
 }
 
-/// Lists every segment file (`*.ckpt`) in `dir`, sorted by file name —
-/// which, given the zero-padded `shard{NNN}-seg{NNNNN}` scheme, is
-/// global frontier order across all shards.
+/// Parses a canonical unsupervised segment file name —
+/// `shard{NNN}-seg{NNNNN}.ckpt`, zero-padded to at least 3 and 5 digits
+/// but open-ended above that — into `(shard, seq)`. Anything else
+/// (lease files, `.tmp` rename leftovers, supervised epoch-qualified
+/// segments, foreign checkpoints) is not a segment.
+pub(crate) fn parse_segment_name(name: &str) -> Option<(usize, usize)> {
+    let rest = name.strip_suffix(".ckpt")?;
+    let rest = rest.strip_prefix("shard")?;
+    let (shard, seq) = rest.split_once("-seg")?;
+    Some((parse_padded(shard, 3)?, parse_padded(seq, 5)?))
+}
+
+/// Parses a supervised, epoch-qualified segment file name —
+/// `shard{NNN}-e{EEEE}-seg{NNNNN}.ckpt` — into `(shard, epoch, seq)`.
+/// The supervised scheme is deliberately disjoint from the canonical
+/// one: [`list_segments`] never sees supervised segments and
+/// [`crate::supervisor::list_supervised_segments`] never sees
+/// unsupervised ones, so the two merge paths cannot double-read a file.
+pub(crate) fn parse_supervised_name(name: &str) -> Option<(usize, u64, usize)> {
+    let rest = name.strip_suffix(".ckpt")?;
+    let rest = rest.strip_prefix("shard")?;
+    let (shard, rest) = rest.split_once("-e")?;
+    let (epoch, seq) = rest.split_once("-seg")?;
+    Some((
+        parse_padded(shard, 3)?,
+        parse_padded(epoch, 4)? as u64,
+        parse_padded(seq, 5)?,
+    ))
+}
+
+/// A zero-padded decimal field: all digits, at least `min_len` of them.
+pub(crate) fn parse_padded(digits: &str, min_len: usize) -> Option<usize> {
+    if digits.len() < min_len || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Lists every canonical segment file (`shard{NNN}-seg{NNNNN}.ckpt`) in
+/// `dir`, sorted by file name — which, given the zero-padded scheme, is
+/// global frontier order across all shards. Files that do not match the
+/// canonical name are skipped, so stray checkpoints, lease files, or
+/// supervised epoch-qualified segments can never corrupt merge order.
 pub fn list_segments(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    list_segments_traced(dir, None)
+}
+
+/// [`list_segments`] with spill-side observability: every skipped file
+/// is recorded as a `segment.skip` instant on `trace`.
+pub fn list_segments_traced(
+    dir: &Path,
+    trace: Option<&Arc<dyn TraceSink>>,
+) -> io::Result<Vec<PathBuf>> {
     let mut segments = Vec::new();
     for entry in fs::read_dir(dir)? {
         let path = entry?.path();
-        if path.extension().is_some_and(|e| e == "ckpt") {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if parse_segment_name(name).is_some() && path.is_file() {
             segments.push(path);
+        } else if path.is_file() {
+            emit_spill_instant(trace, "segments", "segment.skip", || {
+                format!("{} not a canonical segment name", path.display())
+            });
         }
     }
     segments.sort();
@@ -189,16 +303,23 @@ pub fn list_segments(dir: &Path) -> io::Result<Vec<PathBuf>> {
 }
 
 /// What [`merge_segments`] recovered and re-did.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct MergeReport {
     /// Segment files read.
     pub segments: usize,
-    /// Records recovered across all segments' valid prefixes.
+    /// **Unique** records recovered across all segments' valid prefixes:
+    /// a site crawled by several shard executions (a re-leased or
+    /// speculative owner, a duplicate shard crawl) counts once.
     pub records_recovered: usize,
     /// Segments whose tail had to be truncated during recovery.
     pub segments_recovered_dirty: usize,
-    /// Frontier sites not covered by any segment (lost to torn tails or
-    /// a crawl that never reached them) and therefore recrawled.
+    /// Recovered records dropped because an earlier segment (in merge
+    /// order) already supplied their site. Always zero when no shard ran
+    /// twice; `records_recovered + recrawled == frontier` holds exactly
+    /// because duplicates are excluded here.
+    pub duplicates_dropped: usize,
+    /// Frontier sites not covered by any recovered record (lost to torn
+    /// tails or a crawl that never reached them) and therefore recrawled.
     pub recrawled: usize,
 }
 
@@ -210,6 +331,13 @@ pub struct MergeReport {
 /// `(network, url, config)`, the merged dataset is byte-identical to a
 /// single uninterrupted crawl — regardless of shard count, segment size,
 /// how many segments were torn, or the order segments are listed in.
+/// Duplicate safety: segments are read in the given order (callers pass
+/// a name-sorted list, i.e. `(shard, [epoch,] seq)` order) and records
+/// deduplicate by site — the first occurrence wins. Re-executed shard
+/// work is therefore *dropped*, not double-counted, and because every
+/// execution of a site produces the identical record, which occurrence
+/// wins is immaterial to the dataset. The exact accounting lands in
+/// [`MergeReport::duplicates_dropped`].
 pub fn merge_segments(
     network: &Network,
     frontier: &[Url],
@@ -222,38 +350,50 @@ pub fn merge_segments(
         device_id: config.device.id.clone(),
         records: Vec::new(),
     };
+    let mut seen: std::collections::BTreeSet<Url> = std::collections::BTreeSet::new();
     let mut dirty = 0usize;
+    let mut total = 0usize;
     for path in segments {
         let (dataset, report) = recover(path)?;
         if !report.clean() {
             dirty += 1;
         }
-        emit_merge_instant(trace, config, path, report.records_recovered);
-        combined.records.extend(dataset.records);
+        emit_spill_instant(trace, &config.label, "segment.merge", || {
+            format!("{} records={}", path.display(), report.records_recovered)
+        });
+        for record in dataset.records {
+            total += 1;
+            if seen.insert(record.url.clone()) {
+                combined.records.push(record);
+            }
+        }
     }
-    let recovered = combined.records.len();
+    let unique = combined.records.len();
+    let recrawled = frontier.iter().filter(|u| !seen.contains(u)).count();
     let merged = resume_crawl(network, frontier, config, &combined);
     let report = MergeReport {
         segments: segments.len(),
-        records_recovered: recovered,
+        records_recovered: unique,
         segments_recovered_dirty: dirty,
-        recrawled: frontier.len().saturating_sub(recovered.min(frontier.len())),
+        duplicates_dropped: total - unique,
+        recrawled,
     };
     Ok((merged, report))
 }
 
-fn emit_merge_instant(
+/// One spill-side instant on an optional sink — the shared emission
+/// shape for `segment.merge`, `segment.skip`, and the supervisor's
+/// protocol events.
+pub(crate) fn emit_spill_instant(
     trace: Option<&Arc<dyn TraceSink>>,
-    config: &CrawlConfig,
-    path: &Path,
-    records: usize,
+    label: &str,
+    instant: &'static str,
+    detail: impl FnOnce() -> String,
 ) {
     if let Some(sink) = trace {
         if sink.enabled() {
-            let recorder = VisitRecorder::new(&config.label, None);
-            recorder.instant("segment.merge", || {
-                format!("{} records={records}", path.display())
-            });
+            let recorder = VisitRecorder::new(label, None);
+            recorder.instant(instant, detail);
             if let Some(trace) = recorder.finish() {
                 sink.consume(trace);
             }
@@ -270,6 +410,11 @@ fn emit_merge_instant(
 /// directory plus [`merge_segments`] reassembles the full dataset.
 /// Memory is bounded by `chunk_sites` (in-flight records) regardless of
 /// shard size.
+///
+/// On the first spill I/O error the streamed crawl aborts immediately —
+/// no further sites are visited — the unsealed partial segment is
+/// removed, and the error returns; sealed segments stay on disk and
+/// remain mergeable.
 #[allow(clippy::too_many_arguments)]
 pub fn crawl_shard_to_segments(
     network: &Network,
@@ -286,22 +431,26 @@ pub fn crawl_shard_to_segments(
         SegmentWriter::create(dir, &config.label, &config.device.id, shard, segment_sites)?;
     let range = shard_range(frontier.len(), shard, count);
     let mut io_err: Option<io::Error> = None;
-    crawl_streamed_range(
+    crawl_streamed_range_until(
         network,
         frontier,
         config,
         &caches,
         range,
         chunk_sites,
-        |_, record| {
-            if io_err.is_none() {
-                if let Err(e) = writer.append(&record) {
-                    io_err = Some(e);
-                }
+        |_, record| match writer.append(&record) {
+            Ok(()) => std::ops::ControlFlow::Continue(()),
+            Err(e) => {
+                // First spill failure aborts the crawl outright: records
+                // that can no longer be persisted are not worth visiting,
+                // and a silently-lossy spill must never look complete.
+                io_err = Some(e);
+                std::ops::ControlFlow::Break(())
             }
         },
     );
     if let Some(e) = io_err {
+        writer.abort().ok();
         return Err(e);
     }
     writer.finish()
@@ -376,6 +525,178 @@ mod tests {
     }
 
     #[test]
+    fn merge_counts_unique_records_and_drops_duplicates() {
+        // Regression for the PR-9 over-count: shard 0 of 2 crawled into
+        // one directory and the whole frontier into another overlap on
+        // the first half of the frontier; the merge must count each site
+        // once, account for the dropped duplicates exactly, and still be
+        // byte-identical to a single crawl.
+        let (web, frontier, config) = workload();
+        let dir_half = tmp_dir("dup-half");
+        let dir_full = tmp_dir("dup-full");
+        crawl_shard_to_segments(&web.network, &frontier, &config, &dir_half, 0, 2, 8, 4).unwrap();
+        crawl_shard_to_segments(&web.network, &frontier, &config, &dir_full, 0, 1, 8, 4).unwrap();
+        let mut segments = list_segments(&dir_half).unwrap();
+        segments.extend(list_segments(&dir_full).unwrap());
+        let (merged, report) =
+            merge_segments(&web.network, &frontier, &config, &segments, None).unwrap();
+
+        let half = crate::shard_range(frontier.len(), 0, 2).len();
+        assert_eq!(report.records_recovered, frontier.len(), "unique records");
+        assert_eq!(report.duplicates_dropped, half, "overlap counted exactly");
+        assert_eq!(report.recrawled, 0);
+        assert_eq!(
+            report.records_recovered + report.recrawled,
+            frontier.len(),
+            "recovered unique + recrawled must cover the frontier exactly"
+        );
+        let direct = crate::crawl(&web.network, &frontier, &config);
+        assert_eq!(
+            serde_json::to_string(&merged).unwrap(),
+            serde_json::to_string(&direct).unwrap()
+        );
+        fs::remove_dir_all(&dir_half).ok();
+        fs::remove_dir_all(&dir_full).ok();
+    }
+
+    #[test]
+    fn list_segments_skips_foreign_files_with_a_trace_instant() {
+        let (web, frontier, config) = workload();
+        let dir = tmp_dir("strays");
+        let segments =
+            crawl_shard_to_segments(&web.network, &frontier, &config, &dir, 0, 1, 20, 10).unwrap();
+        // Strays that a real spill directory accumulates: lease files,
+        // tmp rename leftovers, foreign checkpoints, a supervised
+        // epoch-qualified segment, and an under-padded impostor.
+        for stray in [
+            "shard000.lease",
+            "shard000.lease.tmp",
+            "foreign.ckpt",
+            "shard000-e0002-seg00000.ckpt",
+            "shard0-seg1.ckpt",
+        ] {
+            fs::write(dir.join(stray), b"not a segment").unwrap();
+        }
+        let sink = Arc::new(CountingSink::new());
+        let listed =
+            list_segments_traced(&dir, Some(&(Arc::clone(&sink) as Arc<dyn TraceSink>))).unwrap();
+        assert_eq!(listed, segments, "only canonical segment names listed");
+        let (_, _, events) = sink.totals();
+        assert_eq!(events, 5, "one segment.skip instant per stray file");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unsealed_segment_from_dropped_writer_is_recoverable() {
+        // The doc-promised drop-without-finish path: the last segment
+        // stays on disk unsealed, recovery reads it clean, and a merge
+        // over the directory loses nothing.
+        let (web, frontier, config) = workload();
+        let full = crate::crawl(&web.network, &frontier, &config);
+        let dir = tmp_dir("unsealed");
+        let caches = config.build_caches();
+        let mut writer =
+            SegmentWriter::create(&dir, &config.label, &config.device.id, 0, 20).unwrap();
+        crawl_streamed_range_until(
+            &web.network,
+            &frontier,
+            &config,
+            &caches,
+            0..frontier.len(),
+            16,
+            |_, record| {
+                writer.append(&record).unwrap();
+                std::ops::ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(writer.sealed().len(), 2, "50 records seal two of three");
+        drop(writer); // crash before finish(): the third segment is unsealed
+        let segments = list_segments(&dir).unwrap();
+        assert_eq!(segments.len(), 3, "the unsealed segment is still listed");
+        let (ds, report) = recover(&segments[2]).unwrap();
+        assert!(report.clean(), "every fully-appended record survives");
+        assert_eq!(ds.records.len(), 10);
+        let (merged, report) =
+            merge_segments(&web.network, &frontier, &config, &segments, None).unwrap();
+        assert_eq!(report.records_recovered, frontier.len());
+        assert_eq!(report.recrawled, 0);
+        assert_eq!(
+            serde_json::to_string(&merged).unwrap(),
+            serde_json::to_string(&full).unwrap()
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spill_error_aborts_the_crawl_and_removes_the_partial_segment() {
+        let (web, frontier, config) = workload();
+        let dir = tmp_dir("abort");
+        // Booby-trap the second segment's path: rolling over to it fails,
+        // which must abort the crawl (not silently discard the rest of
+        // the range) and leave only complete, sealed segments behind.
+        fs::create_dir_all(dir.join("shard000-seg00001.ckpt")).unwrap();
+        let err = crawl_shard_to_segments(&web.network, &frontier, &config, &dir, 0, 1, 10, 5)
+            .unwrap_err();
+        assert!(!err.to_string().is_empty());
+        let listed = list_segments(&dir).unwrap();
+        assert_eq!(listed.len(), 1, "only the sealed first segment remains");
+        let (ds, report) = recover(&listed[0]).unwrap();
+        assert!(report.clean());
+        assert_eq!(ds.records.len(), 10);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn abort_removes_only_the_unsealed_segment() {
+        let (web, frontier, config) = workload();
+        let dir = tmp_dir("abort-unit");
+        let caches = config.build_caches();
+        let mut writer =
+            SegmentWriter::create(&dir, &config.label, &config.device.id, 0, 20).unwrap();
+        crawl_streamed_range_until(
+            &web.network,
+            &frontier,
+            &config,
+            &caches,
+            0..frontier.len(),
+            16,
+            |_, record| {
+                writer.append(&record).unwrap();
+                std::ops::ControlFlow::Continue(())
+            },
+        );
+        let sealed = writer.abort().unwrap();
+        assert_eq!(sealed.len(), 2);
+        assert_eq!(list_segments(&dir).unwrap(), sealed, "partial third gone");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streamed_crawl_stops_at_the_breaking_record() {
+        let (web, frontier, config) = workload();
+        let caches = config.build_caches();
+        let mut delivered = 0usize;
+        let stats = crawl_streamed_range_until(
+            &web.network,
+            &frontier,
+            &config,
+            &caches,
+            0..frontier.len(),
+            8,
+            |_, _| {
+                delivered += 1;
+                if delivered == 11 {
+                    std::ops::ControlFlow::Break(())
+                } else {
+                    std::ops::ControlFlow::Continue(())
+                }
+            },
+        );
+        assert_eq!(delivered, 11, "break stops delivery mid-chunk");
+        assert_eq!(stats.sites, 11, "stats count delivered records only");
+    }
+
+    #[test]
     fn spill_trace_goes_to_the_spill_sink_only() {
         let (web, frontier, config) = workload();
         let dir = tmp_dir("trace");
@@ -384,7 +705,7 @@ mod tests {
         let mut writer = SegmentWriter::create(&dir, &config.label, &config.device.id, 0, 10)
             .unwrap()
             .with_trace(Arc::clone(&sink) as Arc<dyn TraceSink>);
-        crawl_streamed_range(
+        crate::crawl_streamed_range(
             &web.network,
             &frontier,
             &config,

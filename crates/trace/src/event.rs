@@ -84,6 +84,17 @@ impl VisitTrace {
             .count() as u64
     }
 
+    /// Number of [`EventKind::Instant`] events named `name` — the query
+    /// supervision tests use to assert protocol events (`lease.acquire`,
+    /// `worker.crash`, `straggler.speculate`, …) without walking event
+    /// streams by hand.
+    pub fn instant_count(&self, name: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(&e.kind, EventKind::Instant { name: n, .. } if *n == name))
+            .count()
+    }
+
     /// Serializes the trace as one JSON object (one JSONL line, no
     /// trailing newline). Hand-rolled so the crate stays dependency-free;
     /// output is deterministic byte-for-byte.
@@ -199,5 +210,7 @@ mod tests {
         assert!(a.contains("\"name\":\"fetch\""));
         assert!(a.ends_with("]}"));
         assert_eq!(trace.span_count(), 1);
+        assert_eq!(trace.instant_count("net.fault"), 1);
+        assert_eq!(trace.instant_count("lease.acquire"), 0);
     }
 }

@@ -438,3 +438,37 @@ fn plan_armed_torn_writes_compose_with_resume() {
     assert_eq!(resumed.to_json().unwrap(), full.to_json().unwrap());
     let _ = std::fs::remove_file(&path);
 }
+
+/// The supervisor's crash primitive (`CheckpointWriter::tear`) leaves
+/// exactly the torn-tail shape the recovery sweep defends against: the
+/// fully-flushed prefix recovers clean, the in-flight record is the one
+/// casualty, and resuming from the recovered prefix merges
+/// byte-identical — the per-crash re-work bound the chaos gates rely on.
+#[test]
+fn supervisor_tear_recovers_to_the_flushed_prefix() {
+    let (web, frontier) = workload();
+    let config = resilient_config(1);
+    let full = crawl(&web.network, &frontier, &config);
+    for cut in [0usize, 1, 7, full.records.len() - 1] {
+        let path = tmp_path(&format!("tear-{cut}"));
+        let mut writer =
+            checkpoint::CheckpointWriter::create(&path, &full.label, &full.device_id).unwrap();
+        for record in &full.records[..cut] {
+            writer.append(record).unwrap();
+        }
+        writer.tear(&full.records[cut]).unwrap();
+        assert!(
+            writer.append(&full.records[cut]).is_err(),
+            "a torn writer must be poisoned"
+        );
+        let (recovered, report) = checkpoint::recover(&path).unwrap();
+        assert_eq!(recovered.records.len(), cut, "only the flushed prefix");
+        assert_eq!(report.corrupted_at, Some(cut));
+        let (again, re_report) = checkpoint::recover(&path).unwrap();
+        assert_eq!(again.records.len(), cut, "recovery is idempotent");
+        assert!(re_report.clean(), "the truncated file re-recovers clean");
+        let resumed = resume_crawl(&web.network, &frontier, &config, &recovered);
+        assert_eq!(resumed.to_json().unwrap(), full.to_json().unwrap());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -183,6 +183,10 @@ fn sharded_spill_merges_identically_for_all_shard_counts() {
         assert_eq!(report.records_recovered, frontier.len(), "shards={shards}");
         assert_eq!(report.segments_recovered_dirty, 0, "shards={shards}");
         assert_eq!(
+            report.duplicates_dropped, 0,
+            "disjoint shards never overlap"
+        );
+        assert_eq!(
             serde_json::to_string(&merged).unwrap(),
             serde_json::to_string(&full).unwrap(),
             "shards={shards}"
@@ -213,6 +217,37 @@ fn merge_with_missing_shard_recrawls_the_gap_identically() {
         serde_json::to_string(&full).unwrap()
     );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Overlapping spills — two independent full-range crawls merged
+/// together, the shape a re-leased or double-launched worker leaves
+/// behind — dedupe exactly: `records_recovered` counts unique sites,
+/// `duplicates_dropped` counts the collisions, and the bytes still
+/// match a single crawl.
+#[test]
+fn overlapping_spills_dedupe_with_exact_accounting() {
+    let (web, frontier, config) = workload();
+    let full = crawl(&web.network, &frontier, &config);
+    let dir_a = tmp_dir("overlap-a");
+    let dir_b = tmp_dir("overlap-b");
+    crawl_shard_to_segments(&web.network, &frontier, &config, &dir_a, 0, 1, 13, 9).unwrap();
+    // The second "worker" crawls only the back half of the range (shard
+    // 1 of 2): a partial overlap, not a mirror image.
+    crawl_shard_to_segments(&web.network, &frontier, &config, &dir_b, 1, 2, 13, 9).unwrap();
+    let mut segments = list_segments(&dir_a).unwrap();
+    segments.extend(list_segments(&dir_b).unwrap());
+    let (merged, report) =
+        merge_segments(&web.network, &frontier, &config, &segments, None).unwrap();
+    let back_half = frontier.len() - frontier.len() / 2;
+    assert_eq!(report.records_recovered, frontier.len(), "unique records");
+    assert_eq!(report.duplicates_dropped, back_half, "the overlap, exactly");
+    assert_eq!(report.recrawled, 0);
+    assert_eq!(
+        serde_json::to_string(&merged).unwrap(),
+        serde_json::to_string(&full).unwrap()
+    );
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
 }
 
 /// Sanity: a merged dataset's label/device come from the config, so a
